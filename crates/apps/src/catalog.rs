@@ -1,0 +1,423 @@
+//! The 11 studied applications (§2.2), as calibrated demand profiles.
+//!
+//! Class assignments follow the paper's Table 3 where it names them:
+//! C ⊇ {svm, wc, hmm}, H ⊇ {ts, gp}, I = {st}, M ⊇ {cf, fp}. The three
+//! applications Table 3 never lists (NB, KM, PR) are assigned from the
+//! HiBench-style characterisation literature the paper builds on
+//! (Malik et al., ISPASS'16 / IISWC'17): NB and KM are compute-bound
+//! classifier/clustering kernels, PageRank is a hybrid with a heavy shuffle.
+//!
+//! The split into *training* (known) and *testing* (unknown) applications is
+//! exactly §7: NB, CF, SVM, PR, HMM and KM are never used to build the
+//! database or the models.
+//!
+//! ## Calibration notes
+//!
+//! With the Atom node spec and a 512 MB block at 2.4 GHz:
+//!
+//! * **wc** moves ~65 s of compute per task against ~8 s of I/O — firmly
+//!   compute-bound; CPUuser dominates. (Hundreds of cycles per byte is the
+//!   realistic cost of Hadoop's Java text-processing path on an in-order
+//!   Atom.)
+//! * **st** moves ~15 s of I/O (unit selectivity, 1.3× spill) against ~4 s of
+//!   compute — I/O-bound with large iowait gaps for a co-runner to fill.
+//! * **ts**/**gp** sit in between (TeraSort shuffles its whole input; Grep
+//!   scans everything but keeps almost nothing).
+//! * **cf**/**fp** demand 1.4–1.7 GB/s of memory bandwidth per busy core, so
+//!   6–8 cores saturate the node's ~9.5 GB/s — memory-bound, and their
+//!   multi-GB working sets pressure the 8 GB of DRAM.
+
+use crate::class::AppClass;
+use crate::profile::AppProfile;
+use std::fmt;
+
+/// One of the paper's 11 Hadoop applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum App {
+    /// WordCount — compute-bound micro-benchmark.
+    Wc,
+    /// Sort — the I/O-bound micro-benchmark.
+    St,
+    /// Grep — hybrid scan micro-benchmark.
+    Gp,
+    /// TeraSort — hybrid micro-benchmark with a full-input shuffle.
+    Ts,
+    /// Naïve Bayes (test app, compute-bound).
+    Nb,
+    /// FP-Growth (memory-bound, training app).
+    Fp,
+    /// Collaborative Filtering (test app, memory-bound).
+    Cf,
+    /// Support Vector Machine (test app, compute-bound).
+    Svm,
+    /// PageRank (test app, hybrid).
+    Pr,
+    /// Hidden Markov Model (test app, compute-bound).
+    Hmm,
+    /// K-Means (test app, compute-bound).
+    Km,
+}
+
+/// The training ("known") set used to build the database and the models:
+/// the four micro-benchmarks plus FP-Growth. Covers all four classes.
+pub const TRAINING_APPS: [App; 5] = [App::Wc, App::St, App::Gp, App::Ts, App::Fp];
+
+/// The testing ("unknown") set of §7: never seen during training.
+pub const TEST_APPS: [App; 6] = [App::Nb, App::Cf, App::Svm, App::Pr, App::Hmm, App::Km];
+
+/// All 11 applications.
+pub const ALL_APPS: [App; 11] = [
+    App::Wc,
+    App::St,
+    App::Gp,
+    App::Ts,
+    App::Nb,
+    App::Fp,
+    App::Cf,
+    App::Svm,
+    App::Pr,
+    App::Hmm,
+    App::Km,
+];
+
+const WC: AppProfile = AppProfile {
+    name: "wc",
+    class: AppClass::C,
+    map_cycles_per_mb: 300e6,
+    task_overhead_cycles: 2.2e9,
+    map_selectivity: 0.06,
+    spill_factor: 1.0,
+    reduce_cycles_per_mb: 200e6,
+    output_selectivity: 0.04,
+    job_overhead_s: 9.0,
+    llc_mpki: 1.3,
+    ipc_base: 1.15,
+    mem_stall_frac: 0.15,
+    icache_mpki: 4.0,
+    branch_misp_pct: 2.2,
+    working_set_frac: 0.015,
+    footprint_base_mb: 280.0,
+};
+
+const ST: AppProfile = AppProfile {
+    name: "st",
+    class: AppClass::I,
+    map_cycles_per_mb: 15e6,
+    task_overhead_cycles: 2.0e9,
+    map_selectivity: 1.0,
+    spill_factor: 1.3,
+    reduce_cycles_per_mb: 24e6,
+    output_selectivity: 1.0,
+    job_overhead_s: 9.0,
+    llc_mpki: 3.1,
+    ipc_base: 0.85,
+    mem_stall_frac: 0.25,
+    icache_mpki: 4.0,
+    branch_misp_pct: 1.6,
+    working_set_frac: 0.04,
+    footprint_base_mb: 380.0,
+};
+
+const GP: AppProfile = AppProfile {
+    name: "gp",
+    class: AppClass::H,
+    map_cycles_per_mb: 130e6,
+    task_overhead_cycles: 2.2e9,
+    map_selectivity: 0.012,
+    spill_factor: 1.0,
+    reduce_cycles_per_mb: 60e6,
+    output_selectivity: 0.006,
+    job_overhead_s: 8.0,
+    llc_mpki: 2.2,
+    ipc_base: 1.05,
+    mem_stall_frac: 0.2,
+    icache_mpki: 5.0,
+    branch_misp_pct: 2.0,
+    working_set_frac: 0.02,
+    footprint_base_mb: 260.0,
+};
+
+const TS: AppProfile = AppProfile {
+    name: "ts",
+    class: AppClass::H,
+    map_cycles_per_mb: 110e6,
+    task_overhead_cycles: 2.0e9,
+    map_selectivity: 1.0,
+    spill_factor: 1.25,
+    reduce_cycles_per_mb: 48e6,
+    output_selectivity: 1.0,
+    job_overhead_s: 10.0,
+    llc_mpki: 3.6,
+    ipc_base: 0.9,
+    mem_stall_frac: 0.3,
+    icache_mpki: 6.0,
+    branch_misp_pct: 2.4,
+    working_set_frac: 0.05,
+    footprint_base_mb: 450.0,
+};
+
+const NB: AppProfile = AppProfile {
+    name: "nb",
+    class: AppClass::C,
+    map_cycles_per_mb: 255e6,
+    task_overhead_cycles: 2.0e9,
+    map_selectivity: 0.09,
+    spill_factor: 1.0,
+    reduce_cycles_per_mb: 180e6,
+    output_selectivity: 0.05,
+    job_overhead_s: 9.0,
+    llc_mpki: 1.9,
+    ipc_base: 1.05,
+    mem_stall_frac: 0.18,
+    icache_mpki: 7.0,
+    branch_misp_pct: 2.9,
+    working_set_frac: 0.05,
+    footprint_base_mb: 380.0,
+};
+
+const FP: AppProfile = AppProfile {
+    name: "fp",
+    class: AppClass::M,
+    map_cycles_per_mb: 320e6,
+    task_overhead_cycles: 2.7e9,
+    map_selectivity: 0.12,
+    spill_factor: 1.0,
+    reduce_cycles_per_mb: 220e6,
+    output_selectivity: 0.08,
+    job_overhead_s: 12.0,
+    llc_mpki: 16.5,
+    ipc_base: 0.66,
+    mem_stall_frac: 0.8,
+    icache_mpki: 7.0,
+    branch_misp_pct: 3.8,
+    working_set_frac: 0.44,
+    footprint_base_mb: 700.0,
+};
+
+const CF: AppProfile = AppProfile {
+    name: "cf",
+    class: AppClass::M,
+    map_cycles_per_mb: 290e6,
+    task_overhead_cycles: 2.5e9,
+    map_selectivity: 0.10,
+    spill_factor: 1.0,
+    reduce_cycles_per_mb: 200e6,
+    output_selectivity: 0.12,
+    job_overhead_s: 11.0,
+    llc_mpki: 14.5,
+    ipc_base: 0.70,
+    mem_stall_frac: 0.75,
+    icache_mpki: 6.0,
+    branch_misp_pct: 3.4,
+    working_set_frac: 0.38,
+    footprint_base_mb: 650.0,
+};
+
+const SVM: AppProfile = AppProfile {
+    name: "svm",
+    class: AppClass::C,
+    map_cycles_per_mb: 330e6,
+    task_overhead_cycles: 2.4e9,
+    map_selectivity: 0.05,
+    spill_factor: 1.0,
+    reduce_cycles_per_mb: 180e6,
+    output_selectivity: 0.01,
+    job_overhead_s: 10.0,
+    llc_mpki: 1.6,
+    ipc_base: 1.1,
+    mem_stall_frac: 0.17,
+    icache_mpki: 5.0,
+    branch_misp_pct: 2.5,
+    working_set_frac: 0.02,
+    footprint_base_mb: 330.0,
+};
+
+const PR: AppProfile = AppProfile {
+    name: "pr",
+    class: AppClass::H,
+    map_cycles_per_mb: 125e6,
+    task_overhead_cycles: 2.4e9,
+    map_selectivity: 0.8,
+    spill_factor: 1.2,
+    reduce_cycles_per_mb: 52e6,
+    output_selectivity: 0.7,
+    job_overhead_s: 11.0,
+    llc_mpki: 4.2,
+    ipc_base: 0.88,
+    mem_stall_frac: 0.32,
+    icache_mpki: 8.0,
+    branch_misp_pct: 4.5,
+    working_set_frac: 0.07,
+    footprint_base_mb: 480.0,
+};
+
+const HMM: AppProfile = AppProfile {
+    name: "hmm",
+    class: AppClass::C,
+    map_cycles_per_mb: 272e6,
+    task_overhead_cycles: 2.4e9,
+    map_selectivity: 0.07,
+    spill_factor: 1.0,
+    reduce_cycles_per_mb: 160e6,
+    output_selectivity: 0.02,
+    job_overhead_s: 10.0,
+    llc_mpki: 1.2,
+    ipc_base: 1.18,
+    mem_stall_frac: 0.14,
+    icache_mpki: 5.0,
+    branch_misp_pct: 2.6,
+    working_set_frac: 0.013,
+    footprint_base_mb: 300.0,
+};
+
+const KM: AppProfile = AppProfile {
+    name: "km",
+    class: AppClass::C,
+    map_cycles_per_mb: 340e6,
+    task_overhead_cycles: 2.3e9,
+    map_selectivity: 0.05,
+    spill_factor: 1.0,
+    reduce_cycles_per_mb: 170e6,
+    output_selectivity: 0.02,
+    job_overhead_s: 10.0,
+    llc_mpki: 2.3,
+    ipc_base: 1.0,
+    mem_stall_frac: 0.22,
+    icache_mpki: 3.0,
+    branch_misp_pct: 1.8,
+    working_set_frac: 0.06,
+    footprint_base_mb: 400.0,
+};
+
+impl App {
+    /// The application's demand profile.
+    pub fn profile(self) -> &'static AppProfile {
+        match self {
+            App::Wc => &WC,
+            App::St => &ST,
+            App::Gp => &GP,
+            App::Ts => &TS,
+            App::Nb => &NB,
+            App::Fp => &FP,
+            App::Cf => &CF,
+            App::Svm => &SVM,
+            App::Pr => &PR,
+            App::Hmm => &HMM,
+            App::Km => &KM,
+        }
+    }
+
+    /// Short name as printed in the paper ("wc", "st", …).
+    pub fn name(self) -> &'static str {
+        self.profile().name
+    }
+
+    /// Ground-truth behaviour class.
+    pub fn class(self) -> AppClass {
+        self.profile().class
+    }
+
+    /// Is this one of the known/training applications?
+    pub fn is_training(self) -> bool {
+        TRAINING_APPS.contains(&self)
+    }
+
+    /// Parse a paper-style short name.
+    pub fn from_name(name: &str) -> Option<App> {
+        ALL_APPS.iter().copied().find(|a| a.name() == name)
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::AppClass::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for app in ALL_APPS {
+            app.profile().validate().expect("profile invariant");
+        }
+    }
+
+    #[test]
+    fn class_assignments_match_paper_table3() {
+        // Table 3 names these explicitly.
+        for (app, class) in [
+            (App::Svm, C),
+            (App::Wc, C),
+            (App::Hmm, C),
+            (App::Ts, H),
+            (App::Gp, H),
+            (App::St, I),
+            (App::Cf, M),
+            (App::Fp, M),
+        ] {
+            assert_eq!(app.class(), class, "{app}");
+        }
+    }
+
+    #[test]
+    fn training_test_split_matches_section7() {
+        // "NB, CF, SVM, PR, HMM and KM are assumed unknown applications and
+        // were not used to generate the training dataset."
+        for a in TEST_APPS {
+            assert!(!a.is_training());
+        }
+        for a in TRAINING_APPS {
+            assert!(a.is_training());
+        }
+        assert_eq!(TRAINING_APPS.len() + TEST_APPS.len(), ALL_APPS.len());
+    }
+
+    #[test]
+    fn training_set_covers_all_classes() {
+        for class in AppClass::ALL {
+            assert!(
+                TRAINING_APPS.iter().any(|a| a.class() == class),
+                "no training app for class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for a in ALL_APPS {
+            assert_eq!(App::from_name(a.name()), Some(a));
+        }
+        assert_eq!(App::from_name("zz"), None);
+    }
+
+    #[test]
+    fn io_apps_have_low_compute_density() {
+        // Class separation sanity: the I app computes less per MB than any
+        // C app and the M apps have the highest LLC MPKI.
+        let st = App::St.profile();
+        for a in ALL_APPS {
+            let p = a.profile();
+            match p.class {
+                C => assert!(p.map_cycles_per_mb > 4.0 * st.map_cycles_per_mb, "{}", p.name),
+                M => assert!(p.llc_mpki > 10.0, "{}", p.name),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn memory_apps_pressure_node_bandwidth() {
+        // 8 busy cores of an M app must exceed the Atom's ~9.5 GB/s.
+        for app in [App::Cf, App::Fp] {
+            let bw8 = 8.0 * app.profile().mem_bw_per_core_mbps(2.4e9);
+            assert!(bw8 > 9.5 * 1024.0, "{app}: {bw8}");
+        }
+        // …while C apps leave it untouched.
+        let wc8 = 8.0 * App::Wc.profile().mem_bw_per_core_mbps(2.4e9);
+        assert!(wc8 < 0.4 * 9.5 * 1024.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Input data scales (§2.3 of the paper): 1, 5 and 10 GB *per node*,
+//! representing small, medium and large data sets. On an `n`-node cluster an
+//! application therefore processes `n ×` that amount in total.
+
+use std::fmt;
+
+/// Per-node input data size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InputSize {
+    /// 1 GB per node.
+    Small,
+    /// 5 GB per node.
+    Medium,
+    /// 10 GB per node.
+    Large,
+}
+
+impl InputSize {
+    /// The three studied sizes, ascending.
+    pub const ALL: [InputSize; 3] = [InputSize::Small, InputSize::Medium, InputSize::Large];
+
+    /// Per-node bytes expressed in MB (the unit the executor works in).
+    #[inline]
+    pub fn per_node_mb(self) -> f64 {
+        match self {
+            InputSize::Small => 1024.0,
+            InputSize::Medium => 5.0 * 1024.0,
+            InputSize::Large => 10.0 * 1024.0,
+        }
+    }
+
+    /// Per-node gigabytes, as quoted in the paper.
+    #[inline]
+    pub fn per_node_gb(self) -> f64 {
+        self.per_node_mb() / 1024.0
+    }
+
+    /// Index 0..=2 (ascending).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            InputSize::Small => 0,
+            InputSize::Medium => 1,
+            InputSize::Large => 2,
+        }
+    }
+}
+
+impl fmt::Display for InputSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}GB", self.per_node_gb() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(InputSize::Small.per_node_gb(), 1.0);
+        assert_eq!(InputSize::Medium.per_node_gb(), 5.0);
+        assert_eq!(InputSize::Large.per_node_gb(), 10.0);
+    }
+
+    #[test]
+    fn ascending_order() {
+        for w in InputSize::ALL.windows(2) {
+            assert!(w[0].per_node_mb() < w[1].per_node_mb());
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(InputSize::Medium.to_string(), "5GB");
+    }
+}

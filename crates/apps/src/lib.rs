@@ -1,0 +1,34 @@
+//! # ecost-apps — the ECoST application catalog
+//!
+//! The paper studies 11 Hadoop applications (§2.2): four micro-benchmarks —
+//! WordCount (WC), Sort (ST), Grep (GP), TeraSort (TS) — and seven real-world
+//! applications — Naïve Bayes (NB), FP-Growth (FP), Collaborative Filtering
+//! (CF), SVM, PageRank (PR), Hidden Markov Model (HMM) and K-Means (KM).
+//!
+//! Since ECoST's controller only ever observes an application through its
+//! hardware-counter/resource-utilisation signature, this crate substitutes
+//! each real application with a **resource-demand profile**
+//! ([`profile::AppProfile`]) calibrated so the application lands in the same
+//! behaviour class (C/H/I/M) the paper assigns it and stresses the same
+//! bottleneck with the same rough intensity.
+//!
+//! It also encodes the paper's three input scales (1/5/10 GB per node, §2.3),
+//! the four behaviour classes (§3.2), the exact WS1–WS8 workload scenarios of
+//! Table 3, and generators for synthetic per-class applications used in
+//! robustness tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod class;
+pub mod datasize;
+pub mod profile;
+pub mod synth;
+pub mod workload;
+
+pub use catalog::{App, TEST_APPS, TRAINING_APPS};
+pub use class::AppClass;
+pub use datasize::InputSize;
+pub use profile::AppProfile;
+pub use workload::{Workload, WorkloadScenario};

@@ -1,0 +1,76 @@
+//! Benchmarks of the ML substrate: fitting and single-row prediction for
+//! the three model families on a common synthetic regression problem sized
+//! like one class-pair training set.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecost_ml::model::Regressor;
+use ecost_ml::{Dataset, LinearRegression, Mlp, MlpConfig, RepTree, RepTreeConfig};
+
+/// A nonlinear 25-feature target with the rough shape of the EDP surface.
+fn training_set(rows: usize) -> Dataset {
+    let cols: Vec<String> = (0..25).map(|i| format!("x{i}")).collect();
+    let mut d = Dataset::new(cols, "y");
+    for i in 0..rows {
+        let x: Vec<f64> = (0..25)
+            .map(|j| (((i * 31 + j * 17) % 97) as f64) / 97.0 * 4.0 - 2.0)
+            .collect();
+        let y = (x[0] * x[1]).tanh() + 1.0 / (1.0 + x[2].abs()) + 0.3 * x[3] + (x[4] * 2.0).sin();
+        d.push(x, y);
+    }
+    d
+}
+
+fn bench_models(c: &mut Criterion) {
+    let small = training_set(2_000);
+    let mut g = c.benchmark_group("models_train");
+    g.sample_size(10);
+    g.bench_function("lr_fit_2k", |b| {
+        b.iter(|| {
+            let mut m = LinearRegression::new();
+            m.fit(black_box(&small));
+            m
+        })
+    });
+    g.bench_function("reptree_fit_2k", |b| {
+        b.iter(|| {
+            let mut m = RepTree::new(RepTreeConfig::default());
+            m.fit(black_box(&small));
+            m
+        })
+    });
+    g.bench_function("mlp_fit_2k_x30epochs", |b| {
+        b.iter(|| {
+            let mut m = Mlp::new(MlpConfig {
+                hidden: vec![32, 16],
+                epochs: 30,
+                val_fraction: 0.0,
+                ..MlpConfig::default()
+            });
+            m.fit(black_box(&small));
+            m
+        })
+    });
+    g.finish();
+
+    let mut lr = LinearRegression::new();
+    lr.fit(&small);
+    let mut tree = RepTree::new(RepTreeConfig::default());
+    tree.fit(&small);
+    let mut mlp = Mlp::new(MlpConfig {
+        hidden: vec![32, 16],
+        epochs: 30,
+        val_fraction: 0.0,
+        ..MlpConfig::default()
+    });
+    mlp.fit(&small);
+    let probe = small.x[7].clone();
+
+    let mut g = c.benchmark_group("models_predict");
+    g.bench_function("lr_predict", |b| b.iter(|| lr.predict(black_box(&probe))));
+    g.bench_function("reptree_predict", |b| b.iter(|| tree.predict(black_box(&probe))));
+    g.bench_function("mlp_predict", |b| b.iter(|| mlp.predict(black_box(&probe))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

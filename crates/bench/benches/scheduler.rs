@@ -1,0 +1,28 @@
+//! Benchmark of the cluster scheduler: one full workload through the
+//! untuned mapping policies (the tuned ones amortise an offline phase that
+//! belongs in the experiment binaries, not a microbenchmark).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecost_apps::{InputSize, WorkloadScenario};
+use ecost_core::features::Testbed;
+use ecost_core::mapping::{run_policy, MappingPolicy};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let tb = Testbed::atom();
+    let workload = WorkloadScenario::Ws4.workload(InputSize::Small);
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    for policy in [
+        MappingPolicy::Sm,
+        MappingPolicy::Snm,
+        MappingPolicy::Cbm,
+    ] {
+        g.bench_function(format!("{}_ws4_4nodes", policy.label()), |b| {
+            b.iter(|| run_policy(&tb, 4, black_box(&workload), policy, None))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

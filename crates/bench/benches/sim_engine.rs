@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the execution substrate: a single standalone run and
+//! a co-located pair run. These are the atoms of the paper's 84 480-run
+//! brute-force study, so their cost bounds every oracle sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecost_apps::{App, InputSize};
+use ecost_mapreduce::executor::{run_colocated, run_standalone};
+use ecost_mapreduce::{BlockSize, FrameworkSpec, JobSpec, TuningConfig};
+use ecost_sim::{Frequency, NodeSpec};
+
+fn cfg(m: u32) -> TuningConfig {
+    TuningConfig {
+        freq: Frequency::F2_0,
+        block: BlockSize::B256,
+        mappers: m,
+    }
+}
+
+fn bench_standalone(c: &mut Criterion) {
+    let spec = NodeSpec::atom_c2758();
+    let fw = FrameworkSpec::default();
+    let mut g = c.benchmark_group("sim_engine");
+    for app in [App::Wc, App::St, App::Fp] {
+        g.bench_function(format!("standalone_{app}_10GB"), |b| {
+            b.iter(|| {
+                let job = JobSpec::new(black_box(app), InputSize::Large, cfg(4));
+                run_standalone(&spec, &fw, job).expect("sim")
+            })
+        });
+    }
+    g.bench_function("colocated_pair_wc_st_10GB", |b| {
+        b.iter(|| {
+            let jobs = vec![
+                JobSpec::new(App::Wc, InputSize::Large, cfg(6)),
+                JobSpec::new(App::St, InputSize::Large, cfg(2)),
+            ];
+            run_colocated(&spec, &fw, jobs).expect("sim")
+        })
+    });
+    g.bench_function("amva_solve_4class", |b| {
+        let classes: Vec<ecost_sim::ClassDemand> = (0..4)
+            .map(|i| ecost_sim::ClassDemand {
+                population: 2.0,
+                think_time_s: 1.0 + i as f64,
+                demands_s: vec![0.5, 0.1 * i as f64, 0.0, 0.0, 0.0],
+            })
+            .collect();
+        b.iter(|| ecost_sim::amva::solve(black_box(&classes), 5).expect("solve"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_standalone);
+criterion_main!(benches);

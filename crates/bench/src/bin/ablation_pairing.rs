@@ -1,0 +1,13 @@
+//! Regenerates the pairing-mode ablation (see DESIGN.md §5).
+
+use ecost_bench::experiments;
+use ecost_bench::harness::Ctx;
+use ecost_core::report::emit;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    for (i, table) in experiments::ablation_pairing(&mut ctx).iter().enumerate() {
+        emit(table, Ctx::results_dir(), &format!("ablation_pairing_{i}"))
+            .expect("write results");
+    }
+}

@@ -1,0 +1,128 @@
+//! Calibration probe: prints the headline shape metrics the reproduction
+//! must exhibit (COLAO/ILAO ratio per class pair, knob sensitivities,
+//! standalone optimal configs). Not part of the paper's tables; used while
+//! tuning the substrate and kept as a regression aid.
+
+use ecost_apps::{App, InputSize};
+use ecost_mapreduce::executor::{run_colocated, run_standalone};
+use ecost_mapreduce::{FrameworkSpec, JobSpec, PairConfig, PairMetrics, TuningConfig};
+use ecost_sim::NodeSpec;
+use rayon::prelude::*;
+
+fn main() {
+    let spec = NodeSpec::atom_c2758();
+    let fw = FrameworkSpec::default();
+    let idle = spec.idle_power_w;
+
+    println!("== standalone optimal configs (wall EDP, Medium) ==");
+    let mut best_solo = std::collections::HashMap::new();
+    for app in ecost_apps::catalog::ALL_APPS {
+        let (cfg, m) = TuningConfig::space(8)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|cfg| {
+                let out = run_standalone(&spec, &fw, JobSpec::new(app, InputSize::Medium, *cfg))
+                    .expect("sim");
+                (*cfg, out.metrics)
+            })
+            .min_by(|a, b| {
+                a.1.edp_wall(idle)
+                    .partial_cmp(&b.1.edp_wall(idle))
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        println!(
+            "  {:4} [{}]  {}  T={:7.1}s  Pdyn={:5.2}W  EDPwall={:.3e}",
+            app.name(),
+            app.class(),
+            cfg,
+            m.exec_time_s,
+            m.avg_power_w,
+            m.edp_wall(idle)
+        );
+        best_solo.insert(app, (cfg, m));
+    }
+
+    println!("\n== COLAO vs ILAO per training pair (same size, Medium) ==");
+    let training = [App::Wc, App::St, App::Gp, App::Ts, App::Fp];
+    let pair_space = PairConfig::space(8);
+    for (i, &a) in training.iter().enumerate() {
+        for &b in &training[i..] {
+            let (ca, ma) = best_solo[&a];
+            let (cb, mb) = best_solo[&b];
+            let _ = (ca, cb);
+            let ilao = PairMetrics::serial(&[ma, mb]);
+            let (best_cfg, colao) = pair_space
+                .par_iter()
+                .map(|pc| {
+                    let jobs = vec![
+                        JobSpec::new(a, InputSize::Medium, pc.a),
+                        JobSpec::new(b, InputSize::Medium, pc.b),
+                    ];
+                    let (outs, makespan) = run_colocated(&spec, &fw, jobs).expect("sim");
+                    let energy: f64 = outs.iter().map(|o| o.metrics.energy_j).sum();
+                    (
+                        *pc,
+                        PairMetrics {
+                            makespan_s: makespan,
+                            energy_j: energy,
+                        },
+                    )
+                })
+                .min_by(|x, y| {
+                    x.1.edp_wall(idle)
+                        .partial_cmp(&y.1.edp_wall(idle))
+                        .expect("finite")
+                })
+                .expect("non-empty");
+            println!(
+                "  {:3}-{:3} [{}-{}]  ratio={:5.2}x  CO: m=({},{}) f=({},{}) h=({},{})  T_co={:6.1} T_il={:6.1}",
+                a.name(),
+                b.name(),
+                a.class(),
+                b.class(),
+                ilao.edp_wall(idle) / colao.edp_wall(idle),
+                best_cfg.a.mappers,
+                best_cfg.b.mappers,
+                best_cfg.a.freq,
+                best_cfg.b.freq,
+                best_cfg.a.block,
+                best_cfg.b.block,
+                colao.makespan_s,
+                ilao.makespan_s,
+            );
+        }
+    }
+
+    println!("\n== EDP sensitivity vs mappers (wc, Medium): gain of tuning h+f over h|f alone ==");
+    for m in [1u32, 2, 4, 8] {
+        let edp_of = |f: ecost_sim::Frequency, h: ecost_mapreduce::BlockSize| {
+            let cfg = TuningConfig { freq: f, block: h, mappers: m };
+            run_standalone(&spec, &fw, JobSpec::new(App::Wc, InputSize::Medium, cfg))
+                .expect("sim")
+                .metrics
+                .edp_wall(idle)
+        };
+        let base = edp_of(ecost_sim::Frequency::F1_2, ecost_mapreduce::BlockSize::B64);
+        let best_h = ecost_mapreduce::BlockSize::ALL
+            .iter()
+            .map(|h| edp_of(ecost_sim::Frequency::F1_2, *h))
+            .fold(f64::INFINITY, f64::min);
+        let best_f = ecost_sim::Frequency::ALL
+            .iter()
+            .map(|f| edp_of(*f, ecost_mapreduce::BlockSize::B64))
+            .fold(f64::INFINITY, f64::min);
+        let best_hf = ecost_sim::Frequency::ALL
+            .iter()
+            .flat_map(|f| ecost_mapreduce::BlockSize::ALL.iter().map(move |h| (f, h)))
+            .map(|(f, h)| edp_of(*f, *h))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  m={m}: improv h-only={:5.1}%  f-only={:5.1}%  h+f={:5.1}%  (h+f vs best single: {:4.1}%)",
+            100.0 * (1.0 - best_h / base),
+            100.0 * (1.0 - best_f / base),
+            100.0 * (1.0 - best_hf / base),
+            100.0 * (1.0 - best_hf / best_h.min(best_f)),
+        );
+    }
+}

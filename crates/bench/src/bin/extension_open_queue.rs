@@ -1,0 +1,13 @@
+//! Regenerates the open-queue extension (see DESIGN.md §8).
+
+use ecost_bench::experiments;
+use ecost_bench::harness::Ctx;
+use ecost_core::report::emit;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    for (i, table) in experiments::extension_open_queue(&mut ctx).iter().enumerate() {
+        emit(table, Ctx::results_dir(), &format!("extension_open_queue_{i}"))
+            .expect("write results");
+    }
+}

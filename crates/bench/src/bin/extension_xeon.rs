@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `extension_xeon` (see DESIGN.md §5).
+
+use ecost_bench::experiments;
+use ecost_bench::harness::Ctx;
+use ecost_core::report::emit;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    for (i, table) in experiments::extension_xeon(&mut ctx).iter().enumerate() {
+        emit(table, Ctx::results_dir(), &format!("extension_xeon_{i}"))
+            .expect("write results");
+    }
+}

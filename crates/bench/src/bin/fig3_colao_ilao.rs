@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `fig3_colao_ilao` (see DESIGN.md §5).
+
+use ecost_bench::experiments;
+use ecost_bench::harness::Ctx;
+use ecost_core::report::emit;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    for (i, table) in experiments::fig3_colao_ilao(&mut ctx).iter().enumerate() {
+        emit(table, Ctx::results_dir(), &format!("fig3_colao_ilao_{i}"))
+            .expect("write results");
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `fig5_priority` (see DESIGN.md §5).
+
+use ecost_bench::experiments;
+use ecost_bench::harness::Ctx;
+use ecost_core::report::emit;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    for (i, table) in experiments::fig5_priority(&mut ctx).iter().enumerate() {
+        emit(table, Ctx::results_dir(), &format!("fig5_priority_{i}"))
+            .expect("write results");
+    }
+}

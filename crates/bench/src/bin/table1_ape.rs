@@ -1,0 +1,13 @@
+//! Regenerates the paper artifact `table1_ape` (see DESIGN.md §5).
+
+use ecost_bench::experiments;
+use ecost_bench::harness::Ctx;
+use ecost_core::report::emit;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    for (i, table) in experiments::table1_ape(&mut ctx).iter().enumerate() {
+        emit(table, Ctx::results_dir(), &format!("table1_ape_{i}"))
+            .expect("write results");
+    }
+}

@@ -1,0 +1,262 @@
+//! Shared experiment context: testbed, database, training data, fitted
+//! models and their measured costs.
+
+use ecost_apps::{App, InputSize, TRAINING_APPS};
+use ecost_core::classify::{KnnAppClassifier, RuleClassifier};
+use ecost_core::database::ConfigDatabase;
+use ecost_core::features::{profile_catalog_app, Testbed};
+use ecost_core::oracle::SweepCache;
+use ecost_core::stp::training::{build_training_data, TrainingData};
+use ecost_core::stp::{LktStp, MlmStp, Stp};
+use ecost_ml::{LinearRegression, Mlp, MlpConfig, RepTree, RepTreeConfig};
+use std::time::Instant;
+
+/// Root seed for every experiment (reproducible end to end).
+pub const SEED: u64 = ecost_sim::rng::DEFAULT_SEED;
+
+/// Counter measurement noise used throughout (±3 %).
+pub const NOISE: f64 = 0.03;
+
+/// Measured wall-clock training costs, seconds (Fig 8's left panel).
+#[derive(Debug, Clone, Default)]
+pub struct TrainTimes {
+    /// LkT: the database construction (exhaustive sweeps).
+    pub lkt_s: f64,
+    /// Linear regression fits.
+    pub lr_s: f64,
+    /// REPTree fits.
+    pub reptree_s: f64,
+    /// MLP fits.
+    pub mlp_s: f64,
+}
+
+/// The lazily-built experiment context.
+pub struct Ctx {
+    /// Hardware + framework.
+    pub tb: Testbed,
+    /// Shared sweep memo.
+    pub cache: SweepCache,
+    /// Quick mode (ECOST_QUICK=1): subsampled training, fewer MLP epochs.
+    pub quick: bool,
+    db: Option<ConfigDatabase>,
+    training: Option<TrainingData>,
+    training_mlp: Option<TrainingData>,
+    models: Option<Models>,
+    train_times: TrainTimes,
+}
+
+/// The four fitted STP techniques.
+pub struct Models {
+    /// Lookup table.
+    pub lkt: LktStp,
+    /// Linear-regression MLM.
+    pub lr: MlmStp<LinearRegression>,
+    /// REPTree MLM (the paper's preferred model).
+    pub reptree: MlmStp<RepTree>,
+    /// MLP MLM.
+    pub mlp: MlmStp<Mlp>,
+}
+
+impl Models {
+    /// The techniques as trait objects, in the paper's reporting order.
+    pub fn all(&self) -> [(&str, &dyn Stp); 4] {
+        [
+            ("LkT", &self.lkt as &dyn Stp),
+            ("LR", &self.lr as &dyn Stp),
+            ("MLP", &self.mlp as &dyn Stp),
+            ("REPTree", &self.reptree as &dyn Stp),
+        ]
+    }
+}
+
+impl Ctx {
+    /// Fresh context on the Atom testbed.
+    pub fn new() -> Ctx {
+        let quick = std::env::var("ECOST_QUICK").map_or(false, |v| v == "1");
+        Ctx {
+            tb: Testbed::atom(),
+            cache: SweepCache::new(),
+            quick,
+            db: None,
+            training: None,
+            training_mlp: None,
+            models: None,
+            train_times: TrainTimes::default(),
+        }
+    }
+
+    /// The database (built on first use).
+    pub fn db(&mut self) -> &ConfigDatabase {
+        if self.db.is_none() {
+            eprintln!("[harness] building the §6.2 database (exhaustive training sweeps)…");
+            let db = ConfigDatabase::build(&self.tb, &self.cache, NOISE, SEED);
+            eprintln!(
+                "[harness] database ready: {} pair entries, {} solo entries, {:.1}s",
+                db.pairs.len(),
+                db.solos.len(),
+                db.build_seconds
+            );
+            // LkT's offline cost is the brute-force sweeping, wherever it
+            // happened first (an earlier experiment may have warmed the
+            // shared cache).
+            self.train_times.lkt_s = db.build_seconds.max(self.cache.sweep_seconds());
+            self.db = Some(db);
+        }
+        self.db.as_ref().expect("just built")
+    }
+
+    fn sig_fn(&self) -> impl Fn(App, InputSize) -> [f64; 9] {
+        let sigs: Vec<([f64; 9], App, InputSize)> = self
+            .db
+            .as_ref()
+            .expect("db built")
+            .solos
+            .iter()
+            .map(|s| (s.sig, s.app, s.size))
+            .collect();
+        move |app: App, size: InputSize| -> [f64; 9] {
+            sigs.iter()
+                .find(|(_, a, s)| *a == app && *s == size)
+                .expect("training app profiled in db")
+                .0
+        }
+    }
+
+    /// Per-class-pair training data for LR/REPTree — dense config coverage
+    /// (they are cheap to fit and need fine resolution near the optimum).
+    pub fn training(&mut self) -> &TrainingData {
+        if self.training.is_none() {
+            let configs = if self.quick { 400 } else { 3000 };
+            self.db();
+            let sig_of = self.sig_fn();
+            eprintln!("[harness] building dense training data…");
+            let data = build_training_data(&self.tb, &self.cache, &sig_of, configs, SEED);
+            let rows: usize = data.values().map(|d| d.len()).sum();
+            eprintln!("[harness] dense training data: {rows} rows / {} class pairs", data.len());
+            self.training = Some(data);
+        }
+        self.training.as_ref().expect("just built")
+    }
+
+    /// Sub-sampled training data for the MLP (SGD epochs over the full grid
+    /// would dominate wall time; the paper's MLP is the slow model too).
+    pub fn training_mlp(&mut self) -> &TrainingData {
+        if self.training_mlp.is_none() {
+            let configs = if self.quick { 200 } else { 1000 };
+            self.db();
+            let sig_of = self.sig_fn();
+            let data = build_training_data(&self.tb, &self.cache, &sig_of, configs, SEED ^ 0x11);
+            self.training_mlp = Some(data);
+        }
+        self.training_mlp.as_ref().expect("just built")
+    }
+
+    /// The labelled training signatures → classifier.
+    pub fn rule_classifier(&mut self) -> RuleClassifier {
+        self.db();
+        RuleClassifier::fit(&self.db.as_ref().expect("built").signatures)
+    }
+
+    /// k-NN classifier over the same signatures.
+    pub fn knn_classifier(&mut self) -> KnnAppClassifier {
+        self.db();
+        KnnAppClassifier::fit(&self.db.as_ref().expect("built").signatures)
+    }
+
+    /// All four fitted STP techniques (trained on first use; timing recorded).
+    pub fn models(&mut self) -> &Models {
+        if self.models.is_none() {
+            let knn = self.knn_classifier();
+            let mlp_cfg = if self.quick {
+                MlpConfig {
+                    hidden: vec![24],
+                    epochs: 60,
+                    ..MlpConfig::default()
+                }
+            } else {
+                MlpConfig {
+                    hidden: vec![64, 32],
+                    epochs: 420,
+                    learning_rate: 0.02,
+                    lr_decay: 0.994,
+                    batch: 48,
+                    ..MlpConfig::default()
+                }
+            };
+            // Fine-grained trees: the EDP surface is spiky in the knobs
+            // (wave-tail quantisation), so resolution beats smoothing.
+            let tree_cfg = RepTreeConfig {
+                max_depth: 32,
+                min_samples_split: 4,
+                min_samples_leaf: 1,
+                prune_fraction: 0.1,
+                ..RepTreeConfig::default()
+            };
+            self.training();
+            self.training_mlp();
+            let db = self.db.as_ref().expect("built");
+            let training = self.training.as_ref().expect("built");
+            let training_mlp = self.training_mlp.as_ref().expect("built");
+
+            eprintln!("[harness] training models…");
+            let lkt = LktStp::from_database(db);
+
+            let t0 = Instant::now();
+            let lr = MlmStp::train(training, knn.clone(), "LR", LinearRegression::new);
+            self.train_times.lr_s = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let reptree = MlmStp::train(training, knn.clone(), "REPTree", || {
+                RepTree::new(tree_cfg.clone())
+            });
+            self.train_times.reptree_s = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let mlp = MlmStp::train(training_mlp, knn, "MLP", || Mlp::new(mlp_cfg.clone()));
+            self.train_times.mlp_s = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "[harness] models ready (LR {:.2}s, REPTree {:.2}s, MLP {:.1}s)",
+                self.train_times.lr_s, self.train_times.reptree_s, self.train_times.mlp_s
+            );
+
+            self.models = Some(Models {
+                lkt,
+                lr,
+                reptree,
+                mlp,
+            });
+        }
+        self.models.as_ref().expect("just built")
+    }
+
+    /// Measured training times (valid after [`Ctx::models`]).
+    pub fn train_times(&self) -> &TrainTimes {
+        &self.train_times
+    }
+
+    /// Profile a catalog app at the experiment noise/seed.
+    pub fn signature(&self, app: App, size: InputSize) -> ecost_core::features::AppSignature {
+        profile_catalog_app(&self.tb, app, size, NOISE, SEED)
+    }
+
+    /// Results directory (`results/` beside the workspace root).
+    pub fn results_dir() -> std::path::PathBuf {
+        let dir = std::env::var("ECOST_RESULTS").unwrap_or_else(|_| "results".into());
+        std::path::PathBuf::from(dir)
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx::new()
+    }
+}
+
+/// The training apps' class coverage, for report footers.
+pub fn training_roster() -> String {
+    TRAINING_APPS
+        .iter()
+        .map(|a| format!("{}[{}]", a.name(), a.class()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

@@ -1,0 +1,14 @@
+//! Experiment harness for the ECoST reproduction.
+//!
+//! Each paper table/figure has a function in [`experiments`] that computes it
+//! and returns renderable tables; the `src/bin/*` binaries are thin wrappers
+//! that print them and write `results/<name>.{txt,csv}`. The shared
+//! [`harness::Ctx`] builds the expensive artifacts (database, training data,
+//! fitted models) once and memoises them across experiments, mirroring the
+//! paper's offline phase.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;

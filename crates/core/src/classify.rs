@@ -1,0 +1,220 @@
+//! Step 1 of ECoST (§5/§6.1): classify an unknown incoming application.
+//!
+//! Two interchangeable implementations:
+//!
+//! * [`RuleClassifier`] — the paper's threshold logic ("the CPU user
+//!   utilisation of wordcount is higher than the average … with low CPU
+//!   iowait … this application is categorised as compute intensive"),
+//!   with thresholds derived from the training applications' signatures;
+//! * [`KnnAppClassifier`] — nearest-signature voting over the training set,
+//!   the same mechanism LkT-STP uses for retrieval.
+
+use crate::features::AppSignature;
+use ecost_apps::AppClass;
+use ecost_mapreduce::{Feature, FeatureVector};
+use ecost_ml::model::Classifier as _;
+use ecost_ml::KnnClassifier;
+
+/// Threshold-rule classifier (§6.1).
+#[derive(Debug, Clone)]
+pub struct RuleClassifier {
+    /// LLC MPKI above this → memory-bound.
+    pub llc_threshold: f64,
+    /// CPUiowait above this (with I/O bandwidth above `io_threshold`) → I/O-bound.
+    pub iowait_threshold: f64,
+    /// Disk bandwidth (read+write MB/s) qualifying as "high I/O".
+    pub io_threshold: f64,
+    /// CPUuser above this → compute-bound.
+    pub user_threshold: f64,
+}
+
+impl RuleClassifier {
+    /// Derive thresholds from labelled training signatures: each threshold
+    /// is the geometric midpoint between the classes it separates.
+    pub fn fit(training: &[(AppSignature, AppClass)]) -> RuleClassifier {
+        assert!(!training.is_empty(), "need training signatures");
+        let stat = |f: Feature, class_in: &dyn Fn(AppClass) -> bool, max_side: bool| -> f64 {
+            let vals: Vec<f64> = training
+                .iter()
+                .filter(|(_, c)| class_in(*c))
+                .map(|(s, _)| s.features.get(f).max(1e-6))
+                .collect();
+            if vals.is_empty() {
+                return f64::NAN;
+            }
+            if max_side {
+                vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                vals.iter().copied().fold(f64::INFINITY, f64::min)
+            }
+        };
+        let geo_mid = |a: f64, b: f64, fallback: f64| -> f64 {
+            if a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0 {
+                (a * b).sqrt()
+            } else {
+                fallback
+            }
+        };
+
+        // M is separated by LLC MPKI: highest non-M vs lowest M.
+        let llc_threshold = geo_mid(
+            stat(Feature::LlcMpki, &|c| c != AppClass::M, true),
+            stat(Feature::LlcMpki, &|c| c == AppClass::M, false),
+            8.0,
+        );
+        // I is separated by iowait: highest non-I (C/H/M all compute enough
+        // to keep iowait moderate) vs lowest I.
+        let iowait_threshold = geo_mid(
+            stat(Feature::CpuIowait, &|c| matches!(c, AppClass::C | AppClass::H), true),
+            stat(Feature::CpuIowait, &|c| c == AppClass::I, false),
+            45.0,
+        );
+        // C is separated from H by CPUuser: hybrids burn real CPU too, so
+        // the boundary is highest-H vs lowest-C (not I vs C).
+        let user_threshold = geo_mid(
+            stat(Feature::CpuUser, &|c| matches!(c, AppClass::H | AppClass::I), true),
+            stat(Feature::CpuUser, &|c| c == AppClass::C, false),
+            82.0,
+        );
+        RuleClassifier {
+            llc_threshold,
+            iowait_threshold,
+            io_threshold: 15.0,
+            user_threshold,
+        }
+    }
+
+    /// Classify a signature.
+    pub fn classify(&self, v: &FeatureVector) -> AppClass {
+        let io_bw = v.get(Feature::IoReadMbps) + v.get(Feature::IoWriteMbps);
+        if v.get(Feature::LlcMpki) >= self.llc_threshold {
+            AppClass::M
+        } else if v.get(Feature::CpuIowait) >= self.iowait_threshold && io_bw >= self.io_threshold {
+            AppClass::I
+        } else if v.get(Feature::CpuUser) >= self.user_threshold {
+            AppClass::C
+        } else {
+            AppClass::H
+        }
+    }
+}
+
+/// k-NN classifier over the 7 selected features.
+#[derive(Debug, Clone)]
+pub struct KnnAppClassifier {
+    knn: KnnClassifier,
+}
+
+impl KnnAppClassifier {
+    /// Fit on labelled training signatures.
+    pub fn fit(training: &[(AppSignature, AppClass)]) -> KnnAppClassifier {
+        assert!(!training.is_empty());
+        let rows: Vec<Vec<f64>> = training.iter().map(|(s, _)| s.selected().to_vec()).collect();
+        let labels: Vec<usize> = training.iter().map(|(_, c)| class_index(*c)).collect();
+        let k = 3.min(rows.len());
+        let mut knn = KnnClassifier::new(k);
+        knn.fit(&rows, &labels);
+        KnnAppClassifier { knn }
+    }
+
+    /// Classify a signature.
+    pub fn classify(&self, v: &FeatureVector) -> AppClass {
+        index_class(self.knn.predict(&v.selected()))
+    }
+}
+
+fn class_index(c: AppClass) -> usize {
+    AppClass::ALL.iter().position(|x| *x == c).expect("in ALL")
+}
+
+fn index_class(i: usize) -> AppClass {
+    AppClass::ALL[i]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{profile_catalog_app, Testbed};
+    use ecost_apps::catalog::{ALL_APPS, TRAINING_APPS};
+    use ecost_apps::InputSize;
+
+    fn training_signatures(tb: &Testbed) -> Vec<(AppSignature, AppClass)> {
+        let mut v = Vec::new();
+        for app in TRAINING_APPS {
+            for size in InputSize::ALL {
+                v.push((profile_catalog_app(tb, app, size, 0.02, 7), app.class()));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn rules_recover_all_training_labels() {
+        let tb = Testbed::atom();
+        let training = training_signatures(&tb);
+        let rc = RuleClassifier::fit(&training);
+        for (sig, class) in &training {
+            assert_eq!(rc.classify(&sig.features), *class, "{}", sig.profile.name);
+        }
+    }
+
+    #[test]
+    fn rules_classify_unknown_apps_correctly() {
+        // The §7 scenario: classify the six test applications the
+        // classifier has never seen.
+        let tb = Testbed::atom();
+        let rc = RuleClassifier::fit(&training_signatures(&tb));
+        let mut hits = 0;
+        let mut total = 0;
+        for app in ALL_APPS {
+            for size in InputSize::ALL {
+                let sig = profile_catalog_app(&tb, app, size, 0.02, 42);
+                total += 1;
+                if rc.classify(&sig.features) == app.class() {
+                    hits += 1;
+                }
+            }
+        }
+        // Expect near-perfect accuracy; allow one marginal hybrid miss.
+        assert!(hits >= total - 2, "{hits}/{total}");
+    }
+
+    #[test]
+    fn knn_matches_ground_truth_on_test_apps() {
+        let tb = Testbed::atom();
+        let knn = KnnAppClassifier::fit(&training_signatures(&tb));
+        let mut hits = 0;
+        let mut total = 0;
+        for app in ecost_apps::TEST_APPS {
+            for size in InputSize::ALL {
+                let sig = profile_catalog_app(&tb, app, size, 0.02, 11);
+                total += 1;
+                if knn.classify(&sig.features) == app.class() {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits >= total - 2, "{hits}/{total}");
+    }
+
+    #[test]
+    fn classifiers_handle_synthetic_apps() {
+        use ecost_apps::synth::synth_app_named;
+        let tb = Testbed::atom();
+        let rc = RuleClassifier::fit(&training_signatures(&tb));
+        let mut rng = ecost_sim::rng::stream(3, "synthclass");
+        let mut hits = 0;
+        let mut total = 0;
+        for class in AppClass::ALL {
+            for _ in 0..3 {
+                let p = synth_app_named(&mut rng, class, "syn");
+                let sig = crate::features::profile_app(&tb, &p, 5120.0, 0.02, 5);
+                total += 1;
+                if rc.classify(&sig.features) == class {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits as f64 >= 0.75 * total as f64, "{hits}/{total}");
+    }
+}

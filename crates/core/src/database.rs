@@ -1,0 +1,414 @@
+//! The database of §6.2: best configurations for the known applications.
+//!
+//! Built once, offline, from exhaustive sweeps over the training set (the
+//! paper's 84 480-run study); stores, per same-size training pair, the
+//! winning pair configuration together with both applications' counter
+//! signatures, plus each application's best standalone configuration. STP
+//! queries it instead of re-running brute force for every unknown arrival.
+
+use crate::features::{profile_catalog_app, AppSignature, Testbed};
+use crate::oracle::{best_solo, SweepCache};
+use ecost_apps::class::ClassPair;
+use ecost_apps::{App, AppClass, InputSize, TRAINING_APPS};
+use ecost_mapreduce::{PairConfig, TuningConfig};
+use std::time::Instant;
+
+/// One co-located entry.
+#[derive(Debug, Clone)]
+pub struct PairEntry {
+    /// Training applications (paper short names).
+    pub a: App,
+    /// Second application.
+    pub b: App,
+    /// Input size (same for both, as in Fig 3).
+    pub size: InputSize,
+    /// Class pair.
+    pub classes: ClassPair,
+    /// Signature keys (7 counters + magnitude anchors) at this size.
+    pub sig_a: [f64; 9],
+    /// Signature of the second application.
+    pub sig_b: [f64; 9],
+    /// The oracle-optimal pair configuration.
+    pub config: PairConfig,
+    /// Its wall EDP (s²·W).
+    pub edp_wall: f64,
+}
+
+/// One standalone entry (ILAO's building block, also used by PTM).
+#[derive(Debug, Clone)]
+pub struct SoloEntry {
+    /// Application.
+    pub app: App,
+    /// Input size.
+    pub size: InputSize,
+    /// Signature at this size.
+    pub sig: [f64; 9],
+    /// Best standalone configuration.
+    pub config: TuningConfig,
+    /// Its wall EDP.
+    pub edp_wall: f64,
+    /// Its execution time (scheduling estimate).
+    pub exec_time_s: f64,
+}
+
+/// The §6.2 database.
+#[derive(Debug, Clone)]
+pub struct ConfigDatabase {
+    /// All same-size training pairs × sizes.
+    pub pairs: Vec<PairEntry>,
+    /// All training apps × sizes, standalone.
+    pub solos: Vec<SoloEntry>,
+    /// Labelled training signatures (classifier training set).
+    pub signatures: Vec<(AppSignature, AppClass)>,
+    /// Wall-clock seconds the exhaustive construction took — the paper
+    /// reports this as LkT's (one-off) training cost in Fig 8.
+    pub build_seconds: f64,
+}
+
+impl ConfigDatabase {
+    /// Build the database over the training applications and all three
+    /// input sizes. `noise`/`seed` control the counter measurement jitter.
+    pub fn build(tb: &Testbed, cache: &SweepCache, noise: f64, seed: u64) -> ConfigDatabase {
+        let start = Instant::now();
+        let idle = tb.idle_w();
+
+        let mut signatures = Vec::new();
+        for app in TRAINING_APPS {
+            for size in InputSize::ALL {
+                signatures.push((profile_catalog_app(tb, app, size, noise, seed), app.class()));
+            }
+        }
+        let sig_of = |app: App, size: InputSize| -> [f64; 9] {
+            signatures
+                .iter()
+                .find(|(s, _)| s.profile.name == app.name() && s.input_mb == size.per_node_mb())
+                .expect("profiled above")
+                .0
+                .key()
+        };
+
+        let mut solos = Vec::new();
+        for app in TRAINING_APPS {
+            for size in InputSize::ALL {
+                let run = best_solo(tb, app.profile(), size.per_node_mb());
+                solos.push(SoloEntry {
+                    app,
+                    size,
+                    sig: sig_of(app, size),
+                    config: run.config,
+                    edp_wall: run.metrics.edp_wall(idle),
+                    exec_time_s: run.metrics.exec_time_s,
+                });
+            }
+        }
+
+        let mut pairs = Vec::new();
+        for (i, &a) in TRAINING_APPS.iter().enumerate() {
+            for &b in &TRAINING_APPS[i..] {
+                for size in InputSize::ALL {
+                    let mb = size.per_node_mb();
+                    let run = cache.best_pair(tb, a.profile(), mb, b.profile(), mb);
+                    pairs.push(PairEntry {
+                        a,
+                        b,
+                        size,
+                        classes: ClassPair::new(a.class(), b.class()),
+                        sig_a: sig_of(a, size),
+                        sig_b: sig_of(b, size),
+                        config: run.config,
+                        edp_wall: run.metrics.edp_wall(idle),
+                    });
+                }
+            }
+        }
+
+        ConfigDatabase {
+            pairs,
+            solos,
+            signatures,
+            build_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Look up the standalone entry whose signature is nearest to `sig`
+    /// (z-scored distance over the stored solos) — PTM's tuning step.
+    pub fn nearest_solo(&self, sig: &[f64; 9]) -> &SoloEntry {
+        assert!(!self.solos.is_empty(), "empty database");
+        let rows: Vec<Vec<f64>> = self.solos.iter().map(|s| s.sig.to_vec()).collect();
+        let scaler = ecost_ml::ZScore::fit(&rows);
+        let q = scaler.transform(sig);
+        let idx = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let d = ecost_ml::knn::euclidean(&scaler.transform(r), &q);
+                (i, d)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty")
+            .0;
+        &self.solos[idx]
+    }
+
+    /// The per-class-pair minimum EDP over stored entries (the raw material
+    /// for Fig 5's ranking).
+    pub fn class_pair_best_edp(&self, classes: ClassPair) -> Option<f64> {
+        self.pairs
+            .iter()
+            .filter(|p| p.classes == classes)
+            .map(|p| p.edp_wall)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Serialise the sweep results (solos + pairs) to a plain-text format.
+    ///
+    /// The labelled signatures are *not* persisted — they are re-measured in
+    /// seconds and carry the full application profile, which belongs to the
+    /// run, not the database.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("ecost-db v1\n");
+        let cfg = |c: &TuningConfig| format!("{} {} {}", c.freq.index(), c.block.index(), c.mappers);
+        let nums = |v: &[f64]| v.iter().map(|x| format!("{x:.6e}")).collect::<Vec<_>>().join(" ");
+        for e in &self.solos {
+            let _ = writeln!(
+                s,
+                "solo {} {} | {} | {} | {:.6e} {:.6e}",
+                e.app.name(),
+                e.size.index(),
+                nums(&e.sig),
+                cfg(&e.config),
+                e.edp_wall,
+                e.exec_time_s
+            );
+        }
+        for e in &self.pairs {
+            let _ = writeln!(
+                s,
+                "pair {} {} {} | {} | {} | {} {} | {:.6e}",
+                e.a.name(),
+                e.b.name(),
+                e.size.index(),
+                nums(&e.sig_a),
+                nums(&e.sig_b),
+                cfg(&e.config.a),
+                cfg(&e.config.b),
+                e.edp_wall
+            );
+        }
+        s
+    }
+
+    /// Parse the format produced by [`ConfigDatabase::to_text`].
+    pub fn from_text(text: &str) -> Result<ConfigDatabase, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty database file")?;
+        if header.trim() != "ecost-db v1" {
+            return Err(format!("unknown database header: {header}"));
+        }
+        let parse_cfg = |tok: &str| -> Result<TuningConfig, String> {
+            let parts: Vec<&str> = tok.split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(format!("bad config: {tok}"));
+            }
+            let freq = ecost_sim::Frequency::from_index(
+                parts[0].parse().map_err(|e| format!("freq: {e}"))?,
+            )
+            .ok_or("bad freq index")?;
+            let blocks = ecost_mapreduce::BlockSize::ALL;
+            let bi: usize = parts[1].parse().map_err(|e| format!("block: {e}"))?;
+            let block = *blocks.get(bi).ok_or("bad block index")?;
+            let mappers = parts[2].parse().map_err(|e| format!("mappers: {e}"))?;
+            Ok(TuningConfig { freq, block, mappers })
+        };
+        let parse_sig = |tok: &str| -> Result<[f64; 9], String> {
+            let vals: Result<Vec<f64>, _> = tok.split_whitespace().map(str::parse).collect();
+            let vals = vals.map_err(|e| format!("sig: {e}"))?;
+            vals.try_into().map_err(|_| "sig arity".to_string())
+        };
+        let parse_size = |tok: &str| -> Result<InputSize, String> {
+            let i: usize = tok.parse().map_err(|e| format!("size: {e}"))?;
+            InputSize::ALL.get(i).copied().ok_or_else(|| "bad size index".into())
+        };
+        let parse_app = |tok: &str| -> Result<App, String> {
+            App::from_name(tok).ok_or_else(|| format!("unknown app {tok}"))
+        };
+
+        let mut db = ConfigDatabase {
+            pairs: Vec::new(),
+            solos: Vec::new(),
+            signatures: Vec::new(),
+            build_seconds: 0.0,
+        };
+        for (no, line) in lines.enumerate() {
+            let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+            let head: Vec<&str> = fields[0].split_whitespace().collect();
+            let err = |what: &str| format!("line {}: {what}", no + 2);
+            match head.first() {
+                Some(&"solo") => {
+                    if fields.len() != 4 || head.len() != 3 {
+                        return Err(err("malformed solo record"));
+                    }
+                    let tail: Vec<&str> = fields[3].split_whitespace().collect();
+                    if tail.len() != 2 {
+                        return Err(err("solo tail"));
+                    }
+                    let app = parse_app(head[1]).map_err(|e| err(&e))?;
+                    db.solos.push(SoloEntry {
+                        app,
+                        size: parse_size(head[2]).map_err(|e| err(&e))?,
+                        sig: parse_sig(fields[1]).map_err(|e| err(&e))?,
+                        config: parse_cfg(fields[2]).map_err(|e| err(&e))?,
+                        edp_wall: tail[0].parse().map_err(|_| err("edp"))?,
+                        exec_time_s: tail[1].parse().map_err(|_| err("time"))?,
+                    });
+                }
+                Some(&"pair") => {
+                    if fields.len() != 5 || head.len() != 4 {
+                        return Err(err("malformed pair record"));
+                    }
+                    let cfgs: Vec<&str> = fields[3].split_whitespace().collect();
+                    if cfgs.len() != 6 {
+                        return Err(err("pair configs"));
+                    }
+                    let a = parse_app(head[1]).map_err(|e| err(&e))?;
+                    let b = parse_app(head[2]).map_err(|e| err(&e))?;
+                    db.pairs.push(PairEntry {
+                        a,
+                        b,
+                        size: parse_size(head[3]).map_err(|e| err(&e))?,
+                        classes: ClassPair::new(a.class(), b.class()),
+                        sig_a: parse_sig(fields[1]).map_err(|e| err(&e))?,
+                        sig_b: parse_sig(fields[2]).map_err(|e| err(&e))?,
+                        config: PairConfig {
+                            a: parse_cfg(&cfgs[..3].join(" ")).map_err(|e| err(&e))?,
+                            b: parse_cfg(&cfgs[3..].join(" ")).map_err(|e| err(&e))?,
+                        },
+                        edp_wall: fields[4].parse().map_err(|_| err("edp"))?,
+                    });
+                }
+                _ => return Err(err("unknown record kind")),
+            }
+        }
+        Ok(db)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Read from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<ConfigDatabase> {
+        let text = std::fs::read_to_string(path)?;
+        ConfigDatabase::from_text(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature database (2 apps × 1 size) — full builds are exercised by
+    /// the experiment binaries; tests keep it small.
+    fn mini_db(tb: &Testbed) -> ConfigDatabase {
+        let cache = SweepCache::new();
+        let idle = tb.idle_w();
+        let apps = [App::Wc, App::St];
+        let size = InputSize::Small;
+        let mut signatures = Vec::new();
+        for app in apps {
+            signatures.push((profile_catalog_app(tb, app, size, 0.0, 0), app.class()));
+        }
+        let mut solos = Vec::new();
+        for (i, app) in apps.iter().enumerate() {
+            let run = best_solo(tb, app.profile(), size.per_node_mb());
+            solos.push(SoloEntry {
+                app: *app,
+                size,
+                sig: signatures[i].0.key(),
+                config: run.config,
+                edp_wall: run.metrics.edp_wall(idle),
+                exec_time_s: run.metrics.exec_time_s,
+            });
+        }
+        let run = cache.best_pair(
+            tb,
+            App::Wc.profile(),
+            size.per_node_mb(),
+            App::St.profile(),
+            size.per_node_mb(),
+        );
+        let pairs = vec![PairEntry {
+            a: App::Wc,
+            b: App::St,
+            size,
+            classes: ClassPair::new(AppClass::C, AppClass::I),
+            sig_a: signatures[0].0.key(),
+            sig_b: signatures[1].0.key(),
+            config: run.config,
+            edp_wall: run.metrics.edp_wall(idle),
+        }];
+        ConfigDatabase {
+            pairs,
+            solos,
+            signatures,
+            build_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn nearest_solo_retrieves_own_entry() {
+        let tb = Testbed::atom();
+        let db = mini_db(&tb);
+        let hit = db.nearest_solo(&db.solos[1].sig);
+        assert_eq!(hit.app, App::St);
+    }
+
+    #[test]
+    fn class_pair_lookup() {
+        let tb = Testbed::atom();
+        let db = mini_db(&tb);
+        assert!(db
+            .class_pair_best_edp(ClassPair::new(AppClass::C, AppClass::I))
+            .is_some());
+        assert!(db
+            .class_pair_best_edp(ClassPair::new(AppClass::M, AppClass::M))
+            .is_none());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let tb = Testbed::atom();
+        let db = mini_db(&tb);
+        let text = db.to_text();
+        let back = ConfigDatabase::from_text(&text).expect("parse own output");
+        assert_eq!(back.solos.len(), db.solos.len());
+        assert_eq!(back.pairs.len(), db.pairs.len());
+        assert_eq!(back.pairs[0].config, db.pairs[0].config);
+        assert_eq!(back.solos[1].config, db.solos[1].config);
+        assert!((back.pairs[0].edp_wall - db.pairs[0].edp_wall).abs() / db.pairs[0].edp_wall < 1e-5);
+        for (x, y) in back.solos[0].sig.iter().zip(db.solos[0].sig) {
+            assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(ConfigDatabase::from_text("").is_err());
+        assert!(ConfigDatabase::from_text("wrong header\n").is_err());
+        assert!(ConfigDatabase::from_text("ecost-db v1\nbogus line\n").is_err());
+        assert!(ConfigDatabase::from_text("ecost-db v1\nsolo wc 0 | 1 2 | 0 0 1 | 1 2\n").is_err());
+    }
+
+    #[test]
+    fn pair_entries_respect_core_budget() {
+        let tb = Testbed::atom();
+        let db = mini_db(&tb);
+        for p in &db.pairs {
+            assert!(p.config.cores() <= tb.node.cores);
+            assert!(p.edp_wall > 0.0);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The "learning period" (§6.4 step 1): profile an application at a fixed
+//! reference configuration and collect its feature vector.
+//!
+//! ECoST never reads an application's ground-truth profile — everything
+//! downstream (classification, pairing, tuning) sees only the counter
+//! signature gathered here, exactly as the real system only sees Perf/dstat
+//! output.
+
+use ecost_apps::{App, AppProfile, InputSize};
+use ecost_mapreduce::config::BlockSize;
+use ecost_mapreduce::executor::run_standalone;
+use ecost_mapreduce::{FeatureVector, FrameworkSpec, JobSpec, TuningConfig};
+use ecost_sim::{Frequency, NodeSpec};
+
+/// The fixed mid-range configuration used for profiling runs: middle block
+/// size, half the cores, second-highest frequency. Using one fixed point
+/// keeps signatures comparable across applications.
+pub const REFERENCE_CONFIG: TuningConfig = TuningConfig {
+    freq: Frequency::F2_0,
+    block: BlockSize::B256,
+    mappers: 4,
+};
+
+/// The hardware + framework pair every experiment runs against.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// Node hardware.
+    pub node: NodeSpec,
+    /// Framework constants.
+    pub fw: FrameworkSpec,
+}
+
+impl Testbed {
+    /// The paper's testbed: Atom C2758 node, stock framework model.
+    pub fn atom() -> Testbed {
+        Testbed {
+            node: NodeSpec::atom_c2758(),
+            fw: FrameworkSpec::default(),
+        }
+    }
+
+    /// Idle wall power of one node, watts (the wall-EDP constant).
+    pub fn idle_w(&self) -> f64 {
+        self.node.idle_power_w
+    }
+}
+
+/// A profiled application: its measured signature plus what ECoST knows
+/// about the job (the profile is carried along to *run* the job later, but
+/// the controller's decisions only use `features`).
+#[derive(Debug, Clone)]
+pub struct AppSignature {
+    /// Measured 14-feature vector.
+    pub features: FeatureVector,
+    /// The application's demand profile (opaque payload as far as the
+    /// controller is concerned).
+    pub profile: AppProfile,
+    /// Input the job will process on its node, MB.
+    pub input_mb: f64,
+    /// Execution time of the learning-period run, seconds. A direct
+    /// observation the scheduler gets for free, and the strongest magnitude
+    /// anchor the prediction models have.
+    pub profile_time_s: f64,
+}
+
+impl AppSignature {
+    /// The paper's 7 selected features (classifier input).
+    pub fn selected(&self) -> [f64; 7] {
+        self.features.selected()
+    }
+
+    /// The retrieval/model key: the 7 selected features extended with the
+    /// two magnitude observations, `ln(profile time)` and `ln(input MB)`.
+    /// Raw counters fingerprint *behaviour*; these two anchor *scale*, which
+    /// is what lets models trained on the known applications extrapolate to
+    /// unknown ones of different sizes.
+    pub fn key(&self) -> [f64; 9] {
+        let s = self.features.selected();
+        [
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            s[4],
+            s[5],
+            s[6],
+            self.profile_time_s.max(1e-3).ln(),
+            self.input_mb.max(1.0).ln(),
+        ]
+    }
+}
+
+/// Run the learning period for an arbitrary profile: simulate it standalone
+/// at [`REFERENCE_CONFIG`] and measure its counters with `noise` relative
+/// jitter under `seed`.
+pub fn profile_app(
+    tb: &Testbed,
+    profile: &AppProfile,
+    input_mb: f64,
+    noise: f64,
+    seed: u64,
+) -> AppSignature {
+    let job = JobSpec::from_profile(profile.clone(), input_mb, REFERENCE_CONFIG);
+    let out = run_standalone(&tb.node, &tb.fw, job).expect("profiling run");
+    let mut rng = ecost_sim::rng::stream(seed, profile.name);
+    let features = FeatureVector::measure(&out, noise, &mut rng);
+    AppSignature {
+        features,
+        profile: profile.clone(),
+        input_mb,
+        profile_time_s: out.metrics.exec_time_s,
+    }
+}
+
+/// Convenience: profile a catalog application at a standard size.
+pub fn profile_catalog_app(tb: &Testbed, app: App, size: InputSize, noise: f64, seed: u64) -> AppSignature {
+    profile_app(tb, app.profile(), size.per_node_mb(), noise, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecost_mapreduce::Feature;
+
+    #[test]
+    fn profiling_is_deterministic_per_seed() {
+        let tb = Testbed::atom();
+        let a = profile_catalog_app(&tb, App::Gp, InputSize::Small, 0.03, 1);
+        let b = profile_catalog_app(&tb, App::Gp, InputSize::Small, 0.03, 1);
+        assert_eq!(a.features, b.features);
+        let c = profile_catalog_app(&tb, App::Gp, InputSize::Small, 0.03, 2);
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    fn signatures_separate_classes() {
+        let tb = Testbed::atom();
+        let wc = profile_catalog_app(&tb, App::Wc, InputSize::Medium, 0.0, 0);
+        let st = profile_catalog_app(&tb, App::St, InputSize::Medium, 0.0, 0);
+        let fp = profile_catalog_app(&tb, App::Fp, InputSize::Medium, 0.0, 0);
+        assert!(wc.features.get(Feature::CpuUser) > 2.0 * st.features.get(Feature::CpuUser));
+        assert!(st.features.get(Feature::CpuIowait) > 2.0 * wc.features.get(Feature::CpuIowait));
+        assert!(fp.features.get(Feature::LlcMpki) > 3.0 * wc.features.get(Feature::LlcMpki));
+    }
+
+    #[test]
+    fn selected_has_seven_features() {
+        let tb = Testbed::atom();
+        let sig = profile_catalog_app(&tb, App::Ts, InputSize::Small, 0.0, 0);
+        assert_eq!(sig.selected().len(), 7);
+        assert!(sig.selected().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,48 @@
+//! # ecost-core — the ECoST controller
+//!
+//! The paper's contribution (§5–§8), implemented over the simulation
+//! substrate:
+//!
+//! * [`features`] — the "learning period": profile an incoming application at
+//!   a reference configuration and collect its counter signature;
+//! * [`classify`] — Step 1 of ECoST: label the unknown application
+//!   C/H/I/M, either with the paper's threshold rules (§6.1) or k-NN;
+//! * [`oracle`] — the brute-force machinery behind everything offline: best
+//!   standalone config (160 points), best co-located config (11 200 points),
+//!   memoised full sweeps shared by the database, the baselines and the
+//!   upper bounds;
+//! * [`database`] — §6.2's database of best configurations for the known
+//!   (training) applications;
+//! * [`stp`] — the self-tuning prediction techniques: LkT-STP (lookup table)
+//!   and MLM-STP (LR / REPTree / MLP per class pair, argmin over the config
+//!   space);
+//! * [`pairing`] — Fig 5's priority ranking and Fig 4's pairing decision
+//!   tree;
+//! * [`queue`] — the FIFO wait queue with head reservation and small-job
+//!   leap-forward;
+//! * [`strategies`] — ILAO and COLAO (§4.2);
+//! * [`mapping`] — the §8 cluster mapping policies (SM, MNM1, MNM2, SNM,
+//!   CBM, PTM, ECoST, UB) over a discrete-event cluster of `NodeSim`s;
+//! * [`report`] — plain-text table rendering for the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod database;
+pub mod features;
+pub mod mapping;
+pub mod oracle;
+pub mod pairing;
+pub mod queue;
+pub mod report;
+pub mod stp;
+pub mod strategies;
+
+pub use classify::{KnnAppClassifier, RuleClassifier};
+pub use database::ConfigDatabase;
+pub use features::{profile_app, AppSignature, Testbed, REFERENCE_CONFIG};
+pub use oracle::SweepCache;
+pub use pairing::PairingPolicy;
+pub use queue::WaitQueue;
+pub use stp::{LktStp, MlmStp, Stp};

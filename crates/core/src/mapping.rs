@@ -1,0 +1,858 @@
+//! Cluster-level application mapping policies (§8 of the paper) and the
+//! discrete-event cluster scheduler that runs them.
+//!
+//! A workload is a stream of 16 applications (Table 3). An application's
+//! *total* input scales with the cluster — "10GB input data size per node
+//! presents 80GB … in an 8-node cluster" (§2.3) — so a job that spans
+//! `s` of the `n` nodes processes `size·n/s` per node.
+//!
+//! Policies (the paper's names in brackets):
+//!
+//! * [`MappingPolicy::Sm`] — Serial Mapping [NT]: one application at a time
+//!   over the whole cluster, untuned defaults.
+//! * [`MappingPolicy::Mnm1`]/[`MappingPolicy::Mnm2`] — Multi-Node Mapping
+//!   [NT]: 2 (resp. 4) applications in parallel, each on an equal share of
+//!   the nodes. On clusters smaller than the lane count they degrade to the
+//!   available parallelism.
+//! * [`MappingPolicy::Snm`] — Single Node Mapping [NT]: one application per
+//!   node, all 8 cores.
+//! * [`MappingPolicy::Cbm`] — Core Balance Mapping [NT]: two applications
+//!   per node, 4+4 cores, untuned.
+//! * [`MappingPolicy::Ptm`] — Predict Tuning Mapping [NP, T]: one
+//!   application per node, knobs predicted per application (no pairing).
+//! * [`MappingPolicy::Ecost`] — the full controller [P, T]: classify →
+//!   queue → pair (decision tree) → self-tune (STP).
+//! * [`MappingPolicy::Ub`] — upper bound: brute-force best pairing (exact
+//!   minimum-EDP perfect matching via bitmask DP) with oracle pair configs.
+
+use crate::classify::RuleClassifier;
+use crate::database::ConfigDatabase;
+use crate::features::{profile_app, AppSignature, Testbed};
+use crate::oracle::SweepCache;
+use crate::pairing::PairingPolicy;
+use crate::queue::WaitQueue;
+use crate::stp::Stp;
+use ecost_apps::{AppClass, Workload};
+use ecost_mapreduce::executor::NodeSim;
+use ecost_mapreduce::{JobSpec, TuningConfig};
+
+/// One of the §8 mapping policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingPolicy {
+    /// Serial Mapping [NT].
+    Sm,
+    /// Multi-Node Level 1 (2 lanes) [NT].
+    Mnm1,
+    /// Multi-Node Level 2 (4 lanes) [NT].
+    Mnm2,
+    /// Single Node Mapping [NT].
+    Snm,
+    /// Core Balance Mapping [NT].
+    Cbm,
+    /// Predict Tuning Mapping [NP, T].
+    Ptm,
+    /// The proposed controller [P, T].
+    Ecost,
+    /// Brute-force upper bound.
+    Ub,
+}
+
+impl MappingPolicy {
+    /// All policies in the paper's presentation order.
+    pub const ALL: [MappingPolicy; 8] = [
+        MappingPolicy::Sm,
+        MappingPolicy::Mnm1,
+        MappingPolicy::Mnm2,
+        MappingPolicy::Snm,
+        MappingPolicy::Cbm,
+        MappingPolicy::Ptm,
+        MappingPolicy::Ecost,
+        MappingPolicy::Ub,
+    ];
+
+    /// Label as used in Fig 9.
+    pub fn label(self) -> &'static str {
+        match self {
+            MappingPolicy::Sm => "SM",
+            MappingPolicy::Mnm1 => "MNM1",
+            MappingPolicy::Mnm2 => "MNM2",
+            MappingPolicy::Snm => "SNM",
+            MappingPolicy::Cbm => "CBM",
+            MappingPolicy::Ptm => "PTM",
+            MappingPolicy::Ecost => "ECoST",
+            MappingPolicy::Ub => "UB",
+        }
+    }
+}
+
+/// Result of running a workload on the cluster under one policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterRun {
+    /// Workload completion time, seconds.
+    pub makespan_s: f64,
+    /// Total dynamic energy across all nodes, joules.
+    pub energy_dyn_j: f64,
+    /// Cluster size the run used.
+    pub nodes: usize,
+}
+
+impl ClusterRun {
+    /// Wall EDP: every node draws idle power for the whole makespan.
+    pub fn edp_wall(&self, node_idle_w: f64) -> f64 {
+        let wall_energy = self.energy_dyn_j + node_idle_w * self.nodes as f64 * self.makespan_s;
+        self.makespan_s * wall_energy
+    }
+}
+
+/// Everything the tuned policies need, built once from the training set.
+pub struct EcostContext<'a> {
+    /// The §6.2 database (PTM's solo lookups, signature source).
+    pub db: &'a ConfigDatabase,
+    /// The self-tuning predictor used by ECoST.
+    pub stp: &'a dyn Stp,
+    /// Incoming-application classifier.
+    pub classifier: &'a RuleClassifier,
+    /// Pairing decision tree.
+    pub pairing: &'a PairingPolicy,
+    /// Shared sweep cache (UB).
+    pub cache: &'a SweepCache,
+    /// Counter measurement noise for the learning periods.
+    pub noise: f64,
+    /// Seed for the learning periods.
+    pub seed: u64,
+    /// Partner-selection mode (decision tree, or an ablation variant).
+    pub pairing_mode: crate::pairing::PairingMode,
+}
+
+/// A workload job prepared for cluster scheduling.
+#[derive(Clone)]
+struct Prepared {
+    sig: AppSignature,
+    class: AppClass,
+}
+
+/// Run `workload` on an `n`-node cluster under `policy`.
+///
+/// `ctx` may be `None` for the untuned policies (SM/MNM/SNM/CBM); the tuned
+/// ones (PTM/ECoST/UB) require it.
+pub fn run_policy(
+    tb: &Testbed,
+    n: usize,
+    workload: &Workload,
+    policy: MappingPolicy,
+    ctx: Option<&EcostContext<'_>>,
+) -> ClusterRun {
+    assert!(n >= 1, "need at least one node");
+    assert!(!workload.is_empty(), "empty workload");
+    match policy {
+        MappingPolicy::Sm => run_lanes(tb, n, workload, 1),
+        MappingPolicy::Mnm1 => run_lanes(tb, n, workload, 2.min(n)),
+        MappingPolicy::Mnm2 => run_lanes(tb, n, workload, 4.min(n)),
+        MappingPolicy::Snm => run_per_node(tb, n, workload, PerNodeMode::Default),
+        MappingPolicy::Cbm => run_cbm(tb, n, workload),
+        MappingPolicy::Ptm => run_per_node(
+            tb,
+            n,
+            workload,
+            PerNodeMode::Predicted(ctx.expect("PTM needs a context")),
+        ),
+        MappingPolicy::Ecost => run_ecost(tb, n, workload, ctx.expect("ECoST needs a context")),
+        MappingPolicy::Ub => run_ub(tb, n, workload, ctx.expect("UB needs a context")),
+    }
+}
+
+/// Per-node input share for a job spanning `span` of `n` nodes.
+fn share_mb(size_per_node_mb: f64, n: usize, span: usize) -> f64 {
+    size_per_node_mb * n as f64 / span as f64
+}
+
+/// SM / MNM: `lanes` groups of `n/lanes` nodes each run jobs serially.
+/// Shards within a lane are symmetric, so one representative node is
+/// simulated per job and its energy scaled by the lane's span.
+fn run_lanes(tb: &Testbed, n: usize, workload: &Workload, lanes: usize) -> ClusterRun {
+    let lanes = lanes.max(1).min(n);
+    let span = (n / lanes).max(1);
+    let cluster = ecost_sim::ClusterSpec::atom_cluster(n);
+    let remote = ecost_sim::ClusterSpec::remote_shuffle_fraction(span);
+    // Greedy: next job goes to the lane that frees up first.
+    let mut lane_time = vec![0.0_f64; lanes];
+    let mut energy = 0.0;
+    for (app, size) in &workload.jobs {
+        let lane = (0..lanes)
+            .min_by(|&a, &b| lane_time[a].partial_cmp(&lane_time[b]).expect("finite"))
+            .expect("lanes >= 1");
+        let cfg = TuningConfig::hadoop_default(tb.node.cores);
+        let job = JobSpec::from_profile(
+            app.profile().clone(),
+            share_mb(size.per_node_mb(), n, span),
+            cfg,
+        )
+        .with_remote_shuffle(remote);
+        let mut node = NodeSim::with_nic(
+            tb.node.clone(),
+            tb.fw.clone(),
+            cluster.nic_bw_mbps,
+            cluster.nic_active_power_w,
+        );
+        node.submit(job).expect("full node available");
+        node.run_to_completion().expect("simulation");
+        lane_time[lane] += node.now();
+        energy += node.energy_j() * span as f64;
+    }
+    ClusterRun {
+        makespan_s: lane_time.into_iter().fold(0.0, f64::max),
+        energy_dyn_j: energy,
+        nodes: n,
+    }
+}
+
+enum PerNodeMode<'a, 'b> {
+    /// Untuned Hadoop defaults (SNM).
+    Default,
+    /// Per-application predicted solo config (PTM).
+    Predicted(&'a EcostContext<'b>),
+}
+
+/// SNM / PTM: one application per node, jobs dispatched to the earliest-free
+/// node.
+fn run_per_node(tb: &Testbed, n: usize, workload: &Workload, mode: PerNodeMode<'_, '_>) -> ClusterRun {
+    let mut node_time = vec![0.0_f64; n];
+    let mut energy = 0.0;
+    for (app, size) in &workload.jobs {
+        let input = share_mb(size.per_node_mb(), n, 1);
+        let cfg = match &mode {
+            PerNodeMode::Default => TuningConfig::hadoop_default(tb.node.cores),
+            PerNodeMode::Predicted(ctx) => {
+                let sig = profile_app(tb, app.profile(), input, ctx.noise, ctx.seed);
+                ctx.db.nearest_solo(&sig.key()).config
+            }
+        };
+        let node = (0..n)
+            .min_by(|&a, &b| node_time[a].partial_cmp(&node_time[b]).expect("finite"))
+            .expect("n >= 1");
+        let mut sim = NodeSim::new(tb.node.clone(), tb.fw.clone());
+        sim.submit(JobSpec::from_profile(app.profile().clone(), input, cfg))
+            .expect("empty node");
+        sim.run_to_completion().expect("simulation");
+        node_time[node] += sim.now();
+        energy += sim.energy_j();
+    }
+    ClusterRun {
+        makespan_s: node_time.into_iter().fold(0.0, f64::max),
+        energy_dyn_j: energy,
+        nodes: n,
+    }
+}
+
+/// CBM: two applications per node at 4+4 cores, untuned; a finishing job is
+/// immediately replaced from the queue (FIFO).
+fn run_cbm(tb: &Testbed, n: usize, workload: &Workload) -> ClusterRun {
+    let half = (tb.node.cores / 2).max(1);
+    let cfg = TuningConfig {
+        mappers: half,
+        ..TuningConfig::hadoop_default(tb.node.cores)
+    };
+    let mut queue: std::collections::VecDeque<JobSpec> = workload
+        .jobs
+        .iter()
+        .map(|(app, size)| {
+            JobSpec::from_profile(app.profile().clone(), share_mb(size.per_node_mb(), n, 1), cfg)
+        })
+        .collect();
+    let mut nodes: Vec<NodeSim> = (0..n)
+        .map(|_| NodeSim::new(tb.node.clone(), tb.fw.clone()))
+        .collect();
+    // Initial fill: two jobs per node.
+    for node in &mut nodes {
+        for _ in 0..2 {
+            if let Some(job) = queue.pop_front() {
+                node.submit(job).expect("fits");
+            }
+        }
+    }
+    drive_cluster(&mut nodes, |node| {
+        while node.active_jobs() < 2 {
+            match queue.pop_front() {
+                Some(job) => {
+                    node.submit(job).expect("half the cores are free");
+                }
+                None => break,
+            }
+        }
+    });
+    collect(nodes, n)
+}
+
+/// How a streaming scheduler picks partners and configurations. Implemented
+/// by ECoST (classifier + decision tree + STP) and by the oracle-streamed
+/// upper bound (perfect pairing + perfect tuning).
+trait StreamPolicy {
+    /// Given the job that anchors the node (already running or just taken
+    /// from the head) and the eligible queue candidates, return the position
+    /// *within `candidates`* of the chosen partner and the full pair
+    /// configuration (`.a` for the anchor, `.b` for the partner).
+    fn pick(
+        &self,
+        anchor: &Prepared,
+        candidates: &[&Prepared],
+        cores: u32,
+    ) -> (usize, ecost_mapreduce::PairConfig);
+
+    /// Configuration for a job running alone (tail of the workload).
+    fn solo_config(&self, job: &Prepared, cores: u32) -> TuningConfig;
+}
+
+/// ECoST's decisions: partner class by the Fig 4 decision tree, knobs by STP.
+struct EcostPolicy<'a, 'b> {
+    ctx: &'a EcostContext<'b>,
+}
+
+impl StreamPolicy for EcostPolicy<'_, '_> {
+    fn pick(
+        &self,
+        anchor: &Prepared,
+        candidates: &[&Prepared],
+        cores: u32,
+    ) -> (usize, ecost_mapreduce::PairConfig) {
+        let classes: Vec<AppClass> = candidates.iter().map(|p| p.class).collect();
+        let pick = match self.ctx.pairing_mode {
+            crate::pairing::PairingMode::DecisionTree => self
+                .ctx
+                .pairing
+                .choose(&classes)
+                .expect("candidates non-empty"),
+            crate::pairing::PairingMode::Fifo => 0,
+            crate::pairing::PairingMode::Random(seed) => {
+                // Deterministic pseudo-pick from the anchor's identity.
+                let mut h = seed ^ anchor.sig.input_mb.to_bits();
+                for b in anchor.sig.profile.name.bytes() {
+                    h = h.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
+                }
+                (h as usize) % candidates.len()
+            }
+        };
+        let mut cfg = self.ctx.stp.choose(&anchor.sig, &candidates[pick].sig, cores);
+        if cfg.cores() > cores {
+            cfg.b.mappers = (cores - cfg.a.mappers.min(cores - 1)).max(1);
+        }
+        (pick, cfg)
+    }
+
+    fn solo_config(&self, job: &Prepared, _cores: u32) -> TuningConfig {
+        self.ctx.db.nearest_solo(&job.sig.key()).config
+    }
+}
+
+/// Perfect decisions (upper bound): partner and knobs from the brute-force
+/// pair oracle.
+struct OraclePolicy<'a, 'b> {
+    tb: &'a Testbed,
+    ctx: &'a EcostContext<'b>,
+}
+
+impl StreamPolicy for OraclePolicy<'_, '_> {
+    fn pick(
+        &self,
+        anchor: &Prepared,
+        candidates: &[&Prepared],
+        cores: u32,
+    ) -> (usize, ecost_mapreduce::PairConfig) {
+        let idle = self.tb.idle_w();
+        let (pick, run) = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, cand)| {
+                let run = self.ctx.cache.best_pair(
+                    self.tb,
+                    &anchor.sig.profile,
+                    anchor.sig.input_mb,
+                    &cand.sig.profile,
+                    cand.sig.input_mb,
+                );
+                (i, run)
+            })
+            .min_by(|a, b| {
+                a.1.metrics
+                    .edp_wall(idle)
+                    .partial_cmp(&b.1.metrics.edp_wall(idle))
+                    .expect("finite")
+            })
+            .expect("candidates non-empty");
+        let mut cfg = run.config;
+        if cfg.cores() > cores {
+            cfg.b.mappers = (cores - cfg.a.mappers.min(cores - 1)).max(1);
+        }
+        (pick, cfg)
+    }
+
+    fn solo_config(&self, job: &Prepared, _cores: u32) -> TuningConfig {
+        crate::oracle::best_solo(self.tb, &job.sig.profile, job.sig.input_mb).config
+    }
+}
+
+/// Shared streaming driver: two jobs per node, replacements admitted the
+/// moment a slot frees, decisions delegated to `policy`.
+fn run_stream(
+    tb: &Testbed,
+    n: usize,
+    prepared: Vec<Prepared>,
+    policy: &dyn StreamPolicy,
+) -> ClusterRun {
+    run_stream_open(tb, n, prepared, None, 2, policy)
+}
+
+/// As [`run_stream`] but with explicit arrival times (open-queue operation)
+/// and a configurable head-reservation allowance. `arrivals[i]` is the
+/// submission time of `prepared[i]`; `None` submits everything at t = 0.
+fn run_stream_open(
+    tb: &Testbed,
+    n: usize,
+    prepared: Vec<Prepared>,
+    arrivals: Option<&[f64]>,
+    max_head_skips: u32,
+    policy: &dyn StreamPolicy,
+) -> ClusterRun {
+    let cores = tb.node.cores;
+    let mut queue: WaitQueue<Prepared> = WaitQueue::new(max_head_skips);
+    // Jobs not yet arrived, soonest first; the stable sort keeps FIFO order
+    // among simultaneous arrivals.
+    let mut pending: std::collections::VecDeque<(f64, Prepared)> = {
+        let times: Vec<f64> = match arrivals {
+            Some(t) => {
+                assert_eq!(t.len(), prepared.len(), "one arrival per job");
+                t.to_vec()
+            }
+            None => vec![0.0; prepared.len()],
+        };
+        let mut v: Vec<(f64, Prepared)> = times.into_iter().zip(prepared).collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrival"));
+        v.into()
+    };
+
+    let mut nodes: Vec<NodeSim> = (0..n)
+        .map(|_| NodeSim::new(tb.node.clone(), tb.fw.clone()))
+        .collect();
+    let mut running: Vec<Vec<(ecost_mapreduce::JobHandle, Prepared, u32)>> = vec![Vec::new(); n];
+
+    let dispatch = |node: &mut NodeSim,
+                    running: &mut Vec<(ecost_mapreduce::JobHandle, Prepared, u32)>,
+                    queue: &mut WaitQueue<Prepared>| {
+        while running.len() < 2 && !queue.is_empty() && node.free_cores() >= 1 {
+            if running.is_empty() {
+                // Empty node: honour FIFO for the first job…
+                let first = queue.take(0).payload;
+                let eligible = queue.eligible();
+                if eligible.is_empty() {
+                    // Lone tail job: the whole node, solo-tuned.
+                    let solo = policy.solo_config(&first, cores);
+                    let h = node
+                        .submit(JobSpec::from_profile(
+                            first.sig.profile.clone(),
+                            first.sig.input_mb,
+                            solo,
+                        ))
+                        .expect("empty node");
+                    running.push((h, first, solo.mappers));
+                    continue;
+                }
+                let cands: Vec<&Prepared> =
+                    eligible.iter().map(|(i, _)| &queue.peek(*i).payload).collect();
+                let (pick, cfg) = policy.pick(&first, &cands, cores);
+                let second = queue.take(eligible[pick].0).payload;
+                let ha = node
+                    .submit(JobSpec::from_profile(
+                        first.sig.profile.clone(),
+                        first.sig.input_mb,
+                        cfg.a,
+                    ))
+                    .expect("empty node");
+                let hb = node
+                    .submit(JobSpec::from_profile(
+                        second.sig.profile.clone(),
+                        second.sig.input_mb,
+                        cfg.b,
+                    ))
+                    .expect("budget checked");
+                running.push((ha, first, cfg.a.mappers));
+                running.push((hb, second, cfg.b.mappers));
+            } else {
+                // One job running: pick a partner for it.
+                let eligible = queue.eligible();
+                if eligible.is_empty() {
+                    break;
+                }
+                let cands: Vec<&Prepared> =
+                    eligible.iter().map(|(i, _)| &queue.peek(*i).payload).collect();
+                let (pick, cfg) = policy.pick(&running[0].1, &cands, cores);
+                let partner = queue.take(eligible[pick].0).payload;
+                let free = node.free_cores();
+                let mut bcfg = cfg.b;
+                bcfg.mappers = bcfg.mappers.min(free).max(1);
+                let h = node
+                    .submit(JobSpec::from_profile(
+                        partner.sig.profile.clone(),
+                        partner.sig.input_mb,
+                        bcfg,
+                    ))
+                    .expect("clamped to free cores");
+                running.push((h, partner, bcfg.mappers));
+            }
+        }
+    };
+
+    let mut now = 0.0_f64;
+    // Admit everything that has arrived by `now` into the wait queue.
+    let admit = |now: f64, pending: &mut std::collections::VecDeque<(f64, Prepared)>,
+                     queue: &mut WaitQueue<Prepared>| {
+        while pending.front().is_some_and(|(t, _)| *t <= now + 1e-9) {
+            let (_, p) = pending.pop_front().expect("checked non-empty");
+            // "Small job" for the leap-forward rule = short estimated
+            // runtime; the learning-period execution time is the estimate.
+            let est = p.sig.profile_time_s;
+            let class = p.class;
+            queue.push(p, class, est);
+        }
+    };
+
+    admit(now, &mut pending, &mut queue);
+    for (node, run) in nodes.iter_mut().zip(&mut running) {
+        dispatch(node, run, &mut queue);
+    }
+    loop {
+        let mut any_active = false;
+        let mut dt = f64::INFINITY;
+        for node in &mut nodes {
+            if let Some(t) = node.time_to_next_event().expect("rates solve") {
+                any_active = true;
+                dt = dt.min(t);
+            }
+        }
+        // Next arrival can preempt the next completion; an idle cluster
+        // fast-forwards to it.
+        if let Some((t_arrive, _)) = pending.front() {
+            dt = dt.min((t_arrive - now).max(0.0));
+            any_active = true;
+        }
+        if !any_active {
+            assert!(queue.is_empty(), "jobs stranded in queue");
+            break;
+        }
+        debug_assert!(dt.is_finite());
+        for node in &mut nodes {
+            node.advance(dt).expect("advance");
+        }
+        now += dt;
+        admit(now, &mut pending, &mut queue);
+        for (node, run) in nodes.iter_mut().zip(&mut running) {
+            let finished: Vec<ecost_mapreduce::JobHandle> =
+                node.finished().iter().map(|o| o.id).collect();
+            run.retain(|(h, _, _)| !finished.contains(h));
+            dispatch(node, run, &mut queue);
+        }
+    }
+    collect(nodes, n)
+}
+
+/// Open-queue ECoST: jobs arrive over time (the §5 "new jobs are arriving
+/// to the datacenter" operation), with a configurable head-reservation
+/// allowance. Used by the open-queue extension experiment.
+pub fn run_ecost_open(
+    tb: &Testbed,
+    n: usize,
+    workload: &Workload,
+    arrivals: &[f64],
+    max_head_skips: u32,
+    ctx: &EcostContext<'_>,
+) -> ClusterRun {
+    let prepared = prepare_jobs(tb, n, workload, ctx);
+    run_stream_open(
+        tb,
+        n,
+        prepared,
+        Some(arrivals),
+        max_head_skips,
+        &EcostPolicy { ctx },
+    )
+}
+
+/// Learning period + classification for every workload job.
+fn prepare_jobs(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>) -> Vec<Prepared> {
+    workload
+        .jobs
+        .iter()
+        .map(|(app, size)| {
+            let input = share_mb(size.per_node_mb(), n, 1);
+            let sig = profile_app(tb, app.profile(), input, ctx.noise, ctx.seed);
+            let class = ctx.classifier.classify(&sig.features);
+            Prepared { sig, class }
+        })
+        .collect()
+}
+
+/// ECoST: the full classify → enqueue → pair → tune loop of §5.
+fn run_ecost(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>) -> ClusterRun {
+    let prepared = prepare_jobs(tb, n, workload, ctx);
+    run_stream(tb, n, prepared, &EcostPolicy { ctx })
+}
+
+/// UB: the better of two brute-force schedules —
+///
+/// 1. **oracle-streamed**: the same streaming scheduler ECoST uses, but with
+///    the partner chosen by the true pair oracle and every configuration the
+///    brute-forced optimum ("ECoST with a perfect predictor");
+/// 2. **matched pairs**: exact minimum-EDP perfect matching (bitmask DP) over
+///    the workload, pairs placed LPT onto nodes, each pair at its oracle
+///    configuration, pairs running back-to-back.
+///
+/// Streaming usually wins (no barrier between pairs); the matching candidate
+/// covers workloads where synchronised pairs happen to pack better.
+fn run_ub(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>) -> ClusterRun {
+    let streamed = {
+        let prepared = prepare_jobs(tb, n, workload, ctx);
+        run_stream(tb, n, prepared, &OraclePolicy { tb, ctx })
+    };
+    let matched = run_ub_matched(tb, n, workload, ctx);
+    let idle = tb.idle_w();
+    if streamed.edp_wall(idle) <= matched.edp_wall(idle) {
+        streamed
+    } else {
+        matched
+    }
+}
+
+/// The matched-pairs UB candidate (see [`run_ub`]).
+fn run_ub_matched(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>) -> ClusterRun {
+    let jobs: Vec<(ecost_apps::AppProfile, f64)> = workload
+        .jobs
+        .iter()
+        .map(|(app, size)| (app.profile().clone(), share_mb(size.per_node_mb(), n, 1)))
+        .collect();
+    let k = jobs.len();
+    assert!(k <= 20, "bitmask matching is sized for Table 3 workloads");
+    let idle = tb.idle_w();
+
+    // Pairwise oracle results (memoised by the shared cache).
+    let mut pair_best = vec![vec![None; k]; k];
+    for i in 0..k {
+        for j in i + 1..k {
+            let run = ctx
+                .cache
+                .best_pair(tb, &jobs[i].0, jobs[i].1, &jobs[j].0, jobs[j].1);
+            pair_best[i][j] = Some(run);
+        }
+    }
+    // DP over subsets: minimal total pair EDP perfect matching (odd tail: one
+    // job may stay single at its solo optimum).
+    let full: usize = (1 << k) - 1;
+    let mut dp = vec![f64::INFINITY; 1 << k];
+    let mut choice: Vec<Option<(usize, usize)>> = vec![None; 1 << k];
+    dp[0] = 0.0;
+    let solo_edp: Vec<f64> = (0..k)
+        .map(|i| {
+            crate::oracle::best_solo(tb, &jobs[i].0, jobs[i].1)
+                .metrics
+                .edp_wall(idle)
+        })
+        .collect();
+    for mask in 0..=full {
+        if dp[mask].is_infinite() {
+            continue;
+        }
+        let Some(i) = (0..k).find(|i| mask & (1 << i) == 0) else {
+            continue;
+        };
+        // Pair i with some j…
+        for j in i + 1..k {
+            if mask & (1 << j) != 0 {
+                continue;
+            }
+            let cost = pair_best[i][j]
+                .as_ref()
+                .expect("computed above")
+                .metrics
+                .edp_wall(idle);
+            let nm = mask | (1 << i) | (1 << j);
+            if dp[mask] + cost < dp[nm] {
+                dp[nm] = dp[mask] + cost;
+                choice[nm] = Some((i, j));
+            }
+        }
+        // …or leave i single (covers odd workloads).
+        let nm = mask | (1 << i);
+        if dp[mask] + solo_edp[i] < dp[nm] {
+            dp[nm] = dp[mask] + solo_edp[i];
+            choice[nm] = None;
+        }
+    }
+
+    // Recover the matching.
+    let mut pairs: Vec<(usize, Option<usize>)> = Vec::new();
+    let mut mask = full;
+    while mask != 0 {
+        let i = (0..k).find(|i| mask & (1 << i) != 0).expect("mask non-zero");
+        match choice[mask] {
+            Some((a, b)) if mask & (1 << a) != 0 && mask & (1 << b) != 0 => {
+                pairs.push((a, Some(b)));
+                mask &= !((1 << a) | (1 << b));
+            }
+            _ => {
+                pairs.push((i, None));
+                mask &= !(1 << i);
+            }
+        }
+    }
+
+    // Run each pair at its oracle config; LPT-assign onto nodes.
+    let mut runs: Vec<(f64, f64)> = pairs
+        .into_iter()
+        .map(|(i, j)| match j {
+            Some(j) => {
+                let best = pair_best[i.min(j)][i.max(j)].as_ref().expect("computed");
+                (best.metrics.makespan_s, best.metrics.energy_j)
+            }
+            None => {
+                let solo = crate::oracle::best_solo(tb, &jobs[i].0, jobs[i].1);
+                (solo.metrics.exec_time_s, solo.metrics.energy_j)
+            }
+        })
+        .collect();
+    runs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    let mut node_time = vec![0.0_f64; n];
+    let mut energy = 0.0;
+    for (t, e) in runs {
+        let node = (0..n)
+            .min_by(|&a, &b| node_time[a].partial_cmp(&node_time[b]).expect("finite"))
+            .expect("n >= 1");
+        node_time[node] += t;
+        energy += e;
+    }
+    ClusterRun {
+        makespan_s: node_time.into_iter().fold(0.0, f64::max),
+        energy_dyn_j: energy,
+        nodes: n,
+    }
+}
+
+/// Drive a set of nodes to completion, calling `refill` for each node after
+/// every event so it can top up from its queue.
+fn drive_cluster(nodes: &mut [NodeSim], mut refill: impl FnMut(&mut NodeSim)) {
+    loop {
+        let mut any = false;
+        let mut dt = f64::INFINITY;
+        for node in nodes.iter_mut() {
+            if let Some(t) = node.time_to_next_event().expect("rates solve") {
+                any = true;
+                dt = dt.min(t);
+            }
+        }
+        if !any {
+            break;
+        }
+        for node in nodes.iter_mut() {
+            node.advance(dt).expect("advance");
+            refill(node);
+        }
+    }
+}
+
+fn collect(nodes: Vec<NodeSim>, n: usize) -> ClusterRun {
+    ClusterRun {
+        makespan_s: nodes.iter().map(NodeSim::now).fold(0.0, f64::max),
+        energy_dyn_j: nodes.iter().map(NodeSim::energy_j).sum(),
+        nodes: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecost_apps::{InputSize, WorkloadScenario};
+
+    #[test]
+    fn untuned_policies_complete_and_work_is_conserved() {
+        let tb = Testbed::atom();
+        // Small workload to keep tests quick: 4 I/O jobs.
+        let mut w = WorkloadScenario::Ws3.workload(InputSize::Small);
+        w.jobs.truncate(4);
+        let sm = run_policy(&tb, 2, &w, MappingPolicy::Sm, None);
+        let snm = run_policy(&tb, 2, &w, MappingPolicy::Snm, None);
+        assert!(sm.makespan_s > 0.0 && snm.makespan_s > 0.0);
+        // Without co-location or tuning, total work is conserved: spreading
+        // each job across the cluster (SM) and spreading jobs across nodes
+        // (SNM) land within a modest factor of each other. The wins in Fig 9
+        // come from pairing + tuning, not from the untuned layouts.
+        let ratio = sm.makespan_s / snm.makespan_s;
+        assert!((0.6..=1.6).contains(&ratio), "sm/snm {ratio}");
+        // CBM co-locates two I/O jobs per node and must beat both layouts.
+        let cbm = run_policy(&tb, 2, &w, MappingPolicy::Cbm, None);
+        assert!(cbm.makespan_s < snm.makespan_s.min(sm.makespan_s));
+    }
+
+    #[test]
+    fn cbm_packs_two_jobs_per_node() {
+        let tb = Testbed::atom();
+        let mut w = WorkloadScenario::Ws3.workload(InputSize::Small);
+        w.jobs.truncate(4);
+        let cbm = run_policy(&tb, 1, &w, MappingPolicy::Cbm, None);
+        let snm = run_policy(&tb, 1, &w, MappingPolicy::Snm, None);
+        // For I/O-bound jobs co-location wins on makespan.
+        assert!(cbm.makespan_s < snm.makespan_s, "cbm {} snm {}", cbm.makespan_s, snm.makespan_s);
+    }
+
+    #[test]
+    fn lanes_fall_back_gracefully_on_one_node() {
+        let tb = Testbed::atom();
+        let mut w = WorkloadScenario::Ws1.workload(InputSize::Small);
+        w.jobs.truncate(2);
+        let sm = run_policy(&tb, 1, &w, MappingPolicy::Sm, None);
+        let mnm1 = run_policy(&tb, 1, &w, MappingPolicy::Mnm1, None);
+        // With one node MNM1 degenerates to SM.
+        assert!((sm.makespan_s - mnm1.makespan_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn open_queue_respects_arrivals() {
+        // Without a tuned context we can't run ECoST here, but the arrival
+        // machinery is policy-independent: jobs that arrive late must finish
+        // later than the same jobs arriving at t=0 under CBM-style packing.
+        // Exercise it through run_stream_open with a trivial policy via the
+        // public open API using a minimal context… the cheap path: verify
+        // the Poisson plumbing with a two-job workload and big gaps.
+        let tb = Testbed::atom();
+        let mut w = WorkloadScenario::Ws3.workload(InputSize::Small);
+        w.jobs.truncate(2);
+        // Build a minimal context around a mini database.
+        let cache = crate::oracle::SweepCache::new();
+        let db = crate::database::ConfigDatabase::build(&tb, &cache, 0.0, 1);
+        let classifier = crate::classify::RuleClassifier::fit(&db.signatures);
+        let lkt = crate::stp::LktStp::from_database(&db);
+        let pairing = PairingPolicy::default();
+        let ctx = EcostContext {
+            db: &db,
+            stp: &lkt,
+            classifier: &classifier,
+            pairing: &pairing,
+            cache: &cache,
+            noise: 0.0,
+            seed: 1,
+            pairing_mode: crate::pairing::PairingMode::DecisionTree,
+        };
+        let closed = run_ecost_open(&tb, 1, &w, &[0.0, 0.0], 2, &ctx);
+        let open = run_ecost_open(&tb, 1, &w, &[0.0, 400.0], 2, &ctx);
+        assert!(open.makespan_s > closed.makespan_s + 100.0,
+            "open {} closed {}", open.makespan_s, closed.makespan_s);
+        // Energy (work) is similar either way.
+        assert!((open.energy_dyn_j / closed.energy_dyn_j - 1.0).abs() < 0.35);
+    }
+
+    #[test]
+    fn edp_wall_charges_all_nodes_idle() {
+        let run = ClusterRun {
+            makespan_s: 100.0,
+            energy_dyn_j: 1000.0,
+            nodes: 4,
+        };
+        // E_wall = 1000 + 16·4·100 = 7400; EDP = 100·7400.
+        assert!((run.edp_wall(16.0) - 740_000.0).abs() < 1e-9);
+    }
+}

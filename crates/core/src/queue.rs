@@ -1,0 +1,178 @@
+//! The wait queue of §5: FIFO with a head-of-queue reservation and
+//! small-job leap-forward.
+//!
+//! Applications are enqueued at the tail and normally leave from the head.
+//! The scheduler may prefer a non-head job (a better class match), but only
+//! under the paper's fairness rules: a job may leap forward only if it is
+//! *small* (its estimated runtime does not exceed the head's — it will not
+//! delay the head beyond what the head already waits for), and the head can
+//! be skipped at most a bounded number of times before its reservation
+//! forces it out next (starvation avoidance, citing [24, 40]).
+
+use ecost_apps::AppClass;
+use std::collections::VecDeque;
+
+/// A queued application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Queued<T> {
+    /// Scheduler payload (signature, job spec, …).
+    pub payload: T,
+    /// Classified behaviour class.
+    pub class: AppClass,
+    /// Estimated runtime, seconds (from the learning period).
+    pub est_time_s: f64,
+}
+
+/// FIFO wait queue with reservation.
+///
+/// ```
+/// use ecost_core::WaitQueue;
+/// use ecost_apps::AppClass;
+///
+/// let mut q = WaitQueue::new(2);
+/// q.push("big-job", AppClass::C, 500.0);
+/// q.push("small-job", AppClass::I, 50.0);
+/// // The small job may leap forward (it won't delay the head)…
+/// let eligible = q.eligible();
+/// assert_eq!(eligible.len(), 2);
+/// // …and taking it counts against the head's skip allowance.
+/// assert_eq!(q.take(1).payload, "small-job");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WaitQueue<T> {
+    items: VecDeque<Queued<T>>,
+    head_skips: u32,
+    max_head_skips: u32,
+}
+
+impl<T> WaitQueue<T> {
+    /// New queue allowing the head to be skipped `max_head_skips` times
+    /// before its reservation becomes binding. The paper doesn't fix the
+    /// constant; 2 keeps leap-forward useful while bounding head delay.
+    pub fn new(max_head_skips: u32) -> WaitQueue<T> {
+        WaitQueue {
+            items: VecDeque::new(),
+            head_skips: 0,
+            max_head_skips,
+        }
+    }
+
+    /// Enqueue at the tail.
+    pub fn push(&mut self, payload: T, class: AppClass, est_time_s: f64) {
+        self.items.push_back(Queued {
+            payload,
+            class,
+            est_time_s,
+        });
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Classes currently eligible for selection, in queue order, paired
+    /// with their queue index: the head always, plus any job that may leap
+    /// forward. When the head's reservation is binding, only the head.
+    pub fn eligible(&self) -> Vec<(usize, AppClass)> {
+        let Some(head) = self.items.front() else {
+            return Vec::new();
+        };
+        if self.head_skips >= self.max_head_skips {
+            return vec![(0, head.class)];
+        }
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(i, q)| *i == 0 || q.est_time_s <= head.est_time_s * 1.0 + 1e-9)
+            .map(|(i, q)| (i, q.class))
+            .collect()
+    }
+
+    /// Remove and return the job at queue index `idx` (as reported by
+    /// [`WaitQueue::eligible`]); updates the head-skip accounting.
+    pub fn take(&mut self, idx: usize) -> Queued<T> {
+        assert!(idx < self.items.len(), "index out of range");
+        if idx == 0 {
+            self.head_skips = 0;
+        } else {
+            self.head_skips += 1;
+        }
+        self.items.remove(idx).expect("checked above")
+    }
+
+    /// Peek the head.
+    pub fn head(&self) -> Option<&Queued<T>> {
+        self.items.front()
+    }
+
+    /// Peek any queue position (as reported by [`WaitQueue::eligible`]).
+    pub fn peek(&self, idx: usize) -> &Queued<T> {
+        &self.items[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecost_apps::AppClass::*;
+
+    fn q3() -> WaitQueue<&'static str> {
+        let mut q = WaitQueue::new(2);
+        q.push("big-c", C, 500.0);
+        q.push("small-i", I, 100.0);
+        q.push("big-m", M, 800.0);
+        q
+    }
+
+    #[test]
+    fn small_jobs_may_leap_forward() {
+        let q = q3();
+        let el = q.eligible();
+        // Head always eligible; small-i (100 ≤ 500) may leap; big-m may not.
+        assert_eq!(el, vec![(0, C), (1, I)]);
+    }
+
+    #[test]
+    fn reservation_binds_after_max_skips() {
+        let mut q = q3();
+        q.push("small-i2", I, 50.0);
+        // Skip the head twice by taking the leapers.
+        let t1 = q.take(1);
+        assert_eq!(t1.payload, "small-i");
+        let el = q.eligible();
+        assert!(el.iter().any(|(_, c)| *c == I));
+        let idx = el.iter().find(|(_, c)| *c == I).expect("eligible I").0;
+        q.take(idx);
+        // Two skips consumed → only the head is now eligible.
+        assert_eq!(q.eligible(), vec![(0, C)]);
+        // Taking the head resets the allowance.
+        let h = q.take(0);
+        assert_eq!(h.payload, "big-c");
+        assert_eq!(q.eligible().len(), 1); // only big-m left
+    }
+
+    #[test]
+    fn fifo_when_everything_equal() {
+        let mut q = WaitQueue::new(2);
+        q.push("a", H, 100.0);
+        q.push("b", H, 100.0);
+        // Both eligible (b is not larger than a), head first.
+        assert_eq!(q.eligible()[0], (0, H));
+        assert_eq!(q.take(0).payload, "a");
+        assert_eq!(q.take(0).payload, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_yields_nothing() {
+        let q: WaitQueue<()> = WaitQueue::new(2);
+        assert!(q.eligible().is_empty());
+        assert!(q.head().is_none());
+    }
+}

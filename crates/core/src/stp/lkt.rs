@@ -1,0 +1,111 @@
+//! LkT-STP — the lookup-table self-tuning technique (Fig 6 of the paper).
+//!
+//! Step 0 builds the database (done by [`crate::database::ConfigDatabase`]);
+//! at decision time the incoming pair's signatures are matched against the
+//! stored training pairs' signatures, and the nearest entry's stored optimal
+//! configuration is returned verbatim. Cheap to evaluate, inflexible — the
+//! paper's §7.2 trade-off discussion carries over directly.
+
+use crate::database::ConfigDatabase;
+use crate::features::AppSignature;
+use crate::stp::Stp;
+use ecost_mapreduce::PairConfig;
+use ecost_ml::LookupTable;
+
+/// The lookup-table technique.
+#[derive(Debug, Clone)]
+pub struct LktStp {
+    table: LookupTable<PairConfig>,
+}
+
+impl LktStp {
+    /// Build from the database. Each pair entry is inserted under both
+    /// signature orders so retrieval is orientation-free.
+    pub fn from_database(db: &ConfigDatabase) -> LktStp {
+        let mut table = LookupTable::new();
+        for e in &db.pairs {
+            table.insert(key(&e.sig_a, &e.sig_b), e.config);
+            table.insert(key(&e.sig_b, &e.sig_a), e.config.swapped());
+        }
+        table.build();
+        LktStp { table }
+    }
+
+    /// Entries stored (2× the database pairs).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+fn key(a: &[f64; 9], b: &[f64; 9]) -> Vec<f64> {
+    let mut k = Vec::with_capacity(18);
+    k.extend_from_slice(a);
+    k.extend_from_slice(b);
+    k
+}
+
+impl Stp for LktStp {
+    fn name(&self) -> String {
+        "LkT".into()
+    }
+
+    fn choose(&self, a: &AppSignature, b: &AppSignature, cores: u32) -> PairConfig {
+        let (cfg, _dist) = self.table.query(&key(&a.key(), &b.key()));
+        let mut cfg = *cfg;
+        // The stored config always fits the training node; clamp defensively
+        // for smaller targets.
+        if cfg.cores() > cores {
+            let scale = f64::from(cores) / f64::from(cfg.cores());
+            cfg.a.mappers = ((f64::from(cfg.a.mappers) * scale).floor() as u32).max(1);
+            cfg.b.mappers = (cores - cfg.a.mappers).max(1).min(cores.saturating_sub(1).max(1));
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{profile_catalog_app, Testbed};
+    use crate::oracle::SweepCache;
+    use ecost_apps::{App, InputSize};
+
+    /// Database with a single wc-st pair; LkT must reproduce the stored
+    /// config for the training pair itself.
+    #[test]
+    fn retrieves_training_pair_config_exactly() {
+        let tb = Testbed::atom();
+        let cache = SweepCache::new();
+        let size = InputSize::Small;
+        let mb = size.per_node_mb();
+        let wc = profile_catalog_app(&tb, App::Wc, size, 0.0, 0);
+        let st = profile_catalog_app(&tb, App::St, size, 0.0, 0);
+        let best = cache.best_pair(&tb, App::Wc.profile(), mb, App::St.profile(), mb);
+        let db = ConfigDatabase {
+            pairs: vec![crate::database::PairEntry {
+                a: App::Wc,
+                b: App::St,
+                size,
+                classes: ecost_apps::class::ClassPair::new(App::Wc.class(), App::St.class()),
+                sig_a: wc.key(),
+                sig_b: st.key(),
+                config: best.config,
+                edp_wall: best.metrics.edp_wall(tb.idle_w()),
+            }],
+            solos: vec![],
+            signatures: vec![],
+            build_seconds: 0.0,
+        };
+        let lkt = LktStp::from_database(&db);
+        assert_eq!(lkt.len(), 2);
+        // Exact signature → exact config, in both orders.
+        assert_eq!(lkt.choose(&wc, &st, 8), best.config);
+        assert_eq!(lkt.choose(&st, &wc, 8), best.config.swapped());
+        assert_eq!(lkt.name(), "LkT");
+    }
+}

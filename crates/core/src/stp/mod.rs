@@ -1,0 +1,118 @@
+//! Self-Tuning Prediction (STP) — §6 of the paper.
+//!
+//! Given the counter signatures of two applications about to be co-located,
+//! an STP implementation returns the pair configuration (frequency, block
+//! size, mappers for each) predicted to minimise EDP — *without* running the
+//! brute-force search the COLAO oracle needs.
+//!
+//! * [`LktStp`] — the lookup-table technique (Fig 6): retrieve the stored
+//!   optimal configuration of the database pair whose signatures best
+//!   resemble the incoming pair.
+//! * [`MlmStp`] — the machine-learning technique (Fig 7): select the class
+//!   pair's EDP model, evaluate it over every permutation of the tuning
+//!   parameters, and return the argmin.
+
+mod lkt;
+mod mlm;
+pub mod training;
+
+pub use lkt::LktStp;
+pub use mlm::MlmStp;
+
+use crate::features::AppSignature;
+use ecost_mapreduce::{PairConfig, TuningConfig};
+
+/// A self-tuning prediction technique.
+pub trait Stp {
+    /// Technique name as used in the paper's tables ("LkT", "LR", "REPTree",
+    /// "MLP").
+    fn name(&self) -> String;
+
+    /// Predict the EDP-optimal configuration for co-locating `a` and `b`.
+    /// The returned `config.a` applies to `a`, `config.b` to `b`, and the
+    /// combined mapper count never exceeds `cores`.
+    fn choose(&self, a: &AppSignature, b: &AppSignature, cores: u32) -> PairConfig;
+}
+
+/// Feature encoding shared by the ML models.
+///
+/// The full counter signature is used to *route* a pair to its class-pair
+/// model (Fig 7's step 3); the model itself sees only continuous,
+/// physically meaningful coordinates, so it interpolates to unknown
+/// applications instead of fingerprint-matching the training ones:
+///
+/// per side — `ln(profile time)`, `ln(input MB)`, `LLC MPKI` (memory
+/// pressure within the class), then the knobs `f GHz`, `log2(h MB)`, `m`
+/// and the derived terms `1/m`, `f·m` (compute time ∝ 1/(f·m), per-task
+/// overhead ∝ 1/m); final shared column `m_a + m_b` (the allocation total
+/// behind the idle-amortisation term). 17 columns in all.
+pub fn encode_row(sig_a: &[f64; 9], cfg_a: TuningConfig, sig_b: &[f64; 9], cfg_b: TuningConfig) -> Vec<f64> {
+    fn side(row: &mut Vec<f64>, sig: &[f64; 9], cfg: TuningConfig) {
+        row.push(sig[7]); // ln profile time
+        row.push(sig[8]); // ln input MB
+        row.push(sig[6]); // LLC MPKI
+        let m = f64::from(cfg.mappers);
+        let f = cfg.freq.ghz();
+        row.push(f);
+        row.push(cfg.block.mb().log2());
+        row.push(m);
+        row.push(1.0 / m);
+        row.push(f * m);
+    }
+    let mut row = Vec::with_capacity(17);
+    side(&mut row, sig_a, cfg_a);
+    side(&mut row, sig_b, cfg_b);
+    row.push(f64::from(cfg_a.mappers + cfg_b.mappers));
+    row
+}
+
+/// Column names matching [`encode_row`].
+pub fn encode_columns() -> Vec<String> {
+    let mut cols = Vec::with_capacity(17);
+    for side in ["a", "b"] {
+        for name in [
+            "ln_profile_time",
+            "ln_input_mb",
+            "llc_mpki",
+            "freq_ghz",
+            "log2_block",
+            "mappers",
+            "inv_mappers",
+            "freq_x_mappers",
+        ] {
+            cols.push(format!("{side}_{name}"));
+        }
+    }
+    cols.push("total_mappers".into());
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecost_mapreduce::BlockSize;
+    use ecost_sim::Frequency;
+
+    #[test]
+    fn encoding_matches_layout() {
+        let sig = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let cfg = TuningConfig {
+            freq: Frequency::F1_6,
+            block: BlockSize::B512,
+            mappers: 3,
+        };
+        let row = encode_row(&sig, cfg, &sig, cfg);
+        assert_eq!(row.len(), 17);
+        assert_eq!(row[0], 8.0); // ln profile time slot (sig[7])
+        assert_eq!(row[1], 9.0); // ln input slot (sig[8])
+        assert_eq!(row[2], 7.0); // LLC MPKI slot (sig[6])
+        assert_eq!(row[3], 1.6); // frequency
+        assert_eq!(row[4], 9.0); // log2(512)
+        assert_eq!(row[5], 3.0);
+        assert!((row[6] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((row[7] - 4.8).abs() < 1e-12);
+        assert_eq!(row[8], 8.0); // second side starts
+        assert_eq!(*row.last().expect("non-empty"), 6.0);
+        assert_eq!(encode_columns().len(), 17);
+    }
+}

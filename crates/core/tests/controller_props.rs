@@ -1,0 +1,113 @@
+//! Property-based tests of the controller-side data structures: the wait
+//! queue's fairness guarantees and the pairing policy's totality.
+
+use ecost_apps::class::ClassPair;
+use ecost_apps::AppClass;
+use ecost_core::pairing::PairingPolicy;
+use ecost_core::WaitQueue;
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = AppClass> {
+    prop_oneof![
+        Just(AppClass::C),
+        Just(AppClass::H),
+        Just(AppClass::I),
+        Just(AppClass::M),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The head is always eligible, every eligible job is either the head or
+    /// not longer than it, and indices returned by `eligible` are valid.
+    #[test]
+    fn eligibility_invariants(
+        jobs in prop::collection::vec((arb_class(), 1.0f64..1000.0), 1..12),
+        max_skips in 0u32..4,
+    ) {
+        let mut q = WaitQueue::new(max_skips);
+        for (i, (class, est)) in jobs.iter().enumerate() {
+            q.push(i, *class, *est);
+        }
+        let head_est = q.head().expect("non-empty").est_time_s;
+        let eligible = q.eligible();
+        prop_assert!(eligible.iter().any(|(i, _)| *i == 0), "head always eligible");
+        for (i, _) in &eligible {
+            prop_assert!(*i < q.len());
+            let item = q.peek(*i);
+            prop_assert!(*i == 0 || item.est_time_s <= head_est + 1e-9,
+                "leap-forward only for jobs that don't outlast the head");
+        }
+    }
+
+    /// Under any sequence of greedy "prefer I-class" picks, the head waits
+    /// at most `max_skips` selections before it must be chosen — no
+    /// starvation.
+    #[test]
+    fn head_reservation_bounds_starvation(
+        jobs in prop::collection::vec((arb_class(), 1.0f64..100.0), 2..16),
+        max_skips in 0u32..3,
+    ) {
+        let mut q = WaitQueue::new(max_skips);
+        for (i, (class, est)) in jobs.iter().enumerate() {
+            q.push(i, *class, *est);
+        }
+        let head_id = q.head().expect("non-empty").payload;
+        let policy = PairingPolicy::default();
+        let mut skips_seen = 0u32;
+        while !q.is_empty() {
+            let eligible = q.eligible();
+            let classes: Vec<AppClass> = eligible.iter().map(|(_, c)| *c).collect();
+            let pick = policy.choose(&classes).expect("non-empty");
+            let idx = eligible[pick].0;
+            let taken = q.take(idx);
+            if taken.payload == head_id {
+                prop_assert!(skips_seen <= max_skips,
+                    "head skipped {skips_seen} times with allowance {max_skips}");
+                break;
+            }
+            skips_seen += 1;
+        }
+    }
+
+    /// Queue drains completely and in a permutation of insertion ids.
+    #[test]
+    fn queue_conserves_jobs(
+        jobs in prop::collection::vec((arb_class(), 1.0f64..100.0), 1..16),
+    ) {
+        let mut q = WaitQueue::new(2);
+        for (i, (class, est)) in jobs.iter().enumerate() {
+            q.push(i, *class, *est);
+        }
+        let mut out = Vec::new();
+        while !q.is_empty() {
+            let eligible = q.eligible();
+            // Always take the last eligible (the most adversarial choice).
+            let idx = eligible.last().expect("non-empty").0;
+            out.push(q.take(idx).payload);
+        }
+        out.sort_unstable();
+        prop_assert_eq!(out, (0..jobs.len()).collect::<Vec<_>>());
+    }
+
+    /// A pairing policy derived from any ranking is a total order over all
+    /// four classes and always chooses something from a non-empty slate.
+    #[test]
+    fn derived_policy_is_total(scores in prop::collection::vec(0.01f64..10.0, 10)) {
+        let ranking: Vec<(ClassPair, f64)> = ClassPair::all()
+            .into_iter()
+            .zip(scores)
+            .collect();
+        let policy = PairingPolicy::from_ranking(&ranking);
+        let mut seen = policy.priority.to_vec();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), 4, "all classes ranked exactly once");
+        for class in AppClass::ALL {
+            prop_assert!(policy.rank(class) < 4);
+        }
+        prop_assert!(policy.choose(&[AppClass::M]).is_some());
+        prop_assert!(policy.choose(&[]).is_none());
+    }
+}

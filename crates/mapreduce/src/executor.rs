@@ -1,0 +1,868 @@
+//! The co-located node executor.
+//!
+//! [`NodeSim`] runs any number of MapReduce jobs concurrently on one
+//! simulated node. Between events (stage or job completions, job arrivals)
+//! all rates are constant and come from one consistent solution of the
+//! contention model:
+//!
+//! 1. **DRAM pressure** — active footprints are summed; over-subscription
+//!    inflates every job's disk traffic (spill pressure).
+//! 2. **Queueing network** — each fluid stage is an AMVA class whose slots
+//!    alternate between private cores (think time) and the job's private I/O
+//!    path (a PS station capped at the framework's per-job ceiling and the
+//!    slots' stream rates). Remote shuffle adds a shared NIC station.
+//! 3. **Physical disk coupling** — the jobs' achieved I/O rates must fit the
+//!    disk's aggregate bandwidth at the current stream concurrency
+//!    (`η`-degraded); a proportional-fair scale factor θ on the granted
+//!    bandwidths closes the loop.
+//! 4. **Memory-bandwidth coupling** — busy cores demand bandwidth per their
+//!    profile; over-subscription dilates the stall-sensitive fraction of
+//!    every job's compute time.
+//!
+//! The executor integrates idle-subtracted power piecewise (the Wattsup
+//! stand-in), attributes energy to jobs, and accumulates the per-job usage
+//! records the synthetic counters are derived from.
+
+use crate::framework::FrameworkSpec;
+use crate::job::JobSpec;
+use crate::metrics::JobMetrics;
+use crate::stage::Stage;
+use ecost_sim::{amva, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError};
+
+/// Opaque handle identifying a submitted job within one `NodeSim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobHandle(pub u64);
+
+/// Accumulated per-job resource usage (the raw material for counters).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobUsage {
+    /// Core-seconds actively computing.
+    pub busy_core_s: f64,
+    /// Core-seconds allocated (busy + iowait).
+    pub alloc_core_s: f64,
+    /// Disk reads, MB.
+    pub read_mb: f64,
+    /// Disk writes, MB.
+    pub write_mb: f64,
+    /// Network bytes, MB.
+    pub nic_mb: f64,
+    /// Memory traffic served, MB.
+    pub mem_mb: f64,
+    /// Attributed dynamic energy, joules.
+    pub energy_j: f64,
+    /// ∫ stall-dilation × busy-cores dt — for effective-IPC synthesis.
+    pub stall_weighted_s: f64,
+    /// Peak resident footprint observed, MB.
+    pub peak_footprint_mb: f64,
+}
+
+/// A finished job: its spec, metrics and usage record.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Handle it ran under.
+    pub id: JobHandle,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Time/energy/EDP results.
+    pub metrics: JobMetrics,
+    /// Usage record for counter synthesis.
+    pub usage: JobUsage,
+    /// Stage completion timeline: `(stage kind, absolute completion time)`,
+    /// in execution order — the per-job Gantt record.
+    pub timeline: Vec<(crate::stage::StageKind, f64)>,
+}
+
+struct ActiveJob {
+    id: JobHandle,
+    spec: JobSpec,
+    stages: Vec<Stage>,
+    stage_idx: usize,
+    /// Work units remaining in the current stage (tasks, or fraction of the
+    /// setup interval).
+    remaining: f64,
+    start_s: f64,
+    usage: JobUsage,
+    timeline: Vec<(crate::stage::StageKind, f64)>,
+}
+
+impl ActiveJob {
+    fn stage(&self) -> &Stage {
+        &self.stages[self.stage_idx]
+    }
+}
+
+/// Per-job rates valid until the next event.
+#[derive(Debug, Clone)]
+struct RateSolution {
+    /// Work units per second, per active job.
+    rate: Vec<f64>,
+    busy_cores: Vec<f64>,
+    read_mbps: Vec<f64>,
+    write_mbps: Vec<f64>,
+    nic_mbps: Vec<f64>,
+    mem_mbps: Vec<f64>,
+    slow: f64,
+    footprint_mb: f64,
+    power_total_w: f64,
+    power_attr_w: Vec<f64>,
+    disk_util: f64,
+    mem_util: f64,
+    nic_util: f64,
+}
+
+/// One simulated node executing co-located MapReduce jobs.
+///
+/// ```
+/// use ecost_mapreduce::{NodeSim, FrameworkSpec, JobSpec, TuningConfig};
+/// use ecost_apps::{App, InputSize};
+/// use ecost_sim::NodeSpec;
+///
+/// let mut node = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+/// let cfg = TuningConfig::hadoop_default(4); // 4 mappers each
+/// node.submit(JobSpec::new(App::Wc, InputSize::Small, cfg)).unwrap();
+/// node.submit(JobSpec::new(App::St, InputSize::Small, cfg)).unwrap();
+/// node.run_to_completion().unwrap();
+/// assert_eq!(node.finished().len(), 2);
+/// assert!(node.energy_j() > 0.0);
+/// ```
+pub struct NodeSim {
+    spec: NodeSpec,
+    fw: FrameworkSpec,
+    power: PowerModel,
+    nic_bw_mbps: f64,
+    nic_power_w: f64,
+    now: f64,
+    active: Vec<ActiveJob>,
+    finished: Vec<JobOutcome>,
+    meter: EnergyMeter,
+    next_id: u64,
+    cached: Option<RateSolution>,
+}
+
+/// Numerical floor treating a stage as complete.
+const WORK_EPS: f64 = 1e-9;
+
+impl NodeSim {
+    /// New node with effectively infinite NIC (single-node studies).
+    pub fn new(spec: NodeSpec, fw: FrameworkSpec) -> NodeSim {
+        NodeSim::with_nic(spec, fw, f64::INFINITY, 0.0)
+    }
+
+    /// New node with a finite NIC (cluster studies).
+    pub fn with_nic(spec: NodeSpec, fw: FrameworkSpec, nic_bw_mbps: f64, nic_power_w: f64) -> NodeSim {
+        let power = PowerModel::new(spec.clone());
+        NodeSim {
+            spec,
+            fw,
+            power,
+            nic_bw_mbps,
+            nic_power_w,
+            now: 0.0,
+            active: Vec::new(),
+            finished: Vec::new(),
+            meter: EnergyMeter::new(),
+            next_id: 0,
+            cached: None,
+        }
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Cores currently allocated to active jobs.
+    pub fn allocated_cores(&self) -> u32 {
+        self.active.iter().map(|j| j.spec.config.mappers).sum()
+    }
+
+    /// Cores free for a new job.
+    pub fn free_cores(&self) -> u32 {
+        self.spec.cores.saturating_sub(self.allocated_cores())
+    }
+
+    /// Active job count.
+    pub fn active_jobs(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Completed jobs so far (in completion order).
+    pub fn finished(&self) -> &[JobOutcome] {
+        &self.finished
+    }
+
+    /// Take ownership of the completed-job list.
+    pub fn take_finished(&mut self) -> Vec<JobOutcome> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Total idle-subtracted energy integrated so far, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.meter.energy_j()
+    }
+
+    /// Record a Wattsup-style 1 Hz power trace for this node. Call before
+    /// any simulation time elapses.
+    pub fn enable_power_trace(&mut self) {
+        assert_eq!(self.now, 0.0, "enable the trace before advancing time");
+        self.meter = EnergyMeter::with_trace();
+    }
+
+    /// The recorded 1 Hz dynamic-power samples (if tracing was enabled).
+    pub fn power_trace(&self) -> Option<&[f64]> {
+        self.meter.trace()
+    }
+
+    /// Submit a job; fails if its mapper count exceeds the free cores.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobHandle, SimError> {
+        let m = spec.config.mappers;
+        if m == 0 || m > self.free_cores() {
+            return Err(SimError::CoreBudgetExceeded {
+                requested: self.allocated_cores() + m,
+                available: self.spec.cores,
+            });
+        }
+        let stages = spec.stages(&self.fw);
+        assert!(!stages.is_empty());
+        let id = JobHandle(self.next_id);
+        self.next_id += 1;
+        let remaining = stages[0].tasks;
+        self.active.push(ActiveJob {
+            id,
+            spec,
+            stages,
+            stage_idx: 0,
+            remaining,
+            start_s: self.now,
+            usage: JobUsage::default(),
+            timeline: Vec::new(),
+        });
+        self.cached = None;
+        Ok(id)
+    }
+
+    /// Seconds until the next stage completion at current rates, if any job
+    /// is active.
+    pub fn time_to_next_event(&mut self) -> Result<Option<f64>, SimError> {
+        if self.active.is_empty() {
+            return Ok(None);
+        }
+        let rates = self.solution()?.rate.clone();
+        let mut dt = f64::INFINITY;
+        for (job, r) in self.active.iter().zip(rates) {
+            debug_assert!(r > 0.0, "active job {} has zero rate", job.spec.label);
+            dt = dt.min(job.remaining / r);
+        }
+        Ok(Some(dt.max(0.0)))
+    }
+
+    /// Advance the clock by `dt` seconds (must not exceed the time to the
+    /// next event by more than a rounding margin), integrating usage, energy
+    /// and progress, and retiring any stages/jobs that complete.
+    pub fn advance(&mut self, dt: f64) -> Result<(), SimError> {
+        assert!(dt >= 0.0 && dt.is_finite(), "bad dt {dt}");
+        if self.active.is_empty() || dt == 0.0 {
+            self.now += dt;
+            return Ok(());
+        }
+        let sol = self.solution()?.clone();
+        self.meter.record(dt, sol.power_total_w);
+        let mut completed = Vec::new();
+        let mut dirty = false;
+        for (j, job) in self.active.iter_mut().enumerate() {
+            let stage_slots = f64::from(job.stage().slots);
+            job.usage.busy_core_s += sol.busy_cores[j] * dt;
+            job.usage.alloc_core_s += stage_slots * dt;
+            job.usage.read_mb += sol.read_mbps[j] * dt;
+            job.usage.write_mb += sol.write_mbps[j] * dt;
+            job.usage.nic_mb += sol.nic_mbps[j] * dt;
+            job.usage.mem_mb += sol.mem_mbps[j] * dt;
+            job.usage.energy_j += sol.power_attr_w[j] * dt;
+            job.usage.stall_weighted_s += sol.slow * sol.busy_cores[j] * dt;
+            job.usage.peak_footprint_mb = job.usage.peak_footprint_mb.max(job.stage().footprint_mb);
+            job.remaining -= sol.rate[j] * dt;
+            if job.remaining <= WORK_EPS * job.stage().tasks.max(1.0) {
+                job.timeline.push((job.stage().kind, self.now + dt));
+                job.stage_idx += 1;
+                if job.stage_idx >= job.stages.len() {
+                    completed.push(j);
+                } else {
+                    job.remaining = job.stages[job.stage_idx].tasks;
+                    dirty = true;
+                }
+            }
+        }
+        if dirty {
+            self.cached = None;
+        }
+        self.now += dt;
+        // Retire completed jobs (reverse order keeps indices valid).
+        for &j in completed.iter().rev() {
+            let job = self.active.swap_remove(j);
+            let exec = self.now - job.start_s;
+            let metrics = JobMetrics {
+                exec_time_s: exec,
+                energy_j: job.usage.energy_j,
+                avg_power_w: if exec > 0.0 { job.usage.energy_j / exec } else { 0.0 },
+            };
+            self.finished.push(JobOutcome {
+                id: job.id,
+                spec: job.spec,
+                metrics,
+                usage: job.usage,
+                timeline: job.timeline,
+            });
+            self.cached = None;
+        }
+        Ok(())
+    }
+
+    /// Run one event step; returns handles of jobs that finished during it.
+    pub fn step(&mut self) -> Result<Vec<JobHandle>, SimError> {
+        let before = self.finished.len();
+        match self.time_to_next_event()? {
+            None => Ok(Vec::new()),
+            Some(dt) => {
+                self.advance(dt)?;
+                Ok(self.finished[before..].iter().map(|o| o.id).collect())
+            }
+        }
+    }
+
+    /// Run until no active jobs remain.
+    pub fn run_to_completion(&mut self) -> Result<(), SimError> {
+        // Generous guard: stages × jobs is the true event count; runaway
+        // loops indicate a rate-solution bug.
+        let mut guard = 64 + 16 * self.active.iter().map(|j| j.stages.len()).sum::<usize>();
+        while !self.active.is_empty() {
+            self.step()?;
+            guard -= 1;
+            assert!(guard > 0, "event-loop runaway: rates failed to progress");
+        }
+        Ok(())
+    }
+
+    fn solution(&mut self) -> Result<&RateSolution, SimError> {
+        if self.cached.is_none() {
+            self.cached = Some(self.solve()?);
+        }
+        Ok(self.cached.as_ref().expect("just filled"))
+    }
+
+    /// Solve the contention model for the current job mix.
+    fn solve(&self) -> Result<RateSolution, SimError> {
+        let n = self.active.len();
+        let stages: Vec<&Stage> = self.active.iter().map(|j| j.stage()).collect();
+
+        // --- 1. DRAM pressure: spill inflation for everyone. ---
+        let footprint_mb: f64 = stages.iter().map(|s| s.footprint_mb).sum();
+        let spill = self.fw.spill_inflation(footprint_mb, self.spec.mem.capacity_mb);
+
+        // Static per-job grant ceiling: job pipeline cap ∧ slot stream rates.
+        let static_cap: Vec<f64> = stages
+            .iter()
+            .map(|s| {
+                if s.is_fluid() && s.io_mb > 0.0 {
+                    self.fw
+                        .job_io_cap(s.extent_mb)
+                        .min(s.stream_bound_mbps(self.spec.disk.stream_rate(s.extent_mb)))
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        // --- 2–4. Outer fixed point over θ (disk scale) and slow (memory). ---
+        let mut theta: f64 = 1.0;
+        let mut slow: f64 = 1.0;
+        let mut x = vec![0.0_f64; n];
+        let mut q_io = vec![0.0_f64; n];
+        let mut nic_util = 0.0_f64;
+        let stations = n + 1; // one private I/O path per job + shared NIC
+        for _outer in 0..200 {
+            let classes: Vec<ClassDemand> = stages
+                .iter()
+                .enumerate()
+                .map(|(j, s)| {
+                    if !s.is_fluid() {
+                        return ClassDemand {
+                            population: 0.0,
+                            think_time_s: 0.0,
+                            demands_s: vec![0.0; stations],
+                        };
+                    }
+                    let think = s.think0_s * (1.0 - s.stall_frac + s.stall_frac * slow);
+                    let mut demands = vec![0.0; stations];
+                    if s.io_mb > 0.0 && static_cap[j] > 0.0 {
+                        demands[j] = s.io_mb * spill / (theta * static_cap[j]).max(1e-9);
+                    }
+                    if s.nic_mb > 0.0 && self.nic_bw_mbps.is_finite() {
+                        demands[n] = s.nic_mb / self.nic_bw_mbps;
+                    }
+                    ClassDemand {
+                        population: f64::from(s.slots),
+                        think_time_s: think,
+                        demands_s: demands,
+                    }
+                })
+                .collect();
+
+            let sol = amva::solve(&classes, stations)?;
+            x.copy_from_slice(&sol.throughput);
+            for j in 0..n {
+                q_io[j] = sol.queue[j][j];
+            }
+            nic_util = sol.station_util[n];
+
+            // Memory-bandwidth coupling.
+            let bw_demand: f64 = (0..n)
+                .map(|j| {
+                    let s = stages[j];
+                    let think = s.think0_s * (1.0 - s.stall_frac + s.stall_frac * slow);
+                    (x[j] * think).min(f64::from(s.slots)) * s.bw_per_core_mbps
+                })
+                .sum();
+            let slow_target = (bw_demand / self.spec.mem_bw_mbps()).max(1.0);
+            let slow_next = slow + 0.5 * (slow_target - slow);
+
+            // Physical-disk coupling.
+            let streams: f64 = q_io.iter().sum::<f64>().max(1.0);
+            let cap_phys = self.spec.disk.aggregate_bw(streams);
+            let total_io: f64 = (0..n).map(|j| x[j] * stages[j].io_mb * spill).sum();
+            let theta_target = if total_io > cap_phys {
+                (theta * cap_phys / total_io).clamp(0.01, 1.0)
+            } else {
+                // Relax back toward no throttling.
+                (theta * 1.15).min(1.0)
+            };
+            let theta_next = theta + 0.5 * (theta_target - theta);
+
+            let resid = (slow_next - slow).abs() / slow + (theta_next - theta).abs();
+            slow = slow_next;
+            theta = theta_next;
+            if resid < 1e-5 {
+                break;
+            }
+        }
+
+        // --- Final consistent quantities. ---
+        let mut rate = vec![0.0_f64; n];
+        let mut busy_cores = vec![0.0_f64; n];
+        let mut read_mbps = vec![0.0_f64; n];
+        let mut write_mbps = vec![0.0_f64; n];
+        let mut nic_mbps = vec![0.0_f64; n];
+        let mut mem_mbps = vec![0.0_f64; n];
+        for (j, s) in stages.iter().enumerate() {
+            if s.is_fluid() {
+                rate[j] = x[j];
+                let think = s.think0_s * (1.0 - s.stall_frac + s.stall_frac * slow);
+                busy_cores[j] = (x[j] * think).min(f64::from(s.slots));
+                let io = x[j] * s.io_mb * spill;
+                read_mbps[j] = io * s.read_frac;
+                write_mbps[j] = io * (1.0 - s.read_frac);
+                nic_mbps[j] = x[j] * s.nic_mb;
+                mem_mbps[j] = busy_cores[j] * s.bw_per_core_mbps;
+            } else {
+                rate[j] = 1.0 / s.setup_s;
+                busy_cores[j] = 0.4; // single setup thread, partially busy
+            }
+        }
+        let total_io: f64 = read_mbps.iter().chain(write_mbps.iter()).sum();
+        let streams: f64 = q_io.iter().sum::<f64>().max(1.0);
+        let cap_phys = self.spec.disk.aggregate_bw(streams);
+        let disk_util = (total_io / cap_phys).clamp(0.0, 1.0);
+        let total_mem: f64 = mem_mbps.iter().sum();
+        let mem_util = (total_mem / self.spec.mem_bw_mbps()).clamp(0.0, 1.0);
+        let allocated: f64 = stages.iter().map(|s| f64::from(s.slots)).sum();
+
+        let busy_at: Vec<(f64, f64)> = stages
+            .iter()
+            .enumerate()
+            .map(|(j, s)| (busy_cores[j], s.dyn_factor))
+            .collect();
+        let breakdown = self.power.dynamic_power(&busy_at, allocated, disk_util, mem_util, 0.0);
+        let nic_w = nic_util * self.nic_power_w;
+        let power_total_w = breakdown.total() + nic_w;
+
+        // Attribution: cores exactly; shared resources pro-rata by usage.
+        let total_nic: f64 = nic_mbps.iter().sum();
+        let power_attr_w: Vec<f64> = (0..n)
+            .map(|j| {
+                let s = stages[j];
+                let core = busy_cores[j] * self.spec.core_busy_power_w * s.dyn_factor
+                    + (f64::from(s.slots) - busy_cores[j]).max(0.0) * self.spec.core_iowait_power_w
+                    + f64::from(s.slots) * self.spec.core_static_power_w;
+                let io_j = read_mbps[j] + write_mbps[j];
+                let disk = if total_io > 0.0 { breakdown.disk_w * io_j / total_io } else { 0.0 };
+                let mem = if total_mem > 0.0 { breakdown.mem_w * mem_mbps[j] / total_mem } else { 0.0 };
+                let nic = if total_nic > 0.0 { nic_w * nic_mbps[j] / total_nic } else { 0.0 };
+                core + disk + mem + nic
+            })
+            .collect();
+
+        Ok(RateSolution {
+            rate,
+            busy_cores,
+            read_mbps,
+            write_mbps,
+            nic_mbps,
+            mem_mbps,
+            slow,
+            footprint_mb,
+            power_total_w,
+            power_attr_w,
+            disk_util,
+            mem_util,
+            nic_util,
+        })
+    }
+
+    /// Diagnostic snapshot of the current rate solution: (disk util, memory
+    /// bandwidth util, memory stall dilation, total footprint MB).
+    pub fn contention_snapshot(&mut self) -> Result<(f64, f64, f64, f64), SimError> {
+        let s = self.solution()?;
+        Ok((s.disk_util, s.mem_util, s.slow, s.footprint_mb))
+    }
+
+    /// NIC utilisation of the current rate solution (cluster shuffles).
+    pub fn nic_utilisation(&mut self) -> Result<f64, SimError> {
+        Ok(self.solution()?.nic_util)
+    }
+}
+
+/// Convenience: run `jobs` co-located from t=0 on a fresh node and return
+/// their outcomes in completion order plus the makespan.
+pub fn run_colocated(
+    spec: &NodeSpec,
+    fw: &FrameworkSpec,
+    jobs: Vec<JobSpec>,
+) -> Result<(Vec<JobOutcome>, f64), SimError> {
+    let mut node = NodeSim::new(spec.clone(), fw.clone());
+    for j in jobs {
+        node.submit(j)?;
+    }
+    node.run_to_completion()?;
+    let makespan = node.now();
+    Ok((node.take_finished(), makespan))
+}
+
+/// Convenience: run one job alone on a fresh node.
+pub fn run_standalone(
+    spec: &NodeSpec,
+    fw: &FrameworkSpec,
+    job: JobSpec,
+) -> Result<JobOutcome, SimError> {
+    let (mut out, _) = run_colocated(spec, fw, vec![job])?;
+    Ok(out.pop().expect("one job in, one out"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BlockSize, TuningConfig};
+    use ecost_apps::{App, InputSize};
+    use ecost_sim::Frequency;
+
+    fn cfg(m: u32, f: Frequency, b: BlockSize) -> TuningConfig {
+        TuningConfig {
+            freq: f,
+            block: b,
+            mappers: m,
+        }
+    }
+
+    fn atom() -> (NodeSpec, FrameworkSpec) {
+        (NodeSpec::atom_c2758(), FrameworkSpec::default())
+    }
+
+    #[test]
+    fn standalone_job_completes_with_positive_metrics() {
+        let (spec, fw) = atom();
+        let job = JobSpec::new(App::Wc, InputSize::Small, cfg(4, Frequency::F2_4, BlockSize::B256));
+        let out = run_standalone(&spec, &fw, job).unwrap();
+        assert!(out.metrics.exec_time_s > 10.0);
+        assert!(out.metrics.energy_j > 0.0);
+        assert!(out.metrics.avg_power_w > 0.0);
+        assert!(out.usage.read_mb >= 1024.0 * 0.99);
+    }
+
+    #[test]
+    fn more_mappers_speed_up_compute_bound() {
+        let (spec, fw) = atom();
+        let t = |m| {
+            run_standalone(
+                &spec,
+                &fw,
+                JobSpec::new(App::Wc, InputSize::Large, cfg(m, Frequency::F2_4, BlockSize::B256)),
+            )
+            .unwrap()
+            .metrics
+            .exec_time_s
+        };
+        let (t1, t4, t8) = (t(1), t(4), t(8));
+        assert!(t4 < 0.35 * t1, "t1={t1} t4={t4}");
+        assert!(t8 < 0.7 * t4, "t4={t4} t8={t8}");
+    }
+
+    #[test]
+    fn mappers_barely_help_io_bound() {
+        // Sort is capped by the job I/O pipeline: going 2 → 8 mappers must
+        // give far less than the 4× a compute-bound job would enjoy.
+        let (spec, fw) = atom();
+        let t = |m| {
+            run_standalone(
+                &spec,
+                &fw,
+                JobSpec::new(App::St, InputSize::Medium, cfg(m, Frequency::F2_4, BlockSize::B256)),
+            )
+            .unwrap()
+            .metrics
+            .exec_time_s
+        };
+        let (t2, t8) = (t(2), t(8));
+        assert!(t8 > 0.7 * t2, "t2={t2} t8={t8}");
+    }
+
+    #[test]
+    fn frequency_speeds_up_compute_not_io() {
+        let (spec, fw) = atom();
+        let run = |app, f| {
+            run_standalone(&spec, &fw, JobSpec::new(app, InputSize::Medium, cfg(4, f, BlockSize::B512)))
+                .unwrap()
+                .metrics
+                .exec_time_s
+        };
+        let wc_speedup = run(App::Wc, Frequency::F1_2) / run(App::Wc, Frequency::F2_4);
+        let st_speedup = run(App::St, Frequency::F1_2) / run(App::St, Frequency::F2_4);
+        assert!(wc_speedup > 1.7, "wc {wc_speedup}");
+        assert!(st_speedup < 1.35, "st {st_speedup}");
+    }
+
+    #[test]
+    fn colocated_sorts_beat_serial_execution() {
+        // The headline mechanism: two I/O-bound jobs fill each other's disk
+        // gaps and together beat back-to-back execution.
+        let (spec, fw) = atom();
+        let job = || JobSpec::new(App::St, InputSize::Medium, cfg(2, Frequency::F2_4, BlockSize::B512));
+        let solo = run_standalone(&spec, &fw, job()).unwrap().metrics.exec_time_s;
+        let (_, makespan) = run_colocated(&spec, &fw, vec![job(), job()]).unwrap();
+        assert!(
+            makespan < 1.75 * solo,
+            "makespan {makespan} vs serial {}",
+            2.0 * solo
+        );
+    }
+
+    #[test]
+    fn colocated_compute_jobs_roughly_serialize() {
+        let (spec, fw) = atom();
+        let job = |m| JobSpec::new(App::Wc, InputSize::Medium, cfg(m, Frequency::F2_4, BlockSize::B128));
+        let solo8 = run_standalone(&spec, &fw, job(8)).unwrap().metrics.exec_time_s;
+        let (_, makespan) = run_colocated(&spec, &fw, vec![job(4), job(4)]).unwrap();
+        // Two half-width compute jobs ≈ one full-width job run twice.
+        assert!(makespan > 1.5 * solo8, "makespan {makespan} solo8 {solo8}");
+        assert!(makespan < 2.6 * solo8, "makespan {makespan} solo8 {solo8}");
+    }
+
+    #[test]
+    fn memory_bound_pair_contends_on_bandwidth() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        for _ in 0..2 {
+            node.submit(JobSpec::new(
+                App::Fp,
+                InputSize::Medium,
+                cfg(4, Frequency::F2_4, BlockSize::B512),
+            ))
+            .unwrap();
+        }
+        // Skip past setup so the map stages are active.
+        node.step().unwrap();
+        let (_, mem_util, slow, _) = node.contention_snapshot().unwrap();
+        assert!(mem_util > 0.9, "mem_util {mem_util}");
+        assert!(slow > 1.1, "slow {slow}");
+    }
+
+    #[test]
+    fn compute_pair_has_no_memory_pressure() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        for _ in 0..2 {
+            node.submit(JobSpec::new(
+                App::Wc,
+                InputSize::Medium,
+                cfg(4, Frequency::F2_4, BlockSize::B512),
+            ))
+            .unwrap();
+        }
+        node.step().unwrap();
+        let (_, _, slow, _) = node.contention_snapshot().unwrap();
+        assert!((slow - 1.0).abs() < 1e-6, "slow {slow}");
+    }
+
+    #[test]
+    fn core_budget_is_enforced() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        node.submit(JobSpec::new(
+            App::Wc,
+            InputSize::Small,
+            cfg(6, Frequency::F2_4, BlockSize::B256),
+        ))
+        .unwrap();
+        let err = node.submit(JobSpec::new(
+            App::St,
+            InputSize::Small,
+            cfg(4, Frequency::F2_4, BlockSize::B256),
+        ));
+        assert!(matches!(err, Err(SimError::CoreBudgetExceeded { .. })));
+        assert_eq!(node.free_cores(), 2);
+    }
+
+    #[test]
+    fn disk_work_is_conserved() {
+        // Total bytes moved must match the job's static I/O inventory
+        // (no DRAM over-subscription in this setup).
+        let (spec, fw) = atom();
+        let job = JobSpec::new(App::Ts, InputSize::Small, cfg(4, Frequency::F2_0, BlockSize::B128));
+        let expect = job.total_io_mb(&fw);
+        let out = run_standalone(&spec, &fw, job).unwrap();
+        let moved = out.usage.read_mb + out.usage.write_mb;
+        assert!((moved - expect).abs() / expect < 0.02, "moved {moved} expect {expect}");
+    }
+
+    #[test]
+    fn node_energy_equals_sum_of_attributed_energy() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        node.submit(JobSpec::new(
+            App::Gp,
+            InputSize::Small,
+            cfg(3, Frequency::F2_0, BlockSize::B256),
+        ))
+        .unwrap();
+        node.submit(JobSpec::new(
+            App::St,
+            InputSize::Small,
+            cfg(2, Frequency::F1_6, BlockSize::B128),
+        ))
+        .unwrap();
+        node.run_to_completion().unwrap();
+        let attributed: f64 = node.finished().iter().map(|o| o.usage.energy_j).sum();
+        let total = node.energy_j();
+        assert!(
+            (attributed - total).abs() / total < 0.02,
+            "attributed {attributed} total {total}"
+        );
+    }
+
+    #[test]
+    fn dram_oversubscription_inflates_io() {
+        let (spec, fw) = atom();
+        // Two big FP-Growth jobs with huge block buffers blow past 8 GB.
+        let job = || {
+            JobSpec::new(
+                App::Fp,
+                InputSize::Large,
+                cfg(4, Frequency::F2_4, BlockSize::B1024),
+            )
+        };
+        let mut node = NodeSim::new(spec, fw.clone());
+        node.submit(job()).unwrap();
+        node.submit(job()).unwrap();
+        node.step().unwrap();
+        let (_, _, _, footprint) = node.contention_snapshot().unwrap();
+        assert!(footprint > 8192.0, "footprint {footprint}");
+        node.run_to_completion().unwrap();
+        let moved: f64 = node
+            .finished()
+            .iter()
+            .map(|o| o.usage.read_mb + o.usage.write_mb)
+            .sum();
+        let static_io: f64 = 2.0 * job().total_io_mb(&fw);
+        assert!(moved > 1.05 * static_io, "spill should inflate: {moved} vs {static_io}");
+    }
+
+    #[test]
+    fn small_blocks_pay_task_overhead() {
+        let (spec, fw) = atom();
+        let t = |b| {
+            run_standalone(
+                &spec,
+                &fw,
+                JobSpec::new(App::Gp, InputSize::Large, cfg(4, Frequency::F2_4, b)),
+            )
+            .unwrap()
+            .metrics
+            .exec_time_s
+        };
+        assert!(t(BlockSize::B64) > 1.15 * t(BlockSize::B512));
+    }
+
+    #[test]
+    fn time_is_monotone_under_colocation() {
+        // A job never gets faster because a rival appeared.
+        let (spec, fw) = atom();
+        let st = JobSpec::new(App::St, InputSize::Small, cfg(2, Frequency::F2_4, BlockSize::B256));
+        let wc = JobSpec::new(App::Wc, InputSize::Small, cfg(6, Frequency::F2_4, BlockSize::B256));
+        let solo = run_standalone(&spec, &fw, st.clone()).unwrap().metrics.exec_time_s;
+        let (outs, _) = run_colocated(&spec, &fw, vec![st, wc]).unwrap();
+        let st_out = outs.iter().find(|o| o.spec.profile.name == "st").unwrap();
+        assert!(st_out.metrics.exec_time_s >= 0.99 * solo);
+    }
+
+    #[test]
+    fn timeline_records_stages_in_order() {
+        let (spec, fw) = atom();
+        let out = run_standalone(
+            &spec,
+            &fw,
+            JobSpec::new(App::Ts, InputSize::Small, cfg(4, Frequency::F2_0, BlockSize::B256)),
+        )
+        .unwrap();
+        let kinds: Vec<_> = out.timeline.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                crate::stage::StageKind::Setup,
+                crate::stage::StageKind::Map,
+                crate::stage::StageKind::Reduce
+            ]
+        );
+        // Times strictly increase and end at the job's completion.
+        for w in out.timeline.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+        let last = out.timeline.last().unwrap().1;
+        assert!((last - out.metrics.exec_time_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_trace_integrates_to_metered_energy() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        node.enable_power_trace();
+        node.submit(JobSpec::new(
+            App::Gp,
+            InputSize::Small,
+            cfg(4, Frequency::F2_0, BlockSize::B256),
+        ))
+        .unwrap();
+        node.run_to_completion().unwrap();
+        let trace = node.power_trace().expect("enabled");
+        assert!(!trace.is_empty());
+        let trace_energy: f64 = trace.iter().sum();
+        // Whole-second samples cover all but the trailing partial second.
+        assert!(trace_energy <= node.energy_j() + 1e-9);
+        assert!(trace_energy >= node.energy_j() * 0.9);
+    }
+
+    #[test]
+    fn advancing_an_idle_node_moves_time_only() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        node.advance(5.0).unwrap();
+        assert_eq!(node.now(), 5.0);
+        assert_eq!(node.energy_j(), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Framework-level constants of the simulated Hadoop stack.
+//!
+//! These model software behaviours of Hadoop/HDFS that are independent of the
+//! node hardware but shape the paper's results.
+
+/// Tunable constants of the MapReduce framework model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkSpec {
+    /// Ceiling on the aggregate disk bandwidth one *job* can drive, MB/s.
+    ///
+    /// A single Hadoop job reads HDFS through one DataNode client pipeline
+    /// per slot with checksumming, serialisation and buffer copies in the
+    /// path; measured single-job scan bandwidth on microservers sits well
+    /// below the raw device rate. Because of this ceiling, one I/O-bound job
+    /// leaves physical disk headroom that only a *co-located second job* can
+    /// claim — the mechanism behind the COLAO-vs-ILAO gap for I-I pairs.
+    pub job_io_cap_mbps: f64,
+    /// Per-mapper sort/serialisation buffer as a fraction of the block size
+    /// (io.sort.mb scaled with the split), MB of DRAM per active slot.
+    pub mapper_buffer_frac: f64,
+    /// Additional disk-traffic multiplier applied per unit of DRAM
+    /// over-subscription (spill pressure when footprints exceed capacity).
+    pub overcommit_spill_slope: f64,
+    /// Fraction of a reduce task's shuffle input re-read/re-written per merge
+    /// pass beyond the first.
+    pub reduce_merge_overhead: f64,
+    /// Fixed cycles per reduce task (setup, final merge bookkeeping).
+    pub reduce_task_overhead_cycles: f64,
+    /// Fraction of map input bytes that are still resident in the page cache
+    /// when the map output is spilled (reduces effective write traffic).
+    pub page_cache_hit_frac: f64,
+    /// Half-saturation extent of the job pipeline's sequential efficiency:
+    /// per-block open/locate/checksum overheads make small HDFS blocks reach
+    /// only a fraction of [`FrameworkSpec::job_io_cap_mbps`]; see
+    /// [`FrameworkSpec::job_io_cap`].
+    pub io_cap_half_extent_mb: f64,
+}
+
+impl Default for FrameworkSpec {
+    fn default() -> FrameworkSpec {
+        FrameworkSpec {
+            job_io_cap_mbps: 70.0,
+            mapper_buffer_frac: 0.35,
+            overcommit_spill_slope: 1.6,
+            reduce_merge_overhead: 0.25,
+            reduce_task_overhead_cycles: 1.0e9,
+            page_cache_hit_frac: 0.15,
+            io_cap_half_extent_mb: 25.0,
+        }
+    }
+}
+
+impl FrameworkSpec {
+    /// Effective job pipeline ceiling at sequential extent `extent_mb`, MB/s:
+    /// `job_io_cap_mbps · extent/(extent + half_extent)`. 64 MB blocks reach
+    /// ~72 % of the ceiling, 1 GB blocks ~98 %.
+    #[inline]
+    pub fn job_io_cap(&self, extent_mb: f64) -> f64 {
+        let e = extent_mb.max(1.0);
+        self.job_io_cap_mbps * e / (e + self.io_cap_half_extent_mb)
+    }
+
+    /// DRAM occupied by one active mapper slot at block size `block_mb`.
+    #[inline]
+    pub fn mapper_buffer_mb(&self, block_mb: f64) -> f64 {
+        self.mapper_buffer_frac * block_mb
+    }
+
+    /// Disk-traffic inflation for a node whose resident footprints total
+    /// `footprint_mb` against `capacity_mb` of DRAM. 1.0 when everything
+    /// fits; grows linearly with the over-subscription ratio.
+    #[inline]
+    pub fn spill_inflation(&self, footprint_mb: f64, capacity_mb: f64) -> f64 {
+        let over = (footprint_mb / capacity_mb - 1.0).max(0.0);
+        1.0 + self.overcommit_spill_slope * over
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_cap_leaves_disk_headroom() {
+        // The whole point: one job's ceiling must sit well below the Atom
+        // disk's raw bandwidth so a co-runner has headroom to claim.
+        let fw = FrameworkSpec::default();
+        let disk = ecost_sim::NodeSpec::atom_c2758().disk;
+        assert!(fw.job_io_cap_mbps < 0.55 * disk.peak_bw_mbps);
+        assert!(fw.job_io_cap_mbps > 0.3 * disk.peak_bw_mbps);
+    }
+
+    #[test]
+    fn spill_inflation_kicks_in_only_when_oversubscribed() {
+        let fw = FrameworkSpec::default();
+        assert_eq!(fw.spill_inflation(4000.0, 8192.0), 1.0);
+        assert_eq!(fw.spill_inflation(8192.0, 8192.0), 1.0);
+        let over = fw.spill_inflation(12288.0, 8192.0);
+        assert!(over > 1.5 && over < 2.5, "{over}");
+    }
+
+    #[test]
+    fn job_io_cap_penalises_small_extents() {
+        let fw = FrameworkSpec::default();
+        let c64 = fw.job_io_cap(64.0);
+        let c1024 = fw.job_io_cap(1024.0);
+        assert!(c64 < 0.78 * fw.job_io_cap_mbps, "{c64}");
+        assert!(c1024 > 0.95 * fw.job_io_cap_mbps, "{c1024}");
+        assert!(c64 < c1024);
+    }
+
+    #[test]
+    fn mapper_buffer_scales_with_block() {
+        let fw = FrameworkSpec::default();
+        assert!(fw.mapper_buffer_mb(1024.0) > 4.0 * fw.mapper_buffer_mb(128.0));
+    }
+}

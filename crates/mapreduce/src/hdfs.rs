@@ -1,0 +1,85 @@
+//! HDFS input-split model.
+//!
+//! Splits an input of `S` MB into map tasks of one block each and computes
+//! the wave structure for a given slot count, including the tail-imbalance
+//! inflation that makes very large blocks risky: with 10 GB of input and
+//! 1 GB blocks, 10 tasks on 8 slots run as a full wave of 8 plus a
+//! straggling wave of 2 — six slots sit idle for half the stage.
+
+use crate::config::BlockSize;
+
+/// Split description for one job's map stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitPlan {
+    /// Number of map tasks (`⌈S/h⌉`).
+    pub tasks: u32,
+    /// Number of waves with `slots` simultaneous mappers.
+    pub waves: u32,
+    /// Tail-imbalance inflation factor `slots·waves / tasks ≥ 1`: the
+    /// effective slot-seconds consumed per useful task.
+    pub tail_inflation: f64,
+}
+
+/// Compute the split plan for `input_mb` of data at block size `block` with
+/// `slots` simultaneous mappers.
+pub fn split(input_mb: f64, block: BlockSize, slots: u32) -> SplitPlan {
+    assert!(input_mb > 0.0, "input must be positive");
+    assert!(slots >= 1, "need at least one slot");
+    let tasks = (input_mb / block.mb()).ceil().max(1.0) as u32;
+    let waves = tasks.div_ceil(slots);
+    let tail_inflation = f64::from(waves * slots.min(tasks)) / f64::from(tasks);
+    SplitPlan {
+        tasks,
+        waves,
+        tail_inflation: tail_inflation.max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division_has_no_tail() {
+        let p = split(1024.0, BlockSize::B128, 8);
+        assert_eq!(p.tasks, 8);
+        assert_eq!(p.waves, 1);
+        assert!((p.tail_inflation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_wave_inflates() {
+        // 10 GB at 1 GB blocks on 8 slots: 10 tasks, 2 waves, 16 slot-tasks
+        // for 10 useful ones.
+        let p = split(10.0 * 1024.0, BlockSize::B1024, 8);
+        assert_eq!(p.tasks, 10);
+        assert_eq!(p.waves, 2);
+        assert!((p.tail_inflation - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_slot_never_inflates() {
+        for b in BlockSize::ALL {
+            let p = split(5.0 * 1024.0, b, 1);
+            assert!((p.tail_inflation - 1.0).abs() < 1e-12, "{b}");
+            assert_eq!(p.waves, p.tasks);
+        }
+    }
+
+    #[test]
+    fn fewer_tasks_than_slots() {
+        let p = split(100.0, BlockSize::B1024, 8);
+        assert_eq!(p.tasks, 1);
+        assert_eq!(p.waves, 1);
+        assert!((p.tail_inflation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_blocks_make_more_tasks() {
+        let coarse = split(10.0 * 1024.0, BlockSize::B1024, 4);
+        let fine = split(10.0 * 1024.0, BlockSize::B64, 4);
+        assert!(fine.tasks > 10 * coarse.tasks);
+        // …and amortise the tail better.
+        assert!(fine.tail_inflation <= coarse.tail_inflation);
+    }
+}

@@ -1,0 +1,227 @@
+//! Job specification and stage construction.
+
+use crate::config::TuningConfig;
+use crate::framework::FrameworkSpec;
+use crate::hdfs;
+use crate::stage::{Stage, StageKind};
+use ecost_apps::{App, AppProfile, InputSize};
+
+/// A runnable MapReduce job: an application, its per-node input share and a
+/// tuning configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Application demand profile (owned so synthetic apps work too).
+    pub profile: AppProfile,
+    /// Input size processed *by this node*, MB.
+    pub input_mb: f64,
+    /// The three knobs.
+    pub config: TuningConfig,
+    /// Fraction of shuffle traffic that crosses the network (0 on a single
+    /// node; `(span-1)/span` when the job spans several nodes).
+    pub remote_shuffle_frac: f64,
+    /// Label for reports ("wc@10GB" style).
+    pub label: String,
+}
+
+impl JobSpec {
+    /// Single-node job for a catalog application.
+    pub fn new(app: App, size: InputSize, config: TuningConfig) -> JobSpec {
+        JobSpec::from_profile(app.profile().clone(), size.per_node_mb(), config)
+    }
+
+    /// Job from an arbitrary profile and an explicit per-node input share.
+    pub fn from_profile(profile: AppProfile, input_mb: f64, config: TuningConfig) -> JobSpec {
+        assert!(input_mb > 0.0, "input must be positive");
+        let label = format!("{}@{:.0}MB", profile.name, input_mb);
+        JobSpec {
+            profile,
+            input_mb,
+            config,
+            remote_shuffle_frac: 0.0,
+            label,
+        }
+    }
+
+    /// Set the remote-shuffle fraction (multi-node jobs).
+    pub fn with_remote_shuffle(mut self, frac: f64) -> JobSpec {
+        assert!((0.0..=1.0).contains(&frac));
+        self.remote_shuffle_frac = frac;
+        self
+    }
+
+    /// Unroll into the stage list the executor runs.
+    pub fn stages(&self, fw: &FrameworkSpec) -> Vec<Stage> {
+        let p = &self.profile;
+        let cfg = self.config;
+        let f_hz = cfg.freq.hz();
+        let dyn_factor = cfg.freq.dynamic_factor();
+        let m = cfg.mappers;
+        let block_mb = cfg.block.mb();
+
+        let mut stages = Vec::with_capacity(3);
+        stages.push(Stage::setup(p.job_overhead_s, m, cfg.freq));
+
+        // ---- map stage ----
+        let plan = hdfs::split(self.input_mb, cfg.block, m);
+        let avg_mb = self.input_mb / f64::from(plan.tasks);
+        let write_mb = p.map_selectivity * p.spill_factor * avg_mb * (1.0 - fw.page_cache_hit_frac);
+        let io_mb = avg_mb + write_mb;
+        stages.push(Stage {
+            kind: StageKind::Map,
+            tasks: f64::from(plan.tasks) * plan.tail_inflation,
+            slots: m,
+            think0_s: (p.task_overhead_cycles + p.map_cycles_per_mb * avg_mb) / f_hz,
+            io_mb,
+            read_frac: avg_mb / io_mb,
+            nic_mb: 0.0,
+            stall_frac: p.mem_stall_frac,
+            bw_per_core_mbps: p.mem_bw_per_core_mbps(f_hz),
+            footprint_mb: p.footprint_base_mb
+                + p.working_set_frac * self.input_mb
+                + f64::from(m) * fw.mapper_buffer_mb(block_mb),
+            dyn_factor,
+            extent_mb: block_mb,
+            freq: cfg.freq,
+            setup_s: 0.0,
+        });
+
+        // ---- shuffle/reduce stage ----
+        let shuffle_total = p.map_selectivity * self.input_mb;
+        if shuffle_total >= 1.0 {
+            let reducers = m;
+            let sh = shuffle_total / f64::from(reducers);
+            let merge = fw.reduce_merge_overhead;
+            let read_mb = sh * (1.0 - self.remote_shuffle_frac) + sh * merge;
+            let write_mb = sh * merge + p.output_selectivity * self.input_mb / f64::from(reducers);
+            let io_mb = read_mb + write_mb;
+            let extent = fw.mapper_buffer_mb(block_mb).max(64.0);
+            stages.push(Stage {
+                kind: StageKind::Reduce,
+                tasks: f64::from(reducers),
+                slots: reducers,
+                think0_s: (fw.reduce_task_overhead_cycles
+                    + p.reduce_cycles_per_mb * sh * (1.0 + merge))
+                    / f_hz,
+                io_mb,
+                read_frac: if io_mb > 0.0 { read_mb / io_mb } else { 1.0 },
+                nic_mb: sh * self.remote_shuffle_frac,
+                stall_frac: p.mem_stall_frac,
+                bw_per_core_mbps: p.mem_bw_per_core_mbps(f_hz),
+                footprint_mb: p.footprint_base_mb
+                    + p.working_set_frac * self.input_mb
+                    + f64::from(reducers) * fw.mapper_buffer_mb(block_mb) * 0.5,
+                dyn_factor,
+                extent_mb: extent,
+                freq: cfg.freq,
+                setup_s: 0.0,
+            });
+        }
+
+        debug_assert!(stages.iter().all(|s| s.validate().is_ok()));
+        stages
+    }
+
+    /// Total disk bytes the job will move (map + reduce), MB — used by
+    /// conservation tests.
+    pub fn total_io_mb(&self, fw: &FrameworkSpec) -> f64 {
+        self.stages(fw)
+            .iter()
+            .map(|s| s.io_mb * s.tasks)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BlockSize;
+    use ecost_sim::Frequency;
+
+    fn cfg(mappers: u32) -> TuningConfig {
+        TuningConfig {
+            freq: Frequency::F2_4,
+            block: BlockSize::B512,
+            mappers,
+        }
+    }
+
+    #[test]
+    fn wordcount_has_tiny_reduce() {
+        let job = JobSpec::new(App::Wc, InputSize::Large, cfg(4));
+        let st = job.stages(&FrameworkSpec::default());
+        assert_eq!(st.len(), 3);
+        let map = &st[1];
+        let red = &st[2];
+        // WC barely shuffles: reduce I/O is a sliver of map I/O.
+        assert!(red.io_mb * red.tasks < 0.15 * map.io_mb * map.tasks);
+    }
+
+    #[test]
+    fn grep_at_small_input_skips_reduce_when_negligible() {
+        // 1 GB × 0.012 selectivity ≈ 12 MB of shuffle — still >= 1 MB, so a
+        // reduce stage exists; but a pure-map synthetic app skips it.
+        let mut p = App::Gp.profile().clone();
+        p.map_selectivity = 0.0;
+        let job = JobSpec::from_profile(p, 1024.0, cfg(2));
+        assert_eq!(job.stages(&FrameworkSpec::default()).len(), 2);
+    }
+
+    #[test]
+    fn sort_is_io_dominated() {
+        let job = JobSpec::new(App::St, InputSize::Large, cfg(1));
+        let st = job.stages(&FrameworkSpec::default());
+        let map = &st[1];
+        // Per task: I/O time at the job cap should exceed compute time by a
+        // wide margin — that's what makes st I/O-bound.
+        let io_s = map.io_mb / 70.0;
+        assert!(io_s > 2.0 * map.think0_s, "io={io_s} think={}", map.think0_s);
+    }
+
+    #[test]
+    fn wordcount_is_compute_dominated() {
+        let job = JobSpec::new(App::Wc, InputSize::Large, cfg(1));
+        let st = job.stages(&FrameworkSpec::default());
+        let map = &st[1];
+        let io_s = map.io_mb / 70.0;
+        assert!(map.think0_s > 3.0 * io_s);
+    }
+
+    #[test]
+    fn lower_frequency_slows_compute_only() {
+        let hi = JobSpec::new(App::Wc, InputSize::Medium, cfg(4));
+        let mut lo_cfg = cfg(4);
+        lo_cfg.freq = Frequency::F1_2;
+        let lo = JobSpec::new(App::Wc, InputSize::Medium, lo_cfg);
+        let fw = FrameworkSpec::default();
+        let (sh, sl) = (hi.stages(&fw), lo.stages(&fw));
+        assert!((sl[1].think0_s / sh[1].think0_s - 2.0).abs() < 1e-9);
+        assert_eq!(sl[1].io_mb, sh[1].io_mb);
+    }
+
+    #[test]
+    fn remote_shuffle_moves_bytes_to_nic() {
+        let fw = FrameworkSpec::default();
+        let local = JobSpec::new(App::Ts, InputSize::Medium, cfg(4));
+        let remote = local.clone().with_remote_shuffle(0.5);
+        let (sl, sr) = (local.stages(&fw), remote.stages(&fw));
+        assert_eq!(sl[2].nic_mb, 0.0);
+        assert!(sr[2].nic_mb > 0.0);
+        assert!(sr[2].io_mb < sl[2].io_mb);
+    }
+
+    #[test]
+    fn footprint_grows_with_mappers_and_block() {
+        let fw = FrameworkSpec::default();
+        let small = JobSpec::new(App::Fp, InputSize::Large, cfg(1));
+        let big = JobSpec::new(App::Fp, InputSize::Large, cfg(8));
+        assert!(big.stages(&fw)[1].footprint_mb > small.stages(&fw)[1].footprint_mb);
+    }
+
+    #[test]
+    fn total_io_scales_with_input() {
+        let fw = FrameworkSpec::default();
+        let s = JobSpec::new(App::St, InputSize::Small, cfg(4)).total_io_mb(&fw);
+        let l = JobSpec::new(App::St, InputSize::Large, cfg(4)).total_io_mb(&fw);
+        assert!(l > 8.0 * s && l < 12.0 * s);
+    }
+}

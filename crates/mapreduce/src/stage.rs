@@ -1,0 +1,147 @@
+//! Execution stages.
+//!
+//! A job unrolls into a stage list: a fixed `Setup` (Hadoop job
+//! initialisation), a `Map` stage of one task per HDFS block, and — when the
+//! application shuffles anything — a combined `Reduce` stage (shuffle +
+//! merge + reduce + output write). Each Map/Reduce stage becomes one customer
+//! class in the node's queueing network; `Setup` progresses at a fixed rate.
+
+use ecost_sim::Frequency;
+
+/// Kind of stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Serial job initialisation (JVM spin-up, split computation, AM setup).
+    Setup,
+    /// Map wave execution.
+    Map,
+    /// Shuffle + sort + reduce + output write.
+    Reduce,
+}
+
+/// One stage's resource demands. All `*_per task` quantities refer to the
+/// stage's work unit (a map task, a reducer, or the whole setup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// What this stage is (affects bookkeeping only; the executor treats
+    /// Map and Reduce identically).
+    pub kind: StageKind,
+    /// Work units to complete, already inflated for wave-tail imbalance.
+    pub tasks: f64,
+    /// Slots (= cores) the job occupies during this stage.
+    pub slots: u32,
+    /// Base compute time per task at the configured frequency, seconds,
+    /// before memory-stall dilation.
+    pub think0_s: f64,
+    /// Disk bytes moved per task, MB (before DRAM spill inflation).
+    pub io_mb: f64,
+    /// Fraction of `io_mb` that is reads (rest is writes).
+    pub read_frac: f64,
+    /// Network bytes per task, MB (remote shuffle only).
+    pub nic_mb: f64,
+    /// Memory-stall-sensitive fraction of the compute time (µ).
+    pub stall_frac: f64,
+    /// Memory traffic of one busy core, MB/s.
+    pub bw_per_core_mbps: f64,
+    /// Resident DRAM footprint while this stage runs, MB.
+    pub footprint_mb: f64,
+    /// V²f dynamic-power factor of the job's frequency.
+    pub dyn_factor: f64,
+    /// Sequential extent of this stage's disk accesses, MB (drives the
+    /// per-stream disk rate).
+    pub extent_mb: f64,
+    /// Operating frequency (kept for reporting).
+    pub freq: Frequency,
+    /// Duration of a `Setup` stage, seconds (unused otherwise).
+    pub setup_s: f64,
+}
+
+impl Stage {
+    /// A setup stage occupying `slots` cores for `seconds`.
+    pub fn setup(seconds: f64, slots: u32, freq: Frequency) -> Stage {
+        Stage {
+            kind: StageKind::Setup,
+            tasks: 1.0,
+            slots,
+            think0_s: 0.0,
+            io_mb: 0.0,
+            read_frac: 1.0,
+            nic_mb: 0.0,
+            stall_frac: 0.0,
+            bw_per_core_mbps: 0.0,
+            footprint_mb: 0.0,
+            dyn_factor: freq.dynamic_factor(),
+            extent_mb: 64.0,
+            freq,
+            setup_s: seconds.max(1e-3),
+        }
+    }
+
+    /// Does the stage use the queueing network (Map/Reduce) rather than the
+    /// fixed-rate path (Setup)?
+    #[inline]
+    pub fn is_fluid(&self) -> bool {
+        !matches!(self.kind, StageKind::Setup)
+    }
+
+    /// Maximum aggregate disk bandwidth this stage's slots can pull given a
+    /// per-stream rate `stream_rate_mbps`, before job-level and physical
+    /// caps, MB/s.
+    #[inline]
+    pub fn stream_bound_mbps(&self, stream_rate_mbps: f64) -> f64 {
+        f64::from(self.slots) * stream_rate_mbps
+    }
+
+    /// Basic sanity invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tasks <= 0.0 || !self.tasks.is_finite() {
+            return Err("tasks must be positive".into());
+        }
+        if self.slots == 0 {
+            return Err("slots must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.read_frac) {
+            return Err("read_frac out of range".into());
+        }
+        if self.is_fluid() && self.think0_s <= 0.0 && self.io_mb <= 0.0 {
+            return Err("fluid stage needs compute or I/O demand".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_stage_is_not_fluid() {
+        let s = Stage::setup(8.0, 4, Frequency::F2_0);
+        assert!(!s.is_fluid());
+        assert!(s.validate().is_ok());
+        assert_eq!(s.slots, 4);
+    }
+
+    #[test]
+    fn setup_duration_is_clamped_positive() {
+        let s = Stage::setup(0.0, 1, Frequency::F1_2);
+        assert!(s.setup_s > 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_empty_fluid_stage() {
+        let mut s = Stage::setup(1.0, 1, Frequency::F2_4);
+        s.kind = StageKind::Map;
+        assert!(s.validate().is_err());
+        s.io_mb = 10.0;
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn stream_bound_scales_with_slots() {
+        let mut s = Stage::setup(1.0, 4, Frequency::F2_4);
+        s.kind = StageKind::Map;
+        s.io_mb = 100.0;
+        assert_eq!(s.stream_bound_mbps(50.0), 200.0);
+    }
+}

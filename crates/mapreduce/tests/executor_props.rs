@@ -1,0 +1,89 @@
+//! Property-based tests of the execution model over the real catalog:
+//! conservation laws and knob monotonicities that must hold at every point
+//! of the paper's 160-configuration space.
+
+use ecost_apps::catalog::ALL_APPS;
+use ecost_apps::{App, InputSize};
+use ecost_mapreduce::executor::run_standalone;
+use ecost_mapreduce::{BlockSize, FrameworkSpec, JobSpec, TuningConfig};
+use ecost_sim::{Frequency, NodeSpec};
+use proptest::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = App> {
+    (0usize..ALL_APPS.len()).prop_map(|i| ALL_APPS[i])
+}
+
+fn arb_cfg() -> impl Strategy<Value = TuningConfig> {
+    (0usize..4, 0usize..5, 1u32..=8).prop_map(|(f, b, m)| TuningConfig {
+        freq: Frequency::from_index(f).expect("< 4"),
+        block: BlockSize::ALL[b],
+        mappers: m,
+    })
+}
+
+fn arb_size() -> impl Strategy<Value = InputSize> {
+    prop_oneof![
+        Just(InputSize::Small),
+        Just(InputSize::Medium),
+        Just(InputSize::Large)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Disk work is conserved: bytes moved match the job's static inventory
+    /// when DRAM is not over-subscribed (single job always fits).
+    #[test]
+    fn io_inventory_conserved(app in arb_app(), cfg in arb_cfg(), size in arb_size()) {
+        let spec = NodeSpec::atom_c2758();
+        let fw = FrameworkSpec::default();
+        let job = JobSpec::new(app, size, cfg);
+        let expect = job.total_io_mb(&fw);
+        let out = run_standalone(&spec, &fw, job).expect("sim");
+        let moved = out.usage.read_mb + out.usage.write_mb;
+        prop_assert!((moved - expect).abs() / expect < 0.03,
+            "{app} {cfg}: moved {moved} expected {expect}");
+    }
+
+    /// The counter identity CPUuser + CPUsys + CPUiowait + CPUidle ≤ 100
+    /// holds at every configuration.
+    #[test]
+    fn cpu_accounting_identity(app in arb_app(), cfg in arb_cfg()) {
+        use ecost_mapreduce::{Feature, FeatureVector};
+        let spec = NodeSpec::atom_c2758();
+        let fw = FrameworkSpec::default();
+        let out = run_standalone(&spec, &fw, JobSpec::new(app, InputSize::Small, cfg)).expect("sim");
+        let mut rng = ecost_sim::rng::stream(1, "props");
+        let v = FeatureVector::measure(&out, 0.0, &mut rng);
+        let sum = v.get(Feature::CpuUser) + v.get(Feature::CpuSys)
+            + v.get(Feature::CpuIowait) + v.get(Feature::CpuIdle);
+        prop_assert!(sum <= 100.0 + 1e-6, "{app} {cfg}: {sum}");
+        prop_assert!(v.get(Feature::Ipc) <= app.profile().ipc_base + 1e-9);
+    }
+
+    /// Energy is consistent with power × time and EDP with its definition.
+    #[test]
+    fn energy_identities(app in arb_app(), cfg in arb_cfg()) {
+        let spec = NodeSpec::atom_c2758();
+        let fw = FrameworkSpec::default();
+        let m = run_standalone(&spec, &fw, JobSpec::new(app, InputSize::Small, cfg))
+            .expect("sim")
+            .metrics;
+        prop_assert!((m.avg_power_w * m.exec_time_s - m.energy_j).abs() < 1e-6 * m.energy_j);
+        prop_assert!((m.edp() - m.exec_time_s * m.energy_j).abs() < 1e-9 * m.edp());
+        let idle = spec.idle_power_w;
+        prop_assert!(m.edp_wall(idle) > m.edp());
+    }
+
+    /// Larger HDFS blocks never *increase* the number of map tasks.
+    #[test]
+    fn block_size_monotone_tasks(size in arb_size(), m in 1u32..=8) {
+        let mut prev = u32::MAX;
+        for block in BlockSize::ALL {
+            let plan = ecost_mapreduce::hdfs::split(size.per_node_mb(), block, m);
+            prop_assert!(plan.tasks <= prev);
+            prev = plan.tasks;
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Row-oriented dataset with named columns and CSV round-trip.
+//!
+//! Used for the feature matrices of §6.1 and the model training sets; the
+//! CSV writer backs the experiment binaries' output files.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A dataset: named feature columns plus one target column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature column names.
+    pub feature_names: Vec<String>,
+    /// Target column name.
+    pub target_name: String,
+    /// Feature rows (all of length `feature_names.len()`).
+    pub x: Vec<Vec<f64>>,
+    /// Targets, same length as `x`.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Empty dataset with the given schema.
+    pub fn new(feature_names: Vec<String>, target_name: impl Into<String>) -> Dataset {
+        Dataset {
+            feature_names,
+            target_name: target_name.into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) {
+        assert_eq!(features.len(), self.feature_names.len(), "schema mismatch");
+        assert!(features.iter().all(|v| v.is_finite()), "non-finite feature");
+        assert!(target.is_finite(), "non-finite target");
+        self.x.push(features);
+        self.y.push(target);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Split by index: rows `[0, at)` and `[at, len)`.
+    pub fn split_at(&self, at: usize) -> (Dataset, Dataset) {
+        let mut a = Dataset::new(self.feature_names.clone(), self.target_name.clone());
+        let mut b = Dataset::new(self.feature_names.clone(), self.target_name.clone());
+        for i in 0..self.len() {
+            if i < at {
+                a.push(self.x[i].clone(), self.y[i]);
+            } else {
+                b.push(self.x[i].clone(), self.y[i]);
+            }
+        }
+        (a, b)
+    }
+
+    /// Deterministically shuffle rows with the RNG.
+    pub fn shuffle<R: rand::Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.x.swap(i, j);
+            self.y.swap(i, j);
+        }
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let header: Vec<&str> = self
+            .feature_names
+            .iter()
+            .map(String::as_str)
+            .chain(std::iter::once(self.target_name.as_str()))
+            .collect();
+        let _ = writeln!(s, "{}", header.join(","));
+        for (row, y) in self.x.iter().zip(&self.y) {
+            for v in row {
+                let _ = write!(s, "{v},");
+            }
+            let _ = writeln!(s, "{y}");
+        }
+        s
+    }
+
+    /// Parse the CSV produced by [`Dataset::to_csv`].
+    pub fn from_csv(text: &str) -> Result<Dataset, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty csv")?;
+        let mut cols: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+        let target_name = cols.pop().ok_or("no columns")?;
+        let mut ds = Dataset::new(cols, target_name);
+        for (no, line) in lines.enumerate() {
+            let vals: Result<Vec<f64>, _> = line.split(',').map(|t| t.trim().parse::<f64>()).collect();
+            let mut vals = vals.map_err(|e| format!("line {}: {e}", no + 2))?;
+            let y = vals.pop().ok_or_else(|| format!("line {}: empty", no + 2))?;
+            if vals.len() != ds.num_features() {
+                return Err(format!("line {}: wrong arity", no + 2));
+            }
+            ds.push(vals, y);
+        }
+        Ok(ds)
+    }
+
+    /// Write CSV to a file.
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Read CSV from a file.
+    pub fn load_csv(path: impl AsRef<Path>) -> std::io::Result<Dataset> {
+        let text = std::fs::read_to_string(path)?;
+        Dataset::from_csv(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], "y");
+        d.push(vec![1.0, 2.0], 3.0);
+        d.push(vec![4.0, 5.0], 6.0);
+        d.push(vec![7.0, 8.0], 9.0);
+        d
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let d = sample();
+        let d2 = Dataset::from_csv(&d.to_csv()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage() {
+        assert!(Dataset::from_csv("").is_err());
+        assert!(Dataset::from_csv("a,b,y\n1,2,three").is_err());
+        assert!(Dataset::from_csv("a,b,y\n1,2").is_err());
+    }
+
+    #[test]
+    fn split_preserves_rows() {
+        let d = sample();
+        let (a, b) = d.split_at(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.y[0], 9.0);
+        assert_eq!(a.feature_names, d.feature_names);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut d = sample();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        d.shuffle(&mut rng);
+        let mut ys = d.y.clone();
+        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(ys, vec![3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema mismatch")]
+    fn push_checks_arity() {
+        let mut d = sample();
+        d.push(vec![1.0], 2.0);
+    }
+}

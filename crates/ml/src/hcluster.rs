@@ -1,0 +1,236 @@
+//! Agglomerative hierarchical clustering (§3.2).
+//!
+//! The paper groups correlated feature metrics by clustering them in PC
+//! space, then keeps one representative per cluster (7 survivors out of 14).
+//! This is plain bottom-up agglomeration over Euclidean distance with
+//! selectable linkage.
+
+/// Linkage criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between clusters.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+/// One merge step of the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// Indices of the two merged clusters (cluster ids; leaves are
+    /// `0..n`, internal nodes continue upward).
+    pub left: usize,
+    /// Second merged cluster.
+    pub right: usize,
+    /// Distance at which the merge happened.
+    pub distance: f64,
+    /// Id assigned to the merged cluster.
+    pub id: usize,
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    /// Number of leaves.
+    pub n: usize,
+    /// Merges in order of increasing distance.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cut the tree into `k` clusters; returns a cluster label per leaf
+    /// (labels are arbitrary but consistent, in `0..k`).
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n, "k out of range");
+        // Union-find over the first n-k merges.
+        let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for m in self.merges.iter().take(self.n - k) {
+            let (a, b) = (find(&mut parent, m.left), find(&mut parent, m.right));
+            parent[a] = m.id;
+            parent[b] = m.id;
+        }
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for leaf in 0..self.n {
+            let root = find(&mut parent, leaf);
+            let next = label_of_root.len();
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        labels
+    }
+}
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Cluster `points` bottom-up with the given linkage.
+pub fn agglomerative(points: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    let n = points.len();
+    assert!(n >= 1, "need at least one point");
+    // Active clusters: id → member leaf indices.
+    let mut members: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+
+    let cluster_dist = |a: &[usize], b: &[usize]| -> f64 {
+        let mut best = match linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => 0.0,
+            Linkage::Average => 0.0,
+        };
+        let mut sum = 0.0;
+        for &i in a {
+            for &j in b {
+                let d = euclid(&points[i], &points[j]);
+                match linkage {
+                    Linkage::Single => best = best.min(d),
+                    Linkage::Complete => best = best.max(d),
+                    Linkage::Average => sum += d,
+                }
+            }
+        }
+        match linkage {
+            Linkage::Average => sum / (a.len() * b.len()) as f64,
+            _ => best,
+        }
+    };
+
+    while members.len() > 1 {
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                let d = cluster_dist(&members[i].1, &members[j].1);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        let (rid, right) = members.remove(j);
+        let (lid, left) = members.remove(i);
+        let mut merged = left;
+        merged.extend(right);
+        merges.push(Merge {
+            left: lid,
+            right: rid,
+            distance: d,
+            id: next_id,
+        });
+        members.push((next_id, merged));
+        next_id += 1;
+    }
+    Dendrogram { n, merges }
+}
+
+/// Convenience: cluster points into `k` groups and pick, per group, the
+/// member closest to the group centroid — the paper's "7 most important and
+/// distinct" feature selection.
+pub fn representatives(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<usize> {
+    let dend = agglomerative(points, linkage);
+    let labels = dend.cut(k);
+    let dim = points[0].len();
+    let mut reps = Vec::with_capacity(k);
+    for cluster in 0..k {
+        let ids: Vec<usize> = (0..points.len()).filter(|i| labels[*i] == cluster).collect();
+        let mut centroid = vec![0.0; dim];
+        for &i in &ids {
+            for (c, v) in centroid.iter_mut().zip(&points[i]) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= ids.len() as f64;
+        }
+        let rep = ids
+            .into_iter()
+            .min_by(|&a, &b| {
+                euclid(&points[a], &centroid)
+                    .partial_cmp(&euclid(&points[b], &centroid))
+                    .expect("finite")
+            })
+            .expect("non-empty cluster");
+        reps.push(rep);
+    }
+    reps.sort_unstable();
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            for d in 0..4 {
+                pts.push(vec![cx + 0.1 * d as f64, cy - 0.1 * d as f64]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let labels = agglomerative(&three_blobs(), linkage).cut(3);
+            // All members of a blob share a label; blobs differ.
+            for blob in 0..3 {
+                let l = labels[blob * 4];
+                for i in 0..4 {
+                    assert_eq!(labels[blob * 4 + i], l, "{linkage:?}");
+                }
+            }
+            assert_ne!(labels[0], labels[4]);
+            assert_ne!(labels[4], labels[8]);
+        }
+    }
+
+    #[test]
+    fn cut_k1_is_one_cluster_and_kn_is_all_singletons() {
+        let pts = three_blobs();
+        let dend = agglomerative(&pts, Linkage::Average);
+        let all = dend.cut(1);
+        assert!(all.iter().all(|l| *l == all[0]));
+        let singles = dend.cut(pts.len());
+        let uniq: std::collections::HashSet<_> = singles.iter().collect();
+        assert_eq!(uniq.len(), pts.len());
+    }
+
+    #[test]
+    fn merge_distances_are_nondecreasing_for_single_linkage() {
+        let dend = agglomerative(&three_blobs(), Linkage::Single);
+        for w in dend.merges.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+    }
+
+    #[test]
+    fn representatives_picks_one_per_blob() {
+        let reps = representatives(&three_blobs(), 3, Linkage::Average);
+        assert_eq!(reps.len(), 3);
+        let blobs: std::collections::HashSet<usize> = reps.iter().map(|r| r / 4).collect();
+        assert_eq!(blobs.len(), 3);
+    }
+
+    #[test]
+    fn single_point_is_its_own_cluster() {
+        let dend = agglomerative(&[vec![1.0, 2.0]], Linkage::Complete);
+        assert_eq!(dend.cut(1), vec![0]);
+        assert!(dend.merges.is_empty());
+    }
+}

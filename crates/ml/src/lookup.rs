@@ -1,0 +1,132 @@
+//! Lookup table keyed by feature similarity (the paper's "LkT" model).
+//!
+//! Stores `(signature, payload)` entries; a query returns the payload of the
+//! nearest stored signature in z-scored feature space. This is exactly
+//! LkT-STP's retrieval step: "the classifier chooses the application in the
+//! database that best resembles the testing application" and reads off its
+//! stored optimal configuration.
+
+use crate::knn::euclidean;
+use crate::preprocess::ZScore;
+
+/// Nearest-signature lookup table.
+#[derive(Debug, Clone)]
+pub struct LookupTable<V> {
+    entries: Vec<(Vec<f64>, V)>,
+    scaler: Option<ZScore>,
+    scaled: Vec<Vec<f64>>,
+}
+
+impl<V> LookupTable<V> {
+    /// Empty table.
+    pub fn new() -> LookupTable<V> {
+        LookupTable {
+            entries: Vec::new(),
+            scaler: None,
+            scaled: Vec::new(),
+        }
+    }
+
+    /// Insert an entry. Call [`LookupTable::build`] after the last insert.
+    pub fn insert(&mut self, signature: Vec<f64>, payload: V) {
+        if let Some(first) = self.entries.first() {
+            assert_eq!(first.0.len(), signature.len(), "signature arity mismatch");
+        }
+        self.entries.push((signature, payload));
+        self.scaler = None;
+    }
+
+    /// Fit the internal scaler over the stored signatures. Must be called
+    /// after inserts and before queries.
+    pub fn build(&mut self) {
+        assert!(!self.entries.is_empty(), "empty lookup table");
+        let rows: Vec<Vec<f64>> = self.entries.iter().map(|(s, _)| s.clone()).collect();
+        let scaler = ZScore::fit(&rows);
+        self.scaled = scaler.transform_all(&rows);
+        self.scaler = Some(scaler);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Payload of the nearest signature, with its distance.
+    pub fn query(&self, signature: &[f64]) -> (&V, f64) {
+        let scaler = self.scaler.as_ref().expect("build() before query");
+        let q = scaler.transform(signature);
+        let (idx, dist) = self
+            .scaled
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, euclidean(s, &q)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        (&self.entries[idx].1, dist)
+    }
+
+    /// Iterate over entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(Vec<f64>, V)> {
+        self.entries.iter()
+    }
+}
+
+impl<V> Default for LookupTable<V> {
+    fn default() -> Self {
+        LookupTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_nearest_payload() {
+        let mut t = LookupTable::new();
+        t.insert(vec![0.0, 0.0], "origin");
+        t.insert(vec![10.0, 10.0], "far");
+        t.build();
+        let (v, d) = t.query(&[1.0, 1.0]);
+        assert_eq!(*v, "origin");
+        assert!(d > 0.0);
+        let (v, _) = t.query(&[9.0, 9.5]);
+        assert_eq!(*v, "far");
+    }
+
+    #[test]
+    fn exact_match_has_zero_distance() {
+        let mut t = LookupTable::new();
+        t.insert(vec![1.0, 2.0, 3.0], 42u32);
+        t.insert(vec![4.0, 5.0, 6.0], 43u32);
+        t.build();
+        let (v, d) = t.query(&[1.0, 2.0, 3.0]);
+        assert_eq!(*v, 42);
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "build() before query")]
+    fn query_requires_build() {
+        let mut t = LookupTable::new();
+        t.insert(vec![1.0], 1u8);
+        let _ = t.query(&[1.0]);
+    }
+
+    #[test]
+    fn scaling_prevents_dominant_feature() {
+        let mut t = LookupTable::new();
+        // Feature 1 is huge noise; feature 0 carries identity.
+        t.insert(vec![0.0, 500_000.0], "a");
+        t.insert(vec![0.1, -500_000.0], "a2");
+        t.insert(vec![10.0, 500_000.0], "b");
+        t.build();
+        let (v, _) = t.query(&[9.8, -400_000.0]);
+        assert_eq!(*v, "b");
+    }
+}

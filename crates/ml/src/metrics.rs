@@ -1,0 +1,102 @@
+//! Error metrics.
+//!
+//! The paper reports Absolute Percentage Error (Table 1) and relative EDP
+//! differences (§7.1); both reduce to the functions here.
+
+/// Mean absolute percentage error `mean(|pred - true| / |true|) · 100`.
+///
+/// Rows whose true value is (near) zero are skipped, as Weka does.
+pub fn mean_absolute_percentage_error(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(pred) {
+        if t.abs() > 1e-12 {
+            sum += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64;
+    mse.sqrt()
+}
+
+/// Coefficient of determination R².
+pub fn r2_score(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let n = truth.len() as f64;
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mean: f64 = truth.iter().sum::<f64>() / n;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    if ss_tot <= 1e-300 {
+        if ss_res <= 1e-300 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_metrics() {
+        let t = [1.0, 2.0, 4.0];
+        assert_eq!(mean_absolute_percentage_error(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(r2_score(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // Errors: 10%, 50% → mean 30%.
+        let t = [10.0, 2.0];
+        let p = [11.0, 1.0];
+        assert!((mean_absolute_percentage_error(&t, &p) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let t = [0.0, 2.0];
+        let p = [5.0, 3.0];
+        assert!((mean_absolute_percentage_error(&t, &p) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let t = [0.0, 0.0];
+        let p = [3.0, 4.0];
+        assert!((rmse(&t, &p) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2_score(&t, &p).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,386 @@
+//! Multilayer perceptron regressor (the paper's "MLP" model).
+//!
+//! Fully-connected feed-forward network with tanh hidden layers and a linear
+//! output, trained by mini-batch SGD with momentum and early stopping on a
+//! validation split. Inputs and the target are z-scored internally, so the
+//! caller feeds raw features. The paper's MLP is its most accurate and most
+//! expensive model (Table 1 / Fig 8) — both properties carry over.
+
+use crate::dataset::Dataset;
+use crate::model::Regressor;
+use crate::preprocess::ZScore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Network/trainer hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Training epochs (upper bound; early stopping may end sooner).
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Multiplicative learning-rate decay applied per epoch (1.0 = none).
+    pub lr_decay: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Fraction of rows held out for early stopping (0 disables).
+    pub val_fraction: f64,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+    /// Weight-init / shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![32, 16],
+            epochs: 300,
+            learning_rate: 0.01,
+            lr_decay: 0.997,
+            momentum: 0.9,
+            batch: 32,
+            val_fraction: 0.15,
+            patience: 25,
+            seed: 0x3317,
+        }
+    }
+}
+
+/// One dense layer.
+#[derive(Debug, Clone)]
+struct Layer {
+    /// `w[o][i]` weight from input i to output o.
+    w: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    vw: Vec<Vec<f64>>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Layer {
+        // Xavier/Glorot uniform.
+        let limit = (6.0 / (inputs + outputs) as f64).sqrt();
+        let w = (0..outputs)
+            .map(|_| (0..inputs).map(|_| rng.gen_range(-limit..limit)).collect())
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; outputs],
+            vw: vec![vec![0.0; inputs]; outputs],
+            vb: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for (wo, bo) in self.w.iter().zip(&self.b) {
+            out.push(bo + wo.iter().zip(x).map(|(w, v)| w * v).sum::<f64>());
+        }
+    }
+}
+
+/// The fitted network.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<Layer>,
+    x_scaler: Option<ZScore>,
+    y_mean: f64,
+    y_std: f64,
+    /// Epochs actually trained (after early stopping).
+    pub trained_epochs: usize,
+}
+
+impl Mlp {
+    /// New unfitted network.
+    pub fn new(config: MlpConfig) -> Mlp {
+        Mlp {
+            config,
+            layers: Vec::new(),
+            x_scaler: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+            trained_epochs: 0,
+        }
+    }
+
+    /// Forward pass in normalised space; `acts[l]` holds layer `l`'s output
+    /// (post-activation), `acts[0]` the input.
+    fn forward(&self, x: &[f64], acts: &mut Vec<Vec<f64>>) -> f64 {
+        acts.clear();
+        acts.push(x.to_vec());
+        let last = self.layers.len() - 1;
+        let mut buf = Vec::new();
+        for (l, layer) in self.layers.iter().enumerate() {
+            layer.forward(acts.last().expect("non-empty"), &mut buf);
+            if l < last {
+                for v in &mut buf {
+                    *v = v.tanh();
+                }
+            }
+            acts.push(buf.clone());
+        }
+        acts.last().expect("non-empty")[0]
+    }
+
+    fn sse_normalised(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        let mut acts = Vec::new();
+        x.iter()
+            .zip(y)
+            .map(|(xi, yi)| {
+                let p = self.forward(xi, &mut acts);
+                (p - yi) * (p - yi)
+            })
+            .sum()
+    }
+}
+
+impl Regressor for Mlp {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(data.len() >= 4, "need a few rows to train");
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Normalise inputs and target.
+        let scaler = ZScore::fit(&data.x);
+        let xs: Vec<Vec<f64>> = scaler.transform_all(&data.x);
+        let n = data.len() as f64;
+        self.y_mean = data.y.iter().sum::<f64>() / n;
+        let var = data.y.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / n;
+        self.y_std = var.sqrt().max(1e-12);
+        let ys: Vec<f64> = data.y.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+        self.x_scaler = Some(scaler);
+
+        // Architecture.
+        let mut dims = vec![data.num_features()];
+        dims.extend(&self.config.hidden);
+        dims.push(1);
+        self.layers = dims
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        // Train/validation split.
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let n_val = if self.config.val_fraction > 0.0 && data.len() >= 20 {
+            ((data.len() as f64 * self.config.val_fraction) as usize).clamp(1, data.len() / 2)
+        } else {
+            0
+        };
+        let (val_idx, train_idx) = order.split_at(n_val);
+        let val_x: Vec<Vec<f64>> = val_idx.iter().map(|&i| xs[i].clone()).collect();
+        let val_y: Vec<f64> = val_idx.iter().map(|&i| ys[i]).collect();
+        let mut train: Vec<usize> = train_idx.to_vec();
+
+        let mut best_layers = self.layers.clone();
+        let mut best_val = f64::INFINITY;
+        let mut stale = 0usize;
+        let mut lr = self.config.learning_rate;
+        let mu = self.config.momentum;
+        let mut acts: Vec<Vec<f64>> = Vec::new();
+        let mut deltas: Vec<Vec<f64>> = Vec::new();
+
+        for epoch in 0..self.config.epochs {
+            self.trained_epochs = epoch + 1;
+            for i in (1..train.len()).rev() {
+                train.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in train.chunks(self.config.batch.max(1)) {
+                // Accumulate gradients over the mini-batch.
+                let mut gw: Vec<Vec<Vec<f64>>> = self
+                    .layers
+                    .iter()
+                    .map(|l| vec![vec![0.0; l.w[0].len()]; l.w.len()])
+                    .collect();
+                let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                for &i in chunk {
+                    let pred = self.forward(&xs[i], &mut acts);
+                    let err = pred - ys[i];
+                    // Backprop.
+                    deltas.clear();
+                    deltas.resize(self.layers.len(), Vec::new());
+                    let last = self.layers.len() - 1;
+                    deltas[last] = vec![err];
+                    for l in (0..last).rev() {
+                        let next = &self.layers[l + 1];
+                        let dn = deltas[l + 1].clone();
+                        let act = &acts[l + 1];
+                        let mut d = vec![0.0; self.layers[l].b.len()];
+                        for (j, dj) in d.iter_mut().enumerate() {
+                            let mut s = 0.0;
+                            for (o, dno) in dn.iter().enumerate() {
+                                s += next.w[o][j] * dno;
+                            }
+                            // tanh'(z) = 1 - tanh(z)².
+                            *dj = s * (1.0 - act[j] * act[j]);
+                        }
+                        deltas[l] = d;
+                    }
+                    for (l, layer) in self.layers.iter().enumerate() {
+                        let input = &acts[l];
+                        for (o, d) in deltas[l].iter().enumerate() {
+                            gb[l][o] += d;
+                            for (gwo, inp) in gw[l][o].iter_mut().zip(input) {
+                                *gwo += d * inp;
+                            }
+                            let _ = layer;
+                        }
+                    }
+                }
+                // SGD + momentum update.
+                let scale = lr / chunk.len() as f64;
+                for (l, layer) in self.layers.iter_mut().enumerate() {
+                    for o in 0..layer.b.len() {
+                        layer.vb[o] = mu * layer.vb[o] - scale * gb[l][o];
+                        layer.b[o] += layer.vb[o];
+                        for i in 0..layer.w[o].len() {
+                            layer.vw[o][i] = mu * layer.vw[o][i] - scale * gw[l][o][i];
+                            layer.w[o][i] += layer.vw[o][i];
+                        }
+                    }
+                }
+            }
+            lr *= self.config.lr_decay;
+            if n_val > 0 {
+                let val = self.sse_normalised(&val_x, &val_y);
+                if val < best_val - 1e-9 {
+                    best_val = val;
+                    best_layers = self.layers.clone();
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= self.config.patience {
+                        break;
+                    }
+                }
+            }
+        }
+        if n_val > 0 {
+            self.layers = best_layers;
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        let scaler = self.x_scaler.as_ref().expect("fit before predict");
+        let x = scaler.transform(row);
+        let mut acts = Vec::new();
+        let z = self.forward(&x, &mut acts);
+        z * self.y_std + self.y_mean
+    }
+
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{r2_score, rmse};
+
+    fn quick_cfg() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![16],
+            epochs: 400,
+            learning_rate: 0.02,
+            val_fraction: 0.0,
+            ..MlpConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], "y");
+        for i in 0..120 {
+            let a = (i % 11) as f64 - 5.0;
+            let b = (i % 7) as f64 - 3.0;
+            d.push(vec![a, b], 2.0 * a - 3.0 * b + 1.0);
+        }
+        let mut mlp = Mlp::new(quick_cfg());
+        mlp.fit(&d);
+        let r2 = r2_score(&d.y, &mlp.predict_all(&d.x));
+        assert!(r2 > 0.98, "r2 {r2}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function_better_than_lr() {
+        use crate::linreg::LinearRegression;
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..160 {
+            let x = i as f64 / 20.0 - 4.0;
+            d.push(vec![x], x * x);
+        }
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: vec![24],
+            epochs: 1500,
+            learning_rate: 0.02,
+            val_fraction: 0.0,
+            ..MlpConfig::default()
+        });
+        let mut lr = LinearRegression::new();
+        mlp.fit(&d);
+        lr.fit(&d);
+        let e_mlp = rmse(&d.y, &mlp.predict_all(&d.x));
+        let e_lr = rmse(&d.y, &lr.predict_all(&d.x));
+        assert!(e_mlp < 0.25 * e_lr, "mlp {e_mlp} lr {e_lr}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..60 {
+            d.push(vec![i as f64 / 10.0], (i as f64 / 10.0).sin());
+        }
+        let mut a = Mlp::new(quick_cfg());
+        let mut b = Mlp::new(quick_cfg());
+        a.fit(&d);
+        b.fit(&d);
+        assert_eq!(a.predict(&[1.234]), b.predict(&[1.234]));
+        let mut c = Mlp::new(MlpConfig {
+            seed: 99,
+            ..quick_cfg()
+        });
+        c.fit(&d);
+        assert_ne!(a.predict(&[1.234]), c.predict(&[1.234]));
+    }
+
+    #[test]
+    fn early_stopping_bounds_epochs() {
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..100 {
+            d.push(vec![i as f64], 5.0); // constant: converges immediately
+        }
+        let mut mlp = Mlp::new(MlpConfig {
+            epochs: 1000,
+            val_fraction: 0.2,
+            patience: 5,
+            ..MlpConfig::default()
+        });
+        mlp.fit(&d);
+        assert!(mlp.trained_epochs < 1000, "{}", mlp.trained_epochs);
+        assert!((mlp.predict(&[50.0]) - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn handles_unnormalised_feature_scales() {
+        // One feature in [0,1], another in [0, 1e6]: internal z-scoring must
+        // cope.
+        let mut d = Dataset::new(vec!["small".into(), "huge".into()], "y");
+        for i in 0..100 {
+            let s = (i % 10) as f64 / 10.0;
+            let h = (i % 7) as f64 * 1e5;
+            d.push(vec![s, h], 3.0 * s + h / 1e5);
+        }
+        let mut mlp = Mlp::new(quick_cfg());
+        mlp.fit(&d);
+        let r2 = r2_score(&d.y, &mlp.predict_all(&d.x));
+        assert!(r2 > 0.95, "r2 {r2}");
+    }
+}

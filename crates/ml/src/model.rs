@@ -1,0 +1,43 @@
+//! Common model traits.
+
+use crate::dataset::Dataset;
+
+/// A regression model mapping a feature row to a scalar.
+pub trait Regressor {
+    /// Fit on a dataset. Implementations must be deterministic given the
+    /// same data (and, where applicable, the RNG they were constructed with).
+    fn fit(&mut self, data: &Dataset);
+
+    /// Predict one row.
+    fn predict(&self, row: &[f64]) -> f64;
+
+    /// Predict many rows.
+    fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Short model name for reports ("LR", "REPTree", "MLP"…).
+    fn name(&self) -> &'static str;
+}
+
+/// A classifier mapping a feature row to a label index.
+pub trait Classifier {
+    /// Fit on rows with label indices.
+    fn fit(&mut self, rows: &[Vec<f64>], labels: &[usize]);
+
+    /// Predict a label index for one row.
+    fn predict(&self, row: &[f64]) -> usize;
+
+    /// Classification accuracy over a labelled set.
+    fn accuracy(&self, rows: &[Vec<f64>], labels: &[usize]) -> f64 {
+        if rows.is_empty() {
+            return 1.0;
+        }
+        let hits = rows
+            .iter()
+            .zip(labels)
+            .filter(|(r, l)| self.predict(r) == **l)
+            .count();
+        hits as f64 / rows.len() as f64
+    }
+}

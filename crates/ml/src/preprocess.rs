@@ -1,0 +1,119 @@
+//! Feature preprocessing.
+//!
+//! The paper normalises counters "to the unit normal distribution" before
+//! PCA (§3.2); [`ZScore`] is that transform, fitted on training data and
+//! applied to anything that arrives later.
+
+/// Per-column z-score normaliser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZScore {
+    /// Column means.
+    pub mean: Vec<f64>,
+    /// Column standard deviations (zero-variance columns get 1.0 so they map
+    /// to 0 rather than NaN).
+    pub std: Vec<f64>,
+}
+
+impl ZScore {
+    /// Fit on rows (each row one observation).
+    pub fn fit(rows: &[Vec<f64>]) -> ZScore {
+        assert!(!rows.is_empty(), "need data to fit");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; d];
+        for r in rows {
+            assert_eq!(r.len(), d, "ragged rows");
+            for (m, v) in mean.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for r in rows {
+            for ((s, v), m) in var.iter_mut().zip(r).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| {
+                let sd = (s / n).sqrt();
+                if sd > 1e-12 {
+                    sd
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        ZScore { mean, std }
+    }
+
+    /// Transform one row.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.mean.len(), "arity mismatch");
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Transform many rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Invert the transform.
+    pub fn inverse(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| v * s + m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalised_columns_have_zero_mean_unit_var() {
+        let rows = vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ];
+        let z = ZScore::fit(&rows);
+        let t = z.transform_all(&rows);
+        for col in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[col]).sum::<f64>() / 4.0;
+            let var: f64 = t.iter().map(|r| r[col] * r[col]).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let rows = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let z = ZScore::fit(&rows);
+        assert_eq!(z.transform(&[5.0]), vec![0.0]);
+        assert_eq!(z.transform(&[6.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let rows = vec![vec![1.0, -2.0], vec![4.0, 7.0], vec![-3.0, 0.5]];
+        let z = ZScore::fit(&rows);
+        for r in &rows {
+            let back = z.inverse(&z.transform(r));
+            for (a, b) in back.iter().zip(r) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

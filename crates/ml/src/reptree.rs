@@ -1,0 +1,405 @@
+//! REPTree: a regression tree grown on variance reduction and pruned with
+//! Reduced-Error Pruning against a held-out set — a faithful re-creation of
+//! the Weka model the paper selects as its best accuracy/complexity
+//! trade-off (§7.2).
+
+use crate::dataset::Dataset;
+use crate::model::Regressor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tree growth/pruning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepTreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Fraction of the training data held out for reduced-error pruning.
+    /// Zero disables pruning (pure greedy tree).
+    pub prune_fraction: f64,
+    /// Seed for the grow/prune split.
+    pub seed: u64,
+}
+
+impl Default for RepTreeConfig {
+    fn default() -> RepTreeConfig {
+        RepTreeConfig {
+            max_depth: 24,
+            min_samples_split: 8,
+            min_samples_leaf: 2,
+            prune_fraction: 0.25,
+            seed: 0x9e37,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Mean of the training rows at this node (used when collapsing).
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// The fitted tree.
+///
+/// ```
+/// use ecost_ml::{RepTree, RepTreeConfig, Dataset};
+/// use ecost_ml::model::Regressor;
+///
+/// let mut data = Dataset::new(vec!["x".into()], "y");
+/// for i in 0..100 {
+///     let x = i as f64;
+///     data.push(vec![x], if x < 50.0 { 1.0 } else { 9.0 });
+/// }
+/// let mut tree = RepTree::new(RepTreeConfig::default());
+/// tree.fit(&data);
+/// assert_eq!(tree.predict(&[10.0]), 1.0);
+/// assert_eq!(tree.predict(&[90.0]), 9.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RepTree {
+    config: RepTreeConfig,
+    nodes: Vec<Node>,
+    root: usize,
+    n_features: usize,
+}
+
+impl RepTree {
+    /// New unfitted tree.
+    pub fn new(config: RepTreeConfig) -> RepTree {
+        RepTree {
+            config,
+            nodes: Vec::new(),
+            root: 0,
+            n_features: 0,
+        }
+    }
+
+    /// Number of reachable nodes after fitting (leaves + splits). Pruned
+    /// subtrees stay in the arena but are no longer reachable.
+    pub fn node_count(&self) -> usize {
+        let (splits, leaves) = self.walk(self.root);
+        splits + leaves
+    }
+
+    /// Number of reachable leaves after fitting.
+    pub fn leaf_count(&self) -> usize {
+        self.walk(self.root).1
+    }
+
+    /// `(splits, leaves)` reachable from `node`.
+    fn walk(&self, node: usize) -> (usize, usize) {
+        if self.nodes.is_empty() {
+            return (0, 0);
+        }
+        match self.nodes[node] {
+            Node::Leaf { .. } => (0, 1),
+            Node::Split { left, right, .. } => {
+                let (sl, ll) = self.walk(left);
+                let (sr, lr) = self.walk(right);
+                (sl + sr + 1, ll + lr)
+            }
+        }
+    }
+
+    fn mean(y: &[f64], idx: &[usize]) -> f64 {
+        idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+    }
+
+    fn build(&mut self, x: &[Vec<f64>], y: &[f64], idx: &mut Vec<usize>, depth: usize) -> usize {
+        let value = Self::mean(y, idx);
+        let stop = depth >= self.config.max_depth
+            || idx.len() < self.config.min_samples_split
+            || idx.iter().all(|&i| (y[i] - value).abs() < 1e-12);
+        if stop {
+            self.nodes.push(Node::Leaf { value });
+            return self.nodes.len() - 1;
+        }
+
+        // Best split by SSE reduction, scanning sorted values per feature
+        // with prefix sums.
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        let base_sse = {
+            let m = value;
+            idx.iter().map(|&i| (y[i] - m) * (y[i] - m)).sum::<f64>()
+        };
+        let n = idx.len();
+        let min_leaf = self.config.min_samples_leaf.max(1);
+        let mut order: Vec<usize> = idx.clone();
+        for f in 0..self.n_features {
+            order.sort_unstable_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("finite"));
+            let mut sum_l = 0.0;
+            let mut sq_l = 0.0;
+            let total_sum: f64 = order.iter().map(|&i| y[i]).sum();
+            let total_sq: f64 = order.iter().map(|&i| y[i] * y[i]).sum();
+            for split in 1..n {
+                let i = order[split - 1];
+                sum_l += y[i];
+                sq_l += y[i] * y[i];
+                // Cannot split between equal feature values.
+                if x[order[split - 1]][f] >= x[order[split]][f] - 1e-15 {
+                    continue;
+                }
+                if split < min_leaf || n - split < min_leaf {
+                    continue;
+                }
+                let nl = split as f64;
+                let nr = (n - split) as f64;
+                let sum_r = total_sum - sum_l;
+                let sq_r = total_sq - sq_l;
+                let sse = (sq_l - sum_l * sum_l / nl) + (sq_r - sum_r * sum_r / nr);
+                if best.map_or(sse < base_sse - 1e-12, |(_, _, b)| sse < b) {
+                    let thr = 0.5 * (x[order[split - 1]][f] + x[order[split]][f]);
+                    best = Some((f, thr, sse));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(Node::Leaf { value });
+            return self.nodes.len() - 1;
+        };
+        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+        let left = self.build(x, y, &mut left_idx, depth + 1);
+        let right = self.build(x, y, &mut right_idx, depth + 1);
+        self.nodes.push(Node::Split {
+            feature,
+            threshold,
+            value,
+            left,
+            right,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Reduced-error pruning: bottom-up, collapse a split to a leaf whenever
+    /// doing so does not increase SSE on the held-out rows routed to it.
+    /// Returns the holdout SSE of the (possibly collapsed) subtree.
+    fn prune(&mut self, node: usize, x: &[Vec<f64>], y: &[f64], hold: &[usize]) -> f64 {
+        match self.nodes[node] {
+            Node::Leaf { value } => hold.iter().map(|&i| (y[i] - value) * (y[i] - value)).sum(),
+            Node::Split {
+                feature,
+                threshold,
+                value,
+                left,
+                right,
+            } => {
+                let (hl, hr): (Vec<usize>, Vec<usize>) =
+                    hold.iter().partition(|&&i| x[i][feature] <= threshold);
+                let sse_children = self.prune(left, x, y, &hl) + self.prune(right, x, y, &hr);
+                let sse_leaf: f64 = hold.iter().map(|&i| (y[i] - value) * (y[i] - value)).sum();
+                if sse_leaf <= sse_children + 1e-12 {
+                    self.nodes[node] = Node::Leaf { value };
+                    sse_leaf
+                } else {
+                    sse_children
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for RepTree {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on empty data");
+        self.nodes.clear();
+        self.n_features = data.num_features();
+
+        // Deterministic grow/prune partition.
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let n_prune = if self.config.prune_fraction > 0.0 && data.len() >= 8 {
+            ((data.len() as f64 * self.config.prune_fraction) as usize).clamp(1, data.len() - 2)
+        } else {
+            0
+        };
+        let (prune_set, grow_set) = order.split_at(n_prune);
+        let mut grow: Vec<usize> = grow_set.to_vec();
+        self.root = self.build(&data.x, &data.y, &mut grow, 0);
+        if !prune_set.is_empty() {
+            self.prune(self.root, &data.x, &data.y, prune_set);
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        assert!(!self.nodes.is_empty(), "fit before predict");
+        assert_eq!(row.len(), self.n_features, "arity mismatch");
+        let mut node = self.root;
+        loop {
+            match self.nodes[node] {
+                Node::Leaf { value } => return value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "REPTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_absolute_percentage_error, rmse};
+
+    fn step_data() -> Dataset {
+        // Piecewise-constant target: ideal for trees, hopeless for LR.
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..200 {
+            let x = i as f64 / 10.0;
+            let y = if x < 5.0 {
+                1.0
+            } else if x < 12.0 {
+                8.0
+            } else {
+                3.0
+            };
+            d.push(vec![x], y);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let mut t = RepTree::new(RepTreeConfig::default());
+        t.fit(&step_data());
+        for (x, want) in [(2.0, 1.0), (7.0, 8.0), (15.0, 3.0)] {
+            assert!((t.predict(&[x]) - want).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn beats_linear_regression_on_nonlinear_target() {
+        use crate::linreg::LinearRegression;
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in -40..=40 {
+            let x = i as f64 / 4.0;
+            d.push(vec![x], x * x + 1.0);
+        }
+        let mut tree = RepTree::new(RepTreeConfig::default());
+        let mut lr = LinearRegression::new();
+        tree.fit(&d);
+        lr.fit(&d);
+        let ape_tree = mean_absolute_percentage_error(&d.y, &tree.predict_all(&d.x));
+        let ape_lr = mean_absolute_percentage_error(&d.y, &lr.predict_all(&d.x));
+        assert!(ape_tree < 0.3 * ape_lr, "tree {ape_tree} lr {ape_lr}");
+    }
+
+    #[test]
+    fn pruning_shrinks_tree_under_noise() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..400 {
+            let x = i as f64 / 40.0;
+            let y = if x < 5.0 { 0.0 } else { 10.0 };
+            d.push(vec![x], y + rng.gen_range(-1.0..1.0));
+        }
+        let mut pruned = RepTree::new(RepTreeConfig::default());
+        let mut raw = RepTree::new(RepTreeConfig {
+            prune_fraction: 0.0,
+            ..RepTreeConfig::default()
+        });
+        pruned.fit(&d);
+        raw.fit(&d);
+        assert!(
+            pruned.leaf_count() < raw.leaf_count(),
+            "pruned {} raw {}",
+            pruned.leaf_count(),
+            raw.leaf_count()
+        );
+        // And still accurate.
+        assert!((pruned.predict(&[2.0]) - 0.0).abs() < 0.5);
+        assert!((pruned.predict(&[8.0]) - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut t = RepTree::new(RepTreeConfig {
+            max_depth: 1,
+            prune_fraction: 0.0,
+            ..RepTreeConfig::default()
+        });
+        t.fit(&step_data());
+        // Depth-1 tree has at most 3 nodes.
+        assert!(t.node_count() <= 3);
+    }
+
+    #[test]
+    fn multifeature_split_selects_informative_feature() {
+        // Feature 0 is noise; feature 1 determines the target.
+        let mut d = Dataset::new(vec!["noise".into(), "signal".into()], "y");
+        for i in 0..100 {
+            let noise = ((i * 37) % 17) as f64;
+            let signal = (i % 2) as f64;
+            d.push(vec![noise, signal], 100.0 * signal);
+        }
+        let mut t = RepTree::new(RepTreeConfig::default());
+        t.fit(&d);
+        assert!((t.predict(&[3.0, 0.0]) - 0.0).abs() < 1.0);
+        assert!((t.predict(&[3.0, 1.0]) - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..50 {
+            d.push(vec![i as f64], 7.0);
+        }
+        let mut t = RepTree::new(RepTreeConfig::default());
+        t.fit(&d);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[123.0]), 7.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = step_data();
+        let mut a = RepTree::new(RepTreeConfig::default());
+        let mut b = RepTree::new(RepTreeConfig::default());
+        a.fit(&d);
+        b.fit(&d);
+        for x in [0.0, 4.9, 5.1, 11.9, 12.1, 19.9] {
+            assert_eq!(a.predict(&[x]), b.predict(&[x]));
+        }
+    }
+
+    #[test]
+    fn rmse_small_on_smooth_function() {
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..500 {
+            let x = i as f64 / 50.0;
+            d.push(vec![x], (x * 0.8).sin() * 5.0);
+        }
+        let mut t = RepTree::new(RepTreeConfig::default());
+        t.fit(&d);
+        let err = rmse(&d.y, &t.predict_all(&d.x));
+        assert!(err < 0.5, "rmse {err}");
+    }
+}

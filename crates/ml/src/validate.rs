@@ -1,0 +1,177 @@
+//! Model validation utilities: k-fold cross-validation for regressors and a
+//! confusion matrix for classifiers. Used by the ablation experiments and
+//! the model-selection discussion of §7.2.
+
+use crate::dataset::Dataset;
+use crate::model::Regressor;
+
+/// k-fold cross-validated score of a regressor family.
+///
+/// `make` constructs a fresh model per fold; `score(truth, pred)` reduces a
+/// fold to one number (e.g. RMSE or MAPE). Returns per-fold scores.
+pub fn cross_validate<M: Regressor>(
+    data: &Dataset,
+    folds: usize,
+    make: impl Fn() -> M,
+    score: impl Fn(&[f64], &[f64]) -> f64,
+) -> Vec<f64> {
+    assert!(folds >= 2, "need at least two folds");
+    assert!(data.len() >= folds, "fewer rows than folds");
+    let n = data.len();
+    let mut out = Vec::with_capacity(folds);
+    for fold in 0..folds {
+        let lo = fold * n / folds;
+        let hi = (fold + 1) * n / folds;
+        let mut train = Dataset::new(data.feature_names.clone(), data.target_name.clone());
+        let mut test = Dataset::new(data.feature_names.clone(), data.target_name.clone());
+        for i in 0..n {
+            if (lo..hi).contains(&i) {
+                test.push(data.x[i].clone(), data.y[i]);
+            } else {
+                train.push(data.x[i].clone(), data.y[i]);
+            }
+        }
+        let mut model = make();
+        model.fit(&train);
+        let pred = model.predict_all(&test.x);
+        out.push(score(&test.y, &pred));
+    }
+    out
+}
+
+/// Confusion matrix over `k` classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    /// `counts[truth][pred]`.
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `k` classes.
+    pub fn new(k: usize) -> ConfusionMatrix {
+        ConfusionMatrix {
+            k,
+            counts: vec![vec![0; k]; k],
+        }
+    }
+
+    /// Record one (truth, prediction) observation.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.k && pred < self.k, "label out of range");
+        self.counts[truth][pred] += 1;
+    }
+
+    /// Count at `(truth, pred)`.
+    pub fn get(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth][pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (1.0 on an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let hits: usize = (0..self.k).map(|i| self.counts[i][i]).sum();
+        hits as f64 / total as f64
+    }
+
+    /// Precision of one class (`None` when the class was never predicted).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let predicted: usize = (0..self.k).map(|t| self.counts[t][class]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of one class (`None` when the class never occurred).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / actual as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinearRegression;
+    use crate::metrics::rmse;
+
+    #[test]
+    fn cross_validation_scores_linear_data_well() {
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..60 {
+            let x = (i % 17) as f64;
+            d.push(vec![x], 2.0 * x + 1.0);
+        }
+        let scores = cross_validate(&d, 5, LinearRegression::new, rmse);
+        assert_eq!(scores.len(), 5);
+        assert!(scores.iter().all(|s| *s < 1e-6), "{scores:?}");
+    }
+
+    #[test]
+    fn cross_validation_detects_overfit_candidates() {
+        use crate::reptree::{RepTree, RepTreeConfig};
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for i in 0..200 {
+            d.push(vec![i as f64], rng.gen_range(-1.0..1.0)); // pure noise
+        }
+        let unpruned = cross_validate(
+            &d,
+            4,
+            || {
+                RepTree::new(RepTreeConfig {
+                    prune_fraction: 0.0,
+                    min_samples_split: 2,
+                    min_samples_leaf: 1,
+                    ..RepTreeConfig::default()
+                })
+            },
+            rmse,
+        );
+        let mean: f64 = unpruned.iter().sum::<f64>() / 4.0;
+        // Memorising noise can't beat the noise floor out of sample.
+        assert!(mean > 0.45, "{mean}");
+    }
+
+    #[test]
+    fn confusion_matrix_metrics() {
+        let mut cm = ConfusionMatrix::new(3);
+        // class 0: 2 hits, 1 miss into class 1.
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        // class 1: 1 hit.
+        cm.record(1, 1);
+        // class 2: never predicted correctly.
+        cm.record(2, 0);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+        assert!((cm.recall(0).expect("occurs") - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(0).expect("predicted") - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(1).expect("predicted") - 0.5).abs() < 1e-12);
+        assert_eq!(cm.precision(2), None);
+        assert!((cm.recall(2).expect("occurs") - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_vacuously_accurate() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.recall(0), None);
+    }
+}

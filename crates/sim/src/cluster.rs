@@ -1,0 +1,66 @@
+//! Cluster model: `n` identical nodes joined by a 1 GbE interconnect, as in
+//! the paper's 1/2/4/8-node scalability study (§8).
+
+use crate::node::NodeSpec;
+
+/// Specification of a homogeneous cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Number of nodes (the paper studies 1, 2, 4 and 8).
+    pub nodes: usize,
+    /// Per-node NIC bandwidth, MB/s (1 GbE ≈ 118 MB/s of goodput). Shuffle
+    /// traffic between nodes is bounded by this.
+    pub nic_bw_mbps: f64,
+    /// Power drawn by the network fabric per node while shuffling, watts.
+    pub nic_active_power_w: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: 8 Atom C2758 nodes on gigabit Ethernet.
+    pub fn atom_cluster(nodes: usize) -> ClusterSpec {
+        ClusterSpec {
+            node: NodeSpec::atom_c2758(),
+            nodes,
+            nic_bw_mbps: 118.0,
+            nic_active_power_w: 1.2,
+        }
+    }
+
+    /// Fraction of shuffle traffic that crosses the network when a job runs
+    /// on `span` of the cluster's nodes: with map outputs spread uniformly,
+    /// a reducer pulls `(span-1)/span` of its input remotely.
+    pub fn remote_shuffle_fraction(span: usize) -> f64 {
+        if span <= 1 {
+            0.0
+        } else {
+            (span as f64 - 1.0) / span as f64
+        }
+    }
+
+    /// Total idle power of the cluster, watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.node.idle_power_w * self.nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_fraction_bounds() {
+        assert_eq!(ClusterSpec::remote_shuffle_fraction(1), 0.0);
+        assert!((ClusterSpec::remote_shuffle_fraction(2) - 0.5).abs() < 1e-12);
+        let f8 = ClusterSpec::remote_shuffle_fraction(8);
+        assert!(f8 > 0.8 && f8 < 1.0);
+    }
+
+    #[test]
+    fn idle_power_scales_with_nodes() {
+        let c1 = ClusterSpec::atom_cluster(1);
+        let c8 = ClusterSpec::atom_cluster(8);
+        assert!((c8.idle_power_w() - 8.0 * c1.idle_power_w()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by the simulation substrate.
+
+use std::fmt;
+
+/// Errors raised by the hardware/fluid substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration asked for more cores than the node owns.
+    CoreBudgetExceeded {
+        /// Cores requested across all co-located applications.
+        requested: u32,
+        /// Cores physically present on the node.
+        available: u32,
+    },
+    /// A demand vector contained a non-finite or negative value.
+    InvalidDemand(&'static str),
+    /// The AMVA fixed point failed to converge within the iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// A cluster-level request referenced a node that does not exist.
+    NoSuchNode(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CoreBudgetExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "core budget exceeded: requested {requested}, node has {available}"
+            ),
+            SimError::InvalidDemand(what) => write!(f, "invalid demand: {what}"),
+            SimError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "AMVA failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SimError::NoSuchNode(i) => write!(f, "no such node: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::CoreBudgetExceeded {
+            requested: 9,
+            available: 8,
+        };
+        assert!(e.to_string().contains("requested 9"));
+        let e = SimError::NoConvergence {
+            iterations: 100,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Power-trace statistics.
+//!
+//! The Wattsup-style 1 Hz samples from [`crate::power::EnergyMeter`] are what
+//! a datacenter operator actually sees; this module provides the summary
+//! statistics the characterisation sections of the paper quote (average,
+//! peak, percentiles) and a simple peak-window search for provisioning
+//! analyses.
+
+/// Summary statistics of a power trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Mean power, W.
+    pub mean_w: f64,
+    /// Peak sample, W.
+    pub peak_w: f64,
+    /// Minimum sample, W.
+    pub min_w: f64,
+    /// 95th-percentile sample, W.
+    pub p95_w: f64,
+}
+
+/// Compute summary statistics; `None` on an empty trace.
+pub fn stats(trace: &[f64]) -> Option<TraceStats> {
+    if trace.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = trace.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite power samples"));
+    let n = sorted.len();
+    let mean_w = sorted.iter().sum::<f64>() / n as f64;
+    // Nearest-rank percentile.
+    let p95 = sorted[((0.95 * n as f64).ceil() as usize).clamp(1, n) - 1];
+    Some(TraceStats {
+        samples: n,
+        mean_w,
+        peak_w: sorted[n - 1],
+        min_w: sorted[0],
+        p95_w: p95,
+    })
+}
+
+/// The `window`-sample span with the highest average power; returns
+/// `(start index, average W)`. `None` if the trace is shorter than the
+/// window.
+pub fn peak_window(trace: &[f64], window: usize) -> Option<(usize, f64)> {
+    if window == 0 || trace.len() < window {
+        return None;
+    }
+    let mut sum: f64 = trace[..window].iter().sum();
+    let mut best = (0usize, sum);
+    for i in window..trace.len() {
+        sum += trace[i] - trace[i - window];
+        if sum > best.1 {
+            best = (i + 1 - window, sum);
+        }
+    }
+    Some((best.0, best.1 / window as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_known_trace() {
+        let trace: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = stats(&trace).expect("non-empty");
+        assert_eq!(s.samples, 100);
+        assert!((s.mean_w - 50.5).abs() < 1e-12);
+        assert_eq!(s.peak_w, 100.0);
+        assert_eq!(s.min_w, 1.0);
+        assert_eq!(s.p95_w, 95.0);
+    }
+
+    #[test]
+    fn empty_trace_is_none() {
+        assert_eq!(stats(&[]), None);
+        assert_eq!(peak_window(&[], 3), None);
+        assert_eq!(peak_window(&[1.0, 2.0], 3), None);
+        assert_eq!(peak_window(&[1.0], 0), None);
+    }
+
+    #[test]
+    fn peak_window_finds_burst() {
+        let mut trace = vec![1.0; 20];
+        trace[7] = 10.0;
+        trace[8] = 12.0;
+        trace[9] = 11.0;
+        let (start, avg) = peak_window(&trace, 3).expect("long enough");
+        assert_eq!(start, 7);
+        assert!((avg - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrates_with_energy_meter() {
+        let mut m = crate::power::EnergyMeter::with_trace();
+        m.record(5.0, 10.0);
+        m.record(5.0, 30.0);
+        let s = stats(m.trace().expect("trace enabled")).expect("samples");
+        assert_eq!(s.samples, 10);
+        assert!((s.mean_w - 20.0).abs() < 1e-9);
+        assert_eq!(s.peak_w, 30.0);
+    }
+}

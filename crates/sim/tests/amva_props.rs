@@ -1,0 +1,80 @@
+//! Property-based tests of the AMVA solver and the hardware curves — the
+//! invariants every downstream performance number silently relies on.
+
+use ecost_sim::{amva, ClassDemand, NodeSpec};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = ClassDemand> {
+    (1.0f64..8.0, 0.01f64..20.0, 0.0f64..10.0, 0.0f64..5.0).prop_map(|(n, z, d0, d1)| ClassDemand {
+        population: n.floor(),
+        think_time_s: z,
+        demands_s: vec![d0, d1],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Throughput obeys both classical bounds: X ≤ N/(Z+ΣD) (no contention)
+    /// and station utilisation never exceeds capacity.
+    #[test]
+    fn throughput_and_utilisation_bounds(classes in prop::collection::vec(arb_class(), 1..5)) {
+        let sol = amva::solve(&classes, 2).expect("solvable");
+        for (j, c) in classes.iter().enumerate() {
+            let no_contention = c.population / (c.think_time_s + c.demands_s.iter().sum::<f64>());
+            prop_assert!(sol.throughput[j] <= no_contention * (1.0 + 1e-6),
+                "class {j}: X {} > bound {no_contention}", sol.throughput[j]);
+            prop_assert!(sol.throughput[j] >= 0.0);
+        }
+        for u in &sol.station_util {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(u));
+        }
+    }
+
+    /// Adding a competitor never speeds up an existing class.
+    #[test]
+    fn contention_is_monotone(a in arb_class(), b in arb_class()) {
+        let alone = amva::solve(std::slice::from_ref(&a), 2).expect("solvable");
+        let shared = amva::solve(&[a.clone(), b], 2).expect("solvable");
+        prop_assert!(shared.throughput[0] <= alone.throughput[0] * (1.0 + 1e-6));
+    }
+
+    /// Queue lengths are non-negative and bounded by the population.
+    #[test]
+    fn queues_are_physical(classes in prop::collection::vec(arb_class(), 1..4)) {
+        let sol = amva::solve(&classes, 2).expect("solvable");
+        for (j, c) in classes.iter().enumerate() {
+            let q_total: f64 = sol.queue[j].iter().sum();
+            prop_assert!(q_total >= -1e-9);
+            prop_assert!(q_total <= c.population * (1.0 + 1e-6),
+                "class {j}: queue {q_total} > population {}", c.population);
+        }
+    }
+
+    /// Scaling all times by a constant scales throughput inversely
+    /// (the solver is unit-consistent).
+    #[test]
+    fn time_scale_invariance(c in arb_class(), k in 0.1f64..10.0) {
+        let base = amva::solve(std::slice::from_ref(&c), 2).expect("solvable");
+        let scaled_class = ClassDemand {
+            population: c.population,
+            think_time_s: c.think_time_s * k,
+            demands_s: c.demands_s.iter().map(|d| d * k).collect(),
+        };
+        let scaled = amva::solve(&[scaled_class], 2).expect("solvable");
+        let rel = (scaled.throughput[0] * k - base.throughput[0]).abs()
+            / base.throughput[0].max(1e-12);
+        prop_assert!(rel < 1e-4, "rel {rel}");
+    }
+
+    /// The disk curves are monotone in their arguments.
+    #[test]
+    fn disk_curves_monotone(k1 in 1.0f64..32.0, k2 in 1.0f64..32.0, e1 in 1.0f64..2048.0, e2 in 1.0f64..2048.0) {
+        let disk = NodeSpec::atom_c2758().disk;
+        let (klo, khi) = if k1 < k2 { (k1, k2) } else { (k2, k1) };
+        prop_assert!(disk.aggregate_bw(khi) <= disk.aggregate_bw(klo) + 1e-9);
+        let (elo, ehi) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+        prop_assert!(disk.stream_rate(ehi) >= disk.stream_rate(elo) - 1e-9);
+        prop_assert!(disk.stream_rate(ehi) <= disk.stream_cap_mbps);
+    }
+}

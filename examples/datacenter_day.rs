@@ -1,0 +1,84 @@
+//! A day in the datacenter: run Table 3's mixed workload (WS8) through every
+//! §8 mapping policy on a 4-node cluster and print the scoreboard — the
+//! Fig 9 experiment as a narrative.
+//!
+//! Run with: `cargo run --release --example datacenter_day`
+//! (set `ECOST_QUICK=1` for a faster, slightly less accurate model fit).
+
+use ecost::apps::{InputSize, WorkloadScenario};
+use ecost::core::mapping::{run_policy, EcostContext, MappingPolicy};
+use ecost::core::pairing::PairingPolicy;
+
+// The bench crate's harness is the canonical way to assemble the offline
+// phase; examples keep dependencies minimal and assemble it directly.
+use ecost::core::classify::{KnnAppClassifier, RuleClassifier};
+use ecost::core::database::ConfigDatabase;
+use ecost::core::features::Testbed;
+use ecost::core::oracle::SweepCache;
+use ecost::core::stp::training::build_training_data;
+use ecost::core::stp::MlmStp;
+use ecost::ml::{RepTree, RepTreeConfig};
+
+fn main() {
+    let tb = Testbed::atom();
+    let cache = SweepCache::new();
+    let nodes = 4;
+    let workload = WorkloadScenario::Ws8.workload(InputSize::Small);
+    println!(
+        "workload {}: {} jobs, class mix C/H/I/M = {:?}",
+        workload.name,
+        workload.len(),
+        workload.class_mix()
+    );
+
+    println!("offline phase: database + REPTree models…");
+    let db = ConfigDatabase::build(&tb, &cache, 0.03, 42);
+    let classifier = RuleClassifier::fit(&db.signatures);
+    let knn = KnnAppClassifier::fit(&db.signatures);
+    let sigs: Vec<_> = db.solos.iter().map(|s| (s.sig, s.app, s.size)).collect();
+    let sig_of = move |app: ecost::apps::App, size: InputSize| {
+        sigs.iter()
+            .find(|(_, a, s)| *a == app && *s == size)
+            .expect("training app in db")
+            .0
+    };
+    let training = build_training_data(&tb, &cache, &sig_of, 600, 42);
+    let stp = MlmStp::train(&training, knn, "REPTree", || {
+        RepTree::new(RepTreeConfig::default())
+    });
+    let pairing = PairingPolicy::default();
+    let ctx = EcostContext {
+        db: &db,
+        stp: &stp,
+        classifier: &classifier,
+        pairing: &pairing,
+        cache: &cache,
+        noise: 0.03,
+        seed: 42,
+        pairing_mode: ecost::core::pairing::PairingMode::DecisionTree,
+    };
+
+    println!("\nrunning the eight mapping policies on {nodes} nodes…\n");
+    let idle = tb.idle_w();
+    let mut rows: Vec<(&str, f64, f64, f64)> = Vec::new();
+    for policy in MappingPolicy::ALL {
+        let run = run_policy(&tb, nodes, &workload, policy, Some(&ctx));
+        rows.push((
+            policy.label(),
+            run.makespan_s,
+            run.energy_dyn_j,
+            run.edp_wall(idle),
+        ));
+        println!("  {} done", policy.label());
+    }
+    let ub = rows
+        .iter()
+        .map(|r| r.3)
+        .fold(f64::INFINITY, f64::min);
+    println!("\n{:>6} {:>12} {:>12} {:>12} {:>8}", "policy", "makespan s", "dyn energy J", "wall EDP", "vs UB");
+    for (name, t, e, edp) in rows {
+        println!("{name:>6} {t:>12.0} {e:>12.0} {edp:>12.3e} {:>8.2}", edp / ub);
+    }
+    println!("\nECoST should sit near 1.0 — co-locating and self-tuning recovers");
+    println!("most of what an exhaustive brute-force search would find.");
+}

@@ -1,0 +1,90 @@
+//! Model comparison: train all four STP techniques and race them on unknown
+//! pairs — Table 1 + Table 2 + Fig 8 condensed into one run.
+//!
+//! Run with: `cargo run --release --example model_comparison`
+
+use ecost::apps::{App, InputSize};
+use ecost::core::classify::KnnAppClassifier;
+use ecost::core::database::ConfigDatabase;
+use ecost::core::features::{profile_catalog_app, Testbed};
+use ecost::core::oracle::{pair_metrics, SweepCache};
+use ecost::core::stp::training::build_training_data;
+use ecost::core::stp::{LktStp, MlmStp, Stp};
+use ecost::ml::{LinearRegression, Mlp, MlpConfig, RepTree, RepTreeConfig};
+use std::time::Instant;
+
+fn main() {
+    let tb = Testbed::atom();
+    let cache = SweepCache::new();
+
+    println!("offline: database…");
+    let db = ConfigDatabase::build(&tb, &cache, 0.03, 42);
+    let knn = KnnAppClassifier::fit(&db.signatures);
+    let sigs: Vec<_> = db.solos.iter().map(|s| (s.sig, s.app, s.size)).collect();
+    let sig_of = move |app: App, size: InputSize| {
+        sigs.iter()
+            .find(|(_, a, s)| *a == app && *s == size)
+            .expect("training app in db")
+            .0
+    };
+    let training = build_training_data(&tb, &cache, &sig_of, 600, 42);
+
+    println!("training the four techniques…");
+    let lkt = LktStp::from_database(&db);
+    let t0 = Instant::now();
+    let lr = MlmStp::train(&training, knn.clone(), "LR", LinearRegression::new);
+    let t_lr = t0.elapsed();
+    let t0 = Instant::now();
+    let tree = MlmStp::train(&training, knn.clone(), "REPTree", || {
+        RepTree::new(RepTreeConfig::default())
+    });
+    let t_tree = t0.elapsed();
+    let t0 = Instant::now();
+    let mlp = MlmStp::train(&training, knn, "MLP", || {
+        Mlp::new(MlpConfig {
+            hidden: vec![32, 16],
+            epochs: 150,
+            ..MlpConfig::default()
+        })
+    });
+    let t_mlp = t0.elapsed();
+    println!(
+        "train times: database {:.1}s | LR {:.2}s | REPTree {:.2}s | MLP {:.1}s",
+        db.build_seconds,
+        t_lr.as_secs_f64(),
+        t_tree.as_secs_f64(),
+        t_mlp.as_secs_f64()
+    );
+
+    // Race on unknown pairs.
+    let pairs = [(App::Svm, App::Cf), (App::Pr, App::Cf), (App::Nb, App::St)];
+    let size = InputSize::Medium;
+    let idle = tb.idle_w();
+    let stps: [&dyn Stp; 4] = [&lkt, &lr, &tree, &mlp];
+    println!("\n{:>10} {:>10} {:>12} {:>10}", "pair", "technique", "EDP vs oracle", "decide ms");
+    for (a, b) in pairs {
+        let mb = size.per_node_mb();
+        let oracle = cache
+            .best_pair(&tb, a.profile(), mb, b.profile(), mb)
+            .metrics
+            .edp_wall(idle);
+        let sa = profile_catalog_app(&tb, a, size, 0.03, 7);
+        let sb = profile_catalog_app(&tb, b, size, 0.03, 7);
+        for stp in stps {
+            let t0 = Instant::now();
+            let cfg = stp.choose(&sa, &sb, tb.node.cores);
+            let ms = 1e3 * t0.elapsed().as_secs_f64();
+            let edp = pair_metrics(&tb, a.profile(), mb, b.profile(), mb, cfg).edp_wall(idle);
+            println!(
+                "{:>10} {:>10} {:>11.2}% {:>10.2}",
+                format!("{a}-{b}"),
+                stp.name(),
+                100.0 * (edp - oracle) / oracle,
+                ms
+            );
+        }
+    }
+    println!("\nExpected shape (paper §7): REPTree/MLP within a few percent of the");
+    println!("oracle, LkT mid-single digits, LR the clear outlier — while LkT");
+    println!("decides fastest and MLP slowest.");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: the ECoST loop on two unknown applications.
+//!
+//! 1. Profile two incoming ("unknown") applications for a learning period.
+//! 2. Classify them from their counter signatures.
+//! 3. Predict the energy-optimal co-location configuration with LkT-STP.
+//! 4. Run the pair co-located and compare against the untuned default.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ecost::apps::{App, InputSize};
+use ecost::core::classify::RuleClassifier;
+use ecost::core::database::ConfigDatabase;
+use ecost::core::features::{profile_catalog_app, Testbed};
+use ecost::core::oracle::{pair_metrics, SweepCache};
+use ecost::core::stp::{LktStp, Stp};
+use ecost::mapreduce::{PairConfig, TuningConfig};
+
+fn main() {
+    let tb = Testbed::atom();
+    let idle = tb.idle_w();
+
+    // --- offline phase (once per cluster): sweep the training apps -------
+    println!("building the training database (brute-force sweeps, ~15s)…");
+    let cache = SweepCache::new();
+    let db = ConfigDatabase::build(&tb, &cache, 0.03, 42);
+    let classifier = RuleClassifier::fit(&db.signatures);
+    let lkt = LktStp::from_database(&db);
+
+    // --- online phase: two unknown applications arrive -------------------
+    let (a, b) = (App::Svm, App::Cf); // never seen during training
+    let size = InputSize::Medium;
+    let sig_a = profile_catalog_app(&tb, a, size, 0.03, 7);
+    let sig_b = profile_catalog_app(&tb, b, size, 0.03, 7);
+    println!(
+        "classified {} as {} (truth {}), {} as {} (truth {})",
+        a,
+        classifier.classify(&sig_a.features),
+        a.class(),
+        b,
+        classifier.classify(&sig_b.features),
+        b.class(),
+    );
+
+    let tuned = lkt.choose(&sig_a, &sig_b, tb.node.cores);
+    println!("LkT-STP chose: {} ‖ {}", tuned.a, tuned.b);
+
+    // --- compare with an untuned 4+4 co-location -------------------------
+    let mb = size.per_node_mb();
+    let untuned = PairConfig {
+        a: TuningConfig {
+            mappers: 4,
+            ..TuningConfig::hadoop_default(tb.node.cores)
+        },
+        b: TuningConfig {
+            mappers: 4,
+            ..TuningConfig::hadoop_default(tb.node.cores)
+        },
+    };
+    let m_tuned = pair_metrics(&tb, a.profile(), mb, b.profile(), mb, tuned);
+    let m_untuned = pair_metrics(&tb, a.profile(), mb, b.profile(), mb, untuned);
+    println!(
+        "untuned 4+4: makespan {:.0}s, EDP {:.3e}",
+        m_untuned.makespan_s,
+        m_untuned.edp_wall(idle)
+    );
+    println!(
+        "ECoST-tuned: makespan {:.0}s, EDP {:.3e}  ({:.1}% better EDP)",
+        m_tuned.makespan_s,
+        m_tuned.edp_wall(idle),
+        100.0 * (1.0 - m_tuned.edp_wall(idle) / m_untuned.edp_wall(idle))
+    );
+}

@@ -1,0 +1,56 @@
+//! Tuning explorer: sweep the three knobs for one application and print the
+//! EDP surface — the §4.1 analysis as an interactive tool.
+//!
+//! Usage: `cargo run --release --example tuning_explorer [app] [gb-per-node]`
+//! e.g. `cargo run --release --example tuning_explorer st 5`
+
+use ecost::apps::{App, InputSize};
+use ecost::core::features::Testbed;
+use ecost::core::oracle::solo_metrics;
+use ecost::mapreduce::{BlockSize, TuningConfig};
+use ecost::sim::Frequency;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args
+        .get(1)
+        .and_then(|s| App::from_name(s))
+        .unwrap_or(App::St);
+    let size = match args.get(2).map(String::as_str) {
+        Some("1") => InputSize::Small,
+        Some("10") => InputSize::Large,
+        _ => InputSize::Medium,
+    };
+    let tb = Testbed::atom();
+    let idle = tb.idle_w();
+    let mb = size.per_node_mb();
+
+    println!("EDP surface for {app} [{}] at {size} per node (wall EDP, s²·W)", app.class());
+    println!("rows: block size × frequency; columns: mappers 1..8\n");
+
+    let mut best: Option<(TuningConfig, f64)> = None;
+    let mut worst: Option<(TuningConfig, f64)> = None;
+    for block in BlockSize::ALL {
+        for freq in Frequency::ALL {
+            print!("h={block:>7} f={freq}  ");
+            for mappers in 1..=tb.node.cores {
+                let cfg = TuningConfig { freq, block, mappers };
+                let edp = solo_metrics(&tb, app.profile(), mb, cfg).edp_wall(idle);
+                if best.as_ref().map_or(true, |(_, e)| edp < *e) {
+                    best = Some((cfg, edp));
+                }
+                if worst.as_ref().map_or(true, |(_, e)| edp > *e) {
+                    worst = Some((cfg, edp));
+                }
+                print!("{:9.2e}", edp);
+            }
+            println!();
+        }
+    }
+    let (bc, be) = best.expect("non-empty sweep");
+    let (wc, we) = worst.expect("non-empty sweep");
+    println!("\nbest : {bc}  EDP {be:.3e}");
+    println!("worst: {wc}  EDP {we:.3e}  ({:.1}x worse)", we / be);
+    println!("\nThe spread is the paper's §4.1 argument: careless knobs cost");
+    println!("multiples of the achievable energy efficiency.");
+}

@@ -1,0 +1,42 @@
+//! # ecost — Energy-Efficient Co-Locating and Self-Tuning MapReduce
+//!
+//! Facade crate for the ECoST reproduction (Malik et al., ICPP 2019). It
+//! re-exports the workspace's layers under one roof so downstream users —
+//! and the `examples/` directory — need a single dependency:
+//!
+//! * [`sim`] — hardware substrate: Atom-class node & cluster models, DVFS,
+//!   wall-power metering, the AMVA fluid solver;
+//! * [`mapreduce`] — the Hadoop/HDFS execution model and co-located node
+//!   executor, with synthetic performance counters;
+//! * [`apps`] — the 11 studied applications, behaviour classes, input sizes,
+//!   and Table 3's workload scenarios;
+//! * [`ml`] — from-scratch PCA, clustering, LR, REPTree, MLP, LkT, kNN;
+//! * [`core`] — the ECoST controller itself: classification, wait queue,
+//!   pairing decision tree, self-tuning prediction, the ILAO/COLAO baselines
+//!   and the §8 mapping policies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ecost::mapreduce::{JobSpec, FrameworkSpec, TuningConfig};
+//! use ecost::mapreduce::executor::run_standalone;
+//! use ecost::apps::{App, InputSize};
+//! use ecost::sim::NodeSpec;
+//!
+//! let node = NodeSpec::atom_c2758();
+//! let cfg = TuningConfig::hadoop_default(node.cores);
+//! let out = run_standalone(
+//!     &node,
+//!     &FrameworkSpec::default(),
+//!     JobSpec::new(App::Wc, InputSize::Small, cfg),
+//! ).expect("simulation");
+//! assert!(out.metrics.exec_time_s > 0.0);
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full classify → pair → tune loop.
+
+pub use ecost_apps as apps;
+pub use ecost_core as core;
+pub use ecost_mapreduce as mapreduce;
+pub use ecost_ml as ml;
+pub use ecost_sim as sim;

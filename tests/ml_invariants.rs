@@ -1,0 +1,99 @@
+//! Property-based tests of the ML substrate, driven through the facade.
+
+use ecost::ml::model::Regressor;
+use ecost::ml::{hcluster, Dataset, LinearRegression, Pca, RepTree, RepTreeConfig, ZScore};
+use proptest::prelude::*;
+
+fn arb_rows(cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, cols..=cols),
+        8..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PCA: variance ratios are a distribution, eigenvalues descend, and
+    /// components are orthonormal — for arbitrary data.
+    #[test]
+    fn pca_invariants(rows in arb_rows(5)) {
+        let z = ZScore::fit(&rows);
+        let pca = Pca::fit(&z.transform_all(&rows)).expect("PCA");
+        let ratios = pca.explained_variance_ratio();
+        let sum: f64 = ratios.iter().sum();
+        prop_assert!(ratios.iter().all(|r| (-1e-9..=1.0 + 1e-9).contains(r)));
+        prop_assert!((sum - 1.0).abs() < 1e-6 || sum.abs() < 1e-9);
+        for w in pca.explained_variance.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        for i in 0..5 {
+            let norm: f64 = pca.components.row(i).iter().map(|v| v * v).sum();
+            prop_assert!((norm - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Z-score round-trips for arbitrary rows.
+    #[test]
+    fn zscore_round_trip(rows in arb_rows(4)) {
+        let z = ZScore::fit(&rows);
+        for r in &rows {
+            let back = z.inverse(&z.transform(r));
+            for (a, b) in back.iter().zip(r) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Tree predictions stay within the training-target range, and the tree
+    /// interpolates constants exactly.
+    #[test]
+    fn tree_prediction_bounds(
+        xs in prop::collection::vec(-50.0f64..50.0, 12..60),
+        noise_seed in 0u64..100,
+    ) {
+        let mut d = Dataset::new(vec!["x".into()], "y");
+        for (i, x) in xs.iter().enumerate() {
+            let y = x.sin() * 10.0 + ((i as u64 + noise_seed) % 3) as f64;
+            d.push(vec![*x], y);
+        }
+        let lo = d.y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut tree = RepTree::new(RepTreeConfig::default());
+        tree.fit(&d);
+        for probe in [-100.0, -7.3, 0.0, 19.2, 100.0] {
+            let p = tree.predict(&[probe]);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo},{hi}]");
+        }
+    }
+
+    /// OLS residuals are orthogonal to the fitted values' improvement: the
+    /// fit can't be beaten by scaling the weights.
+    #[test]
+    fn ols_is_least_squares(rows in arb_rows(3)) {
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()], "y");
+        for r in &rows {
+            let y = 2.0 * r[0] - r[1] + 0.5 * r[2] + 3.0;
+            d.push(r.clone(), y);
+        }
+        let mut lr = LinearRegression::new();
+        lr.fit(&d);
+        let pred = lr.predict_all(&d.x);
+        let sse: f64 = pred.iter().zip(&d.y).map(|(p, y)| (p - y) * (p - y)).sum();
+        // The relation is exactly linear → near-zero residual.
+        prop_assert!(sse < 1e-6 * d.len() as f64, "sse {sse}");
+    }
+
+    /// Hierarchical clustering: cutting at k yields exactly k clusters that
+    /// partition the points.
+    #[test]
+    fn clustering_partitions(points in arb_rows(2), k in 1usize..5) {
+        let k = k.min(points.len());
+        let dend = hcluster::agglomerative(&points, hcluster::Linkage::Average);
+        let labels = dend.cut(k);
+        prop_assert_eq!(labels.len(), points.len());
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        prop_assert_eq!(distinct.len(), k);
+        prop_assert!(labels.iter().all(|l| *l < k));
+    }
+}

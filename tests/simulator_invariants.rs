@@ -1,0 +1,153 @@
+//! Property-based integration tests of the execution substrate: invariants
+//! that must hold for *any* application profile and configuration.
+
+use ecost::apps::synth::synth_app_named;
+use ecost::apps::AppClass;
+use ecost::mapreduce::executor::{run_colocated, run_standalone};
+use ecost::mapreduce::{BlockSize, FrameworkSpec, JobSpec, TuningConfig};
+use ecost::sim::{Frequency, NodeSpec};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_class() -> impl Strategy<Value = AppClass> {
+    prop_oneof![
+        Just(AppClass::C),
+        Just(AppClass::H),
+        Just(AppClass::I),
+        Just(AppClass::M),
+    ]
+}
+
+fn arb_config(max_mappers: u32) -> impl Strategy<Value = TuningConfig> {
+    (0usize..4, 0usize..5, 1u32..=max_mappers).prop_map(|(f, b, m)| TuningConfig {
+        freq: Frequency::from_index(f).expect("index < 4"),
+        block: BlockSize::ALL[b],
+        mappers: m,
+    })
+}
+
+fn job_named(
+    class: AppClass,
+    seed: u64,
+    input_mb: f64,
+    cfg: TuningConfig,
+    name: &'static str,
+) -> JobSpec {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let profile = synth_app_named(&mut rng, class, name);
+    JobSpec::from_profile(profile, input_mb, cfg)
+}
+
+fn job(class: AppClass, seed: u64, input_mb: f64, cfg: TuningConfig) -> JobSpec {
+    job_named(class, seed, input_mb, cfg, "prop")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any standalone job finishes with positive, finite time/energy, and
+    /// moves at least its input through the disk.
+    #[test]
+    fn standalone_metrics_are_sane(
+        class in arb_class(),
+        seed in 0u64..1000,
+        cfg in arb_config(8),
+        input_gb in 1u32..=10,
+    ) {
+        let input_mb = f64::from(input_gb) * 1024.0;
+        let out = run_standalone(
+            &NodeSpec::atom_c2758(),
+            &FrameworkSpec::default(),
+            job(class, seed, input_mb, cfg),
+        ).expect("simulation");
+        prop_assert!(out.metrics.exec_time_s.is_finite() && out.metrics.exec_time_s > 0.0);
+        prop_assert!(out.metrics.energy_j.is_finite() && out.metrics.energy_j > 0.0);
+        prop_assert!(out.usage.read_mb >= 0.99 * input_mb);
+        prop_assert!(out.usage.busy_core_s <= out.usage.alloc_core_s * (1.0 + 1e-9));
+    }
+
+    /// A co-runner never speeds the victim up, and never slows it by more
+    /// than the worst case (full serialisation of both jobs' work).
+    #[test]
+    fn interference_is_bounded(
+        class_a in arb_class(),
+        class_b in arb_class(),
+        seed in 0u64..500,
+        ma in 1u32..=4,
+        mb in 1u32..=4,
+    ) {
+        let spec = NodeSpec::atom_c2758();
+        let fw = FrameworkSpec::default();
+        let cfg_a = TuningConfig { freq: Frequency::F2_0, block: BlockSize::B256, mappers: ma };
+        let cfg_b = TuningConfig { freq: Frequency::F2_0, block: BlockSize::B256, mappers: mb };
+        let a = job_named(class_a, seed, 1024.0, cfg_a, "prop-a");
+        let b = job_named(class_b, seed + 1, 1024.0, cfg_b, "prop-b");
+        let solo_a = run_standalone(&spec, &fw, a.clone()).expect("sim").metrics.exec_time_s;
+        let solo_b = run_standalone(&spec, &fw, b.clone()).expect("sim").metrics.exec_time_s;
+        let (outs, makespan) = run_colocated(&spec, &fw, vec![a, b]).expect("sim");
+        let t_a = outs
+            .iter()
+            .find(|o| o.spec.label.starts_with("prop-a"))
+            .expect("job a")
+            .metrics
+            .exec_time_s;
+        // No speedup from contention (tiny numerical slack allowed).
+        prop_assert!(t_a >= solo_a * 0.999, "t_a {t_a} solo {solo_a}");
+        // And co-location can't be worse than running everything serially
+        // with a generous contention margin.
+        prop_assert!(makespan <= 1.3 * (solo_a + solo_b), "makespan {makespan} vs serial {}", solo_a + solo_b);
+    }
+
+    /// Energy attribution: the sum over jobs matches the node meter.
+    #[test]
+    fn attribution_conserves_energy(
+        class_a in arb_class(),
+        class_b in arb_class(),
+        seed in 0u64..500,
+    ) {
+        let spec = NodeSpec::atom_c2758();
+        let fw = FrameworkSpec::default();
+        let cfg = TuningConfig { freq: Frequency::F2_4, block: BlockSize::B512, mappers: 3 };
+        let mut node = ecost::mapreduce::NodeSim::new(spec, fw);
+        node.submit(job(class_a, seed, 2048.0, cfg)).expect("fits");
+        node.submit(job(class_b, seed + 7, 1024.0, cfg)).expect("fits");
+        node.run_to_completion().expect("sim");
+        let attributed: f64 = node.finished().iter().map(|o| o.usage.energy_j).sum();
+        let metered = node.energy_j();
+        prop_assert!((attributed - metered).abs() <= 0.03 * metered,
+            "attributed {attributed} metered {metered}");
+    }
+
+    /// Higher frequency never hurts completion time.
+    #[test]
+    fn frequency_monotonicity(
+        class in arb_class(),
+        seed in 0u64..500,
+        m in 1u32..=8,
+    ) {
+        let spec = NodeSpec::atom_c2758();
+        let fw = FrameworkSpec::default();
+        let t_of = |freq| {
+            let cfg = TuningConfig { freq, block: BlockSize::B256, mappers: m };
+            run_standalone(&spec, &fw, job(class, seed, 1024.0, cfg)).expect("sim").metrics.exec_time_s
+        };
+        let t_low = t_of(Frequency::F1_2);
+        let t_high = t_of(Frequency::F2_4);
+        prop_assert!(t_high <= t_low * 1.001, "t_high {t_high} t_low {t_low}");
+    }
+
+    /// More input never takes less time or energy.
+    #[test]
+    fn input_monotonicity(
+        class in arb_class(),
+        seed in 0u64..500,
+    ) {
+        let spec = NodeSpec::atom_c2758();
+        let fw = FrameworkSpec::default();
+        let cfg = TuningConfig { freq: Frequency::F2_0, block: BlockSize::B256, mappers: 4 };
+        let small = run_standalone(&spec, &fw, job(class, seed, 1024.0, cfg)).expect("sim").metrics;
+        let large = run_standalone(&spec, &fw, job(class, seed, 5.0 * 1024.0, cfg)).expect("sim").metrics;
+        prop_assert!(large.exec_time_s > small.exec_time_s);
+        prop_assert!(large.energy_j > small.energy_j);
+    }
+}
