@@ -402,7 +402,11 @@ mod tests {
         for a in ALL_APPS {
             let p = a.profile();
             match p.class {
-                C => assert!(p.map_cycles_per_mb > 4.0 * st.map_cycles_per_mb, "{}", p.name),
+                C => assert!(
+                    p.map_cycles_per_mb > 4.0 * st.map_cycles_per_mb,
+                    "{}",
+                    p.name
+                ),
                 M => assert!(p.llc_mpki > 10.0, "{}", p.name),
                 _ => {}
             }

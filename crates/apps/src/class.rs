@@ -68,9 +68,15 @@ impl ClassPair {
     /// Build a normalised pair.
     pub fn new(a: AppClass, b: AppClass) -> ClassPair {
         if a <= b {
-            ClassPair { first: a, second: b }
+            ClassPair {
+                first: a,
+                second: b,
+            }
         } else {
-            ClassPair { first: b, second: a }
+            ClassPair {
+                first: b,
+                second: a,
+            }
         }
     }
 
@@ -106,7 +112,10 @@ mod tests {
     fn letters_round_trip() {
         for c in AppClass::ALL {
             assert_eq!(AppClass::from_letter(c.letter()), Some(c));
-            assert_eq!(AppClass::from_letter(c.letter().to_ascii_lowercase()), Some(c));
+            assert_eq!(
+                AppClass::from_letter(c.letter().to_ascii_lowercase()),
+                Some(c)
+            );
         }
         assert_eq!(AppClass::from_letter('x'), None);
     }

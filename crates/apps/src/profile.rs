@@ -105,14 +105,35 @@ impl AppProfile {
     pub fn validate(&self) -> Result<(), String> {
         let checks: [(&str, bool); 9] = [
             ("map_cycles_per_mb > 0", self.map_cycles_per_mb > 0.0),
-            ("task_overhead_cycles >= 0", self.task_overhead_cycles >= 0.0),
-            ("map_selectivity in [0, 3]", (0.0..=3.0).contains(&self.map_selectivity)),
+            (
+                "task_overhead_cycles >= 0",
+                self.task_overhead_cycles >= 0.0,
+            ),
+            (
+                "map_selectivity in [0, 3]",
+                (0.0..=3.0).contains(&self.map_selectivity),
+            ),
             ("spill_factor >= 1", self.spill_factor >= 1.0),
-            ("output_selectivity in [0, 3]", (0.0..=3.0).contains(&self.output_selectivity)),
-            ("llc_mpki in (0, 50]", self.llc_mpki > 0.0 && self.llc_mpki <= 50.0),
-            ("ipc_base in (0, 4]", self.ipc_base > 0.0 && self.ipc_base <= 4.0),
-            ("mem_stall_frac in [0, 1]", (0.0..=1.0).contains(&self.mem_stall_frac)),
-            ("working_set_frac in [0, 1]", (0.0..=1.0).contains(&self.working_set_frac)),
+            (
+                "output_selectivity in [0, 3]",
+                (0.0..=3.0).contains(&self.output_selectivity),
+            ),
+            (
+                "llc_mpki in (0, 50]",
+                self.llc_mpki > 0.0 && self.llc_mpki <= 50.0,
+            ),
+            (
+                "ipc_base in (0, 4]",
+                self.ipc_base > 0.0 && self.ipc_base <= 4.0,
+            ),
+            (
+                "mem_stall_frac in [0, 1]",
+                (0.0..=1.0).contains(&self.mem_stall_frac),
+            ),
+            (
+                "working_set_frac in [0, 1]",
+                (0.0..=1.0).contains(&self.working_set_frac),
+            ),
         ];
         for (what, ok) in checks {
             if !ok {

@@ -248,7 +248,10 @@ mod tests {
     fn workload_materialisation() {
         let w = WorkloadScenario::Ws3.workload(InputSize::Small);
         assert_eq!(w.len(), 16);
-        assert!(w.jobs.iter().all(|(a, s)| *a == App::St && *s == InputSize::Small));
+        assert!(w
+            .jobs
+            .iter()
+            .all(|(a, s)| *a == App::St && *s == InputSize::Small));
         assert_eq!(w.class_mix(), [0, 0, 16, 0]);
     }
 

@@ -67,7 +67,9 @@ fn bench_models(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("models_predict");
     g.bench_function("lr_predict", |b| b.iter(|| lr.predict(black_box(&probe))));
-    g.bench_function("reptree_predict", |b| b.iter(|| tree.predict(black_box(&probe))));
+    g.bench_function("reptree_predict", |b| {
+        b.iter(|| tree.predict(black_box(&probe)))
+    });
     g.bench_function("mlp_predict", |b| b.iter(|| mlp.predict(black_box(&probe))));
     g.finish();
 }

@@ -2,26 +2,36 @@
 //! (ILAO's unit of work) and the 11 200-point pair sweep (COLAO's). The
 //! paper needed a cluster-month for these; the reproduction needs this bench
 //! to stay in seconds.
+//!
+//! A fresh engine per iteration keeps the memo cold — the bench measures
+//! simulation, not a cache hit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ecost_apps::{App, InputSize};
-use ecost_core::features::Testbed;
-use ecost_core::oracle;
+use ecost_core::engine::EvalEngine;
 
 fn bench_sweeps(c: &mut Criterion) {
-    let tb = Testbed::atom();
     let mb = InputSize::Small.per_node_mb();
     let mut g = c.benchmark_group("oracle_sweep");
     g.sample_size(10);
     g.bench_function("solo_sweep_160", |b| {
-        b.iter(|| oracle::sweep_solo(&tb, App::Gp.profile(), mb))
+        b.iter(|| {
+            let eng = EvalEngine::atom();
+            eng.sweep_solo(App::Gp.profile(), mb).expect("sweep")
+        })
     });
     g.bench_function("pair_sweep_11200", |b| {
-        b.iter(|| oracle::sweep_pair(&tb, App::Gp.profile(), mb, App::St.profile(), mb))
+        b.iter(|| {
+            let eng = EvalEngine::atom();
+            eng.pair_sweep(App::Gp.profile(), mb, App::St.profile(), mb)
+                .expect("sweep")
+        })
     });
     g.bench_function("best_pair_with_partition", |b| {
         b.iter(|| {
-            oracle::best_pair_with_partition(&tb, App::Gp.profile(), mb, App::St.profile(), mb, (4, 4))
+            let eng = EvalEngine::atom();
+            eng.best_pair_with_partition(App::Gp.profile(), mb, App::St.profile(), mb, (4, 4))
+                .expect("sweep")
         })
     });
     g.finish();

@@ -4,21 +4,18 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ecost_apps::{InputSize, WorkloadScenario};
-use ecost_core::features::Testbed;
-use ecost_core::mapping::{run_policy, MappingPolicy};
+use ecost_core::engine::EvalEngine;
+use ecost_core::mapping::{run_policy, ConfiguredPolicy, MappingPolicy};
 
 fn bench_scheduler(c: &mut Criterion) {
-    let tb = Testbed::atom();
+    let eng = EvalEngine::atom();
     let workload = WorkloadScenario::Ws4.workload(InputSize::Small);
     let mut g = c.benchmark_group("scheduler");
     g.sample_size(10);
-    for policy in [
-        MappingPolicy::Sm,
-        MappingPolicy::Snm,
-        MappingPolicy::Cbm,
-    ] {
+    for policy in [MappingPolicy::Sm, MappingPolicy::Snm, MappingPolicy::Cbm] {
+        let p = ConfiguredPolicy::new(policy, None).expect("untuned policy");
         g.bench_function(format!("{}_ws4_4nodes", policy.label()), |b| {
-            b.iter(|| run_policy(&tb, 4, black_box(&workload), policy, None))
+            b.iter(|| run_policy(&eng, 4, black_box(&workload), &p).expect("run"))
         });
     }
     g.finish();

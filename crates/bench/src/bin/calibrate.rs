@@ -97,7 +97,11 @@ fn main() {
     println!("\n== EDP sensitivity vs mappers (wc, Medium): gain of tuning h+f over h|f alone ==");
     for m in [1u32, 2, 4, 8] {
         let edp_of = |f: ecost_sim::Frequency, h: ecost_mapreduce::BlockSize| {
-            let cfg = TuningConfig { freq: f, block: h, mappers: m };
+            let cfg = TuningConfig {
+                freq: f,
+                block: h,
+                mappers: m,
+            };
             run_standalone(&spec, &fw, JobSpec::new(App::Wc, InputSize::Medium, cfg))
                 .expect("sim")
                 .metrics

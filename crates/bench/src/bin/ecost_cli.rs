@@ -14,8 +14,8 @@
 use ecost_apps::catalog::ALL_APPS;
 use ecost_apps::{App, InputSize};
 use ecost_core::classify::RuleClassifier;
-use ecost_core::features::{profile_catalog_app, Testbed};
-use ecost_core::oracle::{self, SweepCache};
+use ecost_core::engine::EvalEngine;
+use ecost_core::features::profile_catalog_app;
 use ecost_mapreduce::{Feature, TuningConfig};
 
 fn parse_size(arg: Option<&String>) -> InputSize {
@@ -46,25 +46,32 @@ fn parse_app(arg: Option<&String>) -> App {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let tb = Testbed::atom();
-    let idle = tb.idle_w();
+    let eng = EvalEngine::atom();
+    let idle = eng.idle_w();
     match args.first().map(String::as_str) {
         Some("apps") => {
-            println!("{:<6} {:<6} {}", "name", "class", "role");
+            println!("{:<6} {:<6} role", "name", "class");
             for app in ALL_APPS {
                 println!(
                     "{:<6} {:<6} {}",
                     app.name(),
                     app.class(),
-                    if app.is_training() { "training (known)" } else { "test (unknown)" }
+                    if app.is_training() {
+                        "training (known)"
+                    } else {
+                        "test (unknown)"
+                    }
                 );
             }
         }
         Some("profile") => {
             let app = parse_app(args.get(1));
             let size = parse_size(args.get(2));
-            let sig = profile_catalog_app(&tb, app, size, 0.03, 42);
-            println!("learning period for {app} at {size}: {:.1}s", sig.profile_time_s);
+            let sig = profile_catalog_app(&eng, app, size, 0.03, 42).expect("profiling run");
+            println!(
+                "learning period for {app} at {size}: {:.1}s",
+                sig.profile_time_s
+            );
             for feat in Feature::ALL {
                 println!("  {:<18} {:>10.2}", feat.name(), sig.features.get(feat));
             }
@@ -72,7 +79,8 @@ fn main() {
             let mut training = Vec::new();
             for t in ecost_apps::TRAINING_APPS {
                 for s in InputSize::ALL {
-                    training.push((profile_catalog_app(&tb, t, s, 0.03, 42), t.class()));
+                    let tsig = profile_catalog_app(&eng, t, s, 0.03, 42).expect("profiling run");
+                    training.push((tsig, t.class()));
                 }
             }
             let rc = RuleClassifier::fit(&training);
@@ -85,14 +93,20 @@ fn main() {
         Some("tune") => {
             let app = parse_app(args.get(1));
             let size = parse_size(args.get(2));
-            let best = oracle::best_solo(&tb, app.profile(), size.per_node_mb());
-            let default = oracle::solo_metrics(
-                &tb,
-                app.profile(),
-                size.per_node_mb(),
-                TuningConfig::hadoop_default(tb.node.cores),
+            let best = eng
+                .best_solo(app.profile(), size.per_node_mb())
+                .expect("solo sweep");
+            let default = eng
+                .solo_metrics(
+                    app.profile(),
+                    size.per_node_mb(),
+                    TuningConfig::hadoop_default(eng.testbed().node.cores),
+                )
+                .expect("solo sim");
+            println!(
+                "best standalone config for {app} at {size}: {}",
+                best.config
             );
-            println!("best standalone config for {app} at {size}: {}", best.config);
             println!(
                 "  T={:.0}s  Pdyn={:.2}W  wall EDP {:.3e} ({:.1}% better than untuned defaults)",
                 best.metrics.exec_time_s,
@@ -106,9 +120,11 @@ fn main() {
             let b = parse_app(args.get(2));
             let size = parse_size(args.get(3));
             let mb = size.per_node_mb();
-            let cache = SweepCache::new();
-            let best = cache.best_pair(&tb, a.profile(), mb, b.profile(), mb);
-            let ilao = ecost_core::strategies::ilao(&tb, a.profile(), mb, b.profile(), mb);
+            let best = eng
+                .best_pair(a.profile(), mb, b.profile(), mb)
+                .expect("pair sweep");
+            let ilao =
+                ecost_core::strategies::ilao(&eng, a.profile(), mb, b.profile(), mb).expect("ilao");
             println!("COLAO oracle for {a}+{b} at {size} (11 200 configs swept):");
             println!("  {a}: {}", best.config.a);
             println!("  {b}: {}", best.config.b);
@@ -123,7 +139,10 @@ fn main() {
             let app = parse_app(args.get(1));
             let size = parse_size(args.get(2));
             println!("freq_ghz,block_mb,mappers,exec_s,power_w,edp_wall");
-            for run in oracle::sweep_solo(&tb, app.profile(), size.per_node_mb()) {
+            for run in eng
+                .sweep_solo(app.profile(), size.per_node_mb())
+                .expect("solo sweep")
+            {
                 println!(
                     "{},{},{},{:.2},{:.3},{:.6e}",
                     run.config.freq.ghz(),
@@ -134,6 +153,8 @@ fn main() {
                     run.metrics.edp_wall(idle)
                 );
             }
+            let stats = eng.stats();
+            eprintln!("[engine] {stats}");
         }
         _ => {
             eprintln!("usage: ecost_cli <apps|profile|tune|pair|sweep> [args…]");

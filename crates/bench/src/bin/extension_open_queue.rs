@@ -6,8 +6,15 @@ use ecost_core::report::emit;
 
 fn main() {
     let mut ctx = Ctx::new();
-    for (i, table) in experiments::extension_open_queue(&mut ctx).iter().enumerate() {
-        emit(table, Ctx::results_dir(), &format!("extension_open_queue_{i}"))
-            .expect("write results");
+    for (i, table) in experiments::extension_open_queue(&mut ctx)
+        .iter()
+        .enumerate()
+    {
+        emit(
+            table,
+            Ctx::results_dir(),
+            &format!("extension_open_queue_{i}"),
+        )
+        .expect("write results");
     }
 }

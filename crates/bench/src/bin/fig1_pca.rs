@@ -7,7 +7,6 @@ use ecost_core::report::emit;
 fn main() {
     let mut ctx = Ctx::new();
     for (i, table) in experiments::fig1_pca(&mut ctx).iter().enumerate() {
-        emit(table, Ctx::results_dir(), &format!("fig1_pca_{i}"))
-            .expect("write results");
+        emit(table, Ctx::results_dir(), &format!("fig1_pca_{i}")).expect("write results");
     }
 }

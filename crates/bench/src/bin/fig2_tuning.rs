@@ -7,7 +7,6 @@ use ecost_core::report::emit;
 fn main() {
     let mut ctx = Ctx::new();
     for (i, table) in experiments::fig2_tuning(&mut ctx).iter().enumerate() {
-        emit(table, Ctx::results_dir(), &format!("fig2_tuning_{i}"))
-            .expect("write results");
+        emit(table, Ctx::results_dir(), &format!("fig2_tuning_{i}")).expect("write results");
     }
 }

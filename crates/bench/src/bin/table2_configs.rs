@@ -7,7 +7,6 @@ use ecost_core::report::emit;
 fn main() {
     let mut ctx = Ctx::new();
     for (i, table) in experiments::table2_configs(&mut ctx).iter().enumerate() {
-        emit(table, Ctx::results_dir(), &format!("table2_configs_{i}"))
-            .expect("write results");
+        emit(table, Ctx::results_dir(), &format!("table2_configs_{i}")).expect("write results");
     }
 }

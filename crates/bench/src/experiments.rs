@@ -5,9 +5,9 @@ use crate::harness::{Ctx, NOISE, SEED};
 use ecost_apps::catalog::ALL_APPS;
 use ecost_apps::class::ClassPair;
 use ecost_apps::{App, InputSize, WorkloadScenario};
+use ecost_core::engine::{EngineStats, EvalEngine};
 use ecost_core::features::Testbed;
-use ecost_core::mapping::{run_policy, EcostContext, MappingPolicy};
-use ecost_core::oracle;
+use ecost_core::mapping::{run_policy, ConfiguredPolicy, EcostContext, MappingPolicy};
 use ecost_core::report::{f, Table};
 use ecost_core::stp::{encode_row, Stp};
 use ecost_core::strategies;
@@ -16,6 +16,18 @@ use ecost_ml::model::Regressor;
 use ecost_ml::{hcluster, Pca, ZScore};
 use ecost_sim::Frequency;
 use std::time::Instant;
+
+/// Render an [`EngineStats`] snapshot as a table (satellite of every
+/// engine-heavy experiment: how much simulation actually ran vs was reused).
+pub fn engine_stats_table(title: &str, stats: &EngineStats) -> Table {
+    let mut t = Table::new(title, &["metric", "value"]);
+    t.row(&["runs simulated".into(), stats.runs_simulated.to_string()]);
+    t.row(&["cache hits".into(), stats.hits.to_string()]);
+    t.row(&["cache misses".into(), stats.misses.to_string()]);
+    t.row(&["cache hit rate %".into(), f(100.0 * stats.hit_rate(), 1)]);
+    t.row(&["simulation wall s".into(), f(stats.wall_seconds, 2)]);
+    t
+}
 
 // ---------------------------------------------------------------- Fig 1 --
 
@@ -37,10 +49,10 @@ pub fn fig1_pca(ctx: &mut Ctx) -> Vec<Table> {
         "Fig 1a: PCA explained variance (paper: PC1+PC2 = 85.22%)",
         &["component", "variance %", "cumulative %"],
     );
-    for k in 0..4.min(ratio.len()) {
+    for (k, &r) in ratio.iter().enumerate().take(4) {
         variance.row(&[
             format!("PC{}", k + 1),
-            f(100.0 * ratio[k], 2),
+            f(100.0 * r, 2),
             f(100.0 * pca.cumulative_variance(k + 1), 2),
         ]);
     }
@@ -63,7 +75,11 @@ pub fn fig1_pca(ctx: &mut Ctx) -> Vec<Table> {
             f(pts[i][0], 3),
             f(pts[i][1], 3),
             labels[i].to_string(),
-            if reps.contains(&i) { "*".into() } else { "".into() },
+            if reps.contains(&i) {
+                "*".into()
+            } else {
+                "".into()
+            },
         ]);
     }
 
@@ -83,21 +99,35 @@ pub fn fig1_pca(ctx: &mut Ctx) -> Vec<Table> {
 /// individually vs concurrently, as a function of the mapper count. All EDP
 /// normalised to (64 MB, 1.2 GHz) per the paper.
 pub fn fig2_tuning(ctx: &mut Ctx) -> Vec<Table> {
-    let tb = ctx.tb.clone();
-    let idle = tb.idle_w();
+    let eng = &ctx.engine;
+    let idle = eng.idle_w();
+    let cores = eng.testbed().node.cores;
     let apps = [App::Wc, App::Gp, App::St, App::Fp];
     let size = InputSize::Medium;
 
     let mut table = Table::new(
         "Fig 2: EDP improvement vs (64MB, 1.2GHz) baseline — individual vs concurrent tuning",
-        &["app", "mappers", "h-only %", "f-only %", "h+f %", "concurrent gain over best individual %"],
+        &[
+            "app",
+            "mappers",
+            "h-only %",
+            "f-only %",
+            "h+f %",
+            "concurrent gain over best individual %",
+        ],
     );
     let mut margins: Vec<f64> = Vec::new();
     for app in apps {
-        for m in 1..=tb.node.cores {
+        for m in 1..=cores {
             let edp = |freq: Frequency, block: BlockSize| {
-                let cfg = TuningConfig { freq, block, mappers: m };
-                oracle::solo_metrics(&tb, app.profile(), size.per_node_mb(), cfg).edp_wall(idle)
+                let cfg = TuningConfig {
+                    freq,
+                    block,
+                    mappers: m,
+                };
+                eng.solo_metrics(app.profile(), size.per_node_mb(), cfg)
+                    .expect("solo sim")
+                    .edp_wall(idle)
             };
             let base = edp(Frequency::F1_2, BlockSize::B64);
             let best_h = BlockSize::ALL
@@ -127,7 +157,9 @@ pub fn fig2_tuning(ctx: &mut Ctx) -> Vec<Table> {
     }
     let (lo, hi) = margins
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &m| (l.min(m), h.max(m)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &m| {
+            (l.min(m), h.max(m))
+        });
     let mut summary = Table::new(
         "Fig 2 summary (paper: concurrent beats individual by 3.73%-87.39%, shrinking with mappers)",
         &["metric", "value"],
@@ -141,9 +173,8 @@ pub fn fig2_tuning(ctx: &mut Ctx) -> Vec<Table> {
 
 /// Fig 3: COLAO vs ILAO EDP for every same-size training pair.
 pub fn fig3_colao_ilao(ctx: &mut Ctx) -> Vec<Table> {
-    let tb = ctx.tb.clone();
-    let cache = ctx.cache.clone();
-    let idle = tb.idle_w();
+    let eng = &ctx.engine;
+    let idle = eng.idle_w();
     let mut table = Table::new(
         "Fig 3: ILAO/COLAO wall-EDP ratio (>1 = co-location wins; paper max 4.52x at I-I)",
         &["pair", "classes", "size", "ILAO EDP", "COLAO EDP", "gain x"],
@@ -153,8 +184,8 @@ pub fn fig3_colao_ilao(ctx: &mut Ctx) -> Vec<Table> {
         for &b in &ecost_apps::TRAINING_APPS[i..] {
             for size in InputSize::ALL {
                 let mb = size.per_node_mb();
-                let il = strategies::ilao(&tb, a.profile(), mb, b.profile(), mb);
-                let co = strategies::colao(&tb, &cache, a.profile(), mb, b.profile(), mb);
+                let il = strategies::ilao(eng, a.profile(), mb, b.profile(), mb).expect("ilao");
+                let co = strategies::colao(eng, a.profile(), mb, b.profile(), mb).expect("colao");
                 let gain = il.metrics.edp_wall(idle) / co.metrics.edp_wall(idle);
                 if gain > best_gain.1 {
                     best_gain = (format!("{}-{} @{size}", a.name(), b.name()), gain);
@@ -171,7 +202,10 @@ pub fn fig3_colao_ilao(ctx: &mut Ctx) -> Vec<Table> {
         }
     }
     let mut summary = Table::new("Fig 3 summary", &["metric", "value"]);
-    summary.row(&["largest gain".into(), format!("{} ({:.2}x)", best_gain.0, best_gain.1)]);
+    summary.row(&[
+        "largest gain".into(),
+        format!("{} ({:.2}x)", best_gain.0, best_gain.1),
+    ]);
     vec![table, summary]
 }
 
@@ -181,9 +215,8 @@ pub fn fig3_colao_ilao(ctx: &mut Ctx) -> Vec<Table> {
 /// minimum over partitions ranks the pairs and derives the scheduler's
 /// class priority.
 pub fn fig5_priority(ctx: &mut Ctx) -> Vec<Table> {
-    let tb = ctx.tb.clone();
-    let cache = ctx.cache.clone();
-    let idle = tb.idle_w();
+    let eng = &ctx.engine;
+    let idle = eng.idle_w();
     let size = InputSize::Medium;
     let mb = size.per_node_mb();
 
@@ -197,14 +230,23 @@ pub fn fig5_priority(ctx: &mut Ctx) -> Vec<Table> {
     for (i, &a) in ecost_apps::TRAINING_APPS.iter().enumerate() {
         for &b in &ecost_apps::TRAINING_APPS[i..] {
             let cp = ClassPair::new(a.class(), b.class());
-            let il = strategies::ilao(&tb, a.profile(), mb, b.profile(), mb)
+            let il = strategies::ilao(eng, a.profile(), mb, b.profile(), mb)
+                .expect("ilao")
                 .metrics
                 .edp_wall(idle);
-            let sweep = cache.pair_sweep(&tb, a.profile(), mb, b.profile(), mb);
+            let sweep = eng
+                .pair_sweep(a.profile(), mb, b.profile(), mb)
+                .expect("sweep");
             let mut by_part: std::collections::HashMap<(u32, u32), f64> =
                 std::collections::HashMap::new();
-            for run in sweep.iter() {
-                let part = (run.config.a.mappers, run.config.b.mappers);
+            for run in sweep.runs().iter() {
+                // Report partitions in (a, b) orientation.
+                let cfg = if sweep.swapped() {
+                    run.config.swapped()
+                } else {
+                    run.config
+                };
+                let part = (cfg.a.mappers, cfg.b.mappers);
                 let e = run.metrics.edp_wall(idle);
                 let slot = by_part.entry(part).or_insert(f64::INFINITY);
                 *slot = slot.min(e);
@@ -222,7 +264,7 @@ pub fn fig5_priority(ctx: &mut Ctx) -> Vec<Table> {
             }
             let (best_part, best_edp) = by_part
                 .into_iter()
-                .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+                .min_by(|x, y| x.1.total_cmp(&y.1))
                 .expect("non-empty");
             let norm = best_edp / il;
             let entry = per_class
@@ -234,8 +276,9 @@ pub fn fig5_priority(ctx: &mut Ctx) -> Vec<Table> {
         }
     }
 
-    let mut ranking: Vec<(ClassPair, (f64, String, (u32, u32)))> = per_class.into_iter().collect();
-    ranking.sort_by(|x, y| x.1 .0.partial_cmp(&y.1 .0).expect("finite"));
+    type RankRow = (ClassPair, (f64, String, (u32, u32)));
+    let mut ranking: Vec<RankRow> = per_class.into_iter().collect();
+    ranking.sort_by(|x, y| x.1 .0.total_cmp(&y.1 .0));
     let mut rank_table = Table::new(
         "Fig 5b: class-pair ranking by lowest normalised EDP (paper: I-I first, M-X last)",
         &["rank", "classes", "best pair", "partition", "EDP/ILAO"],
@@ -287,9 +330,26 @@ pub fn table1_ape(ctx: &mut Ctx) -> Vec<Table> {
             let pred: Vec<f64> = pred_ln.iter().map(|p| p.exp()).collect();
             ecost_ml::mean_absolute_percentage_error(&truth, &pred)
         };
-        let lr = ape_of(&ds.y, models.lr.model_for(**cp).predict_all(&ds.x));
-        let rt = ape_of(&ds.y, models.reptree.model_for(**cp).predict_all(&ds.x));
-        let mlp = ape_of(&ds_mlp.y, models.mlp.model_for(**cp).predict_all(&ds_mlp.x));
+        let lr = ape_of(
+            &ds.y,
+            models.lr.model_for(**cp).expect("model").predict_all(&ds.x),
+        );
+        let rt = ape_of(
+            &ds.y,
+            models
+                .reptree
+                .model_for(**cp)
+                .expect("model")
+                .predict_all(&ds.x),
+        );
+        let mlp = ape_of(
+            &ds_mlp.y,
+            models
+                .mlp
+                .model_for(**cp)
+                .expect("model")
+                .predict_all(&ds_mlp.x),
+        );
         sums[0] += lr;
         sums[1] += rt;
         sums[2] += mlp;
@@ -314,16 +374,16 @@ pub fn table2_pairs() -> Vec<(App, App, InputSize)> {
     use App::*;
     use InputSize::*;
     vec![
-        (Pr, Pr, Medium),   // H-H
-        (Svm, Cf, Medium),  // C-M
-        (St, Cf, Medium),   // I-M (known I + unknown M)
-        (Pr, Cf, Medium),   // H-M
-        (St, Pr, Medium),   // I-H
-        (Pr, Pr, Large),    // H-H at large input
-        (Pr, Fp, Medium),   // H-M (unknown H + known M)
-        (Cf, Cf, Medium),   // M-M
-        (Km, Hmm, Medium),  // C-C
-        (Nb, St, Medium),   // C-I
+        (Pr, Pr, Medium),  // H-H
+        (Svm, Cf, Medium), // C-M
+        (St, Cf, Medium),  // I-M (known I + unknown M)
+        (Pr, Cf, Medium),  // H-M
+        (St, Pr, Medium),  // I-H
+        (Pr, Pr, Large),   // H-H at large input
+        (Pr, Fp, Medium),  // H-M (unknown H + known M)
+        (Cf, Cf, Medium),  // M-M
+        (Km, Hmm, Medium), // C-C
+        (Nb, St, Medium),  // C-I
     ]
 }
 
@@ -331,32 +391,46 @@ pub fn table2_pairs() -> Vec<(App, App, InputSize)> {
 /// pairs, and their EDP error vs the COLAO oracle.
 pub fn table2_configs(ctx: &mut Ctx) -> Vec<Table> {
     ctx.models();
-    let tb = ctx.tb.clone();
-    let cache = ctx.cache.clone();
-    let idle = tb.idle_w();
+    let cores = ctx.tb().node.cores;
+    let idle = ctx.engine.idle_w();
     let pairs = table2_pairs();
 
     let mut table = Table::new(
         "Table 2: configs (f,h,m per app) and EDP error vs COLAO oracle",
         &[
-            "pair", "classes", "size", "oracle cfg", "LkT cfg", "LR cfg", "MLP cfg", "REPTree cfg",
-            "LkT %", "LR %", "MLP %", "REPTree %",
+            "pair",
+            "classes",
+            "size",
+            "oracle cfg",
+            "LkT cfg",
+            "LR cfg",
+            "MLP cfg",
+            "REPTree cfg",
+            "LkT %",
+            "LR %",
+            "MLP %",
+            "REPTree %",
         ],
     );
     let mut sums = [0.0_f64; 4];
     let mut worst = [0.0_f64; 4];
     for &(a, b, size) in &pairs {
         let mb = size.per_node_mb();
-        let oracle_run = cache.best_pair(&tb, a.profile(), mb, b.profile(), mb);
-        let oracle_edp = oracle_run.metrics.edp_wall(idle);
         let sig_a = ctx.signature(a, size);
         let sig_b = ctx.signature(b, size);
-        let models = ctx.models();
-        let mut cfgs: Vec<String> = vec![oracle_run.config.a.table_row() + " | " + &oracle_run.config.b.table_row()];
+        let (models, eng) = ctx.models_and_engine();
+        let oracle_run = eng
+            .best_pair(a.profile(), mb, b.profile(), mb)
+            .expect("oracle");
+        let oracle_edp = oracle_run.metrics.edp_wall(idle);
+        let mut cfgs: Vec<String> =
+            vec![oracle_run.config.a.table_row() + " | " + &oracle_run.config.b.table_row()];
         let mut errs: Vec<String> = Vec::new();
         for (i, (_, stp)) in models.all().iter().enumerate() {
-            let cfg = stp.choose(&sig_a, &sig_b, tb.node.cores);
-            let metrics = oracle::pair_metrics(&tb, a.profile(), mb, b.profile(), mb, cfg);
+            let cfg = stp.choose(&sig_a, &sig_b, cores).expect("stp choice");
+            let metrics = eng
+                .pair_metrics(a.profile(), mb, b.profile(), mb, cfg)
+                .expect("pair sim");
             let err = 100.0 * (metrics.edp_wall(idle) - oracle_edp) / oracle_edp;
             sums[i] += err.max(0.0);
             worst[i] = worst[i].max(err);
@@ -385,10 +459,11 @@ pub fn table2_configs(ctx: &mut Ctx) -> Vec<Table> {
 
 // ---------------------------------------------------------------- Fig 8 --
 
-/// Fig 8: training and prediction cost of the STP techniques.
+/// Fig 8: training and prediction cost of the STP techniques, plus the
+/// engine's own account of how much simulation backed them.
 pub fn fig8_overhead(ctx: &mut Ctx) -> Vec<Table> {
     ctx.models();
-    let tb = ctx.tb.clone();
+    let cores = ctx.tb().node.cores;
     let pairs = table2_pairs();
     // Measure decision latency over the test pairs.
     let sigs: Vec<_> = pairs
@@ -401,11 +476,14 @@ pub fn fig8_overhead(ctx: &mut Ctx) -> Vec<Table> {
         let t0 = Instant::now();
         let mut guard = 0u32;
         for (sa, sb) in &sigs {
-            let cfg = stp.choose(sa, sb, tb.node.cores);
+            let cfg = stp.choose(sa, sb, cores).expect("stp choice");
             guard = guard.wrapping_add(cfg.cores());
         }
         assert!(guard > 0);
-        predict_ms.push((name.to_string(), 1e3 * t0.elapsed().as_secs_f64() / sigs.len() as f64));
+        predict_ms.push((
+            name.to_string(),
+            1e3 * t0.elapsed().as_secs_f64() / sigs.len() as f64,
+        ));
     }
     let tt = ctx.train_times();
     let mut table = Table::new(
@@ -422,7 +500,14 @@ pub fn fig8_overhead(ctx: &mut Ctx) -> Vec<Table> {
         assert_eq!(name, pname);
         table.row(&[name.to_string(), f(*tr, 3), f(*pm, 3)]);
     }
-    vec![table]
+    let stats = ctx.engine.stats();
+    vec![
+        table,
+        engine_stats_table(
+            "Fig 8 addendum: evaluation-engine stats (the offline cost every technique shares)",
+            &stats,
+        ),
+    ]
 }
 
 // ---------------------------------------------------------------- Fig 9 --
@@ -431,12 +516,10 @@ pub fn fig8_overhead(ctx: &mut Ctx) -> Vec<Table> {
 /// normalised to the brute-force upper bound.
 pub fn fig9_scalability(ctx: &mut Ctx, sizes: &[usize], size: InputSize) -> Vec<Table> {
     ctx.models();
-    let tb = ctx.tb.clone();
-    let cache = ctx.cache.clone();
     let db = ctx.db().clone();
     let classifier = ctx.rule_classifier();
     let pairing = ecost_core::pairing::PairingPolicy::default();
-    let idle = tb.idle_w();
+    let idle = ctx.engine.idle_w();
 
     let mut tables = Vec::new();
     let mut ecost_gap_sum = 0.0;
@@ -444,17 +527,18 @@ pub fn fig9_scalability(ctx: &mut Ctx, sizes: &[usize], size: InputSize) -> Vec<
     for &n in sizes {
         let mut table = Table::new(
             format!("Fig 9: normalised EDP (policy/UB) on {n} node(s), inputs {size}"),
-            &["workload", "SM", "MNM1", "MNM2", "SNM", "CBM", "PTM", "ECoST", "UB"],
+            &[
+                "workload", "SM", "MNM1", "MNM2", "SNM", "CBM", "PTM", "ECoST", "UB",
+            ],
         );
         for ws in WorkloadScenario::ALL {
             let workload = ws.workload(size);
-            let models = ctx.models();
+            let (models, eng) = ctx.models_and_engine();
             let ecx = EcostContext {
                 db: &db,
                 stp: &models.reptree,
                 classifier: &classifier,
                 pairing: &pairing,
-                cache: &cache,
                 noise: NOISE,
                 seed: SEED,
                 pairing_mode: ecost_core::pairing::PairingMode::DecisionTree,
@@ -467,7 +551,10 @@ pub fn fig9_scalability(ctx: &mut Ctx, sizes: &[usize], size: InputSize) -> Vec<
             let runs: Vec<f64> = MappingPolicy::ALL
                 .iter()
                 .map(|policy| {
-                    run_policy(&tb, n, &workload, *policy, Some(&ecx)).edp_wall(idle)
+                    let p = ConfiguredPolicy::new(*policy, Some(&ecx)).expect("policy config");
+                    run_policy(eng, n, &workload, &p)
+                        .expect("cluster run")
+                        .edp_wall(idle)
                 })
                 .collect();
             let ub_edp = runs.iter().copied().fold(f64::INFINITY, f64::min);
@@ -504,13 +591,19 @@ pub fn fig9_scalability(ctx: &mut Ctx, sizes: &[usize], size: InputSize) -> Vec<
 /// batches of k ∈ {1, 2, 4, 8} co-located jobs; beyond 2 the combined
 /// working sets exceed DRAM and spill pressure erodes the packing gain.
 pub fn ablation_kway(ctx: &mut Ctx) -> Vec<Table> {
-    let tb = ctx.tb.clone();
-    let idle = tb.idle_w();
+    let tb = ctx.tb().clone();
+    let idle = ctx.engine.idle_w();
     let jobs_total = 8usize;
     let input_mb = InputSize::Medium.per_node_mb();
     let mut table = Table::new(
         "Ablation: k-way co-location of FP-Growth batches (paper: 2 best, >2 degrades)",
-        &["k per batch", "makespan s", "energy J", "wall EDP", "vs k=2"],
+        &[
+            "k per batch",
+            "makespan s",
+            "energy J",
+            "wall EDP",
+            "vs k=2",
+        ],
     );
     let mut edp2 = None;
     for k in [1usize, 2, 4, 8] {
@@ -561,10 +654,13 @@ pub fn ablation_job_cap(ctx: &mut Ctx) -> Vec<Table> {
     );
     let mb = InputSize::Small.per_node_mb();
     for cap in [70.0, 170.0] {
-        let mut tb = ctx.tb.clone();
+        let mut tb = ctx.tb().clone();
         tb.fw.job_io_cap_mbps = cap;
-        let cache = ecost_core::oracle::SweepCache::new();
-        let gain = strategies::colao_over_ilao_gain(&tb, &cache, App::St.profile(), App::St.profile(), mb);
+        // A modified testbed means a separate engine (its memo is keyed by
+        // app/input/config, not framework parameters).
+        let eng = EvalEngine::new(tb);
+        let gain = strategies::colao_over_ilao_gain(&eng, App::St.profile(), App::St.profile(), mb)
+            .expect("gain");
         table.row(&[f(cap, 0), f(gain, 2)]);
     }
     vec![table]
@@ -576,12 +672,10 @@ pub fn ablation_job_cap(ctx: &mut Ctx) -> Vec<Table> {
 pub fn ablation_pairing(ctx: &mut Ctx) -> Vec<Table> {
     use ecost_core::pairing::PairingMode;
     ctx.models();
-    let tb = ctx.tb.clone();
-    let cache = ctx.cache.clone();
     let db = ctx.db().clone();
     let classifier = ctx.rule_classifier();
     let pairing = ecost_core::pairing::PairingPolicy::default();
-    let idle = tb.idle_w();
+    let idle = ctx.engine.idle_w();
     let workload = WorkloadScenario::Ws8.workload(InputSize::Small);
 
     let mut table = Table::new(
@@ -594,18 +688,18 @@ pub fn ablation_pairing(ctx: &mut Ctx) -> Vec<Table> {
         ("fifo", PairingMode::Fifo),
         ("random", PairingMode::Random(SEED)),
     ] {
-        let models = ctx.models();
+        let (models, eng) = ctx.models_and_engine();
         let ecx = EcostContext {
             db: &db,
             stp: &models.reptree,
             classifier: &classifier,
             pairing: &pairing,
-            cache: &cache,
             noise: NOISE,
             seed: SEED,
             pairing_mode: mode,
         };
-        let run = run_policy(&tb, 2, &workload, MappingPolicy::Ecost, Some(&ecx));
+        let p = ConfiguredPolicy::new(MappingPolicy::Ecost, Some(&ecx)).expect("policy config");
+        let run = run_policy(eng, 2, &workload, &p).expect("cluster run");
         let edp = run.edp_wall(idle);
         if base.is_none() {
             base = Some(edp);
@@ -626,12 +720,10 @@ pub fn ablation_pairing(ctx: &mut Ctx) -> Vec<Table> {
 /// paper's small-job leap-forward rule (allowance 0 = strict FIFO head).
 pub fn extension_open_queue(ctx: &mut Ctx) -> Vec<Table> {
     ctx.models();
-    let tb = ctx.tb.clone();
-    let cache = ctx.cache.clone();
     let db = ctx.db().clone();
     let classifier = ctx.rule_classifier();
     let pairing = ecost_core::pairing::PairingPolicy::default();
-    let idle = tb.idle_w();
+    let idle = ctx.engine.idle_w();
     let workload = WorkloadScenario::Ws8.workload(InputSize::Small);
     let mut rng = ecost_sim::rng::stream(SEED, "arrivals");
     let arrivals = workload.poisson_arrivals(&mut rng, 45.0);
@@ -642,19 +734,18 @@ pub fn extension_open_queue(ctx: &mut Ctx) -> Vec<Table> {
     );
     let mut base = None;
     for skips in [0u32, 2, 8] {
-        let models = ctx.models();
+        let (models, eng) = ctx.models_and_engine();
         let ecx = EcostContext {
             db: &db,
             stp: &models.reptree,
             classifier: &classifier,
             pairing: &pairing,
-            cache: &cache,
             noise: NOISE,
             seed: SEED,
             pairing_mode: ecost_core::pairing::PairingMode::DecisionTree,
         };
-        let run =
-            ecost_core::mapping::run_ecost_open(&tb, 2, &workload, &arrivals, skips, &ecx);
+        let run = ecost_core::mapping::run_ecost_open(eng, 2, &workload, &arrivals, skips, &ecx)
+            .expect("open-queue run");
         let edp = run.edp_wall(idle);
         if skips == 2 {
             base = Some(edp);
@@ -679,14 +770,20 @@ pub fn extension_xeon(_ctx: &mut Ctx) -> Vec<Table> {
             ..ecost_mapreduce::FrameworkSpec::default()
         },
     };
-    let cache = ecost_core::oracle::SweepCache::new();
+    let eng = EvalEngine::new(tb);
     let mb = InputSize::Medium.per_node_mb();
     let mut table = Table::new(
         "Extension: COLAO gain on a Xeon-class node (paper §2.1: results transfer)",
         &["pair", "classes", "gain x"],
     );
-    for (a, b) in [(App::St, App::St), (App::Wc, App::St), (App::Wc, App::Wc), (App::Fp, App::Fp)] {
-        let gain = strategies::colao_over_ilao_gain(&tb, &cache, a.profile(), b.profile(), mb);
+    for (a, b) in [
+        (App::St, App::St),
+        (App::Wc, App::St),
+        (App::Wc, App::Wc),
+        (App::Fp, App::Fp),
+    ] {
+        let gain =
+            strategies::colao_over_ilao_gain(&eng, a.profile(), b.profile(), mb).expect("gain");
         table.row(&[
             format!("{}-{}", a.name(), b.name()),
             ClassPair::new(a.class(), b.class()).to_string(),
@@ -699,15 +796,22 @@ pub fn extension_xeon(_ctx: &mut Ctx) -> Vec<Table> {
 /// Sanity metric used by tests: REPTree STP error vs oracle on one pair.
 pub fn quick_stp_error(ctx: &mut Ctx, a: App, b: App, size: InputSize) -> f64 {
     ctx.models();
-    let tb = ctx.tb.clone();
-    let cache = ctx.cache.clone();
-    let idle = tb.idle_w();
+    let cores = ctx.tb().node.cores;
+    let idle = ctx.engine.idle_w();
     let mb = size.per_node_mb();
-    let oracle_run = cache.best_pair(&tb, a.profile(), mb, b.profile(), mb);
     let sig_a = ctx.signature(a, size);
     let sig_b = ctx.signature(b, size);
-    let cfg = ctx.models().reptree.choose(&sig_a, &sig_b, tb.node.cores);
-    let m = oracle::pair_metrics(&tb, a.profile(), mb, b.profile(), mb, cfg);
+    let (models, eng) = ctx.models_and_engine();
+    let oracle_run = eng
+        .best_pair(a.profile(), mb, b.profile(), mb)
+        .expect("oracle");
+    let cfg = models
+        .reptree
+        .choose(&sig_a, &sig_b, cores)
+        .expect("stp choice");
+    let m = eng
+        .pair_metrics(a.profile(), mb, b.profile(), mb, cfg)
+        .expect("pair sim");
     (m.edp_wall(idle) - oracle_run.metrics.edp_wall(idle)) / oracle_run.metrics.edp_wall(idle)
 }
 
@@ -715,25 +819,26 @@ pub fn quick_stp_error(ctx: &mut Ctx, a: App, b: App, size: InputSize) -> f64 {
 /// configuration (round-trip of the encode/argmin plumbing).
 pub fn predict_one(ctx: &mut Ctx, a: App, b: App, size: InputSize, cfg: PairConfig) -> (f64, f64) {
     ctx.models();
-    let tb = ctx.tb.clone();
-    let idle = tb.idle_w();
+    let idle = ctx.engine.idle_w();
     let sig_a = ctx.signature(a, size);
     let sig_b = ctx.signature(b, size);
-    let models = ctx.models();
+    let (models, eng) = ctx.models_and_engine();
     let cp = ClassPair::new(a.class(), b.class());
     let pred = models
         .reptree
         .model_for(cp)
+        .expect("model")
         .predict(&encode_row(&sig_a.key(), cfg.a, &sig_b.key(), cfg.b))
         .exp();
-    let truth = oracle::pair_metrics(
-        &tb,
-        a.profile(),
-        size.per_node_mb(),
-        b.profile(),
-        size.per_node_mb(),
-        cfg,
-    )
-    .edp_wall(idle);
+    let truth = eng
+        .pair_metrics(
+            a.profile(),
+            size.per_node_mb(),
+            b.profile(),
+            size.per_node_mb(),
+            cfg,
+        )
+        .expect("pair sim")
+        .edp_wall(idle);
     (pred, truth)
 }

@@ -1,11 +1,11 @@
-//! Shared experiment context: testbed, database, training data, fitted
-//! models and their measured costs.
+//! Shared experiment context: evaluation engine, database, training data,
+//! fitted models and their measured costs.
 
 use ecost_apps::{App, InputSize, TRAINING_APPS};
 use ecost_core::classify::{KnnAppClassifier, RuleClassifier};
 use ecost_core::database::ConfigDatabase;
-use ecost_core::features::{profile_catalog_app, Testbed};
-use ecost_core::oracle::SweepCache;
+use ecost_core::engine::EvalEngine;
+use ecost_core::features::profile_catalog_app;
 use ecost_core::stp::training::{build_training_data, TrainingData};
 use ecost_core::stp::{LktStp, MlmStp, Stp};
 use ecost_ml::{LinearRegression, Mlp, MlpConfig, RepTree, RepTreeConfig};
@@ -32,10 +32,10 @@ pub struct TrainTimes {
 
 /// The lazily-built experiment context.
 pub struct Ctx {
-    /// Hardware + framework.
-    pub tb: Testbed,
-    /// Shared sweep memo.
-    pub cache: SweepCache,
+    /// The shared evaluation engine (owns the testbed and every memoized
+    /// solo/pair simulation — experiments that re-ask for a sweep the
+    /// database build already did get it for free).
+    pub engine: EvalEngine,
     /// Quick mode (ECOST_QUICK=1): subsampled training, fewer MLP epochs.
     pub quick: bool,
     db: Option<ConfigDatabase>,
@@ -72,10 +72,9 @@ impl Models {
 impl Ctx {
     /// Fresh context on the Atom testbed.
     pub fn new() -> Ctx {
-        let quick = std::env::var("ECOST_QUICK").map_or(false, |v| v == "1");
+        let quick = std::env::var("ECOST_QUICK").is_ok_and(|v| v == "1");
         Ctx {
-            tb: Testbed::atom(),
-            cache: SweepCache::new(),
+            engine: EvalEngine::atom(),
             quick,
             db: None,
             training: None,
@@ -85,11 +84,16 @@ impl Ctx {
         }
     }
 
+    /// The testbed the engine simulates.
+    pub fn tb(&self) -> &ecost_core::features::Testbed {
+        self.engine.testbed()
+    }
+
     /// The database (built on first use).
     pub fn db(&mut self) -> &ConfigDatabase {
         if self.db.is_none() {
             eprintln!("[harness] building the §6.2 database (exhaustive training sweeps)…");
-            let db = ConfigDatabase::build(&self.tb, &self.cache, NOISE, SEED);
+            let db = ConfigDatabase::build(&self.engine, NOISE, SEED).expect("database build");
             eprintln!(
                 "[harness] database ready: {} pair entries, {} solo entries, {:.1}s",
                 db.pairs.len(),
@@ -98,8 +102,8 @@ impl Ctx {
             );
             // LkT's offline cost is the brute-force sweeping, wherever it
             // happened first (an earlier experiment may have warmed the
-            // shared cache).
-            self.train_times.lkt_s = db.build_seconds.max(self.cache.sweep_seconds());
+            // engine's memo).
+            self.train_times.lkt_s = db.build_seconds.max(self.engine.stats().wall_seconds);
             self.db = Some(db);
         }
         self.db.as_ref().expect("just built")
@@ -130,9 +134,13 @@ impl Ctx {
             self.db();
             let sig_of = self.sig_fn();
             eprintln!("[harness] building dense training data…");
-            let data = build_training_data(&self.tb, &self.cache, &sig_of, configs, SEED);
+            let data =
+                build_training_data(&self.engine, &sig_of, configs, SEED).expect("training build");
             let rows: usize = data.values().map(|d| d.len()).sum();
-            eprintln!("[harness] dense training data: {rows} rows / {} class pairs", data.len());
+            eprintln!(
+                "[harness] dense training data: {rows} rows / {} class pairs",
+                data.len()
+            );
             self.training = Some(data);
         }
         self.training.as_ref().expect("just built")
@@ -145,7 +153,8 @@ impl Ctx {
             let configs = if self.quick { 200 } else { 1000 };
             self.db();
             let sig_of = self.sig_fn();
-            let data = build_training_data(&self.tb, &self.cache, &sig_of, configs, SEED ^ 0x11);
+            let data = build_training_data(&self.engine, &sig_of, configs, SEED ^ 0x11)
+                .expect("training build");
             self.training_mlp = Some(data);
         }
         self.training_mlp.as_ref().expect("just built")
@@ -229,6 +238,13 @@ impl Ctx {
         self.models.as_ref().expect("just built")
     }
 
+    /// Models plus the engine, borrowed together (trains on first use) —
+    /// for call sites that evaluate model choices through the engine.
+    pub fn models_and_engine(&mut self) -> (&Models, &EvalEngine) {
+        self.models();
+        (self.models.as_ref().expect("just built"), &self.engine)
+    }
+
     /// Measured training times (valid after [`Ctx::models`]).
     pub fn train_times(&self) -> &TrainTimes {
         &self.train_times
@@ -236,7 +252,7 @@ impl Ctx {
 
     /// Profile a catalog app at the experiment noise/seed.
     pub fn signature(&self, app: App, size: InputSize) -> ecost_core::features::AppSignature {
-        profile_catalog_app(&self.tb, app, size, NOISE, SEED)
+        profile_catalog_app(&self.engine, app, size, NOISE, SEED).expect("profiling run")
     }
 
     /// Results directory (`results/` beside the workspace root).

@@ -65,14 +65,22 @@ impl RuleClassifier {
         // I is separated by iowait: highest non-I (C/H/M all compute enough
         // to keep iowait moderate) vs lowest I.
         let iowait_threshold = geo_mid(
-            stat(Feature::CpuIowait, &|c| matches!(c, AppClass::C | AppClass::H), true),
+            stat(
+                Feature::CpuIowait,
+                &|c| matches!(c, AppClass::C | AppClass::H),
+                true,
+            ),
             stat(Feature::CpuIowait, &|c| c == AppClass::I, false),
             45.0,
         );
         // C is separated from H by CPUuser: hybrids burn real CPU too, so
         // the boundary is highest-H vs lowest-C (not I vs C).
         let user_threshold = geo_mid(
-            stat(Feature::CpuUser, &|c| matches!(c, AppClass::H | AppClass::I), true),
+            stat(
+                Feature::CpuUser,
+                &|c| matches!(c, AppClass::H | AppClass::I),
+                true,
+            ),
             stat(Feature::CpuUser, &|c| c == AppClass::C, false),
             82.0,
         );
@@ -109,7 +117,10 @@ impl KnnAppClassifier {
     /// Fit on labelled training signatures.
     pub fn fit(training: &[(AppSignature, AppClass)]) -> KnnAppClassifier {
         assert!(!training.is_empty());
-        let rows: Vec<Vec<f64>> = training.iter().map(|(s, _)| s.selected().to_vec()).collect();
+        let rows: Vec<Vec<f64>> = training
+            .iter()
+            .map(|(s, _)| s.selected().to_vec())
+            .collect();
         let labels: Vec<usize> = training.iter().map(|(_, c)| class_index(*c)).collect();
         let k = 3.min(rows.len());
         let mut knn = KnnClassifier::new(k);
@@ -123,8 +134,10 @@ impl KnnAppClassifier {
     }
 }
 
+// `ALL` lists the variants in declaration order, so the discriminant is
+// the index.
 fn class_index(c: AppClass) -> usize {
-    AppClass::ALL.iter().position(|x| *x == c).expect("in ALL")
+    c as usize
 }
 
 fn index_class(i: usize) -> AppClass {
@@ -134,15 +147,17 @@ fn index_class(i: usize) -> AppClass {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::{profile_catalog_app, Testbed};
+    use crate::engine::EvalEngine;
+    use crate::features::profile_catalog_app;
     use ecost_apps::catalog::{ALL_APPS, TRAINING_APPS};
     use ecost_apps::InputSize;
 
-    fn training_signatures(tb: &Testbed) -> Vec<(AppSignature, AppClass)> {
+    fn training_signatures(eng: &EvalEngine) -> Vec<(AppSignature, AppClass)> {
         let mut v = Vec::new();
         for app in TRAINING_APPS {
             for size in InputSize::ALL {
-                v.push((profile_catalog_app(tb, app, size, 0.02, 7), app.class()));
+                let sig = profile_catalog_app(eng, app, size, 0.02, 7).expect("profile");
+                v.push((sig, app.class()));
             }
         }
         v
@@ -150,7 +165,7 @@ mod tests {
 
     #[test]
     fn rules_recover_all_training_labels() {
-        let tb = Testbed::atom();
+        let tb = EvalEngine::atom();
         let training = training_signatures(&tb);
         let rc = RuleClassifier::fit(&training);
         for (sig, class) in &training {
@@ -162,13 +177,13 @@ mod tests {
     fn rules_classify_unknown_apps_correctly() {
         // The §7 scenario: classify the six test applications the
         // classifier has never seen.
-        let tb = Testbed::atom();
+        let tb = EvalEngine::atom();
         let rc = RuleClassifier::fit(&training_signatures(&tb));
         let mut hits = 0;
         let mut total = 0;
         for app in ALL_APPS {
             for size in InputSize::ALL {
-                let sig = profile_catalog_app(&tb, app, size, 0.02, 42);
+                let sig = profile_catalog_app(&tb, app, size, 0.02, 42).expect("profile");
                 total += 1;
                 if rc.classify(&sig.features) == app.class() {
                     hits += 1;
@@ -181,13 +196,13 @@ mod tests {
 
     #[test]
     fn knn_matches_ground_truth_on_test_apps() {
-        let tb = Testbed::atom();
+        let tb = EvalEngine::atom();
         let knn = KnnAppClassifier::fit(&training_signatures(&tb));
         let mut hits = 0;
         let mut total = 0;
         for app in ecost_apps::TEST_APPS {
             for size in InputSize::ALL {
-                let sig = profile_catalog_app(&tb, app, size, 0.02, 11);
+                let sig = profile_catalog_app(&tb, app, size, 0.02, 11).expect("profile");
                 total += 1;
                 if knn.classify(&sig.features) == app.class() {
                     hits += 1;
@@ -200,7 +215,7 @@ mod tests {
     #[test]
     fn classifiers_handle_synthetic_apps() {
         use ecost_apps::synth::synth_app_named;
-        let tb = Testbed::atom();
+        let tb = EvalEngine::atom();
         let rc = RuleClassifier::fit(&training_signatures(&tb));
         let mut rng = ecost_sim::rng::stream(3, "synthclass");
         let mut hits = 0;
@@ -208,7 +223,7 @@ mod tests {
         for class in AppClass::ALL {
             for _ in 0..3 {
                 let p = synth_app_named(&mut rng, class, "syn");
-                let sig = crate::features::profile_app(&tb, &p, 5120.0, 0.02, 5);
+                let sig = crate::features::profile_app(&tb, &p, 5120.0, 0.02, 5).expect("profile");
                 total += 1;
                 if rc.classify(&sig.features) == class {
                     hits += 1;

@@ -6,8 +6,9 @@
 //! signatures, plus each application's best standalone configuration. STP
 //! queries it instead of re-running brute force for every unknown arrival.
 
-use crate::features::{profile_catalog_app, AppSignature, Testbed};
-use crate::oracle::{best_solo, SweepCache};
+use crate::engine::{EvalEngine, EvalError};
+use crate::features::{profile_catalog_app, AppSignature};
+use crate::oracle::best_solo;
 use ecost_apps::class::ClassPair;
 use ecost_apps::{App, AppClass, InputSize, TRAINING_APPS};
 use ecost_mapreduce::{PairConfig, TuningConfig};
@@ -68,33 +69,48 @@ pub struct ConfigDatabase {
 impl ConfigDatabase {
     /// Build the database over the training applications and all three
     /// input sizes. `noise`/`seed` control the counter measurement jitter.
-    pub fn build(tb: &Testbed, cache: &SweepCache, noise: f64, seed: u64) -> ConfigDatabase {
-        let start = Instant::now();
-        let idle = tb.idle_w();
+    pub fn build(engine: &EvalEngine, noise: f64, seed: u64) -> Result<ConfigDatabase, EvalError> {
+        ConfigDatabase::build_subset(engine, &TRAINING_APPS, &InputSize::ALL, noise, seed)
+    }
 
+    /// Build over an explicit subset of apps × sizes. The full [`build`]
+    /// is this over the whole training catalog; tests use small subsets to
+    /// assert the engine's exactly-once memoization without paying for all
+    /// 45 sweeps.
+    ///
+    /// [`build`]: ConfigDatabase::build
+    pub fn build_subset(
+        engine: &EvalEngine,
+        apps: &[App],
+        sizes: &[InputSize],
+        noise: f64,
+        seed: u64,
+    ) -> Result<ConfigDatabase, EvalError> {
+        let start = Instant::now();
+        let idle = engine.idle_w();
+
+        // sig_key[i][j] is apps[i] at sizes[j] — index-addressed so lookups
+        // below cannot miss.
         let mut signatures = Vec::new();
-        for app in TRAINING_APPS {
-            for size in InputSize::ALL {
-                signatures.push((profile_catalog_app(tb, app, size, noise, seed), app.class()));
+        let mut sig_key: Vec<Vec<[f64; 9]>> = Vec::with_capacity(apps.len());
+        for &app in apps {
+            let mut row = Vec::with_capacity(sizes.len());
+            for &size in sizes {
+                let sig = profile_catalog_app(engine, app, size, noise, seed)?;
+                row.push(sig.key());
+                signatures.push((sig, app.class()));
             }
+            sig_key.push(row);
         }
-        let sig_of = |app: App, size: InputSize| -> [f64; 9] {
-            signatures
-                .iter()
-                .find(|(s, _)| s.profile.name == app.name() && s.input_mb == size.per_node_mb())
-                .expect("profiled above")
-                .0
-                .key()
-        };
 
         let mut solos = Vec::new();
-        for app in TRAINING_APPS {
-            for size in InputSize::ALL {
-                let run = best_solo(tb, app.profile(), size.per_node_mb());
+        for (i, &app) in apps.iter().enumerate() {
+            for (j, &size) in sizes.iter().enumerate() {
+                let run = best_solo(engine, app.profile(), size.per_node_mb())?;
                 solos.push(SoloEntry {
                     app,
                     size,
-                    sig: sig_of(app, size),
+                    sig: sig_key[i][j],
                     config: run.config,
                     edp_wall: run.metrics.edp_wall(idle),
                     exec_time_s: run.metrics.exec_time_s,
@@ -103,18 +119,18 @@ impl ConfigDatabase {
         }
 
         let mut pairs = Vec::new();
-        for (i, &a) in TRAINING_APPS.iter().enumerate() {
-            for &b in &TRAINING_APPS[i..] {
-                for size in InputSize::ALL {
+        for (i, &a) in apps.iter().enumerate() {
+            for (k, &b) in apps.iter().enumerate().skip(i) {
+                for (j, &size) in sizes.iter().enumerate() {
                     let mb = size.per_node_mb();
-                    let run = cache.best_pair(tb, a.profile(), mb, b.profile(), mb);
+                    let run = engine.best_pair(a.profile(), mb, b.profile(), mb)?;
                     pairs.push(PairEntry {
                         a,
                         b,
                         size,
                         classes: ClassPair::new(a.class(), b.class()),
-                        sig_a: sig_of(a, size),
-                        sig_b: sig_of(b, size),
+                        sig_a: sig_key[i][j],
+                        sig_b: sig_key[k][j],
                         config: run.config,
                         edp_wall: run.metrics.edp_wall(idle),
                     });
@@ -122,19 +138,22 @@ impl ConfigDatabase {
             }
         }
 
-        ConfigDatabase {
+        Ok(ConfigDatabase {
             pairs,
             solos,
             signatures,
             build_seconds: start.elapsed().as_secs_f64(),
-        }
+        })
     }
 
     /// Look up the standalone entry whose signature is nearest to `sig`
     /// (z-scored distance over the stored solos) — PTM's tuning step.
-    pub fn nearest_solo(&self, sig: &[f64; 9]) -> &SoloEntry {
-        assert!(!self.solos.is_empty(), "empty database");
+    /// `None` only when the database holds no solo entries.
+    pub fn nearest_solo(&self, sig: &[f64; 9]) -> Option<&SoloEntry> {
         let rows: Vec<Vec<f64>> = self.solos.iter().map(|s| s.sig.to_vec()).collect();
+        if rows.is_empty() {
+            return None;
+        }
         let scaler = ecost_ml::ZScore::fit(&rows);
         let q = scaler.transform(sig);
         let idx = rows
@@ -144,10 +163,9 @@ impl ConfigDatabase {
                 let d = ecost_ml::knn::euclidean(&scaler.transform(r), &q);
                 (i, d)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("non-empty")
+            .min_by(|a, b| a.1.total_cmp(&b.1))?
             .0;
-        &self.solos[idx]
+        self.solos.get(idx)
     }
 
     /// The per-class-pair minimum EDP over stored entries (the raw material
@@ -157,7 +175,7 @@ impl ConfigDatabase {
             .iter()
             .filter(|p| p.classes == classes)
             .map(|p| p.edp_wall)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .min_by(f64::total_cmp)
     }
 
     /// Serialise the sweep results (solos + pairs) to a plain-text format.
@@ -168,8 +186,14 @@ impl ConfigDatabase {
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::from("ecost-db v1\n");
-        let cfg = |c: &TuningConfig| format!("{} {} {}", c.freq.index(), c.block.index(), c.mappers);
-        let nums = |v: &[f64]| v.iter().map(|x| format!("{x:.6e}")).collect::<Vec<_>>().join(" ");
+        let cfg =
+            |c: &TuningConfig| format!("{} {} {}", c.freq.index(), c.block.index(), c.mappers);
+        let nums = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x:.6e}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
         for e in &self.solos {
             let _ = writeln!(
                 s,
@@ -219,7 +243,11 @@ impl ConfigDatabase {
             let bi: usize = parts[1].parse().map_err(|e| format!("block: {e}"))?;
             let block = *blocks.get(bi).ok_or("bad block index")?;
             let mappers = parts[2].parse().map_err(|e| format!("mappers: {e}"))?;
-            Ok(TuningConfig { freq, block, mappers })
+            Ok(TuningConfig {
+                freq,
+                block,
+                mappers,
+            })
         };
         let parse_sig = |tok: &str| -> Result<[f64; 9], String> {
             let vals: Result<Vec<f64>, _> = tok.split_whitespace().map(str::parse).collect();
@@ -228,7 +256,10 @@ impl ConfigDatabase {
         };
         let parse_size = |tok: &str| -> Result<InputSize, String> {
             let i: usize = tok.parse().map_err(|e| format!("size: {e}"))?;
-            InputSize::ALL.get(i).copied().ok_or_else(|| "bad size index".into())
+            InputSize::ALL
+                .get(i)
+                .copied()
+                .ok_or_else(|| "bad size index".into())
         };
         let parse_app = |tok: &str| -> Result<App, String> {
             App::from_name(tok).ok_or_else(|| format!("unknown app {tok}"))
@@ -310,66 +341,43 @@ impl ConfigDatabase {
 mod tests {
     use super::*;
 
+    use std::sync::OnceLock;
+
+    /// One engine shared by every test in this module: the mini builds all
+    /// read the same memoized sweeps, so the suite pays for them once.
+    fn engine() -> &'static EvalEngine {
+        static E: OnceLock<EvalEngine> = OnceLock::new();
+        E.get_or_init(EvalEngine::atom)
+    }
+
     /// A miniature database (2 apps × 1 size) — full builds are exercised by
     /// the experiment binaries; tests keep it small.
-    fn mini_db(tb: &Testbed) -> ConfigDatabase {
-        let cache = SweepCache::new();
-        let idle = tb.idle_w();
-        let apps = [App::Wc, App::St];
-        let size = InputSize::Small;
-        let mut signatures = Vec::new();
-        for app in apps {
-            signatures.push((profile_catalog_app(tb, app, size, 0.0, 0), app.class()));
-        }
-        let mut solos = Vec::new();
-        for (i, app) in apps.iter().enumerate() {
-            let run = best_solo(tb, app.profile(), size.per_node_mb());
-            solos.push(SoloEntry {
-                app: *app,
-                size,
-                sig: signatures[i].0.key(),
-                config: run.config,
-                edp_wall: run.metrics.edp_wall(idle),
-                exec_time_s: run.metrics.exec_time_s,
-            });
-        }
-        let run = cache.best_pair(
-            tb,
-            App::Wc.profile(),
-            size.per_node_mb(),
-            App::St.profile(),
-            size.per_node_mb(),
-        );
-        let pairs = vec![PairEntry {
-            a: App::Wc,
-            b: App::St,
-            size,
-            classes: ClassPair::new(AppClass::C, AppClass::I),
-            sig_a: signatures[0].0.key(),
-            sig_b: signatures[1].0.key(),
-            config: run.config,
-            edp_wall: run.metrics.edp_wall(idle),
-        }];
-        ConfigDatabase {
-            pairs,
-            solos,
-            signatures,
-            build_seconds: 0.0,
-        }
+    fn mini_db(engine: &EvalEngine) -> ConfigDatabase {
+        ConfigDatabase::build_subset(engine, &[App::Wc, App::St], &[InputSize::Small], 0.0, 0)
+            .expect("mini build")
     }
 
     #[test]
     fn nearest_solo_retrieves_own_entry() {
-        let tb = Testbed::atom();
-        let db = mini_db(&tb);
-        let hit = db.nearest_solo(&db.solos[1].sig);
+        let db = mini_db(engine());
+        let hit = db.nearest_solo(&db.solos[1].sig).expect("non-empty db");
         assert_eq!(hit.app, App::St);
     }
 
     #[test]
+    fn nearest_solo_on_empty_database_is_none() {
+        let db = ConfigDatabase {
+            pairs: Vec::new(),
+            solos: Vec::new(),
+            signatures: Vec::new(),
+            build_seconds: 0.0,
+        };
+        assert!(db.nearest_solo(&[0.0; 9]).is_none());
+    }
+
+    #[test]
     fn class_pair_lookup() {
-        let tb = Testbed::atom();
-        let db = mini_db(&tb);
+        let db = mini_db(engine());
         assert!(db
             .class_pair_best_edp(ClassPair::new(AppClass::C, AppClass::I))
             .is_some());
@@ -380,15 +388,16 @@ mod tests {
 
     #[test]
     fn text_round_trip() {
-        let tb = Testbed::atom();
-        let db = mini_db(&tb);
+        let db = mini_db(engine());
         let text = db.to_text();
         let back = ConfigDatabase::from_text(&text).expect("parse own output");
         assert_eq!(back.solos.len(), db.solos.len());
         assert_eq!(back.pairs.len(), db.pairs.len());
         assert_eq!(back.pairs[0].config, db.pairs[0].config);
         assert_eq!(back.solos[1].config, db.solos[1].config);
-        assert!((back.pairs[0].edp_wall - db.pairs[0].edp_wall).abs() / db.pairs[0].edp_wall < 1e-5);
+        assert!(
+            (back.pairs[0].edp_wall - db.pairs[0].edp_wall).abs() / db.pairs[0].edp_wall < 1e-5
+        );
         for (x, y) in back.solos[0].sig.iter().zip(db.solos[0].sig) {
             assert!((x - y).abs() <= 1e-5 * y.abs().max(1.0));
         }
@@ -404,10 +413,9 @@ mod tests {
 
     #[test]
     fn pair_entries_respect_core_budget() {
-        let tb = Testbed::atom();
-        let db = mini_db(&tb);
+        let db = mini_db(engine());
         for p in &db.pairs {
-            assert!(p.config.cores() <= tb.node.cores);
+            assert!(p.config.cores() <= engine().testbed().node.cores);
             assert!(p.edp_wall > 0.0);
         }
     }

@@ -1,0 +1,87 @@
+//! Sharded, lock-based memo table used by the evaluation engine.
+//!
+//! A plain `Mutex<HashMap>` serialises every probe; under the rayon sweeps
+//! all workers hammer the table at once. Sharding by key hash keeps the
+//! critical sections independent without pulling in a concurrent-map
+//! dependency. Correctness does not depend on shard count or thread
+//! interleaving: values are keyed, and [`ShardedCache::get_or_try_insert`]
+//! tolerates duplicate computation by keeping the first-inserted value.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// A hash map split into independently locked shards.
+#[derive(Debug)]
+pub(crate) struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedCache<K, V> {
+    pub(crate) fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        &self.shards[(self.hasher.hash_one(key) as usize) % SHARDS]
+    }
+
+    /// Clone the cached value for `key`, if present.
+    pub(crate) fn get(&self, key: &K) -> Option<V> {
+        let guard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        guard.get(key).cloned()
+    }
+
+    /// Insert `value` unless `key` is already present; either way return
+    /// the value now stored under `key`. Keeping the incumbent makes
+    /// concurrent duplicate computations converge on one shared value.
+    pub(crate) fn insert_or_keep(&self, key: K, value: V) -> V {
+        let mut guard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+        match guard.entry(key) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(e) => e.insert(value).clone(),
+        }
+    }
+
+    /// Total entries across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_insert_wins() {
+        let c: ShardedCache<u64, Arc<u64>> = ShardedCache::new();
+        assert!(c.get(&7).is_none());
+        let a = c.insert_or_keep(7, Arc::new(1));
+        let b = c.insert_or_keep(7, Arc::new(2));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*c.get(&7).unwrap(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let c: ShardedCache<u64, u64> = ShardedCache::new();
+        for k in 0..1000 {
+            c.insert_or_keep(k, k * k);
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.get(&31), Some(961));
+    }
+}

@@ -1,0 +1,639 @@
+//! The unified evaluation engine — one fallible, memoized simulation
+//! service behind everything that asks "what does this (pair of) job(s)
+//! cost under this configuration?".
+//!
+//! Before this module existed, the oracle sweeps, the COLAO/ILAO baselines,
+//! the §6.2 database build, the MLM training-set construction and the
+//! cluster scheduler each drove the executor directly, with ad-hoc caching
+//! (`SweepCache`, `mapping.rs`'s private `pair_best` table) scattered
+//! between them. [`EvalEngine`] replaces all of that: it owns the
+//! [`Testbed`] and a sharded, concurrent memo of every solo and pair
+//! evaluation, keyed on an application-profile fingerprint × input size ×
+//! configuration. The database build, the baselines and the training set
+//! now simulate each pair configuration at most once, and the engine's
+//! [`EngineStats`] expose exactly how much simulation the run really paid
+//! for (Fig 8's overhead accounting).
+//!
+//! Every entry point returns `Result<_, EvalError>`: the AMVA substrate's
+//! failures ([`ecost_sim::SimError`]) propagate as typed errors instead of
+//! panics, so `unwrap`/`expect` survive only in bins, benches and tests.
+
+mod cache;
+mod error;
+
+pub use error::EvalError;
+
+use crate::features::Testbed;
+use cache::ShardedCache;
+use ecost_apps::AppProfile;
+use ecost_mapreduce::executor::{run_colocated, run_standalone, JobOutcome};
+use ecost_mapreduce::{JobMetrics, JobSpec, PairConfig, PairMetrics, TuningConfig};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Result of a standalone run at one configuration.
+#[derive(Debug, Clone)]
+pub struct SoloRun {
+    /// The configuration.
+    pub config: TuningConfig,
+    /// Measured metrics.
+    pub metrics: JobMetrics,
+}
+
+/// Result of a co-located run at one pair configuration.
+#[derive(Debug, Clone)]
+pub struct PairRun {
+    /// The pair configuration.
+    pub config: PairConfig,
+    /// Makespan + energy of the pair.
+    pub metrics: PairMetrics,
+}
+
+/// A memoized full pair sweep, in the engine's *stored* orientation.
+///
+/// The engine normalises `(a, b)` and `(b, a)` to one cache entry; when
+/// [`PairSweep::swapped`] is true the stored runs' `config.a` applies to
+/// the *second* application of the caller's query. [`PairSweep::best`]
+/// reorients the winner automatically.
+#[derive(Debug, Clone)]
+pub struct PairSweep {
+    runs: Arc<Vec<PairRun>>,
+    swapped: bool,
+}
+
+impl PairSweep {
+    /// The swept runs, in stored orientation (shared with the cache).
+    pub fn runs(&self) -> &Arc<Vec<PairRun>> {
+        &self.runs
+    }
+
+    /// True when the stored orientation is the reverse of the query's.
+    pub fn swapped(&self) -> bool {
+        self.swapped
+    }
+
+    /// Number of swept configurations.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when the sweep is empty (never for a real config space).
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Wall-EDP winner, reoriented to the query's `(a, b)` order.
+    pub fn best(&self, idle_w: f64) -> Result<PairRun, EvalError> {
+        let mut best = best_of_slice(&self.runs, idle_w)?;
+        if self.swapped {
+            best.config = best.config.swapped();
+        }
+        Ok(best)
+    }
+}
+
+/// Wall-EDP argmin over a slice of pair runs.
+fn best_of_slice(runs: &[PairRun], idle_w: f64) -> Result<PairRun, EvalError> {
+    runs.iter()
+        .min_by(|x, y| {
+            x.metrics
+                .edp_wall(idle_w)
+                .total_cmp(&y.metrics.edp_wall(idle_w))
+        })
+        .cloned()
+        .ok_or(EvalError::EmptySweep { what: "pair sweep" })
+}
+
+/// Counter snapshot of an engine's lifetime activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Cache probes answered from the memo.
+    pub hits: u64,
+    /// Cache probes that had to simulate.
+    pub misses: u64,
+    /// Individual executor runs actually simulated (solo runs count 1,
+    /// pair-configuration points count 1).
+    pub runs_simulated: u64,
+    /// Wall-clock seconds spent inside miss-path simulation (whole-sweep
+    /// elapsed for sweeps, per-run elapsed for single evaluations).
+    pub wall_seconds: f64,
+}
+
+impl EngineStats {
+    /// Fraction of probes served from cache (0 when nothing was probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} runs simulated, {:.1}% cache hit rate ({} hits / {} misses), {:.2} s simulating",
+            self.runs_simulated,
+            100.0 * self.hit_rate(),
+            self.hits,
+            self.misses,
+            self.wall_seconds
+        )
+    }
+}
+
+/// FNV-1a folder for profile fingerprints.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.bytes(&x.to_bits().to_le_bytes());
+    }
+}
+
+/// Fingerprint of an application profile: name plus the bit patterns of
+/// every numeric demand field. Two profiles with the same name but
+/// perturbed demands (e.g. noisy clones) therefore key separately.
+fn fingerprint(p: &AppProfile) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(p.name.as_bytes());
+    h.bytes(&[p.class as u8]);
+    for x in [
+        p.map_cycles_per_mb,
+        p.task_overhead_cycles,
+        p.map_selectivity,
+        p.spill_factor,
+        p.reduce_cycles_per_mb,
+        p.output_selectivity,
+        p.job_overhead_s,
+        p.llc_mpki,
+        p.ipc_base,
+        p.mem_stall_frac,
+        p.icache_mpki,
+        p.branch_misp_pct,
+        p.working_set_frac,
+        p.footprint_base_mb,
+    ] {
+        h.f64(x);
+    }
+    h.0
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SoloKey {
+    fp: u64,
+    mb: u64,
+    cfg: TuningConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PairKey {
+    fp_a: u64,
+    a_mb: u64,
+    fp_b: u64,
+    b_mb: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PairPointKey {
+    pair: PairKey,
+    cfg: PairConfig,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    runs: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+/// The evaluation service. Owns the testbed and every memo table; share it
+/// by reference (all methods take `&self` and are thread-safe).
+#[derive(Debug)]
+pub struct EvalEngine {
+    tb: Testbed,
+    solo: ShardedCache<SoloKey, Arc<JobOutcome>>,
+    sweeps: ShardedCache<PairKey, Arc<Vec<PairRun>>>,
+    pair_points: ShardedCache<PairPointKey, PairMetrics>,
+    counters: Counters,
+}
+
+impl EvalEngine {
+    /// Engine over an explicit testbed.
+    pub fn new(tb: Testbed) -> EvalEngine {
+        EvalEngine {
+            tb,
+            solo: ShardedCache::new(),
+            sweeps: ShardedCache::new(),
+            pair_points: ShardedCache::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Engine over the paper's Atom testbed (the common case).
+    pub fn atom() -> EvalEngine {
+        EvalEngine::new(Testbed::atom())
+    }
+
+    /// The testbed this engine simulates on.
+    pub fn testbed(&self) -> &Testbed {
+        &self.tb
+    }
+
+    /// Idle power of one testbed node, watts.
+    pub fn idle_w(&self) -> f64 {
+        self.tb.idle_w()
+    }
+
+    /// Snapshot of lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            runs_simulated: self.counters.runs.load(Ordering::Relaxed),
+            wall_seconds: self.counters.wall_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// Number of full pair sweeps currently memoized.
+    pub fn cached_pair_sweeps(&self) -> usize {
+        self.sweeps.len()
+    }
+
+    /// Number of memoized solo outcomes.
+    pub fn cached_solo_runs(&self) -> usize {
+        self.solo.len()
+    }
+
+    fn hit(&self) {
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn charge(&self, runs: u64, elapsed_ns: u64) {
+        self.counters.runs.fetch_add(runs, Ordering::Relaxed);
+        self.counters
+            .wall_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed);
+    }
+
+    // ---- solo evaluations --------------------------------------------------
+
+    /// Full outcome (metrics, usage record, timeline) of one standalone
+    /// run. This is the memo primitive behind [`Self::solo_metrics`],
+    /// [`Self::sweep_solo`] and the profiling/learning period.
+    pub fn solo_outcome(
+        &self,
+        profile: &AppProfile,
+        input_mb: f64,
+        cfg: TuningConfig,
+    ) -> Result<Arc<JobOutcome>, EvalError> {
+        let key = SoloKey {
+            fp: fingerprint(profile),
+            mb: input_mb.to_bits(),
+            cfg,
+        };
+        if let Some(hit) = self.solo.get(&key) {
+            self.hit();
+            return Ok(hit);
+        }
+        self.miss();
+        let t0 = Instant::now();
+        let job = JobSpec::from_profile(profile.clone(), input_mb, cfg);
+        let out = run_standalone(&self.tb.node, &self.tb.fw, job)?;
+        self.charge(1, t0.elapsed().as_nanos() as u64);
+        Ok(self.solo.insert_or_keep(key, Arc::new(out)))
+    }
+
+    /// Metrics of one standalone run.
+    pub fn solo_metrics(
+        &self,
+        profile: &AppProfile,
+        input_mb: f64,
+        cfg: TuningConfig,
+    ) -> Result<JobMetrics, EvalError> {
+        Ok(self.solo_outcome(profile, input_mb, cfg)?.metrics)
+    }
+
+    /// Sweep the full standalone space (160 points on the 8-core node);
+    /// runs are returned in sweep order. Every point is individually
+    /// memoized, so repeated sweeps re-simulate nothing.
+    pub fn sweep_solo(
+        &self,
+        profile: &AppProfile,
+        input_mb: f64,
+    ) -> Result<Vec<SoloRun>, EvalError> {
+        let configs: Vec<TuningConfig> = TuningConfig::space(self.tb.node.cores).collect();
+        configs
+            .into_par_iter()
+            .map(|config| {
+                self.solo_metrics(profile, input_mb, config)
+                    .map(|metrics| SoloRun { config, metrics })
+            })
+            .collect()
+    }
+
+    /// Best standalone config under wall EDP (ILAO's per-application step).
+    pub fn best_solo(&self, profile: &AppProfile, input_mb: f64) -> Result<SoloRun, EvalError> {
+        let idle = self.idle_w();
+        self.sweep_solo(profile, input_mb)?
+            .into_iter()
+            .min_by(|x, y| {
+                x.metrics
+                    .edp_wall(idle)
+                    .total_cmp(&y.metrics.edp_wall(idle))
+            })
+            .ok_or(EvalError::EmptySweep {
+                what: "solo config space",
+            })
+    }
+
+    // ---- pair evaluations --------------------------------------------------
+
+    /// Normalised key + swap flag for a pair query. `(a, b)` and `(b, a)`
+    /// share an entry; `swap` says the stored orientation is `(b, a)`.
+    fn pair_key(
+        &self,
+        a: &AppProfile,
+        input_a_mb: f64,
+        b: &AppProfile,
+        input_b_mb: f64,
+    ) -> (PairKey, bool) {
+        let ka = (a.name, input_a_mb.to_bits(), fingerprint(a));
+        let kb = (b.name, input_b_mb.to_bits(), fingerprint(b));
+        let swap = kb < ka;
+        let ((fp_a, a_mb), (fp_b, b_mb)) = if swap {
+            ((kb.2, kb.1), (ka.2, ka.1))
+        } else {
+            ((ka.2, ka.1), (kb.2, kb.1))
+        };
+        (
+            PairKey {
+                fp_a,
+                a_mb,
+                fp_b,
+                b_mb,
+            },
+            swap,
+        )
+    }
+
+    /// Simulate one co-located pair point (uncached inner step).
+    fn simulate_pair(
+        &self,
+        a: &AppProfile,
+        input_a_mb: f64,
+        b: &AppProfile,
+        input_b_mb: f64,
+        pc: PairConfig,
+    ) -> Result<PairMetrics, EvalError> {
+        let jobs = vec![
+            JobSpec::from_profile(a.clone(), input_a_mb, pc.a),
+            JobSpec::from_profile(b.clone(), input_b_mb, pc.b),
+        ];
+        let (outs, makespan) = run_colocated(&self.tb.node, &self.tb.fw, jobs)?;
+        Ok(PairMetrics {
+            makespan_s: makespan,
+            energy_j: outs.iter().map(|o| o.metrics.energy_j).sum(),
+        })
+    }
+
+    /// Metrics of one co-located pair run at one configuration. Served
+    /// from the point memo, or from a previously computed full sweep,
+    /// before falling back to simulation.
+    pub fn pair_metrics(
+        &self,
+        a: &AppProfile,
+        input_a_mb: f64,
+        b: &AppProfile,
+        input_b_mb: f64,
+        pc: PairConfig,
+    ) -> Result<PairMetrics, EvalError> {
+        let (pair, swap) = self.pair_key(a, input_a_mb, b, input_b_mb);
+        let cfg = if swap { pc.swapped() } else { pc };
+        let key = PairPointKey { pair, cfg };
+        if let Some(hit) = self.pair_points.get(&key) {
+            self.hit();
+            return Ok(hit);
+        }
+        // A full sweep for this pair already holds every point.
+        if let Some(sweep) = self.sweeps.get(&pair) {
+            if let Some(run) = sweep.iter().find(|r| r.config == cfg) {
+                self.hit();
+                return Ok(self.pair_points.insert_or_keep(key, run.metrics));
+            }
+        }
+        self.miss();
+        let t0 = Instant::now();
+        let metrics = self.simulate_pair(a, input_a_mb, b, input_b_mb, pc)?;
+        self.charge(1, t0.elapsed().as_nanos() as u64);
+        Ok(self.pair_points.insert_or_keep(key, metrics))
+    }
+
+    /// Fetch or compute the full pair sweep (11 200 points on the 8-core
+    /// node). The result is shared: `(a, b)` and `(b, a)` hit the same
+    /// entry, with [`PairSweep::swapped`] flagging the orientation.
+    pub fn pair_sweep(
+        &self,
+        a: &AppProfile,
+        input_a_mb: f64,
+        b: &AppProfile,
+        input_b_mb: f64,
+    ) -> Result<PairSweep, EvalError> {
+        let (key, swap) = self.pair_key(a, input_a_mb, b, input_b_mb);
+        if let Some(runs) = self.sweeps.get(&key) {
+            self.hit();
+            return Ok(PairSweep {
+                runs,
+                swapped: swap,
+            });
+        }
+        self.miss();
+        // Simulate in the *stored* orientation so the cached runs are
+        // identical no matter which orientation asked first.
+        let (sa, sa_mb, sb, sb_mb) = if swap {
+            (b, input_b_mb, a, input_a_mb)
+        } else {
+            (a, input_a_mb, b, input_b_mb)
+        };
+        let t0 = Instant::now();
+        let configs = PairConfig::space(self.tb.node.cores);
+        let n = configs.len() as u64;
+        let runs: Vec<PairRun> = configs
+            .into_par_iter()
+            .map(|config| {
+                self.simulate_pair(sa, sa_mb, sb, sb_mb, config)
+                    .map(|metrics| PairRun { config, metrics })
+            })
+            .collect::<Result<_, EvalError>>()?;
+        self.charge(n, t0.elapsed().as_nanos() as u64);
+        let runs = self.sweeps.insert_or_keep(key, Arc::new(runs));
+        Ok(PairSweep {
+            runs,
+            swapped: swap,
+        })
+    }
+
+    /// COLAO's oracle: best co-located configuration for a pair, oriented
+    /// so `.a` applies to `a` and `.b` to `b`.
+    pub fn best_pair(
+        &self,
+        a: &AppProfile,
+        input_a_mb: f64,
+        b: &AppProfile,
+        input_b_mb: f64,
+    ) -> Result<PairRun, EvalError> {
+        self.pair_sweep(a, input_a_mb, b, input_b_mb)?
+            .best(self.idle_w())
+    }
+
+    /// Wall-EDP winner out of an explicit run list.
+    pub fn best_of(&self, runs: &[PairRun]) -> Result<PairRun, EvalError> {
+        best_of_slice(runs, self.idle_w())
+    }
+
+    /// Best pair config with the core partition fixed (Fig 5's
+    /// per-partition series). The restricted space is small (Fig 5 sweeps
+    /// it per partition), so points go through the point memo rather than
+    /// the full-sweep table.
+    pub fn best_pair_with_partition(
+        &self,
+        a: &AppProfile,
+        input_a_mb: f64,
+        b: &AppProfile,
+        input_b_mb: f64,
+        (ma, mb): (u32, u32),
+    ) -> Result<PairRun, EvalError> {
+        let idle = self.idle_w();
+        let configs: Vec<PairConfig> = TuningConfig::space_fixed_mappers(ma)
+            .flat_map(|ca| {
+                TuningConfig::space_fixed_mappers(mb).map(move |cb| PairConfig { a: ca, b: cb })
+            })
+            .collect();
+        let runs: Vec<PairRun> = configs
+            .into_par_iter()
+            .map(|config| {
+                self.pair_metrics(a, input_a_mb, b, input_b_mb, config)
+                    .map(|metrics| PairRun { config, metrics })
+            })
+            .collect::<Result<_, EvalError>>()?;
+        runs.into_iter()
+            .min_by(|x, y| {
+                x.metrics
+                    .edp_wall(idle)
+                    .total_cmp(&y.metrics.edp_wall(idle))
+            })
+            .ok_or(EvalError::EmptySweep {
+                what: "partition-restricted pair space",
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecost_apps::{App, InputSize};
+
+    #[test]
+    fn fingerprint_separates_perturbed_profiles() {
+        let p = App::Wc.profile();
+        let mut q = p.clone();
+        q.llc_mpki *= 1.01;
+        assert_ne!(fingerprint(p), fingerprint(&q));
+        assert_eq!(fingerprint(p), fingerprint(&p.clone()));
+    }
+
+    #[test]
+    fn solo_outcome_is_memoized() {
+        let eng = EvalEngine::atom();
+        let p = App::Wc.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let cfg = TuningConfig::hadoop_default(8);
+        let a = eng.solo_outcome(p, mb, cfg).unwrap();
+        let b = eng.solo_outcome(p, mb, cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = eng.stats();
+        assert_eq!(s.runs_simulated, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn pair_sweep_is_shared_and_order_insensitive() {
+        let eng = EvalEngine::atom();
+        let a = App::Gp.profile();
+        let b = App::St.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let s1 = eng.pair_sweep(a, mb, b, mb).unwrap();
+        let s2 = eng.pair_sweep(b, mb, a, mb).unwrap();
+        assert_eq!(eng.cached_pair_sweeps(), 1);
+        assert!(Arc::ptr_eq(s1.runs(), s2.runs()));
+        assert_ne!(s1.swapped(), s2.swapped());
+        let runs = eng.stats().runs_simulated;
+        assert_eq!(runs as usize, s1.len());
+    }
+
+    #[test]
+    fn best_pair_is_reoriented_after_swap() {
+        let eng = EvalEngine::atom();
+        let gp = App::Gp.profile();
+        let st = App::St.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let fwd = eng.best_pair(gp, mb, st, mb).unwrap();
+        let rev = eng.best_pair(st, mb, gp, mb).unwrap();
+        assert_eq!(eng.cached_pair_sweeps(), 1);
+        assert_eq!(fwd.config.a, rev.config.b);
+        assert_eq!(fwd.config.b, rev.config.a);
+        let idle = eng.idle_w();
+        assert!((fwd.metrics.edp_wall(idle) - rev.metrics.edp_wall(idle)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_point_is_served_from_a_prior_sweep() {
+        let eng = EvalEngine::atom();
+        let a = App::Wc.profile();
+        let b = App::St.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let best = eng.best_pair(a, mb, b, mb).unwrap();
+        let before = eng.stats().runs_simulated;
+        let m = eng.pair_metrics(a, mb, b, mb, best.config).unwrap();
+        assert_eq!(eng.stats().runs_simulated, before);
+        assert_eq!(m, best.metrics);
+        // And in the swapped orientation too.
+        let m2 = eng
+            .pair_metrics(b, mb, a, mb, best.config.swapped())
+            .unwrap();
+        assert_eq!(eng.stats().runs_simulated, before);
+        assert!((m2.makespan_s - m.makespan_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_restricted_search_respects_partition() {
+        let eng = EvalEngine::atom();
+        let a = App::Wc.profile();
+        let b = App::St.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let run = eng.best_pair_with_partition(a, mb, b, mb, (6, 2)).unwrap();
+        assert_eq!(run.config.a.mappers, 6);
+        assert_eq!(run.config.b.mappers, 2);
+    }
+}

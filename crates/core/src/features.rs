@@ -6,10 +6,10 @@
 //! signature gathered here, exactly as the real system only sees Perf/dstat
 //! output.
 
+use crate::engine::{EvalEngine, EvalError};
 use ecost_apps::{App, AppProfile, InputSize};
 use ecost_mapreduce::config::BlockSize;
-use ecost_mapreduce::executor::run_standalone;
-use ecost_mapreduce::{FeatureVector, FrameworkSpec, JobSpec, TuningConfig};
+use ecost_mapreduce::{FeatureVector, FrameworkSpec, TuningConfig};
 use ecost_sim::{Frequency, NodeSpec};
 
 /// The fixed mid-range configuration used for profiling runs: middle block
@@ -91,30 +91,36 @@ impl AppSignature {
 }
 
 /// Run the learning period for an arbitrary profile: simulate it standalone
-/// at [`REFERENCE_CONFIG`] and measure its counters with `noise` relative
-/// jitter under `seed`.
+/// at [`REFERENCE_CONFIG`] (memoized by the engine — re-profiling a known
+/// app costs nothing) and measure its counters with `noise` relative jitter
+/// under `seed`.
 pub fn profile_app(
-    tb: &Testbed,
+    engine: &EvalEngine,
     profile: &AppProfile,
     input_mb: f64,
     noise: f64,
     seed: u64,
-) -> AppSignature {
-    let job = JobSpec::from_profile(profile.clone(), input_mb, REFERENCE_CONFIG);
-    let out = run_standalone(&tb.node, &tb.fw, job).expect("profiling run");
+) -> Result<AppSignature, EvalError> {
+    let out = engine.solo_outcome(profile, input_mb, REFERENCE_CONFIG)?;
     let mut rng = ecost_sim::rng::stream(seed, profile.name);
     let features = FeatureVector::measure(&out, noise, &mut rng);
-    AppSignature {
+    Ok(AppSignature {
         features,
         profile: profile.clone(),
         input_mb,
         profile_time_s: out.metrics.exec_time_s,
-    }
+    })
 }
 
 /// Convenience: profile a catalog application at a standard size.
-pub fn profile_catalog_app(tb: &Testbed, app: App, size: InputSize, noise: f64, seed: u64) -> AppSignature {
-    profile_app(tb, app.profile(), size.per_node_mb(), noise, seed)
+pub fn profile_catalog_app(
+    engine: &EvalEngine,
+    app: App,
+    size: InputSize,
+    noise: f64,
+    seed: u64,
+) -> Result<AppSignature, EvalError> {
+    profile_app(engine, app.profile(), size.per_node_mb(), noise, seed)
 }
 
 #[cfg(test)]
@@ -124,20 +130,23 @@ mod tests {
 
     #[test]
     fn profiling_is_deterministic_per_seed() {
-        let tb = Testbed::atom();
-        let a = profile_catalog_app(&tb, App::Gp, InputSize::Small, 0.03, 1);
-        let b = profile_catalog_app(&tb, App::Gp, InputSize::Small, 0.03, 1);
+        let eng = EvalEngine::atom();
+        let a = profile_catalog_app(&eng, App::Gp, InputSize::Small, 0.03, 1).unwrap();
+        let b = profile_catalog_app(&eng, App::Gp, InputSize::Small, 0.03, 1).unwrap();
         assert_eq!(a.features, b.features);
-        let c = profile_catalog_app(&tb, App::Gp, InputSize::Small, 0.03, 2);
+        let c = profile_catalog_app(&eng, App::Gp, InputSize::Small, 0.03, 2).unwrap();
         assert_ne!(a.features, c.features);
+        // Three profiling calls, one simulated run: the engine memoizes the
+        // reference-config outcome and only the counter jitter is re-drawn.
+        assert_eq!(eng.stats().runs_simulated, 1);
     }
 
     #[test]
     fn signatures_separate_classes() {
-        let tb = Testbed::atom();
-        let wc = profile_catalog_app(&tb, App::Wc, InputSize::Medium, 0.0, 0);
-        let st = profile_catalog_app(&tb, App::St, InputSize::Medium, 0.0, 0);
-        let fp = profile_catalog_app(&tb, App::Fp, InputSize::Medium, 0.0, 0);
+        let eng = EvalEngine::atom();
+        let wc = profile_catalog_app(&eng, App::Wc, InputSize::Medium, 0.0, 0).unwrap();
+        let st = profile_catalog_app(&eng, App::St, InputSize::Medium, 0.0, 0).unwrap();
+        let fp = profile_catalog_app(&eng, App::Fp, InputSize::Medium, 0.0, 0).unwrap();
         assert!(wc.features.get(Feature::CpuUser) > 2.0 * st.features.get(Feature::CpuUser));
         assert!(st.features.get(Feature::CpuIowait) > 2.0 * wc.features.get(Feature::CpuIowait));
         assert!(fp.features.get(Feature::LlcMpki) > 3.0 * wc.features.get(Feature::LlcMpki));
@@ -145,8 +154,8 @@ mod tests {
 
     #[test]
     fn selected_has_seven_features() {
-        let tb = Testbed::atom();
-        let sig = profile_catalog_app(&tb, App::Ts, InputSize::Small, 0.0, 0);
+        let eng = EvalEngine::atom();
+        let sig = profile_catalog_app(&eng, App::Ts, InputSize::Small, 0.0, 0).unwrap();
         assert_eq!(sig.selected().len(), 7);
         assert!(sig.selected().iter().all(|v| v.is_finite()));
     }

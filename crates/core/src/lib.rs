@@ -7,10 +7,12 @@
 //!   a reference configuration and collect its counter signature;
 //! * [`classify`] — Step 1 of ECoST: label the unknown application
 //!   C/H/I/M, either with the paper's threshold rules (§6.1) or k-NN;
-//! * [`oracle`] — the brute-force machinery behind everything offline: best
+//! * [`engine`] — the evaluation engine: the one fallible, memoized
+//!   simulation service (solo runs, pair sweeps, per-point pair metrics)
+//!   behind the oracle, the STPs, the strategies and the cluster scheduler;
+//! * [`oracle`] — the brute-force queries (§4's 84 480-run study): best
 //!   standalone config (160 points), best co-located config (11 200 points),
-//!   memoised full sweeps shared by the database, the baselines and the
-//!   upper bounds;
+//!   all answered from the engine's shared memo;
 //! * [`database`] — §6.2's database of best configurations for the known
 //!   (training) applications;
 //! * [`stp`] — the self-tuning prediction techniques: LkT-STP (lookup table)
@@ -30,6 +32,7 @@
 
 pub mod classify;
 pub mod database;
+pub mod engine;
 pub mod features;
 pub mod mapping;
 pub mod oracle;
@@ -41,8 +44,9 @@ pub mod strategies;
 
 pub use classify::{KnnAppClassifier, RuleClassifier};
 pub use database::ConfigDatabase;
+pub use engine::{EngineStats, EvalEngine, EvalError};
 pub use features::{profile_app, AppSignature, Testbed, REFERENCE_CONFIG};
-pub use oracle::SweepCache;
+pub use mapping::{ConfiguredPolicy, EcostContext, MappingPolicy};
 pub use pairing::PairingPolicy;
 pub use queue::WaitQueue;
 pub use stp::{LktStp, MlmStp, Stp};

@@ -24,11 +24,19 @@
 //!   queue → pair (decision tree) → self-tune (STP).
 //! * [`MappingPolicy::Ub`] — upper bound: brute-force best pairing (exact
 //!   minimum-EDP perfect matching via bitmask DP) with oracle pair configs.
+//!
+//! Whether a policy needs the trained [`EcostContext`] is encoded in the
+//! type: [`ConfiguredPolicy`] couples each tuned variant with its context,
+//! so [`run_policy`] cannot be called with a missing one — the mismatch is
+//! an [`EvalError::MissingContext`] at construction, not a panic at run
+//! time. All pair/solo oracle evaluations go through the shared
+//! [`EvalEngine`], so the upper bound reuses the sweeps the database build
+//! already paid for.
 
 use crate::classify::RuleClassifier;
 use crate::database::ConfigDatabase;
-use crate::features::{profile_app, AppSignature, Testbed};
-use crate::oracle::SweepCache;
+use crate::engine::{EvalEngine, EvalError, PairRun};
+use crate::features::{profile_app, AppSignature};
 use crate::pairing::PairingPolicy;
 use crate::queue::WaitQueue;
 use crate::stp::Stp;
@@ -83,6 +91,80 @@ impl MappingPolicy {
             MappingPolicy::Ub => "UB",
         }
     }
+
+    /// True for the policies that need an [`EcostContext`].
+    pub fn needs_context(self) -> bool {
+        matches!(
+            self,
+            MappingPolicy::Ptm | MappingPolicy::Ecost | MappingPolicy::Ub
+        )
+    }
+}
+
+/// A mapping policy *with* whatever it needs to run: the tuned variants
+/// carry their [`EcostContext`], the untuned ones carry nothing. Construct
+/// via [`ConfiguredPolicy::new`]; a tuned policy without a context is an
+/// [`EvalError::MissingContext`] there, so [`run_policy`] never has to
+/// check at run time.
+pub enum ConfiguredPolicy<'a, 'b> {
+    /// Serial Mapping.
+    Sm,
+    /// Multi-Node Level 1.
+    Mnm1,
+    /// Multi-Node Level 2.
+    Mnm2,
+    /// Single Node Mapping.
+    Snm,
+    /// Core Balance Mapping.
+    Cbm,
+    /// Predict Tuning Mapping, with its trained context.
+    Ptm(&'a EcostContext<'b>),
+    /// The full controller, with its trained context.
+    Ecost(&'a EcostContext<'b>),
+    /// Brute-force upper bound, with its trained context.
+    Ub(&'a EcostContext<'b>),
+}
+
+impl<'a, 'b> ConfiguredPolicy<'a, 'b> {
+    /// Couple a policy with an optional context, failing when a tuned
+    /// policy is requested without one.
+    pub fn new(
+        policy: MappingPolicy,
+        ctx: Option<&'a EcostContext<'b>>,
+    ) -> Result<ConfiguredPolicy<'a, 'b>, EvalError> {
+        let missing = |policy| EvalError::MissingContext { policy };
+        match policy {
+            MappingPolicy::Sm => Ok(ConfiguredPolicy::Sm),
+            MappingPolicy::Mnm1 => Ok(ConfiguredPolicy::Mnm1),
+            MappingPolicy::Mnm2 => Ok(ConfiguredPolicy::Mnm2),
+            MappingPolicy::Snm => Ok(ConfiguredPolicy::Snm),
+            MappingPolicy::Cbm => Ok(ConfiguredPolicy::Cbm),
+            MappingPolicy::Ptm => ctx.map(ConfiguredPolicy::Ptm).ok_or_else(|| missing("PTM")),
+            MappingPolicy::Ecost => ctx
+                .map(ConfiguredPolicy::Ecost)
+                .ok_or_else(|| missing("ECoST")),
+            MappingPolicy::Ub => ctx.map(ConfiguredPolicy::Ub).ok_or_else(|| missing("UB")),
+        }
+    }
+
+    /// The underlying policy tag.
+    pub fn policy(&self) -> MappingPolicy {
+        match self {
+            ConfiguredPolicy::Sm => MappingPolicy::Sm,
+            ConfiguredPolicy::Mnm1 => MappingPolicy::Mnm1,
+            ConfiguredPolicy::Mnm2 => MappingPolicy::Mnm2,
+            ConfiguredPolicy::Snm => MappingPolicy::Snm,
+            ConfiguredPolicy::Cbm => MappingPolicy::Cbm,
+            ConfiguredPolicy::Ptm(_) => MappingPolicy::Ptm,
+            ConfiguredPolicy::Ecost(_) => MappingPolicy::Ecost,
+            ConfiguredPolicy::Ub(_) => MappingPolicy::Ub,
+        }
+    }
+
+    /// Label as used in Fig 9.
+    pub fn label(&self) -> &'static str {
+        self.policy().label()
+    }
 }
 
 /// Result of running a workload on the cluster under one policy.
@@ -114,8 +196,6 @@ pub struct EcostContext<'a> {
     pub classifier: &'a RuleClassifier,
     /// Pairing decision tree.
     pub pairing: &'a PairingPolicy,
-    /// Shared sweep cache (UB).
-    pub cache: &'a SweepCache,
     /// Counter measurement noise for the learning periods.
     pub noise: f64,
     /// Seed for the learning periods.
@@ -133,31 +213,35 @@ struct Prepared {
 
 /// Run `workload` on an `n`-node cluster under `policy`.
 ///
-/// `ctx` may be `None` for the untuned policies (SM/MNM/SNM/CBM); the tuned
-/// ones (PTM/ECoST/UB) require it.
+/// All simulation goes through `engine` (which also supplies the testbed);
+/// tuned policies carry their context inside [`ConfiguredPolicy`].
 pub fn run_policy(
-    tb: &Testbed,
+    engine: &EvalEngine,
     n: usize,
     workload: &Workload,
-    policy: MappingPolicy,
-    ctx: Option<&EcostContext<'_>>,
-) -> ClusterRun {
-    assert!(n >= 1, "need at least one node");
-    assert!(!workload.is_empty(), "empty workload");
+    policy: &ConfiguredPolicy<'_, '_>,
+) -> Result<ClusterRun, EvalError> {
+    if n < 1 {
+        return Err(EvalError::InvalidInput {
+            what: "need at least one node",
+        });
+    }
+    if workload.is_empty() {
+        return Err(EvalError::InvalidInput {
+            what: "empty workload",
+        });
+    }
     match policy {
-        MappingPolicy::Sm => run_lanes(tb, n, workload, 1),
-        MappingPolicy::Mnm1 => run_lanes(tb, n, workload, 2.min(n)),
-        MappingPolicy::Mnm2 => run_lanes(tb, n, workload, 4.min(n)),
-        MappingPolicy::Snm => run_per_node(tb, n, workload, PerNodeMode::Default),
-        MappingPolicy::Cbm => run_cbm(tb, n, workload),
-        MappingPolicy::Ptm => run_per_node(
-            tb,
-            n,
-            workload,
-            PerNodeMode::Predicted(ctx.expect("PTM needs a context")),
-        ),
-        MappingPolicy::Ecost => run_ecost(tb, n, workload, ctx.expect("ECoST needs a context")),
-        MappingPolicy::Ub => run_ub(tb, n, workload, ctx.expect("UB needs a context")),
+        ConfiguredPolicy::Sm => run_lanes(engine, n, workload, 1),
+        ConfiguredPolicy::Mnm1 => run_lanes(engine, n, workload, 2.min(n)),
+        ConfiguredPolicy::Mnm2 => run_lanes(engine, n, workload, 4.min(n)),
+        ConfiguredPolicy::Snm => run_per_node(engine, n, workload, PerNodeMode::Default),
+        ConfiguredPolicy::Cbm => run_cbm(engine, n, workload),
+        ConfiguredPolicy::Ptm(ctx) => {
+            run_per_node(engine, n, workload, PerNodeMode::Predicted(ctx))
+        }
+        ConfiguredPolicy::Ecost(ctx) => run_ecost(engine, n, workload, ctx),
+        ConfiguredPolicy::Ub(ctx) => run_ub(engine, n, workload, ctx),
     }
 }
 
@@ -166,10 +250,26 @@ fn share_mb(size_per_node_mb: f64, n: usize, span: usize) -> f64 {
     size_per_node_mb * n as f64 / span as f64
 }
 
+/// Index of the smallest entry (first on ties); 0 for an empty slice.
+fn earliest(times: &[f64]) -> usize {
+    times
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
 /// SM / MNM: `lanes` groups of `n/lanes` nodes each run jobs serially.
 /// Shards within a lane are symmetric, so one representative node is
 /// simulated per job and its energy scaled by the lane's span.
-fn run_lanes(tb: &Testbed, n: usize, workload: &Workload, lanes: usize) -> ClusterRun {
+fn run_lanes(
+    engine: &EvalEngine,
+    n: usize,
+    workload: &Workload,
+    lanes: usize,
+) -> Result<ClusterRun, EvalError> {
+    let tb = engine.testbed();
     let lanes = lanes.max(1).min(n);
     let span = (n / lanes).max(1);
     let cluster = ecost_sim::ClusterSpec::atom_cluster(n);
@@ -178,9 +278,7 @@ fn run_lanes(tb: &Testbed, n: usize, workload: &Workload, lanes: usize) -> Clust
     let mut lane_time = vec![0.0_f64; lanes];
     let mut energy = 0.0;
     for (app, size) in &workload.jobs {
-        let lane = (0..lanes)
-            .min_by(|&a, &b| lane_time[a].partial_cmp(&lane_time[b]).expect("finite"))
-            .expect("lanes >= 1");
+        let lane = earliest(&lane_time);
         let cfg = TuningConfig::hadoop_default(tb.node.cores);
         let job = JobSpec::from_profile(
             app.profile().clone(),
@@ -194,16 +292,16 @@ fn run_lanes(tb: &Testbed, n: usize, workload: &Workload, lanes: usize) -> Clust
             cluster.nic_bw_mbps,
             cluster.nic_active_power_w,
         );
-        node.submit(job).expect("full node available");
-        node.run_to_completion().expect("simulation");
+        node.submit(job)?;
+        node.run_to_completion()?;
         lane_time[lane] += node.now();
         energy += node.energy_j() * span as f64;
     }
-    ClusterRun {
+    Ok(ClusterRun {
         makespan_s: lane_time.into_iter().fold(0.0, f64::max),
         energy_dyn_j: energy,
         nodes: n,
-    }
+    })
 }
 
 enum PerNodeMode<'a, 'b> {
@@ -215,7 +313,13 @@ enum PerNodeMode<'a, 'b> {
 
 /// SNM / PTM: one application per node, jobs dispatched to the earliest-free
 /// node.
-fn run_per_node(tb: &Testbed, n: usize, workload: &Workload, mode: PerNodeMode<'_, '_>) -> ClusterRun {
+fn run_per_node(
+    engine: &EvalEngine,
+    n: usize,
+    workload: &Workload,
+    mode: PerNodeMode<'_, '_>,
+) -> Result<ClusterRun, EvalError> {
+    let tb = engine.testbed();
     let mut node_time = vec![0.0_f64; n];
     let mut energy = 0.0;
     for (app, size) in &workload.jobs {
@@ -223,30 +327,33 @@ fn run_per_node(tb: &Testbed, n: usize, workload: &Workload, mode: PerNodeMode<'
         let cfg = match &mode {
             PerNodeMode::Default => TuningConfig::hadoop_default(tb.node.cores),
             PerNodeMode::Predicted(ctx) => {
-                let sig = profile_app(tb, app.profile(), input, ctx.noise, ctx.seed);
-                ctx.db.nearest_solo(&sig.key()).config
+                let sig = profile_app(engine, app.profile(), input, ctx.noise, ctx.seed)?;
+                ctx.db
+                    .nearest_solo(&sig.key())
+                    .ok_or(EvalError::NoCandidates {
+                        what: "PTM solo lookup in an empty database",
+                    })?
+                    .config
             }
         };
-        let node = (0..n)
-            .min_by(|&a, &b| node_time[a].partial_cmp(&node_time[b]).expect("finite"))
-            .expect("n >= 1");
+        let node = earliest(&node_time);
         let mut sim = NodeSim::new(tb.node.clone(), tb.fw.clone());
-        sim.submit(JobSpec::from_profile(app.profile().clone(), input, cfg))
-            .expect("empty node");
-        sim.run_to_completion().expect("simulation");
+        sim.submit(JobSpec::from_profile(app.profile().clone(), input, cfg))?;
+        sim.run_to_completion()?;
         node_time[node] += sim.now();
         energy += sim.energy_j();
     }
-    ClusterRun {
+    Ok(ClusterRun {
         makespan_s: node_time.into_iter().fold(0.0, f64::max),
         energy_dyn_j: energy,
         nodes: n,
-    }
+    })
 }
 
 /// CBM: two applications per node at 4+4 cores, untuned; a finishing job is
 /// immediately replaced from the queue (FIFO).
-fn run_cbm(tb: &Testbed, n: usize, workload: &Workload) -> ClusterRun {
+fn run_cbm(engine: &EvalEngine, n: usize, workload: &Workload) -> Result<ClusterRun, EvalError> {
+    let tb = engine.testbed();
     let half = (tb.node.cores / 2).max(1);
     let cfg = TuningConfig {
         mappers: half,
@@ -256,7 +363,11 @@ fn run_cbm(tb: &Testbed, n: usize, workload: &Workload) -> ClusterRun {
         .jobs
         .iter()
         .map(|(app, size)| {
-            JobSpec::from_profile(app.profile().clone(), share_mb(size.per_node_mb(), n, 1), cfg)
+            JobSpec::from_profile(
+                app.profile().clone(),
+                share_mb(size.per_node_mb(), n, 1),
+                cfg,
+            )
         })
         .collect();
     let mut nodes: Vec<NodeSim> = (0..n)
@@ -266,7 +377,7 @@ fn run_cbm(tb: &Testbed, n: usize, workload: &Workload) -> ClusterRun {
     for node in &mut nodes {
         for _ in 0..2 {
             if let Some(job) = queue.pop_front() {
-                node.submit(job).expect("fits");
+                node.submit(job)?;
             }
         }
     }
@@ -274,13 +385,14 @@ fn run_cbm(tb: &Testbed, n: usize, workload: &Workload) -> ClusterRun {
         while node.active_jobs() < 2 {
             match queue.pop_front() {
                 Some(job) => {
-                    node.submit(job).expect("half the cores are free");
+                    node.submit(job)?;
                 }
                 None => break,
             }
         }
-    });
-    collect(nodes, n)
+        Ok(())
+    })?;
+    Ok(collect(nodes, n))
 }
 
 /// How a streaming scheduler picks partners and configurations. Implemented
@@ -296,10 +408,10 @@ trait StreamPolicy {
         anchor: &Prepared,
         candidates: &[&Prepared],
         cores: u32,
-    ) -> (usize, ecost_mapreduce::PairConfig);
+    ) -> Result<(usize, ecost_mapreduce::PairConfig), EvalError>;
 
     /// Configuration for a job running alone (tail of the workload).
-    fn solo_config(&self, job: &Prepared, cores: u32) -> TuningConfig;
+    fn solo_config(&self, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError>;
 }
 
 /// ECoST's decisions: partner class by the Fig 4 decision tree, knobs by STP.
@@ -313,14 +425,17 @@ impl StreamPolicy for EcostPolicy<'_, '_> {
         anchor: &Prepared,
         candidates: &[&Prepared],
         cores: u32,
-    ) -> (usize, ecost_mapreduce::PairConfig) {
+    ) -> Result<(usize, ecost_mapreduce::PairConfig), EvalError> {
         let classes: Vec<AppClass> = candidates.iter().map(|p| p.class).collect();
         let pick = match self.ctx.pairing_mode {
-            crate::pairing::PairingMode::DecisionTree => self
-                .ctx
-                .pairing
-                .choose(&classes)
-                .expect("candidates non-empty"),
+            crate::pairing::PairingMode::DecisionTree => {
+                self.ctx
+                    .pairing
+                    .choose(&classes)
+                    .ok_or(EvalError::NoCandidates {
+                        what: "pairing candidates",
+                    })?
+            }
             crate::pairing::PairingMode::Fifo => 0,
             crate::pairing::PairingMode::Random(seed) => {
                 // Deterministic pseudo-pick from the anchor's identity.
@@ -331,87 +446,98 @@ impl StreamPolicy for EcostPolicy<'_, '_> {
                 (h as usize) % candidates.len()
             }
         };
-        let mut cfg = self.ctx.stp.choose(&anchor.sig, &candidates[pick].sig, cores);
+        let mut cfg = self
+            .ctx
+            .stp
+            .choose(&anchor.sig, &candidates[pick].sig, cores)?;
         if cfg.cores() > cores {
             cfg.b.mappers = (cores - cfg.a.mappers.min(cores - 1)).max(1);
         }
-        (pick, cfg)
+        Ok((pick, cfg))
     }
 
-    fn solo_config(&self, job: &Prepared, _cores: u32) -> TuningConfig {
-        self.ctx.db.nearest_solo(&job.sig.key()).config
+    fn solo_config(&self, job: &Prepared, _cores: u32) -> Result<TuningConfig, EvalError> {
+        Ok(self
+            .ctx
+            .db
+            .nearest_solo(&job.sig.key())
+            .ok_or(EvalError::NoCandidates {
+                what: "solo lookup in an empty database",
+            })?
+            .config)
     }
 }
 
 /// Perfect decisions (upper bound): partner and knobs from the brute-force
-/// pair oracle.
-struct OraclePolicy<'a, 'b> {
-    tb: &'a Testbed,
-    ctx: &'a EcostContext<'b>,
+/// pair oracle, served by the shared engine memo.
+struct OraclePolicy<'a> {
+    engine: &'a EvalEngine,
 }
 
-impl StreamPolicy for OraclePolicy<'_, '_> {
+impl StreamPolicy for OraclePolicy<'_> {
     fn pick(
         &self,
         anchor: &Prepared,
         candidates: &[&Prepared],
         cores: u32,
-    ) -> (usize, ecost_mapreduce::PairConfig) {
-        let idle = self.tb.idle_w();
-        let (pick, run) = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, cand)| {
-                let run = self.ctx.cache.best_pair(
-                    self.tb,
-                    &anchor.sig.profile,
-                    anchor.sig.input_mb,
-                    &cand.sig.profile,
-                    cand.sig.input_mb,
-                );
-                (i, run)
-            })
-            .min_by(|a, b| {
-                a.1.metrics
-                    .edp_wall(idle)
-                    .partial_cmp(&b.1.metrics.edp_wall(idle))
-                    .expect("finite")
-            })
-            .expect("candidates non-empty");
+    ) -> Result<(usize, ecost_mapreduce::PairConfig), EvalError> {
+        let idle = self.engine.idle_w();
+        let mut best: Option<(usize, PairRun)> = None;
+        for (i, cand) in candidates.iter().enumerate() {
+            let run = self.engine.best_pair(
+                &anchor.sig.profile,
+                anchor.sig.input_mb,
+                &cand.sig.profile,
+                cand.sig.input_mb,
+            )?;
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| run.metrics.edp_wall(idle) < b.metrics.edp_wall(idle));
+            if better {
+                best = Some((i, run));
+            }
+        }
+        let (pick, run) = best.ok_or(EvalError::NoCandidates {
+            what: "oracle pairing candidates",
+        })?;
         let mut cfg = run.config;
         if cfg.cores() > cores {
             cfg.b.mappers = (cores - cfg.a.mappers.min(cores - 1)).max(1);
         }
-        (pick, cfg)
+        Ok((pick, cfg))
     }
 
-    fn solo_config(&self, job: &Prepared, _cores: u32) -> TuningConfig {
-        crate::oracle::best_solo(self.tb, &job.sig.profile, job.sig.input_mb).config
+    fn solo_config(&self, job: &Prepared, _cores: u32) -> Result<TuningConfig, EvalError> {
+        Ok(self
+            .engine
+            .best_solo(&job.sig.profile, job.sig.input_mb)?
+            .config)
     }
 }
 
 /// Shared streaming driver: two jobs per node, replacements admitted the
 /// moment a slot frees, decisions delegated to `policy`.
 fn run_stream(
-    tb: &Testbed,
+    engine: &EvalEngine,
     n: usize,
     prepared: Vec<Prepared>,
     policy: &dyn StreamPolicy,
-) -> ClusterRun {
-    run_stream_open(tb, n, prepared, None, 2, policy)
+) -> Result<ClusterRun, EvalError> {
+    run_stream_open(engine, n, prepared, None, 2, policy)
 }
 
 /// As [`run_stream`] but with explicit arrival times (open-queue operation)
 /// and a configurable head-reservation allowance. `arrivals[i]` is the
 /// submission time of `prepared[i]`; `None` submits everything at t = 0.
 fn run_stream_open(
-    tb: &Testbed,
+    engine: &EvalEngine,
     n: usize,
     prepared: Vec<Prepared>,
     arrivals: Option<&[f64]>,
     max_head_skips: u32,
     policy: &dyn StreamPolicy,
-) -> ClusterRun {
+) -> Result<ClusterRun, EvalError> {
+    let tb = engine.testbed();
     let cores = tb.node.cores;
     let mut queue: WaitQueue<Prepared> = WaitQueue::new(max_head_skips);
     // Jobs not yet arrived, soonest first; the stable sort keeps FIFO order
@@ -419,13 +545,17 @@ fn run_stream_open(
     let mut pending: std::collections::VecDeque<(f64, Prepared)> = {
         let times: Vec<f64> = match arrivals {
             Some(t) => {
-                assert_eq!(t.len(), prepared.len(), "one arrival per job");
+                if t.len() != prepared.len() {
+                    return Err(EvalError::InvalidInput {
+                        what: "need one arrival time per job",
+                    });
+                }
                 t.to_vec()
             }
             None => vec![0.0; prepared.len()],
         };
         let mut v: Vec<(f64, Prepared)> = times.into_iter().zip(prepared).collect();
-        v.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrival"));
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
         v.into()
     };
 
@@ -436,7 +566,8 @@ fn run_stream_open(
 
     let dispatch = |node: &mut NodeSim,
                     running: &mut Vec<(ecost_mapreduce::JobHandle, Prepared, u32)>,
-                    queue: &mut WaitQueue<Prepared>| {
+                    queue: &mut WaitQueue<Prepared>|
+     -> Result<(), EvalError> {
         while running.len() < 2 && !queue.is_empty() && node.free_cores() >= 1 {
             if running.is_empty() {
                 // Empty node: honour FIFO for the first job…
@@ -444,35 +575,31 @@ fn run_stream_open(
                 let eligible = queue.eligible();
                 if eligible.is_empty() {
                     // Lone tail job: the whole node, solo-tuned.
-                    let solo = policy.solo_config(&first, cores);
-                    let h = node
-                        .submit(JobSpec::from_profile(
-                            first.sig.profile.clone(),
-                            first.sig.input_mb,
-                            solo,
-                        ))
-                        .expect("empty node");
+                    let solo = policy.solo_config(&first, cores)?;
+                    let h = node.submit(JobSpec::from_profile(
+                        first.sig.profile.clone(),
+                        first.sig.input_mb,
+                        solo,
+                    ))?;
                     running.push((h, first, solo.mappers));
                     continue;
                 }
-                let cands: Vec<&Prepared> =
-                    eligible.iter().map(|(i, _)| &queue.peek(*i).payload).collect();
-                let (pick, cfg) = policy.pick(&first, &cands, cores);
+                let cands: Vec<&Prepared> = eligible
+                    .iter()
+                    .map(|(i, _)| &queue.peek(*i).payload)
+                    .collect();
+                let (pick, cfg) = policy.pick(&first, &cands, cores)?;
                 let second = queue.take(eligible[pick].0).payload;
-                let ha = node
-                    .submit(JobSpec::from_profile(
-                        first.sig.profile.clone(),
-                        first.sig.input_mb,
-                        cfg.a,
-                    ))
-                    .expect("empty node");
-                let hb = node
-                    .submit(JobSpec::from_profile(
-                        second.sig.profile.clone(),
-                        second.sig.input_mb,
-                        cfg.b,
-                    ))
-                    .expect("budget checked");
+                let ha = node.submit(JobSpec::from_profile(
+                    first.sig.profile.clone(),
+                    first.sig.input_mb,
+                    cfg.a,
+                ))?;
+                let hb = node.submit(JobSpec::from_profile(
+                    second.sig.profile.clone(),
+                    second.sig.input_mb,
+                    cfg.b,
+                ))?;
                 running.push((ha, first, cfg.a.mappers));
                 running.push((hb, second, cfg.b.mappers));
             } else {
@@ -481,48 +608,51 @@ fn run_stream_open(
                 if eligible.is_empty() {
                     break;
                 }
-                let cands: Vec<&Prepared> =
-                    eligible.iter().map(|(i, _)| &queue.peek(*i).payload).collect();
-                let (pick, cfg) = policy.pick(&running[0].1, &cands, cores);
+                let cands: Vec<&Prepared> = eligible
+                    .iter()
+                    .map(|(i, _)| &queue.peek(*i).payload)
+                    .collect();
+                let (pick, cfg) = policy.pick(&running[0].1, &cands, cores)?;
                 let partner = queue.take(eligible[pick].0).payload;
                 let free = node.free_cores();
                 let mut bcfg = cfg.b;
                 bcfg.mappers = bcfg.mappers.min(free).max(1);
-                let h = node
-                    .submit(JobSpec::from_profile(
-                        partner.sig.profile.clone(),
-                        partner.sig.input_mb,
-                        bcfg,
-                    ))
-                    .expect("clamped to free cores");
+                let h = node.submit(JobSpec::from_profile(
+                    partner.sig.profile.clone(),
+                    partner.sig.input_mb,
+                    bcfg,
+                ))?;
                 running.push((h, partner, bcfg.mappers));
             }
         }
+        Ok(())
     };
 
     let mut now = 0.0_f64;
     // Admit everything that has arrived by `now` into the wait queue.
-    let admit = |now: f64, pending: &mut std::collections::VecDeque<(f64, Prepared)>,
-                     queue: &mut WaitQueue<Prepared>| {
+    let admit = |now: f64,
+                 pending: &mut std::collections::VecDeque<(f64, Prepared)>,
+                 queue: &mut WaitQueue<Prepared>| {
         while pending.front().is_some_and(|(t, _)| *t <= now + 1e-9) {
-            let (_, p) = pending.pop_front().expect("checked non-empty");
-            // "Small job" for the leap-forward rule = short estimated
-            // runtime; the learning-period execution time is the estimate.
-            let est = p.sig.profile_time_s;
-            let class = p.class;
-            queue.push(p, class, est);
+            if let Some((_, p)) = pending.pop_front() {
+                // "Small job" for the leap-forward rule = short estimated
+                // runtime; the learning-period execution time is the estimate.
+                let est = p.sig.profile_time_s;
+                let class = p.class;
+                queue.push(p, class, est);
+            }
         }
     };
 
     admit(now, &mut pending, &mut queue);
     for (node, run) in nodes.iter_mut().zip(&mut running) {
-        dispatch(node, run, &mut queue);
+        dispatch(node, run, &mut queue)?;
     }
     loop {
         let mut any_active = false;
         let mut dt = f64::INFINITY;
         for node in &mut nodes {
-            if let Some(t) = node.time_to_next_event().expect("rates solve") {
+            if let Some(t) = node.time_to_next_event()? {
                 any_active = true;
                 dt = dt.min(t);
             }
@@ -534,12 +664,16 @@ fn run_stream_open(
             any_active = true;
         }
         if !any_active {
-            assert!(queue.is_empty(), "jobs stranded in queue");
+            if !queue.is_empty() {
+                return Err(EvalError::Internal {
+                    what: "jobs stranded in the scheduler queue",
+                });
+            }
             break;
         }
         debug_assert!(dt.is_finite());
         for node in &mut nodes {
-            node.advance(dt).expect("advance");
+            node.advance(dt)?;
         }
         now += dt;
         admit(now, &mut pending, &mut queue);
@@ -547,26 +681,26 @@ fn run_stream_open(
             let finished: Vec<ecost_mapreduce::JobHandle> =
                 node.finished().iter().map(|o| o.id).collect();
             run.retain(|(h, _, _)| !finished.contains(h));
-            dispatch(node, run, &mut queue);
+            dispatch(node, run, &mut queue)?;
         }
     }
-    collect(nodes, n)
+    Ok(collect(nodes, n))
 }
 
 /// Open-queue ECoST: jobs arrive over time (the §5 "new jobs are arriving
 /// to the datacenter" operation), with a configurable head-reservation
 /// allowance. Used by the open-queue extension experiment.
 pub fn run_ecost_open(
-    tb: &Testbed,
+    engine: &EvalEngine,
     n: usize,
     workload: &Workload,
     arrivals: &[f64],
     max_head_skips: u32,
     ctx: &EcostContext<'_>,
-) -> ClusterRun {
-    let prepared = prepare_jobs(tb, n, workload, ctx);
+) -> Result<ClusterRun, EvalError> {
+    let prepared = prepare_jobs(engine, n, workload, ctx)?;
     run_stream_open(
-        tb,
+        engine,
         n,
         prepared,
         Some(arrivals),
@@ -576,23 +710,33 @@ pub fn run_ecost_open(
 }
 
 /// Learning period + classification for every workload job.
-fn prepare_jobs(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>) -> Vec<Prepared> {
+fn prepare_jobs(
+    engine: &EvalEngine,
+    n: usize,
+    workload: &Workload,
+    ctx: &EcostContext<'_>,
+) -> Result<Vec<Prepared>, EvalError> {
     workload
         .jobs
         .iter()
         .map(|(app, size)| {
             let input = share_mb(size.per_node_mb(), n, 1);
-            let sig = profile_app(tb, app.profile(), input, ctx.noise, ctx.seed);
+            let sig = profile_app(engine, app.profile(), input, ctx.noise, ctx.seed)?;
             let class = ctx.classifier.classify(&sig.features);
-            Prepared { sig, class }
+            Ok(Prepared { sig, class })
         })
         .collect()
 }
 
 /// ECoST: the full classify → enqueue → pair → tune loop of §5.
-fn run_ecost(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>) -> ClusterRun {
-    let prepared = prepare_jobs(tb, n, workload, ctx);
-    run_stream(tb, n, prepared, &EcostPolicy { ctx })
+fn run_ecost(
+    engine: &EvalEngine,
+    n: usize,
+    workload: &Workload,
+    ctx: &EcostContext<'_>,
+) -> Result<ClusterRun, EvalError> {
+    let prepared = prepare_jobs(engine, n, workload, ctx)?;
+    run_stream(engine, n, prepared, &EcostPolicy { ctx })
 }
 
 /// UB: the better of two brute-force schedules —
@@ -606,54 +750,71 @@ fn run_ecost(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>
 ///
 /// Streaming usually wins (no barrier between pairs); the matching candidate
 /// covers workloads where synchronised pairs happen to pack better.
-fn run_ub(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>) -> ClusterRun {
+fn run_ub(
+    engine: &EvalEngine,
+    n: usize,
+    workload: &Workload,
+    ctx: &EcostContext<'_>,
+) -> Result<ClusterRun, EvalError> {
     let streamed = {
-        let prepared = prepare_jobs(tb, n, workload, ctx);
-        run_stream(tb, n, prepared, &OraclePolicy { tb, ctx })
+        let prepared = prepare_jobs(engine, n, workload, ctx)?;
+        run_stream(engine, n, prepared, &OraclePolicy { engine })?
     };
-    let matched = run_ub_matched(tb, n, workload, ctx);
-    let idle = tb.idle_w();
-    if streamed.edp_wall(idle) <= matched.edp_wall(idle) {
+    let matched = run_ub_matched(engine, n, workload)?;
+    let idle = engine.idle_w();
+    Ok(if streamed.edp_wall(idle) <= matched.edp_wall(idle) {
         streamed
     } else {
         matched
-    }
+    })
 }
 
-/// The matched-pairs UB candidate (see [`run_ub`]).
-fn run_ub_matched(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContext<'_>) -> ClusterRun {
+/// The matched-pairs UB candidate (see [`run_ub`]). The DP's cost matrix is
+/// plain local state; every entry comes from the engine's shared memo, so
+/// pairs the database build already swept cost nothing here.
+fn run_ub_matched(
+    engine: &EvalEngine,
+    n: usize,
+    workload: &Workload,
+) -> Result<ClusterRun, EvalError> {
     let jobs: Vec<(ecost_apps::AppProfile, f64)> = workload
         .jobs
         .iter()
         .map(|(app, size)| (app.profile().clone(), share_mb(size.per_node_mb(), n, 1)))
         .collect();
     let k = jobs.len();
-    assert!(k <= 20, "bitmask matching is sized for Table 3 workloads");
-    let idle = tb.idle_w();
+    if k > 20 {
+        return Err(EvalError::InvalidInput {
+            what: "bitmask matching is sized for Table 3 workloads (≤ 20 jobs)",
+        });
+    }
+    let idle = engine.idle_w();
 
-    // Pairwise oracle results (memoised by the shared cache).
-    let mut pair_best = vec![vec![None; k]; k];
+    // Pairwise oracle results, all served by the engine.
+    let mut pair_best: Vec<Vec<Option<PairRun>>> = vec![vec![None; k]; k];
     for i in 0..k {
         for j in i + 1..k {
-            let run = ctx
-                .cache
-                .best_pair(tb, &jobs[i].0, jobs[i].1, &jobs[j].0, jobs[j].1);
+            let run = engine.best_pair(&jobs[i].0, jobs[i].1, &jobs[j].0, jobs[j].1)?;
             pair_best[i][j] = Some(run);
         }
     }
+    let pair_cost = |i: usize, j: usize| -> Result<&PairRun, EvalError> {
+        pair_best[i.min(j)][i.max(j)]
+            .as_ref()
+            .ok_or(EvalError::Internal {
+                what: "pair cost missing from the DP matrix",
+            })
+    };
     // DP over subsets: minimal total pair EDP perfect matching (odd tail: one
     // job may stay single at its solo optimum).
     let full: usize = (1 << k) - 1;
     let mut dp = vec![f64::INFINITY; 1 << k];
     let mut choice: Vec<Option<(usize, usize)>> = vec![None; 1 << k];
     dp[0] = 0.0;
-    let solo_edp: Vec<f64> = (0..k)
-        .map(|i| {
-            crate::oracle::best_solo(tb, &jobs[i].0, jobs[i].1)
-                .metrics
-                .edp_wall(idle)
-        })
-        .collect();
+    let solo_edp: Vec<f64> = jobs
+        .iter()
+        .map(|(p, mb)| Ok(engine.best_solo(p, *mb)?.metrics.edp_wall(idle)))
+        .collect::<Result<_, EvalError>>()?;
     for mask in 0..=full {
         if dp[mask].is_infinite() {
             continue;
@@ -666,11 +827,7 @@ fn run_ub_matched(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContex
             if mask & (1 << j) != 0 {
                 continue;
             }
-            let cost = pair_best[i][j]
-                .as_ref()
-                .expect("computed above")
-                .metrics
-                .edp_wall(idle);
+            let cost = pair_cost(i, j)?.metrics.edp_wall(idle);
             let nm = mask | (1 << i) | (1 << j);
             if dp[mask] + cost < dp[nm] {
                 dp[nm] = dp[mask] + cost;
@@ -689,7 +846,9 @@ fn run_ub_matched(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContex
     let mut pairs: Vec<(usize, Option<usize>)> = Vec::new();
     let mut mask = full;
     while mask != 0 {
-        let i = (0..k).find(|i| mask & (1 << i) != 0).expect("mask non-zero");
+        let Some(i) = (0..k).find(|i| mask & (1 << i) != 0) else {
+            break;
+        };
         match choice[mask] {
             Some((a, b)) if mask & (1 << a) != 0 && mask & (1 << b) != 0 => {
                 pairs.push((a, Some(b)));
@@ -703,44 +862,45 @@ fn run_ub_matched(tb: &Testbed, n: usize, workload: &Workload, ctx: &EcostContex
     }
 
     // Run each pair at its oracle config; LPT-assign onto nodes.
-    let mut runs: Vec<(f64, f64)> = pairs
-        .into_iter()
-        .map(|(i, j)| match j {
+    let mut runs: Vec<(f64, f64)> = Vec::with_capacity(pairs.len());
+    for (i, j) in pairs {
+        match j {
             Some(j) => {
-                let best = pair_best[i.min(j)][i.max(j)].as_ref().expect("computed");
-                (best.metrics.makespan_s, best.metrics.energy_j)
+                let best = pair_cost(i, j)?;
+                runs.push((best.metrics.makespan_s, best.metrics.energy_j));
             }
             None => {
-                let solo = crate::oracle::best_solo(tb, &jobs[i].0, jobs[i].1);
-                (solo.metrics.exec_time_s, solo.metrics.energy_j)
+                let solo = engine.best_solo(&jobs[i].0, jobs[i].1)?;
+                runs.push((solo.metrics.exec_time_s, solo.metrics.energy_j));
             }
-        })
-        .collect();
-    runs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        }
+    }
+    runs.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut node_time = vec![0.0_f64; n];
     let mut energy = 0.0;
     for (t, e) in runs {
-        let node = (0..n)
-            .min_by(|&a, &b| node_time[a].partial_cmp(&node_time[b]).expect("finite"))
-            .expect("n >= 1");
+        let node = earliest(&node_time);
         node_time[node] += t;
         energy += e;
     }
-    ClusterRun {
+    Ok(ClusterRun {
         makespan_s: node_time.into_iter().fold(0.0, f64::max),
         energy_dyn_j: energy,
         nodes: n,
-    }
+    })
 }
 
 /// Drive a set of nodes to completion, calling `refill` for each node after
 /// every event so it can top up from its queue.
-fn drive_cluster(nodes: &mut [NodeSim], mut refill: impl FnMut(&mut NodeSim)) {
+fn drive_cluster(
+    nodes: &mut [NodeSim],
+    mut refill: impl FnMut(&mut NodeSim) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
     loop {
         let mut any = false;
         let mut dt = f64::INFINITY;
         for node in nodes.iter_mut() {
-            if let Some(t) = node.time_to_next_event().expect("rates solve") {
+            if let Some(t) = node.time_to_next_event()? {
                 any = true;
                 dt = dt.min(t);
             }
@@ -749,10 +909,11 @@ fn drive_cluster(nodes: &mut [NodeSim], mut refill: impl FnMut(&mut NodeSim)) {
             break;
         }
         for node in nodes.iter_mut() {
-            node.advance(dt).expect("advance");
-            refill(node);
+            node.advance(dt)?;
+            refill(node)?;
         }
     }
+    Ok(())
 }
 
 fn collect(nodes: Vec<NodeSim>, n: usize) -> ClusterRun {
@@ -768,14 +929,24 @@ mod tests {
     use super::*;
     use ecost_apps::{InputSize, WorkloadScenario};
 
+    fn run_untuned(
+        engine: &EvalEngine,
+        n: usize,
+        w: &Workload,
+        policy: MappingPolicy,
+    ) -> ClusterRun {
+        let p = ConfiguredPolicy::new(policy, None).expect("untuned policy");
+        run_policy(engine, n, w, &p).expect("cluster run")
+    }
+
     #[test]
     fn untuned_policies_complete_and_work_is_conserved() {
-        let tb = Testbed::atom();
+        let eng = EvalEngine::atom();
         // Small workload to keep tests quick: 4 I/O jobs.
         let mut w = WorkloadScenario::Ws3.workload(InputSize::Small);
         w.jobs.truncate(4);
-        let sm = run_policy(&tb, 2, &w, MappingPolicy::Sm, None);
-        let snm = run_policy(&tb, 2, &w, MappingPolicy::Snm, None);
+        let sm = run_untuned(&eng, 2, &w, MappingPolicy::Sm);
+        let snm = run_untuned(&eng, 2, &w, MappingPolicy::Snm);
         assert!(sm.makespan_s > 0.0 && snm.makespan_s > 0.0);
         // Without co-location or tuning, total work is conserved: spreading
         // each job across the cluster (SM) and spreading jobs across nodes
@@ -784,30 +955,69 @@ mod tests {
         let ratio = sm.makespan_s / snm.makespan_s;
         assert!((0.6..=1.6).contains(&ratio), "sm/snm {ratio}");
         // CBM co-locates two I/O jobs per node and must beat both layouts.
-        let cbm = run_policy(&tb, 2, &w, MappingPolicy::Cbm, None);
+        let cbm = run_untuned(&eng, 2, &w, MappingPolicy::Cbm);
         assert!(cbm.makespan_s < snm.makespan_s.min(sm.makespan_s));
     }
 
     #[test]
     fn cbm_packs_two_jobs_per_node() {
-        let tb = Testbed::atom();
+        let eng = EvalEngine::atom();
         let mut w = WorkloadScenario::Ws3.workload(InputSize::Small);
         w.jobs.truncate(4);
-        let cbm = run_policy(&tb, 1, &w, MappingPolicy::Cbm, None);
-        let snm = run_policy(&tb, 1, &w, MappingPolicy::Snm, None);
+        let cbm = run_untuned(&eng, 1, &w, MappingPolicy::Cbm);
+        let snm = run_untuned(&eng, 1, &w, MappingPolicy::Snm);
         // For I/O-bound jobs co-location wins on makespan.
-        assert!(cbm.makespan_s < snm.makespan_s, "cbm {} snm {}", cbm.makespan_s, snm.makespan_s);
+        assert!(
+            cbm.makespan_s < snm.makespan_s,
+            "cbm {} snm {}",
+            cbm.makespan_s,
+            snm.makespan_s
+        );
     }
 
     #[test]
     fn lanes_fall_back_gracefully_on_one_node() {
-        let tb = Testbed::atom();
+        let eng = EvalEngine::atom();
         let mut w = WorkloadScenario::Ws1.workload(InputSize::Small);
         w.jobs.truncate(2);
-        let sm = run_policy(&tb, 1, &w, MappingPolicy::Sm, None);
-        let mnm1 = run_policy(&tb, 1, &w, MappingPolicy::Mnm1, None);
+        let sm = run_untuned(&eng, 1, &w, MappingPolicy::Sm);
+        let mnm1 = run_untuned(&eng, 1, &w, MappingPolicy::Mnm1);
         // With one node MNM1 degenerates to SM.
         assert!((sm.makespan_s - mnm1.makespan_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tuned_policy_without_context_is_a_typed_error() {
+        for policy in [MappingPolicy::Ptm, MappingPolicy::Ecost, MappingPolicy::Ub] {
+            assert!(policy.needs_context());
+            let err = ConfiguredPolicy::new(policy, None)
+                .err()
+                .expect("must fail");
+            assert!(
+                matches!(err, EvalError::MissingContext { .. }),
+                "{policy:?}: {err}"
+            );
+        }
+        assert!(ConfiguredPolicy::new(MappingPolicy::Sm, None).is_ok());
+    }
+
+    #[test]
+    fn invalid_cluster_inputs_are_typed_errors() {
+        let eng = EvalEngine::atom();
+        let w = WorkloadScenario::Ws1.workload(InputSize::Small);
+        let sm = ConfiguredPolicy::new(MappingPolicy::Sm, None).expect("untuned");
+        assert!(matches!(
+            run_policy(&eng, 0, &w, &sm),
+            Err(EvalError::InvalidInput { .. })
+        ));
+        let empty = Workload {
+            name: "empty".into(),
+            jobs: Vec::new(),
+        };
+        assert!(matches!(
+            run_policy(&eng, 2, &empty, &sm),
+            Err(EvalError::InvalidInput { .. })
+        ));
     }
 
     #[test]
@@ -818,12 +1028,11 @@ mod tests {
         // Exercise it through run_stream_open with a trivial policy via the
         // public open API using a minimal context… the cheap path: verify
         // the Poisson plumbing with a two-job workload and big gaps.
-        let tb = Testbed::atom();
+        let eng = EvalEngine::atom();
         let mut w = WorkloadScenario::Ws3.workload(InputSize::Small);
         w.jobs.truncate(2);
         // Build a minimal context around a mini database.
-        let cache = crate::oracle::SweepCache::new();
-        let db = crate::database::ConfigDatabase::build(&tb, &cache, 0.0, 1);
+        let db = crate::database::ConfigDatabase::build(&eng, 0.0, 1).expect("db build");
         let classifier = crate::classify::RuleClassifier::fit(&db.signatures);
         let lkt = crate::stp::LktStp::from_database(&db);
         let pairing = PairingPolicy::default();
@@ -832,15 +1041,18 @@ mod tests {
             stp: &lkt,
             classifier: &classifier,
             pairing: &pairing,
-            cache: &cache,
             noise: 0.0,
             seed: 1,
             pairing_mode: crate::pairing::PairingMode::DecisionTree,
         };
-        let closed = run_ecost_open(&tb, 1, &w, &[0.0, 0.0], 2, &ctx);
-        let open = run_ecost_open(&tb, 1, &w, &[0.0, 400.0], 2, &ctx);
-        assert!(open.makespan_s > closed.makespan_s + 100.0,
-            "open {} closed {}", open.makespan_s, closed.makespan_s);
+        let closed = run_ecost_open(&eng, 1, &w, &[0.0, 0.0], 2, &ctx).expect("closed run");
+        let open = run_ecost_open(&eng, 1, &w, &[0.0, 400.0], 2, &ctx).expect("open run");
+        assert!(
+            open.makespan_s > closed.makespan_s + 100.0,
+            "open {} closed {}",
+            open.makespan_s,
+            closed.makespan_s
+        );
         // Energy (work) is similar either way.
         assert!((open.energy_dyn_j / closed.energy_dyn_j - 1.0).abs() < 0.35);
     }

@@ -8,262 +8,98 @@
 //! * the **database** of §6.2 (store the winners);
 //! * the **training data** for the MLM-STP models (store *all* the points).
 //!
-//! Sweeps are embarrassingly parallel and run under Rayon; a [`SweepCache`]
-//! memoises full pair sweeps so the database build, the baselines and the
-//! training-set construction share one pass.
+//! All evaluation goes through the [`EvalEngine`](crate::engine::EvalEngine):
+//! sweeps are embarrassingly parallel under Rayon, every point is memoized
+//! in the engine's shared cache, and every function is fallible — the
+//! simulator's errors surface as [`EvalError`](crate::engine::EvalError)
+//! instead of panics. This module is the oracle-flavoured face of the
+//! engine; the functions below are thin delegates kept so call sites read
+//! as the paper does (`oracle::best_pair`, `oracle::sweep_solo`, ...).
 
-use crate::features::Testbed;
+use crate::engine::{EvalEngine, EvalError};
 use ecost_apps::AppProfile;
-use ecost_mapreduce::executor::run_colocated;
-use ecost_mapreduce::{JobSpec, JobMetrics, PairConfig, PairMetrics, TuningConfig};
-use parking_lot::Mutex;
-use rayon::prelude::*;
-use std::collections::HashMap;
-use std::sync::Arc;
+use ecost_mapreduce::{JobMetrics, PairConfig, PairMetrics, TuningConfig};
 
-/// Result of a standalone run at one configuration.
-#[derive(Debug, Clone)]
-pub struct SoloRun {
-    /// The configuration.
-    pub config: TuningConfig,
-    /// Measured metrics.
-    pub metrics: JobMetrics,
+pub use crate::engine::{PairRun, PairSweep, SoloRun};
+
+/// Simulate one standalone run (memoized).
+pub fn solo_metrics(
+    engine: &EvalEngine,
+    profile: &AppProfile,
+    input_mb: f64,
+    cfg: TuningConfig,
+) -> Result<JobMetrics, EvalError> {
+    engine.solo_metrics(profile, input_mb, cfg)
 }
 
-/// Result of a co-located run at one pair configuration.
-#[derive(Debug, Clone)]
-pub struct PairRun {
-    /// The pair configuration.
-    pub config: PairConfig,
-    /// Makespan + energy of the pair.
-    pub metrics: PairMetrics,
-}
-
-/// Simulate one standalone run.
-pub fn solo_metrics(tb: &Testbed, profile: &AppProfile, input_mb: f64, cfg: TuningConfig) -> JobMetrics {
-    let job = JobSpec::from_profile(profile.clone(), input_mb, cfg);
-    ecost_mapreduce::executor::run_standalone(&tb.node, &tb.fw, job)
-        .expect("standalone simulation")
-        .metrics
-}
-
-/// Simulate one co-located pair run.
+/// Simulate one co-located pair run (memoized).
 pub fn pair_metrics(
-    tb: &Testbed,
+    engine: &EvalEngine,
     a: &AppProfile,
     input_a_mb: f64,
     b: &AppProfile,
     input_b_mb: f64,
     pc: PairConfig,
-) -> PairMetrics {
-    let jobs = vec![
-        JobSpec::from_profile(a.clone(), input_a_mb, pc.a),
-        JobSpec::from_profile(b.clone(), input_b_mb, pc.b),
-    ];
-    let (outs, makespan) = run_colocated(&tb.node, &tb.fw, jobs).expect("pair simulation");
-    PairMetrics {
-        makespan_s: makespan,
-        energy_j: outs.iter().map(|o| o.metrics.energy_j).sum(),
-    }
+) -> Result<PairMetrics, EvalError> {
+    engine.pair_metrics(a, input_a_mb, b, input_b_mb, pc)
 }
 
 /// Sweep the full 160-point standalone space; returns runs in sweep order.
-pub fn sweep_solo(tb: &Testbed, profile: &AppProfile, input_mb: f64) -> Vec<SoloRun> {
-    let configs: Vec<TuningConfig> = TuningConfig::space(tb.node.cores).collect();
-    configs
-        .into_par_iter()
-        .map(|config| SoloRun {
-            config,
-            metrics: solo_metrics(tb, profile, input_mb, config),
-        })
-        .collect()
+pub fn sweep_solo(
+    engine: &EvalEngine,
+    profile: &AppProfile,
+    input_mb: f64,
+) -> Result<Vec<SoloRun>, EvalError> {
+    engine.sweep_solo(profile, input_mb)
 }
 
 /// Best standalone config under wall EDP (ILAO's per-application step).
-pub fn best_solo(tb: &Testbed, profile: &AppProfile, input_mb: f64) -> SoloRun {
-    let idle = tb.idle_w();
-    sweep_solo(tb, profile, input_mb)
-        .into_iter()
-        .min_by(|x, y| {
-            x.metrics
-                .edp_wall(idle)
-                .partial_cmp(&y.metrics.edp_wall(idle))
-                .expect("finite EDP")
-        })
-        .expect("non-empty sweep")
+pub fn best_solo(
+    engine: &EvalEngine,
+    profile: &AppProfile,
+    input_mb: f64,
+) -> Result<SoloRun, EvalError> {
+    engine.best_solo(profile, input_mb)
 }
 
-/// Sweep the full pair space (11 200 points on the 8-core node).
+/// Fetch or compute the full pair sweep (11 200 points on the 8-core node).
 pub fn sweep_pair(
-    tb: &Testbed,
+    engine: &EvalEngine,
     a: &AppProfile,
     input_a_mb: f64,
     b: &AppProfile,
     input_b_mb: f64,
-) -> Vec<PairRun> {
-    PairConfig::space(tb.node.cores)
-        .into_par_iter()
-        .map(|config| PairRun {
-            config,
-            metrics: pair_metrics(tb, a, input_a_mb, b, input_b_mb, config),
-        })
-        .collect()
+) -> Result<PairSweep, EvalError> {
+    engine.pair_sweep(a, input_a_mb, b, input_b_mb)
 }
 
 /// Pick the wall-EDP winner out of a sweep.
-pub fn best_of(tb: &Testbed, runs: &[PairRun]) -> PairRun {
-    let idle = tb.idle_w();
-    runs.iter()
-        .min_by(|x, y| {
-            x.metrics
-                .edp_wall(idle)
-                .partial_cmp(&y.metrics.edp_wall(idle))
-                .expect("finite EDP")
-        })
-        .expect("non-empty sweep")
-        .clone()
+pub fn best_of(engine: &EvalEngine, runs: &[PairRun]) -> Result<PairRun, EvalError> {
+    engine.best_of(runs)
 }
 
 /// COLAO's oracle: best co-located configuration for a pair.
 pub fn best_pair(
-    tb: &Testbed,
+    engine: &EvalEngine,
     a: &AppProfile,
     input_a_mb: f64,
     b: &AppProfile,
     input_b_mb: f64,
-) -> PairRun {
-    best_of(tb, &sweep_pair(tb, a, input_a_mb, b, input_b_mb))
+) -> Result<PairRun, EvalError> {
+    engine.best_pair(a, input_a_mb, b, input_b_mb)
 }
 
 /// Best pair config with the core partition fixed (Fig 5's per-partition
 /// series).
 pub fn best_pair_with_partition(
-    tb: &Testbed,
+    engine: &EvalEngine,
     a: &AppProfile,
     input_a_mb: f64,
     b: &AppProfile,
     input_b_mb: f64,
-    (ma, mb): (u32, u32),
-) -> PairRun {
-    let idle = tb.idle_w();
-    let configs: Vec<PairConfig> = TuningConfig::space_fixed_mappers(ma)
-        .flat_map(|ca| TuningConfig::space_fixed_mappers(mb).map(move |cb| PairConfig { a: ca, b: cb }))
-        .collect();
-    configs
-        .into_par_iter()
-        .map(|config| PairRun {
-            config,
-            metrics: pair_metrics(tb, a, input_a_mb, b, input_b_mb, config),
-        })
-        .min_by(|x, y| {
-            x.metrics
-                .edp_wall(idle)
-                .partial_cmp(&y.metrics.edp_wall(idle))
-                .expect("finite EDP")
-        })
-        .expect("non-empty sweep")
-}
-
-/// Key identifying a memoised pair sweep. Profiles are keyed by name +
-/// input, which is unique within one experiment run.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SweepKey {
-    a: &'static str,
-    a_mb: u64,
-    b: &'static str,
-    b_mb: u64,
-}
-
-/// Memoising wrapper around [`sweep_pair`]. Cheap to clone (shared cache).
-#[derive(Clone, Default)]
-pub struct SweepCache {
-    inner: Arc<Mutex<HashMap<SweepKey, Arc<Vec<PairRun>>>>>,
-    /// Wall-clock seconds spent computing sweeps (cache misses only) — the
-    /// brute-force cost the lookup table's "training" amortises (Fig 8).
-    spent: Arc<Mutex<f64>>,
-}
-
-impl SweepCache {
-    /// Fresh empty cache.
-    pub fn new() -> SweepCache {
-        SweepCache::default()
-    }
-
-    /// Number of cached sweeps.
-    pub fn len(&self) -> usize {
-        self.inner.lock().len()
-    }
-
-    /// True when nothing is cached.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Total wall-clock seconds spent computing sweeps so far.
-    pub fn sweep_seconds(&self) -> f64 {
-        *self.spent.lock()
-    }
-
-    /// Fetch or compute the full sweep for an (ordered) pair.
-    pub fn pair_sweep(
-        &self,
-        tb: &Testbed,
-        a: &AppProfile,
-        input_a_mb: f64,
-        b: &AppProfile,
-        input_b_mb: f64,
-    ) -> Arc<Vec<PairRun>> {
-        // Normalise order so (a,b) and (b,a) share an entry.
-        let swap = (b.name, input_b_mb as u64) < (a.name, input_a_mb as u64);
-        let key = if swap {
-            SweepKey {
-                a: b.name,
-                a_mb: input_b_mb as u64,
-                b: a.name,
-                b_mb: input_a_mb as u64,
-            }
-        } else {
-            SweepKey {
-                a: a.name,
-                a_mb: input_a_mb as u64,
-                b: b.name,
-                b_mb: input_b_mb as u64,
-            }
-        };
-        if let Some(hit) = self.inner.lock().get(&key) {
-            return Arc::clone(hit);
-        }
-        let t0 = std::time::Instant::now();
-        let runs = if swap {
-            sweep_pair(tb, b, input_b_mb, a, input_a_mb)
-        } else {
-            sweep_pair(tb, a, input_a_mb, b, input_b_mb)
-        };
-        *self.spent.lock() += t0.elapsed().as_secs_f64();
-        let arc = Arc::new(runs);
-        self.inner.lock().insert(key, Arc::clone(&arc));
-        arc
-    }
-
-    /// Best run for a pair, via the cache. The returned config is oriented
-    /// so `.a` applies to `a` and `.b` to `b` even when the cache stored the
-    /// swapped order.
-    pub fn best_pair(
-        &self,
-        tb: &Testbed,
-        a: &AppProfile,
-        input_a_mb: f64,
-        b: &AppProfile,
-        input_b_mb: f64,
-    ) -> PairRun {
-        let swap = (b.name, input_b_mb as u64) < (a.name, input_a_mb as u64);
-        let sweep = self.pair_sweep(tb, a, input_a_mb, b, input_b_mb);
-        let mut best = best_of(tb, &sweep);
-        if swap {
-            best.config = best.config.swapped();
-        }
-        best
-    }
+    partition: (u32, u32),
+) -> Result<PairRun, EvalError> {
+    engine.best_pair_with_partition(a, input_a_mb, b, input_b_mb, partition)
 }
 
 #[cfg(test)]
@@ -271,70 +107,28 @@ mod tests {
     use super::*;
     use ecost_apps::{App, InputSize};
 
-    fn tb() -> Testbed {
-        Testbed::atom()
-    }
-
     #[test]
     fn best_solo_beats_default_config() {
-        let tb = tb();
+        let eng = EvalEngine::atom();
         let p = App::St.profile();
         let mb = InputSize::Small.per_node_mb();
-        let best = best_solo(&tb, p, mb);
-        let default = solo_metrics(&tb, p, mb, TuningConfig::hadoop_default(8));
-        assert!(best.metrics.edp_wall(tb.idle_w()) <= default.edp_wall(tb.idle_w()) * 1.0 + 1e-9);
+        let best = best_solo(&eng, p, mb).unwrap();
+        let default = solo_metrics(&eng, p, mb, TuningConfig::hadoop_default(8)).unwrap();
+        let idle = eng.idle_w();
+        assert!(best.metrics.edp_wall(idle) <= default.edp_wall(idle) + 1e-9);
     }
 
     #[test]
     fn pair_oracle_never_loses_to_any_swept_point() {
-        let tb = tb();
+        let eng = EvalEngine::atom();
         let a = App::Gp.profile();
         let b = App::St.profile();
         let mb = InputSize::Small.per_node_mb();
-        let sweep = sweep_pair(&tb, a, mb, b, mb);
-        let best = best_of(&tb, &sweep);
-        let idle = tb.idle_w();
-        for run in sweep.iter().step_by(997) {
+        let sweep = sweep_pair(&eng, a, mb, b, mb).unwrap();
+        let best = best_of(&eng, sweep.runs()).unwrap();
+        let idle = eng.idle_w();
+        for run in sweep.runs().iter().step_by(997) {
             assert!(best.metrics.edp_wall(idle) <= run.metrics.edp_wall(idle) + 1e-9);
         }
-    }
-
-    #[test]
-    fn cache_hits_are_shared_and_order_insensitive() {
-        let tb = tb();
-        let cache = SweepCache::new();
-        let a = App::Gp.profile();
-        let b = App::St.profile();
-        let mb = InputSize::Small.per_node_mb();
-        let s1 = cache.pair_sweep(&tb, a, mb, b, mb);
-        let s2 = cache.pair_sweep(&tb, b, mb, a, mb);
-        assert_eq!(cache.len(), 1);
-        assert!(Arc::ptr_eq(&s1, &s2));
-    }
-
-    #[test]
-    fn cached_best_pair_is_reoriented_after_swap() {
-        let tb = tb();
-        let cache = SweepCache::new();
-        let gp = App::Gp.profile();
-        let st = App::St.profile();
-        let mb = InputSize::Small.per_node_mb();
-        let fwd = cache.best_pair(&tb, gp, mb, st, mb);
-        let rev = cache.best_pair(&tb, st, mb, gp, mb);
-        assert_eq!(cache.len(), 1);
-        assert_eq!(fwd.config.a, rev.config.b);
-        assert_eq!(fwd.config.b, rev.config.a);
-        assert!((fwd.metrics.edp_wall(tb.idle_w()) - rev.metrics.edp_wall(tb.idle_w())).abs() < 1e-9);
-    }
-
-    #[test]
-    fn partition_restricted_search_respects_partition() {
-        let tb = tb();
-        let a = App::Wc.profile();
-        let b = App::St.profile();
-        let mb = InputSize::Small.per_node_mb();
-        let run = best_pair_with_partition(&tb, a, mb, b, mb, (6, 2));
-        assert_eq!(run.config.a.mappers, 6);
-        assert_eq!(run.config.b.mappers, 2);
     }
 }

@@ -10,8 +10,7 @@
 //! preferred, then H, then C, and M only when nothing else waits.
 
 use crate::database::ConfigDatabase;
-use crate::features::Testbed;
-use crate::oracle::{self, SweepCache};
+use crate::engine::{EvalEngine, EvalError};
 use ecost_apps::class::ClassPair;
 use ecost_apps::{AppClass, InputSize, TRAINING_APPS};
 
@@ -63,7 +62,7 @@ impl PairingPolicy {
             .into_iter()
             .map(|(c, s, n)| (c, if n > 0 { s / n as f64 } else { f64::INFINITY }))
             .collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        order.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut priority = [AppClass::C; 4];
         for (slot, (c, _)) in priority.iter_mut().zip(order) {
             *slot = c;
@@ -71,9 +70,13 @@ impl PairingPolicy {
         PairingPolicy { priority }
     }
 
-    /// Preference rank of a partner class (0 = most preferred).
+    /// Preference rank of a partner class (0 = most preferred; an absent
+    /// class — impossible for a well-formed policy — ranks last).
     pub fn rank(&self, class: AppClass) -> usize {
-        self.priority.iter().position(|c| *c == class).expect("all classes ranked")
+        self.priority
+            .iter()
+            .position(|c| *c == class)
+            .unwrap_or(self.priority.len())
     }
 
     /// Among candidate partner classes, the index of the preferred one
@@ -90,16 +93,20 @@ impl PairingPolicy {
 /// Fig 5's measurement: for every class pair, the best normalised EDP
 /// (COLAO/ILAO) across the training pairs of those classes at `size`.
 /// Lower = the classes co-locate better. Sorted ascending (best first).
-pub fn derive_ranking(tb: &Testbed, cache: &SweepCache, size: InputSize) -> Vec<(ClassPair, f64)> {
-    let idle = tb.idle_w();
+/// All sweeps come from the shared engine memo.
+pub fn derive_ranking(
+    engine: &EvalEngine,
+    size: InputSize,
+) -> Result<Vec<(ClassPair, f64)>, EvalError> {
+    let idle = engine.idle_w();
     let mb = size.per_node_mb();
     let mut best: std::collections::HashMap<ClassPair, f64> = std::collections::HashMap::new();
     for (i, &a) in TRAINING_APPS.iter().enumerate() {
         for &b in &TRAINING_APPS[i..] {
             let cp = ClassPair::new(a.class(), b.class());
-            let colao = cache.best_pair(tb, a.profile(), mb, b.profile(), mb);
-            let sa = oracle::best_solo(tb, a.profile(), mb);
-            let sb = oracle::best_solo(tb, b.profile(), mb);
+            let colao = engine.best_pair(a.profile(), mb, b.profile(), mb)?;
+            let sa = engine.best_solo(a.profile(), mb)?;
+            let sb = engine.best_solo(b.profile(), mb)?;
             let ilao = ecost_mapreduce::PairMetrics::serial(&[sa.metrics, sb.metrics]);
             let ratio = colao.metrics.edp_wall(idle) / ilao.edp_wall(idle);
             let slot = best.entry(cp).or_insert(f64::INFINITY);
@@ -107,23 +114,26 @@ pub fn derive_ranking(tb: &Testbed, cache: &SweepCache, size: InputSize) -> Vec<
         }
     }
     let mut out: Vec<(ClassPair, f64)> = best.into_iter().collect();
-    out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-    out
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Ok(out)
 }
 
 /// Same ranking from an already-built database plus ILAO solos (no extra
-/// simulation).
-pub fn ranking_from_database(db: &ConfigDatabase) -> Vec<(ClassPair, f64)> {
+/// simulation). Fails on a database missing the solo entries its pairs
+/// reference.
+pub fn ranking_from_database(db: &ConfigDatabase) -> Result<Vec<(ClassPair, f64)>, EvalError> {
     let mut best: std::collections::HashMap<ClassPair, f64> = std::collections::HashMap::new();
     for p in &db.pairs {
         let solo = |app: ecost_apps::App| {
             db.solos
                 .iter()
                 .find(|s| s.app == app && s.size == p.size)
-                .expect("database is complete")
+                .ok_or(EvalError::NoCandidates {
+                    what: "solo entry missing from the database",
+                })
         };
-        let sa = solo(p.a);
-        let sb = solo(p.b);
+        let sa = solo(p.a)?;
+        let sb = solo(p.b)?;
         // ILAO wall EDP from stored per-app numbers: delay adds, energy adds.
         let ta = sa.exec_time_s;
         let tb_ = sb.exec_time_s;
@@ -135,8 +145,8 @@ pub fn ranking_from_database(db: &ConfigDatabase) -> Vec<(ClassPair, f64)> {
         *slot = slot.min(ratio);
     }
     let mut out: Vec<(ClassPair, f64)> = best.into_iter().collect();
-    out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-    out
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Ok(out)
 }
 
 #[cfg(test)]

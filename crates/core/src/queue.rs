@@ -97,13 +97,15 @@ impl<T> WaitQueue<T> {
     /// Remove and return the job at queue index `idx` (as reported by
     /// [`WaitQueue::eligible`]); updates the head-skip accounting.
     pub fn take(&mut self, idx: usize) -> Queued<T> {
-        assert!(idx < self.items.len(), "index out of range");
         if idx == 0 {
             self.head_skips = 0;
         } else {
             self.head_skips += 1;
         }
-        self.items.remove(idx).expect("checked above")
+        let Some(item) = self.items.remove(idx) else {
+            panic!("queue index {idx} out of range");
+        };
+        item
     }
 
     /// Peek the head.

@@ -7,6 +7,7 @@
 //! paper's §7.2 trade-off discussion carries over directly.
 
 use crate::database::ConfigDatabase;
+use crate::engine::EvalError;
 use crate::features::AppSignature;
 use crate::stp::Stp;
 use ecost_mapreduce::PairConfig;
@@ -54,7 +55,17 @@ impl Stp for LktStp {
         "LkT".into()
     }
 
-    fn choose(&self, a: &AppSignature, b: &AppSignature, cores: u32) -> PairConfig {
+    fn choose(
+        &self,
+        a: &AppSignature,
+        b: &AppSignature,
+        cores: u32,
+    ) -> Result<PairConfig, EvalError> {
+        if self.table.is_empty() {
+            return Err(EvalError::NoCandidates {
+                what: "empty LkT lookup table",
+            });
+        }
         let (cfg, _dist) = self.table.query(&key(&a.key(), &b.key()));
         let mut cfg = *cfg;
         // The stored config always fits the training node; clamp defensively
@@ -62,30 +73,33 @@ impl Stp for LktStp {
         if cfg.cores() > cores {
             let scale = f64::from(cores) / f64::from(cfg.cores());
             cfg.a.mappers = ((f64::from(cfg.a.mappers) * scale).floor() as u32).max(1);
-            cfg.b.mappers = (cores - cfg.a.mappers).max(1).min(cores.saturating_sub(1).max(1));
+            cfg.b.mappers = (cores - cfg.a.mappers)
+                .max(1)
+                .min(cores.saturating_sub(1).max(1));
         }
-        cfg
+        Ok(cfg)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::{profile_catalog_app, Testbed};
-    use crate::oracle::SweepCache;
+    use crate::engine::EvalEngine;
+    use crate::features::profile_catalog_app;
     use ecost_apps::{App, InputSize};
 
     /// Database with a single wc-st pair; LkT must reproduce the stored
     /// config for the training pair itself.
     #[test]
     fn retrieves_training_pair_config_exactly() {
-        let tb = Testbed::atom();
-        let cache = SweepCache::new();
+        let eng = EvalEngine::atom();
         let size = InputSize::Small;
         let mb = size.per_node_mb();
-        let wc = profile_catalog_app(&tb, App::Wc, size, 0.0, 0);
-        let st = profile_catalog_app(&tb, App::St, size, 0.0, 0);
-        let best = cache.best_pair(&tb, App::Wc.profile(), mb, App::St.profile(), mb);
+        let wc = profile_catalog_app(&eng, App::Wc, size, 0.0, 0).unwrap();
+        let st = profile_catalog_app(&eng, App::St, size, 0.0, 0).unwrap();
+        let best = eng
+            .best_pair(App::Wc.profile(), mb, App::St.profile(), mb)
+            .unwrap();
         let db = ConfigDatabase {
             pairs: vec![crate::database::PairEntry {
                 a: App::Wc,
@@ -95,7 +109,7 @@ mod tests {
                 sig_a: wc.key(),
                 sig_b: st.key(),
                 config: best.config,
-                edp_wall: best.metrics.edp_wall(tb.idle_w()),
+                edp_wall: best.metrics.edp_wall(eng.idle_w()),
             }],
             solos: vec![],
             signatures: vec![],
@@ -104,8 +118,26 @@ mod tests {
         let lkt = LktStp::from_database(&db);
         assert_eq!(lkt.len(), 2);
         // Exact signature → exact config, in both orders.
-        assert_eq!(lkt.choose(&wc, &st, 8), best.config);
-        assert_eq!(lkt.choose(&st, &wc, 8), best.config.swapped());
+        assert_eq!(lkt.choose(&wc, &st, 8).unwrap(), best.config);
+        assert_eq!(lkt.choose(&st, &wc, 8).unwrap(), best.config.swapped());
         assert_eq!(lkt.name(), "LkT");
+    }
+
+    #[test]
+    fn empty_table_is_an_error_not_a_panic() {
+        let eng = EvalEngine::atom();
+        let sig = profile_catalog_app(&eng, App::Wc, InputSize::Small, 0.0, 0).unwrap();
+        let db = ConfigDatabase {
+            pairs: vec![],
+            solos: vec![],
+            signatures: vec![],
+            build_seconds: 0.0,
+        };
+        let lkt = LktStp::from_database(&db);
+        assert!(lkt.is_empty());
+        assert!(matches!(
+            lkt.choose(&sig, &sig, 8),
+            Err(EvalError::NoCandidates { .. })
+        ));
     }
 }

@@ -7,11 +7,12 @@
 //! 4) and the argmin is returned.
 
 use crate::classify::KnnAppClassifier;
+use crate::engine::EvalError;
 use crate::features::AppSignature;
 use crate::stp::{encode_row, Stp};
 use ecost_apps::class::ClassPair;
-use ecost_ml::model::Regressor;
 use ecost_mapreduce::PairConfig;
+use ecost_ml::model::Regressor;
 use std::collections::HashMap;
 
 /// The model-based technique, generic over the regressor family.
@@ -31,7 +32,6 @@ impl<M: Regressor> MlmStp<M> {
         classifier: KnnAppClassifier,
         model_name: &'static str,
     ) -> MlmStp<M> {
-        assert!(!models.is_empty(), "need at least one class-pair model");
         MlmStp {
             models,
             classifier,
@@ -57,14 +57,18 @@ impl<M: Regressor> MlmStp<M> {
 
     /// The model that would be used for a given class pair (falls back to
     /// the lexically first model if the exact pair was never trained).
-    pub fn model_for(&self, cp: ClassPair) -> &M {
-        self.models.get(&cp).unwrap_or_else(|| {
-            self.models
-                .iter()
-                .min_by_key(|(k, _)| (k.first, k.second))
-                .expect("non-empty")
-                .1
-        })
+    /// Fails when no model was trained at all.
+    pub fn model_for(&self, cp: ClassPair) -> Result<&M, EvalError> {
+        if let Some(m) = self.models.get(&cp) {
+            return Ok(m);
+        }
+        self.models
+            .iter()
+            .min_by_key(|(k, _)| (k.first, k.second))
+            .map(|(_, m)| m)
+            .ok_or(EvalError::NoCandidates {
+                what: "no trained class-pair model",
+            })
     }
 
     /// Predict the EDP (natural-log space) of one candidate configuration.
@@ -74,8 +78,10 @@ impl<M: Regressor> MlmStp<M> {
         sig_a: &[f64; 9],
         cfg: PairConfig,
         sig_b: &[f64; 9],
-    ) -> f64 {
-        self.model_for(cp).predict(&encode_row(sig_a, cfg.a, sig_b, cfg.b))
+    ) -> Result<f64, EvalError> {
+        Ok(self
+            .model_for(cp)?
+            .predict(&encode_row(sig_a, cfg.a, sig_b, cfg.b)))
     }
 }
 
@@ -84,11 +90,16 @@ impl<M: Regressor> Stp for MlmStp<M> {
         self.model_name.into()
     }
 
-    fn choose(&self, a: &AppSignature, b: &AppSignature, cores: u32) -> PairConfig {
+    fn choose(
+        &self,
+        a: &AppSignature,
+        b: &AppSignature,
+        cores: u32,
+    ) -> Result<PairConfig, EvalError> {
         let ca = self.classifier.classify(&a.features);
         let cb = self.classifier.classify(&b.features);
         let cp = ClassPair::new(ca, cb);
-        let model = self.model_for(cp);
+        let model = self.model_for(cp)?;
         let (sa, sb) = (a.key(), b.key());
 
         // Predict every point of the knob space once…
@@ -125,10 +136,17 @@ impl<M: Regressor> Stp for MlmStp<M> {
             let mut n = 1.0;
             for dim in 0..6 {
                 for delta in [-1i16, 1] {
-                    let mut nk = [k.0 as i16, k.1 as i16, k.2 as i16, k.3 as i16, k.4 as i16, k.5 as i16];
+                    let mut nk = [
+                        k.0 as i16, k.1 as i16, k.2 as i16, k.3 as i16, k.4 as i16, k.5 as i16,
+                    ];
                     nk[dim] += delta;
                     let nkey = (
-                        nk[0] as u8, nk[1] as u8, nk[2] as u8, nk[3] as u8, nk[4] as u8, nk[5] as u8,
+                        nk[0] as u8,
+                        nk[1] as u8,
+                        nk[2] as u8,
+                        nk[3] as u8,
+                        nk[4] as u8,
+                        nk[5] as u8,
                     );
                     if nk.iter().all(|v| *v >= 0) {
                         if let Some(&j) = index.get(&nkey) {
@@ -139,33 +157,41 @@ impl<M: Regressor> Stp for MlmStp<M> {
                 }
             }
             let score = sum / n;
-            if best.map_or(true, |(_, b)| score < b) {
+            if best.is_none_or(|(_, b)| score < b) {
                 best = Some((i, score));
             }
         }
-        space[best.expect("non-empty config space").0]
+        let (i, _) = best.ok_or(EvalError::EmptySweep {
+            what: "pair config space",
+        })?;
+        Ok(space[i])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::{profile_catalog_app, Testbed};
+    use crate::engine::EvalEngine;
+    use crate::features::profile_catalog_app;
     use ecost_apps::{App, AppClass, InputSize};
-    use ecost_ml::model::Classifier as _;
     use ecost_ml::{Dataset, LinearRegression};
 
-    fn dummy_classifier(tb: &Testbed) -> KnnAppClassifier {
+    fn dummy_classifier(engine: &EvalEngine) -> KnnAppClassifier {
         let sigs: Vec<(crate::features::AppSignature, AppClass)> = [App::Wc, App::St]
             .iter()
-            .map(|&a| (profile_catalog_app(tb, a, InputSize::Small, 0.0, 0), a.class()))
+            .map(|&a| {
+                (
+                    profile_catalog_app(engine, a, InputSize::Small, 0.0, 0).unwrap(),
+                    a.class(),
+                )
+            })
             .collect();
         crate::classify::KnnAppClassifier::fit(&sigs)
     }
 
     #[test]
     fn argmin_respects_core_budget_and_learned_preference() {
-        let tb = Testbed::atom();
+        let eng = EvalEngine::atom();
         // Synthetic training data: EDP grows with total mappers — the model
         // should then prefer the smallest partition.
         let mut ds = Dataset::new(crate::stp::encode_columns(), "ln_edp_wall");
@@ -178,11 +204,11 @@ mod tests {
         let mut lr = LinearRegression::new();
         lr.fit(&ds);
         models.insert(ClassPair::new(AppClass::C, AppClass::I), lr);
-        let stp = MlmStp::new(models, dummy_classifier(&tb), "LR");
+        let stp = MlmStp::new(models, dummy_classifier(&eng), "LR");
 
-        let a = profile_catalog_app(&tb, App::Wc, InputSize::Small, 0.0, 0);
-        let b = profile_catalog_app(&tb, App::St, InputSize::Small, 0.0, 0);
-        let cfg = stp.choose(&a, &b, 8);
+        let a = profile_catalog_app(&eng, App::Wc, InputSize::Small, 0.0, 0).unwrap();
+        let b = profile_catalog_app(&eng, App::St, InputSize::Small, 0.0, 0).unwrap();
+        let cfg = stp.choose(&a, &b, 8).unwrap();
         assert!(cfg.cores() <= 8);
         assert_eq!(cfg.cores(), 2, "LR learned EDP ∝ mappers → minimum split");
         assert_eq!(stp.name(), "LR");
@@ -190,7 +216,7 @@ mod tests {
 
     #[test]
     fn falls_back_to_some_model_for_unseen_class_pair() {
-        let tb = Testbed::atom();
+        let eng = EvalEngine::atom();
         let mut ds = Dataset::new(crate::stp::encode_columns(), "ln_edp_wall");
         let sig = [0.0; 9];
         let cfgs: Vec<PairConfig> = PairConfig::space(8).into_iter().step_by(101).collect();
@@ -201,11 +227,23 @@ mod tests {
         lr.fit(&ds);
         let mut models = HashMap::new();
         models.insert(ClassPair::new(AppClass::M, AppClass::M), lr);
-        let stp = MlmStp::new(models, dummy_classifier(&tb), "LR");
+        let stp = MlmStp::new(models, dummy_classifier(&eng), "LR");
         // C-I pair routed to the only (M-M) model without panicking.
-        let a = profile_catalog_app(&tb, App::Wc, InputSize::Small, 0.0, 0);
-        let b = profile_catalog_app(&tb, App::St, InputSize::Small, 0.0, 0);
-        let cfg = stp.choose(&a, &b, 8);
+        let a = profile_catalog_app(&eng, App::Wc, InputSize::Small, 0.0, 0).unwrap();
+        let b = profile_catalog_app(&eng, App::St, InputSize::Small, 0.0, 0).unwrap();
+        let cfg = stp.choose(&a, &b, 8).unwrap();
         assert!(cfg.cores() <= 8);
+    }
+
+    #[test]
+    fn no_models_at_all_is_an_error() {
+        let eng = EvalEngine::atom();
+        let stp: MlmStp<LinearRegression> =
+            MlmStp::new(HashMap::new(), dummy_classifier(&eng), "LR");
+        let a = profile_catalog_app(&eng, App::Wc, InputSize::Small, 0.0, 0).unwrap();
+        assert!(matches!(
+            stp.choose(&a, &a, 8),
+            Err(EvalError::NoCandidates { .. })
+        ));
     }
 }

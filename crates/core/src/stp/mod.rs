@@ -19,6 +19,7 @@ pub mod training;
 pub use lkt::LktStp;
 pub use mlm::MlmStp;
 
+use crate::engine::EvalError;
 use crate::features::AppSignature;
 use ecost_mapreduce::{PairConfig, TuningConfig};
 
@@ -30,8 +31,15 @@ pub trait Stp {
 
     /// Predict the EDP-optimal configuration for co-locating `a` and `b`.
     /// The returned `config.a` applies to `a`, `config.b` to `b`, and the
-    /// combined mapper count never exceeds `cores`.
-    fn choose(&self, a: &AppSignature, b: &AppSignature, cores: u32) -> PairConfig;
+    /// combined mapper count never exceeds `cores`. Fails (rather than
+    /// panicking) when the technique has nothing to predict from — an empty
+    /// lookup table or no trained model.
+    fn choose(
+        &self,
+        a: &AppSignature,
+        b: &AppSignature,
+        cores: u32,
+    ) -> Result<PairConfig, EvalError>;
 }
 
 /// Feature encoding shared by the ML models.
@@ -46,7 +54,12 @@ pub trait Stp {
 /// and the derived terms `1/m`, `f·m` (compute time ∝ 1/(f·m), per-task
 /// overhead ∝ 1/m); final shared column `m_a + m_b` (the allocation total
 /// behind the idle-amortisation term). 17 columns in all.
-pub fn encode_row(sig_a: &[f64; 9], cfg_a: TuningConfig, sig_b: &[f64; 9], cfg_b: TuningConfig) -> Vec<f64> {
+pub fn encode_row(
+    sig_a: &[f64; 9],
+    cfg_a: TuningConfig,
+    sig_b: &[f64; 9],
+    cfg_b: TuningConfig,
+) -> Vec<f64> {
     fn side(row: &mut Vec<f64>, sig: &[f64; 9], cfg: TuningConfig) {
         row.push(sig[7]); // ln profile time
         row.push(sig[8]); // ln input MB

@@ -1,17 +1,18 @@
 //! Training-set construction for the MLM-STP models.
 //!
 //! For every same-size training pair, the full pair-configuration sweep
-//! (from the shared [`SweepCache`]) is sampled into `(signatures ‖ knobs) →
-//! ln(wall EDP)` rows, grouped by class pair — the paper builds "a machine
-//! learning model … for each specific class" (Fig 7, step 0B).
+//! (served by the shared [`EvalEngine`] memo, so the database build and
+//! the COLAO baseline already paid for it) is sampled into
+//! `(signatures ‖ knobs) → ln(wall EDP)` rows, grouped by class pair — the
+//! paper builds "a machine learning model … for each specific class"
+//! (Fig 7, step 0B).
 //!
 //! The target is log-EDP: EDP spans orders of magnitude across the knob
 //! space, and all three model families train on the same transformed target
 //! (the argmin is invariant to the monotone transform). Reported errors are
 //! computed back in EDP space, as the paper's APE is.
 
-use crate::features::Testbed;
-use crate::oracle::SweepCache;
+use crate::engine::{EvalEngine, EvalError};
 use ecost_apps::class::ClassPair;
 use ecost_apps::{App, InputSize, TRAINING_APPS};
 use ecost_ml::Dataset;
@@ -24,7 +25,7 @@ use super::{encode_columns, encode_row};
 /// Per-class-pair training sets.
 pub type TrainingData = HashMap<ClassPair, Dataset>;
 
-/// Build the training data.
+/// Build the training data over the full training catalog.
 ///
 /// * `sig_of(app, size)` supplies the 9-dimensional signature key measured during
 ///   the learning period (normally from the database).
@@ -32,31 +33,50 @@ pub type TrainingData = HashMap<ClassPair, Dataset>;
 ///   points × both orders would be needlessly slow for the MLP; ~1500 is
 ///   plenty. Pass `usize::MAX` for no sub-sampling.
 pub fn build_training_data(
-    tb: &Testbed,
-    cache: &SweepCache,
+    engine: &EvalEngine,
     sig_of: &dyn Fn(App, InputSize) -> [f64; 9],
     configs_per_pair: usize,
     seed: u64,
-) -> TrainingData {
-    let idle = tb.idle_w();
+) -> Result<TrainingData, EvalError> {
+    build_training_data_subset(
+        engine,
+        &TRAINING_APPS,
+        &InputSize::ALL,
+        sig_of,
+        configs_per_pair,
+        seed,
+    )
+}
+
+/// [`build_training_data`] over an explicit subset of apps × sizes.
+pub fn build_training_data_subset(
+    engine: &EvalEngine,
+    apps: &[App],
+    sizes: &[InputSize],
+    sig_of: &dyn Fn(App, InputSize) -> [f64; 9],
+    configs_per_pair: usize,
+    seed: u64,
+) -> Result<TrainingData, EvalError> {
+    let idle = engine.idle_w();
     let mut data: TrainingData = HashMap::new();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
-    for (i, &a) in TRAINING_APPS.iter().enumerate() {
-        for &b in &TRAINING_APPS[i..] {
+    for (i, &a) in apps.iter().enumerate() {
+        for &b in &apps[i..] {
             let classes = ClassPair::new(a.class(), b.class());
-            for size in InputSize::ALL {
+            for &size in sizes {
                 let mb = size.per_node_mb();
-                let sweep = cache.pair_sweep(tb, a.profile(), mb, b.profile(), mb);
-                // The cache normalises order; determine whether (a,b) was
-                // stored swapped so signatures line up with configs.
-                let stored_swapped = (b.name(), mb as u64) < (a.name(), mb as u64);
-                let (sig_first, sig_second) = if stored_swapped {
+                let sweep = engine.pair_sweep(a.profile(), mb, b.profile(), mb)?;
+                // The engine normalises order; its swap flag says whether
+                // the stored runs' `.a` side is `b`, so signatures line up
+                // with configs.
+                let (sig_first, sig_second) = if sweep.swapped() {
                     (sig_of(b, size), sig_of(a, size))
                 } else {
                     (sig_of(a, size), sig_of(b, size))
                 };
-                let mut idx: Vec<usize> = (0..sweep.len()).collect();
+                let runs = sweep.runs();
+                let mut idx: Vec<usize> = (0..runs.len()).collect();
                 if configs_per_pair < idx.len() {
                     idx.shuffle(&mut rng);
                     idx.truncate(configs_per_pair);
@@ -65,7 +85,7 @@ pub fn build_training_data(
                     .entry(classes)
                     .or_insert_with(|| Dataset::new(encode_columns(), "ln_edp_wall"));
                 for &k in &idx {
-                    let run = &sweep[k];
+                    let run = &runs[k];
                     let y = run.metrics.edp_wall(idle).ln();
                     ds.push(
                         encode_row(&sig_first, run.config.a, &sig_second, run.config.b),
@@ -80,7 +100,7 @@ pub fn build_training_data(
             }
         }
     }
-    data
+    Ok(data)
 }
 
 #[cfg(test)]
@@ -91,11 +111,10 @@ mod tests {
     /// build is exercised by the experiment binaries.
     #[test]
     fn builds_rows_for_every_training_class_pair() {
-        let tb = Testbed::atom();
-        let cache = SweepCache::new();
+        let eng = EvalEngine::atom();
         let sig = |_: App, _: InputSize| [1.0; 9];
         // Restrict cost: sample only 5 configs per (pair, size).
-        let data = build_training_data(&tb, &cache, &sig, 5, 1);
+        let data = build_training_data(&eng, &sig, 5, 1).expect("training build");
         // 5 training apps cover all 10 unordered class pairs? wc(C), st(I),
         // gp(H), ts(H), fp(M): C-C (wc,wc), I-I, H-H, M-M, C-I, C-H, C-M,
         // I-H, I-M, H-M — all 10.

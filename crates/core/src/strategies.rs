@@ -6,9 +6,13 @@
 //! * **COLAO** — co-located application optimisation: both applications run
 //!   together, with the *pair* configuration brute-forced jointly. This is
 //!   also the oracle STP is judged against in §7.
+//!
+//! Both strategies evaluate through the shared [`EvalEngine`], so the
+//! COLAO sweep computed here is the same memo entry the database build and
+//! the training set read.
 
-use crate::features::Testbed;
-use crate::oracle::{self, PairRun, SoloRun, SweepCache};
+use crate::engine::{EvalEngine, EvalError, PairRun, SoloRun};
+use crate::oracle;
 use ecost_apps::AppProfile;
 use ecost_mapreduce::PairMetrics;
 
@@ -24,38 +28,46 @@ pub struct IlaoResult {
 }
 
 /// Run ILAO for two applications with per-node inputs in MB.
-pub fn ilao(tb: &Testbed, a: &AppProfile, input_a_mb: f64, b: &AppProfile, input_b_mb: f64) -> IlaoResult {
-    let ra = oracle::best_solo(tb, a, input_a_mb);
-    let rb = oracle::best_solo(tb, b, input_b_mb);
-    let metrics = PairMetrics::serial(&[ra.metrics, rb.metrics]);
-    IlaoResult { a: ra, b: rb, metrics }
-}
-
-/// Run COLAO (the co-located oracle) for two applications.
-pub fn colao(
-    tb: &Testbed,
-    cache: &SweepCache,
+pub fn ilao(
+    engine: &EvalEngine,
     a: &AppProfile,
     input_a_mb: f64,
     b: &AppProfile,
     input_b_mb: f64,
-) -> PairRun {
-    cache.best_pair(tb, a, input_a_mb, b, input_b_mb)
+) -> Result<IlaoResult, EvalError> {
+    let ra = oracle::best_solo(engine, a, input_a_mb)?;
+    let rb = oracle::best_solo(engine, b, input_b_mb)?;
+    let metrics = PairMetrics::serial(&[ra.metrics, rb.metrics]);
+    Ok(IlaoResult {
+        a: ra,
+        b: rb,
+        metrics,
+    })
+}
+
+/// Run COLAO (the co-located oracle) for two applications.
+pub fn colao(
+    engine: &EvalEngine,
+    a: &AppProfile,
+    input_a_mb: f64,
+    b: &AppProfile,
+    input_b_mb: f64,
+) -> Result<PairRun, EvalError> {
+    engine.best_pair(a, input_a_mb, b, input_b_mb)
 }
 
 /// The Fig 3 quantity: ILAO wall EDP over COLAO wall EDP (>1 means
 /// co-location wins by that factor).
 pub fn colao_over_ilao_gain(
-    tb: &Testbed,
-    cache: &SweepCache,
+    engine: &EvalEngine,
     a: &AppProfile,
     b: &AppProfile,
     input_mb: f64,
-) -> f64 {
-    let idle = tb.idle_w();
-    let il = ilao(tb, a, input_mb, b, input_mb);
-    let co = colao(tb, cache, a, input_mb, b, input_mb);
-    il.metrics.edp_wall(idle) / co.metrics.edp_wall(idle)
+) -> Result<f64, EvalError> {
+    let idle = engine.idle_w();
+    let il = ilao(engine, a, input_mb, b, input_mb)?;
+    let co = colao(engine, a, input_mb, b, input_mb)?;
+    Ok(il.metrics.edp_wall(idle) / co.metrics.edp_wall(idle))
 }
 
 #[cfg(test)]
@@ -67,36 +79,34 @@ mod tests {
     fn io_pair_gains_substantially_from_colocation() {
         // The paper's headline: I-I benefits most (4.52× there; the shape
         // requirement here is a clear >2× win).
-        let tb = Testbed::atom();
-        let cache = SweepCache::new();
+        let eng = EvalEngine::atom();
         let gain = colao_over_ilao_gain(
-            &tb,
-            &cache,
+            &eng,
             App::St.profile(),
             App::St.profile(),
             InputSize::Small.per_node_mb(),
-        );
+        )
+        .unwrap();
         assert!(gain > 2.0, "I-I gain {gain}");
     }
 
     #[test]
     fn memory_pair_gains_least() {
-        let tb = Testbed::atom();
-        let cache = SweepCache::new();
+        let eng = EvalEngine::atom();
         let mm = colao_over_ilao_gain(
-            &tb,
-            &cache,
+            &eng,
             App::Fp.profile(),
             App::Fp.profile(),
             InputSize::Small.per_node_mb(),
-        );
+        )
+        .unwrap();
         let ii = colao_over_ilao_gain(
-            &tb,
-            &cache,
+            &eng,
             App::St.profile(),
             App::St.profile(),
             InputSize::Small.per_node_mb(),
-        );
+        )
+        .unwrap();
         assert!(mm < ii, "M-M {mm} vs I-I {ii}");
         // COLAO never loses catastrophically (it can fall slightly below 1
         // for M-M when sharing is genuinely harmful).
@@ -105,9 +115,9 @@ mod tests {
 
     #[test]
     fn ilao_components_are_individually_optimal() {
-        let tb = Testbed::atom();
+        let eng = EvalEngine::atom();
         let mb = InputSize::Small.per_node_mb();
-        let r = ilao(&tb, App::Wc.profile(), mb, App::St.profile(), mb);
+        let r = ilao(&eng, App::Wc.profile(), mb, App::St.profile(), mb).unwrap();
         // Serial delay equals the sum of parts.
         assert!(
             (r.metrics.makespan_s - r.a.metrics.exec_time_s - r.b.metrics.exec_time_s).abs() < 1e-9

@@ -59,7 +59,10 @@ impl BlockSize {
 
     /// Parse from MB as printed in the paper's tables.
     pub fn from_mb(mb: f64) -> Option<BlockSize> {
-        BlockSize::ALL.iter().copied().find(|b| (b.mb() - mb).abs() < 0.5)
+        BlockSize::ALL
+            .iter()
+            .copied()
+            .find(|b| (b.mb() - mb).abs() < 0.5)
     }
 }
 
@@ -103,7 +106,11 @@ impl TuningConfig {
     pub fn space(max_mappers: u32) -> impl Iterator<Item = TuningConfig> {
         BlockSize::ALL.into_iter().flat_map(move |block| {
             Frequency::ALL.into_iter().flat_map(move |freq| {
-                (1..=max_mappers).map(move |mappers| TuningConfig { freq, block, mappers })
+                (1..=max_mappers).map(move |mappers| TuningConfig {
+                    freq,
+                    block,
+                    mappers,
+                })
             })
         })
     }
@@ -112,15 +119,22 @@ impl TuningConfig {
     /// decided elsewhere).
     pub fn space_fixed_mappers(mappers: u32) -> impl Iterator<Item = TuningConfig> {
         BlockSize::ALL.into_iter().flat_map(move |block| {
-            Frequency::ALL
-                .into_iter()
-                .map(move |freq| TuningConfig { freq, block, mappers })
+            Frequency::ALL.into_iter().map(move |freq| TuningConfig {
+                freq,
+                block,
+                mappers,
+            })
         })
     }
 
     /// Compact "f, h, m" rendering matching Table 2's columns.
     pub fn table_row(&self) -> String {
-        format!("{:.1}, {:>4}, {}", self.freq.ghz(), self.block.mb() as u64, self.mappers)
+        format!(
+            "{:.1}, {:>4}, {}",
+            self.freq.ghz(),
+            self.block.mb() as u64,
+            self.mappers
+        )
     }
 }
 
@@ -178,7 +192,10 @@ impl PairConfig {
 
     /// Swap the two applications' configurations.
     pub fn swapped(self) -> PairConfig {
-        PairConfig { a: self.b, b: self.a }
+        PairConfig {
+            a: self.b,
+            b: self.a,
+        }
     }
 }
 
@@ -209,7 +226,9 @@ mod tests {
     fn pair_space_respects_core_budget() {
         let space = PairConfig::space(8);
         assert_eq!(space.len(), 5 * 4 * 5 * 4 * 28);
-        assert!(space.iter().all(|p| p.cores() <= 8 && p.a.mappers >= 1 && p.b.mappers >= 1));
+        assert!(space
+            .iter()
+            .all(|p| p.cores() <= 8 && p.a.mappers >= 1 && p.b.mappers >= 1));
     }
 
     #[test]

@@ -68,10 +68,11 @@ impl Feature {
         Feature::LlcMpki,
     ];
 
-    /// Storage index.
+    /// Storage index. `ALL` lists the variants in declaration order, so
+    /// the discriminant is the index.
     #[inline]
     pub fn index(self) -> usize {
-        Feature::ALL.iter().position(|f| *f == self).expect("in ALL")
+        self as usize
     }
 
     /// dstat/perf-style display name.
@@ -234,7 +235,11 @@ mod tests {
     #[test]
     fn compute_bound_signature() {
         let v = measure(App::Wc, 0.0, 0);
-        assert!(v.get(Feature::CpuUser) > 60.0, "user {}", v.get(Feature::CpuUser));
+        assert!(
+            v.get(Feature::CpuUser) > 60.0,
+            "user {}",
+            v.get(Feature::CpuUser)
+        );
         assert!(v.get(Feature::CpuIowait) < 35.0);
         assert!(v.get(Feature::LlcMpki) < 4.0);
     }
@@ -242,7 +247,11 @@ mod tests {
     #[test]
     fn io_bound_signature() {
         let v = measure(App::St, 0.0, 0);
-        assert!(v.get(Feature::CpuIowait) > 40.0, "iowait {}", v.get(Feature::CpuIowait));
+        assert!(
+            v.get(Feature::CpuIowait) > 40.0,
+            "iowait {}",
+            v.get(Feature::CpuIowait)
+        );
         assert!(
             v.get(Feature::IoReadMbps) + v.get(Feature::IoWriteMbps) > 30.0,
             "io {}",

@@ -149,7 +149,12 @@ impl NodeSim {
     }
 
     /// New node with a finite NIC (cluster studies).
-    pub fn with_nic(spec: NodeSpec, fw: FrameworkSpec, nic_bw_mbps: f64, nic_power_w: f64) -> NodeSim {
+    pub fn with_nic(
+        spec: NodeSpec,
+        fw: FrameworkSpec,
+        nic_bw_mbps: f64,
+        nic_power_w: f64,
+    ) -> NodeSim {
         let power = PowerModel::new(spec.clone());
         NodeSim {
             spec,
@@ -303,7 +308,11 @@ impl NodeSim {
             let metrics = JobMetrics {
                 exec_time_s: exec,
                 energy_j: job.usage.energy_j,
-                avg_power_w: if exec > 0.0 { job.usage.energy_j / exec } else { 0.0 },
+                avg_power_w: if exec > 0.0 {
+                    job.usage.energy_j / exec
+                } else {
+                    0.0
+                },
             };
             self.finished.push(JobOutcome {
                 id: job.id,
@@ -346,7 +355,9 @@ impl NodeSim {
         if self.cached.is_none() {
             self.cached = Some(self.solve()?);
         }
-        Ok(self.cached.as_ref().expect("just filled"))
+        self.cached
+            .as_ref()
+            .ok_or(SimError::Internal("rate solution vanished after fill"))
     }
 
     /// Solve the contention model for the current job mix.
@@ -356,7 +367,9 @@ impl NodeSim {
 
         // --- 1. DRAM pressure: spill inflation for everyone. ---
         let footprint_mb: f64 = stages.iter().map(|s| s.footprint_mb).sum();
-        let spill = self.fw.spill_inflation(footprint_mb, self.spec.mem.capacity_mb);
+        let spill = self
+            .fw
+            .spill_inflation(footprint_mb, self.spec.mem.capacity_mb);
 
         // Static per-job grant ceiling: job pipeline cap ∧ slot stream rates.
         let static_cap: Vec<f64> = stages
@@ -409,8 +422,8 @@ impl NodeSim {
 
             let sol = amva::solve(&classes, stations)?;
             x.copy_from_slice(&sol.throughput);
-            for j in 0..n {
-                q_io[j] = sol.queue[j][j];
+            for (j, q) in q_io.iter_mut().enumerate() {
+                *q = sol.queue[j][j];
             }
             nic_util = sol.station_util[n];
 
@@ -480,7 +493,9 @@ impl NodeSim {
             .enumerate()
             .map(|(j, s)| (busy_cores[j], s.dyn_factor))
             .collect();
-        let breakdown = self.power.dynamic_power(&busy_at, allocated, disk_util, mem_util, 0.0);
+        let breakdown = self
+            .power
+            .dynamic_power(&busy_at, allocated, disk_util, mem_util, 0.0);
         let nic_w = nic_util * self.nic_power_w;
         let power_total_w = breakdown.total() + nic_w;
 
@@ -493,9 +508,21 @@ impl NodeSim {
                     + (f64::from(s.slots) - busy_cores[j]).max(0.0) * self.spec.core_iowait_power_w
                     + f64::from(s.slots) * self.spec.core_static_power_w;
                 let io_j = read_mbps[j] + write_mbps[j];
-                let disk = if total_io > 0.0 { breakdown.disk_w * io_j / total_io } else { 0.0 };
-                let mem = if total_mem > 0.0 { breakdown.mem_w * mem_mbps[j] / total_mem } else { 0.0 };
-                let nic = if total_nic > 0.0 { nic_w * nic_mbps[j] / total_nic } else { 0.0 };
+                let disk = if total_io > 0.0 {
+                    breakdown.disk_w * io_j / total_io
+                } else {
+                    0.0
+                };
+                let mem = if total_mem > 0.0 {
+                    breakdown.mem_w * mem_mbps[j] / total_mem
+                } else {
+                    0.0
+                };
+                let nic = if total_nic > 0.0 {
+                    nic_w * nic_mbps[j] / total_nic
+                } else {
+                    0.0
+                };
                 core + disk + mem + nic
             })
             .collect();
@@ -553,7 +580,8 @@ pub fn run_standalone(
     job: JobSpec,
 ) -> Result<JobOutcome, SimError> {
     let (mut out, _) = run_colocated(spec, fw, vec![job])?;
-    Ok(out.pop().expect("one job in, one out"))
+    out.pop()
+        .ok_or(SimError::Internal("one job submitted, none finished"))
 }
 
 #[cfg(test)]
@@ -578,7 +606,11 @@ mod tests {
     #[test]
     fn standalone_job_completes_with_positive_metrics() {
         let (spec, fw) = atom();
-        let job = JobSpec::new(App::Wc, InputSize::Small, cfg(4, Frequency::F2_4, BlockSize::B256));
+        let job = JobSpec::new(
+            App::Wc,
+            InputSize::Small,
+            cfg(4, Frequency::F2_4, BlockSize::B256),
+        );
         let out = run_standalone(&spec, &fw, job).unwrap();
         assert!(out.metrics.exec_time_s > 10.0);
         assert!(out.metrics.energy_j > 0.0);
@@ -593,7 +625,11 @@ mod tests {
             run_standalone(
                 &spec,
                 &fw,
-                JobSpec::new(App::Wc, InputSize::Large, cfg(m, Frequency::F2_4, BlockSize::B256)),
+                JobSpec::new(
+                    App::Wc,
+                    InputSize::Large,
+                    cfg(m, Frequency::F2_4, BlockSize::B256),
+                ),
             )
             .unwrap()
             .metrics
@@ -613,7 +649,11 @@ mod tests {
             run_standalone(
                 &spec,
                 &fw,
-                JobSpec::new(App::St, InputSize::Medium, cfg(m, Frequency::F2_4, BlockSize::B256)),
+                JobSpec::new(
+                    App::St,
+                    InputSize::Medium,
+                    cfg(m, Frequency::F2_4, BlockSize::B256),
+                ),
             )
             .unwrap()
             .metrics
@@ -627,10 +667,14 @@ mod tests {
     fn frequency_speeds_up_compute_not_io() {
         let (spec, fw) = atom();
         let run = |app, f| {
-            run_standalone(&spec, &fw, JobSpec::new(app, InputSize::Medium, cfg(4, f, BlockSize::B512)))
-                .unwrap()
-                .metrics
-                .exec_time_s
+            run_standalone(
+                &spec,
+                &fw,
+                JobSpec::new(app, InputSize::Medium, cfg(4, f, BlockSize::B512)),
+            )
+            .unwrap()
+            .metrics
+            .exec_time_s
         };
         let wc_speedup = run(App::Wc, Frequency::F1_2) / run(App::Wc, Frequency::F2_4);
         let st_speedup = run(App::St, Frequency::F1_2) / run(App::St, Frequency::F2_4);
@@ -643,8 +687,17 @@ mod tests {
         // The headline mechanism: two I/O-bound jobs fill each other's disk
         // gaps and together beat back-to-back execution.
         let (spec, fw) = atom();
-        let job = || JobSpec::new(App::St, InputSize::Medium, cfg(2, Frequency::F2_4, BlockSize::B512));
-        let solo = run_standalone(&spec, &fw, job()).unwrap().metrics.exec_time_s;
+        let job = || {
+            JobSpec::new(
+                App::St,
+                InputSize::Medium,
+                cfg(2, Frequency::F2_4, BlockSize::B512),
+            )
+        };
+        let solo = run_standalone(&spec, &fw, job())
+            .unwrap()
+            .metrics
+            .exec_time_s;
         let (_, makespan) = run_colocated(&spec, &fw, vec![job(), job()]).unwrap();
         assert!(
             makespan < 1.75 * solo,
@@ -656,8 +709,17 @@ mod tests {
     #[test]
     fn colocated_compute_jobs_roughly_serialize() {
         let (spec, fw) = atom();
-        let job = |m| JobSpec::new(App::Wc, InputSize::Medium, cfg(m, Frequency::F2_4, BlockSize::B128));
-        let solo8 = run_standalone(&spec, &fw, job(8)).unwrap().metrics.exec_time_s;
+        let job = |m| {
+            JobSpec::new(
+                App::Wc,
+                InputSize::Medium,
+                cfg(m, Frequency::F2_4, BlockSize::B128),
+            )
+        };
+        let solo8 = run_standalone(&spec, &fw, job(8))
+            .unwrap()
+            .metrics
+            .exec_time_s;
         let (_, makespan) = run_colocated(&spec, &fw, vec![job(4), job(4)]).unwrap();
         // Two half-width compute jobs ≈ one full-width job run twice.
         assert!(makespan > 1.5 * solo8, "makespan {makespan} solo8 {solo8}");
@@ -724,11 +786,18 @@ mod tests {
         // Total bytes moved must match the job's static I/O inventory
         // (no DRAM over-subscription in this setup).
         let (spec, fw) = atom();
-        let job = JobSpec::new(App::Ts, InputSize::Small, cfg(4, Frequency::F2_0, BlockSize::B128));
+        let job = JobSpec::new(
+            App::Ts,
+            InputSize::Small,
+            cfg(4, Frequency::F2_0, BlockSize::B128),
+        );
         let expect = job.total_io_mb(&fw);
         let out = run_standalone(&spec, &fw, job).unwrap();
         let moved = out.usage.read_mb + out.usage.write_mb;
-        assert!((moved - expect).abs() / expect < 0.02, "moved {moved} expect {expect}");
+        assert!(
+            (moved - expect).abs() / expect < 0.02,
+            "moved {moved} expect {expect}"
+        );
     }
 
     #[test]
@@ -780,7 +849,10 @@ mod tests {
             .map(|o| o.usage.read_mb + o.usage.write_mb)
             .sum();
         let static_io: f64 = 2.0 * job().total_io_mb(&fw);
-        assert!(moved > 1.05 * static_io, "spill should inflate: {moved} vs {static_io}");
+        assert!(
+            moved > 1.05 * static_io,
+            "spill should inflate: {moved} vs {static_io}"
+        );
     }
 
     #[test]
@@ -803,9 +875,20 @@ mod tests {
     fn time_is_monotone_under_colocation() {
         // A job never gets faster because a rival appeared.
         let (spec, fw) = atom();
-        let st = JobSpec::new(App::St, InputSize::Small, cfg(2, Frequency::F2_4, BlockSize::B256));
-        let wc = JobSpec::new(App::Wc, InputSize::Small, cfg(6, Frequency::F2_4, BlockSize::B256));
-        let solo = run_standalone(&spec, &fw, st.clone()).unwrap().metrics.exec_time_s;
+        let st = JobSpec::new(
+            App::St,
+            InputSize::Small,
+            cfg(2, Frequency::F2_4, BlockSize::B256),
+        );
+        let wc = JobSpec::new(
+            App::Wc,
+            InputSize::Small,
+            cfg(6, Frequency::F2_4, BlockSize::B256),
+        );
+        let solo = run_standalone(&spec, &fw, st.clone())
+            .unwrap()
+            .metrics
+            .exec_time_s;
         let (outs, _) = run_colocated(&spec, &fw, vec![st, wc]).unwrap();
         let st_out = outs.iter().find(|o| o.spec.profile.name == "st").unwrap();
         assert!(st_out.metrics.exec_time_s >= 0.99 * solo);
@@ -817,7 +900,11 @@ mod tests {
         let out = run_standalone(
             &spec,
             &fw,
-            JobSpec::new(App::Ts, InputSize::Small, cfg(4, Frequency::F2_0, BlockSize::B256)),
+            JobSpec::new(
+                App::Ts,
+                InputSize::Small,
+                cfg(4, Frequency::F2_0, BlockSize::B256),
+            ),
         )
         .unwrap();
         let kinds: Vec<_> = out.timeline.iter().map(|(k, _)| *k).collect();

@@ -124,10 +124,7 @@ impl JobSpec {
     /// Total disk bytes the job will move (map + reduce), MB — used by
     /// conservation tests.
     pub fn total_io_mb(&self, fw: &FrameworkSpec) -> f64 {
-        self.stages(fw)
-            .iter()
-            .map(|s| s.io_mb * s.tasks)
-            .sum()
+        self.stages(fw).iter().map(|s| s.io_mb * s.tasks).sum()
     }
 }
 
@@ -174,7 +171,11 @@ mod tests {
         // Per task: I/O time at the job cap should exceed compute time by a
         // wide margin — that's what makes st I/O-bound.
         let io_s = map.io_mb / 70.0;
-        assert!(io_s > 2.0 * map.think0_s, "io={io_s} think={}", map.think0_s);
+        assert!(
+            io_s > 2.0 * map.think0_s,
+            "io={io_s} think={}",
+            map.think0_s
+        );
     }
 
     #[test]

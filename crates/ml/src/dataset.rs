@@ -104,9 +104,12 @@ impl Dataset {
         let target_name = cols.pop().ok_or("no columns")?;
         let mut ds = Dataset::new(cols, target_name);
         for (no, line) in lines.enumerate() {
-            let vals: Result<Vec<f64>, _> = line.split(',').map(|t| t.trim().parse::<f64>()).collect();
+            let vals: Result<Vec<f64>, _> =
+                line.split(',').map(|t| t.trim().parse::<f64>()).collect();
             let mut vals = vals.map_err(|e| format!("line {}: {e}", no + 2))?;
-            let y = vals.pop().ok_or_else(|| format!("line {}: empty", no + 2))?;
+            let y = vals
+                .pop()
+                .ok_or_else(|| format!("line {}: empty", no + 2))?;
             if vals.len() != ds.num_features() {
                 return Err(format!("line {}: wrong arity", no + 2));
             }
@@ -123,7 +126,8 @@ impl Dataset {
     /// Read CSV from a file.
     pub fn load_csv(path: impl AsRef<Path>) -> std::io::Result<Dataset> {
         let text = std::fs::read_to_string(path)?;
-        Dataset::from_csv(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Dataset::from_csv(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 

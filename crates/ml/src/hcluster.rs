@@ -46,7 +46,7 @@ impl Dendrogram {
         assert!(k >= 1 && k <= self.n, "k out of range");
         // Union-find over the first n-k merges.
         let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -146,7 +146,9 @@ pub fn representatives(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<u
     let dim = points[0].len();
     let mut reps = Vec::with_capacity(k);
     for cluster in 0..k {
-        let ids: Vec<usize> = (0..points.len()).filter(|i| labels[*i] == cluster).collect();
+        let ids: Vec<usize> = (0..points.len())
+            .filter(|i| labels[*i] == cluster)
+            .collect();
         let mut centroid = vec![0.0; dim];
         for &i in &ids {
             for (c, v) in centroid.iter_mut().zip(&points[i]) {

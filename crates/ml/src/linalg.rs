@@ -350,7 +350,11 @@ mod tests {
 
     #[test]
     fn gram_equals_at_a() {
-        let a = Matrix::from_rows(&[vec![1.0, 2.0, 0.5], vec![3.0, -1.0, 2.0], vec![0.0, 4.0, 1.0]]);
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![3.0, -1.0, 2.0],
+            vec![0.0, 4.0, 1.0],
+        ]);
         let g = a.gram();
         let g2 = a.transpose().matmul(&a);
         for i in 0..3 {
@@ -363,7 +367,11 @@ mod tests {
     #[test]
     fn spd_solve_recovers_solution() {
         // A = Bᵀ·B + I is SPD.
-        let b = Matrix::from_rows(&[vec![2.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.5, 0.2, 2.0]]);
+        let b = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.5, 0.2, 2.0],
+        ]);
         let mut a = b.gram();
         for i in 0..3 {
             a[(i, i)] += 1.0;
@@ -385,7 +393,11 @@ mod tests {
     #[test]
     fn lu_solve_handles_permutation() {
         // Needs pivoting: leading zero.
-        let a = Matrix::from_rows(&[vec![0.0, 2.0, 1.0], vec![1.0, 0.0, 3.0], vec![2.0, 1.0, 0.0]]);
+        let a = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, 0.0, 3.0],
+            vec![2.0, 1.0, 0.0],
+        ]);
         let x_true = vec![3.0, -1.0, 2.0];
         let rhs = a.matvec(&x_true);
         let x = solve_lu(&a, &rhs).unwrap();
@@ -428,23 +440,32 @@ mod tests {
         }
         for i in 0..4 {
             for j in 0..4 {
-                let dot: f64 = vecs.row(i).iter().zip(vecs.row(j)).map(|(a, b)| a * b).sum();
+                let dot: f64 = vecs
+                    .row(i)
+                    .iter()
+                    .zip(vecs.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let want = if i == j { 1.0 } else { 0.0 };
                 assert!((dot - want).abs() < 1e-8, "({i},{j}) dot {dot}");
             }
         }
         // Reconstruct: A·v = λ·v.
-        for k in 0..4 {
+        for (k, &val) in vals.iter().enumerate() {
             let av = a.matvec(vecs.row(k));
             for (x, v) in av.iter().zip(vecs.row(k)) {
-                assert!((x - vals[k] * v).abs() < 1e-7);
+                assert!((x - val * v).abs() < 1e-7);
             }
         }
     }
 
     #[test]
     fn eigh_trace_is_preserved() {
-        let a = Matrix::from_rows(&[vec![5.0, 2.0, 1.0], vec![2.0, 1.0, 0.5], vec![1.0, 0.5, 3.0]]);
+        let a = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 1.0, 0.5],
+            vec![1.0, 0.5, 3.0],
+        ]);
         let (vals, _) = eigh(&a).unwrap();
         let trace = 5.0 + 1.0 + 3.0;
         assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-9);

@@ -74,7 +74,13 @@ impl Regressor for LinearRegression {
 
     fn predict(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.weights.len(), "fit before predict");
-        self.intercept + self.weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>()
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
     }
 
     fn name(&self) -> &'static str {

@@ -37,9 +37,13 @@ impl<V> LookupTable<V> {
     }
 
     /// Fit the internal scaler over the stored signatures. Must be called
-    /// after inserts and before queries.
+    /// after inserts and before queries. A no-op on an empty table — the
+    /// caller is expected to check [`LookupTable::is_empty`] before querying
+    /// (LkT surfaces that as a typed error).
     pub fn build(&mut self) {
-        assert!(!self.entries.is_empty(), "empty lookup table");
+        if self.entries.is_empty() {
+            return;
+        }
         let rows: Vec<Vec<f64>> = self.entries.iter().map(|(s, _)| s.clone()).collect();
         let scaler = ZScore::fit(&rows);
         self.scaled = scaler.transform_all(&rows);

@@ -150,9 +150,18 @@ impl Regressor for Mlp {
         let xs: Vec<Vec<f64>> = scaler.transform_all(&data.x);
         let n = data.len() as f64;
         self.y_mean = data.y.iter().sum::<f64>() / n;
-        let var = data.y.iter().map(|y| (y - self.y_mean).powi(2)).sum::<f64>() / n;
+        let var = data
+            .y
+            .iter()
+            .map(|y| (y - self.y_mean).powi(2))
+            .sum::<f64>()
+            / n;
         self.y_std = var.sqrt().max(1e-12);
-        let ys: Vec<f64> = data.y.iter().map(|y| (y - self.y_mean) / self.y_std).collect();
+        let ys: Vec<f64> = data
+            .y
+            .iter()
+            .map(|y| (y - self.y_mean) / self.y_std)
+            .collect();
         self.x_scaler = Some(scaler);
 
         // Architecture.
@@ -199,7 +208,8 @@ impl Regressor for Mlp {
                     .iter()
                     .map(|l| vec![vec![0.0; l.w[0].len()]; l.w.len()])
                     .collect();
-                let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                let mut gb: Vec<Vec<f64>> =
+                    self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
                 for &i in chunk {
                     let pred = self.forward(&xs[i], &mut acts);
                     let err = pred - ys[i];
@@ -240,9 +250,13 @@ impl Regressor for Mlp {
                     for o in 0..layer.b.len() {
                         layer.vb[o] = mu * layer.vb[o] - scale * gb[l][o];
                         layer.b[o] += layer.vb[o];
-                        for i in 0..layer.w[o].len() {
-                            layer.vw[o][i] = mu * layer.vw[o][i] - scale * gw[l][o][i];
-                            layer.w[o][i] += layer.vw[o][i];
+                        for ((vw, w), g) in layer.vw[o]
+                            .iter_mut()
+                            .zip(layer.w[o].iter_mut())
+                            .zip(&gw[l][o])
+                        {
+                            *vw = mu * *vw - scale * g;
+                            *w += *vw;
                         }
                     }
                 }

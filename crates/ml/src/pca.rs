@@ -175,6 +175,9 @@ mod tests {
         let pts = pca.feature_scatter(0, 1);
         let d01 = ((pts[0].0 - pts[1].0).powi(2) + (pts[0].1 - pts[1].1).powi(2)).sqrt();
         let d02 = ((pts[0].0 - pts[2].0).powi(2) + (pts[0].1 - pts[2].1).powi(2)).sqrt();
-        assert!(d01 < 0.1 * d02, "correlated features should sit together: {d01} vs {d02}");
+        assert!(
+            d01 < 0.1 * d02,
+            "correlated features should sit together: {d01} vs {d02}"
+        );
     }
 }

@@ -117,7 +117,7 @@ impl RepTree {
         idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
     }
 
-    fn build(&mut self, x: &[Vec<f64>], y: &[f64], idx: &mut Vec<usize>, depth: usize) -> usize {
+    fn build(&mut self, x: &[Vec<f64>], y: &[f64], idx: &[usize], depth: usize) -> usize {
         let value = Self::mean(y, idx);
         let stop = depth >= self.config.max_depth
             || idx.len() < self.config.min_samples_split
@@ -136,7 +136,8 @@ impl RepTree {
         };
         let n = idx.len();
         let min_leaf = self.config.min_samples_leaf.max(1);
-        let mut order: Vec<usize> = idx.clone();
+        let mut order: Vec<usize> = idx.to_vec();
+        #[allow(clippy::needless_range_loop)] // f indexes the inner per-row vecs
         for f in 0..self.n_features {
             order.sort_unstable_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("finite"));
             let mut sum_l = 0.0;
@@ -170,11 +171,11 @@ impl RepTree {
             self.nodes.push(Node::Leaf { value });
             return self.nodes.len() - 1;
         };
-        let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
             idx.iter().partition(|&&i| x[i][feature] <= threshold);
         debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
-        let left = self.build(x, y, &mut left_idx, depth + 1);
-        let right = self.build(x, y, &mut right_idx, depth + 1);
+        let left = self.build(x, y, &left_idx, depth + 1);
+        let right = self.build(x, y, &right_idx, depth + 1);
         self.nodes.push(Node::Split {
             feature,
             threshold,
@@ -231,8 +232,8 @@ impl Regressor for RepTree {
             0
         };
         let (prune_set, grow_set) = order.split_at(n_prune);
-        let mut grow: Vec<usize> = grow_set.to_vec();
-        self.root = self.build(&data.x, &data.y, &mut grow, 0);
+        let grow: Vec<usize> = grow_set.to_vec();
+        self.root = self.build(&data.x, &data.y, &grow, 0);
         if !prune_set.is_empty() {
             self.prune(self.root, &data.x, &data.y, prune_set);
         }
@@ -252,7 +253,11 @@ impl Regressor for RepTree {
                     right,
                     ..
                 } => {
-                    node = if row[feature] <= threshold { left } else { right };
+                    node = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

@@ -54,16 +54,24 @@ pub struct ClassDemand {
 impl ClassDemand {
     fn validate(&self, stations: usize) -> Result<(), SimError> {
         if !self.population.is_finite() || self.population < 0.0 {
-            return Err(SimError::InvalidDemand("population must be finite and >= 0"));
+            return Err(SimError::InvalidDemand(
+                "population must be finite and >= 0",
+            ));
         }
         if !self.think_time_s.is_finite() || self.think_time_s < 0.0 {
-            return Err(SimError::InvalidDemand("think time must be finite and >= 0"));
+            return Err(SimError::InvalidDemand(
+                "think time must be finite and >= 0",
+            ));
         }
         if self.demands_s.len() != stations {
-            return Err(SimError::InvalidDemand("demand vector length != station count"));
+            return Err(SimError::InvalidDemand(
+                "demand vector length != station count",
+            ));
         }
         if self.demands_s.iter().any(|d| !d.is_finite() || *d < 0.0) {
-            return Err(SimError::InvalidDemand("station demand must be finite and >= 0"));
+            return Err(SimError::InvalidDemand(
+                "station demand must be finite and >= 0",
+            ));
         }
         if self.population > 0.0 {
             let total: f64 = self.think_time_s + self.demands_s.iter().sum::<f64>();
@@ -139,8 +147,8 @@ pub fn solve(classes: &[ClassDemand], stations: usize) -> Result<AmvaSolution, S
             continue;
         }
         let share = c.population / (stations as f64 + 1.0);
-        for s in 0..stations {
-            q[j][s] = if c.demands_s[s] > 0.0 { share } else { 0.0 };
+        for (qv, d) in q[j].iter_mut().zip(&c.demands_s) {
+            *qv = if *d > 0.0 { share } else { 0.0 };
         }
     }
 
@@ -173,7 +181,11 @@ pub fn solve(classes: &[ClassDemand], stations: usize) -> Result<AmvaSolution, S
                 // Bard–Schweitzer: a class-j arrival sees the other classes'
                 // full queues plus (N_j-1)/N_j of its own.
                 let others = qtot[s] - q[j][s];
-                let own = if n > 1.0 { q[j][s] * (n - 1.0) / n } else { 0.0 };
+                let own = if n > 1.0 {
+                    q[j][s] * (n - 1.0) / n
+                } else {
+                    0.0
+                };
                 r[s] = d * (1.0 + others + own);
                 r_total += r[s];
             }
@@ -302,7 +314,10 @@ mod tests {
         let x_alone = alone.throughput[0];
         let x_pair = pair.throughput[0];
         assert!(x_pair < x_alone);
-        assert!(2.0 * x_pair > 1.3 * x_alone, "x_pair={x_pair} x_alone={x_alone}");
+        assert!(
+            2.0 * x_pair > 1.3 * x_alone,
+            "x_pair={x_pair} x_alone={x_alone}"
+        );
         assert!(pair.station_util[0] > alone.station_util[0]);
     }
 

@@ -23,6 +23,9 @@ pub enum SimError {
     },
     /// A cluster-level request referenced a node that does not exist.
     NoSuchNode(usize),
+    /// An internal invariant was violated — a bug surfaced as a typed
+    /// error instead of a panic, so library callers stay panic-free.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +47,7 @@ impl fmt::Display for SimError {
                 "AMVA failed to converge after {iterations} iterations (residual {residual:.3e})"
             ),
             SimError::NoSuchNode(i) => write!(f, "no such node: {i}"),
+            SimError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

@@ -148,7 +148,7 @@ impl EnergyMeter {
         assert!(watts >= 0.0 && watts.is_finite(), "bad power");
         self.energy_j += watts * seconds;
         self.elapsed_s += seconds;
-        if self.samples.is_some() {
+        if let Some(samples) = self.samples.as_mut() {
             let mut remaining = seconds;
             while remaining > 0.0 {
                 let room = 1.0 - self.partial_s;
@@ -157,11 +157,7 @@ impl EnergyMeter {
                 self.partial_s += take;
                 remaining -= take;
                 if self.partial_s >= 1.0 - 1e-12 {
-                    let sample = self.partial_j / self.partial_s;
-                    self.samples
-                        .as_mut()
-                        .expect("trace enabled")
-                        .push(sample);
+                    samples.push(self.partial_j / self.partial_s);
                     self.partial_j = 0.0;
                     self.partial_s = 0.0;
                 }
@@ -236,8 +232,20 @@ mod tests {
     #[test]
     fn frequency_lowers_busy_power() {
         let pm = PowerModel::new(NodeSpec::atom_c2758());
-        let hi = pm.dynamic_power(&[(8.0, Frequency::F2_4.dynamic_factor())], 8.0, 0.0, 0.0, 0.0);
-        let lo = pm.dynamic_power(&[(8.0, Frequency::F1_2.dynamic_factor())], 8.0, 0.0, 0.0, 0.0);
+        let hi = pm.dynamic_power(
+            &[(8.0, Frequency::F2_4.dynamic_factor())],
+            8.0,
+            0.0,
+            0.0,
+            0.0,
+        );
+        let lo = pm.dynamic_power(
+            &[(8.0, Frequency::F1_2.dynamic_factor())],
+            8.0,
+            0.0,
+            0.0,
+            0.0,
+        );
         assert!(lo.core_busy_w < 0.35 * hi.core_busy_w);
         // Static component is unchanged.
         assert!((lo.core_static_w - hi.core_static_w).abs() < 1e-12);

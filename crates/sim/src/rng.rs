@@ -40,22 +40,40 @@ mod tests {
 
     #[test]
     fn streams_are_reproducible() {
-        let a: Vec<u32> = stream(1, "x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream(1, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = stream(1, "x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = stream(1, "x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn labels_decorrelate_streams() {
-        let a: Vec<u32> = stream(1, "x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream(1, "y").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = stream(1, "x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = stream(1, "y")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(a, b);
     }
 
     #[test]
     fn seeds_decorrelate_streams() {
-        let a: Vec<u32> = stream(1, "x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream(2, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = stream(1, "x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = stream(2, "x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_ne!(a, b);
     }
 

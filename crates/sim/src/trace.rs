@@ -27,7 +27,7 @@ pub fn stats(trace: &[f64]) -> Option<TraceStats> {
         return None;
     }
     let mut sorted: Vec<f64> = trace.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite power samples"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     let mean_w = sorted.iter().sum::<f64>() / n as f64;
     // Nearest-rank percentile.

@@ -6,22 +6,20 @@
 //! (set `ECOST_QUICK=1` for a faster, slightly less accurate model fit).
 
 use ecost::apps::{InputSize, WorkloadScenario};
-use ecost::core::mapping::{run_policy, EcostContext, MappingPolicy};
+use ecost::core::mapping::{run_policy, ConfiguredPolicy, EcostContext, MappingPolicy};
 use ecost::core::pairing::PairingPolicy;
 
 // The bench crate's harness is the canonical way to assemble the offline
 // phase; examples keep dependencies minimal and assemble it directly.
 use ecost::core::classify::{KnnAppClassifier, RuleClassifier};
 use ecost::core::database::ConfigDatabase;
-use ecost::core::features::Testbed;
-use ecost::core::oracle::SweepCache;
+use ecost::core::engine::EvalEngine;
 use ecost::core::stp::training::build_training_data;
 use ecost::core::stp::MlmStp;
 use ecost::ml::{RepTree, RepTreeConfig};
 
 fn main() {
-    let tb = Testbed::atom();
-    let cache = SweepCache::new();
+    let eng = EvalEngine::atom();
     let nodes = 4;
     let workload = WorkloadScenario::Ws8.workload(InputSize::Small);
     println!(
@@ -32,7 +30,7 @@ fn main() {
     );
 
     println!("offline phase: database + REPTree models…");
-    let db = ConfigDatabase::build(&tb, &cache, 0.03, 42);
+    let db = ConfigDatabase::build(&eng, 0.03, 42).expect("database build");
     let classifier = RuleClassifier::fit(&db.signatures);
     let knn = KnnAppClassifier::fit(&db.signatures);
     let sigs: Vec<_> = db.solos.iter().map(|s| (s.sig, s.app, s.size)).collect();
@@ -42,7 +40,7 @@ fn main() {
             .expect("training app in db")
             .0
     };
-    let training = build_training_data(&tb, &cache, &sig_of, 600, 42);
+    let training = build_training_data(&eng, &sig_of, 600, 42).expect("training data");
     let stp = MlmStp::train(&training, knn, "REPTree", || {
         RepTree::new(RepTreeConfig::default())
     });
@@ -52,17 +50,17 @@ fn main() {
         stp: &stp,
         classifier: &classifier,
         pairing: &pairing,
-        cache: &cache,
         noise: 0.03,
         seed: 42,
         pairing_mode: ecost::core::pairing::PairingMode::DecisionTree,
     };
 
     println!("\nrunning the eight mapping policies on {nodes} nodes…\n");
-    let idle = tb.idle_w();
+    let idle = eng.idle_w();
     let mut rows: Vec<(&str, f64, f64, f64)> = Vec::new();
     for policy in MappingPolicy::ALL {
-        let run = run_policy(&tb, nodes, &workload, policy, Some(&ctx));
+        let p = ConfiguredPolicy::new(policy, Some(&ctx)).expect("configured policy");
+        let run = run_policy(&eng, nodes, &workload, &p).expect("cluster run");
         rows.push((
             policy.label(),
             run.makespan_s,
@@ -71,14 +69,24 @@ fn main() {
         ));
         println!("  {} done", policy.label());
     }
-    let ub = rows
-        .iter()
-        .map(|r| r.3)
-        .fold(f64::INFINITY, f64::min);
-    println!("\n{:>6} {:>12} {:>12} {:>12} {:>8}", "policy", "makespan s", "dyn energy J", "wall EDP", "vs UB");
+    let ub = rows.iter().map(|r| r.3).fold(f64::INFINITY, f64::min);
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "policy", "makespan s", "dyn energy J", "wall EDP", "vs UB"
+    );
     for (name, t, e, edp) in rows {
-        println!("{name:>6} {t:>12.0} {e:>12.0} {edp:>12.3e} {:>8.2}", edp / ub);
+        println!(
+            "{name:>6} {t:>12.0} {e:>12.0} {edp:>12.3e} {:>8.2}",
+            edp / ub
+        );
     }
+    let stats = eng.stats();
+    println!(
+        "\n[engine] {} runs simulated, {:.1}% cache hit rate, {:.1}s simulation time",
+        stats.runs_simulated,
+        100.0 * stats.hit_rate(),
+        stats.wall_seconds
+    );
     println!("\nECoST should sit near 1.0 — co-locating and self-tuning recovers");
     println!("most of what an exhaustive brute-force search would find.");
 }

@@ -6,19 +6,18 @@
 use ecost::apps::{App, InputSize};
 use ecost::core::classify::KnnAppClassifier;
 use ecost::core::database::ConfigDatabase;
-use ecost::core::features::{profile_catalog_app, Testbed};
-use ecost::core::oracle::{pair_metrics, SweepCache};
+use ecost::core::engine::EvalEngine;
+use ecost::core::features::profile_catalog_app;
 use ecost::core::stp::training::build_training_data;
 use ecost::core::stp::{LktStp, MlmStp, Stp};
 use ecost::ml::{LinearRegression, Mlp, MlpConfig, RepTree, RepTreeConfig};
 use std::time::Instant;
 
 fn main() {
-    let tb = Testbed::atom();
-    let cache = SweepCache::new();
+    let eng = EvalEngine::atom();
 
     println!("offline: database…");
-    let db = ConfigDatabase::build(&tb, &cache, 0.03, 42);
+    let db = ConfigDatabase::build(&eng, 0.03, 42).expect("database build");
     let knn = KnnAppClassifier::fit(&db.signatures);
     let sigs: Vec<_> = db.solos.iter().map(|s| (s.sig, s.app, s.size)).collect();
     let sig_of = move |app: App, size: InputSize| {
@@ -27,7 +26,7 @@ fn main() {
             .expect("training app in db")
             .0
     };
-    let training = build_training_data(&tb, &cache, &sig_of, 600, 42);
+    let training = build_training_data(&eng, &sig_of, 600, 42).expect("training data");
 
     println!("training the four techniques…");
     let lkt = LktStp::from_database(&db);
@@ -59,22 +58,30 @@ fn main() {
     // Race on unknown pairs.
     let pairs = [(App::Svm, App::Cf), (App::Pr, App::Cf), (App::Nb, App::St)];
     let size = InputSize::Medium;
-    let idle = tb.idle_w();
+    let idle = eng.idle_w();
+    let cores = eng.testbed().node.cores;
     let stps: [&dyn Stp; 4] = [&lkt, &lr, &tree, &mlp];
-    println!("\n{:>10} {:>10} {:>12} {:>10}", "pair", "technique", "EDP vs oracle", "decide ms");
+    println!(
+        "\n{:>10} {:>10} {:>12} {:>10}",
+        "pair", "technique", "EDP vs oracle", "decide ms"
+    );
     for (a, b) in pairs {
         let mb = size.per_node_mb();
-        let oracle = cache
-            .best_pair(&tb, a.profile(), mb, b.profile(), mb)
+        let oracle = eng
+            .best_pair(a.profile(), mb, b.profile(), mb)
+            .expect("pair sweep")
             .metrics
             .edp_wall(idle);
-        let sa = profile_catalog_app(&tb, a, size, 0.03, 7);
-        let sb = profile_catalog_app(&tb, b, size, 0.03, 7);
+        let sa = profile_catalog_app(&eng, a, size, 0.03, 7).expect("profiling run");
+        let sb = profile_catalog_app(&eng, b, size, 0.03, 7).expect("profiling run");
         for stp in stps {
             let t0 = Instant::now();
-            let cfg = stp.choose(&sa, &sb, tb.node.cores);
+            let cfg = stp.choose(&sa, &sb, cores).expect("stp choice");
             let ms = 1e3 * t0.elapsed().as_secs_f64();
-            let edp = pair_metrics(&tb, a.profile(), mb, b.profile(), mb, cfg).edp_wall(idle);
+            let edp = eng
+                .pair_metrics(a.profile(), mb, b.profile(), mb, cfg)
+                .expect("pair sim")
+                .edp_wall(idle);
             println!(
                 "{:>10} {:>10} {:>11.2}% {:>10.2}",
                 format!("{a}-{b}"),

@@ -25,8 +25,10 @@ fn main() {
         block: BlockSize::B512,
         mappers: 2,
     };
-    node.submit(JobSpec::new(App::Wc, InputSize::Small, wc)).expect("fits");
-    node.submit(JobSpec::new(App::St, InputSize::Small, st)).expect("fits");
+    node.submit(JobSpec::new(App::Wc, InputSize::Small, wc))
+        .expect("fits");
+    node.submit(JobSpec::new(App::St, InputSize::Small, st))
+        .expect("fits");
     node.run_to_completion().expect("simulation");
 
     println!("per-job stage timelines:");

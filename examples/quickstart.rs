@@ -10,27 +10,26 @@
 use ecost::apps::{App, InputSize};
 use ecost::core::classify::RuleClassifier;
 use ecost::core::database::ConfigDatabase;
-use ecost::core::features::{profile_catalog_app, Testbed};
-use ecost::core::oracle::{pair_metrics, SweepCache};
+use ecost::core::engine::EvalEngine;
+use ecost::core::features::profile_catalog_app;
 use ecost::core::stp::{LktStp, Stp};
 use ecost::mapreduce::{PairConfig, TuningConfig};
 
 fn main() {
-    let tb = Testbed::atom();
-    let idle = tb.idle_w();
+    let eng = EvalEngine::atom();
+    let idle = eng.idle_w();
 
     // --- offline phase (once per cluster): sweep the training apps -------
     println!("building the training database (brute-force sweeps, ~15s)…");
-    let cache = SweepCache::new();
-    let db = ConfigDatabase::build(&tb, &cache, 0.03, 42);
+    let db = ConfigDatabase::build(&eng, 0.03, 42).expect("database build");
     let classifier = RuleClassifier::fit(&db.signatures);
     let lkt = LktStp::from_database(&db);
 
     // --- online phase: two unknown applications arrive -------------------
     let (a, b) = (App::Svm, App::Cf); // never seen during training
     let size = InputSize::Medium;
-    let sig_a = profile_catalog_app(&tb, a, size, 0.03, 7);
-    let sig_b = profile_catalog_app(&tb, b, size, 0.03, 7);
+    let sig_a = profile_catalog_app(&eng, a, size, 0.03, 7).expect("profiling run");
+    let sig_b = profile_catalog_app(&eng, b, size, 0.03, 7).expect("profiling run");
     println!(
         "classified {} as {} (truth {}), {} as {} (truth {})",
         a,
@@ -41,7 +40,8 @@ fn main() {
         b.class(),
     );
 
-    let tuned = lkt.choose(&sig_a, &sig_b, tb.node.cores);
+    let cores = eng.testbed().node.cores;
+    let tuned = lkt.choose(&sig_a, &sig_b, cores).expect("LkT choice");
     println!("LkT-STP chose: {} ‖ {}", tuned.a, tuned.b);
 
     // --- compare with an untuned 4+4 co-location -------------------------
@@ -49,15 +49,19 @@ fn main() {
     let untuned = PairConfig {
         a: TuningConfig {
             mappers: 4,
-            ..TuningConfig::hadoop_default(tb.node.cores)
+            ..TuningConfig::hadoop_default(cores)
         },
         b: TuningConfig {
             mappers: 4,
-            ..TuningConfig::hadoop_default(tb.node.cores)
+            ..TuningConfig::hadoop_default(cores)
         },
     };
-    let m_tuned = pair_metrics(&tb, a.profile(), mb, b.profile(), mb, tuned);
-    let m_untuned = pair_metrics(&tb, a.profile(), mb, b.profile(), mb, untuned);
+    let m_tuned = eng
+        .pair_metrics(a.profile(), mb, b.profile(), mb, tuned)
+        .expect("pair sim");
+    let m_untuned = eng
+        .pair_metrics(a.profile(), mb, b.profile(), mb, untuned)
+        .expect("pair sim");
     println!(
         "untuned 4+4: makespan {:.0}s, EDP {:.3e}",
         m_untuned.makespan_s,

@@ -5,8 +5,7 @@
 //! e.g. `cargo run --release --example tuning_explorer st 5`
 
 use ecost::apps::{App, InputSize};
-use ecost::core::features::Testbed;
-use ecost::core::oracle::solo_metrics;
+use ecost::core::engine::EvalEngine;
 use ecost::mapreduce::{BlockSize, TuningConfig};
 use ecost::sim::Frequency;
 
@@ -21,11 +20,15 @@ fn main() {
         Some("10") => InputSize::Large,
         _ => InputSize::Medium,
     };
-    let tb = Testbed::atom();
-    let idle = tb.idle_w();
+    let eng = EvalEngine::atom();
+    let idle = eng.idle_w();
+    let cores = eng.testbed().node.cores;
     let mb = size.per_node_mb();
 
-    println!("EDP surface for {app} [{}] at {size} per node (wall EDP, s²·W)", app.class());
+    println!(
+        "EDP surface for {app} [{}] at {size} per node (wall EDP, s²·W)",
+        app.class()
+    );
     println!("rows: block size × frequency; columns: mappers 1..8\n");
 
     let mut best: Option<(TuningConfig, f64)> = None;
@@ -33,13 +36,20 @@ fn main() {
     for block in BlockSize::ALL {
         for freq in Frequency::ALL {
             print!("h={block:>7} f={freq}  ");
-            for mappers in 1..=tb.node.cores {
-                let cfg = TuningConfig { freq, block, mappers };
-                let edp = solo_metrics(&tb, app.profile(), mb, cfg).edp_wall(idle);
-                if best.as_ref().map_or(true, |(_, e)| edp < *e) {
+            for mappers in 1..=cores {
+                let cfg = TuningConfig {
+                    freq,
+                    block,
+                    mappers,
+                };
+                let edp = eng
+                    .solo_metrics(app.profile(), mb, cfg)
+                    .expect("solo sim")
+                    .edp_wall(idle);
+                if best.as_ref().is_none_or(|(_, e)| edp < *e) {
                     best = Some((cfg, edp));
                 }
-                if worst.as_ref().map_or(true, |(_, e)| edp > *e) {
+                if worst.as_ref().is_none_or(|(_, e)| edp > *e) {
                     worst = Some((cfg, edp));
                 }
                 print!("{:9.2e}", edp);

@@ -3,38 +3,36 @@
 
 use ecost::apps::{App, AppClass, InputSize};
 use ecost::core::classify::{KnnAppClassifier, RuleClassifier};
-use ecost::core::features::{profile_catalog_app, Testbed};
-use ecost::core::oracle::{self, SweepCache};
+use ecost::core::engine::EvalEngine;
+use ecost::core::features::profile_catalog_app;
 use ecost::core::pairing::PairingPolicy;
 use ecost::core::queue::WaitQueue;
 use ecost::core::stp::{encode_columns, encode_row, MlmStp, Stp};
 use ecost::mapreduce::PairConfig;
 use ecost::ml::{Dataset, RepTree, RepTreeConfig};
 
-fn training_signatures(tb: &Testbed) -> Vec<(ecost::core::features::AppSignature, AppClass)> {
+fn training_signatures(eng: &EvalEngine) -> Vec<(ecost::core::features::AppSignature, AppClass)> {
     // All sizes, as the real offline phase does — a k=3 vote needs more than
     // one exemplar per class.
     ecost::apps::TRAINING_APPS
         .iter()
-        .flat_map(|&a| {
-            InputSize::ALL
-                .iter()
-                .map(move |&s| (a, s))
+        .flat_map(|&a| InputSize::ALL.iter().map(move |&s| (a, s)))
+        .map(|(a, s)| {
+            let sig = profile_catalog_app(eng, a, s, 0.02, 3).expect("profiling run");
+            (sig, a.class())
         })
-        .map(|(a, s)| (profile_catalog_app(tb, a, s, 0.02, 3), a.class()))
         .collect()
 }
 
 #[test]
 fn classify_pair_tune_run_pipeline() {
-    let tb = Testbed::atom();
-    let cache = SweepCache::new();
-    let idle = tb.idle_w();
+    let eng = EvalEngine::atom();
+    let idle = eng.idle_w();
 
     // 1. Classify two unknown arrivals.
-    let classifier = RuleClassifier::fit(&training_signatures(&tb));
-    let sig_svm = profile_catalog_app(&tb, App::Svm, InputSize::Small, 0.02, 9);
-    let sig_pr = profile_catalog_app(&tb, App::Pr, InputSize::Small, 0.02, 9);
+    let classifier = RuleClassifier::fit(&training_signatures(&eng));
+    let sig_svm = profile_catalog_app(&eng, App::Svm, InputSize::Small, 0.02, 9).expect("profile");
+    let sig_pr = profile_catalog_app(&eng, App::Pr, InputSize::Small, 0.02, 9).expect("profile");
     let class_svm = classifier.classify(&sig_svm.features);
     let class_pr = classifier.classify(&sig_pr.features);
     assert_eq!(class_svm, AppClass::C);
@@ -52,13 +50,21 @@ fn classify_pair_tune_run_pipeline() {
 
     // 3. Self-tune with a REPTree trained on one swept training pair.
     let mb = InputSize::Small.per_node_mb();
-    let sweep = cache.pair_sweep(&tb, App::Wc.profile(), mb, App::St.profile(), mb);
-    let sig_wc = profile_catalog_app(&tb, App::Wc, InputSize::Small, 0.02, 3);
-    let sig_st = profile_catalog_app(&tb, App::St, InputSize::Small, 0.02, 3);
+    let sweep = eng
+        .pair_sweep(App::Wc.profile(), mb, App::St.profile(), mb)
+        .expect("pair sweep");
+    let sig_wc = profile_catalog_app(&eng, App::Wc, InputSize::Small, 0.02, 3).expect("profile");
+    let sig_st = profile_catalog_app(&eng, App::St, InputSize::Small, 0.02, 3).expect("profile");
     let mut ds = Dataset::new(encode_columns(), "ln_edp");
-    for run in sweep.iter() {
+    for run in sweep.runs().iter() {
+        // Reorient so `.a` lines up with wc's signature.
+        let cfg = if sweep.swapped() {
+            run.config.swapped()
+        } else {
+            run.config
+        };
         ds.push(
-            encode_row(&sig_wc.key(), run.config.a, &sig_st.key(), run.config.b),
+            encode_row(&sig_wc.key(), cfg.a, &sig_st.key(), cfg.b),
             run.metrics.edp_wall(idle).ln(),
         );
     }
@@ -75,26 +81,36 @@ fn classify_pair_tune_run_pipeline() {
         ecost::apps::class::ClassPair::new(AppClass::C, AppClass::I),
         tree,
     );
-    let stp = MlmStp::new(models, KnnAppClassifier::fit(&training_signatures(&tb)), "REPTree");
-    let cfg = stp.choose(&sig_wc, &sig_st, tb.node.cores);
-    assert!(cfg.cores() <= tb.node.cores);
+    let stp = MlmStp::new(
+        models,
+        KnnAppClassifier::fit(&training_signatures(&eng)),
+        "REPTree",
+    );
+    let cores = eng.testbed().node.cores;
+    let cfg = stp.choose(&sig_wc, &sig_st, cores).expect("stp choice");
+    assert!(cfg.cores() <= cores);
 
     // 4. The predicted config must be competitive with the oracle on the
     //    pair it was trained on (in-distribution sanity).
-    let chosen = oracle::pair_metrics(&tb, App::Wc.profile(), mb, App::St.profile(), mb, cfg);
-    let best = cache.best_pair(&tb, App::Wc.profile(), mb, App::St.profile(), mb);
+    let chosen = eng
+        .pair_metrics(App::Wc.profile(), mb, App::St.profile(), mb, cfg)
+        .expect("pair sim");
+    let best = eng
+        .best_pair(App::Wc.profile(), mb, App::St.profile(), mb)
+        .expect("pair sweep");
     let gap = chosen.edp_wall(idle) / best.metrics.edp_wall(idle);
     assert!(gap < 1.3, "STP config {:.2}x off the oracle", gap);
 }
 
 #[test]
 fn oracle_config_beats_default_everywhere() {
-    let tb = Testbed::atom();
-    let cache = SweepCache::new();
-    let idle = tb.idle_w();
+    let eng = EvalEngine::atom();
+    let idle = eng.idle_w();
     let mb = InputSize::Small.per_node_mb();
     for (a, b) in [(App::St, App::St), (App::Wc, App::Fp)] {
-        let best = cache.best_pair(&tb, a.profile(), mb, b.profile(), mb);
+        let best = eng
+            .best_pair(a.profile(), mb, b.profile(), mb)
+            .expect("pair sweep");
         let default = PairConfig {
             a: ecost::mapreduce::TuningConfig {
                 mappers: 4,
@@ -105,7 +121,9 @@ fn oracle_config_beats_default_everywhere() {
                 ..ecost::mapreduce::TuningConfig::hadoop_default(8)
             },
         };
-        let def = oracle::pair_metrics(&tb, a.profile(), mb, b.profile(), mb, default);
+        let def = eng
+            .pair_metrics(a.profile(), mb, b.profile(), mb, default)
+            .expect("pair sim");
         assert!(
             best.metrics.edp_wall(idle) <= def.edp_wall(idle) + 1e-9,
             "{a}-{b}"
@@ -115,12 +133,12 @@ fn oracle_config_beats_default_everywhere() {
 
 #[test]
 fn signatures_feed_knn_classifier_correctly() {
-    let tb = Testbed::atom();
-    let knn = KnnAppClassifier::fit(&training_signatures(&tb));
+    let eng = EvalEngine::atom();
+    let knn = KnnAppClassifier::fit(&training_signatures(&eng));
     // Test apps at the training size.
     let mut hits = 0;
     for app in [App::Svm, App::Hmm, App::Km, App::Cf] {
-        let sig = profile_catalog_app(&tb, app, InputSize::Small, 0.02, 5);
+        let sig = profile_catalog_app(&eng, app, InputSize::Small, 0.02, 5).expect("profile");
         if knn.classify(&sig.features) == app.class() {
             hits += 1;
         }

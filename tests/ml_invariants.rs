@@ -5,10 +5,7 @@ use ecost::ml::{hcluster, Dataset, LinearRegression, Pca, RepTree, RepTreeConfig
 use proptest::prelude::*;
 
 fn arb_rows(cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, cols..=cols),
-        8..40,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, cols..=cols), 8..40)
 }
 
 proptest! {

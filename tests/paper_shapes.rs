@@ -4,37 +4,45 @@
 //! *who wins*, not exact factors.
 
 use ecost::apps::{App, InputSize};
-use ecost::core::features::Testbed;
-use ecost::core::oracle::{self, SweepCache};
+use ecost::core::engine::EvalEngine;
 use ecost::core::strategies;
 use ecost::mapreduce::{BlockSize, TuningConfig};
 use ecost::sim::Frequency;
 
 #[test]
 fn fig3_shape_ii_wins_mm_flat() {
-    let tb = Testbed::atom();
-    let cache = SweepCache::new();
+    let eng = EvalEngine::atom();
     let mb = InputSize::Small.per_node_mb();
-    let ii = strategies::colao_over_ilao_gain(&tb, &cache, App::St.profile(), App::St.profile(), mb);
-    let mm = strategies::colao_over_ilao_gain(&tb, &cache, App::Fp.profile(), App::Fp.profile(), mb);
-    let ci = strategies::colao_over_ilao_gain(&tb, &cache, App::Wc.profile(), App::St.profile(), mb);
+    let gain = |a: App, b: App| {
+        strategies::colao_over_ilao_gain(&eng, a.profile(), b.profile(), mb).expect("gain")
+    };
+    let ii = gain(App::St, App::St);
+    let mm = gain(App::Fp, App::Fp);
+    let ci = gain(App::Wc, App::St);
     assert!(ii > 2.0, "I-I gain {ii}");
-    assert!(ii > ci && ci > mm, "ordering I-I {ii} > C-I {ci} > M-M {mm}");
+    assert!(
+        ii > ci && ci > mm,
+        "ordering I-I {ii} > C-I {ci} > M-M {mm}"
+    );
     assert!(mm > 0.8 && mm < 1.8, "M-M ≈ flat, got {mm}");
 }
 
 #[test]
 fn fig2_shape_sensitivity_declines_with_mappers() {
-    let tb = Testbed::atom();
-    let idle = tb.idle_w();
+    let eng = EvalEngine::atom();
+    let idle = eng.idle_w();
     let gain_at = |m: u32| {
         let edp = |f: Frequency, h: BlockSize| {
-            oracle::solo_metrics(
-                &tb,
+            eng.solo_metrics(
                 App::Wc.profile(),
                 InputSize::Small.per_node_mb(),
-                TuningConfig { freq: f, block: h, mappers: m },
+                TuningConfig {
+                    freq: f,
+                    block: h,
+                    mappers: m,
+                },
             )
+            .expect("solo sim")
             .edp_wall(idle)
         };
         let base = edp(Frequency::F1_2, BlockSize::B64);
@@ -48,20 +56,23 @@ fn fig2_shape_sensitivity_declines_with_mappers() {
     let g1 = gain_at(1);
     let g8 = gain_at(8);
     assert!(g1 > 0.4, "tuning must matter at m=1: {g1}");
-    assert!(g1 > g8, "sensitivity shrinks with mappers: m1 {g1} vs m8 {g8}");
+    assert!(
+        g1 > g8,
+        "sensitivity shrinks with mappers: m1 {g1} vs m8 {g8}"
+    );
 }
 
 #[test]
 fn table2_shape_optimal_configs_prefer_high_freq_large_blocks() {
     // Table 2's oracle configs are almost all 2.4 GHz with 512/1024 MB
     // blocks; verify the same tendency.
-    let tb = Testbed::atom();
+    let eng = EvalEngine::atom();
     let mb = InputSize::Small.per_node_mb();
     let mut high_freq = 0;
     let mut large_block = 0;
     let mut total = 0;
     for app in [App::Wc, App::Gp, App::Fp] {
-        let best = oracle::best_solo(&tb, app.profile(), mb);
+        let best = eng.best_solo(app.profile(), mb).expect("solo sweep");
         total += 1;
         if best.config.freq >= Frequency::F2_0 {
             high_freq += 1;
@@ -70,18 +81,24 @@ fn table2_shape_optimal_configs_prefer_high_freq_large_blocks() {
             large_block += 1;
         }
     }
-    assert!(high_freq >= total - 1, "{high_freq}/{total} high-frequency optima");
-    assert!(large_block >= total - 1, "{large_block}/{total} large-block optima");
+    assert!(
+        high_freq >= total - 1,
+        "{high_freq}/{total} high-frequency optima"
+    );
+    assert!(
+        large_block >= total - 1,
+        "{large_block}/{total} large-block optima"
+    );
 }
 
 #[test]
 fn io_apps_get_few_mappers_compute_apps_many() {
     // The §4.1/§5 driver: at the optimum, Sort wants few slots, WordCount
     // wants most of the node.
-    let tb = Testbed::atom();
+    let eng = EvalEngine::atom();
     let mb = InputSize::Medium.per_node_mb();
-    let st = oracle::best_solo(&tb, App::St.profile(), mb);
-    let wc = oracle::best_solo(&tb, App::Wc.profile(), mb);
+    let st = eng.best_solo(App::St.profile(), mb).expect("solo sweep");
+    let wc = eng.best_solo(App::Wc.profile(), mb).expect("solo sweep");
     assert!(st.config.mappers <= 5, "st mappers {}", st.config.mappers);
     assert!(wc.config.mappers >= 6, "wc mappers {}", wc.config.mappers);
 }
@@ -92,11 +109,16 @@ fn colocation_beyond_two_degrades() {
     // efficiency". Eight 5 GB FP-Growth jobs through one node: four batches
     // of two co-located jobs (working sets fit in DRAM) vs. all eight at
     // once (8 × ~3 GB resident blows past 8 GB → spill pressure).
-    let tb = Testbed::atom();
-    let idle = tb.idle_w();
+    let eng = EvalEngine::atom();
+    let tb = eng.testbed();
+    let idle = eng.idle_w();
     let run_batches = |per_batch: usize| {
         let m = (8 / per_batch as u32).max(1);
-        let cfg = TuningConfig { freq: Frequency::F2_0, block: BlockSize::B512, mappers: m };
+        let cfg = TuningConfig {
+            freq: Frequency::F2_0,
+            block: BlockSize::B512,
+            mappers: m,
+        };
         let mut makespan = 0.0;
         let mut energy = 0.0;
         for _batch in 0..(8 / per_batch) {
@@ -114,7 +136,11 @@ fn colocation_beyond_two_degrades() {
             makespan += span;
             energy += outs.iter().map(|o| o.metrics.energy_j).sum::<f64>();
         }
-        ecost::mapreduce::PairMetrics { makespan_s: makespan, energy_j: energy }.edp_wall(idle)
+        ecost::mapreduce::PairMetrics {
+            makespan_s: makespan,
+            energy_j: energy,
+        }
+        .edp_wall(idle)
     };
     let e2 = run_batches(2);
     let e8 = run_batches(8);

@@ -1,0 +1,225 @@
+//! Offline stand-in for `rayon`: the parallel-iterator subset the ecost
+//! workspace uses, built on `std::thread::scope`.
+//!
+//! Guarantees the workspace relies on:
+//!
+//! - **Order preservation.** Items are split into contiguous chunks and
+//!   results are re-joined in input order, so `collect`/`min_by` yield
+//!   exactly what the sequential iterator would — for any thread count.
+//! - **`RAYON_NUM_THREADS`.** Read per call (not cached), so tests can
+//!   toggle it; `1` forces fully sequential execution on this thread.
+//! - **Panic propagation.** A worker panic is resumed on the caller.
+
+#![forbid(unsafe_code)]
+
+use std::cmp::Ordering;
+
+/// Thread count: `RAYON_NUM_THREADS` if set and positive, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Map `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// returning results in input order.
+fn run_map<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out: Vec<O> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// A not-yet-mapped parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator, ready for a terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Attach the per-item function.
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` for each item (parallel, side effects only).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_map(self.items, f);
+    }
+}
+
+impl<T, O, F> ParMap<T, F>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    /// Evaluate in parallel and collect in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        run_map(self.items, self.f).into_iter().collect()
+    }
+
+    /// Evaluate in parallel, then take the minimum under `cmp`
+    /// (sequentially, so ties resolve deterministically).
+    pub fn min_by<C>(self, cmp: C) -> Option<O>
+    where
+        C: Fn(&O, &O) -> Ordering,
+    {
+        run_map(self.items, self.f).into_iter().min_by(cmp)
+    }
+
+    /// Evaluate in parallel, then take the maximum under `cmp`.
+    pub fn max_by<C>(self, cmp: C) -> Option<O>
+    where
+        C: Fn(&O, &O) -> Ordering,
+    {
+        run_map(self.items, self.f).into_iter().max_by(cmp)
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Conversion of `&collection` into a parallel iterator of references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual glob import: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_by_matches_sequential() {
+        let v: Vec<i64> = (0..512).map(|i| (i * 7919) % 1009).collect();
+        let par = v.clone().into_par_iter().map(|x| x).min_by(|a, b| a.cmp(b));
+        let seq = v.into_iter().min();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u32> = (0..100).collect();
+        let sum: u32 = v.par_iter().map(|&x| x).collect::<Vec<u32>>().iter().sum();
+        assert_eq!(sum, v.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
