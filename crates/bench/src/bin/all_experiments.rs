@@ -37,5 +37,11 @@ fn main() {
     run("ablation_job_cap", ex::ablation_job_cap(&mut ctx));
     run("extension_open_queue", ex::extension_open_queue(&mut ctx));
     run("extension_xeon", ex::extension_xeon(&mut ctx));
+    eprintln!("=== chaos ===");
+    let (tables, json) = ex::chaos(&mut ctx);
+    for (i, t) in tables.iter().enumerate() {
+        emit(t, &dir, &format!("chaos_{i}")).expect("write results");
+    }
+    std::fs::write(dir.join("chaos.json"), &json).expect("write chaos.json");
     eprintln!("all experiments written to {}", dir.display());
 }

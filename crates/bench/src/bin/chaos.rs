@@ -1,0 +1,22 @@
+//! Chaos sweep: fault injection × scheduling policy (see DESIGN.md
+//! §"Fault model & degradation").
+//!
+//! Writes `results/chaos_*.{txt,csv}` plus `results/chaos.json`, a fully
+//! deterministic document (no wall-clock fields) that CI generates twice
+//! with the same seed and diffs byte-for-byte.
+
+use ecost_bench::experiments;
+use ecost_bench::harness::Ctx;
+use ecost_core::report::emit;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    let (tables, json) = experiments::chaos(&mut ctx);
+    let dir = Ctx::results_dir();
+    for (i, table) in tables.iter().enumerate() {
+        emit(table, &dir, &format!("chaos_{i}")).expect("write results");
+    }
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(dir.join("chaos.json"), &json).expect("write chaos.json");
+    println!("wrote {}", dir.join("chaos.json").display());
+}

@@ -5,7 +5,7 @@ use crate::harness::{Ctx, NOISE, SEED};
 use ecost_apps::catalog::ALL_APPS;
 use ecost_apps::class::ClassPair;
 use ecost_apps::{App, InputSize, WorkloadScenario};
-use ecost_core::engine::{EngineStats, EvalEngine};
+use ecost_core::engine::EvalEngine;
 use ecost_core::features::Testbed;
 use ecost_core::mapping::{run_policy, ConfiguredPolicy, EcostContext, MappingPolicy};
 use ecost_core::report::{f, Table};
@@ -17,17 +17,10 @@ use ecost_ml::{hcluster, Pca, ZScore};
 use ecost_sim::Frequency;
 use std::time::Instant;
 
-/// Render an [`EngineStats`] snapshot as a table (satellite of every
-/// engine-heavy experiment: how much simulation actually ran vs was reused).
-pub fn engine_stats_table(title: &str, stats: &EngineStats) -> Table {
-    let mut t = Table::new(title, &["metric", "value"]);
-    t.row(&["runs simulated".into(), stats.runs_simulated.to_string()]);
-    t.row(&["cache hits".into(), stats.hits.to_string()]);
-    t.row(&["cache misses".into(), stats.misses.to_string()]);
-    t.row(&["cache hit rate %".into(), f(100.0 * stats.hit_rate(), 1)]);
-    t.row(&["simulation wall s".into(), f(stats.wall_seconds, 2)]);
-    t
-}
+/// Re-exported from [`ecost_core::report`], where the rendering now lives
+/// alongside the other table helpers (it gained the fault/retry/fallback
+/// counters of the fault-injection subsystem).
+pub use ecost_core::report::engine_stats_table;
 
 // ---------------------------------------------------------------- Fig 1 --
 
@@ -791,6 +784,200 @@ pub fn extension_xeon(_ctx: &mut Ctx) -> Vec<Table> {
         ]);
     }
     vec![table]
+}
+
+// ---------------------------------------------------------------- Chaos --
+
+/// Chaos extension: sweep fault schedules × scheduling policy and report
+/// the EDP degradation curve plus every fault/degradation counter. Runs
+/// against a small LkT subset (3 apps × Small inputs) so the bin is cheap
+/// enough for CI. Besides the tables, returns a deterministic JSON
+/// document (no wall-clock fields): CI runs the bin twice with the same
+/// seed and diffs the two files byte-for-byte to pin scheduler
+/// determinism under faults.
+pub fn chaos(ctx: &mut Ctx) -> (Vec<Table>, String) {
+    use ecost_core::engine::{EvalError, RetryPolicy};
+    use ecost_core::mapping::{run_ecost_faulted, run_untuned_faulted, FaultSetup, FaultedRun};
+    use ecost_sim::{ClusterSpec, FaultKind, FaultPlan, FaultSpec};
+    use std::fmt::Write as _;
+
+    const NODES: usize = 2;
+    let eng = &ctx.engine;
+    let idle = eng.idle_w();
+    let db = ecost_core::database::ConfigDatabase::build_subset(
+        eng,
+        &[App::Wc, App::St, App::Fp],
+        &[InputSize::Small],
+        NOISE,
+        SEED,
+    )
+    .expect("subset database");
+    let classifier = ecost_core::classify::RuleClassifier::fit(&db.signatures);
+    let lkt = ecost_core::stp::LktStp::from_database(&db);
+    let pairing = ecost_core::pairing::PairingPolicy::default();
+    let ecx = EcostContext {
+        db: &db,
+        stp: &lkt,
+        classifier: &classifier,
+        pairing: &pairing,
+        noise: NOISE,
+        seed: SEED,
+        pairing_mode: ecost_core::pairing::PairingMode::DecisionTree,
+    };
+    let mut workload = ecost_apps::Workload {
+        name: "chaos-mix".into(),
+        jobs: vec![
+            (App::Wc, InputSize::Small),
+            (App::St, InputSize::Small),
+            (App::Fp, InputSize::Small),
+            (App::St, InputSize::Small),
+            (App::Wc, InputSize::Small),
+            (App::Fp, InputSize::Small),
+        ],
+    };
+    if ctx.quick {
+        workload.jobs.truncate(4);
+    }
+    let retry = RetryPolicy::default();
+
+    // The healthy ECoST run fixes the horizon fault schedules are drawn in.
+    let healthy = run_ecost_faulted(
+        eng,
+        NODES,
+        &workload,
+        None,
+        2,
+        &ecx,
+        &FaultSetup {
+            plan: FaultPlan::none(),
+            retry,
+        },
+    )
+    .expect("healthy ECoST run");
+    let horizon = healthy.run.makespan_s;
+    let cluster = ClusterSpec::atom_cluster(NODES);
+
+    let schedules: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none()),
+        (
+            "one-crash",
+            FaultPlan::none().with_event(0.2 * horizon, 1, FaultKind::NodeCrash),
+        ),
+        (
+            "sampled-0.5",
+            FaultPlan::sample(&cluster, &FaultSpec::scaled(0.5, horizon), SEED),
+        ),
+        (
+            "sampled-1.0",
+            FaultPlan::sample(&cluster, &FaultSpec::scaled(1.0, horizon), SEED),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "Chaos: fault sweep on 2 nodes (LkT subset) — EDP degradation and counters",
+        &[
+            "policy",
+            "faults",
+            "outcome",
+            "makespan s",
+            "wall EDP",
+            "vs healthy",
+            "crash",
+            "requeue",
+            "slow",
+            "strag",
+            "spec",
+            "solo fb",
+            "cfg fb",
+            "retry",
+        ],
+    );
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"nodes\": {NODES},");
+    let _ = writeln!(json, "  \"jobs\": {},", workload.jobs.len());
+    let _ = writeln!(json, "  \"horizon_s\": {horizon:.6e},");
+    json.push_str("  \"runs\": [\n");
+
+    // Healthy wall EDP per policy, filled by the "none" schedule (first).
+    let mut healthy_edp: [Option<f64>; 2] = [None, None];
+    let total = schedules.len() * 2;
+    let mut emitted = 0usize;
+    for (label, plan) in &schedules {
+        for (pi, policy) in ["ecost", "untuned"].iter().enumerate() {
+            let setup = FaultSetup {
+                plan: plan.clone(),
+                retry,
+            };
+            let result: Result<FaultedRun, EvalError> = if pi == 0 {
+                run_ecost_faulted(eng, NODES, &workload, None, 2, &ecx, &setup)
+            } else {
+                run_untuned_faulted(eng, NODES, &workload, None, &setup)
+            };
+            emitted += 1;
+            let comma = if emitted < total { "," } else { "" };
+            match result {
+                Ok(fr) => {
+                    let edp = fr.run.edp_wall(idle);
+                    if *label == "none" {
+                        healthy_edp[pi] = Some(edp);
+                    }
+                    let rel = healthy_edp[pi].map(|b| edp / b);
+                    let r = &fr.report;
+                    table.row(&[
+                        policy.to_string(),
+                        (*label).to_string(),
+                        "ok".into(),
+                        f(fr.run.makespan_s, 1),
+                        format!("{edp:.3e}"),
+                        rel.map_or("-".into(), |v| f(v, 3)),
+                        r.crashes.to_string(),
+                        r.requeued_jobs.to_string(),
+                        r.slowdowns.to_string(),
+                        r.stragglers.to_string(),
+                        r.speculations.to_string(),
+                        r.solo_fallbacks.to_string(),
+                        r.config_fallbacks.to_string(),
+                        r.retries.to_string(),
+                    ]);
+                    let _ = writeln!(
+                        json,
+                        "    {{\"policy\": \"{policy}\", \"faults\": \"{label}\", \
+                         \"outcome\": \"ok\", \"makespan_s\": {:.6e}, \"edp_wall\": {:.6e}, \
+                         \"crashes\": {}, \"requeued\": {}, \"slowdowns\": {}, \
+                         \"stragglers\": {}, \"speculations\": {}, \"solo_fallbacks\": {}, \
+                         \"config_fallbacks\": {}, \"retries\": {}, \
+                         \"retry_backoff_s\": {:.6e}}}{comma}",
+                        fr.run.makespan_s,
+                        edp,
+                        r.crashes,
+                        r.requeued_jobs,
+                        r.slowdowns,
+                        r.stragglers,
+                        r.speculations,
+                        r.solo_fallbacks,
+                        r.config_fallbacks,
+                        r.retries,
+                        r.retry_backoff_s,
+                    );
+                }
+                Err(e) => {
+                    let mut row = vec![policy.to_string(), (*label).to_string(), "failed".into()];
+                    row.extend(std::iter::repeat_n("-".to_string(), 11));
+                    table.row(&row);
+                    let msg = e.to_string().replace('"', "\\\"");
+                    let _ = writeln!(
+                        json,
+                        "    {{\"policy\": \"{policy}\", \"faults\": \"{label}\", \
+                         \"outcome\": \"failed\", \"error\": \"{msg}\"}}{comma}"
+                    );
+                }
+            }
+        }
+    }
+    json.push_str("  ]\n}\n");
+    let stats = engine_stats_table("Chaos: engine counters after the sweep", &eng.stats());
+    (vec![table, stats], json)
 }
 
 /// Sanity metric used by tests: REPTree STP error vs oracle on one pair.

@@ -48,6 +48,52 @@ pub enum EvalError {
         /// Which invariant broke.
         what: &'static str,
     },
+    /// The evaluation completed only by degrading: a fault (node loss,
+    /// exhausted cluster) forced a fallback path that could not fully
+    /// satisfy the request.
+    Degraded {
+        /// What degraded (e.g. `"all nodes failed with jobs remaining"`).
+        what: &'static str,
+    },
+    /// A learned model produced a non-finite prediction (NaN/∞ EDP). The
+    /// self-tuner treats this as "no usable entry" and falls back to the
+    /// class-default configuration.
+    NonFinite {
+        /// Which prediction was non-finite.
+        what: &'static str,
+    },
+    /// A transient failure worth retrying under a
+    /// [`RetryPolicy`](super::RetryPolicy).
+    Transient {
+        /// What failed transiently.
+        what: &'static str,
+    },
+}
+
+impl EvalError {
+    /// True for failures a bounded [`RetryPolicy`](super::RetryPolicy)
+    /// retry may cure: explicit transients and AMVA non-convergence (a
+    /// perturbed re-evaluation can land inside the convergence basin).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            EvalError::Transient { .. } | EvalError::Sim(SimError::NoConvergence { .. })
+        )
+    }
+
+    /// True for failures the scheduler degrades through instead of
+    /// aborting: missing lookup entries, non-finite predictions, empty
+    /// sweeps and explicit degradations. The fallback is the class-default
+    /// configuration (self-tuning) or solo placement (pairing).
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            EvalError::NoCandidates { .. }
+                | EvalError::NonFinite { .. }
+                | EvalError::EmptySweep { .. }
+                | EvalError::Degraded { .. }
+        )
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -64,6 +110,9 @@ impl fmt::Display for EvalError {
             EvalError::NoCandidates { what } => write!(f, "no candidates: {what}"),
             EvalError::InvalidInput { what } => write!(f, "invalid input: {what}"),
             EvalError::Internal { what } => write!(f, "internal invariant violated: {what}"),
+            EvalError::Degraded { what } => write!(f, "degraded: {what}"),
+            EvalError::NonFinite { what } => write!(f, "non-finite prediction: {what}"),
+            EvalError::Transient { what } => write!(f, "transient failure: {what}"),
         }
     }
 }
@@ -97,6 +146,27 @@ mod tests {
         assert!(EvalError::EmptySweep { what: "pair space" }
             .to_string()
             .contains("pair space"));
+    }
+
+    #[test]
+    fn transient_and_degradable_classes_are_disjoint() {
+        let t = EvalError::Transient { what: "eval" };
+        assert!(t.is_transient() && !t.is_degradable());
+        let nc: EvalError = SimError::NoConvergence {
+            iterations: 10,
+            residual: 1.0,
+        }
+        .into();
+        assert!(nc.is_transient());
+        for e in [
+            EvalError::NoCandidates { what: "lkt" },
+            EvalError::NonFinite { what: "mlm" },
+            EvalError::EmptySweep { what: "pair" },
+            EvalError::Degraded { what: "cluster" },
+        ] {
+            assert!(e.is_degradable() && !e.is_transient(), "{e}");
+        }
+        assert!(!EvalError::Internal { what: "queue" }.is_degradable());
     }
 
     #[test]

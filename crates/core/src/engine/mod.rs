@@ -20,13 +20,15 @@
 
 mod cache;
 mod error;
+mod retry;
 
 pub use error::EvalError;
+pub use retry::RetryPolicy;
 
 use crate::features::Testbed;
 use cache::ShardedCache;
 use ecost_apps::AppProfile;
-use ecost_mapreduce::executor::{run_colocated, run_standalone, JobOutcome};
+use ecost_mapreduce::executor::{run_colocated_degraded, run_standalone_degraded, JobOutcome};
 use ecost_mapreduce::{JobMetrics, JobSpec, PairConfig, PairMetrics, TuningConfig};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -119,6 +121,14 @@ pub struct EngineStats {
     /// Wall-clock seconds spent inside miss-path simulation (whole-sweep
     /// elapsed for sweeps, per-run elapsed for single evaluations).
     pub wall_seconds: f64,
+    /// Fault events (crashes, slowdowns, stragglers) applied to runs driven
+    /// through this engine.
+    pub faults_injected: u64,
+    /// Transient-failure retries performed under a [`RetryPolicy`].
+    pub retries: u64,
+    /// Graceful degradations taken (solo placement instead of a pair,
+    /// class-default configuration instead of a learned one).
+    pub fallbacks: u64,
 }
 
 impl EngineStats {
@@ -137,12 +147,16 @@ impl std::fmt::Display for EngineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} runs simulated, {:.1}% cache hit rate ({} hits / {} misses), {:.2} s simulating",
+            "{} runs simulated, {:.1}% cache hit rate ({} hits / {} misses), {:.2} s simulating, \
+             {} faults / {} retries / {} fallbacks",
             self.runs_simulated,
             100.0 * self.hit_rate(),
             self.hits,
             self.misses,
-            self.wall_seconds
+            self.wall_seconds,
+            self.faults_injected,
+            self.retries,
+            self.fallbacks
         )
     }
 }
@@ -199,6 +213,9 @@ struct SoloKey {
     fp: u64,
     mb: u64,
     cfg: TuningConfig,
+    /// Fault context: bit pattern of the node slowdown factor (1.0 =
+    /// healthy). Degraded evaluations must not poison healthy entries.
+    slow: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -207,6 +224,9 @@ struct PairKey {
     a_mb: u64,
     fp_b: u64,
     b_mb: u64,
+    /// Fault context: bit pattern of the node slowdown factor (1.0 =
+    /// healthy).
+    slow: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -221,6 +241,9 @@ struct Counters {
     misses: AtomicU64,
     runs: AtomicU64,
     wall_ns: AtomicU64,
+    faults: AtomicU64,
+    retries: AtomicU64,
+    fallbacks: AtomicU64,
 }
 
 /// The evaluation service. Owns the testbed and every memo table; share it
@@ -268,6 +291,9 @@ impl EvalEngine {
             misses: self.counters.misses.load(Ordering::Relaxed),
             runs_simulated: self.counters.runs.load(Ordering::Relaxed),
             wall_seconds: self.counters.wall_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            faults_injected: self.counters.faults.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -296,6 +322,46 @@ impl EvalEngine {
             .fetch_add(elapsed_ns, Ordering::Relaxed);
     }
 
+    /// Record a fault event applied to a run driven through this engine.
+    pub fn note_fault(&self) {
+        self.counters.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a transient-failure retry.
+    pub fn note_retry(&self) {
+        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a graceful degradation (solo placement, class-default
+    /// config).
+    pub fn note_fallback(&self) {
+        self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Run `op`, retrying transient failures under `policy`. Returns the
+    /// value plus the *simulated* backoff seconds accrued; the caller adds
+    /// those to its simulated clock so retries cost EDP, not just wall
+    /// time. Non-transient errors and exhausted budgets propagate.
+    pub fn with_retry<T>(
+        &self,
+        policy: &RetryPolicy,
+        mut op: impl FnMut() -> Result<T, EvalError>,
+    ) -> Result<(T, f64), EvalError> {
+        let mut backoff_s = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok((v, backoff_s)),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    backoff_s += policy.backoff_for(attempt);
+                    attempt += 1;
+                    self.note_retry();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     // ---- solo evaluations --------------------------------------------------
 
     /// Full outcome (metrics, usage record, timeline) of one standalone
@@ -307,10 +373,29 @@ impl EvalEngine {
         input_mb: f64,
         cfg: TuningConfig,
     ) -> Result<Arc<JobOutcome>, EvalError> {
+        self.solo_outcome_degraded(profile, input_mb, cfg, 1.0)
+    }
+
+    /// [`Self::solo_outcome`] on a node degraded by `slowdown` (≥ 1; 1 is
+    /// the healthy path). Degraded evaluations key separately in the memo,
+    /// so a chaos run never poisons healthy entries.
+    pub fn solo_outcome_degraded(
+        &self,
+        profile: &AppProfile,
+        input_mb: f64,
+        cfg: TuningConfig,
+        slowdown: f64,
+    ) -> Result<Arc<JobOutcome>, EvalError> {
+        if !slowdown.is_finite() || slowdown < 1.0 {
+            return Err(EvalError::InvalidInput {
+                what: "slowdown factor must be finite and >= 1",
+            });
+        }
         let key = SoloKey {
             fp: fingerprint(profile),
             mb: input_mb.to_bits(),
             cfg,
+            slow: slowdown.to_bits(),
         };
         if let Some(hit) = self.solo.get(&key) {
             self.hit();
@@ -319,7 +404,7 @@ impl EvalEngine {
         self.miss();
         let t0 = Instant::now();
         let job = JobSpec::from_profile(profile.clone(), input_mb, cfg);
-        let out = run_standalone(&self.tb.node, &self.tb.fw, job)?;
+        let out = run_standalone_degraded(&self.tb.node, &self.tb.fw, job, slowdown)?;
         self.charge(1, t0.elapsed().as_nanos() as u64);
         Ok(self.solo.insert_or_keep(key, Arc::new(out)))
     }
@@ -377,6 +462,7 @@ impl EvalEngine {
         input_a_mb: f64,
         b: &AppProfile,
         input_b_mb: f64,
+        slowdown: f64,
     ) -> (PairKey, bool) {
         let ka = (a.name, input_a_mb.to_bits(), fingerprint(a));
         let kb = (b.name, input_b_mb.to_bits(), fingerprint(b));
@@ -392,6 +478,7 @@ impl EvalEngine {
                 a_mb,
                 fp_b,
                 b_mb,
+                slow: slowdown.to_bits(),
             },
             swap,
         )
@@ -405,12 +492,13 @@ impl EvalEngine {
         b: &AppProfile,
         input_b_mb: f64,
         pc: PairConfig,
+        slowdown: f64,
     ) -> Result<PairMetrics, EvalError> {
         let jobs = vec![
             JobSpec::from_profile(a.clone(), input_a_mb, pc.a),
             JobSpec::from_profile(b.clone(), input_b_mb, pc.b),
         ];
-        let (outs, makespan) = run_colocated(&self.tb.node, &self.tb.fw, jobs)?;
+        let (outs, makespan) = run_colocated_degraded(&self.tb.node, &self.tb.fw, jobs, slowdown)?;
         Ok(PairMetrics {
             makespan_s: makespan,
             energy_j: outs.iter().map(|o| o.metrics.energy_j).sum(),
@@ -428,7 +516,26 @@ impl EvalEngine {
         input_b_mb: f64,
         pc: PairConfig,
     ) -> Result<PairMetrics, EvalError> {
-        let (pair, swap) = self.pair_key(a, input_a_mb, b, input_b_mb);
+        self.pair_metrics_degraded(a, input_a_mb, b, input_b_mb, pc, 1.0)
+    }
+
+    /// [`Self::pair_metrics`] on a node degraded by `slowdown` (≥ 1; 1 is
+    /// the healthy path). Keys separately in every memo layer.
+    pub fn pair_metrics_degraded(
+        &self,
+        a: &AppProfile,
+        input_a_mb: f64,
+        b: &AppProfile,
+        input_b_mb: f64,
+        pc: PairConfig,
+        slowdown: f64,
+    ) -> Result<PairMetrics, EvalError> {
+        if !slowdown.is_finite() || slowdown < 1.0 {
+            return Err(EvalError::InvalidInput {
+                what: "slowdown factor must be finite and >= 1",
+            });
+        }
+        let (pair, swap) = self.pair_key(a, input_a_mb, b, input_b_mb, slowdown);
         let cfg = if swap { pc.swapped() } else { pc };
         let key = PairPointKey { pair, cfg };
         if let Some(hit) = self.pair_points.get(&key) {
@@ -444,7 +551,7 @@ impl EvalEngine {
         }
         self.miss();
         let t0 = Instant::now();
-        let metrics = self.simulate_pair(a, input_a_mb, b, input_b_mb, pc)?;
+        let metrics = self.simulate_pair(a, input_a_mb, b, input_b_mb, pc, slowdown)?;
         self.charge(1, t0.elapsed().as_nanos() as u64);
         Ok(self.pair_points.insert_or_keep(key, metrics))
     }
@@ -459,7 +566,7 @@ impl EvalEngine {
         b: &AppProfile,
         input_b_mb: f64,
     ) -> Result<PairSweep, EvalError> {
-        let (key, swap) = self.pair_key(a, input_a_mb, b, input_b_mb);
+        let (key, swap) = self.pair_key(a, input_a_mb, b, input_b_mb, 1.0);
         if let Some(runs) = self.sweeps.get(&key) {
             self.hit();
             return Ok(PairSweep {
@@ -481,7 +588,7 @@ impl EvalEngine {
         let runs: Vec<PairRun> = configs
             .into_par_iter()
             .map(|config| {
-                self.simulate_pair(sa, sa_mb, sb, sb_mb, config)
+                self.simulate_pair(sa, sa_mb, sb, sb_mb, config, 1.0)
                     .map(|metrics| PairRun { config, metrics })
             })
             .collect::<Result<_, EvalError>>()?;
@@ -624,6 +731,91 @@ mod tests {
             .unwrap();
         assert_eq!(eng.stats().runs_simulated, before);
         assert!((m2.makespan_s - m.makespan_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_evaluations_key_separately() {
+        let eng = EvalEngine::atom();
+        let p = App::Wc.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let cfg = TuningConfig::hadoop_default(8);
+        let healthy = eng.solo_outcome(p, mb, cfg).unwrap();
+        let degraded = eng.solo_outcome_degraded(p, mb, cfg, 2.0).unwrap();
+        assert!(!Arc::ptr_eq(&healthy, &degraded));
+        assert!(degraded.metrics.exec_time_s > 1.5 * healthy.metrics.exec_time_s);
+        assert_eq!(eng.cached_solo_runs(), 2);
+        // slowdown = 1 hits the healthy entry exactly.
+        let again = eng.solo_outcome_degraded(p, mb, cfg, 1.0).unwrap();
+        assert!(Arc::ptr_eq(&healthy, &again));
+        // Bad factors are typed errors.
+        assert!(eng.solo_outcome_degraded(p, mb, cfg, 0.5).is_err());
+        let half = TuningConfig::hadoop_default(4);
+        assert!(eng
+            .pair_metrics_degraded(p, mb, p, mb, PairConfig { a: half, b: half }, f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn degraded_pair_points_do_not_poison_healthy_cache() {
+        let eng = EvalEngine::atom();
+        let a = App::Wc.profile();
+        let b = App::St.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let half = TuningConfig::hadoop_default(4);
+        let pc = PairConfig { a: half, b: half };
+        let healthy = eng.pair_metrics(a, mb, b, mb, pc).unwrap();
+        let degraded = eng.pair_metrics_degraded(a, mb, b, mb, pc, 2.0).unwrap();
+        assert!(degraded.makespan_s > healthy.makespan_s);
+        let healthy_again = eng.pair_metrics(a, mb, b, mb, pc).unwrap();
+        assert_eq!(healthy, healthy_again);
+    }
+
+    #[test]
+    fn with_retry_counts_retries_and_charges_backoff() {
+        let eng = EvalEngine::atom();
+        let policy = RetryPolicy::default();
+        let mut failures_left = 2;
+        let (v, backoff) = eng
+            .with_retry(&policy, || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err(EvalError::Transient { what: "flaky eval" })
+                } else {
+                    Ok(7)
+                }
+            })
+            .unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(backoff, 3.0); // 1 s + 2 s
+        assert_eq!(eng.stats().retries, 2);
+        // Budget exhaustion propagates the transient error.
+        let err = eng.with_retry(&RetryPolicy::none(), || {
+            Err::<(), _>(EvalError::Transient { what: "flaky eval" })
+        });
+        assert!(matches!(err, Err(EvalError::Transient { .. })));
+        // Non-transient errors are not retried.
+        let mut calls = 0;
+        let err = eng.with_retry(&policy, || {
+            calls += 1;
+            Err::<(), _>(EvalError::InvalidInput { what: "bad" })
+        });
+        assert!(err.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn fault_counters_round_trip_through_stats() {
+        let eng = EvalEngine::atom();
+        eng.note_fault();
+        eng.note_fault();
+        eng.note_fallback();
+        let s = eng.stats();
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.retries, 0);
+        let line = s.to_string();
+        assert!(line.contains("2 faults"), "{line}");
+        assert!(line.contains("1 fallbacks"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Bounded retry with simulated-time backoff for transient evaluation
+//! failures.
+//!
+//! The AMVA fixed point can fail to converge on a pathological demand mix;
+//! in a real deployment the tuner would simply retry the measurement a
+//! moment later. [`RetryPolicy`] bounds that loop and prices it: every
+//! retry costs *simulated* seconds of backoff, which the scheduler adds to
+//! its makespan, so a flaky evaluation path shows up in the EDP numbers
+//! instead of hiding in wall-clock noise.
+
+/// Bounded retry schedule for transient [`super::EvalError`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Simulated backoff before the first retry, seconds.
+    pub backoff_s: f64,
+    /// Geometric growth factor applied per subsequent retry.
+    pub backoff_multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// Fail on the first transient error (no retries, no backoff).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_s: 0.0,
+            backoff_multiplier: 1.0,
+        }
+    }
+
+    /// Simulated backoff charged before retry number `attempt` (0-based).
+    pub fn backoff_for(&self, attempt: u32) -> f64 {
+        let mult = if self.backoff_multiplier.is_finite() && self.backoff_multiplier > 0.0 {
+            self.backoff_multiplier
+        } else {
+            1.0
+        };
+        self.backoff_s.max(0.0) * mult.powi(attempt.min(64) as i32)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Two retries, one simulated second, doubling: 1 s + 2 s worst case.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_s: 1.0,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_geometrically() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_for(0), 1.0);
+        assert_eq!(p.backoff_for(1), 2.0);
+        assert_eq!(p.backoff_for(2), 4.0);
+    }
+
+    #[test]
+    fn none_never_waits() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.backoff_for(0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_multipliers_are_sanitised() {
+        let p = RetryPolicy {
+            max_retries: 1,
+            backoff_s: 2.0,
+            backoff_multiplier: f64::NAN,
+        };
+        assert_eq!(p.backoff_for(3), 2.0);
+    }
+}

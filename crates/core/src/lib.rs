@@ -44,9 +44,11 @@ pub mod strategies;
 
 pub use classify::{KnnAppClassifier, RuleClassifier};
 pub use database::ConfigDatabase;
-pub use engine::{EngineStats, EvalEngine, EvalError};
+pub use engine::{EngineStats, EvalEngine, EvalError, RetryPolicy};
 pub use features::{profile_app, AppSignature, Testbed, REFERENCE_CONFIG};
-pub use mapping::{ConfiguredPolicy, EcostContext, MappingPolicy};
+pub use mapping::{
+    ConfiguredPolicy, EcostContext, FaultReport, FaultSetup, FaultedRun, MappingPolicy,
+};
 pub use pairing::PairingPolicy;
 pub use queue::WaitQueue;
 pub use stp::{LktStp, MlmStp, Stp};

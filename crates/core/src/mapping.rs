@@ -35,14 +35,16 @@
 
 use crate::classify::RuleClassifier;
 use crate::database::ConfigDatabase;
-use crate::engine::{EvalEngine, EvalError, PairRun};
+use crate::engine::{EvalEngine, EvalError, PairRun, RetryPolicy};
 use crate::features::{profile_app, AppSignature};
 use crate::pairing::PairingPolicy;
 use crate::queue::WaitQueue;
 use crate::stp::Stp;
 use ecost_apps::{AppClass, Workload};
 use ecost_mapreduce::executor::NodeSim;
-use ecost_mapreduce::{JobSpec, TuningConfig};
+use ecost_mapreduce::{BlockSize, JobSpec, TuningConfig};
+use ecost_sim::{FaultKind, FaultPlan, Frequency};
+use std::fmt;
 
 /// One of the §8 mapping policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -186,6 +188,71 @@ impl ClusterRun {
     }
 }
 
+/// What the fault machinery did during one scheduler run. Every counter is
+/// zero on a fault-free run with working predictors.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultReport {
+    /// Node-crash events applied to live nodes.
+    pub crashes: u64,
+    /// Node-slowdown events applied to live nodes.
+    pub slowdowns: u64,
+    /// Straggler injections that hit a running job.
+    pub stragglers: u64,
+    /// Speculative re-executions launched against stragglers.
+    pub speculations: u64,
+    /// In-flight jobs displaced by crashes and re-queued at the head.
+    pub requeued_jobs: u64,
+    /// Pairing decisions degraded to solo placement (no viable partner).
+    pub solo_fallbacks: u64,
+    /// Tuning decisions degraded to class-default or untuned knobs.
+    pub config_fallbacks: u64,
+    /// Transient evaluation failures retried under the [`RetryPolicy`].
+    pub retries: u64,
+    /// Simulated seconds of retry backoff, added to the makespan.
+    pub retry_backoff_s: f64,
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} crashes ({} jobs requeued), {} slowdowns, {} stragglers \
+             ({} speculated), {} solo + {} config fallbacks, {} retries (+{:.1} s)",
+            self.crashes,
+            self.requeued_jobs,
+            self.slowdowns,
+            self.stragglers,
+            self.speculations,
+            self.solo_fallbacks,
+            self.config_fallbacks,
+            self.retries,
+            self.retry_backoff_s,
+        )
+    }
+}
+
+/// Fault-injection setup for a scheduler run: the scheduled fault events
+/// plus the retry policy that prices transient evaluation failures.
+/// `FaultSetup::default()` schedules no faults but keeps the default
+/// bounded retry — the "production" configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSetup {
+    /// Scheduled node/task fault events.
+    pub plan: FaultPlan,
+    /// Bounded retry for transient evaluation failures.
+    pub retry: RetryPolicy,
+}
+
+/// A fault-injected cluster run: the schedule's outcome (retry backoff
+/// already folded into the makespan) plus the fault/degradation counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedRun {
+    /// Makespan/energy outcome of the degraded schedule.
+    pub run: ClusterRun,
+    /// What the fault machinery did along the way.
+    pub report: FaultReport,
+}
+
 /// Everything the tuned policies need, built once from the training set.
 pub struct EcostContext<'a> {
     /// The §6.2 database (PTM's solo lookups, signature source).
@@ -221,16 +288,7 @@ pub fn run_policy(
     workload: &Workload,
     policy: &ConfiguredPolicy<'_, '_>,
 ) -> Result<ClusterRun, EvalError> {
-    if n < 1 {
-        return Err(EvalError::InvalidInput {
-            what: "need at least one node",
-        });
-    }
-    if workload.is_empty() {
-        return Err(EvalError::InvalidInput {
-            what: "empty workload",
-        });
-    }
+    validate_cluster_input(n, workload)?;
     match policy {
         ConfiguredPolicy::Sm => run_lanes(engine, n, workload, 1),
         ConfiguredPolicy::Mnm1 => run_lanes(engine, n, workload, 2.min(n)),
@@ -245,9 +303,44 @@ pub fn run_policy(
     }
 }
 
+/// Shared `n ≥ 1` / non-empty-workload validation for the cluster drivers.
+fn validate_cluster_input(n: usize, workload: &Workload) -> Result<(), EvalError> {
+    if n < 1 {
+        return Err(EvalError::InvalidInput {
+            what: "need at least one node",
+        });
+    }
+    if workload.is_empty() {
+        return Err(EvalError::InvalidInput {
+            what: "empty workload",
+        });
+    }
+    Ok(())
+}
+
 /// Per-node input share for a job spanning `span` of `n` nodes.
 fn share_mb(size_per_node_mb: f64, n: usize, span: usize) -> f64 {
     size_per_node_mb * n as f64 / span as f64
+}
+
+/// Conservative per-class default tuning, used when the learned predictors
+/// cannot answer (empty lookup table, non-finite model prediction). The
+/// knobs follow the paper's Table 2 regularities rather than any learned
+/// state: compute-bound classes keep the top frequency, I/O-heavy classes
+/// drop the frequency (the cores wait on the disk anyway) and take large
+/// blocks to cut per-split overhead.
+pub fn class_default_config(class: AppClass, mappers: u32) -> TuningConfig {
+    let (freq, block) = match class {
+        AppClass::C => (Frequency::F2_4, BlockSize::B128),
+        AppClass::H => (Frequency::F2_0, BlockSize::B256),
+        AppClass::I => (Frequency::F1_6, BlockSize::B512),
+        AppClass::M => (Frequency::F1_6, BlockSize::B256),
+    };
+    TuningConfig {
+        freq,
+        block,
+        mappers: mappers.max(1),
+    }
 }
 
 /// Index of the smallest entry (first on ties); 0 for an empty slice.
@@ -414,9 +507,31 @@ trait StreamPolicy {
     fn solo_config(&self, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError>;
 }
 
-/// ECoST's decisions: partner class by the Fig 4 decision tree, knobs by STP.
+/// ECoST's decisions: partner class by the Fig 4 decision tree, knobs by
+/// STP — degrading to class-default knobs when a predictor cannot answer
+/// (missing lookup entry, non-finite model prediction) instead of aborting
+/// the whole schedule.
 struct EcostPolicy<'a, 'b> {
+    engine: &'a EvalEngine,
     ctx: &'a EcostContext<'b>,
+    /// Tuning decisions that fell back to class defaults. Interior
+    /// mutability because [`StreamPolicy`] methods take `&self`.
+    config_fallbacks: std::cell::Cell<u64>,
+}
+
+impl<'a, 'b> EcostPolicy<'a, 'b> {
+    fn new(engine: &'a EvalEngine, ctx: &'a EcostContext<'b>) -> EcostPolicy<'a, 'b> {
+        EcostPolicy {
+            engine,
+            ctx,
+            config_fallbacks: std::cell::Cell::new(0),
+        }
+    }
+
+    fn note_config_fallback(&self) {
+        self.engine.note_fallback();
+        self.config_fallbacks.set(self.config_fallbacks.get() + 1);
+    }
 }
 
 impl StreamPolicy for EcostPolicy<'_, '_> {
@@ -446,25 +561,40 @@ impl StreamPolicy for EcostPolicy<'_, '_> {
                 (h as usize) % candidates.len()
             }
         };
-        let mut cfg = self
+        let mut cfg = match self
             .ctx
             .stp
-            .choose(&anchor.sig, &candidates[pick].sig, cores)?;
+            .choose(&anchor.sig, &candidates[pick].sig, cores)
+        {
+            Ok(cfg) => cfg,
+            Err(e) if e.is_degradable() => {
+                // Missing LkT entry / non-finite MLM prediction: run the
+                // pair on class-default knobs instead of aborting.
+                self.note_config_fallback();
+                let b_share = (cores / 2).max(1);
+                let a_share = (cores - b_share).max(1);
+                ecost_mapreduce::PairConfig {
+                    a: class_default_config(anchor.class, a_share),
+                    b: class_default_config(candidates[pick].class, b_share),
+                }
+            }
+            Err(e) => return Err(e),
+        };
         if cfg.cores() > cores {
             cfg.b.mappers = (cores - cfg.a.mappers.min(cores - 1)).max(1);
         }
         Ok((pick, cfg))
     }
 
-    fn solo_config(&self, job: &Prepared, _cores: u32) -> Result<TuningConfig, EvalError> {
-        Ok(self
-            .ctx
-            .db
-            .nearest_solo(&job.sig.key())
-            .ok_or(EvalError::NoCandidates {
-                what: "solo lookup in an empty database",
-            })?
-            .config)
+    fn solo_config(&self, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError> {
+        match self.ctx.db.nearest_solo(&job.sig.key()) {
+            Some(entry) => Ok(entry.config),
+            None => {
+                // Empty database: class-default knobs over the whole node.
+                self.note_config_fallback();
+                Ok(class_default_config(job.class, cores))
+            }
+        }
     }
 }
 
@@ -515,20 +645,256 @@ impl StreamPolicy for OraclePolicy<'_> {
     }
 }
 
+/// Mutable state of one streaming-scheduler run: the nodes, what runs
+/// where, which nodes are still alive, the wait queue and the fault /
+/// degradation counters.
+struct StreamSim<'e> {
+    engine: &'e EvalEngine,
+    cores: u32,
+    retry: RetryPolicy,
+    nodes: Vec<NodeSim>,
+    running: Vec<Vec<(ecost_mapreduce::JobHandle, Prepared, u32)>>,
+    alive: Vec<bool>,
+    queue: WaitQueue<Prepared>,
+    report: FaultReport,
+}
+
+impl StreamSim<'_> {
+    /// Run `op` under the retry policy, folding the retry count and the
+    /// accrued simulated backoff into the fault report.
+    fn with_retry_tracked<T>(
+        &mut self,
+        mut op: impl FnMut() -> Result<T, EvalError>,
+    ) -> Result<T, EvalError> {
+        let before = self.engine.stats().retries;
+        let res = self.engine.with_retry(&self.retry, &mut op);
+        self.report.retries += self.engine.stats().retries.saturating_sub(before);
+        match res {
+            Ok((value, backoff_s)) => {
+                self.report.retry_backoff_s += backoff_s;
+                Ok(value)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Clone the payloads behind `eligible`'s queue indices, so partner
+    /// selection can run without holding a borrow of the queue.
+    fn eligible_payloads(
+        &self,
+        eligible: &[(usize, AppClass)],
+    ) -> Result<Vec<Prepared>, EvalError> {
+        eligible
+            .iter()
+            .map(|(qi, _)| {
+                self.queue
+                    .peek(*qi)
+                    .map(|q| q.payload.clone())
+                    .ok_or(EvalError::Internal {
+                        what: "eligible index out of queue range",
+                    })
+            })
+            .collect()
+    }
+
+    /// Place `job` alone on node `i` at its solo configuration, degrading
+    /// to the untuned default when the policy cannot provide one.
+    fn submit_solo(
+        &mut self,
+        i: usize,
+        policy: &dyn StreamPolicy,
+        job: Prepared,
+    ) -> Result<(), EvalError> {
+        let cores = self.cores;
+        let solo = match self.with_retry_tracked(|| policy.solo_config(&job, cores)) {
+            Ok(cfg) => cfg,
+            Err(e) if e.is_degradable() => {
+                self.engine.note_fallback();
+                self.report.config_fallbacks += 1;
+                TuningConfig::hadoop_default(cores)
+            }
+            Err(e) => return Err(e),
+        };
+        let h = self.nodes[i].submit(JobSpec::from_profile(
+            job.sig.profile.clone(),
+            job.sig.input_mb,
+            solo,
+        ))?;
+        self.running[i].push((h, job, solo.mappers));
+        Ok(())
+    }
+
+    /// Fill node `i` up to two jobs, degrading to solo placement when the
+    /// policy cannot produce a pairing.
+    fn dispatch(&mut self, i: usize, policy: &dyn StreamPolicy) -> Result<(), EvalError> {
+        while self.running[i].len() < 2 && !self.queue.is_empty() && self.nodes[i].free_cores() >= 1
+        {
+            if self.running[i].is_empty() {
+                // Empty node: honour FIFO for the first job…
+                let Some(first) = self.queue.take(0) else {
+                    break;
+                };
+                let first = first.payload;
+                let eligible = self.queue.eligible();
+                if eligible.is_empty() {
+                    // Lone tail job: the whole node, solo-tuned.
+                    self.submit_solo(i, policy, first)?;
+                    continue;
+                }
+                let cands_owned = self.eligible_payloads(&eligible)?;
+                let cands: Vec<&Prepared> = cands_owned.iter().collect();
+                let cores = self.cores;
+                match self.with_retry_tracked(|| policy.pick(&first, &cands, cores)) {
+                    Ok((pick, cfg)) => {
+                        let Some(second) = self.queue.take(eligible[pick].0) else {
+                            return Err(EvalError::Internal {
+                                what: "picked partner vanished from the queue",
+                            });
+                        };
+                        let second = second.payload;
+                        let ha = self.nodes[i].submit(JobSpec::from_profile(
+                            first.sig.profile.clone(),
+                            first.sig.input_mb,
+                            cfg.a,
+                        ))?;
+                        let hb = self.nodes[i].submit(JobSpec::from_profile(
+                            second.sig.profile.clone(),
+                            second.sig.input_mb,
+                            cfg.b,
+                        ))?;
+                        self.running[i].push((ha, first, cfg.a.mappers));
+                        self.running[i].push((hb, second, cfg.b.mappers));
+                    }
+                    Err(e) if e.is_degradable() => {
+                        // No viable partner or pair config: the anchor runs
+                        // solo rather than the whole schedule aborting.
+                        self.engine.note_fallback();
+                        self.report.solo_fallbacks += 1;
+                        self.submit_solo(i, policy, first)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                // One job running: pick a partner for it.
+                let eligible = self.queue.eligible();
+                if eligible.is_empty() {
+                    break;
+                }
+                let cands_owned = self.eligible_payloads(&eligible)?;
+                let cands: Vec<&Prepared> = cands_owned.iter().collect();
+                let anchor = self.running[i][0].1.clone();
+                let cores = self.cores;
+                match self.with_retry_tracked(|| policy.pick(&anchor, &cands, cores)) {
+                    Ok((pick, cfg)) => {
+                        let Some(partner) = self.queue.take(eligible[pick].0) else {
+                            return Err(EvalError::Internal {
+                                what: "picked partner vanished from the queue",
+                            });
+                        };
+                        let partner = partner.payload;
+                        let free = self.nodes[i].free_cores();
+                        let mut bcfg = cfg.b;
+                        bcfg.mappers = bcfg.mappers.min(free).max(1);
+                        let h = self.nodes[i].submit(JobSpec::from_profile(
+                            partner.sig.profile.clone(),
+                            partner.sig.input_mb,
+                            bcfg,
+                        ))?;
+                        self.running[i].push((h, partner, bcfg.mappers));
+                    }
+                    Err(e) if e.is_degradable() => {
+                        // The running job continues alone; candidates wait
+                        // for a node that can host them.
+                        self.engine.note_fallback();
+                        self.report.solo_fallbacks += 1;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply every fault event due at or before `now`. Crashed nodes stop
+    /// accepting work and their in-flight jobs are re-queued at the head;
+    /// slowdowns compound; stragglers hit the longest-running job and are
+    /// answered with a speculative backup on spare mapper slots.
+    fn apply_due_faults(
+        &mut self,
+        now: f64,
+        next: &mut usize,
+        faults: &FaultPlan,
+    ) -> Result<(), EvalError> {
+        while *next < faults.len() && faults.events()[*next].at_s <= now + 1e-9 {
+            let ev = faults.events()[*next];
+            *next += 1;
+            let i = ev.node;
+            if i >= self.nodes.len() || !self.alive[i] {
+                continue; // fault against a missing or already-dead node
+            }
+            self.engine.note_fault();
+            match ev.kind {
+                FaultKind::NodeCrash => {
+                    self.alive[i] = false;
+                    self.report.crashes += 1;
+                    let displaced = self.nodes[i].crash();
+                    // Reverse order so the first-submitted displaced job
+                    // lands back at the queue head.
+                    for (h, p, _) in self.running[i].drain(..).rev() {
+                        if displaced.contains(&h) {
+                            self.report.requeued_jobs += 1;
+                            let est = p.sig.profile_time_s;
+                            let class = p.class;
+                            self.queue.push_front(p, class, est);
+                        }
+                    }
+                }
+                FaultKind::NodeSlowdown { factor } => {
+                    self.report.slowdowns += 1;
+                    let compound = self.nodes[i].slowdown() * factor;
+                    self.nodes[i].set_slowdown(compound)?;
+                }
+                FaultKind::Straggler { multiplier } => {
+                    if let Some(&h) = self.nodes[i].active_handles().first() {
+                        self.report.stragglers += 1;
+                        self.nodes[i].inject_straggler(h, multiplier)?;
+                        let spare = self.nodes[i].free_cores().min(2);
+                        if spare > 0 && self.nodes[i].speculate(h, spare)? {
+                            self.report.speculations += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Shared streaming driver: two jobs per node, replacements admitted the
-/// moment a slot frees, decisions delegated to `policy`.
+/// moment a slot frees, decisions delegated to `policy`. Fault-free.
 fn run_stream(
     engine: &EvalEngine,
     n: usize,
     prepared: Vec<Prepared>,
     policy: &dyn StreamPolicy,
 ) -> Result<ClusterRun, EvalError> {
-    run_stream_open(engine, n, prepared, None, 2, policy)
+    let setup = FaultSetup {
+        plan: FaultPlan::none(),
+        retry: RetryPolicy::none(),
+    };
+    run_stream_open(engine, n, prepared, None, 2, policy, &setup).map(|(run, _)| run)
 }
 
-/// As [`run_stream`] but with explicit arrival times (open-queue operation)
-/// and a configurable head-reservation allowance. `arrivals[i]` is the
-/// submission time of `prepared[i]`; `None` submits everything at t = 0.
+/// As [`run_stream`] but with explicit arrival times (open-queue
+/// operation), a configurable head-reservation allowance and an injected
+/// [`FaultSetup`]. `arrivals[i]` is the submission time of `prepared[i]`;
+/// `None` submits everything at t = 0.
+///
+/// With [`FaultPlan::none`] and [`RetryPolicy::none`] the event loop is
+/// bit-identical to the fault-free scheduler: no fault event ever caps a
+/// time step, and the accrued retry backoff added to the makespan is
+/// exactly `0.0`.
 fn run_stream_open(
     engine: &EvalEngine,
     n: usize,
@@ -536,10 +902,10 @@ fn run_stream_open(
     arrivals: Option<&[f64]>,
     max_head_skips: u32,
     policy: &dyn StreamPolicy,
-) -> Result<ClusterRun, EvalError> {
+    setup: &FaultSetup,
+) -> Result<(ClusterRun, FaultReport), EvalError> {
     let tb = engine.testbed();
-    let cores = tb.node.cores;
-    let mut queue: WaitQueue<Prepared> = WaitQueue::new(max_head_skips);
+    let faults = &setup.plan;
     // Jobs not yet arrived, soonest first; the stable sort keeps FIFO order
     // among simultaneous arrivals.
     let mut pending: std::collections::VecDeque<(f64, Prepared)> = {
@@ -559,76 +925,21 @@ fn run_stream_open(
         v.into()
     };
 
-    let mut nodes: Vec<NodeSim> = (0..n)
-        .map(|_| NodeSim::new(tb.node.clone(), tb.fw.clone()))
-        .collect();
-    let mut running: Vec<Vec<(ecost_mapreduce::JobHandle, Prepared, u32)>> = vec![Vec::new(); n];
-
-    let dispatch = |node: &mut NodeSim,
-                    running: &mut Vec<(ecost_mapreduce::JobHandle, Prepared, u32)>,
-                    queue: &mut WaitQueue<Prepared>|
-     -> Result<(), EvalError> {
-        while running.len() < 2 && !queue.is_empty() && node.free_cores() >= 1 {
-            if running.is_empty() {
-                // Empty node: honour FIFO for the first job…
-                let first = queue.take(0).payload;
-                let eligible = queue.eligible();
-                if eligible.is_empty() {
-                    // Lone tail job: the whole node, solo-tuned.
-                    let solo = policy.solo_config(&first, cores)?;
-                    let h = node.submit(JobSpec::from_profile(
-                        first.sig.profile.clone(),
-                        first.sig.input_mb,
-                        solo,
-                    ))?;
-                    running.push((h, first, solo.mappers));
-                    continue;
-                }
-                let cands: Vec<&Prepared> = eligible
-                    .iter()
-                    .map(|(i, _)| &queue.peek(*i).payload)
-                    .collect();
-                let (pick, cfg) = policy.pick(&first, &cands, cores)?;
-                let second = queue.take(eligible[pick].0).payload;
-                let ha = node.submit(JobSpec::from_profile(
-                    first.sig.profile.clone(),
-                    first.sig.input_mb,
-                    cfg.a,
-                ))?;
-                let hb = node.submit(JobSpec::from_profile(
-                    second.sig.profile.clone(),
-                    second.sig.input_mb,
-                    cfg.b,
-                ))?;
-                running.push((ha, first, cfg.a.mappers));
-                running.push((hb, second, cfg.b.mappers));
-            } else {
-                // One job running: pick a partner for it.
-                let eligible = queue.eligible();
-                if eligible.is_empty() {
-                    break;
-                }
-                let cands: Vec<&Prepared> = eligible
-                    .iter()
-                    .map(|(i, _)| &queue.peek(*i).payload)
-                    .collect();
-                let (pick, cfg) = policy.pick(&running[0].1, &cands, cores)?;
-                let partner = queue.take(eligible[pick].0).payload;
-                let free = node.free_cores();
-                let mut bcfg = cfg.b;
-                bcfg.mappers = bcfg.mappers.min(free).max(1);
-                let h = node.submit(JobSpec::from_profile(
-                    partner.sig.profile.clone(),
-                    partner.sig.input_mb,
-                    bcfg,
-                ))?;
-                running.push((h, partner, bcfg.mappers));
-            }
-        }
-        Ok(())
+    let mut sim = StreamSim {
+        engine,
+        cores: tb.node.cores,
+        retry: setup.retry,
+        nodes: (0..n)
+            .map(|_| NodeSim::new(tb.node.clone(), tb.fw.clone()))
+            .collect(),
+        running: vec![Vec::new(); n],
+        alive: vec![true; n],
+        queue: WaitQueue::new(max_head_skips),
+        report: FaultReport::default(),
     };
-
+    let mut next_fault = 0_usize;
     let mut now = 0.0_f64;
+
     // Admit everything that has arrived by `now` into the wait queue.
     let admit = |now: f64,
                  pending: &mut std::collections::VecDeque<(f64, Prepared)>,
@@ -644,14 +955,17 @@ fn run_stream_open(
         }
     };
 
-    admit(now, &mut pending, &mut queue);
-    for (node, run) in nodes.iter_mut().zip(&mut running) {
-        dispatch(node, run, &mut queue)?;
+    admit(now, &mut pending, &mut sim.queue);
+    sim.apply_due_faults(now, &mut next_fault, faults)?;
+    for i in 0..n {
+        if sim.alive[i] {
+            sim.dispatch(i, policy)?;
+        }
     }
     loop {
         let mut any_active = false;
         let mut dt = f64::INFINITY;
-        for node in &mut nodes {
+        for node in &mut sim.nodes {
             if let Some(t) = node.time_to_next_event()? {
                 any_active = true;
                 dt = dt.min(t);
@@ -663,28 +977,48 @@ fn run_stream_open(
             dt = dt.min((t_arrive - now).max(0.0));
             any_active = true;
         }
+        // A pending fault interrupts the step — but cannot keep a finished
+        // cluster alive: faults against an idle cluster are no-ops.
+        if any_active {
+            if let Some(ev) = faults.events().get(next_fault) {
+                dt = dt.min((ev.at_s - now).max(0.0));
+            }
+        }
         if !any_active {
-            if !queue.is_empty() {
-                return Err(EvalError::Internal {
-                    what: "jobs stranded in the scheduler queue",
+            if !sim.queue.is_empty() {
+                return Err(if sim.alive.iter().any(|a| *a) {
+                    EvalError::Internal {
+                        what: "jobs stranded in the scheduler queue",
+                    }
+                } else {
+                    EvalError::Degraded {
+                        what: "all nodes failed with jobs still queued",
+                    }
                 });
             }
             break;
         }
         debug_assert!(dt.is_finite());
-        for node in &mut nodes {
+        for node in &mut sim.nodes {
             node.advance(dt)?;
         }
         now += dt;
-        admit(now, &mut pending, &mut queue);
-        for (node, run) in nodes.iter_mut().zip(&mut running) {
+        admit(now, &mut pending, &mut sim.queue);
+        sim.apply_due_faults(now, &mut next_fault, faults)?;
+        for i in 0..n {
             let finished: Vec<ecost_mapreduce::JobHandle> =
-                node.finished().iter().map(|o| o.id).collect();
-            run.retain(|(h, _, _)| !finished.contains(h));
-            dispatch(node, run, &mut queue)?;
+                sim.nodes[i].finished().iter().map(|o| o.id).collect();
+            sim.running[i].retain(|(h, _, _)| !finished.contains(h));
+            if sim.alive[i] {
+                sim.dispatch(i, policy)?;
+            }
         }
     }
-    Ok(collect(nodes, n))
+    // Retries cost simulated seconds: the accrued backoff lengthens the
+    // makespan (exactly 0.0 on the fault-free path).
+    let mut run = collect(sim.nodes, n);
+    run.makespan_s += sim.report.retry_backoff_s;
+    Ok((run, sim.report))
 }
 
 /// Open-queue ECoST: jobs arrive over time (the §5 "new jobs are arriving
@@ -698,15 +1032,119 @@ pub fn run_ecost_open(
     max_head_skips: u32,
     ctx: &EcostContext<'_>,
 ) -> Result<ClusterRun, EvalError> {
+    validate_cluster_input(n, workload)?;
     let prepared = prepare_jobs(engine, n, workload, ctx)?;
+    let setup = FaultSetup {
+        plan: FaultPlan::none(),
+        retry: RetryPolicy::none(),
+    };
     run_stream_open(
         engine,
         n,
         prepared,
         Some(arrivals),
         max_head_skips,
-        &EcostPolicy { ctx },
+        &EcostPolicy::new(engine, ctx),
+        &setup,
     )
+    .map(|(run, _)| run)
+}
+
+/// ECoST under fault injection: the §5 controller driven through the
+/// events of `setup.plan`, with transient evaluation failures retried
+/// under `setup.retry` and predictor gaps degraded to class-default knobs
+/// or solo placement instead of aborting the schedule. Crashed nodes'
+/// in-flight jobs are re-queued (their work so far is lost, their energy
+/// is not) onto the surviving nodes; the run fails with
+/// [`EvalError::Degraded`] only when every node has crashed with jobs
+/// still queued.
+///
+/// With a fault-free [`FaultSetup`] this is numerically identical to
+/// [`run_ecost_open`] (asserted by a regression test).
+pub fn run_ecost_faulted(
+    engine: &EvalEngine,
+    n: usize,
+    workload: &Workload,
+    arrivals: Option<&[f64]>,
+    max_head_skips: u32,
+    ctx: &EcostContext<'_>,
+    setup: &FaultSetup,
+) -> Result<FaultedRun, EvalError> {
+    validate_cluster_input(n, workload)?;
+    let prepared = prepare_jobs(engine, n, workload, ctx)?;
+    let policy = EcostPolicy::new(engine, ctx);
+    let (run, mut report) = run_stream_open(
+        engine,
+        n,
+        prepared,
+        arrivals,
+        max_head_skips,
+        &policy,
+        setup,
+    )?;
+    report.config_fallbacks += policy.config_fallbacks.get();
+    Ok(FaultedRun { run, report })
+}
+
+/// The untuned streaming baseline (two half-node jobs per node at Hadoop
+/// defaults, FIFO partners) driven through the same fault machinery, for
+/// chaos-sweep comparisons against [`run_ecost_faulted`].
+pub fn run_untuned_faulted(
+    engine: &EvalEngine,
+    n: usize,
+    workload: &Workload,
+    arrivals: Option<&[f64]>,
+    setup: &FaultSetup,
+) -> Result<FaultedRun, EvalError> {
+    validate_cluster_input(n, workload)?;
+    let tb = engine.testbed();
+    let cores = tb.node.cores;
+    let half_cfg = TuningConfig {
+        mappers: (cores / 2).max(1),
+        ..TuningConfig::hadoop_default(cores)
+    };
+    let prepared: Vec<Prepared> = workload
+        .jobs
+        .iter()
+        .map(|(app, size)| {
+            let input = share_mb(size.per_node_mb(), n, 1);
+            let sig = profile_app(engine, app.profile(), input, 0.0, 0)?;
+            Ok(Prepared {
+                sig,
+                class: app.class(),
+            })
+        })
+        .collect::<Result<_, EvalError>>()?;
+    let policy = FixedPolicy {
+        pair: ecost_mapreduce::PairConfig {
+            a: half_cfg,
+            b: half_cfg,
+        },
+        solo: TuningConfig::hadoop_default(cores),
+    };
+    let (run, report) = run_stream_open(engine, n, prepared, arrivals, 2, &policy, setup)?;
+    Ok(FaultedRun { run, report })
+}
+
+/// Fixed, untuned decisions: FIFO partner, half-node Hadoop defaults.
+struct FixedPolicy {
+    pair: ecost_mapreduce::PairConfig,
+    solo: TuningConfig,
+}
+
+impl StreamPolicy for FixedPolicy {
+    fn pick(
+        &self,
+        _anchor: &Prepared,
+        _candidates: &[&Prepared],
+        _cores: u32,
+    ) -> Result<(usize, ecost_mapreduce::PairConfig), EvalError> {
+        Ok((0, self.pair))
+    }
+
+    fn solo_config(&self, _job: &Prepared, _cores: u32) -> Result<TuningConfig, EvalError> {
+        Ok(self.solo)
+    }
 }
 
 /// Learning period + classification for every workload job.
@@ -736,7 +1174,7 @@ fn run_ecost(
     ctx: &EcostContext<'_>,
 ) -> Result<ClusterRun, EvalError> {
     let prepared = prepare_jobs(engine, n, workload, ctx)?;
-    run_stream(engine, n, prepared, &EcostPolicy { ctx })
+    run_stream(engine, n, prepared, &EcostPolicy::new(engine, ctx))
 }
 
 /// UB: the better of two brute-force schedules —

@@ -23,6 +23,15 @@ pub struct Queued<T> {
     pub est_time_s: f64,
 }
 
+/// A leaper's estimated runtime may exceed the head's by at most this
+/// factor. The paper's rule is "no larger than the head" — exactly 1; kept
+/// as a named constant so the fairness knob is explicit and tunable.
+pub const LEAP_HEADROOM: f64 = 1.0;
+
+/// Absolute tolerance on the leap-forward comparison, so ties survive
+/// floating-point noise in the runtime estimates.
+const LEAP_MARGIN_S: f64 = 1e-9;
+
 /// FIFO wait queue with reservation.
 ///
 /// ```
@@ -36,7 +45,9 @@ pub struct Queued<T> {
 /// let eligible = q.eligible();
 /// assert_eq!(eligible.len(), 2);
 /// // …and taking it counts against the head's skip allowance.
-/// assert_eq!(q.take(1).payload, "small-job");
+/// assert_eq!(q.take(1).expect("in range").payload, "small-job");
+/// // Out-of-range indices are None, not a panic.
+/// assert!(q.take(7).is_none());
 /// ```
 #[derive(Debug, Clone)]
 pub struct WaitQueue<T> {
@@ -89,23 +100,35 @@ impl<T> WaitQueue<T> {
         self.items
             .iter()
             .enumerate()
-            .filter(|(i, q)| *i == 0 || q.est_time_s <= head.est_time_s * 1.0 + 1e-9)
+            .filter(|(i, q)| {
+                *i == 0 || q.est_time_s <= head.est_time_s * LEAP_HEADROOM + LEAP_MARGIN_S
+            })
             .map(|(i, q)| (i, q.class))
             .collect()
     }
 
     /// Remove and return the job at queue index `idx` (as reported by
-    /// [`WaitQueue::eligible`]); updates the head-skip accounting.
-    pub fn take(&mut self, idx: usize) -> Queued<T> {
+    /// [`WaitQueue::eligible`]), or `None` when `idx` is out of range.
+    /// Head-skip accounting is updated only on a successful take.
+    pub fn take(&mut self, idx: usize) -> Option<Queued<T>> {
+        let item = self.items.remove(idx)?;
         if idx == 0 {
             self.head_skips = 0;
         } else {
             self.head_skips += 1;
         }
-        let Some(item) = self.items.remove(idx) else {
-            panic!("queue index {idx} out of range");
-        };
-        item
+        Some(item)
+    }
+
+    /// Re-enqueue a displaced job at the head: it had already been
+    /// admitted (a node crash pushed it back), so it outranks everything
+    /// still waiting. Does not touch the head-skip accounting.
+    pub fn push_front(&mut self, payload: T, class: AppClass, est_time_s: f64) {
+        self.items.push_front(Queued {
+            payload,
+            class,
+            est_time_s,
+        });
     }
 
     /// Peek the head.
@@ -113,9 +136,10 @@ impl<T> WaitQueue<T> {
         self.items.front()
     }
 
-    /// Peek any queue position (as reported by [`WaitQueue::eligible`]).
-    pub fn peek(&self, idx: usize) -> &Queued<T> {
-        &self.items[idx]
+    /// Peek any queue position (as reported by [`WaitQueue::eligible`]),
+    /// or `None` when `idx` is out of range.
+    pub fn peek(&self, idx: usize) -> Option<&Queued<T>> {
+        self.items.get(idx)
     }
 }
 
@@ -145,16 +169,16 @@ mod tests {
         let mut q = q3();
         q.push("small-i2", I, 50.0);
         // Skip the head twice by taking the leapers.
-        let t1 = q.take(1);
+        let t1 = q.take(1).expect("in range");
         assert_eq!(t1.payload, "small-i");
         let el = q.eligible();
         assert!(el.iter().any(|(_, c)| *c == I));
         let idx = el.iter().find(|(_, c)| *c == I).expect("eligible I").0;
-        q.take(idx);
+        q.take(idx).expect("in range");
         // Two skips consumed → only the head is now eligible.
         assert_eq!(q.eligible(), vec![(0, C)]);
         // Taking the head resets the allowance.
-        let h = q.take(0);
+        let h = q.take(0).expect("in range");
         assert_eq!(h.payload, "big-c");
         assert_eq!(q.eligible().len(), 1); // only big-m left
     }
@@ -166,15 +190,40 @@ mod tests {
         q.push("b", H, 100.0);
         // Both eligible (b is not larger than a), head first.
         assert_eq!(q.eligible()[0], (0, H));
-        assert_eq!(q.take(0).payload, "a");
-        assert_eq!(q.take(0).payload, "b");
+        assert_eq!(q.take(0).expect("in range").payload, "a");
+        assert_eq!(q.take(0).expect("in range").payload, "b");
         assert!(q.is_empty());
     }
 
     #[test]
     fn empty_queue_yields_nothing() {
-        let q: WaitQueue<()> = WaitQueue::new(2);
+        let mut q: WaitQueue<()> = WaitQueue::new(2);
         assert!(q.eligible().is_empty());
         assert!(q.head().is_none());
+        assert!(q.peek(0).is_none());
+        assert!(q.take(0).is_none());
+    }
+
+    #[test]
+    fn out_of_range_take_leaves_skip_accounting_untouched() {
+        let mut q = q3();
+        assert!(q.take(99).is_none());
+        assert!(q.peek(99).is_none());
+        // The failed take must not burn the head's skip allowance.
+        assert_eq!(q.eligible(), vec![(0, C), (1, I)]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn push_front_outranks_waiting_jobs() {
+        let mut q = q3();
+        q.push_front("displaced-h", H, 300.0);
+        assert_eq!(q.head().expect("non-empty").payload, "displaced-h");
+        assert_eq!(q.len(), 4);
+        // The displaced job is the new head; the old head now leaps only if
+        // small enough (500 > 300 → no longer eligible).
+        let el = q.eligible();
+        assert_eq!(el[0], (0, H));
+        assert!(!el.iter().any(|(_, c)| *c == C));
     }
 }

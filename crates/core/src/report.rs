@@ -1,6 +1,7 @@
 //! Plain-text table rendering and results-file helpers for the experiment
 //! binaries.
 
+use crate::engine::EngineStats;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -95,6 +96,22 @@ pub fn emit(table: &Table, results_dir: impl AsRef<Path>, name: &str) -> std::io
     std::fs::write(dir.join(format!("{name}.txt")), &rendered)?;
     std::fs::write(dir.join(format!("{name}.csv")), table.to_csv())?;
     Ok(())
+}
+
+/// Render an [`EngineStats`] snapshot as a table: how much simulation ran
+/// vs was served from the memo, and what the fault machinery did (fault
+/// events applied, transient retries, graceful fallbacks).
+pub fn engine_stats_table(title: &str, stats: &EngineStats) -> Table {
+    let mut t = Table::new(title, &["metric", "value"]);
+    t.row(&["runs simulated".into(), stats.runs_simulated.to_string()]);
+    t.row(&["cache hits".into(), stats.hits.to_string()]);
+    t.row(&["cache misses".into(), stats.misses.to_string()]);
+    t.row(&["cache hit rate %".into(), f(100.0 * stats.hit_rate(), 1)]);
+    t.row(&["simulation wall s".into(), f(stats.wall_seconds, 2)]);
+    t.row(&["faults injected".into(), stats.faults_injected.to_string()]);
+    t.row(&["transient retries".into(), stats.retries.to_string()]);
+    t.row(&["graceful fallbacks".into(), stats.fallbacks.to_string()]);
+    t
 }
 
 /// Format a float with `prec` decimals (table-cell helper).

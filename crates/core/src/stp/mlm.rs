@@ -108,6 +108,14 @@ impl<M: Regressor> Stp for MlmStp<M> {
             .iter()
             .map(|cfg| model.predict(&encode_row(&sa, cfg.a, &sb, cfg.b)))
             .collect();
+        if preds.iter().any(|p| !p.is_finite()) {
+            // A NaN/∞ EDP prediction would win or lose the argmin
+            // arbitrarily; the caller degrades to the class-default
+            // configuration instead.
+            return Err(EvalError::NonFinite {
+                what: "MLM EDP prediction",
+            });
+        }
         // …then pick by neighbourhood-averaged score: a candidate's value is
         // its prediction averaged with its axis-neighbours in the
         // (f, h, m)² grid. Piecewise-constant models (trees) otherwise hand

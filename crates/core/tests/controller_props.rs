@@ -35,7 +35,7 @@ proptest! {
         prop_assert!(eligible.iter().any(|(i, _)| *i == 0), "head always eligible");
         for (i, _) in &eligible {
             prop_assert!(*i < q.len());
-            let item = q.peek(*i);
+            let item = q.peek(*i).expect("eligible index in range");
             prop_assert!(*i == 0 || item.est_time_s <= head_est + 1e-9,
                 "leap-forward only for jobs that don't outlast the head");
         }
@@ -61,7 +61,7 @@ proptest! {
             let classes: Vec<AppClass> = eligible.iter().map(|(_, c)| *c).collect();
             let pick = policy.choose(&classes).expect("non-empty");
             let idx = eligible[pick].0;
-            let taken = q.take(idx);
+            let taken = q.take(idx).expect("eligible index in range");
             if taken.payload == head_id {
                 prop_assert!(skips_seen <= max_skips,
                     "head skipped {skips_seen} times with allowance {max_skips}");
@@ -85,7 +85,7 @@ proptest! {
             let eligible = q.eligible();
             // Always take the last eligible (the most adversarial choice).
             let idx = eligible.last().expect("non-empty").0;
-            out.push(q.take(idx).payload);
+            out.push(q.take(idx).expect("eligible index in range").payload);
         }
         out.sort_unstable();
         prop_assert_eq!(out, (0..jobs.len()).collect::<Vec<_>>());

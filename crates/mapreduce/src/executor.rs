@@ -83,11 +83,23 @@ struct ActiveJob {
     start_s: f64,
     usage: JobUsage,
     timeline: Vec<(crate::stage::StageKind, f64)>,
+    /// Straggler multiplier on the current task wave (1 = healthy). Cleared
+    /// at the next stage boundary or by a successful speculation.
+    straggler: f64,
+    /// Extra mapper slots granted by speculative re-execution, released at
+    /// the next stage boundary.
+    extra_slots: u32,
 }
 
 impl ActiveJob {
     fn stage(&self) -> &Stage {
         &self.stages[self.stage_idx]
+    }
+
+    /// Slots active this wave: the configured slots plus any speculative
+    /// backups.
+    fn eff_slots(&self) -> u32 {
+        self.stage().slots + self.extra_slots
     }
 }
 
@@ -137,6 +149,11 @@ pub struct NodeSim {
     meter: EnergyMeter,
     next_id: u64,
     cached: Option<RateSolution>,
+    /// Node-wide degradation factor (1 = healthy). Divides compute and disk
+    /// rates — a thermal frequency cap plus disk-bandwidth decay.
+    slowdown: f64,
+    stragglers_injected: u64,
+    speculative_retries: u64,
 }
 
 /// Numerical floor treating a stage as complete.
@@ -168,7 +185,89 @@ impl NodeSim {
             meter: EnergyMeter::new(),
             next_id: 0,
             cached: None,
+            slowdown: 1.0,
+            stragglers_injected: 0,
+            speculative_retries: 0,
         }
+    }
+
+    /// Degrade (or restore) every rate on this node by `factor` (≥ 1, 1 =
+    /// healthy). Models a thermal frequency cap plus disk-bandwidth decay.
+    pub fn set_slowdown(&mut self, factor: f64) -> Result<(), SimError> {
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(SimError::InvalidDemand(
+                "slowdown factor must be finite and >= 1",
+            ));
+        }
+        self.slowdown = factor;
+        self.cached = None;
+        Ok(())
+    }
+
+    /// Current node-wide degradation factor (1 = healthy).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Straggler events injected on this node so far.
+    pub fn stragglers_injected(&self) -> u64 {
+        self.stragglers_injected
+    }
+
+    /// Speculative re-executions launched on this node so far.
+    pub fn speculative_retries(&self) -> u64 {
+        self.speculative_retries
+    }
+
+    /// Slow the current task wave of job `h` by `multiplier` (≥ 1). The
+    /// multiplier lasts until the wave (stage) completes or a speculative
+    /// backup clears it.
+    pub fn inject_straggler(&mut self, h: JobHandle, multiplier: f64) -> Result<(), SimError> {
+        if !multiplier.is_finite() || multiplier < 1.0 {
+            return Err(SimError::InvalidDemand(
+                "straggler multiplier must be finite and >= 1",
+            ));
+        }
+        let job = self
+            .active
+            .iter_mut()
+            .find(|j| j.id == h)
+            .ok_or(SimError::NoSuchJob(h.0))?;
+        job.straggler = job.straggler.max(multiplier);
+        self.stragglers_injected += 1;
+        self.cached = None;
+        Ok(())
+    }
+
+    /// MapReduce-style speculative re-execution: if job `h` is straggling
+    /// and spare mapper slots exist, launch up to `extra` backup slots that
+    /// re-run the slowed tasks at healthy speed. The duplicated work is
+    /// charged to the job (its remaining wave grows), so the retry costs
+    /// real time and energy. Returns `Ok(true)` when a backup was launched,
+    /// `Ok(false)` when the job is not straggling or no slots are free.
+    pub fn speculate(&mut self, h: JobHandle, extra: u32) -> Result<bool, SimError> {
+        let free = self.free_cores();
+        let job = self
+            .active
+            .iter_mut()
+            .find(|j| j.id == h)
+            .ok_or(SimError::NoSuchJob(h.0))?;
+        if job.straggler <= 1.0 {
+            return Ok(false);
+        }
+        let granted = extra.min(free);
+        if granted == 0 {
+            return Ok(false);
+        }
+        // Backups duplicate in-flight tasks: charge the re-executed work,
+        // bounded by what is actually left in the wave.
+        let dup = f64::from(granted).min(job.remaining.max(0.0));
+        job.remaining += dup;
+        job.extra_slots += granted;
+        job.straggler = 1.0;
+        self.speculative_retries += 1;
+        self.cached = None;
+        Ok(true)
     }
 
     /// Current simulation time, seconds.
@@ -176,9 +275,13 @@ impl NodeSim {
         self.now
     }
 
-    /// Cores currently allocated to active jobs.
+    /// Cores currently allocated to active jobs (speculative backup slots
+    /// included).
     pub fn allocated_cores(&self) -> u32 {
-        self.active.iter().map(|j| j.spec.config.mappers).sum()
+        self.active
+            .iter()
+            .map(|j| j.spec.config.mappers + j.extra_slots)
+            .sum()
     }
 
     /// Cores free for a new job.
@@ -241,6 +344,8 @@ impl NodeSim {
             start_s: self.now,
             usage: JobUsage::default(),
             timeline: Vec::new(),
+            straggler: 1.0,
+            extra_slots: 0,
         });
         self.cached = None;
         Ok(id)
@@ -275,7 +380,7 @@ impl NodeSim {
         let mut completed = Vec::new();
         let mut dirty = false;
         for (j, job) in self.active.iter_mut().enumerate() {
-            let stage_slots = f64::from(job.stage().slots);
+            let stage_slots = f64::from(job.eff_slots());
             job.usage.busy_core_s += sol.busy_cores[j] * dt;
             job.usage.alloc_core_s += stage_slots * dt;
             job.usage.read_mb += sol.read_mbps[j] * dt;
@@ -289,6 +394,13 @@ impl NodeSim {
             if job.remaining <= WORK_EPS * job.stage().tasks.max(1.0) {
                 job.timeline.push((job.stage().kind, self.now + dt));
                 job.stage_idx += 1;
+                // Wave boundary: straggling and speculative backups end with
+                // the wave that suffered/launched them.
+                if job.straggler != 1.0 || job.extra_slots != 0 {
+                    job.straggler = 1.0;
+                    job.extra_slots = 0;
+                    dirty = true;
+                }
                 if job.stage_idx >= job.stages.len() {
                     completed.push(j);
                 } else {
@@ -364,6 +476,17 @@ impl NodeSim {
     fn solve(&self) -> Result<RateSolution, SimError> {
         let n = self.active.len();
         let stages: Vec<&Stage> = self.active.iter().map(|j| j.stage()).collect();
+        // Fault context: node-wide degradation and per-wave stragglers. On a
+        // healthy node these are all exactly 1.0 / the configured slots, so
+        // every expression below reduces bit-identically to the undegraded
+        // model.
+        let slowdown = self.slowdown;
+        let stragglers: Vec<f64> = self.active.iter().map(|j| j.straggler).collect();
+        let eff_slots: Vec<f64> = self
+            .active
+            .iter()
+            .map(|j| f64::from(j.eff_slots()))
+            .collect();
 
         // --- 1. DRAM pressure: spill inflation for everyone. ---
         let footprint_mb: f64 = stages.iter().map(|s| s.footprint_mb).sum();
@@ -379,6 +502,7 @@ impl NodeSim {
                     self.fw
                         .job_io_cap(s.extent_mb)
                         .min(s.stream_bound_mbps(self.spec.disk.stream_rate(s.extent_mb)))
+                        / slowdown
                 } else {
                     0.0
                 }
@@ -404,7 +528,10 @@ impl NodeSim {
                             demands_s: vec![0.0; stations],
                         };
                     }
-                    let think = s.think0_s * (1.0 - s.stall_frac + s.stall_frac * slow);
+                    let think = s.think0_s
+                        * (1.0 - s.stall_frac + s.stall_frac * slow)
+                        * slowdown
+                        * stragglers[j];
                     let mut demands = vec![0.0; stations];
                     if s.io_mb > 0.0 && static_cap[j] > 0.0 {
                         demands[j] = s.io_mb * spill / (theta * static_cap[j]).max(1e-9);
@@ -413,7 +540,7 @@ impl NodeSim {
                         demands[n] = s.nic_mb / self.nic_bw_mbps;
                     }
                     ClassDemand {
-                        population: f64::from(s.slots),
+                        population: eff_slots[j],
                         think_time_s: think,
                         demands_s: demands,
                     }
@@ -431,8 +558,11 @@ impl NodeSim {
             let bw_demand: f64 = (0..n)
                 .map(|j| {
                     let s = stages[j];
-                    let think = s.think0_s * (1.0 - s.stall_frac + s.stall_frac * slow);
-                    (x[j] * think).min(f64::from(s.slots)) * s.bw_per_core_mbps
+                    let think = s.think0_s
+                        * (1.0 - s.stall_frac + s.stall_frac * slow)
+                        * slowdown
+                        * stragglers[j];
+                    (x[j] * think).min(eff_slots[j]) * s.bw_per_core_mbps
                 })
                 .sum();
             let slow_target = (bw_demand / self.spec.mem_bw_mbps()).max(1.0);
@@ -440,7 +570,7 @@ impl NodeSim {
 
             // Physical-disk coupling.
             let streams: f64 = q_io.iter().sum::<f64>().max(1.0);
-            let cap_phys = self.spec.disk.aggregate_bw(streams);
+            let cap_phys = self.spec.disk.aggregate_bw(streams) / slowdown;
             let total_io: f64 = (0..n).map(|j| x[j] * stages[j].io_mb * spill).sum();
             let theta_target = if total_io > cap_phys {
                 (theta * cap_phys / total_io).clamp(0.01, 1.0)
@@ -468,25 +598,28 @@ impl NodeSim {
         for (j, s) in stages.iter().enumerate() {
             if s.is_fluid() {
                 rate[j] = x[j];
-                let think = s.think0_s * (1.0 - s.stall_frac + s.stall_frac * slow);
-                busy_cores[j] = (x[j] * think).min(f64::from(s.slots));
+                let think = s.think0_s
+                    * (1.0 - s.stall_frac + s.stall_frac * slow)
+                    * slowdown
+                    * stragglers[j];
+                busy_cores[j] = (x[j] * think).min(eff_slots[j]);
                 let io = x[j] * s.io_mb * spill;
                 read_mbps[j] = io * s.read_frac;
                 write_mbps[j] = io * (1.0 - s.read_frac);
                 nic_mbps[j] = x[j] * s.nic_mb;
                 mem_mbps[j] = busy_cores[j] * s.bw_per_core_mbps;
             } else {
-                rate[j] = 1.0 / s.setup_s;
+                rate[j] = 1.0 / (s.setup_s * slowdown * stragglers[j]);
                 busy_cores[j] = 0.4; // single setup thread, partially busy
             }
         }
         let total_io: f64 = read_mbps.iter().chain(write_mbps.iter()).sum();
         let streams: f64 = q_io.iter().sum::<f64>().max(1.0);
-        let cap_phys = self.spec.disk.aggregate_bw(streams);
+        let cap_phys = self.spec.disk.aggregate_bw(streams) / slowdown;
         let disk_util = (total_io / cap_phys).clamp(0.0, 1.0);
         let total_mem: f64 = mem_mbps.iter().sum();
         let mem_util = (total_mem / self.spec.mem_bw_mbps()).clamp(0.0, 1.0);
-        let allocated: f64 = stages.iter().map(|s| f64::from(s.slots)).sum();
+        let allocated: f64 = eff_slots.iter().sum();
 
         let busy_at: Vec<(f64, f64)> = stages
             .iter()
@@ -505,8 +638,8 @@ impl NodeSim {
             .map(|j| {
                 let s = stages[j];
                 let core = busy_cores[j] * self.spec.core_busy_power_w * s.dyn_factor
-                    + (f64::from(s.slots) - busy_cores[j]).max(0.0) * self.spec.core_iowait_power_w
-                    + f64::from(s.slots) * self.spec.core_static_power_w;
+                    + (eff_slots[j] - busy_cores[j]).max(0.0) * self.spec.core_iowait_power_w
+                    + eff_slots[j] * self.spec.core_static_power_w;
                 let io_j = read_mbps[j] + write_mbps[j];
                 let disk = if total_io > 0.0 {
                     breakdown.disk_w * io_j / total_io
@@ -542,6 +675,22 @@ impl NodeSim {
             mem_util,
             nic_util,
         })
+    }
+
+    /// Handles of currently active jobs, in submission order.
+    pub fn active_handles(&self) -> Vec<JobHandle> {
+        self.active.iter().map(|j| j.id).collect()
+    }
+
+    /// Permanently fail the node: active jobs are dropped without outcomes
+    /// (their in-flight work is lost) and their handles are returned so a
+    /// scheduler can requeue them elsewhere. Energy already integrated stays
+    /// on the meter — the wasted work is part of the cluster's bill.
+    pub fn crash(&mut self) -> Vec<JobHandle> {
+        let handles = self.active.iter().map(|j| j.id).collect();
+        self.active.clear();
+        self.cached = None;
+        handles
     }
 
     /// Diagnostic snapshot of the current rate solution: (disk util, memory
@@ -580,6 +729,36 @@ pub fn run_standalone(
     job: JobSpec,
 ) -> Result<JobOutcome, SimError> {
     let (mut out, _) = run_colocated(spec, fw, vec![job])?;
+    out.pop()
+        .ok_or(SimError::Internal("one job submitted, none finished"))
+}
+
+/// Convenience: run `jobs` co-located on a node degraded by `slowdown`
+/// (≥ 1; 1 is bit-identical to [`run_colocated`]).
+pub fn run_colocated_degraded(
+    spec: &NodeSpec,
+    fw: &FrameworkSpec,
+    jobs: Vec<JobSpec>,
+    slowdown: f64,
+) -> Result<(Vec<JobOutcome>, f64), SimError> {
+    let mut node = NodeSim::new(spec.clone(), fw.clone());
+    node.set_slowdown(slowdown)?;
+    for j in jobs {
+        node.submit(j)?;
+    }
+    node.run_to_completion()?;
+    let makespan = node.now();
+    Ok((node.take_finished(), makespan))
+}
+
+/// Convenience: run one job alone on a node degraded by `slowdown`.
+pub fn run_standalone_degraded(
+    spec: &NodeSpec,
+    fw: &FrameworkSpec,
+    job: JobSpec,
+    slowdown: f64,
+) -> Result<JobOutcome, SimError> {
+    let (mut out, _) = run_colocated_degraded(spec, fw, vec![job], slowdown)?;
     out.pop()
         .ok_or(SimError::Internal("one job submitted, none finished"))
 }
@@ -951,5 +1130,167 @@ mod tests {
         node.advance(5.0).unwrap();
         assert_eq!(node.now(), 5.0);
         assert_eq!(node.energy_j(), 0.0);
+    }
+
+    #[test]
+    fn unit_slowdown_is_bit_identical_to_healthy() {
+        let (spec, fw) = atom();
+        let job = JobSpec::new(
+            App::Gp,
+            InputSize::Small,
+            cfg(4, Frequency::F2_0, BlockSize::B256),
+        );
+        let healthy = run_standalone(&spec, &fw, job.clone()).unwrap();
+        let degraded = run_standalone_degraded(&spec, &fw, job, 1.0).unwrap();
+        assert_eq!(healthy.metrics.exec_time_s, degraded.metrics.exec_time_s);
+        assert_eq!(healthy.usage.energy_j, degraded.usage.energy_j);
+    }
+
+    #[test]
+    fn slowdown_stretches_time_for_compute_and_io() {
+        let (spec, fw) = atom();
+        let t = |app, slow| {
+            run_standalone_degraded(
+                &spec,
+                &fw,
+                JobSpec::new(
+                    app,
+                    InputSize::Small,
+                    cfg(4, Frequency::F2_4, BlockSize::B256),
+                ),
+                slow,
+            )
+            .unwrap()
+            .metrics
+            .exec_time_s
+        };
+        for app in [App::Wc, App::St] {
+            let (healthy, slow) = (t(app, 1.0), t(app, 2.0));
+            assert!(
+                slow > 1.5 * healthy,
+                "{app:?}: healthy {healthy} slow {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn slowdown_rejects_bad_factors() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        assert!(node.set_slowdown(0.5).is_err());
+        assert!(node.set_slowdown(f64::NAN).is_err());
+        assert!(node.set_slowdown(1.0).is_ok());
+        assert_eq!(node.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn straggler_slows_the_wave_and_clears_at_boundary() {
+        let (spec, fw) = atom();
+        let job = || {
+            JobSpec::new(
+                App::Wc,
+                InputSize::Small,
+                cfg(4, Frequency::F2_4, BlockSize::B256),
+            )
+        };
+        let healthy = run_standalone(&spec, &fw, job())
+            .unwrap()
+            .metrics
+            .exec_time_s;
+
+        let mut node = NodeSim::new(spec, fw);
+        let h = node.submit(job()).unwrap();
+        node.step().unwrap(); // retire setup → map wave active
+        node.inject_straggler(h, 4.0).unwrap();
+        assert_eq!(node.stragglers_injected(), 1);
+        node.run_to_completion().unwrap();
+        let slowed = node.finished()[0].metrics.exec_time_s;
+        assert!(slowed > 1.5 * healthy, "healthy {healthy} slowed {slowed}");
+        // The reduce wave runs at full speed again: total must stay well
+        // under a whole-job 4× stretch.
+        assert!(slowed < 4.0 * healthy, "healthy {healthy} slowed {slowed}");
+    }
+
+    #[test]
+    fn speculation_recovers_time_at_an_energy_premium() {
+        let (spec, fw) = atom();
+        let job = || {
+            JobSpec::new(
+                App::Wc,
+                InputSize::Small,
+                cfg(4, Frequency::F2_4, BlockSize::B256),
+            )
+        };
+        let run = |speculate: bool| {
+            let mut node = NodeSim::new(spec.clone(), fw.clone());
+            let h = node.submit(job()).unwrap();
+            node.step().unwrap();
+            node.inject_straggler(h, 6.0).unwrap();
+            if speculate {
+                assert!(node.speculate(h, 2).unwrap());
+                assert_eq!(node.speculative_retries(), 1);
+            }
+            node.run_to_completion().unwrap();
+            node.finished()[0].clone()
+        };
+        let stalled = run(false);
+        let rescued = run(true);
+        assert!(
+            rescued.metrics.exec_time_s < stalled.metrics.exec_time_s,
+            "speculation must beat waiting out the straggler: {} vs {}",
+            rescued.metrics.exec_time_s,
+            stalled.metrics.exec_time_s
+        );
+        // The duplicated work costs energy relative to a healthy run.
+        let healthy = run_standalone(&spec, &fw, job()).unwrap();
+        assert!(rescued.usage.energy_j > healthy.usage.energy_j);
+    }
+
+    #[test]
+    fn speculation_needs_straggler_and_free_cores() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        let h = node
+            .submit(JobSpec::new(
+                App::Wc,
+                InputSize::Small,
+                cfg(8, Frequency::F2_4, BlockSize::B256),
+            ))
+            .unwrap();
+        node.step().unwrap();
+        // Not straggling → no backup.
+        assert!(!node.speculate(h, 2).unwrap());
+        node.inject_straggler(h, 3.0).unwrap();
+        // Straggling but zero free cores → no backup.
+        assert!(!node.speculate(h, 2).unwrap());
+        assert_eq!(node.speculative_retries(), 0);
+        // Unknown handle is a typed error, not a panic.
+        assert!(matches!(
+            node.inject_straggler(JobHandle(999), 2.0),
+            Err(SimError::NoSuchJob(999))
+        ));
+    }
+
+    #[test]
+    fn crash_drops_active_jobs_and_keeps_energy() {
+        let (spec, fw) = atom();
+        let mut node = NodeSim::new(spec, fw);
+        let h = node
+            .submit(JobSpec::new(
+                App::St,
+                InputSize::Small,
+                cfg(4, Frequency::F2_4, BlockSize::B256),
+            ))
+            .unwrap();
+        node.step().unwrap();
+        node.advance(5.0).unwrap();
+        let spent = node.energy_j();
+        assert!(spent > 0.0);
+        let displaced = node.crash();
+        assert_eq!(displaced, vec![h]);
+        assert_eq!(node.active_jobs(), 0);
+        assert!(node.finished().is_empty());
+        assert_eq!(node.energy_j(), spent);
+        assert_eq!(node.free_cores(), 8);
     }
 }

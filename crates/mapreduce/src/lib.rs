@@ -37,7 +37,10 @@ pub mod stage;
 
 pub use config::{BlockSize, PairConfig, TuningConfig};
 pub use counters::{Feature, FeatureVector, NUM_FEATURES};
-pub use executor::{JobHandle, JobOutcome, NodeSim};
+pub use executor::{
+    run_colocated, run_colocated_degraded, run_standalone, run_standalone_degraded, JobHandle,
+    JobOutcome, NodeSim,
+};
 pub use framework::FrameworkSpec;
 pub use job::JobSpec;
 pub use metrics::{edp, JobMetrics, PairMetrics};

@@ -23,6 +23,9 @@ pub enum SimError {
     },
     /// A cluster-level request referenced a node that does not exist.
     NoSuchNode(usize),
+    /// A fault-injection request referenced a job handle not active on the
+    /// node (already finished, or never submitted there).
+    NoSuchJob(u64),
     /// An internal invariant was violated — a bug surfaced as a typed
     /// error instead of a panic, so library callers stay panic-free.
     Internal(&'static str),
@@ -47,6 +50,7 @@ impl fmt::Display for SimError {
                 "AMVA failed to converge after {iterations} iterations (residual {residual:.3e})"
             ),
             SimError::NoSuchNode(i) => write!(f, "no such node: {i}"),
+            SimError::NoSuchJob(h) => write!(f, "no such active job: handle {h}"),
             SimError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }

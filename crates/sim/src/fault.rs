@@ -1,0 +1,290 @@
+//! Deterministic fault injection: node crashes, node slowdowns and task
+//! stragglers scheduled against a [`ClusterSpec`].
+//!
+//! The paper's testbed is an 8-node Atom micro-server cluster where node
+//! slowdowns, disk contention and task stragglers are the norm, yet the
+//! happy-path simulation assumes a perfect cluster. A [`FaultPlan`] is the
+//! bridge: a pre-drawn, time-sorted list of fault events that a scheduler
+//! replays against its simulated nodes. Plans are sampled from the seeded
+//! [`crate::rng`] streams, so a chaos experiment is exactly as reproducible
+//! as a healthy one — same seed, same faults, same result.
+//!
+//! The three event kinds mirror what degrades real MapReduce clusters:
+//!
+//! * [`FaultKind::NodeCrash`] — the node leaves service permanently; any
+//!   work in flight there is lost and must be rescheduled elsewhere.
+//! * [`FaultKind::NodeSlowdown`] — the node keeps running but every rate is
+//!   degraded by a factor (thermal frequency cap, a failing disk, a noisy
+//!   neighbour on shared storage).
+//! * [`FaultKind::Straggler`] — one task wave of one job on the node runs a
+//!   multiplier slower (skewed partition, page-cache miss storm); the
+//!   classic target of MapReduce speculative execution.
+
+use crate::cluster::ClusterSpec;
+use crate::rng;
+use rand::Rng;
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node fails permanently: in-flight work is lost, the node serves
+    /// nothing afterwards.
+    NodeCrash,
+    /// Every rate on the node is divided by `factor` (≥ 1) from the event
+    /// time on — modelling a frequency cap and/or disk-bandwidth
+    /// degradation.
+    NodeSlowdown {
+        /// Degradation factor (1 = healthy, 2 = half speed).
+        factor: f64,
+    },
+    /// The current task wave of one job on the node is slowed by
+    /// `multiplier` (≥ 1) until the wave completes or a speculative backup
+    /// replaces it.
+    Straggler {
+        /// Wave slow-down multiplier (1 = healthy).
+        multiplier: f64,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time the fault strikes, seconds.
+    pub at_s: f64,
+    /// Index of the afflicted node (0-based).
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Per-node fault intensities used by [`FaultPlan::sample`]. Probabilities
+/// apply independently per node over the plan's horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a node crashes somewhere in the horizon.
+    pub crash_rate: f64,
+    /// Probability a node suffers a permanent slowdown in the horizon.
+    pub slowdown_rate: f64,
+    /// Slowdown factor applied when a slowdown fires (≥ 1).
+    pub slowdown_factor: f64,
+    /// Expected straggler events per node over the horizon.
+    pub straggler_rate: f64,
+    /// Wave multiplier applied when a straggler fires (≥ 1).
+    pub straggler_multiplier: f64,
+    /// Time window events are placed in, seconds.
+    pub horizon_s: f64,
+}
+
+impl FaultSpec {
+    /// A perfectly healthy cluster: nothing ever fires.
+    pub fn healthy(horizon_s: f64) -> FaultSpec {
+        FaultSpec {
+            crash_rate: 0.0,
+            slowdown_rate: 0.0,
+            slowdown_factor: 1.0,
+            straggler_rate: 0.0,
+            straggler_multiplier: 1.0,
+            horizon_s,
+        }
+    }
+
+    /// A one-knob preset: `intensity` in [0, 1] scales every rate from
+    /// healthy (0) to a harsh regime (1: every other node degraded, one
+    /// straggler per node expected, a quarter of nodes lost).
+    pub fn scaled(intensity: f64, horizon_s: f64) -> FaultSpec {
+        let x = intensity.clamp(0.0, 1.0);
+        FaultSpec {
+            crash_rate: 0.25 * x,
+            slowdown_rate: 0.5 * x,
+            slowdown_factor: 1.0 + x,
+            straggler_rate: x,
+            straggler_multiplier: 1.0 + 2.0 * x,
+            horizon_s,
+        }
+    }
+}
+
+/// A pre-drawn, time-sorted fault schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a run under it is bit-identical to a fault-free run.
+    pub fn none() -> FaultPlan {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Scheduled events, sorted by time (ties by node index).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Add one event (re-sorts; non-finite or negative times are clamped to
+    /// zero, degradation knobs below 1 are clamped to 1).
+    pub fn with_event(mut self, at_s: f64, node: usize, kind: FaultKind) -> FaultPlan {
+        let at_s = if at_s.is_finite() { at_s.max(0.0) } else { 0.0 };
+        let kind = match kind {
+            FaultKind::NodeSlowdown { factor } => FaultKind::NodeSlowdown {
+                factor: if factor.is_finite() {
+                    factor.max(1.0)
+                } else {
+                    1.0
+                },
+            },
+            FaultKind::Straggler { multiplier } => FaultKind::Straggler {
+                multiplier: if multiplier.is_finite() {
+                    multiplier.max(1.0)
+                } else {
+                    1.0
+                },
+            },
+            FaultKind::NodeCrash => FaultKind::NodeCrash,
+        };
+        self.events.push(FaultEvent { at_s, node, kind });
+        self.sort();
+        self
+    }
+
+    /// Draw a plan for `cluster` under `spec`, deterministically from
+    /// `seed` (the `"faults"` stream of [`crate::rng`]). Same seed, same
+    /// spec, same cluster → identical plan.
+    pub fn sample(cluster: &ClusterSpec, spec: &FaultSpec, seed: u64) -> FaultPlan {
+        let mut rng = rng::stream(seed, "faults");
+        let horizon = if spec.horizon_s.is_finite() {
+            spec.horizon_s.max(0.0)
+        } else {
+            0.0
+        };
+        let mut plan = FaultPlan::none();
+        for node in 0..cluster.nodes {
+            // Stragglers: expectation `straggler_rate`, drawn as whole
+            // events plus a Bernoulli fractional part.
+            let rate = spec.straggler_rate.max(0.0);
+            let mut count = rate.floor() as u32;
+            if rng.gen_range(0.0..1.0) < rate.fract() {
+                count += 1;
+            }
+            for _ in 0..count {
+                plan.events.push(FaultEvent {
+                    at_s: rng.gen_range(0.0..1.0) * horizon,
+                    node,
+                    kind: FaultKind::Straggler {
+                        multiplier: spec.straggler_multiplier.max(1.0),
+                    },
+                });
+            }
+            if rng.gen_range(0.0..1.0) < spec.slowdown_rate.clamp(0.0, 1.0) {
+                plan.events.push(FaultEvent {
+                    at_s: rng.gen_range(0.0..1.0) * horizon,
+                    node,
+                    kind: FaultKind::NodeSlowdown {
+                        factor: spec.slowdown_factor.max(1.0),
+                    },
+                });
+            }
+            if rng.gen_range(0.0..1.0) < spec.crash_rate.clamp(0.0, 1.0) {
+                plan.events.push(FaultEvent {
+                    at_s: rng.gen_range(0.0..1.0) * horizon,
+                    node,
+                    kind: FaultKind::NodeCrash,
+                });
+            }
+        }
+        plan.sort();
+        plan
+    }
+
+    /// Count of events per kind: `(crashes, slowdowns, stragglers)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for e in &self.events {
+            match e.kind {
+                FaultKind::NodeCrash => c.0 += 1,
+                FaultKind::NodeSlowdown { .. } => c.1 += 1,
+                FaultKind::Straggler { .. } => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    fn sort(&mut self) {
+        self.events
+            .sort_by(|a, b| a.at_s.total_cmp(&b.at_s).then(a.node.cmp(&b.node)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.census(), (0, 0, 0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let cluster = ClusterSpec::atom_cluster(8);
+        let spec = FaultSpec::scaled(0.8, 1000.0);
+        let a = FaultPlan::sample(&cluster, &spec, 42);
+        let b = FaultPlan::sample(&cluster, &spec, 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::sample(&cluster, &spec, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let cluster = ClusterSpec::atom_cluster(8);
+        let spec = FaultSpec::scaled(1.0, 500.0);
+        let p = FaultPlan::sample(&cluster, &spec, 7);
+        assert!(!p.is_empty(), "intensity 1 on 8 nodes must draw something");
+        for w in p.events().windows(2) {
+            assert!(w[0].at_s <= w[1].at_s);
+        }
+    }
+
+    #[test]
+    fn healthy_spec_draws_nothing() {
+        let cluster = ClusterSpec::atom_cluster(8);
+        let p = FaultPlan::sample(&cluster, &FaultSpec::healthy(1000.0), 1);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn with_event_clamps_and_sorts() {
+        let p = FaultPlan::none()
+            .with_event(50.0, 1, FaultKind::NodeCrash)
+            .with_event(-3.0, 0, FaultKind::NodeSlowdown { factor: 0.2 })
+            .with_event(f64::NAN, 2, FaultKind::Straggler { multiplier: 0.0 });
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.events()[0].at_s, 0.0);
+        assert!(matches!(
+            p.events()[0].kind,
+            FaultKind::NodeSlowdown { factor } if factor == 1.0
+        ));
+        assert_eq!(p.events()[2].at_s, 50.0);
+        assert_eq!(p.census(), (1, 1, 1));
+    }
+
+    #[test]
+    fn scaled_zero_equals_healthy() {
+        let s = FaultSpec::scaled(0.0, 100.0);
+        assert_eq!(s, FaultSpec::healthy(100.0));
+    }
+}

@@ -32,6 +32,7 @@ pub mod amva;
 pub mod cluster;
 pub mod dvfs;
 pub mod error;
+pub mod fault;
 pub mod node;
 pub mod power;
 pub mod rng;
@@ -41,5 +42,6 @@ pub use amva::{AmvaSolution, ClassDemand, SharedStation};
 pub use cluster::ClusterSpec;
 pub use dvfs::Frequency;
 pub use error::SimError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use node::{DiskSpec, MemSpec, NodeSpec};
 pub use power::{EnergyMeter, PowerBreakdown, PowerModel};

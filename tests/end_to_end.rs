@@ -46,7 +46,13 @@ fn classify_pair_tune_run_pipeline() {
     let classes: Vec<AppClass> = eligible.iter().map(|(_, c)| *c).collect();
     let pick = policy.choose(&classes).expect("two candidates");
     // PR (H-ish) outranks SVM (C) under I > H > C > M.
-    assert_eq!(queue.peek(eligible[pick].0).payload, "pr");
+    assert_eq!(
+        queue
+            .peek(eligible[pick].0)
+            .expect("eligible index in range")
+            .payload,
+        "pr"
+    );
 
     // 3. Self-tune with a REPTree trained on one swept training pair.
     let mb = InputSize::Small.per_node_mb();
