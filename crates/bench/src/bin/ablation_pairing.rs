@@ -3,10 +3,14 @@
 use ecost_bench::experiments;
 use ecost_bench::harness::Ctx;
 use ecost_core::report::emit;
+use std::process::ExitCode;
 
-fn main() {
-    let mut ctx = Ctx::new();
-    for (i, table) in experiments::ablation_pairing(&mut ctx).iter().enumerate() {
-        emit(table, Ctx::results_dir(), &format!("ablation_pairing_{i}")).expect("write results");
-    }
+fn main() -> ExitCode {
+    ecost_bench::run_main("ablation_pairing", || {
+        let mut ctx = Ctx::new();
+        for (i, table) in experiments::ablation_pairing(&mut ctx).iter().enumerate() {
+            emit(table, Ctx::results_dir(), &format!("ablation_pairing_{i}"))?;
+        }
+        Ok(())
+    })
 }

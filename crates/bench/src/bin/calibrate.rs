@@ -4,12 +4,18 @@
 //! tuning the substrate and kept as a regression aid.
 
 use ecost_apps::{App, InputSize};
+use ecost_bench::BenchError;
 use ecost_mapreduce::executor::{run_colocated, run_standalone};
 use ecost_mapreduce::{FrameworkSpec, JobSpec, PairConfig, PairMetrics, TuningConfig};
 use ecost_sim::NodeSpec;
 use rayon::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    ecost_bench::run_main("calibrate", run)
+}
+
+fn run() -> Result<(), BenchError> {
     let spec = NodeSpec::atom_c2758();
     let fw = FrameworkSpec::default();
     let idle = spec.idle_power_w;
@@ -17,20 +23,18 @@ fn main() {
     println!("== standalone optimal configs (wall EDP, Medium) ==");
     let mut best_solo = std::collections::HashMap::new();
     for app in ecost_apps::catalog::ALL_APPS {
-        let (cfg, m) = TuningConfig::space(8)
+        let runs: Result<Vec<_>, BenchError> = TuningConfig::space(8)
             .collect::<Vec<_>>()
             .par_iter()
             .map(|cfg| {
-                let out = run_standalone(&spec, &fw, JobSpec::new(app, InputSize::Medium, *cfg))
-                    .expect("sim");
-                (*cfg, out.metrics)
+                let out = run_standalone(&spec, &fw, JobSpec::new(app, InputSize::Medium, *cfg))?;
+                Ok((*cfg, out.metrics))
             })
-            .min_by(|a, b| {
-                a.1.edp_wall(idle)
-                    .partial_cmp(&b.1.edp_wall(idle))
-                    .expect("finite")
-            })
-            .expect("non-empty");
+            .collect();
+        let (cfg, m) = runs?
+            .into_iter()
+            .min_by(|a, b| a.1.edp_wall(idle).total_cmp(&b.1.edp_wall(idle)))
+            .ok_or_else(|| BenchError::Invalid("empty tuning space".into()))?;
         println!(
             "  {:4} [{}]  {}  T={:7.1}s  Pdyn={:5.2}W  EDPwall={:.3e}",
             app.name(),
@@ -52,29 +56,28 @@ fn main() {
             let (cb, mb) = best_solo[&b];
             let _ = (ca, cb);
             let ilao = PairMetrics::serial(&[ma, mb]);
-            let (best_cfg, colao) = pair_space
+            let runs: Result<Vec<_>, BenchError> = pair_space
                 .par_iter()
                 .map(|pc| {
                     let jobs = vec![
                         JobSpec::new(a, InputSize::Medium, pc.a),
                         JobSpec::new(b, InputSize::Medium, pc.b),
                     ];
-                    let (outs, makespan) = run_colocated(&spec, &fw, jobs).expect("sim");
+                    let (outs, makespan) = run_colocated(&spec, &fw, jobs)?;
                     let energy: f64 = outs.iter().map(|o| o.metrics.energy_j).sum();
-                    (
+                    Ok((
                         *pc,
                         PairMetrics {
                             makespan_s: makespan,
                             energy_j: energy,
                         },
-                    )
+                    ))
                 })
-                .min_by(|x, y| {
-                    x.1.edp_wall(idle)
-                        .partial_cmp(&y.1.edp_wall(idle))
-                        .expect("finite")
-                })
-                .expect("non-empty");
+                .collect();
+            let (best_cfg, colao) = runs?
+                .into_iter()
+                .min_by(|x, y| x.1.edp_wall(idle).total_cmp(&y.1.edp_wall(idle)))
+                .ok_or_else(|| BenchError::Invalid("empty pair space".into()))?;
             println!(
                 "  {:3}-{:3} [{}-{}]  ratio={:5.2}x  CO: m=({},{}) f=({},{}) h=({},{})  T_co={:6.1} T_il={:6.1}",
                 a.name(),
@@ -96,31 +99,34 @@ fn main() {
 
     println!("\n== EDP sensitivity vs mappers (wc, Medium): gain of tuning h+f over h|f alone ==");
     for m in [1u32, 2, 4, 8] {
-        let edp_of = |f: ecost_sim::Frequency, h: ecost_mapreduce::BlockSize| {
-            let cfg = TuningConfig {
-                freq: f,
-                block: h,
-                mappers: m,
+        let edp_of =
+            |f: ecost_sim::Frequency, h: ecost_mapreduce::BlockSize| -> Result<f64, BenchError> {
+                let cfg = TuningConfig {
+                    freq: f,
+                    block: h,
+                    mappers: m,
+                };
+                Ok(
+                    run_standalone(&spec, &fw, JobSpec::new(App::Wc, InputSize::Medium, cfg))?
+                        .metrics
+                        .edp_wall(idle),
+                )
             };
-            run_standalone(&spec, &fw, JobSpec::new(App::Wc, InputSize::Medium, cfg))
-                .expect("sim")
-                .metrics
-                .edp_wall(idle)
-        };
-        let base = edp_of(ecost_sim::Frequency::F1_2, ecost_mapreduce::BlockSize::B64);
-        let best_h = ecost_mapreduce::BlockSize::ALL
-            .iter()
-            .map(|h| edp_of(ecost_sim::Frequency::F1_2, *h))
-            .fold(f64::INFINITY, f64::min);
-        let best_f = ecost_sim::Frequency::ALL
-            .iter()
-            .map(|f| edp_of(*f, ecost_mapreduce::BlockSize::B64))
-            .fold(f64::INFINITY, f64::min);
-        let best_hf = ecost_sim::Frequency::ALL
-            .iter()
-            .flat_map(|f| ecost_mapreduce::BlockSize::ALL.iter().map(move |h| (f, h)))
-            .map(|(f, h)| edp_of(*f, *h))
-            .fold(f64::INFINITY, f64::min);
+        let base = edp_of(ecost_sim::Frequency::F1_2, ecost_mapreduce::BlockSize::B64)?;
+        let mut best_h = f64::INFINITY;
+        for h in ecost_mapreduce::BlockSize::ALL.iter() {
+            best_h = best_h.min(edp_of(ecost_sim::Frequency::F1_2, *h)?);
+        }
+        let mut best_f = f64::INFINITY;
+        for f in ecost_sim::Frequency::ALL.iter() {
+            best_f = best_f.min(edp_of(*f, ecost_mapreduce::BlockSize::B64)?);
+        }
+        let mut best_hf = f64::INFINITY;
+        for f in ecost_sim::Frequency::ALL.iter() {
+            for h in ecost_mapreduce::BlockSize::ALL.iter() {
+                best_hf = best_hf.min(edp_of(*f, *h)?);
+            }
+        }
         println!(
             "  m={m}: improv h-only={:5.1}%  f-only={:5.1}%  h+f={:5.1}%  (h+f vs best single: {:4.1}%)",
             100.0 * (1.0 - best_h / base),
@@ -129,4 +135,5 @@ fn main() {
             100.0 * (1.0 - best_hf / best_h.min(best_f)),
         );
     }
+    Ok(())
 }

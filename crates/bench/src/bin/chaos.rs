@@ -8,15 +8,19 @@
 use ecost_bench::experiments;
 use ecost_bench::harness::Ctx;
 use ecost_core::report::emit;
+use std::process::ExitCode;
 
-fn main() {
-    let mut ctx = Ctx::new();
-    let (tables, json) = experiments::chaos(&mut ctx);
-    let dir = Ctx::results_dir();
-    for (i, table) in tables.iter().enumerate() {
-        emit(table, &dir, &format!("chaos_{i}")).expect("write results");
-    }
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    std::fs::write(dir.join("chaos.json"), &json).expect("write chaos.json");
-    println!("wrote {}", dir.join("chaos.json").display());
+fn main() -> ExitCode {
+    ecost_bench::run_main("chaos", || {
+        let mut ctx = Ctx::new();
+        let (tables, json) = experiments::chaos(&mut ctx);
+        let dir = Ctx::results_dir();
+        for (i, table) in tables.iter().enumerate() {
+            emit(table, &dir, &format!("chaos_{i}"))?;
+        }
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join("chaos.json"), &json)?;
+        println!("wrote {}", dir.join("chaos.json").display());
+        Ok(())
+    })
 }

@@ -13,10 +13,12 @@
 
 use ecost_apps::catalog::ALL_APPS;
 use ecost_apps::{App, InputSize};
+use ecost_bench::BenchError;
 use ecost_core::classify::RuleClassifier;
 use ecost_core::engine::EvalEngine;
 use ecost_core::features::profile_catalog_app;
 use ecost_mapreduce::{Feature, TuningConfig};
+use std::process::ExitCode;
 
 fn parse_size(arg: Option<&String>) -> InputSize {
     match arg.map(String::as_str) {
@@ -44,7 +46,11 @@ fn parse_app(arg: Option<&String>) -> App {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    ecost_bench::run_main("ecost_cli", run)
+}
+
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let eng = EvalEngine::atom();
     let idle = eng.idle_w();
@@ -67,7 +73,7 @@ fn main() {
         Some("profile") => {
             let app = parse_app(args.get(1));
             let size = parse_size(args.get(2));
-            let sig = profile_catalog_app(&eng, app, size, 0.03, 42).expect("profiling run");
+            let sig = profile_catalog_app(&eng, app, size, 0.03, 42)?;
             println!(
                 "learning period for {app} at {size}: {:.1}s",
                 sig.profile_time_s
@@ -79,7 +85,7 @@ fn main() {
             let mut training = Vec::new();
             for t in ecost_apps::TRAINING_APPS {
                 for s in InputSize::ALL {
-                    let tsig = profile_catalog_app(&eng, t, s, 0.03, 42).expect("profiling run");
+                    let tsig = profile_catalog_app(&eng, t, s, 0.03, 42)?;
                     training.push((tsig, t.class()));
                 }
             }
@@ -93,16 +99,12 @@ fn main() {
         Some("tune") => {
             let app = parse_app(args.get(1));
             let size = parse_size(args.get(2));
-            let best = eng
-                .best_solo(app.profile(), size.per_node_mb())
-                .expect("solo sweep");
-            let default = eng
-                .solo_metrics(
-                    app.profile(),
-                    size.per_node_mb(),
-                    TuningConfig::hadoop_default(eng.testbed().node.cores),
-                )
-                .expect("solo sim");
+            let best = eng.best_solo(app.profile(), size.per_node_mb())?;
+            let default = eng.solo_metrics(
+                app.profile(),
+                size.per_node_mb(),
+                TuningConfig::hadoop_default(eng.testbed().node.cores),
+            )?;
             println!(
                 "best standalone config for {app} at {size}: {}",
                 best.config
@@ -120,11 +122,8 @@ fn main() {
             let b = parse_app(args.get(2));
             let size = parse_size(args.get(3));
             let mb = size.per_node_mb();
-            let best = eng
-                .best_pair(a.profile(), mb, b.profile(), mb)
-                .expect("pair sweep");
-            let ilao =
-                ecost_core::strategies::ilao(&eng, a.profile(), mb, b.profile(), mb).expect("ilao");
+            let best = eng.best_pair(a.profile(), mb, b.profile(), mb)?;
+            let ilao = ecost_core::strategies::ilao(&eng, a.profile(), mb, b.profile(), mb)?;
             println!("COLAO oracle for {a}+{b} at {size} (11 200 configs swept):");
             println!("  {a}: {}", best.config.a);
             println!("  {b}: {}", best.config.b);
@@ -139,10 +138,7 @@ fn main() {
             let app = parse_app(args.get(1));
             let size = parse_size(args.get(2));
             println!("freq_ghz,block_mb,mappers,exec_s,power_w,edp_wall");
-            for run in eng
-                .sweep_solo(app.profile(), size.per_node_mb())
-                .expect("solo sweep")
-            {
+            for run in eng.sweep_solo(app.profile(), size.per_node_mb())? {
                 println!(
                     "{},{},{},{:.2},{:.3},{:.6e}",
                     run.config.freq.ghz(),
@@ -166,4 +162,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    Ok(())
 }

@@ -3,18 +3,21 @@
 use ecost_bench::experiments;
 use ecost_bench::harness::Ctx;
 use ecost_core::report::emit;
+use std::process::ExitCode;
 
-fn main() {
-    let mut ctx = Ctx::new();
-    for (i, table) in experiments::extension_open_queue(&mut ctx)
-        .iter()
-        .enumerate()
-    {
-        emit(
-            table,
-            Ctx::results_dir(),
-            &format!("extension_open_queue_{i}"),
-        )
-        .expect("write results");
-    }
+fn main() -> ExitCode {
+    ecost_bench::run_main("extension_open_queue", || {
+        let mut ctx = Ctx::new();
+        for (i, table) in experiments::extension_open_queue(&mut ctx)
+            .iter()
+            .enumerate()
+        {
+            emit(
+                table,
+                Ctx::results_dir(),
+                &format!("extension_open_queue_{i}"),
+            )?;
+        }
+        Ok(())
+    })
 }

@@ -3,10 +3,14 @@
 use ecost_bench::experiments;
 use ecost_bench::harness::Ctx;
 use ecost_core::report::emit;
+use std::process::ExitCode;
 
-fn main() {
-    let mut ctx = Ctx::new();
-    for (i, table) in experiments::fig2_tuning(&mut ctx).iter().enumerate() {
-        emit(table, Ctx::results_dir(), &format!("fig2_tuning_{i}")).expect("write results");
-    }
+fn main() -> ExitCode {
+    ecost_bench::run_main("fig2_tuning", || {
+        let mut ctx = Ctx::new();
+        for (i, table) in experiments::fig2_tuning(&mut ctx).iter().enumerate() {
+            emit(table, Ctx::results_dir(), &format!("fig2_tuning_{i}"))?;
+        }
+        Ok(())
+    })
 }

@@ -7,17 +7,30 @@
 use ecost_apps::InputSize;
 use ecost_bench::experiments;
 use ecost_bench::harness::Ctx;
+use ecost_bench::BenchError;
 use ecost_core::report::emit;
+use std::process::ExitCode;
 
-fn main() {
-    let sizes: Vec<usize> = std::env::var("ECOST_NODES")
-        .unwrap_or_else(|_| "1,2,4,8".into())
-        .split(',')
-        .map(|s| s.trim().parse().expect("node count"))
-        .collect();
-    let mut ctx = Ctx::new();
-    let tables = experiments::fig9_scalability(&mut ctx, &sizes, InputSize::Small);
-    for (i, table) in tables.iter().enumerate() {
-        emit(table, Ctx::results_dir(), &format!("fig9_scalability_{i}")).expect("write results");
-    }
+fn main() -> ExitCode {
+    ecost_bench::run_main("fig9_scalability", || {
+        let sizes =
+            parse_nodes(&std::env::var("ECOST_NODES").unwrap_or_else(|_| "1,2,4,8".into()))?;
+        let mut ctx = Ctx::new();
+        let tables = experiments::fig9_scalability(&mut ctx, &sizes, InputSize::Small);
+        for (i, table) in tables.iter().enumerate() {
+            emit(table, Ctx::results_dir(), &format!("fig9_scalability_{i}"))?;
+        }
+        Ok(())
+    })
+}
+
+/// Parse `ECOST_NODES` ("1,2,4,8") into cluster sizes.
+fn parse_nodes(raw: &str) -> Result<Vec<usize>, BenchError> {
+    raw.split(',')
+        .map(|s| {
+            s.trim().parse().map_err(|_| {
+                BenchError::Invalid(format!("bad node count '{}' in ECOST_NODES", s.trim()))
+            })
+        })
+        .collect()
 }

@@ -3,10 +3,14 @@
 use ecost_bench::experiments;
 use ecost_bench::harness::Ctx;
 use ecost_core::report::emit;
+use std::process::ExitCode;
 
-fn main() {
-    let mut ctx = Ctx::new();
-    for (i, table) in experiments::table1_ape(&mut ctx).iter().enumerate() {
-        emit(table, Ctx::results_dir(), &format!("table1_ape_{i}")).expect("write results");
-    }
+fn main() -> ExitCode {
+    ecost_bench::run_main("table1_ape", || {
+        let mut ctx = Ctx::new();
+        for (i, table) in experiments::table1_ape(&mut ctx).iter().enumerate() {
+            emit(table, Ctx::results_dir(), &format!("table1_ape_{i}"))?;
+        }
+        Ok(())
+    })
 }

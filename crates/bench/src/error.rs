@@ -1,0 +1,77 @@
+//! Typed errors for the experiment binaries.
+//!
+//! The `src/bin/*` wrappers used to `expect()` on their I/O and simulation
+//! paths; they now bubble a [`BenchError`] out of a fallible `run()` and
+//! exit non-zero through [`run_main`], so a full disk or a failed
+//! evaluation is a diagnosable error message, not a panic backtrace.
+
+use ecost_core::engine::EvalError;
+use ecost_sim::SimError;
+use std::fmt;
+use std::process::ExitCode;
+
+/// Everything that can go wrong in an experiment binary.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Writing results (or creating the results directory) failed.
+    Io(std::io::Error),
+    /// An evaluation driven through the engine failed.
+    Eval(EvalError),
+    /// The raw simulator rejected a run.
+    Sim(SimError),
+    /// Malformed input: an environment variable, argument, or an
+    /// experiment invariant (e.g. an empty sweep) that did not hold.
+    Invalid(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Io(e) => write!(f, "i/o error: {e}"),
+            BenchError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            BenchError::Sim(e) => write!(f, "simulation failed: {e}"),
+            BenchError::Invalid(what) => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io(e) => Some(e),
+            BenchError::Eval(e) => Some(e),
+            BenchError::Sim(e) => Some(e),
+            BenchError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> BenchError {
+        BenchError::Io(e)
+    }
+}
+
+impl From<EvalError> for BenchError {
+    fn from(e: EvalError) -> BenchError {
+        BenchError::Eval(e)
+    }
+}
+
+impl From<SimError> for BenchError {
+    fn from(e: SimError) -> BenchError {
+        BenchError::Sim(e)
+    }
+}
+
+/// Run an experiment body, mapping `Err` to a one-line diagnostic on
+/// stderr and a non-zero exit code. Every `src/bin/*` main delegates here.
+pub fn run_main(name: &str, body: impl FnOnce() -> Result<(), BenchError>) -> ExitCode {
+    match body() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -20,7 +20,7 @@ use std::time::Instant;
 /// Re-exported from [`ecost_core::report`], where the rendering now lives
 /// alongside the other table helpers (it gained the fault/retry/fallback
 /// counters of the fault-injection subsystem).
-pub use ecost_core::report::engine_stats_table;
+pub use ecost_core::report::{engine_stats_table, telemetry_stats_table};
 
 // ---------------------------------------------------------------- Fig 1 --
 
@@ -496,9 +496,10 @@ pub fn fig8_overhead(ctx: &mut Ctx) -> Vec<Table> {
     let stats = ctx.engine.stats();
     vec![
         table,
-        engine_stats_table(
+        telemetry_stats_table(
             "Fig 8 addendum: evaluation-engine stats (the offline cost every technique shares)",
             &stats,
+            ctx.engine.recorder(),
         ),
     ]
 }
@@ -976,7 +977,11 @@ pub fn chaos(ctx: &mut Ctx) -> (Vec<Table>, String) {
         }
     }
     json.push_str("  ]\n}\n");
-    let stats = engine_stats_table("Chaos: engine counters after the sweep", &eng.stats());
+    let stats = telemetry_stats_table(
+        "Chaos: engine counters after the sweep",
+        &eng.stats(),
+        eng.recorder(),
+    );
     (vec![table, stats], json)
 }
 

@@ -10,5 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiments;
 pub mod harness;
+
+pub use error::{run_main, BenchError};

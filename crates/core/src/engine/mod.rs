@@ -30,8 +30,8 @@ use cache::ShardedCache;
 use ecost_apps::AppProfile;
 use ecost_mapreduce::executor::{run_colocated_degraded, run_standalone_degraded, JobOutcome};
 use ecost_mapreduce::{JobMetrics, JobSpec, PairConfig, PairMetrics, TuningConfig};
+use ecost_telemetry::{Counter, Event, Recorder, Registry};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -235,15 +235,33 @@ struct PairPointKey {
     cfg: PairConfig,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    runs: AtomicU64,
-    wall_ns: AtomicU64,
-    faults: AtomicU64,
-    retries: AtomicU64,
-    fallbacks: AtomicU64,
+/// Cached handles into the telemetry registry — one per engine metric, so
+/// the hot paths pay exactly one relaxed atomic add per probe and never a
+/// registry lookup. [`EngineStats`] is a read-only view over these: the
+/// registry is the single source of truth.
+#[derive(Debug, Clone)]
+struct EngineCounters {
+    hits: Counter,
+    misses: Counter,
+    runs: Counter,
+    wall_ns: Counter,
+    faults: Counter,
+    retries: Counter,
+    fallbacks: Counter,
+}
+
+impl EngineCounters {
+    fn new(reg: &Registry) -> EngineCounters {
+        EngineCounters {
+            hits: reg.counter("engine.cache_hits"),
+            misses: reg.counter("engine.cache_misses"),
+            runs: reg.counter("engine.runs_simulated"),
+            wall_ns: reg.counter("engine.wall_ns"),
+            faults: reg.counter("engine.faults_injected"),
+            retries: reg.counter("engine.retries"),
+            fallbacks: reg.counter("engine.fallbacks"),
+        }
+    }
 }
 
 /// The evaluation service. Owns the testbed and every memo table; share it
@@ -254,19 +272,34 @@ pub struct EvalEngine {
     solo: ShardedCache<SoloKey, Arc<JobOutcome>>,
     sweeps: ShardedCache<PairKey, Arc<Vec<PairRun>>>,
     pair_points: ShardedCache<PairPointKey, PairMetrics>,
-    counters: Counters,
+    recorder: Recorder,
+    counters: EngineCounters,
 }
 
 impl EvalEngine {
-    /// Engine over an explicit testbed.
+    /// Engine over an explicit testbed, with a no-op recorder (metrics
+    /// live, trace events dropped).
     pub fn new(tb: Testbed) -> EvalEngine {
+        EvalEngine::with_recorder(tb, Recorder::noop())
+    }
+
+    /// Engine reporting into an explicit telemetry recorder.
+    pub fn with_recorder(tb: Testbed, recorder: Recorder) -> EvalEngine {
+        let counters = EngineCounters::new(recorder.metrics());
         EvalEngine {
             tb,
             solo: ShardedCache::new(),
             sweeps: ShardedCache::new(),
             pair_points: ShardedCache::new(),
-            counters: Counters::default(),
+            recorder,
+            counters,
         }
+    }
+
+    /// The telemetry recorder this engine (and every run driven through
+    /// it) reports into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Engine over the paper's Atom testbed (the common case).
@@ -284,16 +317,18 @@ impl EvalEngine {
         self.tb.idle_w()
     }
 
-    /// Snapshot of lifetime counters.
+    /// Snapshot of lifetime counters — a read-only view over the telemetry
+    /// registry (the counters live there; this struct holds no state of
+    /// its own).
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
-            runs_simulated: self.counters.runs.load(Ordering::Relaxed),
-            wall_seconds: self.counters.wall_ns.load(Ordering::Relaxed) as f64 * 1e-9,
-            faults_injected: self.counters.faults.load(Ordering::Relaxed),
-            retries: self.counters.retries.load(Ordering::Relaxed),
-            fallbacks: self.counters.fallbacks.load(Ordering::Relaxed),
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            runs_simulated: self.counters.runs.get(),
+            wall_seconds: self.counters.wall_ns.get() as f64 * 1e-9,
+            faults_injected: self.counters.faults.get(),
+            retries: self.counters.retries.get(),
+            fallbacks: self.counters.fallbacks.get(),
         }
     }
 
@@ -307,44 +342,63 @@ impl EvalEngine {
         self.solo.len()
     }
 
-    fn hit(&self) {
-        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+    /// Cache probe served from the memo. Cache events carry no simulated
+    /// timestamp of their own — the engine has no clock — so they are
+    /// stamped t = 0.
+    fn hit(&self, cache: &'static str) {
+        self.counters.hits.inc();
+        self.recorder
+            .emit(0.0, None, None, || Event::CacheHit { cache });
     }
 
-    fn miss(&self) {
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+    /// Cache probe that has to simulate.
+    fn miss(&self, cache: &'static str) {
+        self.counters.misses.inc();
+        self.recorder
+            .emit(0.0, None, None, || Event::CacheMiss { cache });
     }
 
     fn charge(&self, runs: u64, elapsed_ns: u64) {
-        self.counters.runs.fetch_add(runs, Ordering::Relaxed);
-        self.counters
-            .wall_ns
-            .fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.counters.runs.add(runs);
+        self.counters.wall_ns.add(elapsed_ns);
     }
 
-    /// Record a fault event applied to a run driven through this engine.
-    pub fn note_fault(&self) {
-        self.counters.faults.fetch_add(1, Ordering::Relaxed);
+    /// Record a fault event applied at simulated time `t_s` to a run
+    /// driven through this engine. `kind` is the fault's short name
+    /// ("node-crash", "node-slowdown", "straggler").
+    pub fn note_fault(&self, t_s: f64, kind: &str) {
+        self.counters.faults.inc();
+        self.recorder.emit(t_s, None, None, || Event::FaultFired {
+            kind: kind.to_string(),
+        });
     }
 
-    /// Record a transient-failure retry.
-    pub fn note_retry(&self) {
-        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+    /// Record a transient-failure retry at simulated time `t_s`, charging
+    /// `backoff_s` simulated seconds.
+    pub fn note_retry(&self, t_s: f64, backoff_s: f64) {
+        self.counters.retries.inc();
+        self.recorder
+            .emit(t_s, None, None, || Event::Retry { backoff_s });
     }
 
-    /// Record a graceful degradation (solo placement, class-default
-    /// config).
-    pub fn note_fallback(&self) {
-        self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+    /// Record a graceful degradation at simulated time `t_s` (solo
+    /// placement, class-default config).
+    pub fn note_fallback(&self, t_s: f64, what: &'static str) {
+        self.counters.fallbacks.inc();
+        self.recorder
+            .emit(t_s, None, None, || Event::Fallback { what });
     }
 
-    /// Run `op`, retrying transient failures under `policy`. Returns the
-    /// value plus the *simulated* backoff seconds accrued; the caller adds
-    /// those to its simulated clock so retries cost EDP, not just wall
-    /// time. Non-transient errors and exhausted budgets propagate.
+    /// Run `op`, retrying transient failures under `policy`. `t_s` is the
+    /// simulated time the evaluation is issued at (used to stamp retry
+    /// events). Returns the value plus the *simulated* backoff seconds
+    /// accrued; the caller adds those to its simulated clock so retries
+    /// cost EDP, not just wall time. Non-transient errors and exhausted
+    /// budgets propagate.
     pub fn with_retry<T>(
         &self,
         policy: &RetryPolicy,
+        t_s: f64,
         mut op: impl FnMut() -> Result<T, EvalError>,
     ) -> Result<(T, f64), EvalError> {
         let mut backoff_s = 0.0;
@@ -353,9 +407,10 @@ impl EvalEngine {
             match op() {
                 Ok(v) => return Ok((v, backoff_s)),
                 Err(e) if e.is_transient() && attempt < policy.max_retries => {
-                    backoff_s += policy.backoff_for(attempt);
+                    let step_s = policy.backoff_for(attempt);
+                    backoff_s += step_s;
                     attempt += 1;
-                    self.note_retry();
+                    self.note_retry(t_s, step_s);
                 }
                 Err(e) => return Err(e),
             }
@@ -398,10 +453,10 @@ impl EvalEngine {
             slow: slowdown.to_bits(),
         };
         if let Some(hit) = self.solo.get(&key) {
-            self.hit();
+            self.hit("solo");
             return Ok(hit);
         }
-        self.miss();
+        self.miss("solo");
         let t0 = Instant::now();
         let job = JobSpec::from_profile(profile.clone(), input_mb, cfg);
         let out = run_standalone_degraded(&self.tb.node, &self.tb.fw, job, slowdown)?;
@@ -539,17 +594,17 @@ impl EvalEngine {
         let cfg = if swap { pc.swapped() } else { pc };
         let key = PairPointKey { pair, cfg };
         if let Some(hit) = self.pair_points.get(&key) {
-            self.hit();
+            self.hit("pair");
             return Ok(hit);
         }
         // A full sweep for this pair already holds every point.
         if let Some(sweep) = self.sweeps.get(&pair) {
             if let Some(run) = sweep.iter().find(|r| r.config == cfg) {
-                self.hit();
+                self.hit("pair");
                 return Ok(self.pair_points.insert_or_keep(key, run.metrics));
             }
         }
-        self.miss();
+        self.miss("pair");
         let t0 = Instant::now();
         let metrics = self.simulate_pair(a, input_a_mb, b, input_b_mb, pc, slowdown)?;
         self.charge(1, t0.elapsed().as_nanos() as u64);
@@ -568,13 +623,13 @@ impl EvalEngine {
     ) -> Result<PairSweep, EvalError> {
         let (key, swap) = self.pair_key(a, input_a_mb, b, input_b_mb, 1.0);
         if let Some(runs) = self.sweeps.get(&key) {
-            self.hit();
+            self.hit("sweep");
             return Ok(PairSweep {
                 runs,
                 swapped: swap,
             });
         }
-        self.miss();
+        self.miss("sweep");
         // Simulate in the *stored* orientation so the cached runs are
         // identical no matter which orientation asked first.
         let (sa, sa_mb, sb, sb_mb) = if swap {
@@ -776,7 +831,7 @@ mod tests {
         let policy = RetryPolicy::default();
         let mut failures_left = 2;
         let (v, backoff) = eng
-            .with_retry(&policy, || {
+            .with_retry(&policy, 0.0, || {
                 if failures_left > 0 {
                     failures_left -= 1;
                     Err(EvalError::Transient { what: "flaky eval" })
@@ -789,13 +844,13 @@ mod tests {
         assert_eq!(backoff, 3.0); // 1 s + 2 s
         assert_eq!(eng.stats().retries, 2);
         // Budget exhaustion propagates the transient error.
-        let err = eng.with_retry(&RetryPolicy::none(), || {
+        let err = eng.with_retry(&RetryPolicy::none(), 0.0, || {
             Err::<(), _>(EvalError::Transient { what: "flaky eval" })
         });
         assert!(matches!(err, Err(EvalError::Transient { .. })));
         // Non-transient errors are not retried.
         let mut calls = 0;
-        let err = eng.with_retry(&policy, || {
+        let err = eng.with_retry(&policy, 0.0, || {
             calls += 1;
             Err::<(), _>(EvalError::InvalidInput { what: "bad" })
         });
@@ -806,9 +861,9 @@ mod tests {
     #[test]
     fn fault_counters_round_trip_through_stats() {
         let eng = EvalEngine::atom();
-        eng.note_fault();
-        eng.note_fault();
-        eng.note_fallback();
+        eng.note_fault(10.0, "node-crash");
+        eng.note_fault(20.0, "straggler");
+        eng.note_fallback(30.0, "config");
         let s = eng.stats();
         assert_eq!(s.faults_injected, 2);
         assert_eq!(s.fallbacks, 1);
@@ -816,6 +871,73 @@ mod tests {
         let line = s.to_string();
         assert!(line.contains("2 faults"), "{line}");
         assert!(line.contains("1 fallbacks"), "{line}");
+    }
+
+    #[test]
+    fn stats_is_a_view_over_the_telemetry_registry() {
+        // Satellite guarantee: `EngineStats` holds no state of its own —
+        // every field equals the corresponding registry counter.
+        let eng = EvalEngine::atom();
+        let p = App::Wc.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let cfg = TuningConfig::hadoop_default(8);
+        eng.solo_outcome(p, mb, cfg).unwrap();
+        eng.solo_outcome(p, mb, cfg).unwrap();
+        eng.note_fault(1.0, "node-crash");
+        eng.note_retry(2.0, 1.0);
+        eng.note_fallback(3.0, "config");
+
+        let s = eng.stats();
+        let snap = eng.recorder().metrics().snapshot();
+        assert_eq!(s.hits, snap.counter("engine.cache_hits"));
+        assert_eq!(s.misses, snap.counter("engine.cache_misses"));
+        assert_eq!(s.runs_simulated, snap.counter("engine.runs_simulated"));
+        assert_eq!(s.faults_injected, snap.counter("engine.faults_injected"));
+        assert_eq!(s.retries, snap.counter("engine.retries"));
+        assert_eq!(s.fallbacks, snap.counter("engine.fallbacks"));
+        assert_eq!(s.wall_seconds, snap.counter("engine.wall_ns") as f64 * 1e-9);
+    }
+
+    #[test]
+    fn recorded_trace_event_counts_match_stats() {
+        // Events are emitted inside the same functions that bump the
+        // counters, so a recorded trace always agrees with `EngineStats`.
+        let eng = EvalEngine::with_recorder(Testbed::atom(), Recorder::recording());
+        let p = App::Wc.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let cfg = TuningConfig::hadoop_default(8);
+        eng.solo_outcome(p, mb, cfg).unwrap();
+        eng.solo_outcome(p, mb, cfg).unwrap();
+        eng.note_fault(5.0, "straggler");
+        eng.note_fallback(6.0, "solo");
+        let policy = RetryPolicy::default();
+        let mut failures_left = 1;
+        eng.with_retry(&policy, 7.0, || {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(EvalError::Transient { what: "flaky eval" })
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+
+        let count = |name: &str| {
+            eng.recorder()
+                .events()
+                .iter()
+                .filter(|e| match e {
+                    ecost_telemetry::TraceEvent::Instant { event, .. } => event.name() == name,
+                    _ => false,
+                })
+                .count() as u64
+        };
+        let s = eng.stats();
+        assert_eq!(count("cache-hit"), s.hits);
+        assert_eq!(count("cache-miss"), s.misses);
+        assert_eq!(count("fault-fired"), s.faults_injected);
+        assert_eq!(count("retry"), s.retries);
+        assert_eq!(count("fallback"), s.fallbacks);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use ecost_apps::{AppClass, Workload};
 use ecost_mapreduce::executor::NodeSim;
 use ecost_mapreduce::{BlockSize, JobSpec, TuningConfig};
 use ecost_sim::{FaultKind, FaultPlan, Frequency};
+use ecost_telemetry::{Event, Gauge};
 use std::fmt;
 
 /// One of the §8 mapping policies.
@@ -343,6 +344,16 @@ pub fn class_default_config(class: AppClass, mappers: u32) -> TuningConfig {
     }
 }
 
+/// Single-letter form of a behaviour class, for telemetry payloads.
+fn class_char(class: AppClass) -> char {
+    match class {
+        AppClass::C => 'C',
+        AppClass::H => 'H',
+        AppClass::I => 'I',
+        AppClass::M => 'M',
+    }
+}
+
 /// Index of the smallest entry (first on ties); 0 for an empty slice.
 fn earliest(times: &[f64]) -> usize {
     times
@@ -496,15 +507,18 @@ trait StreamPolicy {
     /// from the head) and the eligible queue candidates, return the position
     /// *within `candidates`* of the chosen partner and the full pair
     /// configuration (`.a` for the anchor, `.b` for the partner).
+    /// `now` is the scheduler's simulated clock, used to stamp any
+    /// degradation events the policy records.
     fn pick(
         &self,
+        now: f64,
         anchor: &Prepared,
         candidates: &[&Prepared],
         cores: u32,
     ) -> Result<(usize, ecost_mapreduce::PairConfig), EvalError>;
 
     /// Configuration for a job running alone (tail of the workload).
-    fn solo_config(&self, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError>;
+    fn solo_config(&self, now: f64, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError>;
 }
 
 /// ECoST's decisions: partner class by the Fig 4 decision tree, knobs by
@@ -528,8 +542,8 @@ impl<'a, 'b> EcostPolicy<'a, 'b> {
         }
     }
 
-    fn note_config_fallback(&self) {
-        self.engine.note_fallback();
+    fn note_config_fallback(&self, now: f64) {
+        self.engine.note_fallback(now, "config");
         self.config_fallbacks.set(self.config_fallbacks.get() + 1);
     }
 }
@@ -537,6 +551,7 @@ impl<'a, 'b> EcostPolicy<'a, 'b> {
 impl StreamPolicy for EcostPolicy<'_, '_> {
     fn pick(
         &self,
+        now: f64,
         anchor: &Prepared,
         candidates: &[&Prepared],
         cores: u32,
@@ -570,7 +585,7 @@ impl StreamPolicy for EcostPolicy<'_, '_> {
             Err(e) if e.is_degradable() => {
                 // Missing LkT entry / non-finite MLM prediction: run the
                 // pair on class-default knobs instead of aborting.
-                self.note_config_fallback();
+                self.note_config_fallback(now);
                 let b_share = (cores / 2).max(1);
                 let a_share = (cores - b_share).max(1);
                 ecost_mapreduce::PairConfig {
@@ -586,12 +601,12 @@ impl StreamPolicy for EcostPolicy<'_, '_> {
         Ok((pick, cfg))
     }
 
-    fn solo_config(&self, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError> {
+    fn solo_config(&self, now: f64, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError> {
         match self.ctx.db.nearest_solo(&job.sig.key()) {
             Some(entry) => Ok(entry.config),
             None => {
                 // Empty database: class-default knobs over the whole node.
-                self.note_config_fallback();
+                self.note_config_fallback(now);
                 Ok(class_default_config(job.class, cores))
             }
         }
@@ -607,6 +622,7 @@ struct OraclePolicy<'a> {
 impl StreamPolicy for OraclePolicy<'_> {
     fn pick(
         &self,
+        _now: f64,
         anchor: &Prepared,
         candidates: &[&Prepared],
         cores: u32,
@@ -637,7 +653,12 @@ impl StreamPolicy for OraclePolicy<'_> {
         Ok((pick, cfg))
     }
 
-    fn solo_config(&self, job: &Prepared, _cores: u32) -> Result<TuningConfig, EvalError> {
+    fn solo_config(
+        &self,
+        _now: f64,
+        job: &Prepared,
+        _cores: u32,
+    ) -> Result<TuningConfig, EvalError> {
         Ok(self
             .engine
             .best_solo(&job.sig.profile, job.sig.input_mb)?
@@ -652,6 +673,12 @@ struct StreamSim<'e> {
     engine: &'e EvalEngine,
     cores: u32,
     retry: RetryPolicy,
+    /// The scheduler's simulated clock, mirrored from the event loop so
+    /// telemetry records carry simulated (never wall) timestamps.
+    now: f64,
+    /// Queue-depth gauge (`scheduler.queue_depth`), sampled at every
+    /// dispatch decision point.
+    queue_depth: Gauge,
     nodes: Vec<NodeSim>,
     running: Vec<Vec<(ecost_mapreduce::JobHandle, Prepared, u32)>>,
     alive: Vec<bool>,
@@ -667,7 +694,7 @@ impl StreamSim<'_> {
         mut op: impl FnMut() -> Result<T, EvalError>,
     ) -> Result<T, EvalError> {
         let before = self.engine.stats().retries;
-        let res = self.engine.with_retry(&self.retry, &mut op);
+        let res = self.engine.with_retry(&self.retry, self.now, &mut op);
         self.report.retries += self.engine.stats().retries.saturating_sub(before);
         match res {
             Ok((value, backoff_s)) => {
@@ -697,6 +724,26 @@ impl StreamSim<'_> {
             .collect()
     }
 
+    /// Sample the wait-queue depth into the gauge and (when recording)
+    /// the `scheduler.queue_depth` counter track.
+    fn sample_queue_depth(&self) {
+        let depth = self.queue.len() as u64;
+        self.queue_depth.sample(depth);
+        self.engine
+            .recorder()
+            .counter_sample(self.now, "scheduler.queue_depth", depth);
+    }
+
+    /// Record a placement decision for `job` on node `i`.
+    fn emit_place(&self, i: usize, job: &Prepared, mappers: u32) {
+        self.engine
+            .recorder()
+            .emit(self.now, Some(i as u32), None, || Event::JobPlace {
+                app: job.sig.profile.name.to_string(),
+                mappers,
+            });
+    }
+
     /// Place `job` alone on node `i` at its solo configuration, degrading
     /// to the untuned default when the policy cannot provide one.
     fn submit_solo(
@@ -706,10 +753,11 @@ impl StreamSim<'_> {
         job: Prepared,
     ) -> Result<(), EvalError> {
         let cores = self.cores;
-        let solo = match self.with_retry_tracked(|| policy.solo_config(&job, cores)) {
+        let now = self.now;
+        let solo = match self.with_retry_tracked(|| policy.solo_config(now, &job, cores)) {
             Ok(cfg) => cfg,
             Err(e) if e.is_degradable() => {
-                self.engine.note_fallback();
+                self.engine.note_fallback(now, "config");
                 self.report.config_fallbacks += 1;
                 TuningConfig::hadoop_default(cores)
             }
@@ -720,6 +768,7 @@ impl StreamSim<'_> {
             job.sig.input_mb,
             solo,
         ))?;
+        self.emit_place(i, &job, solo.mappers);
         self.running[i].push((h, job, solo.mappers));
         Ok(())
     }
@@ -727,6 +776,7 @@ impl StreamSim<'_> {
     /// Fill node `i` up to two jobs, degrading to solo placement when the
     /// policy cannot produce a pairing.
     fn dispatch(&mut self, i: usize, policy: &dyn StreamPolicy) -> Result<(), EvalError> {
+        self.sample_queue_depth();
         while self.running[i].len() < 2 && !self.queue.is_empty() && self.nodes[i].free_cores() >= 1
         {
             if self.running[i].is_empty() {
@@ -744,7 +794,8 @@ impl StreamSim<'_> {
                 let cands_owned = self.eligible_payloads(&eligible)?;
                 let cands: Vec<&Prepared> = cands_owned.iter().collect();
                 let cores = self.cores;
-                match self.with_retry_tracked(|| policy.pick(&first, &cands, cores)) {
+                let now = self.now;
+                match self.with_retry_tracked(|| policy.pick(now, &first, &cands, cores)) {
                     Ok((pick, cfg)) => {
                         let Some(second) = self.queue.take(eligible[pick].0) else {
                             return Err(EvalError::Internal {
@@ -762,13 +813,15 @@ impl StreamSim<'_> {
                             second.sig.input_mb,
                             cfg.b,
                         ))?;
+                        self.emit_place(i, &first, cfg.a.mappers);
+                        self.emit_place(i, &second, cfg.b.mappers);
                         self.running[i].push((ha, first, cfg.a.mappers));
                         self.running[i].push((hb, second, cfg.b.mappers));
                     }
                     Err(e) if e.is_degradable() => {
                         // No viable partner or pair config: the anchor runs
                         // solo rather than the whole schedule aborting.
-                        self.engine.note_fallback();
+                        self.engine.note_fallback(now, "pairing");
                         self.report.solo_fallbacks += 1;
                         self.submit_solo(i, policy, first)?;
                     }
@@ -784,7 +837,8 @@ impl StreamSim<'_> {
                 let cands: Vec<&Prepared> = cands_owned.iter().collect();
                 let anchor = self.running[i][0].1.clone();
                 let cores = self.cores;
-                match self.with_retry_tracked(|| policy.pick(&anchor, &cands, cores)) {
+                let now = self.now;
+                match self.with_retry_tracked(|| policy.pick(now, &anchor, &cands, cores)) {
                     Ok((pick, cfg)) => {
                         let Some(partner) = self.queue.take(eligible[pick].0) else {
                             return Err(EvalError::Internal {
@@ -800,12 +854,13 @@ impl StreamSim<'_> {
                             partner.sig.input_mb,
                             bcfg,
                         ))?;
+                        self.emit_place(i, &partner, bcfg.mappers);
                         self.running[i].push((h, partner, bcfg.mappers));
                     }
                     Err(e) if e.is_degradable() => {
                         // The running job continues alone; candidates wait
                         // for a node that can host them.
-                        self.engine.note_fallback();
+                        self.engine.note_fallback(now, "pairing");
                         self.report.solo_fallbacks += 1;
                         break;
                     }
@@ -833,7 +888,12 @@ impl StreamSim<'_> {
             if i >= self.nodes.len() || !self.alive[i] {
                 continue; // fault against a missing or already-dead node
             }
-            self.engine.note_fault();
+            let kind_name = match ev.kind {
+                FaultKind::NodeCrash => "node-crash",
+                FaultKind::NodeSlowdown { .. } => "node-slowdown",
+                FaultKind::Straggler { .. } => "straggler",
+            };
+            self.engine.note_fault(now, kind_name);
             match ev.kind {
                 FaultKind::NodeCrash => {
                     self.alive[i] = false;
@@ -844,6 +904,11 @@ impl StreamSim<'_> {
                     for (h, p, _) in self.running[i].drain(..).rev() {
                         if displaced.contains(&h) {
                             self.report.requeued_jobs += 1;
+                            self.engine.recorder().emit(now, Some(i as u32), None, || {
+                                Event::Requeue {
+                                    app: p.sig.profile.name.to_string(),
+                                }
+                            });
                             let est = p.sig.profile_time_s;
                             let class = p.class;
                             self.queue.push_front(p, class, est);
@@ -925,12 +990,19 @@ fn run_stream_open(
         v.into()
     };
 
+    setup.plan.record_schedule(engine.recorder());
     let mut sim = StreamSim {
         engine,
         cores: tb.node.cores,
         retry: setup.retry,
+        now: 0.0,
+        queue_depth: engine.recorder().metrics().gauge("scheduler.queue_depth"),
         nodes: (0..n)
-            .map(|_| NodeSim::new(tb.node.clone(), tb.fw.clone()))
+            .map(|i| {
+                let mut node = NodeSim::new(tb.node.clone(), tb.fw.clone());
+                node.set_telemetry(engine.recorder().clone(), 0, i as u32);
+                node
+            })
             .collect(),
         running: vec![Vec::new(); n],
         alive: vec![true; n],
@@ -946,6 +1018,12 @@ fn run_stream_open(
                  queue: &mut WaitQueue<Prepared>| {
         while pending.front().is_some_and(|(t, _)| *t <= now + 1e-9) {
             if let Some((_, p)) = pending.pop_front() {
+                engine
+                    .recorder()
+                    .emit(now, None, None, || Event::JobSubmit {
+                        app: p.sig.profile.name.to_string(),
+                        class: class_char(p.class),
+                    });
                 // "Small job" for the leap-forward rule = short estimated
                 // runtime; the learning-period execution time is the estimate.
                 let est = p.sig.profile_time_s;
@@ -1003,6 +1081,7 @@ fn run_stream_open(
             node.advance(dt)?;
         }
         now += dt;
+        sim.now = now;
         admit(now, &mut pending, &mut sim.queue);
         sim.apply_due_faults(now, &mut next_fault, faults)?;
         for i in 0..n {
@@ -1135,6 +1214,7 @@ struct FixedPolicy {
 impl StreamPolicy for FixedPolicy {
     fn pick(
         &self,
+        _now: f64,
         _anchor: &Prepared,
         _candidates: &[&Prepared],
         _cores: u32,
@@ -1142,7 +1222,12 @@ impl StreamPolicy for FixedPolicy {
         Ok((0, self.pair))
     }
 
-    fn solo_config(&self, _job: &Prepared, _cores: u32) -> Result<TuningConfig, EvalError> {
+    fn solo_config(
+        &self,
+        _now: f64,
+        _job: &Prepared,
+        _cores: u32,
+    ) -> Result<TuningConfig, EvalError> {
         Ok(self.solo)
     }
 }

@@ -2,6 +2,7 @@
 //! binaries.
 
 use crate::engine::EngineStats;
+use ecost_telemetry::Recorder;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -111,6 +112,23 @@ pub fn engine_stats_table(title: &str, stats: &EngineStats) -> Table {
     t.row(&["faults injected".into(), stats.faults_injected.to_string()]);
     t.row(&["transient retries".into(), stats.retries.to_string()]);
     t.row(&["graceful fallbacks".into(), stats.fallbacks.to_string()]);
+    t
+}
+
+/// [`engine_stats_table`] extended with wait-queue depth statistics from
+/// the telemetry registry (the `scheduler.queue_depth` gauge, sampled at
+/// every scheduler decision point). Zero samples means the experiment
+/// never drove the streaming scheduler.
+pub fn telemetry_stats_table(title: &str, stats: &EngineStats, recorder: &Recorder) -> Table {
+    let mut t = engine_stats_table(title, stats);
+    let snapshot = recorder.metrics().snapshot();
+    let (samples, mean, max) = match snapshot.gauge("scheduler.queue_depth") {
+        Some(g) => (g.count, g.mean, g.max),
+        None => (0, 0.0, 0),
+    };
+    t.row(&["queue depth samples".into(), samples.to_string()]);
+    t.row(&["queue depth mean".into(), f(mean, 2)]);
+    t.row(&["queue depth max".into(), max.to_string()]);
     t
 }
 

@@ -191,8 +191,7 @@ fn losing_every_node_is_a_typed_degradation() {
         retry: RetryPolicy::default(),
     };
     let err = run_ecost_faulted(&eng, 1, &w, None, 2, &cx, &setup)
-        .err()
-        .expect("one node, one crash, jobs left: must fail");
+        .expect_err("one node, one crash, jobs left: must fail");
     assert!(
         matches!(err, EvalError::Degraded { .. }),
         "expected Degraded, got {err}"

@@ -28,6 +28,7 @@ use crate::job::JobSpec;
 use crate::metrics::JobMetrics;
 use crate::stage::Stage;
 use ecost_sim::{amva, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError};
+use ecost_telemetry::{Event, Recorder, SpanKey};
 
 /// Opaque handle identifying a submitted job within one `NodeSim`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -81,6 +82,8 @@ struct ActiveJob {
     /// setup interval).
     remaining: f64,
     start_s: f64,
+    /// When the current stage began — the open end of its telemetry span.
+    stage_start_s: f64,
     usage: JobUsage,
     timeline: Vec<(crate::stage::StageKind, f64)>,
     /// Straggler multiplier on the current task wave (1 = healthy). Cleared
@@ -154,6 +157,12 @@ pub struct NodeSim {
     slowdown: f64,
     stragglers_injected: u64,
     speculative_retries: u64,
+    /// Telemetry sink for stage/job spans and executor events. A no-op
+    /// recorder (the default) drops everything without building payloads.
+    recorder: Recorder,
+    /// `(run, node)` identity stamped on every span this node emits.
+    run_id: u32,
+    node_id: u32,
 }
 
 /// Numerical floor treating a stage as complete.
@@ -188,7 +197,19 @@ impl NodeSim {
             slowdown: 1.0,
             stragglers_injected: 0,
             speculative_retries: 0,
+            recorder: Recorder::noop(),
+            run_id: 0,
+            node_id: 0,
         }
+    }
+
+    /// Attach a telemetry recorder plus the `(run, node)` identity this
+    /// node stamps on its spans and events. Until called, a no-op recorder
+    /// is in place and recording costs nothing.
+    pub fn set_telemetry(&mut self, recorder: Recorder, run: u32, node: u32) {
+        self.recorder = recorder;
+        self.run_id = run;
+        self.node_id = node;
     }
 
     /// Degrade (or restore) every rate on this node by `factor` (≥ 1, 1 =
@@ -266,6 +287,12 @@ impl NodeSim {
         job.extra_slots += granted;
         job.straggler = 1.0;
         self.speculative_retries += 1;
+        self.recorder
+            .emit(self.now, Some(self.node_id), Some(h.0), || {
+                Event::SpeculativeClone {
+                    extra_slots: granted,
+                }
+            });
         self.cached = None;
         Ok(true)
     }
@@ -342,6 +369,7 @@ impl NodeSim {
             stage_idx: 0,
             remaining,
             start_s: self.now,
+            stage_start_s: self.now,
             usage: JobUsage::default(),
             timeline: Vec::new(),
             straggler: 1.0,
@@ -393,6 +421,17 @@ impl NodeSim {
             job.remaining -= sol.rate[j] * dt;
             if job.remaining <= WORK_EPS * job.stage().tasks.max(1.0) {
                 job.timeline.push((job.stage().kind, self.now + dt));
+                self.recorder.span(
+                    SpanKey::new(
+                        self.run_id,
+                        self.node_id,
+                        job.id.0,
+                        job.stage().kind.label(),
+                    ),
+                    job.stage_start_s,
+                    self.now + dt,
+                );
+                job.stage_start_s = self.now + dt;
                 job.stage_idx += 1;
                 // Wave boundary: straggling and speculative backups end with
                 // the wave that suffered/launched them.
@@ -417,6 +456,18 @@ impl NodeSim {
         for &j in completed.iter().rev() {
             let job = self.active.swap_remove(j);
             let exec = self.now - job.start_s;
+            self.recorder.span(
+                SpanKey::new(self.run_id, self.node_id, job.id.0, "job"),
+                job.start_s,
+                self.now,
+            );
+            self.recorder
+                .emit(self.now, Some(self.node_id), Some(job.id.0), || {
+                    Event::JobFinish {
+                        app: job.spec.profile.name.to_string(),
+                        exec_time_s: exec,
+                    }
+                });
             let metrics = JobMetrics {
                 exec_time_s: exec,
                 energy_j: job.usage.energy_j,

@@ -19,6 +19,17 @@ pub enum StageKind {
     Reduce,
 }
 
+impl StageKind {
+    /// Lower-case phase label used for telemetry span keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Setup => "setup",
+            StageKind::Map => "map",
+            StageKind::Reduce => "reduce",
+        }
+    }
+}
+
 /// One stage's resource demands. All `*_per task` quantities refer to the
 /// stage's work unit (a map task, a reducer, or the whole setup).
 #[derive(Debug, Clone, PartialEq)]

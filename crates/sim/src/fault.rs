@@ -22,6 +22,7 @@
 
 use crate::cluster::ClusterSpec;
 use crate::rng;
+use ecost_telemetry::{Event, Recorder};
 use rand::Rng;
 
 /// What goes wrong.
@@ -204,6 +205,25 @@ impl FaultPlan {
         }
         plan.sort();
         plan
+    }
+
+    /// Record every scheduled event into `rec` as a `fault-planned` instant
+    /// at the time it will strike. A no-op recorder drops them for free;
+    /// recorded traces show the plan alongside the faults that actually
+    /// fired (a crashed node never fires faults planned after its death).
+    pub fn record_schedule(&self, rec: &Recorder) {
+        for ev in &self.events {
+            let kind = match ev.kind {
+                FaultKind::NodeCrash => "node-crash",
+                FaultKind::NodeSlowdown { .. } => "node-slowdown",
+                FaultKind::Straggler { .. } => "straggler",
+            };
+            rec.emit(ev.at_s, Some(ev.node as u32), None, || {
+                Event::FaultPlanned {
+                    kind: kind.to_string(),
+                }
+            });
+        }
     }
 
     /// Count of events per kind: `(crashes, slowdowns, stragglers)`.

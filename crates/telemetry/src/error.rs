@@ -1,0 +1,34 @@
+//! Typed errors for the telemetry layer.
+
+use std::fmt;
+
+/// Everything that can go wrong when building or combining instruments.
+///
+/// Recording itself is infallible by design — hot paths must not branch on
+/// `Result` — so errors surface only at construction and merge time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// Histogram bounds are not finite and strictly increasing.
+    InvalidBounds,
+    /// Two histograms with different bucket bounds were merged, or a
+    /// registry name was re-used with different bounds.
+    BucketMismatch {
+        /// Registry name of the offending histogram, when known.
+        name: String,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::InvalidBounds => {
+                write!(f, "histogram bounds must be finite and strictly increasing")
+            }
+            TelemetryError::BucketMismatch { name } => {
+                write!(f, "histogram bucket bounds mismatch for `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}

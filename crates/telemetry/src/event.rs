@@ -1,0 +1,169 @@
+//! The structured event taxonomy and the span model.
+//!
+//! Everything is stamped with **simulated seconds** — the discrete-event
+//! clock of the node simulators and the streaming scheduler — never wall
+//! time, so a recorded run is a pure function of its inputs and seed.
+
+/// Identity of a span: which run, node, job and phase the interval covers.
+///
+/// `run` distinguishes schedules recorded into the same log (e.g. the
+/// healthy and the faulted schedule of a comparison); `node`/`job` map to
+/// the Chrome-trace process/thread lanes; `phase` is the human-readable
+/// lane label ("job", "setup", "map", "reduce", …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanKey {
+    /// Schedule / run identifier.
+    pub run: u32,
+    /// Cluster node index.
+    pub node: u32,
+    /// Per-node job handle (unique within a node simulator).
+    pub job: u64,
+    /// Phase label: "job", "setup", "map", "reduce", …
+    pub phase: String,
+}
+
+impl SpanKey {
+    /// Convenience constructor.
+    pub fn new(run: u32, node: u32, job: u64, phase: impl Into<String>) -> SpanKey {
+        SpanKey {
+            run,
+            node,
+            job,
+            phase: phase.into(),
+        }
+    }
+}
+
+/// A discrete event with a typed payload.
+///
+/// Payloads use plain types (strings, numbers) rather than domain types so
+/// the telemetry crate stays a dependency-free leaf that every layer of
+/// the stack can record into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A job entered the wait queue.
+    JobSubmit {
+        /// Application name.
+        app: String,
+        /// Behaviour class letter (C/M/I/H/L …) assigned by the classifier.
+        class: char,
+    },
+    /// The scheduler placed a job on a node.
+    JobPlace {
+        /// Application name.
+        app: String,
+        /// Mapper slots granted by the tuned configuration.
+        mappers: u32,
+    },
+    /// A job left a node simulator with its metrics.
+    JobFinish {
+        /// Application name.
+        app: String,
+        /// Simulated execution time, seconds.
+        exec_time_s: f64,
+    },
+    /// A memoized evaluation was served from cache.
+    CacheHit {
+        /// Which cache: "solo", "pair", "sweep", …
+        cache: &'static str,
+    },
+    /// A memoized evaluation had to simulate.
+    CacheMiss {
+        /// Which cache: "solo", "pair", "sweep", …
+        cache: &'static str,
+    },
+    /// An injected fault fired on a node.
+    FaultFired {
+        /// Fault kind, e.g. "node-crash", "node-slowdown", "straggler".
+        kind: String,
+    },
+    /// A fault is scheduled to fire (emitted when a plan is registered).
+    FaultPlanned {
+        /// Fault kind, e.g. "node-crash", "node-slowdown", "straggler".
+        kind: String,
+    },
+    /// A transient evaluation failure triggered a retry.
+    Retry {
+        /// Backoff charged to the schedule, seconds.
+        backoff_s: f64,
+    },
+    /// A degraded evaluation fell back to a safe default.
+    Fallback {
+        /// What fell back, e.g. "engine", "config".
+        what: &'static str,
+    },
+    /// A straggling task was cloned onto spare slots.
+    SpeculativeClone {
+        /// Extra slots granted to the clone.
+        extra_slots: u32,
+    },
+    /// A displaced job went back to the head of the wait queue.
+    Requeue {
+        /// Application name.
+        app: String,
+    },
+}
+
+impl Event {
+    /// Short stable name used as the Chrome-trace event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::JobSubmit { .. } => "job-submit",
+            Event::JobPlace { .. } => "job-place",
+            Event::JobFinish { .. } => "job-finish",
+            Event::CacheHit { .. } => "cache-hit",
+            Event::CacheMiss { .. } => "cache-miss",
+            Event::FaultFired { .. } => "fault-fired",
+            Event::FaultPlanned { .. } => "fault-planned",
+            Event::Retry { .. } => "retry",
+            Event::Fallback { .. } => "fallback",
+            Event::SpeculativeClone { .. } => "speculative-clone",
+            Event::Requeue { .. } => "requeue",
+        }
+    }
+}
+
+/// One record in the trace log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A closed interval on the simulated clock.
+    Span {
+        /// Span identity.
+        key: SpanKey,
+        /// Interval start, simulated seconds.
+        start_s: f64,
+        /// Interval end, simulated seconds.
+        end_s: f64,
+    },
+    /// A discrete event.
+    Instant {
+        /// Timestamp, simulated seconds.
+        t_s: f64,
+        /// Node the event is attributed to, when node-local.
+        node: Option<u32>,
+        /// Job the event is attributed to, when job-local.
+        job: Option<u64>,
+        /// The typed payload.
+        event: Event,
+    },
+    /// A sampled counter track (renders as a Chrome-trace "C" event).
+    CounterSample {
+        /// Timestamp, simulated seconds.
+        t_s: f64,
+        /// Track name, e.g. "queue.depth".
+        name: String,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Timestamp used for canonical ordering (span start for spans).
+    pub fn t_s(&self) -> f64 {
+        match self {
+            TraceEvent::Span { start_s, .. } => *start_s,
+            TraceEvent::Instant { t_s, .. } => *t_s,
+            TraceEvent::CounterSample { t_s, .. } => *t_s,
+        }
+    }
+}

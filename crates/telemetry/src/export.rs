@@ -1,0 +1,299 @@
+//! Exporters: Chrome `trace_event` JSON, per-node occupancy / Gantt
+//! summary, and a text metrics report.
+//!
+//! All output is built from canonically ordered inputs
+//! ([`crate::Recorder::events`] and [`crate::Registry::snapshot`]) with
+//! fixed-precision number formatting, so same-seed runs export
+//! byte-identical files.
+
+use crate::event::{Event, TraceEvent};
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Simulated seconds → Chrome-trace microseconds, fixed precision.
+fn ts(t_s: f64) -> String {
+    format!("{:.3}", t_s * 1e6)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the typed payload of an [`Event`] as a JSON `args` object.
+fn args_json(event: &Event) -> String {
+    match event {
+        Event::JobSubmit { app, class } => {
+            format!(r#"{{"app":"{}","class":"{}"}}"#, esc(app), class)
+        }
+        Event::JobPlace { app, mappers } => {
+            format!(r#"{{"app":"{}","mappers":{}}}"#, esc(app), mappers)
+        }
+        Event::JobFinish { app, exec_time_s } => {
+            format!(
+                r#"{{"app":"{}","exec_time_s":{:.6}}}"#,
+                esc(app),
+                exec_time_s
+            )
+        }
+        Event::CacheHit { cache } | Event::CacheMiss { cache } => {
+            format!(r#"{{"cache":"{}"}}"#, esc(cache))
+        }
+        Event::FaultFired { kind } | Event::FaultPlanned { kind } => {
+            format!(r#"{{"kind":"{}"}}"#, esc(kind))
+        }
+        Event::Retry { backoff_s } => format!(r#"{{"backoff_s":{backoff_s:.6}}}"#),
+        Event::Fallback { what } => format!(r#"{{"what":"{}"}}"#, esc(what)),
+        Event::SpeculativeClone { extra_slots } => {
+            format!(r#"{{"extra_slots":{extra_slots}}}"#)
+        }
+        Event::Requeue { app } => format!(r#"{{"app":"{}"}}"#, esc(app)),
+    }
+}
+
+/// Export a canonically ordered event log as Chrome `trace_event` JSON.
+///
+/// The format is the "JSON Array Format" understood by Perfetto and
+/// `chrome://tracing`: spans become complete ("X") events with the node as
+/// the process lane and the job as the thread lane; discrete events become
+/// instants ("i"); counter samples become counter ("C") tracks. Timestamps
+/// are simulated microseconds.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut lines = Vec::with_capacity(events.len());
+    for e in events {
+        match e {
+            TraceEvent::Span {
+                key,
+                start_s,
+                end_s,
+            } => {
+                let dur = (end_s - start_s).max(0.0);
+                lines.push(format!(
+                    r#"{{"name":"{}","cat":"span","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{"run":{}}}}}"#,
+                    esc(&key.phase),
+                    ts(*start_s),
+                    ts(dur),
+                    key.node,
+                    key.job,
+                    key.run
+                ));
+            }
+            TraceEvent::Instant {
+                t_s,
+                node,
+                job,
+                event,
+            } => {
+                let scope = if node.is_some() { "p" } else { "g" };
+                lines.push(format!(
+                    r#"{{"name":"{}","cat":"event","ph":"i","s":"{}","ts":{},"pid":{},"tid":{},"args":{}}}"#,
+                    event.name(),
+                    scope,
+                    ts(*t_s),
+                    node.unwrap_or(0),
+                    job.unwrap_or(0),
+                    args_json(event)
+                ));
+            }
+            TraceEvent::CounterSample { t_s, name, value } => {
+                lines.push(format!(
+                    r#"{{"name":"{}","ph":"C","ts":{},"pid":0,"tid":0,"args":{{"value":{}}}}}"#,
+                    esc(name),
+                    ts(*t_s),
+                    value
+                ));
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Merge a set of `(start, end)` intervals and return total covered time.
+fn union_s(mut iv: Vec<(f64, f64)>) -> f64 {
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, e) in iv {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Per-node occupancy table plus a Gantt listing of every span.
+///
+/// Occupancy is the union of each node's "job" spans over the trace
+/// horizon (the maximum span end), so co-located jobs do not double-count.
+pub fn occupancy_summary(events: &[TraceEvent]) -> String {
+    let spans: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span {
+                key,
+                start_s,
+                end_s,
+            } => Some((key, *start_s, *end_s)),
+            _ => None,
+        })
+        .collect();
+    let horizon = spans.iter().map(|(_, _, e)| *e).fold(0.0f64, f64::max);
+
+    let mut nodes: Vec<u32> = spans.iter().map(|(k, _, _)| k.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# per-node occupancy (horizon {horizon:.3} s)");
+    let _ = writeln!(out, "node  jobs  busy_s      busy_frac");
+    for n in &nodes {
+        let job_spans: Vec<(f64, f64)> = spans
+            .iter()
+            .filter(|(k, _, _)| k.node == *n && k.phase == "job")
+            .map(|(_, s, e)| (*s, *e))
+            .collect();
+        let jobs = job_spans.len();
+        let busy = union_s(job_spans);
+        let frac = if horizon > 0.0 { busy / horizon } else { 0.0 };
+        let _ = writeln!(out, "{n:<5} {jobs:<5} {busy:<11.3} {frac:.3}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "# gantt (run node job phase start_s -> end_s)");
+    for (k, s, e) in &spans {
+        let _ = writeln!(
+            out,
+            "r{} n{} j{:<3} {:<8} {:>12.3} -> {:>12.3}",
+            k.run, k.node, k.job, k.phase, s, e
+        );
+    }
+    out
+}
+
+/// Text report over a metrics snapshot: counters, gauges and histograms,
+/// one per line, in deterministic name order. Subsumes the old
+/// `EngineStats` display — every `engine.*` counter appears here.
+pub fn text_report(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# counters");
+    for (name, v) in &snapshot.counters {
+        let _ = writeln!(out, "{name} = {v}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "# gauges (count / mean / max)");
+    for (name, g) in &snapshot.gauges {
+        let _ = writeln!(
+            out,
+            "{name} = {} samples, mean {:.3}, max {}",
+            g.count, g.mean, g.max
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "# histograms (count / mean / buckets)");
+    for (name, h) in &snapshot.histograms {
+        let buckets: Vec<String> = h
+            .bounds
+            .iter()
+            .map(|b| format!("{b:.3}"))
+            .chain(std::iter::once("inf".to_string()))
+            .zip(h.buckets.iter())
+            .map(|(b, c)| format!("<={b}:{c}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{name} = {} samples, mean {:.6}, [{}]",
+            h.count,
+            if h.count == 0 {
+                0.0
+            } else {
+                h.sum / h.count as f64
+            },
+            buckets.join(" ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanKey;
+    use crate::metrics::Registry;
+    use crate::recorder::Recorder;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let r = Recorder::recording();
+        r.span(SpanKey::new(0, 0, 1, "job"), 0.0, 10.0);
+        r.span(SpanKey::new(0, 0, 1, "map"), 0.0, 8.0);
+        r.span(SpanKey::new(0, 0, 2, "job"), 5.0, 12.0);
+        r.emit(3.0, Some(0), Some(1), || Event::FaultFired {
+            kind: "straggler".to_string(),
+        });
+        r.counter_sample(4.0, "queue.depth", 2);
+        r.events()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape_and_deterministic() {
+        let a = chrome_trace_json(&sample_events());
+        let b = chrome_trace_json(&sample_events());
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"displayTimeUnit\""));
+        assert!(a.contains(r#""ph":"X""#));
+        assert!(a.contains(r#""ph":"i""#));
+        assert!(a.contains(r#""ph":"C""#));
+        assert!(a.trim_end().ends_with("]}"));
+        // Balanced braces — a cheap well-formedness check without a parser.
+        let open = a.matches('{').count();
+        let close = a.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn occupancy_unions_overlapping_jobs() {
+        let s = occupancy_summary(&sample_events());
+        // Node 0 runs jobs over [0,10] ∪ [5,12] = 12 s of a 12 s horizon.
+        assert!(s.contains("0     2     12.000      1.000"), "{s}");
+    }
+
+    #[test]
+    fn text_report_lists_all_kinds() {
+        let reg = Registry::default();
+        reg.counter("engine.runs").add(3);
+        reg.gauge("queue.depth").sample(4);
+        reg.histogram("stage.map_s", &[1.0])
+            .expect("bounds")
+            .record(0.5);
+        let rep = text_report(&reg.snapshot());
+        assert!(rep.contains("engine.runs = 3"));
+        assert!(rep.contains("queue.depth = 1 samples, mean 4.000, max 4"));
+        assert!(rep.contains("stage.map_s = 1 samples"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

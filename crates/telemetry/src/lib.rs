@@ -1,0 +1,48 @@
+//! Observability substrate for the ECoST reproduction.
+//!
+//! The simulation stack has four layers — the hardware substrate
+//! (`ecost-sim`), the MapReduce execution model (`ecost-mapreduce`), the
+//! controller (`ecost-core`) and the experiment harness (`ecost-bench`) —
+//! and until now the only introspection across them was the flat
+//! `EngineStats` counter block. This crate provides the shared
+//! observability layer they all record into:
+//!
+//! * a [`Registry`] of named [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s, cheap enough for hot paths (plain atomics, handles
+//!   resolved once and cached by the caller);
+//! * span-based tracing **on the simulated clock** — [`Recorder::span_enter`]
+//!   / [`Recorder::span_exit`] records keyed on (run, node, job, phase),
+//!   producing a deterministic event log;
+//! * a structured event bus for discrete [`Event`]s (job submit / place /
+//!   finish, cache hit / miss, fault fired, retry, fallback, speculative
+//!   clone) with typed payloads;
+//! * exporters: Chrome `trace_event`-compatible JSON (opens in Perfetto),
+//!   a per-node occupancy / Gantt summary, and a text metrics report.
+//!
+//! The central handle is the [`Recorder`]. Its default ([`Recorder::noop`])
+//! keeps the metrics registry live — counters are exactly as cheap as the
+//! hand-rolled atomics they replace — but drops all trace events without
+//! even constructing their payloads, so instrumented code paths stay
+//! bit-identical in output and effectively free when nobody is looking.
+//!
+//! Timestamps are **simulated seconds only**. Nothing in this crate reads
+//! the wall clock, so two runs with the same seed export byte-identical
+//! traces (the event log is canonically sorted on export; see
+//! [`Recorder::events`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod event;
+mod export;
+mod metrics;
+mod recorder;
+
+pub use error::TelemetryError;
+pub use event::{Event, SpanKey, TraceEvent};
+pub use export::{chrome_trace_json, occupancy_summary, text_report};
+pub use metrics::{
+    Counter, Gauge, GaugeStats, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use recorder::Recorder;

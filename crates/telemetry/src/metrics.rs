@@ -1,0 +1,507 @@
+//! Named metric instruments: counters, gauges and fixed-bucket histograms.
+//!
+//! All instruments are `Arc`-shared handles over atomics: cloning is cheap,
+//! recording is a relaxed atomic op, and handles stay valid after the
+//! registry that minted them is gone. Callers on hot paths resolve a handle
+//! once and cache it — the registry's `Mutex` is touched only at
+//! registration and snapshot time.
+//!
+//! Determinism: every accumulator is an integer (`u64`), including the
+//! histogram sample sum, which is kept in fixed-point microseconds. Integer
+//! addition is associative, so values recorded from parallel workers (the
+//! engine's rayon sweeps) land on the same totals regardless of
+//! interleaving, and two same-seed runs snapshot identically.
+
+use crate::error::TelemetryError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock a mutex, recovering the data from a poisoned lock (telemetry must
+/// never propagate a panic from an unrelated thread).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Monotonic event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sampled instantaneous value (e.g. queue depth): tracks count, sum and
+/// max of the samples; the mean is derived.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<GaugeInner>);
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Record one observation.
+    pub fn sample(&self, v: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> GaugeStats {
+        GaugeStats {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+/// Point-in-time aggregate of a [`Gauge`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaugeStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Mean observation (0.0 when empty).
+    pub mean: f64,
+}
+
+/// Fixed-point scale for histogram sample sums: one micro-unit.
+const SUM_SCALE: f64 = 1e6;
+
+/// Fixed-bucket histogram with merge support.
+///
+/// Bucket `i` counts samples `v <= bounds[i]` (with `v > bounds[i-1]`);
+/// one extra overflow bucket counts everything above the last bound. The
+/// sample sum is kept in fixed-point micro-units so that merging two
+/// histograms is *exactly* the histogram of the concatenated samples.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistInner>);
+
+#[derive(Debug)]
+struct HistInner {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram over the given upper bounds. Bounds must be finite and
+    /// strictly increasing; an empty slice yields a single overflow bucket.
+    pub fn new(bounds: &[f64]) -> Result<Histogram, TelemetryError> {
+        let finite = bounds.iter().all(|b| b.is_finite());
+        let increasing = bounds.windows(2).all(|w| w[0] < w[1]);
+        if !finite || !increasing {
+            return Err(TelemetryError::InvalidBounds);
+        }
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Ok(Histogram(Arc::new(HistInner {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        })))
+    }
+
+    /// Record one sample. Non-finite or negative samples count toward the
+    /// total and land in a bucket, but contribute 0 to the sum.
+    pub fn record(&self, v: f64) {
+        let idx = self.0.bounds.partition_point(|b| v > *b);
+        if let Some(bucket) = self.0.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum_micros.fetch_add(to_micros(v), Ordering::Relaxed);
+    }
+
+    /// Fold `other` into `self`. Fails unless the bucket bounds are
+    /// identical. `other` is left untouched.
+    pub fn merge_from(&self, other: &Histogram) -> Result<(), TelemetryError> {
+        if self.0.bounds != other.0.bounds {
+            return Err(TelemetryError::BucketMismatch {
+                name: String::new(),
+            });
+        }
+        for (dst, src) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.0
+            .count
+            .fetch_add(other.0.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0.sum_micros.fetch_add(
+            other.0.sum_micros.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples (reconstructed from fixed-point micro-units).
+    pub fn sum(&self) -> f64 {
+        self.0.sum_micros.load(Ordering::Relaxed) as f64 / SUM_SCALE
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Quantile estimate: the upper bound of the bucket containing the
+    /// rank-`q` sample. Samples in the overflow bucket have no upper bound,
+    /// so a quantile landing there reports `f64::INFINITY`. `None` when the
+    /// histogram is empty; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return Some(self.0.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            buckets: self.bucket_counts(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Value equality: same bounds, same bucket counts, same count and same
+/// fixed-point sum. Two histograms fed the same samples in any order
+/// compare equal.
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bounds == other.0.bounds
+            && self.bucket_counts() == other.bucket_counts()
+            && self.count() == other.count()
+            && self.0.sum_micros.load(Ordering::Relaxed)
+                == other.0.sum_micros.load(Ordering::Relaxed)
+    }
+}
+
+/// Convert a sample to fixed-point micro-units (0 for non-finite or
+/// negative samples, saturating well beyond any simulated duration).
+fn to_micros(v: f64) -> u64 {
+    if v.is_finite() && v > 0.0 {
+        (v * SUM_SCALE).round() as u64
+    } else {
+        0
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; last entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: f64,
+}
+
+/// Named instrument registry. Cloning shares the underlying store; names
+/// are namespaced per instrument kind and iterate in lexicographic order,
+/// so snapshots are deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Get or create the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = lock(&self.inner);
+        match g.counters.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::default();
+                g.counters.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// Get or create the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = lock(&self.inner);
+        match g.gauges.get(name) {
+            Some(gg) => gg.clone(),
+            None => {
+                let gg = Gauge::default();
+                g.gauges.insert(name.to_string(), gg.clone());
+                gg
+            }
+        }
+    }
+
+    /// Get or create the histogram called `name` with the given bucket
+    /// bounds. Re-registering an existing name with different bounds is a
+    /// [`TelemetryError::BucketMismatch`].
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Result<Histogram, TelemetryError> {
+        let mut g = lock(&self.inner);
+        if let Some(h) = g.histograms.get(name) {
+            if h.bounds() != bounds {
+                return Err(TelemetryError::BucketMismatch {
+                    name: name.to_string(),
+                });
+            }
+            return Ok(h.clone());
+        }
+        let h = Histogram::new(bounds)?;
+        g.histograms.insert(name.to_string(), h.clone());
+        Ok(h)
+    }
+
+    /// Fold every instrument of `other` into this registry, creating
+    /// same-named instruments as needed. Histogram merges require matching
+    /// bounds.
+    pub fn merge(&self, other: &Registry) -> Result<(), TelemetryError> {
+        // Clone the handle maps out so the two registry locks are never
+        // held at once (self and other may share storage).
+        let (counters, gauges, histograms) = {
+            let g = lock(&other.inner);
+            (g.counters.clone(), g.gauges.clone(), g.histograms.clone())
+        };
+        for (name, src) in counters {
+            self.counter(&name).add(src.get());
+        }
+        for (name, src) in gauges {
+            let dst = self.gauge(&name);
+            dst.0.count.fetch_add(src.count(), Ordering::Relaxed);
+            dst.0.sum.fetch_add(src.sum(), Ordering::Relaxed);
+            dst.0.max.fetch_max(src.max(), Ordering::Relaxed);
+        }
+        for (name, src) in histograms {
+            self.histogram(&name, src.bounds())?.merge_from(&src)?;
+        }
+        Ok(())
+    }
+
+    /// Deterministic point-in-time copy of every instrument, sorted by
+    /// name within each kind.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = lock(&self.inner);
+        MetricsSnapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: g
+                .gauges
+                .iter()
+                .map(|(n, gg)| (n.clone(), gg.stats()))
+                .collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Deterministic point-in-time copy of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, stats)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, GaugeStats)>,
+    /// `(name, snapshot)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter called `name` (0 when absent — counters that
+    /// were never touched and counters at zero are indistinguishable).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Stats of the gauge called `name`, when present.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeStats> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::default();
+        let c = r.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("x").get(), 5);
+
+        let g = r.gauge("depth");
+        g.sample(3);
+        g.sample(1);
+        g.sample(8);
+        assert_eq!(g.count(), 3);
+        assert_eq!(g.max(), 8);
+        assert!((g.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[1.0, 10.0]).expect("bounds");
+        for v in [0.5, 0.9, 5.0, 50.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.75), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+        assert!((h.sum() - 56.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert_eq!(
+            Histogram::new(&[1.0, 1.0]),
+            Err(TelemetryError::InvalidBounds)
+        );
+        assert_eq!(
+            Histogram::new(&[f64::NAN]),
+            Err(TelemetryError::InvalidBounds)
+        );
+        assert!(Histogram::new(&[]).is_ok());
+    }
+
+    #[test]
+    fn registry_rejects_rebinding_with_different_bounds() {
+        let r = Registry::default();
+        r.histogram("h", &[1.0]).expect("first");
+        assert!(matches!(
+            r.histogram("h", &[2.0]),
+            Err(TelemetryError::BucketMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_merge_accumulates() {
+        let a = Registry::default();
+        let b = Registry::default();
+        a.counter("c").add(2);
+        b.counter("c").add(3);
+        b.counter("only-b").inc();
+        a.gauge("g").sample(10);
+        b.gauge("g").sample(4);
+        a.histogram("h", &[1.0]).expect("h").record(0.5);
+        b.histogram("h", &[1.0]).expect("h").record(2.0);
+        a.merge(&b).expect("merge");
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("only-b"), 1);
+        let g = snap.gauge("g").expect("gauge");
+        assert_eq!((g.count, g.sum, g.max), (2, 14, 10));
+        let (_, h) = &snap.histograms[0];
+        assert_eq!(h.buckets, vec![1, 1]);
+    }
+}

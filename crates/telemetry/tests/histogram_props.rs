@@ -1,0 +1,101 @@
+//! Histogram edge cases and the merge/concatenation equivalence property.
+
+use ecost_telemetry::{Histogram, Registry, TelemetryError};
+use proptest::prelude::*;
+
+const BOUNDS: [f64; 5] = [0.001, 0.01, 0.1, 1.0, 10.0];
+
+#[test]
+fn empty_merge_is_identity() {
+    let a = Histogram::new(&BOUNDS).expect("bounds");
+    let b = Histogram::new(&BOUNDS).expect("bounds");
+    a.record(0.5);
+    a.merge_from(&b).expect("merge empty");
+    assert_eq!(a.count(), 1);
+    assert_eq!(a.bucket_counts(), vec![0, 0, 0, 1, 0, 0]);
+
+    // Merging *into* an empty histogram copies the source.
+    b.merge_from(&a).expect("merge into empty");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn single_bucket_histogram_overflows() {
+    // No finite bounds at all: everything lands in the one overflow bucket.
+    let h = Histogram::new(&[]).expect("empty bounds are a single bucket");
+    for v in [0.0, 1e-9, 1.0, 1e12, f64::INFINITY] {
+        h.record(v);
+    }
+    assert_eq!(h.bucket_counts(), vec![5]);
+    assert_eq!(h.count(), 5);
+    // Every quantile of an overflow-only histogram is unbounded.
+    assert_eq!(h.quantile(0.0), Some(f64::INFINITY));
+    assert_eq!(h.quantile(0.5), Some(f64::INFINITY));
+    assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+}
+
+#[test]
+fn quantile_on_saturated_buckets() {
+    // All mass in one interior bucket: every quantile reports its bound.
+    let h = Histogram::new(&BOUNDS).expect("bounds");
+    for _ in 0..1000 {
+        h.record(0.05); // lands in the (0.01, 0.1] bucket
+    }
+    for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), Some(0.1), "q={q}");
+    }
+    // All mass above the last bound: quantiles are unbounded.
+    let over = Histogram::new(&BOUNDS).expect("bounds");
+    for _ in 0..10 {
+        over.record(100.0);
+    }
+    assert_eq!(over.quantile(0.5), Some(f64::INFINITY));
+    // Empty histogram has no quantiles.
+    assert_eq!(Histogram::new(&BOUNDS).expect("bounds").quantile(0.5), None);
+}
+
+#[test]
+fn merge_rejects_mismatched_bounds() {
+    let a = Histogram::new(&[1.0, 2.0]).expect("bounds");
+    let b = Histogram::new(&[1.0, 3.0]).expect("bounds");
+    assert!(matches!(
+        a.merge_from(&b),
+        Err(TelemetryError::BucketMismatch { .. })
+    ));
+    // Registry-level merge surfaces the same error with the name attached.
+    let ra = Registry::default();
+    let rb = Registry::default();
+    ra.histogram("h", &[1.0, 2.0]).expect("bounds");
+    rb.histogram("h", &[1.0, 3.0]).expect("bounds");
+    assert!(matches!(
+        ra.merge(&rb),
+        Err(TelemetryError::BucketMismatch { name }) if name == "h"
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fundamental mergeability law: merging two histograms yields
+    /// exactly the histogram of the concatenated samples — same bucket
+    /// counts, same total count, same (fixed-point) sum, so `PartialEq`
+    /// holds outright.
+    #[test]
+    fn merged_equals_concatenated(
+        xs in prop::collection::vec(0.0f64..20.0, 0..100),
+        ys in prop::collection::vec(0.0f64..20.0, 0..100),
+    ) {
+        let hx = Histogram::new(&BOUNDS).expect("bounds");
+        let hy = Histogram::new(&BOUNDS).expect("bounds");
+        let hcat = Histogram::new(&BOUNDS).expect("bounds");
+        for x in &xs { hx.record(*x); hcat.record(*x); }
+        for y in &ys { hy.record(*y); hcat.record(*y); }
+        hx.merge_from(&hy).expect("same bounds");
+        prop_assert_eq!(&hx, &hcat);
+        prop_assert_eq!(hx.count(), (xs.len() + ys.len()) as u64);
+        // Quantiles agree everywhere, not just the moments.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            prop_assert_eq!(hx.quantile(q), hcat.quantile(q));
+        }
+    }
+}
