@@ -1,0 +1,435 @@
+//! Tracked perf-regression harness for the simulator hot path.
+//!
+//! Times the three kernels the repo's wall-clock cost is made of and
+//! writes a machine-readable `BENCH_sim.json` (path override:
+//! `ECOST_BENCH_OUT`):
+//!
+//! 1. **solo sweep** — the full 160-point standalone configuration space
+//!    per application, the kernel under profiling and ILAO;
+//! 2. **pair sweep** — the co-located pair configuration space, the kernel
+//!    under COLAO, the §6.2 database and the training set;
+//! 3. **scheduler** — a full cluster run (queueing, placement, per-node
+//!    event loops) under the untuned SNM policy.
+//!
+//! Sweeps are timed twice: the *optimized* arm drives the pooled
+//! [`EvalEngine`] (reset-and-reuse simulators, zero-allocation event
+//! loop), the *baseline* arm drives the frozen pre-refactor executor
+//! (`ecost_mapreduce::reference`: fresh allocating simulator per point).
+//! Both arms are bit-identical in results (enforced by the
+//! `refactor_equivalence` proptest), so "events" counted on one arm apply
+//! to both: an event is one per-job execution segment — one span per
+//! active job per event-loop step (sweeps count stage completions, the
+//! closest deterministic proxy the outcome record keeps).
+//!
+//! `--baseline` runs the baseline arms only (for A/B against an older
+//! build); `ECOST_QUICK=1` shrinks every dimension for CI smoke runs.
+//!
+//! Walls in the single-digit-millisecond range are at the mercy of
+//! thermal throttling and noisy neighbours, so every arm is measured in
+//! several rounds *interleaved with its counterpart* and the minimum wall
+//! is reported: slow drift hits both arms alike and the min discards it.
+
+use ecost_apps::{App, InputSize, WorkloadScenario};
+use ecost_bench::BenchError;
+use ecost_core::engine::{EvalEngine, RetryPolicy};
+use ecost_core::features::Testbed;
+use ecost_core::mapping::{run_untuned_faulted, FaultSetup};
+use ecost_mapreduce::reference::{run_colocated_reference, run_standalone_reference};
+use ecost_mapreduce::{JobSpec, PairConfig, TuningConfig};
+use ecost_sim::FaultPlan;
+use ecost_telemetry::{Recorder, TraceEvent};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One timed measurement arm.
+#[derive(Debug, Clone, Copy)]
+struct Arm {
+    wall_s: f64,
+    sims: u64,
+    events: u64,
+}
+
+impl Arm {
+    fn sims_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sims as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn events_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self, out: &mut String, indent: &str) {
+        let _ = writeln!(out, "{indent}\"wall_s\": {:.4},", self.wall_s);
+        let _ = writeln!(out, "{indent}\"sims\": {},", self.sims);
+        let _ = writeln!(out, "{indent}\"sims_per_s\": {:.1},", self.sims_per_s());
+        let _ = writeln!(out, "{indent}\"events\": {},", self.events);
+        let _ = writeln!(out, "{indent}\"events_per_s\": {:.1}", self.events_per_s());
+    }
+}
+
+/// Pool accounting accumulated across the optimized arms.
+#[derive(Debug, Clone, Copy, Default)]
+struct PoolTotals {
+    created: u64,
+    reused: u64,
+}
+
+impl PoolTotals {
+    fn absorb(&mut self, eng: &EvalEngine) {
+        let s = eng.stats();
+        self.created += s.sims_created;
+        self.reused += s.sims_reused;
+    }
+}
+
+fn solo_apps(quick: bool) -> Vec<App> {
+    if quick {
+        vec![App::Wc]
+    } else {
+        vec![App::Wc, App::St, App::Gp]
+    }
+}
+
+/// Keep whichever measurement of the same deterministic work was faster.
+fn faster(best: Option<Arm>, cur: Arm) -> Option<Arm> {
+    match best {
+        Some(b) if b.wall_s <= cur.wall_s => Some(b),
+        _ => Some(cur),
+    }
+}
+
+/// Optimized solo sweep: pooled engine, one fresh memo (every point is a
+/// miss, so every point simulates — the kernel, not the cache, is timed).
+fn solo_optimized(
+    apps: &[App],
+    mb: f64,
+    configs: &[TuningConfig],
+    pool: &mut PoolTotals,
+) -> Result<Arm, BenchError> {
+    let eng = EvalEngine::atom();
+    let t0 = Instant::now();
+    let mut events = 0u64;
+    for app in apps {
+        let outs: Vec<_> = configs
+            .par_iter()
+            .map(|&cfg| eng.solo_outcome(app.profile(), mb, cfg))
+            .collect::<Result<_, _>>()?;
+        events += outs.iter().map(|o| o.timeline.len() as u64).sum::<u64>();
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    pool.absorb(&eng);
+    Ok(Arm {
+        wall_s,
+        sims: eng.stats().runs_simulated,
+        events,
+    })
+}
+
+/// Baseline solo sweep: the frozen pre-refactor executor, one fresh
+/// allocating simulator per point.
+fn solo_baseline(apps: &[App], mb: f64, configs: &[TuningConfig]) -> Result<Arm, BenchError> {
+    let tb = Testbed::atom();
+    let t0 = Instant::now();
+    let mut events = 0u64;
+    let mut sims = 0u64;
+    for app in apps {
+        let outs: Vec<_> = configs
+            .par_iter()
+            .map(|&cfg| {
+                run_standalone_reference(
+                    &tb.node,
+                    &tb.fw,
+                    JobSpec::from_profile(app.profile().clone(), mb, cfg),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        sims += outs.len() as u64;
+        events += outs.iter().map(|o| o.timeline.len() as u64).sum::<u64>();
+    }
+    Ok(Arm {
+        wall_s: t0.elapsed().as_secs_f64(),
+        sims,
+        events,
+    })
+}
+
+/// Optimized pair sweep over `pcs`. Events are not observable through the
+/// engine's pair metrics; the caller patches them in from the baseline arm
+/// (bit-identical timelines).
+fn pair_optimized(
+    a: App,
+    b: App,
+    mb: f64,
+    pcs: &[PairConfig],
+    pool: &mut PoolTotals,
+) -> Result<Arm, BenchError> {
+    let eng = EvalEngine::atom();
+    let t0 = Instant::now();
+    let _: Vec<_> = pcs
+        .par_iter()
+        .map(|&pc| eng.pair_metrics(a.profile(), mb, b.profile(), mb, pc))
+        .collect::<Result<_, _>>()?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    pool.absorb(&eng);
+    Ok(Arm {
+        wall_s,
+        sims: eng.stats().runs_simulated,
+        events: 0,
+    })
+}
+
+/// Baseline pair sweep: fresh reference simulator per point.
+fn pair_baseline(a: App, b: App, mb: f64, pcs: &[PairConfig]) -> Result<Arm, BenchError> {
+    let tb = Testbed::atom();
+    let t0 = Instant::now();
+    let runs: Vec<(Vec<ecost_mapreduce::JobOutcome>, f64)> = pcs
+        .par_iter()
+        .map(|&pc| {
+            run_colocated_reference(
+                &tb.node,
+                &tb.fw,
+                vec![
+                    JobSpec::from_profile(a.profile().clone(), mb, pc.a),
+                    JobSpec::from_profile(b.profile().clone(), mb, pc.b),
+                ],
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    let events = runs
+        .iter()
+        .flat_map(|(outs, _)| outs.iter())
+        .map(|o| o.timeline.len() as u64)
+        .sum();
+    Ok(Arm {
+        wall_s,
+        sims: pcs.len() as u64,
+        events,
+    })
+}
+
+/// Scheduler workload geometry: (node count, workload).
+fn scheduler_load(quick: bool) -> (usize, ecost_apps::Workload) {
+    let nodes = if quick { 2 } else { 4 };
+    let size = if quick {
+        InputSize::Small
+    } else {
+        InputSize::Medium
+    };
+    (nodes, WorkloadScenario::Ws1.workload(size))
+}
+
+fn scheduler_setup() -> FaultSetup {
+    FaultSetup {
+        plan: FaultPlan::none(),
+        retry: RetryPolicy::none(),
+    }
+}
+
+/// Event count of the scheduler run: one span per per-job execution
+/// segment, counted on a recording pass. The run is deterministic, so the
+/// count transfers to the separately timed no-op-recorder passes.
+fn scheduler_events(quick: bool) -> Result<u64, BenchError> {
+    let (nodes, wl) = scheduler_load(quick);
+    let counting = EvalEngine::with_recorder(Testbed::atom(), Recorder::recording());
+    run_untuned_faulted(&counting, nodes, &wl, None, &scheduler_setup())?;
+    Ok(counting
+        .recorder()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Span { .. }))
+        .count() as u64)
+}
+
+/// One timed pass of the streaming scheduler (wait queue, paired
+/// placement, per-node event loops) under the untuned policy, fault-free.
+fn scheduler_timed(quick: bool, pool: &mut PoolTotals) -> Result<Arm, BenchError> {
+    let (nodes, wl) = scheduler_load(quick);
+    let eng = EvalEngine::atom();
+    let t0 = Instant::now();
+    run_untuned_faulted(&eng, nodes, &wl, None, &scheduler_setup())?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    pool.absorb(&eng);
+    Ok(Arm {
+        wall_s,
+        sims: eng.stats().runs_simulated,
+        events: 0,
+    })
+}
+
+fn section(
+    out: &mut String,
+    name: &str,
+    optimized: Option<Arm>,
+    baseline: Option<Arm>,
+    extra: &[(&str, String)],
+) {
+    let _ = writeln!(out, "  \"{name}\": {{");
+    for (k, v) in extra {
+        let _ = writeln!(out, "    \"{k}\": {v},");
+    }
+    if let Some(arm) = optimized {
+        let _ = writeln!(out, "    \"optimized\": {{");
+        arm.json(out, "      ");
+        let _ = writeln!(out, "    }},");
+    }
+    if let Some(arm) = baseline {
+        let _ = writeln!(out, "    \"baseline\": {{");
+        arm.json(out, "      ");
+        let _ = writeln!(out, "    }},");
+    }
+    if let (Some(o), Some(b)) = (optimized, baseline) {
+        let speedup = if o.wall_s > 0.0 {
+            b.wall_s / o.wall_s
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "    \"speedup\": {speedup:.2}");
+    } else {
+        // Trailing-comma fixup: re-close the last written block.
+        if out.ends_with("}},\n") || out.ends_with("},\n") {
+            out.truncate(out.len() - 2);
+            out.push('\n');
+        }
+    }
+    let _ = writeln!(out, "  }},");
+}
+
+fn run(baseline_only: bool) -> Result<(), BenchError> {
+    let quick = std::env::var("ECOST_QUICK").is_ok_and(|v| v == "1");
+    let tb = Testbed::atom();
+    let mb = InputSize::Small.per_node_mb();
+    let rounds = if quick { 3 } else { 7 };
+    let mut pool = PoolTotals::default();
+
+    let solo_cfgs: Vec<TuningConfig> = TuningConfig::space(tb.node.cores).collect();
+    let apps = solo_apps(quick);
+    eprintln!(
+        "[bench_report] solo sweep: {} apps x {} configs, {} rounds ({})…",
+        apps.len(),
+        solo_cfgs.len(),
+        rounds,
+        if quick { "quick" } else { "full" }
+    );
+    let mut solo_base: Option<Arm> = None;
+    let mut solo_opt: Option<Arm> = None;
+    for _ in 0..rounds {
+        solo_base = faster(solo_base, solo_baseline(&apps, mb, &solo_cfgs)?);
+        if !baseline_only {
+            solo_opt = faster(solo_opt, solo_optimized(&apps, mb, &solo_cfgs, &mut pool)?);
+        }
+    }
+    let solo_base = solo_base.ok_or(BenchError::Invalid("no solo rounds ran".into()))?;
+
+    let all_pcs = PairConfig::space(tb.node.cores);
+    let stride = if quick { 32 } else { 1 };
+    let pcs: Vec<PairConfig> = all_pcs.into_iter().step_by(stride).collect();
+    eprintln!(
+        "[bench_report] pair sweep: {} configs, {rounds} rounds…",
+        pcs.len()
+    );
+    let mut pair_base: Option<Arm> = None;
+    let mut pair_opt: Option<Arm> = None;
+    for _ in 0..rounds {
+        pair_base = faster(pair_base, pair_baseline(App::Gp, App::St, mb, &pcs)?);
+        if !baseline_only {
+            pair_opt = faster(
+                pair_opt,
+                pair_optimized(App::Gp, App::St, mb, &pcs, &mut pool)?,
+            );
+        }
+    }
+    let pair_base = pair_base.ok_or(BenchError::Invalid("no pair rounds ran".into()))?;
+    // Bit-identical arms: the baseline's event count is the event count
+    // (the engine's pair memo keeps metrics, not timelines).
+    let pair_opt = pair_opt.map(|mut arm| {
+        arm.events = pair_base.events;
+        arm
+    });
+
+    eprintln!("[bench_report] scheduler run, {rounds} rounds…");
+    let (nodes, wl) = scheduler_load(quick);
+    let jobs = wl.jobs.len();
+    let sched_events = scheduler_events(quick)?;
+    let mut sched: Option<Arm> = None;
+    for _ in 0..rounds {
+        sched = faster(sched, scheduler_timed(quick, &mut pool)?);
+    }
+    let mut sched = sched.ok_or(BenchError::Invalid("no scheduler rounds ran".into()))?;
+    sched.events = sched_events;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ecost-bench-sim/1\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(
+        out,
+        "  \"arms\": \"{}\",",
+        if baseline_only {
+            "baseline-only"
+        } else {
+            "both"
+        }
+    );
+    let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
+    section(
+        &mut out,
+        "solo_sweep",
+        solo_opt,
+        Some(solo_base),
+        &[
+            ("apps", apps.len().to_string()),
+            ("configs", solo_cfgs.len().to_string()),
+        ],
+    );
+    section(
+        &mut out,
+        "pair_sweep",
+        pair_opt,
+        Some(pair_base),
+        &[("configs", pcs.len().to_string())],
+    );
+    section(
+        &mut out,
+        "scheduler",
+        Some(sched),
+        None,
+        &[("nodes", nodes.to_string()), ("jobs", jobs.to_string())],
+    );
+    let _ = writeln!(out, "  \"pool\": {{");
+    let _ = writeln!(out, "    \"sims_created\": {},", pool.created);
+    let _ = writeln!(out, "    \"sims_reused\": {},", pool.reused);
+    let total = pool.created + pool.reused;
+    let frac = if total > 0 {
+        pool.reused as f64 / total as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "    \"reuse_frac\": {frac:.4}");
+    out.push_str("  }\n}\n");
+
+    let path = std::env::var("ECOST_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim.json".into());
+    std::fs::write(&path, &out)?;
+    println!("{out}");
+    eprintln!("[bench_report] wrote {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let baseline_only = std::env::args().any(|a| a == "--baseline");
+    ecost_bench::run_main("bench_report", || run(baseline_only))
+}

@@ -20,6 +20,7 @@
 
 mod cache;
 mod error;
+mod pool;
 mod retry;
 
 pub use error::EvalError;
@@ -28,9 +29,11 @@ pub use retry::RetryPolicy;
 use crate::features::Testbed;
 use cache::ShardedCache;
 use ecost_apps::AppProfile;
-use ecost_mapreduce::executor::{run_colocated_degraded, run_standalone_degraded, JobOutcome};
+use ecost_mapreduce::executor::JobOutcome;
 use ecost_mapreduce::{JobMetrics, JobSpec, PairConfig, PairMetrics, TuningConfig};
+use ecost_sim::SimError;
 use ecost_telemetry::{Counter, Event, Recorder, Registry};
+use pool::SimPool;
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -129,6 +132,14 @@ pub struct EngineStats {
     /// Graceful degradations taken (solo placement instead of a pair,
     /// class-default configuration instead of a learned one).
     pub fallbacks: u64,
+    /// Miss-path runs that had to construct a fresh simulator (pool
+    /// empty). Scheduling-dependent: roughly one per concurrently active
+    /// worker thread, not one per run.
+    pub sims_created: u64,
+    /// Miss-path runs served by a reset, pooled simulator — each one is a
+    /// full `NodeSim` construction (spec/framework clones + solver
+    /// scratch) that was *not* allocated.
+    pub sims_reused: u64,
 }
 
 impl EngineStats {
@@ -157,6 +168,11 @@ impl std::fmt::Display for EngineStats {
             self.faults_injected,
             self.retries,
             self.fallbacks
+        )?;
+        write!(
+            f,
+            ", {} sims created / {} reused from pool",
+            self.sims_created, self.sims_reused
         )
     }
 }
@@ -248,6 +264,8 @@ struct EngineCounters {
     faults: Counter,
     retries: Counter,
     fallbacks: Counter,
+    sims_created: Counter,
+    sims_reused: Counter,
 }
 
 impl EngineCounters {
@@ -260,6 +278,8 @@ impl EngineCounters {
             faults: reg.counter("engine.faults_injected"),
             retries: reg.counter("engine.retries"),
             fallbacks: reg.counter("engine.fallbacks"),
+            sims_created: reg.counter("engine.sims_created"),
+            sims_reused: reg.counter("engine.sims_reused"),
         }
     }
 }
@@ -272,6 +292,7 @@ pub struct EvalEngine {
     solo: ShardedCache<SoloKey, Arc<JobOutcome>>,
     sweeps: ShardedCache<PairKey, Arc<Vec<PairRun>>>,
     pair_points: ShardedCache<PairPointKey, PairMetrics>,
+    pool: SimPool,
     recorder: Recorder,
     counters: EngineCounters,
 }
@@ -291,6 +312,7 @@ impl EvalEngine {
             solo: ShardedCache::new(),
             sweeps: ShardedCache::new(),
             pair_points: ShardedCache::new(),
+            pool: SimPool::new(),
             recorder,
             counters,
         }
@@ -329,6 +351,8 @@ impl EvalEngine {
             faults_injected: self.counters.faults.get(),
             retries: self.counters.retries.get(),
             fallbacks: self.counters.fallbacks.get(),
+            sims_created: self.counters.sims_created.get(),
+            sims_reused: self.counters.sims_reused.get(),
         }
     }
 
@@ -340,6 +364,13 @@ impl EvalEngine {
     /// Number of memoized solo outcomes.
     pub fn cached_solo_runs(&self) -> usize {
         self.solo.len()
+    }
+
+    /// Simulators currently idle in the pool (diagnostics; equals
+    /// `sims_created` whenever no run is in flight, since every successful
+    /// run returns its simulator).
+    pub fn pooled_sims(&self) -> usize {
+        self.pool.idle()
     }
 
     /// Cache probe served from the memo. Cache events carry no simulated
@@ -361,6 +392,45 @@ impl EvalEngine {
     fn charge(&self, runs: u64, elapsed_ns: u64) {
         self.counters.runs.add(runs);
         self.counters.wall_ns.add(elapsed_ns);
+    }
+
+    /// Run `jobs` co-located on a pooled simulator degraded by `slowdown`.
+    /// Semantically identical to the executor's
+    /// `run_colocated_degraded` convenience (same submit order, same event
+    /// loop), but the simulator comes from — and, on success, returns to —
+    /// the engine's pool instead of being constructed per run. This is the
+    /// kernel under every sweep: a rayon worker grinding through thousands
+    /// of configurations reuses one warm simulator and its grown solver
+    /// scratch instead of allocating a fresh `NodeSim` per point.
+    fn run_pooled(
+        &self,
+        jobs: impl IntoIterator<Item = JobSpec>,
+        slowdown: f64,
+    ) -> Result<(Vec<JobOutcome>, f64), EvalError> {
+        let (mut sim, reused) = self.pool.acquire(&self.tb.node, &self.tb.fw);
+        if reused {
+            self.counters.sims_reused.inc();
+        } else {
+            self.counters.sims_created.inc();
+        }
+        let run = (|| -> Result<(Vec<JobOutcome>, f64), SimError> {
+            sim.set_slowdown(slowdown)?;
+            for j in jobs {
+                sim.submit(j)?;
+            }
+            sim.run_to_completion()?;
+            let makespan = sim.now();
+            Ok((sim.take_finished(), makespan))
+        })();
+        match run {
+            Ok(out) => {
+                self.pool.release(sim);
+                Ok(out)
+            }
+            // A failed run drops its simulator: a rebuild on the next miss
+            // is cheaper than ever pooling half-advanced state.
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Record a fault event applied at simulated time `t_s` to a run
@@ -459,7 +529,10 @@ impl EvalEngine {
         self.miss("solo");
         let t0 = Instant::now();
         let job = JobSpec::from_profile(profile.clone(), input_mb, cfg);
-        let out = run_standalone_degraded(&self.tb.node, &self.tb.fw, job, slowdown)?;
+        let (mut outs, _) = self.run_pooled([job], slowdown)?;
+        let out = outs
+            .pop()
+            .ok_or(SimError::Internal("one job submitted, none finished"))?;
         self.charge(1, t0.elapsed().as_nanos() as u64);
         Ok(self.solo.insert_or_keep(key, Arc::new(out)))
     }
@@ -549,11 +622,11 @@ impl EvalEngine {
         pc: PairConfig,
         slowdown: f64,
     ) -> Result<PairMetrics, EvalError> {
-        let jobs = vec![
+        let jobs = [
             JobSpec::from_profile(a.clone(), input_a_mb, pc.a),
             JobSpec::from_profile(b.clone(), input_b_mb, pc.b),
         ];
-        let (outs, makespan) = run_colocated_degraded(&self.tb.node, &self.tb.fw, jobs, slowdown)?;
+        let (outs, makespan) = self.run_pooled(jobs, slowdown)?;
         Ok(PairMetrics {
             makespan_s: makespan,
             energy_j: outs.iter().map(|o| o.metrics.energy_j).sum(),
@@ -895,7 +968,61 @@ mod tests {
         assert_eq!(s.faults_injected, snap.counter("engine.faults_injected"));
         assert_eq!(s.retries, snap.counter("engine.retries"));
         assert_eq!(s.fallbacks, snap.counter("engine.fallbacks"));
+        assert_eq!(s.sims_created, snap.counter("engine.sims_created"));
+        assert_eq!(s.sims_reused, snap.counter("engine.sims_reused"));
         assert_eq!(s.wall_seconds, snap.counter("engine.wall_ns") as f64 * 1e-9);
+    }
+
+    #[test]
+    fn sweeps_reuse_pooled_simulators() {
+        let eng = EvalEngine::atom();
+        let p = App::Wc.profile();
+        let mb = InputSize::Small.per_node_mb();
+        eng.sweep_solo(p, mb).unwrap();
+        let s = eng.stats();
+        // Every miss ran on exactly one simulator, pooled or fresh.
+        assert_eq!(s.sims_created + s.sims_reused, s.runs_simulated);
+        // Far more sweep points than worker threads, so the pool must have
+        // turned over, and every simulator came back after its run.
+        assert!(s.sims_reused > 0, "{s}");
+        assert_eq!(eng.pooled_sims() as u64, s.sims_created);
+        // A cached re-sweep touches no simulators at all.
+        eng.sweep_solo(p, mb).unwrap();
+        let s2 = eng.stats();
+        assert_eq!(s2.sims_created, s.sims_created);
+        assert_eq!(s2.sims_reused, s.sims_reused);
+    }
+
+    #[test]
+    fn pooled_runs_match_the_direct_executor_bit_for_bit() {
+        let eng = EvalEngine::atom();
+        let p = App::Wc.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let cfg = TuningConfig::hadoop_default(8);
+        // Warm the pool with a different config so the evaluation under
+        // test is served by a *reused* simulator.
+        eng.solo_outcome(p, mb, TuningConfig::hadoop_default(4))
+            .unwrap();
+        let pooled = eng.solo_outcome(p, mb, cfg).unwrap();
+        assert!(eng.stats().sims_reused >= 1);
+        let direct = ecost_mapreduce::run_standalone(
+            &eng.testbed().node,
+            &eng.testbed().fw,
+            JobSpec::from_profile(p.clone(), mb, cfg),
+        )
+        .unwrap();
+        assert_eq!(
+            pooled.metrics.exec_time_s.to_bits(),
+            direct.metrics.exec_time_s.to_bits()
+        );
+        assert_eq!(
+            pooled.metrics.energy_j.to_bits(),
+            direct.metrics.energy_j.to_bits()
+        );
+        assert_eq!(
+            pooled.metrics.avg_power_w.to_bits(),
+            direct.metrics.avg_power_w.to_bits()
+        );
     }
 
     #[test]

@@ -112,6 +112,8 @@ pub fn engine_stats_table(title: &str, stats: &EngineStats) -> Table {
     t.row(&["faults injected".into(), stats.faults_injected.to_string()]);
     t.row(&["transient retries".into(), stats.retries.to_string()]);
     t.row(&["graceful fallbacks".into(), stats.fallbacks.to_string()]);
+    t.row(&["simulators created".into(), stats.sims_created.to_string()]);
+    t.row(&["simulators reused".into(), stats.sims_reused.to_string()]);
     t
 }
 

@@ -27,7 +27,7 @@ use crate::framework::FrameworkSpec;
 use crate::job::JobSpec;
 use crate::metrics::JobMetrics;
 use crate::stage::Stage;
-use ecost_sim::{amva, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError};
+use ecost_sim::{AmvaScratch, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError};
 use ecost_telemetry::{Event, Recorder, SpanKey};
 
 /// Opaque handle identifying a submitted job within one `NodeSim`.
@@ -106,23 +106,83 @@ impl ActiveJob {
     }
 }
 
+/// Hard cap on co-located jobs per node simulator.
+///
+/// Sized to the widest built-in node (16 Xeon cores): every job needs at
+/// least one mapper core, so the admission check in [`NodeSim::submit`]
+/// already bounds the active count by the core count. The cap exists so the
+/// rate solution can live in fixed inline arrays instead of per-solve heap
+/// vectors; exceeding it (only possible with a custom `NodeSpec` wider than
+/// 16 cores) is a typed [`SimError::ColocationCapExceeded`], not a panic.
+pub const MAX_COLOCATED: usize = 16;
+
 /// Per-job rates valid until the next event.
+///
+/// Structure-of-arrays over fixed inline storage: entries `[..n]` are live,
+/// the tail is stale and never read. Two of these are embedded in
+/// [`NodeSim`] as a double buffer — `solve_into` always fills the *back*
+/// buffer and flips on success, so the front buffer `advance` reads from is
+/// never torn by a failed re-solve, and no per-event clone is needed.
 #[derive(Debug, Clone)]
 struct RateSolution {
+    /// Live entry count (= active job count at solve time).
+    n: usize,
     /// Work units per second, per active job.
-    rate: Vec<f64>,
-    busy_cores: Vec<f64>,
-    read_mbps: Vec<f64>,
-    write_mbps: Vec<f64>,
-    nic_mbps: Vec<f64>,
-    mem_mbps: Vec<f64>,
+    rate: [f64; MAX_COLOCATED],
+    busy_cores: [f64; MAX_COLOCATED],
+    read_mbps: [f64; MAX_COLOCATED],
+    write_mbps: [f64; MAX_COLOCATED],
+    nic_mbps: [f64; MAX_COLOCATED],
+    mem_mbps: [f64; MAX_COLOCATED],
+    power_attr_w: [f64; MAX_COLOCATED],
     slow: f64,
     footprint_mb: f64,
     power_total_w: f64,
-    power_attr_w: Vec<f64>,
     disk_util: f64,
     mem_util: f64,
     nic_util: f64,
+}
+
+impl RateSolution {
+    fn empty() -> RateSolution {
+        RateSolution {
+            n: 0,
+            rate: [0.0; MAX_COLOCATED],
+            busy_cores: [0.0; MAX_COLOCATED],
+            read_mbps: [0.0; MAX_COLOCATED],
+            write_mbps: [0.0; MAX_COLOCATED],
+            nic_mbps: [0.0; MAX_COLOCATED],
+            mem_mbps: [0.0; MAX_COLOCATED],
+            power_attr_w: [0.0; MAX_COLOCATED],
+            slow: 1.0,
+            footprint_mb: 0.0,
+            power_total_w: 0.0,
+            disk_util: 0.0,
+            mem_util: 0.0,
+            nic_util: 0.0,
+        }
+    }
+}
+
+/// Heap-backed scratch reused across every `solve_into` call of one
+/// [`NodeSim`]. Buffers only ever grow (`clear` + `resize` keeps capacity),
+/// so after the first solve at a given job-mix size the whole contention
+/// model runs without touching the allocator.
+struct SolveScratch {
+    /// AMVA customer classes, one per active job; the per-class demand
+    /// vectors are rebuilt in place each outer fixed-point iteration.
+    classes: Vec<ClassDemand>,
+    /// In-place Bard–Schweitzer solver state.
+    amva: AmvaScratch,
+}
+
+impl SolveScratch {
+    fn new() -> SolveScratch {
+        SolveScratch {
+            classes: Vec::new(),
+            amva: AmvaScratch::new(),
+        }
+    }
 }
 
 /// One simulated node executing co-located MapReduce jobs.
@@ -151,7 +211,14 @@ pub struct NodeSim {
     finished: Vec<JobOutcome>,
     meter: EnergyMeter,
     next_id: u64,
-    cached: Option<RateSolution>,
+    /// Double-buffered rate solution: `bufs[front]` is the last good solve,
+    /// the other buffer is filled by the next solve and flipped in.
+    bufs: [RateSolution; 2],
+    front: usize,
+    /// Whether `bufs[front]` reflects the current job mix.
+    sol_valid: bool,
+    /// Reusable solver scratch (AMVA state + class demand vectors).
+    scratch: SolveScratch,
     /// Node-wide degradation factor (1 = healthy). Divides compute and disk
     /// rates — a thermal frequency cap plus disk-bandwidth decay.
     slowdown: f64,
@@ -193,7 +260,10 @@ impl NodeSim {
             finished: Vec::new(),
             meter: EnergyMeter::new(),
             next_id: 0,
-            cached: None,
+            bufs: [RateSolution::empty(), RateSolution::empty()],
+            front: 0,
+            sol_valid: false,
+            scratch: SolveScratch::new(),
             slowdown: 1.0,
             stragglers_injected: 0,
             speculative_retries: 0,
@@ -221,7 +291,7 @@ impl NodeSim {
             ));
         }
         self.slowdown = factor;
-        self.cached = None;
+        self.sol_valid = false;
         Ok(())
     }
 
@@ -256,7 +326,7 @@ impl NodeSim {
             .ok_or(SimError::NoSuchJob(h.0))?;
         job.straggler = job.straggler.max(multiplier);
         self.stragglers_injected += 1;
-        self.cached = None;
+        self.sol_valid = false;
         Ok(())
     }
 
@@ -293,7 +363,7 @@ impl NodeSim {
                     extra_slots: granted,
                 }
             });
-        self.cached = None;
+        self.sol_valid = false;
         Ok(true)
     }
 
@@ -348,7 +418,12 @@ impl NodeSim {
         self.meter.trace()
     }
 
-    /// Submit a job; fails if its mapper count exceeds the free cores.
+    /// Submit a job; fails if its mapper count exceeds the free cores or
+    /// the node's co-location cap ([`MAX_COLOCATED`]).
+    ///
+    /// All heap capacity a job will ever need during execution is reserved
+    /// here (its stage timeline, its slot in the finished list), keeping
+    /// the event loop itself allocation-free.
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobHandle, SimError> {
         let m = spec.config.mappers;
         if m == 0 || m > self.free_cores() {
@@ -357,11 +432,22 @@ impl NodeSim {
                 available: self.spec.cores,
             });
         }
+        if self.active.len() >= MAX_COLOCATED {
+            return Err(SimError::ColocationCapExceeded {
+                active: self.active.len(),
+                cap: MAX_COLOCATED,
+            });
+        }
         let stages = spec.stages(&self.fw);
         assert!(!stages.is_empty());
         let id = JobHandle(self.next_id);
         self.next_id += 1;
         let remaining = stages[0].tasks;
+        let timeline = Vec::with_capacity(stages.len());
+        // Every currently active job (this one included) retires into
+        // `finished` at most once: reserving here means the push in
+        // `advance` never reallocates mid-run.
+        self.finished.reserve(self.active.len() + 1);
         self.active.push(ActiveJob {
             id,
             spec,
@@ -371,11 +457,11 @@ impl NodeSim {
             start_s: self.now,
             stage_start_s: self.now,
             usage: JobUsage::default(),
-            timeline: Vec::new(),
+            timeline,
             straggler: 1.0,
             extra_slots: 0,
         });
-        self.cached = None;
+        self.sol_valid = false;
         Ok(id)
     }
 
@@ -385,10 +471,11 @@ impl NodeSim {
         if self.active.is_empty() {
             return Ok(None);
         }
-        let rates = self.solution()?.rate.clone();
+        self.ensure_solution()?;
+        let sol = &self.bufs[self.front];
         let mut dt = f64::INFINITY;
-        for (job, r) in self.active.iter().zip(rates) {
-            debug_assert!(r > 0.0, "active job {} has zero rate", job.spec.label);
+        for (job, r) in self.active.iter().zip(&sol.rate[..sol.n]) {
+            debug_assert!(*r > 0.0, "active job {} has zero rate", job.spec.label);
             dt = dt.min(job.remaining / r);
         }
         Ok(Some(dt.max(0.0)))
@@ -398,16 +485,36 @@ impl NodeSim {
     /// next event by more than a rounding margin), integrating usage, energy
     /// and progress, and retiring any stages/jobs that complete.
     pub fn advance(&mut self, dt: f64) -> Result<(), SimError> {
-        assert!(dt >= 0.0 && dt.is_finite(), "bad dt {dt}");
+        if !(dt >= 0.0 && dt.is_finite()) {
+            return Err(SimError::InvalidTimeStep { dt });
+        }
         if self.active.is_empty() || dt == 0.0 {
             self.now += dt;
             return Ok(());
         }
-        let sol = self.solution()?.clone();
-        self.meter.record(dt, sol.power_total_w);
-        let mut completed = Vec::new();
+        self.ensure_solution()?;
+        // Split borrows: the front solution buffer is read while job state,
+        // the meter and the clock are mutated — the disjoint field access
+        // replaces the full solution clone the old code paid per event.
+        let Self {
+            active,
+            finished,
+            meter,
+            recorder,
+            bufs,
+            front,
+            sol_valid,
+            now,
+            run_id,
+            node_id,
+            ..
+        } = self;
+        let sol = &bufs[*front];
+        meter.record(dt, sol.power_total_w);
+        let mut completed = [0usize; MAX_COLOCATED];
+        let mut ncomp = 0usize;
         let mut dirty = false;
-        for (j, job) in self.active.iter_mut().enumerate() {
+        for (j, job) in active.iter_mut().enumerate() {
             let stage_slots = f64::from(job.eff_slots());
             job.usage.busy_core_s += sol.busy_cores[j] * dt;
             job.usage.alloc_core_s += stage_slots * dt;
@@ -420,18 +527,13 @@ impl NodeSim {
             job.usage.peak_footprint_mb = job.usage.peak_footprint_mb.max(job.stage().footprint_mb);
             job.remaining -= sol.rate[j] * dt;
             if job.remaining <= WORK_EPS * job.stage().tasks.max(1.0) {
-                job.timeline.push((job.stage().kind, self.now + dt));
-                self.recorder.span(
-                    SpanKey::new(
-                        self.run_id,
-                        self.node_id,
-                        job.id.0,
-                        job.stage().kind.label(),
-                    ),
+                job.timeline.push((job.stage().kind, *now + dt));
+                recorder.span(
+                    SpanKey::new(*run_id, *node_id, job.id.0, job.stage().kind.label()),
                     job.stage_start_s,
-                    self.now + dt,
+                    *now + dt,
                 );
-                job.stage_start_s = self.now + dt;
+                job.stage_start_s = *now + dt;
                 job.stage_idx += 1;
                 // Wave boundary: straggling and speculative backups end with
                 // the wave that suffered/launched them.
@@ -441,7 +543,8 @@ impl NodeSim {
                     dirty = true;
                 }
                 if job.stage_idx >= job.stages.len() {
-                    completed.push(j);
+                    completed[ncomp] = j;
+                    ncomp += 1;
                 } else {
                     job.remaining = job.stages[job.stage_idx].tasks;
                     dirty = true;
@@ -449,25 +552,23 @@ impl NodeSim {
             }
         }
         if dirty {
-            self.cached = None;
+            *sol_valid = false;
         }
-        self.now += dt;
-        // Retire completed jobs (reverse order keeps indices valid).
-        for &j in completed.iter().rev() {
-            let job = self.active.swap_remove(j);
-            let exec = self.now - job.start_s;
-            self.recorder.span(
-                SpanKey::new(self.run_id, self.node_id, job.id.0, "job"),
+        *now += dt;
+        // Retire completed jobs (reverse order keeps indices valid). The
+        // outcome push is a pure move into capacity reserved at submit.
+        for &j in completed[..ncomp].iter().rev() {
+            let job = active.swap_remove(j);
+            let exec = *now - job.start_s;
+            recorder.span(
+                SpanKey::new(*run_id, *node_id, job.id.0, "job"),
                 job.start_s,
-                self.now,
+                *now,
             );
-            self.recorder
-                .emit(self.now, Some(self.node_id), Some(job.id.0), || {
-                    Event::JobFinish {
-                        app: job.spec.profile.name.to_string(),
-                        exec_time_s: exec,
-                    }
-                });
+            recorder.emit(*now, Some(*node_id), Some(job.id.0), || Event::JobFinish {
+                app: job.spec.profile.name.to_string(),
+                exec_time_s: exec,
+            });
             let metrics = JobMetrics {
                 exec_time_s: exec,
                 energy_j: job.usage.energy_j,
@@ -477,255 +578,82 @@ impl NodeSim {
                     0.0
                 },
             };
-            self.finished.push(JobOutcome {
+            finished.push(JobOutcome {
                 id: job.id,
                 spec: job.spec,
                 metrics,
                 usage: job.usage,
                 timeline: job.timeline,
             });
-            self.cached = None;
+            *sol_valid = false;
         }
         Ok(())
     }
 
-    /// Run one event step; returns handles of jobs that finished during it.
-    pub fn step(&mut self) -> Result<Vec<JobHandle>, SimError> {
+    /// Run one event step; returns how many jobs finished during it (their
+    /// outcomes are appended to [`NodeSim::finished`] in completion order).
+    pub fn step(&mut self) -> Result<usize, SimError> {
         let before = self.finished.len();
         match self.time_to_next_event()? {
-            None => Ok(Vec::new()),
+            None => Ok(0),
             Some(dt) => {
                 self.advance(dt)?;
-                Ok(self.finished[before..].iter().map(|o| o.id).collect())
+                Ok(self.finished.len() - before)
             }
         }
     }
 
     /// Run until no active jobs remain.
     pub fn run_to_completion(&mut self) -> Result<(), SimError> {
-        // Generous guard: stages × jobs is the true event count; runaway
-        // loops indicate a rate-solution bug.
-        let mut guard = 64 + 16 * self.active.iter().map(|j| j.stages.len()).sum::<usize>();
+        // Generous budget: stages × jobs is the true event count; blowing
+        // past it means the rate solution stalled (a model bug), surfaced
+        // as a typed error rather than a panic.
+        let budget = 64 + 16 * self.active.iter().map(|j| j.stages.len()).sum::<usize>();
+        let budget = budget as u64;
+        let mut events = 0u64;
         while !self.active.is_empty() {
             self.step()?;
-            guard -= 1;
-            assert!(guard > 0, "event-loop runaway: rates failed to progress");
+            events += 1;
+            if events >= budget {
+                return Err(SimError::EventLoopRunaway { events, budget });
+            }
         }
         Ok(())
     }
 
-    fn solution(&mut self) -> Result<&RateSolution, SimError> {
-        if self.cached.is_none() {
-            self.cached = Some(self.solve()?);
+    /// Re-solve the contention model into the back buffer and flip it to
+    /// the front, if the cached solution is stale.
+    fn ensure_solution(&mut self) -> Result<(), SimError> {
+        if self.sol_valid {
+            return Ok(());
         }
-        self.cached
-            .as_ref()
-            .ok_or(SimError::Internal("rate solution vanished after fill"))
-    }
-
-    /// Solve the contention model for the current job mix.
-    fn solve(&self) -> Result<RateSolution, SimError> {
-        let n = self.active.len();
-        let stages: Vec<&Stage> = self.active.iter().map(|j| j.stage()).collect();
-        // Fault context: node-wide degradation and per-wave stragglers. On a
-        // healthy node these are all exactly 1.0 / the configured slots, so
-        // every expression below reduces bit-identically to the undegraded
-        // model.
-        let slowdown = self.slowdown;
-        let stragglers: Vec<f64> = self.active.iter().map(|j| j.straggler).collect();
-        let eff_slots: Vec<f64> = self
-            .active
-            .iter()
-            .map(|j| f64::from(j.eff_slots()))
-            .collect();
-
-        // --- 1. DRAM pressure: spill inflation for everyone. ---
-        let footprint_mb: f64 = stages.iter().map(|s| s.footprint_mb).sum();
-        let spill = self
-            .fw
-            .spill_inflation(footprint_mb, self.spec.mem.capacity_mb);
-
-        // Static per-job grant ceiling: job pipeline cap ∧ slot stream rates.
-        let static_cap: Vec<f64> = stages
-            .iter()
-            .map(|s| {
-                if s.is_fluid() && s.io_mb > 0.0 {
-                    self.fw
-                        .job_io_cap(s.extent_mb)
-                        .min(s.stream_bound_mbps(self.spec.disk.stream_rate(s.extent_mb)))
-                        / slowdown
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-
-        // --- 2–4. Outer fixed point over θ (disk scale) and slow (memory). ---
-        let mut theta: f64 = 1.0;
-        let mut slow: f64 = 1.0;
-        let mut x = vec![0.0_f64; n];
-        let mut q_io = vec![0.0_f64; n];
-        let mut nic_util = 0.0_f64;
-        let stations = n + 1; // one private I/O path per job + shared NIC
-        for _outer in 0..200 {
-            let classes: Vec<ClassDemand> = stages
-                .iter()
-                .enumerate()
-                .map(|(j, s)| {
-                    if !s.is_fluid() {
-                        return ClassDemand {
-                            population: 0.0,
-                            think_time_s: 0.0,
-                            demands_s: vec![0.0; stations],
-                        };
-                    }
-                    let think = s.think0_s
-                        * (1.0 - s.stall_frac + s.stall_frac * slow)
-                        * slowdown
-                        * stragglers[j];
-                    let mut demands = vec![0.0; stations];
-                    if s.io_mb > 0.0 && static_cap[j] > 0.0 {
-                        demands[j] = s.io_mb * spill / (theta * static_cap[j]).max(1e-9);
-                    }
-                    if s.nic_mb > 0.0 && self.nic_bw_mbps.is_finite() {
-                        demands[n] = s.nic_mb / self.nic_bw_mbps;
-                    }
-                    ClassDemand {
-                        population: eff_slots[j],
-                        think_time_s: think,
-                        demands_s: demands,
-                    }
-                })
-                .collect();
-
-            let sol = amva::solve(&classes, stations)?;
-            x.copy_from_slice(&sol.throughput);
-            for (j, q) in q_io.iter_mut().enumerate() {
-                *q = sol.queue[j][j];
-            }
-            nic_util = sol.station_util[n];
-
-            // Memory-bandwidth coupling.
-            let bw_demand: f64 = (0..n)
-                .map(|j| {
-                    let s = stages[j];
-                    let think = s.think0_s
-                        * (1.0 - s.stall_frac + s.stall_frac * slow)
-                        * slowdown
-                        * stragglers[j];
-                    (x[j] * think).min(eff_slots[j]) * s.bw_per_core_mbps
-                })
-                .sum();
-            let slow_target = (bw_demand / self.spec.mem_bw_mbps()).max(1.0);
-            let slow_next = slow + 0.5 * (slow_target - slow);
-
-            // Physical-disk coupling.
-            let streams: f64 = q_io.iter().sum::<f64>().max(1.0);
-            let cap_phys = self.spec.disk.aggregate_bw(streams) / slowdown;
-            let total_io: f64 = (0..n).map(|j| x[j] * stages[j].io_mb * spill).sum();
-            let theta_target = if total_io > cap_phys {
-                (theta * cap_phys / total_io).clamp(0.01, 1.0)
-            } else {
-                // Relax back toward no throttling.
-                (theta * 1.15).min(1.0)
-            };
-            let theta_next = theta + 0.5 * (theta_target - theta);
-
-            let resid = (slow_next - slow).abs() / slow + (theta_next - theta).abs();
-            slow = slow_next;
-            theta = theta_next;
-            if resid < 1e-5 {
-                break;
-            }
-        }
-
-        // --- Final consistent quantities. ---
-        let mut rate = vec![0.0_f64; n];
-        let mut busy_cores = vec![0.0_f64; n];
-        let mut read_mbps = vec![0.0_f64; n];
-        let mut write_mbps = vec![0.0_f64; n];
-        let mut nic_mbps = vec![0.0_f64; n];
-        let mut mem_mbps = vec![0.0_f64; n];
-        for (j, s) in stages.iter().enumerate() {
-            if s.is_fluid() {
-                rate[j] = x[j];
-                let think = s.think0_s
-                    * (1.0 - s.stall_frac + s.stall_frac * slow)
-                    * slowdown
-                    * stragglers[j];
-                busy_cores[j] = (x[j] * think).min(eff_slots[j]);
-                let io = x[j] * s.io_mb * spill;
-                read_mbps[j] = io * s.read_frac;
-                write_mbps[j] = io * (1.0 - s.read_frac);
-                nic_mbps[j] = x[j] * s.nic_mb;
-                mem_mbps[j] = busy_cores[j] * s.bw_per_core_mbps;
-            } else {
-                rate[j] = 1.0 / (s.setup_s * slowdown * stragglers[j]);
-                busy_cores[j] = 0.4; // single setup thread, partially busy
-            }
-        }
-        let total_io: f64 = read_mbps.iter().chain(write_mbps.iter()).sum();
-        let streams: f64 = q_io.iter().sum::<f64>().max(1.0);
-        let cap_phys = self.spec.disk.aggregate_bw(streams) / slowdown;
-        let disk_util = (total_io / cap_phys).clamp(0.0, 1.0);
-        let total_mem: f64 = mem_mbps.iter().sum();
-        let mem_util = (total_mem / self.spec.mem_bw_mbps()).clamp(0.0, 1.0);
-        let allocated: f64 = eff_slots.iter().sum();
-
-        let busy_at: Vec<(f64, f64)> = stages
-            .iter()
-            .enumerate()
-            .map(|(j, s)| (busy_cores[j], s.dyn_factor))
-            .collect();
-        let breakdown = self
-            .power
-            .dynamic_power(&busy_at, allocated, disk_util, mem_util, 0.0);
-        let nic_w = nic_util * self.nic_power_w;
-        let power_total_w = breakdown.total() + nic_w;
-
-        // Attribution: cores exactly; shared resources pro-rata by usage.
-        let total_nic: f64 = nic_mbps.iter().sum();
-        let power_attr_w: Vec<f64> = (0..n)
-            .map(|j| {
-                let s = stages[j];
-                let core = busy_cores[j] * self.spec.core_busy_power_w * s.dyn_factor
-                    + (eff_slots[j] - busy_cores[j]).max(0.0) * self.spec.core_iowait_power_w
-                    + eff_slots[j] * self.spec.core_static_power_w;
-                let io_j = read_mbps[j] + write_mbps[j];
-                let disk = if total_io > 0.0 {
-                    breakdown.disk_w * io_j / total_io
-                } else {
-                    0.0
-                };
-                let mem = if total_mem > 0.0 {
-                    breakdown.mem_w * mem_mbps[j] / total_mem
-                } else {
-                    0.0
-                };
-                let nic = if total_nic > 0.0 {
-                    nic_w * nic_mbps[j] / total_nic
-                } else {
-                    0.0
-                };
-                core + disk + mem + nic
-            })
-            .collect();
-
-        Ok(RateSolution {
-            rate,
-            busy_cores,
-            read_mbps,
-            write_mbps,
-            nic_mbps,
-            mem_mbps,
-            slow,
-            footprint_mb,
-            power_total_w,
-            power_attr_w,
-            disk_util,
-            mem_util,
-            nic_util,
-        })
+        let back = 1 - self.front;
+        let Self {
+            spec,
+            fw,
+            power,
+            nic_bw_mbps,
+            nic_power_w,
+            active,
+            scratch,
+            bufs,
+            slowdown,
+            ..
+        } = self;
+        solve_into(
+            spec,
+            fw,
+            power,
+            *nic_bw_mbps,
+            *nic_power_w,
+            *slowdown,
+            active,
+            scratch,
+            &mut bufs[back],
+        )?;
+        self.front = back;
+        self.sol_valid = true;
+        Ok(())
     }
 
     /// Handles of currently active jobs, in submission order.
@@ -740,21 +668,269 @@ impl NodeSim {
     pub fn crash(&mut self) -> Vec<JobHandle> {
         let handles = self.active.iter().map(|j| j.id).collect();
         self.active.clear();
-        self.cached = None;
+        self.sol_valid = false;
         handles
     }
 
     /// Diagnostic snapshot of the current rate solution: (disk util, memory
     /// bandwidth util, memory stall dilation, total footprint MB).
     pub fn contention_snapshot(&mut self) -> Result<(f64, f64, f64, f64), SimError> {
-        let s = self.solution()?;
+        self.ensure_solution()?;
+        let s = &self.bufs[self.front];
         Ok((s.disk_util, s.mem_util, s.slow, s.footprint_mb))
     }
 
     /// NIC utilisation of the current rate solution (cluster shuffles).
     pub fn nic_utilisation(&mut self) -> Result<f64, SimError> {
-        Ok(self.solution()?.nic_util)
+        self.ensure_solution()?;
+        Ok(self.bufs[self.front].nic_util)
     }
+
+    /// Restore this simulator to its freshly constructed state while
+    /// keeping every heap buffer's capacity (solver scratch, job lists).
+    ///
+    /// This is what makes simulator pooling bit-identical to fresh
+    /// construction: after `reset`, every observable field equals the value
+    /// `NodeSim::new` would set, so a pooled run replays the exact same
+    /// arithmetic as an unpooled one — only the warm allocations differ.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+        self.active.clear();
+        self.finished.clear();
+        self.meter = EnergyMeter::new();
+        self.next_id = 0;
+        self.sol_valid = false;
+        self.slowdown = 1.0;
+        self.stragglers_injected = 0;
+        self.speculative_retries = 0;
+        self.recorder = Recorder::noop();
+        self.run_id = 0;
+        self.node_id = 0;
+    }
+}
+
+/// Solve the contention model for the current job mix into `out`.
+///
+/// Free function (rather than a method) so `ensure_solution` can hand it
+/// disjoint borrows of the simulator's fields: `active` is read, `scratch`
+/// and the back buffer are written. All working state lives either on the
+/// stack (fixed [`MAX_COLOCATED`]-sized arrays) or in `scratch` (grown once,
+/// then reused), so a warm solve performs zero heap allocations.
+///
+/// The arithmetic — every operation and its order — is copied verbatim from
+/// the pre-refactor allocating implementation (preserved in
+/// [`crate::reference`]); the property tests require the two to agree to
+/// the bit.
+#[allow(clippy::too_many_arguments)]
+fn solve_into(
+    spec: &NodeSpec,
+    fw: &FrameworkSpec,
+    power: &PowerModel,
+    nic_bw_mbps: f64,
+    nic_power_w: f64,
+    slowdown: f64,
+    active: &[ActiveJob],
+    scratch: &mut SolveScratch,
+    out: &mut RateSolution,
+) -> Result<(), SimError> {
+    let n = active.len();
+    // Fault context: node-wide degradation and per-wave stragglers. On a
+    // healthy node these are all exactly 1.0 / the configured slots, so
+    // every expression below reduces bit-identically to the undegraded
+    // model.
+    let mut stragglers = [0.0_f64; MAX_COLOCATED];
+    let mut eff_slots = [0.0_f64; MAX_COLOCATED];
+    for (j, job) in active.iter().enumerate() {
+        stragglers[j] = job.straggler;
+        eff_slots[j] = f64::from(job.eff_slots());
+    }
+
+    // --- 1. DRAM pressure: spill inflation for everyone. ---
+    let footprint_mb: f64 = active.iter().map(|job| job.stage().footprint_mb).sum();
+    let spill = fw.spill_inflation(footprint_mb, spec.mem.capacity_mb);
+
+    // Static per-job grant ceiling: job pipeline cap ∧ slot stream rates.
+    let mut static_cap = [0.0_f64; MAX_COLOCATED];
+    for (j, job) in active.iter().enumerate() {
+        let s = job.stage();
+        static_cap[j] = if s.is_fluid() && s.io_mb > 0.0 {
+            fw.job_io_cap(s.extent_mb)
+                .min(s.stream_bound_mbps(spec.disk.stream_rate(s.extent_mb)))
+                / slowdown
+        } else {
+            0.0
+        };
+    }
+
+    // Loop-invariant stage quantities, copied to the stack so the fixed
+    // point below never re-chases the job → stage indirection. The `think`
+    // expression is still evaluated with exactly the original operations
+    // and order (bit-identity, pinned by the executor property tests);
+    // hoisting only stops it being *recomputed* in the coupling step.
+    let mut fluid = [false; MAX_COLOCATED];
+    let mut think0 = [0.0_f64; MAX_COLOCATED];
+    let mut stall = [0.0_f64; MAX_COLOCATED];
+    let mut io_mb = [0.0_f64; MAX_COLOCATED];
+    let mut nic_mb = [0.0_f64; MAX_COLOCATED];
+    let mut bw_core = [0.0_f64; MAX_COLOCATED];
+    for (j, job) in active.iter().enumerate() {
+        let s = job.stage();
+        fluid[j] = s.is_fluid();
+        think0[j] = s.think0_s;
+        stall[j] = s.stall_frac;
+        io_mb[j] = s.io_mb;
+        nic_mb[j] = s.nic_mb;
+        bw_core[j] = s.bw_per_core_mbps;
+    }
+
+    // --- 2–4. Outer fixed point over θ (disk scale) and slow (memory). ---
+    let mut theta: f64 = 1.0;
+    let mut slow: f64 = 1.0;
+    let mut x = [0.0_f64; MAX_COLOCATED];
+    let mut q_io = [0.0_f64; MAX_COLOCATED];
+    let mut nic_util = 0.0_f64;
+    let stations = n + 1; // one private I/O path per job + shared NIC
+    while scratch.classes.len() < n {
+        scratch.classes.push(ClassDemand {
+            population: 0.0,
+            think_time_s: 0.0,
+            demands_s: Vec::new(),
+        });
+    }
+    for _outer in 0..200 {
+        // Per-job think time at the current `slow`; for a non-fluid job
+        // the entry stays 0.0, and its coupling term below is 0.0 either
+        // way (AMVA gives zero-population classes zero throughput).
+        let mut think = [0.0_f64; MAX_COLOCATED];
+        for j in 0..n {
+            let c = &mut scratch.classes[j];
+            c.demands_s.clear();
+            c.demands_s.resize(stations, 0.0);
+            if !fluid[j] {
+                c.population = 0.0;
+                c.think_time_s = 0.0;
+                continue;
+            }
+            think[j] = think0[j] * (1.0 - stall[j] + stall[j] * slow) * slowdown * stragglers[j];
+            if io_mb[j] > 0.0 && static_cap[j] > 0.0 {
+                c.demands_s[j] = io_mb[j] * spill / (theta * static_cap[j]).max(1e-9);
+            }
+            if nic_mb[j] > 0.0 && nic_bw_mbps.is_finite() {
+                c.demands_s[n] = nic_mb[j] / nic_bw_mbps;
+            }
+            c.population = eff_slots[j];
+            c.think_time_s = think[j];
+        }
+
+        scratch.amva.solve(&scratch.classes[..n], stations)?;
+        x[..n].copy_from_slice(scratch.amva.throughput());
+        for (j, q) in q_io[..n].iter_mut().enumerate() {
+            *q = scratch.amva.queue(j, j);
+        }
+        nic_util = scratch.amva.station_util()[n];
+
+        // Memory-bandwidth coupling.
+        let bw_demand: f64 = (0..n)
+            .map(|j| (x[j] * think[j]).min(eff_slots[j]) * bw_core[j])
+            .sum();
+        let slow_target = (bw_demand / spec.mem_bw_mbps()).max(1.0);
+        let slow_next = slow + 0.5 * (slow_target - slow);
+
+        // Physical-disk coupling.
+        let streams: f64 = q_io[..n].iter().sum::<f64>().max(1.0);
+        let cap_phys = spec.disk.aggregate_bw(streams) / slowdown;
+        let total_io: f64 = (0..n).map(|j| x[j] * io_mb[j] * spill).sum();
+        let theta_target = if total_io > cap_phys {
+            (theta * cap_phys / total_io).clamp(0.01, 1.0)
+        } else {
+            // Relax back toward no throttling.
+            (theta * 1.15).min(1.0)
+        };
+        let theta_next = theta + 0.5 * (theta_target - theta);
+
+        let resid = (slow_next - slow).abs() / slow + (theta_next - theta).abs();
+        slow = slow_next;
+        theta = theta_next;
+        if resid < 1e-5 {
+            break;
+        }
+    }
+
+    // --- Final consistent quantities. ---
+    for (j, job) in active.iter().enumerate() {
+        let s = job.stage();
+        if s.is_fluid() {
+            out.rate[j] = x[j];
+            let think =
+                s.think0_s * (1.0 - s.stall_frac + s.stall_frac * slow) * slowdown * stragglers[j];
+            out.busy_cores[j] = (x[j] * think).min(eff_slots[j]);
+            let io = x[j] * s.io_mb * spill;
+            out.read_mbps[j] = io * s.read_frac;
+            out.write_mbps[j] = io * (1.0 - s.read_frac);
+            out.nic_mbps[j] = x[j] * s.nic_mb;
+            out.mem_mbps[j] = out.busy_cores[j] * s.bw_per_core_mbps;
+        } else {
+            out.rate[j] = 1.0 / (s.setup_s * slowdown * stragglers[j]);
+            out.busy_cores[j] = 0.4; // single setup thread, partially busy
+            out.read_mbps[j] = 0.0;
+            out.write_mbps[j] = 0.0;
+            out.nic_mbps[j] = 0.0;
+            out.mem_mbps[j] = 0.0;
+        }
+    }
+    let total_io: f64 = out.read_mbps[..n]
+        .iter()
+        .chain(out.write_mbps[..n].iter())
+        .sum();
+    let streams: f64 = q_io[..n].iter().sum::<f64>().max(1.0);
+    let cap_phys = spec.disk.aggregate_bw(streams) / slowdown;
+    let disk_util = (total_io / cap_phys).clamp(0.0, 1.0);
+    let total_mem: f64 = out.mem_mbps[..n].iter().sum();
+    let mem_util = (total_mem / spec.mem_bw_mbps()).clamp(0.0, 1.0);
+    let allocated: f64 = eff_slots[..n].iter().sum();
+
+    let mut busy_at = [(0.0_f64, 0.0_f64); MAX_COLOCATED];
+    for (j, job) in active.iter().enumerate() {
+        busy_at[j] = (out.busy_cores[j], job.stage().dyn_factor);
+    }
+    let breakdown = power.dynamic_power(&busy_at[..n], allocated, disk_util, mem_util, 0.0);
+    let nic_w = nic_util * nic_power_w;
+    let power_total_w = breakdown.total() + nic_w;
+
+    // Attribution: cores exactly; shared resources pro-rata by usage.
+    let total_nic: f64 = out.nic_mbps[..n].iter().sum();
+    for j in 0..n {
+        let s = active[j].stage();
+        let core = out.busy_cores[j] * spec.core_busy_power_w * s.dyn_factor
+            + (eff_slots[j] - out.busy_cores[j]).max(0.0) * spec.core_iowait_power_w
+            + eff_slots[j] * spec.core_static_power_w;
+        let io_j = out.read_mbps[j] + out.write_mbps[j];
+        let disk = if total_io > 0.0 {
+            breakdown.disk_w * io_j / total_io
+        } else {
+            0.0
+        };
+        let mem = if total_mem > 0.0 {
+            breakdown.mem_w * out.mem_mbps[j] / total_mem
+        } else {
+            0.0
+        };
+        let nic = if total_nic > 0.0 {
+            nic_w * out.nic_mbps[j] / total_nic
+        } else {
+            0.0
+        };
+        out.power_attr_w[j] = core + disk + mem + nic;
+    }
+
+    out.n = n;
+    out.slow = slow;
+    out.footprint_mb = footprint_mb;
+    out.power_total_w = power_total_w;
+    out.disk_util = disk_util;
+    out.mem_util = mem_util;
+    out.nic_util = nic_util;
+    Ok(())
 }
 
 /// Convenience: run `jobs` co-located from t=0 on a fresh node and return

@@ -33,6 +33,7 @@ pub mod framework;
 pub mod hdfs;
 pub mod job;
 pub mod metrics;
+pub mod reference;
 pub mod stage;
 
 pub use config::{BlockSize, PairConfig, TuningConfig};

@@ -1,0 +1,231 @@
+//! The zero-allocation executor must be *bit-identical* to the frozen
+//! pre-refactor reference (`ecost_mapreduce::reference`): every result
+//! figure the repo reports was produced by that arithmetic, so the hot-path
+//! rewrite (double-buffered SoA rate solution, in-place AMVA scratch,
+//! stack-allocated completion sets) is only admissible if `f64::to_bits`
+//! agrees on every output — times, energies, usage integrals, timelines —
+//! for random job mixes, fault plans and simulator reuse.
+
+use ecost_apps::catalog::ALL_APPS;
+use ecost_apps::{App, InputSize};
+use ecost_mapreduce::executor::NodeSim;
+use ecost_mapreduce::reference::ReferenceNodeSim;
+use ecost_mapreduce::{BlockSize, FrameworkSpec, JobSpec, TuningConfig};
+use ecost_sim::{Frequency, NodeSpec};
+use proptest::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = App> {
+    (0usize..ALL_APPS.len()).prop_map(|i| ALL_APPS[i])
+}
+
+fn arb_size() -> impl Strategy<Value = InputSize> {
+    prop_oneof![
+        Just(InputSize::Small),
+        Just(InputSize::Medium),
+        Just(InputSize::Large)
+    ]
+}
+
+/// Configs capped at 2 mappers so any mix of up to 4 jobs fits the 8-core
+/// Atom node's core budget.
+fn arb_cfg() -> impl Strategy<Value = TuningConfig> {
+    (0usize..4, 0usize..5, 1u32..=2).prop_map(|(f, b, m)| TuningConfig {
+        freq: Frequency::from_index(f).expect("< 4"),
+        block: BlockSize::ALL[b],
+        mappers: m,
+    })
+}
+
+/// A full scenario: a co-located job mix plus an optional fault plan
+/// (node slowdown, mid-run straggler injection, speculative retry).
+#[derive(Debug, Clone)]
+struct Plan {
+    jobs: Vec<(App, InputSize, TuningConfig)>,
+    slowdown: f64,
+    /// Steps to advance before applying mid-run faults.
+    warm_steps: usize,
+    straggler: Option<(usize, f64)>,
+    speculate: Option<(usize, u32)>,
+}
+
+fn arb_plan() -> impl Strategy<Value = Plan> {
+    (
+        prop::collection::vec((arb_app(), arb_size(), arb_cfg()), 1..=4),
+        prop_oneof![Just(1.0f64), Just(1.25), Just(2.0)],
+        0usize..=3,
+        (0u8..=1, (0usize..4, 1.1f64..3.0)),
+        (0u8..=1, (0usize..4, 1u32..=2)),
+    )
+        .prop_map(|(jobs, slowdown, warm_steps, straggler, speculate)| Plan {
+            jobs,
+            slowdown,
+            warm_steps,
+            straggler: (straggler.0 == 1).then_some(straggler.1),
+            speculate: (speculate.0 == 1).then_some(speculate.1),
+        })
+}
+
+/// Everything observable about a finished simulation, as bit patterns.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    now: u64,
+    energy: u64,
+    outcomes: Vec<OutcomeBits>,
+}
+
+#[derive(Debug, PartialEq)]
+struct OutcomeBits {
+    id: u64,
+    exec_time: u64,
+    energy: u64,
+    avg_power: u64,
+    usage: [u64; 9],
+    timeline: Vec<(ecost_mapreduce::stage::StageKind, u64)>,
+}
+
+fn outcome_bits(o: &ecost_mapreduce::JobOutcome) -> OutcomeBits {
+    OutcomeBits {
+        id: o.id.0,
+        exec_time: o.metrics.exec_time_s.to_bits(),
+        energy: o.metrics.energy_j.to_bits(),
+        avg_power: o.metrics.avg_power_w.to_bits(),
+        usage: [
+            o.usage.busy_core_s.to_bits(),
+            o.usage.alloc_core_s.to_bits(),
+            o.usage.read_mb.to_bits(),
+            o.usage.write_mb.to_bits(),
+            o.usage.nic_mb.to_bits(),
+            o.usage.mem_mb.to_bits(),
+            o.usage.energy_j.to_bits(),
+            o.usage.stall_weighted_s.to_bits(),
+            o.usage.peak_footprint_mb.to_bits(),
+        ],
+        timeline: o
+            .timeline
+            .iter()
+            .map(|&(kind, t)| (kind, t.to_bits()))
+            .collect(),
+    }
+}
+
+/// Drive the *optimized* executor through `plan`. `sim` may be a reused,
+/// reset pool simulator — the whole point is that this must not matter.
+fn run_new(sim: &mut NodeSim, plan: &Plan) -> Result<Fingerprint, ecost_sim::SimError> {
+    sim.set_slowdown(plan.slowdown)?;
+    let mut handles = Vec::new();
+    for (app, size, cfg) in &plan.jobs {
+        handles.push(sim.submit(JobSpec::new(*app, *size, *cfg))?);
+    }
+    for _ in 0..plan.warm_steps {
+        sim.step()?;
+    }
+    if let Some((j, mult)) = plan.straggler {
+        if let Some(&h) = handles.get(j) {
+            let _ = sim.inject_straggler(h, mult);
+        }
+    }
+    if let Some((j, extra)) = plan.speculate {
+        if let Some(&h) = handles.get(j) {
+            let _ = sim.speculate(h, extra);
+        }
+    }
+    sim.run_to_completion()?;
+    Ok(Fingerprint {
+        now: sim.now().to_bits(),
+        energy: sim.energy_j().to_bits(),
+        outcomes: sim.take_finished().iter().map(outcome_bits).collect(),
+    })
+}
+
+/// Drive the frozen reference through the same `plan`.
+fn run_ref(plan: &Plan) -> Result<Fingerprint, ecost_sim::SimError> {
+    let mut sim = ReferenceNodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+    sim.set_slowdown(plan.slowdown)?;
+    let mut handles = Vec::new();
+    for (app, size, cfg) in &plan.jobs {
+        handles.push(sim.submit(JobSpec::new(*app, *size, *cfg))?);
+    }
+    for _ in 0..plan.warm_steps {
+        sim.step()?;
+    }
+    if let Some((j, mult)) = plan.straggler {
+        if let Some(&h) = handles.get(j) {
+            let _ = sim.inject_straggler(h, mult);
+        }
+    }
+    if let Some((j, extra)) = plan.speculate {
+        if let Some(&h) = handles.get(j) {
+            let _ = sim.speculate(h, extra);
+        }
+    }
+    sim.run_to_completion()?;
+    Ok(Fingerprint {
+        now: sim.now().to_bits(),
+        energy: sim.energy_j().to_bits(),
+        outcomes: sim.take_finished().iter().map(outcome_bits).collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random job mixes + fault plans: the refactored executor and the
+    /// frozen reference agree bit-for-bit, and a *reused* (reset) simulator
+    /// agrees with a fresh one — the pooling contract.
+    #[test]
+    fn refactored_executor_is_bit_identical_to_reference(plan in arb_plan()) {
+        let reference = run_ref(&plan);
+
+        let mut fresh = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+        let new = run_new(&mut fresh, &plan);
+
+        // Warm a pooled simulator with an unrelated run, reset it, replay.
+        let mut pooled = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+        pooled
+            .submit(JobSpec::new(
+                App::Wc,
+                InputSize::Small,
+                TuningConfig::hadoop_default(4),
+            ))
+            .expect("warm submit");
+        pooled.run_to_completion().expect("warm run");
+        pooled.reset();
+        let replay = run_new(&mut pooled, &plan);
+
+        match (reference, new, replay) {
+            (Ok(r), Ok(n), Ok(p)) => {
+                prop_assert_eq!(&r, &n, "fresh run diverged from reference");
+                prop_assert_eq!(&n, &p, "pooled replay diverged from fresh run");
+            }
+            // Both arithmetics must fail the same way (e.g. non-convergence
+            // on a pathological mix) — one failing while the other succeeds
+            // is a divergence.
+            (Err(re), Err(ne), Err(pe)) => {
+                prop_assert_eq!(&re, &ne);
+                prop_assert_eq!(&ne, &pe);
+            }
+            (r, n, p) => {
+                panic!("divergent fallibility: reference={r:?} fresh={n:?} pooled={p:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sanity_single_plan_runs_and_matches() {
+    let plan = Plan {
+        jobs: vec![
+            (App::Wc, InputSize::Small, TuningConfig::hadoop_default(4)),
+            (App::St, InputSize::Small, TuningConfig::hadoop_default(4)),
+        ],
+        slowdown: 1.25,
+        warm_steps: 2,
+        straggler: Some((0, 1.7)),
+        speculate: Some((1, 1)),
+    };
+    let r = run_ref(&plan).expect("reference run");
+    let mut sim = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+    let n = run_new(&mut sim, &plan).expect("new run");
+    assert_eq!(r, n);
+    assert!(!r.outcomes.is_empty());
+}

@@ -115,6 +115,200 @@ const MAX_ITER: usize = 4000;
 /// Damping factor for the queue update (guards oscillation at heavy load).
 const DAMPING: f64 = 0.5;
 
+/// Reusable solver state for the Bard–Schweitzer fixed point.
+///
+/// The executor calls AMVA inside a ~200-iteration outer fixed point on
+/// *every* rate re-solve, so the solver must not touch the heap once warm.
+/// All working vectors live here and are grown monotonically (`clear` +
+/// `resize` keeps capacity, so after the first solve at a given problem
+/// size every subsequent solve is allocation-free). [`solve`] is a thin
+/// wrapper over this type, so both entry points share one arithmetic path
+/// and produce bit-identical results.
+#[derive(Debug, Default)]
+pub struct AmvaScratch {
+    /// Queue lengths, row-major: `q[j * stations + s]`.
+    q: Vec<f64>,
+    /// Per-class throughput.
+    x: Vec<f64>,
+    /// Per-class residence times (reused across classes within an iteration).
+    r: Vec<f64>,
+    /// Total queue per station.
+    qtot: Vec<f64>,
+    station_util: Vec<f64>,
+    station_queue: Vec<f64>,
+    nc: usize,
+    stations: usize,
+    iterations: usize,
+}
+
+impl AmvaScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> AmvaScratch {
+        AmvaScratch::default()
+    }
+
+    /// Solve the network in place. Identical semantics (and bit-identical
+    /// results) to [`solve`]; the converged state is read back through the
+    /// accessors below.
+    pub fn solve(&mut self, classes: &[ClassDemand], stations: usize) -> Result<(), SimError> {
+        for c in classes {
+            c.validate(stations)?;
+        }
+        let nc = classes.len();
+        self.nc = nc;
+        self.stations = stations;
+        self.q.clear();
+        self.q.resize(nc * stations, 0.0);
+        self.x.clear();
+        self.x.resize(nc, 0.0);
+        self.r.clear();
+        self.r.resize(stations, 0.0);
+        self.qtot.clear();
+        self.qtot.resize(stations, 0.0);
+        let AmvaScratch { q, x, r, qtot, .. } = self;
+
+        // Seed: spread each population across stations + think.
+        for (j, c) in classes.iter().enumerate() {
+            if c.population <= 0.0 {
+                continue;
+            }
+            let share = c.population / (stations as f64 + 1.0);
+            for (qv, d) in q[j * stations..(j + 1) * stations]
+                .iter_mut()
+                .zip(&c.demands_s)
+            {
+                *qv = if *d > 0.0 { share } else { 0.0 };
+            }
+        }
+
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        // Hot loop: row slices are hoisted out of the station loops so the
+        // indexing below is bounds-checked once per class, not once per
+        // access. Every floating-point operation and its order is unchanged
+        // (the executor's bit-identity property tests pin this).
+        for it in 0..MAX_ITER {
+            iterations = it + 1;
+            // Total queue per station.
+            for v in qtot.iter_mut() {
+                *v = 0.0;
+            }
+            for row in q.chunks_exact(stations.max(1)) {
+                for (qt, v) in qtot.iter_mut().zip(row) {
+                    *qt += v;
+                }
+            }
+            residual = 0.0;
+            for (j, c) in classes.iter().enumerate() {
+                if c.population <= 0.0 {
+                    x[j] = 0.0;
+                    continue;
+                }
+                let n = c.population;
+                let qrow = &mut q[j * stations..(j + 1) * stations];
+                let demands = &c.demands_s[..stations];
+                let mut r_total = 0.0;
+                for v in r.iter_mut() {
+                    *v = 0.0;
+                }
+                for s in 0..stations {
+                    let d = demands[s];
+                    if d <= 0.0 {
+                        continue;
+                    }
+                    // Bard–Schweitzer: a class-j arrival sees the other
+                    // classes' full queues plus (N_j-1)/N_j of its own.
+                    let others = qtot[s] - qrow[s];
+                    let own = if n > 1.0 {
+                        qrow[s] * (n - 1.0) / n
+                    } else {
+                        0.0
+                    };
+                    r[s] = d * (1.0 + others + own);
+                    r_total += r[s];
+                }
+                let xj = n / (c.think_time_s + r_total);
+                x[j] = xj;
+                for s in 0..stations {
+                    let new_q = xj * r[s];
+                    let delta = new_q - qrow[s];
+                    residual = residual.max(delta.abs());
+                    qrow[s] += DAMPING * delta;
+                }
+            }
+            if residual < TOL {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        if residual >= TOL * 10.0 && residual.is_finite() && residual > 1e-3 {
+            return Err(SimError::NoConvergence {
+                iterations,
+                residual,
+            });
+        }
+
+        self.station_util.clear();
+        self.station_util.resize(stations, 0.0);
+        self.station_queue.clear();
+        self.station_queue.resize(stations, 0.0);
+        for (j, c) in classes.iter().enumerate() {
+            for s in 0..stations {
+                self.station_util[s] += self.x[j] * c.demands_s[s];
+                self.station_queue[s] += self.q[j * stations + s];
+            }
+        }
+        for u in &mut self.station_util {
+            *u = u.clamp(0.0, 1.0);
+        }
+        Ok(())
+    }
+
+    /// Per-class cycle throughput `X_j` from the last solve.
+    pub fn throughput(&self) -> &[f64] {
+        &self.x[..self.nc]
+    }
+
+    /// Mean queue length of class `j` at station `s` from the last solve.
+    pub fn queue(&self, class: usize, station: usize) -> f64 {
+        self.q[class * self.stations + station]
+    }
+
+    /// Per-station utilisation (clamped to `[0, 1]`) from the last solve.
+    pub fn station_util(&self) -> &[f64] {
+        &self.station_util[..self.stations]
+    }
+
+    /// Per-station total mean queue length from the last solve.
+    pub fn station_queue(&self) -> &[f64] {
+        &self.station_queue[..self.stations]
+    }
+
+    /// Fixed-point iterations used by the last solve.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Materialise the last solve as an owned [`AmvaSolution`].
+    fn to_solution(&self) -> AmvaSolution {
+        let queue = if self.stations == 0 {
+            vec![Vec::new(); self.nc]
+        } else {
+            self.q[..self.nc * self.stations]
+                .chunks(self.stations)
+                .map(|c| c.to_vec())
+                .collect()
+        };
+        AmvaSolution {
+            throughput: self.x[..self.nc].to_vec(),
+            queue,
+            station_util: self.station_util[..self.stations].to_vec(),
+            station_queue: self.station_queue[..self.stations].to_vec(),
+            iterations: self.iterations,
+        }
+    }
+}
+
 /// Solve the network. `stations` is the number of shared PS stations; every
 /// class must provide exactly that many demands.
 ///
@@ -136,98 +330,9 @@ const DAMPING: f64 = 0.5;
 /// assert!(sol.station_util[0] < 0.5);
 /// ```
 pub fn solve(classes: &[ClassDemand], stations: usize) -> Result<AmvaSolution, SimError> {
-    for c in classes {
-        c.validate(stations)?;
-    }
-    let nc = classes.len();
-    let mut q = vec![vec![0.0_f64; stations]; nc];
-    // Seed: spread each population across stations + think.
-    for (j, c) in classes.iter().enumerate() {
-        if c.population <= 0.0 {
-            continue;
-        }
-        let share = c.population / (stations as f64 + 1.0);
-        for (qv, d) in q[j].iter_mut().zip(&c.demands_s) {
-            *qv = if *d > 0.0 { share } else { 0.0 };
-        }
-    }
-
-    let mut x = vec![0.0_f64; nc];
-    let mut iterations = 0;
-    let mut residual = f64::INFINITY;
-    for it in 0..MAX_ITER {
-        iterations = it + 1;
-        // Total queue per station.
-        let mut qtot = vec![0.0_f64; stations];
-        for row in &q {
-            for (s, v) in row.iter().enumerate() {
-                qtot[s] += v;
-            }
-        }
-        residual = 0.0;
-        for (j, c) in classes.iter().enumerate() {
-            if c.population <= 0.0 {
-                x[j] = 0.0;
-                continue;
-            }
-            let n = c.population;
-            let mut r_total = 0.0;
-            let mut r = vec![0.0_f64; stations];
-            for s in 0..stations {
-                let d = c.demands_s[s];
-                if d <= 0.0 {
-                    continue;
-                }
-                // Bard–Schweitzer: a class-j arrival sees the other classes'
-                // full queues plus (N_j-1)/N_j of its own.
-                let others = qtot[s] - q[j][s];
-                let own = if n > 1.0 {
-                    q[j][s] * (n - 1.0) / n
-                } else {
-                    0.0
-                };
-                r[s] = d * (1.0 + others + own);
-                r_total += r[s];
-            }
-            let xj = n / (c.think_time_s + r_total);
-            x[j] = xj;
-            for s in 0..stations {
-                let new_q = xj * r[s];
-                let delta = new_q - q[j][s];
-                residual = residual.max(delta.abs());
-                q[j][s] += DAMPING * delta;
-            }
-        }
-        if residual < TOL {
-            break;
-        }
-    }
-    if residual >= TOL * 10.0 && residual.is_finite() && residual > 1e-3 {
-        return Err(SimError::NoConvergence {
-            iterations,
-            residual,
-        });
-    }
-
-    let mut station_util = vec![0.0_f64; stations];
-    let mut station_queue = vec![0.0_f64; stations];
-    for (j, c) in classes.iter().enumerate() {
-        for s in 0..stations {
-            station_util[s] += x[j] * c.demands_s[s];
-            station_queue[s] += q[j][s];
-        }
-    }
-    for u in &mut station_util {
-        *u = u.clamp(0.0, 1.0);
-    }
-
-    Ok(AmvaSolution {
-        throughput: x,
-        queue: q,
-        station_util,
-        station_queue,
-        iterations,
-    })
+    let mut scratch = AmvaScratch::new();
+    scratch.solve(classes, stations)?;
+    Ok(scratch.to_solution())
 }
 
 #[cfg(test)]
@@ -400,6 +505,49 @@ mod tests {
             1
         )
         .is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_problem_sizes() {
+        // One scratch solving a 2-class problem, then a 1-class problem,
+        // then the 2-class problem again must agree to the bit with fresh
+        // solves: clear+resize reuse may never leak state between solves.
+        let a = ClassDemand {
+            population: 4.0,
+            think_time_s: 0.5,
+            demands_s: vec![0.8, 0.1],
+        };
+        let b = ClassDemand {
+            population: 2.0,
+            think_time_s: 2.0,
+            demands_s: vec![0.1, 0.9],
+        };
+        let mut scratch = AmvaScratch::new();
+        for classes in [vec![a.clone(), b.clone()], vec![b.clone()], vec![a, b]] {
+            let stations = classes[0].demands_s.len();
+            scratch.solve(&classes, stations).unwrap();
+            let fresh = solve(&classes, stations).unwrap();
+            assert_eq!(scratch.iterations(), fresh.iterations);
+            for j in 0..classes.len() {
+                assert_eq!(
+                    scratch.throughput()[j].to_bits(),
+                    fresh.throughput[j].to_bits()
+                );
+                for s in 0..stations {
+                    assert_eq!(scratch.queue(j, s).to_bits(), fresh.queue[j][s].to_bits());
+                }
+            }
+            for s in 0..stations {
+                assert_eq!(
+                    scratch.station_util()[s].to_bits(),
+                    fresh.station_util[s].to_bits()
+                );
+                assert_eq!(
+                    scratch.station_queue()[s].to_bits(),
+                    fresh.station_queue[s].to_bits()
+                );
+            }
+        }
     }
 
     #[test]

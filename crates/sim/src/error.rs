@@ -26,6 +26,29 @@ pub enum SimError {
     /// A fault-injection request referenced a job handle not active on the
     /// node (already finished, or never submitted there).
     NoSuchJob(u64),
+    /// The discrete-event loop failed to make progress: more events fired
+    /// than the submitted stage work could possibly produce, so the rate
+    /// solution must have stalled (e.g. all rates collapsed to zero).
+    EventLoopRunaway {
+        /// Events processed before the guard tripped.
+        events: u64,
+        /// Upper bound derived from the submitted stage counts.
+        budget: u64,
+    },
+    /// A time step handed to `advance` was negative, NaN or infinite.
+    InvalidTimeStep {
+        /// The offending step, simulated seconds.
+        dt: f64,
+    },
+    /// More jobs were submitted to one node simulator than its inline
+    /// scratch capacity can hold (the co-location cap, sized well above
+    /// the per-node core count — each job needs at least one mapper core).
+    ColocationCapExceeded {
+        /// Jobs already active on the node.
+        active: usize,
+        /// Inline scratch capacity.
+        cap: usize,
+    },
     /// An internal invariant was violated — a bug surfaced as a typed
     /// error instead of a panic, so library callers stay panic-free.
     Internal(&'static str),
@@ -48,6 +71,17 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "AMVA failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SimError::EventLoopRunaway { events, budget } => write!(
+                f,
+                "event-loop runaway: {events} events without completion (budget {budget})"
+            ),
+            SimError::InvalidTimeStep { dt } => {
+                write!(f, "invalid time step: dt = {dt} (must be finite and >= 0)")
+            }
+            SimError::ColocationCapExceeded { active, cap } => write!(
+                f,
+                "co-location cap exceeded: {active} jobs already active, scratch capacity {cap}"
             ),
             SimError::NoSuchNode(i) => write!(f, "no such node: {i}"),
             SimError::NoSuchJob(h) => write!(f, "no such active job: handle {h}"),

@@ -10,7 +10,7 @@
 /// healthy and the faulted schedule of a comparison); `node`/`job` map to
 /// the Chrome-trace process/thread lanes; `phase` is the human-readable
 /// lane label ("job", "setup", "map", "reduce", …).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpanKey {
     /// Schedule / run identifier.
     pub run: u32,
@@ -19,17 +19,22 @@ pub struct SpanKey {
     /// Per-node job handle (unique within a node simulator).
     pub job: u64,
     /// Phase label: "job", "setup", "map", "reduce", …
-    pub phase: String,
+    ///
+    /// A static string rather than `String`: span keys are constructed on
+    /// the executor's per-event hot path even when recording is off, so the
+    /// key must be buildable without touching the heap. Every phase label
+    /// in the stack is a compile-time literal anyway.
+    pub phase: &'static str,
 }
 
 impl SpanKey {
     /// Convenience constructor.
-    pub fn new(run: u32, node: u32, job: u64, phase: impl Into<String>) -> SpanKey {
+    pub fn new(run: u32, node: u32, job: u64, phase: &'static str) -> SpanKey {
         SpanKey {
             run,
             node,
             job,
-            phase: phase.into(),
+            phase,
         }
     }
 }

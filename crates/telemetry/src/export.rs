@@ -81,7 +81,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 let dur = (end_s - start_s).max(0.0);
                 lines.push(format!(
                     r#"{{"name":"{}","cat":"span","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{"run":{}}}}}"#,
-                    esc(&key.phase),
+                    esc(key.phase),
                     ts(*start_s),
                     ts(dur),
                     key.node,

@@ -149,7 +149,7 @@ impl Recorder {
             .fold(0.0f64, f64::max);
         for (key, start_s) in g.open.iter() {
             events.push(TraceEvent::Span {
-                key: key.clone(),
+                key: *key,
                 start_s: *start_s,
                 end_s: horizon,
             });
@@ -188,8 +188,8 @@ mod tests {
         let r = Recorder::recording();
         let job = SpanKey::new(0, 1, 7, "job");
         let map = SpanKey::new(0, 1, 7, "map");
-        r.span_enter(job.clone(), 0.0);
-        r.span_enter(map.clone(), 1.0);
+        r.span_enter(job, 0.0);
+        r.span_enter(map, 1.0);
         r.span_exit(&map, 5.0);
         r.span_exit(&job, 9.0);
         let ev = r.events();

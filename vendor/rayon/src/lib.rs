@@ -30,41 +30,54 @@ pub fn current_num_threads() -> usize {
 
 /// Map `f` over `items` on up to [`current_num_threads`] scoped threads,
 /// returning results in input order.
+///
+/// The split is by index range over a single pair of buffers: each worker
+/// owns one disjoint `&mut` window of the input slots and the matching
+/// window of the output slots, writing results straight into their final
+/// positions. No per-thread `Vec<Vec<T>>` repacking, no `extend`-joining —
+/// order preservation falls out of the addressing instead of being
+/// reassembled afterwards. (`Option` slots stand in for the `unsafe`
+/// move-out/write-in a real work-stealing pool would do; this crate is
+/// `forbid(unsafe_code)`.)
 fn run_map<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
 where
     T: Send,
     O: Send,
     F: Fn(T) -> O + Sync,
 {
-    let threads = current_num_threads().min(items.len());
+    let n = items.len();
+    let threads = current_num_threads().min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(chunk);
-    }
+    let chunk_len = n.div_ceil(threads);
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
     let f = &f;
-    let mut out: Vec<O> = Vec::new();
     std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
-            .collect();
+        let mut handles = Vec::with_capacity(threads);
+        for (ins, outs) in slots.chunks_mut(chunk_len).zip(out.chunks_mut(chunk_len)) {
+            handles.push(s.spawn(move || {
+                for (slot, o) in ins.iter_mut().zip(outs.iter_mut()) {
+                    if let Some(item) = slot.take() {
+                        *o = Some(f(item));
+                    }
+                }
+            }));
+        }
         for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(panic) => std::panic::resume_unwind(panic),
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
             }
         }
     });
-    out
+    // Every slot was Some going in and each worker maps its whole window,
+    // so a None here is unreachable unless a worker panicked (resumed
+    // above).
+    out.into_iter()
+        .map(|o| o.expect("worker filled every output slot"))
+        .collect()
 }
 
 /// A not-yet-mapped parallel iterator over owned items.
@@ -221,5 +234,72 @@ mod tests {
         let v: Vec<u32> = Vec::new();
         let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    /// Serialises tests that mutate `RAYON_NUM_THREADS`; other tests may
+    /// run concurrently but only *read* the variable, and every assertion
+    /// here holds for any thread count.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn order_preserved_for_every_thread_count() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let prev = std::env::var("RAYON_NUM_THREADS").ok();
+        // Awkward splits on purpose: 1 thread (sequential path), more
+        // threads than items, counts that leave a short final chunk.
+        for threads in [1, 2, 3, 7, 64, 1024] {
+            std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+            for n in [0usize, 1, 2, 97, 503] {
+                let v: Vec<usize> = (0..n).collect();
+                let out: Vec<usize> = v.clone().into_par_iter().map(|x| x * 3 + 1).collect();
+                let seq: Vec<usize> = v.into_iter().map(|x| x * 3 + 1).collect();
+                assert_eq!(out, seq, "threads={threads} n={n}");
+            }
+        }
+        match prev {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..777).collect();
+        v.clone().into_par_iter().for_each(|x| {
+            hits.fetch_add(x + 1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            v.into_iter().map(|x| x + 1).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let v: Vec<u32> = (0..256).collect();
+            let _: Vec<u32> = v
+                .into_par_iter()
+                .map(|x| if x == 200 { panic!("boom") } else { x })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn max_by_matches_sequential() {
+        let v: Vec<i64> = (0..512).map(|i| (i * 6007) % 997).collect();
+        let par = v.clone().into_par_iter().map(|x| x).max_by(|a, b| a.cmp(b));
+        assert_eq!(par, v.into_iter().max());
+    }
+
+    #[test]
+    fn non_copy_items_move_through_intact() {
+        let v: Vec<String> = (0..300).map(|i| format!("job-{i}")).collect();
+        let out: Vec<usize> = v.clone().into_par_iter().map(|s| s.len()).collect();
+        let seq: Vec<usize> = v.iter().map(|s| s.len()).collect();
+        assert_eq!(out, seq);
     }
 }
