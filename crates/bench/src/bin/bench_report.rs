@@ -11,23 +11,37 @@
 //! 3. **scheduler** — a full cluster run (queueing, placement, per-node
 //!    event loops) under the untuned SNM policy.
 //!
-//! Sweeps are timed twice: the *optimized* arm drives the pooled
-//! [`EvalEngine`] (reset-and-reuse simulators, zero-allocation event
-//! loop), the *baseline* arm drives the frozen pre-refactor executor
-//! (`ecost_mapreduce::reference`: fresh allocating simulator per point).
-//! Both arms are bit-identical in results (enforced by the
-//! `refactor_equivalence` proptest), so "events" counted on one arm apply
-//! to both: an event is one per-job execution segment — one span per
-//! active job per event-loop step (sweeps count stage completions, the
-//! closest deterministic proxy the outcome record keeps).
+//! Every kernel is timed in up to three arms of identical shape: the
+//! *baseline* arm drives the frozen pre-refactor executor
+//! (`ecost_mapreduce::reference`: fresh allocating simulator per point),
+//! the *optimized* arm drives the pooled [`EvalEngine`] with scalar rate
+//! solves (lane width 1 — the pre-batching committed configuration), and
+//! the *batched* arm drives the same engine at the full lane width
+//! (lane-interleaved AMVA windows, `MAX_BATCH_LANES` sweep points per
+//! solve). All arms are bit-identical in results (enforced by the
+//! `refactor_equivalence` proptests and the engine's batched-equivalence
+//! tests), so "events" counted on one arm apply to every arm: an event is
+//! one per-job execution segment — one span per active job per event-loop
+//! step (sweeps count stage completions, the closest deterministic proxy
+//! the outcome record keeps).
 //!
-//! `--baseline` runs the baseline arms only (for A/B against an older
-//! build); `ECOST_QUICK=1` shrinks every dimension for CI smoke runs.
+//! Flags: `--baseline` runs the baseline arms only (for A/B against an
+//! older build); `--no-batch` skips the batched arms (the pre-batching
+//! report shape); `--batch` is the explicit form of the default (all
+//! arms); `--lane-sweep` additionally measures the pair kernel at lane
+//! widths 1/2/4/6/8 (the DESIGN.md §11 scaling curve). `ECOST_QUICK=1`
+//! shrinks every dimension for CI smoke runs.
+//!
+//! Besides `BENCH_sim.json`, every run appends one compact row to the
+//! `BENCH_trend.jsonl` trend store (path override: `ECOST_TREND_OUT`;
+//! commit hash from `ECOST_COMMIT`, falling back to `GITHUB_SHA`). The
+//! `trend_check` binary flags throughput regressions between comparable
+//! rows.
 //!
 //! Walls in the single-digit-millisecond range are at the mercy of
 //! thermal throttling and noisy neighbours, so every arm is measured in
-//! several rounds *interleaved with its counterpart* and the minimum wall
-//! is reported: slow drift hits both arms alike and the min discards it.
+//! several rounds *interleaved with its counterparts* and the minimum wall
+//! is reported: slow drift hits all arms alike and the min discards it.
 
 use ecost_apps::{App, InputSize, WorkloadScenario};
 use ecost_bench::BenchError;
@@ -35,11 +49,12 @@ use ecost_core::engine::{EvalEngine, RetryPolicy};
 use ecost_core::features::Testbed;
 use ecost_core::mapping::{run_untuned_faulted, FaultSetup};
 use ecost_mapreduce::reference::{run_colocated_reference, run_standalone_reference};
-use ecost_mapreduce::{JobSpec, PairConfig, TuningConfig};
+use ecost_mapreduce::{JobSpec, PairConfig, TuningConfig, MAX_BATCH_LANES};
 use ecost_sim::FaultPlan;
 use ecost_telemetry::{Recorder, TraceEvent};
 use rayon::prelude::*;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -68,16 +83,41 @@ impl Arm {
         }
     }
 
-    fn json(&self, out: &mut String, indent: &str) {
-        let _ = writeln!(out, "{indent}\"wall_s\": {:.4},", self.wall_s);
-        let _ = writeln!(out, "{indent}\"sims\": {},", self.sims);
-        let _ = writeln!(out, "{indent}\"sims_per_s\": {:.1},", self.sims_per_s());
-        let _ = writeln!(out, "{indent}\"events\": {},", self.events);
-        let _ = writeln!(out, "{indent}\"events_per_s\": {:.1}", self.events_per_s());
+    fn json(&self) -> String {
+        format!(
+            "{{\n      \"wall_s\": {:.4},\n      \"sims\": {},\n      \
+             \"sims_per_s\": {:.1},\n      \"events\": {},\n      \
+             \"events_per_s\": {:.1}\n    }}",
+            self.wall_s,
+            self.sims,
+            self.sims_per_s(),
+            self.events,
+            self.events_per_s()
+        )
     }
 }
 
-/// Pool accounting accumulated across the optimized arms.
+/// Which arms this invocation measures.
+#[derive(Debug, Clone, Copy)]
+struct Arms {
+    optimized: bool,
+    batched: bool,
+    lane_sweep: bool,
+}
+
+impl Arms {
+    fn label(&self) -> &'static str {
+        if !self.optimized {
+            "baseline-only"
+        } else if !self.batched {
+            "no-batch"
+        } else {
+            "all"
+        }
+    }
+}
+
+/// Pool accounting accumulated across the optimized and batched arms.
 #[derive(Debug, Clone, Copy, Default)]
 struct PoolTotals {
     created: u64,
@@ -108,15 +148,16 @@ fn faster(best: Option<Arm>, cur: Arm) -> Option<Arm> {
     }
 }
 
-/// Optimized solo sweep: pooled engine, one fresh memo (every point is a
-/// miss, so every point simulates — the kernel, not the cache, is timed).
+/// Optimized solo sweep: pooled engine with scalar solves, one fresh memo
+/// (every point is a miss, so every point simulates — the kernel, not the
+/// cache, is timed).
 fn solo_optimized(
     apps: &[App],
     mb: f64,
     configs: &[TuningConfig],
     pool: &mut PoolTotals,
 ) -> Result<Arm, BenchError> {
-    let eng = EvalEngine::atom();
+    let eng = EvalEngine::atom().with_batch_lanes(1);
     let t0 = Instant::now();
     let mut events = 0u64;
     for app in apps {
@@ -132,6 +173,25 @@ fn solo_optimized(
         wall_s,
         sims: eng.stats().runs_simulated,
         events,
+    })
+}
+
+/// Batched solo sweep: the engine's lane-interleaved sweep driver at full
+/// lane width. Same 160-point space per app as the other arms; events are
+/// not observable through sweep metrics, the caller patches them in from
+/// the baseline arm (bit-identical timelines).
+fn solo_batched(apps: &[App], mb: f64, pool: &mut PoolTotals) -> Result<Arm, BenchError> {
+    let eng = EvalEngine::atom();
+    let t0 = Instant::now();
+    for app in apps {
+        eng.sweep_solo(app.profile(), mb)?;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    pool.absorb(&eng);
+    Ok(Arm {
+        wall_s,
+        sims: eng.stats().runs_simulated,
+        events: 0,
     })
 }
 
@@ -163,9 +223,9 @@ fn solo_baseline(apps: &[App], mb: f64, configs: &[TuningConfig]) -> Result<Arm,
     })
 }
 
-/// Optimized pair sweep over `pcs`. Events are not observable through the
-/// engine's pair metrics; the caller patches them in from the baseline arm
-/// (bit-identical timelines).
+/// Optimized pair sweep over `pcs` with scalar solves. Events are not
+/// observable through the engine's pair metrics; the caller patches them
+/// in from the baseline arm (bit-identical timelines).
 fn pair_optimized(
     a: App,
     b: App,
@@ -173,12 +233,36 @@ fn pair_optimized(
     pcs: &[PairConfig],
     pool: &mut PoolTotals,
 ) -> Result<Arm, BenchError> {
-    let eng = EvalEngine::atom();
+    let eng = EvalEngine::atom().with_batch_lanes(1);
     let t0 = Instant::now();
     let _: Vec<_> = pcs
         .par_iter()
         .map(|&pc| eng.pair_metrics(a.profile(), mb, b.profile(), mb, pc))
         .collect::<Result<_, _>>()?;
+    let wall_s = t0.elapsed().as_secs_f64();
+    pool.absorb(&eng);
+    Ok(Arm {
+        wall_s,
+        sims: eng.stats().runs_simulated,
+        events: 0,
+    })
+}
+
+/// Batched pair sweep at lane width `lanes`: the engine's full-space
+/// sweep driver (the batched windows only exist under the sweep, so this
+/// arm always covers the whole space — in quick mode that is more points
+/// than the stride-sampled scalar arms, which is why arms compare on
+/// `sims_per_s`, not wall).
+fn pair_batched(
+    a: App,
+    b: App,
+    mb: f64,
+    lanes: usize,
+    pool: &mut PoolTotals,
+) -> Result<Arm, BenchError> {
+    let eng = EvalEngine::atom().with_batch_lanes(lanes);
+    let t0 = Instant::now();
+    eng.pair_sweep(a.profile(), mb, b.profile(), mb)?;
     let wall_s = t0.elapsed().as_secs_f64();
     pool.absorb(&eng);
     Ok(Arm {
@@ -237,8 +321,9 @@ fn scheduler_setup() -> FaultSetup {
 }
 
 /// Event count of the scheduler run: one span per per-job execution
-/// segment, counted on a recording pass. The run is deterministic, so the
-/// count transfers to the separately timed no-op-recorder passes.
+/// segment, counted on a recording pass. The run is deterministic and
+/// bit-identical across arms, so the count transfers to the separately
+/// timed no-op-recorder passes.
 fn scheduler_events(quick: bool) -> Result<u64, BenchError> {
     let (nodes, wl) = scheduler_load(quick);
     let counting = EvalEngine::with_recorder(Testbed::atom(), Recorder::recording());
@@ -251,15 +336,30 @@ fn scheduler_events(quick: bool) -> Result<u64, BenchError> {
         .count() as u64)
 }
 
+/// Scheduler arm selector: which executor the engine routes runs through.
+#[derive(Debug, Clone, Copy)]
+enum SchedArm {
+    Baseline,
+    Optimized,
+    Batched,
+}
+
 /// One timed pass of the streaming scheduler (wait queue, paired
 /// placement, per-node event loops) under the untuned policy, fault-free.
-fn scheduler_timed(quick: bool, pool: &mut PoolTotals) -> Result<Arm, BenchError> {
+fn scheduler_timed(quick: bool, arm: SchedArm, pool: &mut PoolTotals) -> Result<Arm, BenchError> {
     let (nodes, wl) = scheduler_load(quick);
-    let eng = EvalEngine::atom();
+    let mut eng = EvalEngine::atom();
+    match arm {
+        SchedArm::Baseline => eng.set_reference_executor(true),
+        SchedArm::Optimized => eng.set_batch_lanes(1),
+        SchedArm::Batched => {}
+    }
     let t0 = Instant::now();
     run_untuned_faulted(&eng, nodes, &wl, None, &scheduler_setup())?;
     let wall_s = t0.elapsed().as_secs_f64();
-    pool.absorb(&eng);
+    if !matches!(arm, SchedArm::Baseline) {
+        pool.absorb(&eng);
+    }
     Ok(Arm {
         wall_s,
         sims: eng.stats().runs_simulated,
@@ -267,45 +367,95 @@ fn scheduler_timed(quick: bool, pool: &mut PoolTotals) -> Result<Arm, BenchError
     })
 }
 
+/// Emit one kernel section: scalar extras, then every present arm, then
+/// every present ratio — comma placement handled by joining.
 fn section(
     out: &mut String,
     name: &str,
-    optimized: Option<Arm>,
-    baseline: Option<Arm>,
     extra: &[(&str, String)],
+    arms: &[(&str, Option<Arm>)],
+    ratios: &[(&str, Option<f64>)],
 ) {
-    let _ = writeln!(out, "  \"{name}\": {{");
+    let mut items: Vec<String> = Vec::new();
     for (k, v) in extra {
-        let _ = writeln!(out, "    \"{k}\": {v},");
+        items.push(format!("    \"{k}\": {v}"));
     }
-    if let Some(arm) = optimized {
-        let _ = writeln!(out, "    \"optimized\": {{");
-        arm.json(out, "      ");
-        let _ = writeln!(out, "    }},");
-    }
-    if let Some(arm) = baseline {
-        let _ = writeln!(out, "    \"baseline\": {{");
-        arm.json(out, "      ");
-        let _ = writeln!(out, "    }},");
-    }
-    if let (Some(o), Some(b)) = (optimized, baseline) {
-        let speedup = if o.wall_s > 0.0 {
-            b.wall_s / o.wall_s
-        } else {
-            0.0
-        };
-        let _ = writeln!(out, "    \"speedup\": {speedup:.2}");
-    } else {
-        // Trailing-comma fixup: re-close the last written block.
-        if out.ends_with("}},\n") || out.ends_with("},\n") {
-            out.truncate(out.len() - 2);
-            out.push('\n');
+    for (k, arm) in arms {
+        if let Some(a) = arm {
+            items.push(format!("    \"{k}\": {}", a.json()));
         }
     }
+    for (k, r) in ratios {
+        if let Some(r) = r {
+            items.push(format!("    \"{k}\": {r:.2}"));
+        }
+    }
+    let _ = writeln!(out, "  \"{name}\": {{");
+    let _ = writeln!(out, "{}", items.join(",\n"));
     let _ = writeln!(out, "  }},");
 }
 
-fn run(baseline_only: bool) -> Result<(), BenchError> {
+/// Wall-clock speedup of `opt` over `base` — only meaningful when both
+/// arms did identical work (same point set).
+fn wall_speedup(opt: Option<Arm>, base: Option<Arm>) -> Option<f64> {
+    match (opt, base) {
+        (Some(o), Some(b)) if o.wall_s > 0.0 => Some(b.wall_s / o.wall_s),
+        _ => None,
+    }
+}
+
+/// Throughput ratio of `num` over `den` — rate-based, so it stays
+/// meaningful when the arms covered different point counts.
+fn rate_ratio(num: Option<Arm>, den: Option<Arm>) -> Option<f64> {
+    match (num, den) {
+        (Some(n), Some(d)) if d.sims_per_s() > 0.0 => Some(n.sims_per_s() / d.sims_per_s()),
+        _ => None,
+    }
+}
+
+/// Append the run's headline throughputs as one compact row to the trend
+/// store (`ECOST_TREND_OUT`, default `BENCH_trend.jsonl`). Schema-
+/// versioned; the commit hash comes from `ECOST_COMMIT` (fallback
+/// `GITHUB_SHA`, then `"uncommitted"`). `trend_check` consumes these rows.
+fn append_trend_row(
+    arms: Arms,
+    quick: bool,
+    metrics: &[(&str, Option<Arm>)],
+) -> Result<String, BenchError> {
+    let path = std::env::var("ECOST_TREND_OUT").unwrap_or_else(|_| "BENCH_trend.jsonl".into());
+    let commit = std::env::var("ECOST_COMMIT")
+        .or_else(|_| std::env::var("GITHUB_SHA"))
+        .unwrap_or_else(|_| "uncommitted".into());
+    if commit.contains('"') || commit.contains('\\') {
+        return Err(BenchError::Invalid(format!(
+            "commit id {commit:?} is not JSON-string safe"
+        )));
+    }
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "{{\"schema\":\"ecost-bench-trend/1\",\"commit\":\"{commit}\",\"mode\":\"{}\",\
+         \"arms\":\"{}\",\"threads\":{}",
+        if quick { "quick" } else { "full" },
+        arms.label(),
+        rayon::current_num_threads()
+    );
+    for (key, arm) in metrics {
+        if let Some(a) = arm {
+            let _ = write!(row, ",\"{key}_sims_per_s\":{:.1}", a.sims_per_s());
+        }
+    }
+    row.push('}');
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    writeln!(f, "{row}")?;
+    Ok(path)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run(arms: Arms) -> Result<(), BenchError> {
     let quick = std::env::var("ECOST_QUICK").is_ok_and(|v| v == "1");
     let tb = Testbed::atom();
     let mb = InputSize::Small.per_node_mb();
@@ -315,100 +465,201 @@ fn run(baseline_only: bool) -> Result<(), BenchError> {
     let solo_cfgs: Vec<TuningConfig> = TuningConfig::space(tb.node.cores).collect();
     let apps = solo_apps(quick);
     eprintln!(
-        "[bench_report] solo sweep: {} apps x {} configs, {} rounds ({})…",
+        "[bench_report] solo sweep: {} apps x {} configs, {} rounds ({}, {} arms)…",
         apps.len(),
         solo_cfgs.len(),
         rounds,
-        if quick { "quick" } else { "full" }
+        if quick { "quick" } else { "full" },
+        arms.label()
     );
     let mut solo_base: Option<Arm> = None;
     let mut solo_opt: Option<Arm> = None;
+    let mut solo_bat: Option<Arm> = None;
     for _ in 0..rounds {
         solo_base = faster(solo_base, solo_baseline(&apps, mb, &solo_cfgs)?);
-        if !baseline_only {
+        if arms.optimized {
             solo_opt = faster(solo_opt, solo_optimized(&apps, mb, &solo_cfgs, &mut pool)?);
+        }
+        if arms.batched {
+            solo_bat = faster(solo_bat, solo_batched(&apps, mb, &mut pool)?);
         }
     }
     let solo_base = solo_base.ok_or(BenchError::Invalid("no solo rounds ran".into()))?;
+    // Bit-identical arms: the baseline's event count transfers (sweep
+    // metrics keep no timelines to count on the batched arm).
+    let solo_bat = solo_bat.map(|mut arm| {
+        arm.events = solo_base.events;
+        arm
+    });
 
     let all_pcs = PairConfig::space(tb.node.cores);
+    let full_space = all_pcs.len();
     let stride = if quick { 32 } else { 1 };
     let pcs: Vec<PairConfig> = all_pcs.into_iter().step_by(stride).collect();
     eprintln!(
-        "[bench_report] pair sweep: {} configs, {rounds} rounds…",
-        pcs.len()
+        "[bench_report] pair sweep: {} configs ({} batched), {rounds} rounds…",
+        pcs.len(),
+        full_space
     );
     let mut pair_base: Option<Arm> = None;
     let mut pair_opt: Option<Arm> = None;
+    let mut pair_bat: Option<Arm> = None;
     for _ in 0..rounds {
         pair_base = faster(pair_base, pair_baseline(App::Gp, App::St, mb, &pcs)?);
-        if !baseline_only {
+        if arms.optimized {
             pair_opt = faster(
                 pair_opt,
                 pair_optimized(App::Gp, App::St, mb, &pcs, &mut pool)?,
             );
         }
+        if arms.batched {
+            pair_bat = faster(
+                pair_bat,
+                pair_batched(App::Gp, App::St, mb, MAX_BATCH_LANES, &mut pool)?,
+            );
+        }
     }
     let pair_base = pair_base.ok_or(BenchError::Invalid("no pair rounds ran".into()))?;
     // Bit-identical arms: the baseline's event count is the event count
-    // (the engine's pair memo keeps metrics, not timelines).
+    // (the engine's pair memo keeps metrics, not timelines). The batched
+    // arm's count transfers only when it covered the same point set.
     let pair_opt = pair_opt.map(|mut arm| {
         arm.events = pair_base.events;
         arm
     });
+    let pair_bat = pair_bat.map(|mut arm| {
+        if arm.sims == pair_base.sims {
+            arm.events = pair_base.events;
+        }
+        arm
+    });
+
+    // Lane-width scaling curve for the pair kernel (DESIGN.md §11).
+    let mut lane_curve: Vec<(usize, Option<Arm>)> = Vec::new();
+    if arms.lane_sweep {
+        let widths = [1usize, 2, 4, 6, 8];
+        eprintln!("[bench_report] lane sweep: widths {widths:?}, {rounds} rounds…");
+        lane_curve = widths.iter().map(|&w| (w, None)).collect();
+        for _ in 0..rounds {
+            for (w, best) in &mut lane_curve {
+                *best = faster(*best, pair_batched(App::Gp, App::St, mb, *w, &mut pool)?);
+            }
+        }
+    }
 
     eprintln!("[bench_report] scheduler run, {rounds} rounds…");
     let (nodes, wl) = scheduler_load(quick);
     let jobs = wl.jobs.len();
     let sched_events = scheduler_events(quick)?;
-    let mut sched: Option<Arm> = None;
+    let mut sched_base: Option<Arm> = None;
+    let mut sched_opt: Option<Arm> = None;
+    let mut sched_bat: Option<Arm> = None;
     for _ in 0..rounds {
-        sched = faster(sched, scheduler_timed(quick, &mut pool)?);
+        sched_base = faster(
+            sched_base,
+            scheduler_timed(quick, SchedArm::Baseline, &mut pool)?,
+        );
+        if arms.optimized {
+            sched_opt = faster(
+                sched_opt,
+                scheduler_timed(quick, SchedArm::Optimized, &mut pool)?,
+            );
+        }
+        if arms.batched {
+            sched_bat = faster(
+                sched_bat,
+                scheduler_timed(quick, SchedArm::Batched, &mut pool)?,
+            );
+        }
     }
-    let mut sched = sched.ok_or(BenchError::Invalid("no scheduler rounds ran".into()))?;
-    sched.events = sched_events;
+    let sched_base = sched_base.ok_or(BenchError::Invalid("no scheduler rounds ran".into()))?;
+    let patch = |arm: Option<Arm>| {
+        arm.map(|mut a| {
+            a.events = sched_events;
+            a
+        })
+    };
+    let sched_base = {
+        let mut a = sched_base;
+        a.events = sched_events;
+        a
+    };
+    let (sched_opt, sched_bat) = (patch(sched_opt), patch(sched_bat));
 
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"ecost-bench-sim/1\",");
+    let _ = writeln!(out, "  \"schema\": \"ecost-bench-sim/2\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
         if quick { "quick" } else { "full" }
     );
-    let _ = writeln!(
-        out,
-        "  \"arms\": \"{}\",",
-        if baseline_only {
-            "baseline-only"
-        } else {
-            "both"
-        }
-    );
+    let _ = writeln!(out, "  \"arms\": \"{}\",", arms.label());
     let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
+    let _ = writeln!(out, "  \"batch_lanes\": {MAX_BATCH_LANES},");
     section(
         &mut out,
         "solo_sweep",
-        solo_opt,
-        Some(solo_base),
         &[
             ("apps", apps.len().to_string()),
             ("configs", solo_cfgs.len().to_string()),
+        ],
+        &[
+            ("optimized", solo_opt),
+            ("batched", solo_bat),
+            ("baseline", Some(solo_base)),
+        ],
+        &[
+            ("speedup", wall_speedup(solo_opt, Some(solo_base))),
+            ("speedup_batched", rate_ratio(solo_bat, solo_opt)),
         ],
     );
     section(
         &mut out,
         "pair_sweep",
-        pair_opt,
-        Some(pair_base),
         &[("configs", pcs.len().to_string())],
+        &[
+            ("optimized", pair_opt),
+            ("batched", pair_bat),
+            ("baseline", Some(pair_base)),
+        ],
+        &[
+            ("speedup", wall_speedup(pair_opt, Some(pair_base))),
+            ("speedup_batched", rate_ratio(pair_bat, pair_opt)),
+        ],
     );
+    if !lane_curve.is_empty() {
+        let _ = writeln!(out, "  \"lane_sweep\": [");
+        let rows: Vec<String> = lane_curve
+            .iter()
+            .filter_map(|&(w, arm)| {
+                arm.map(|a| {
+                    format!(
+                        "    {{\"lanes\": {w}, \"sims\": {}, \"wall_s\": {:.4}, \
+                         \"sims_per_s\": {:.1}}}",
+                        a.sims,
+                        a.wall_s,
+                        a.sims_per_s()
+                    )
+                })
+            })
+            .collect();
+        let _ = writeln!(out, "{}", rows.join(",\n"));
+        let _ = writeln!(out, "  ],");
+    }
     section(
         &mut out,
         "scheduler",
-        Some(sched),
-        None,
         &[("nodes", nodes.to_string()), ("jobs", jobs.to_string())],
+        &[
+            ("optimized", sched_opt),
+            ("batched", sched_bat),
+            ("baseline", Some(sched_base)),
+        ],
+        &[
+            ("speedup", wall_speedup(sched_opt, Some(sched_base))),
+            ("speedup_batched", rate_ratio(sched_bat, sched_opt)),
+        ],
     );
     let _ = writeln!(out, "  \"pool\": {{");
     let _ = writeln!(out, "    \"sims_created\": {},", pool.created);
@@ -426,10 +677,34 @@ fn run(baseline_only: bool) -> Result<(), BenchError> {
     std::fs::write(&path, &out)?;
     println!("{out}");
     eprintln!("[bench_report] wrote {path}");
+
+    let trend_path = append_trend_row(
+        arms,
+        quick,
+        &[
+            ("solo_baseline", Some(solo_base)),
+            ("solo_optimized", solo_opt),
+            ("solo_batched", solo_bat),
+            ("pair_baseline", Some(pair_base)),
+            ("pair_optimized", pair_opt),
+            ("pair_batched", pair_bat),
+            ("sched_baseline", Some(sched_base)),
+            ("sched_optimized", sched_opt),
+            ("sched_batched", sched_bat),
+        ],
+    )?;
+    eprintln!("[bench_report] appended trend row to {trend_path}");
     Ok(())
 }
 
 fn main() -> ExitCode {
     let baseline_only = std::env::args().any(|a| a == "--baseline");
-    ecost_bench::run_main("bench_report", || run(baseline_only))
+    let no_batch = std::env::args().any(|a| a == "--no-batch");
+    let lane_sweep = std::env::args().any(|a| a == "--lane-sweep");
+    let arms = Arms {
+        optimized: !baseline_only,
+        batched: !baseline_only && !no_batch,
+        lane_sweep: lane_sweep && !baseline_only && !no_batch,
+    };
+    ecost_bench::run_main("bench_report", || run(arms))
 }

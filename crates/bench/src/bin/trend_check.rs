@@ -1,0 +1,129 @@
+//! Throughput-regression gate over the `BENCH_trend.jsonl` trend store.
+//!
+//! `bench_report` appends one compact row per run (schema
+//! `ecost-bench-trend/1`); this binary compares the newest row against the
+//! most recent *comparable* earlier row — same `mode`, `arms` and
+//! `threads`, so quick CI rows never gate against full workstation rows —
+//! and fails (non-zero exit) when any kernel's `sims_per_s` dropped by
+//! more than the tolerance (`ECOST_TREND_TOL`, default 0.10 = 10%).
+//!
+//! Usage: `trend_check [path]` (default `BENCH_trend.jsonl`). A store
+//! with no comparable prior row passes vacuously: the first row of any
+//! (mode, arms, threads) context seeds the trend, it cannot regress.
+//!
+//! The rows are written by our own writer with stable key order, so the
+//! "parser" here is a deliberately minimal key scanner, not a general
+//! JSON reader — the repo hand-rolls its JSON in both directions.
+
+use ecost_bench::BenchError;
+use std::process::ExitCode;
+
+/// Headline throughput keys a row may carry (absent arms are skipped).
+const METRICS: [&str; 9] = [
+    "solo_baseline_sims_per_s",
+    "solo_optimized_sims_per_s",
+    "solo_batched_sims_per_s",
+    "pair_baseline_sims_per_s",
+    "pair_optimized_sims_per_s",
+    "pair_batched_sims_per_s",
+    "sched_baseline_sims_per_s",
+    "sched_optimized_sims_per_s",
+    "sched_batched_sims_per_s",
+];
+
+/// Extract a string field from a compact single-line JSON row.
+fn field_str<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = row.find(&pat)? + pat.len();
+    let rest = &row[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extract a numeric field from a compact single-line JSON row.
+fn field_f64(row: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = row.find(&pat)? + pat.len();
+    let rest = &row[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The comparability context of a row: rows only gate against rows that
+/// measured the same thing on the same parallelism.
+fn context(row: &str) -> Option<(String, String, u64)> {
+    Some((
+        field_str(row, "mode")?.to_string(),
+        field_str(row, "arms")?.to_string(),
+        field_f64(row, "threads")? as u64,
+    ))
+}
+
+fn run() -> Result<(), BenchError> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trend.jsonl".into());
+    let tol: f64 = match std::env::var("ECOST_TREND_TOL") {
+        Ok(v) => v
+            .parse()
+            .map_err(|_| BenchError::Invalid(format!("ECOST_TREND_TOL={v:?} is not a number")))?,
+        Err(_) => 0.10,
+    };
+    let text = std::fs::read_to_string(&path)?;
+    let rows: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let (last, prior) = rows
+        .split_last()
+        .ok_or_else(|| BenchError::Invalid(format!("{path}: trend store has no rows")))?;
+    if field_str(last, "schema") != Some("ecost-bench-trend/1") {
+        return Err(BenchError::Invalid(format!(
+            "{path}: newest row has unknown schema (want ecost-bench-trend/1)"
+        )));
+    }
+    let ctx = context(last).ok_or_else(|| {
+        BenchError::Invalid(format!("{path}: newest row lacks mode/arms/threads"))
+    })?;
+    let Some(prev) = prior
+        .iter()
+        .rev()
+        .find(|r| context(r).as_ref() == Some(&ctx))
+    else {
+        println!(
+            "trend_check: no prior row with mode={} arms={} threads={} — seeding, nothing to gate",
+            ctx.0, ctx.1, ctx.2
+        );
+        return Ok(());
+    };
+    let mut regressions: Vec<String> = Vec::new();
+    let mut compared = 0u32;
+    for key in METRICS {
+        let (Some(old), Some(new)) = (field_f64(prev, key), field_f64(last, key)) else {
+            continue;
+        };
+        compared += 1;
+        if old > 0.0 && new < old * (1.0 - tol) {
+            regressions.push(format!(
+                "{key}: {old:.1} -> {new:.1} ({:+.1}%)",
+                100.0 * (new - old) / old
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        println!(
+            "trend_check: {compared} metrics within {:.0}% of {} (commit {})",
+            tol * 100.0,
+            path,
+            field_str(prev, "commit").unwrap_or("?")
+        );
+        Ok(())
+    } else {
+        Err(BenchError::Invalid(format!(
+            "throughput regression vs commit {} (tolerance {:.0}%): {}",
+            field_str(prev, "commit").unwrap_or("?"),
+            tol * 100.0,
+            regressions.join("; ")
+        )))
+    }
+}
+
+fn main() -> ExitCode {
+    ecost_bench::run_main("trend_check", run)
+}

@@ -30,7 +30,11 @@ use crate::features::Testbed;
 use cache::ShardedCache;
 use ecost_apps::AppProfile;
 use ecost_mapreduce::executor::JobOutcome;
-use ecost_mapreduce::{JobMetrics, JobSpec, PairConfig, PairMetrics, TuningConfig};
+use ecost_mapreduce::reference::ReferenceNodeSim;
+use ecost_mapreduce::{
+    run_batch_to_completion, JobMetrics, JobSpec, PairConfig, PairMetrics, TuningConfig,
+    MAX_BATCH_LANES,
+};
 use ecost_sim::SimError;
 use ecost_telemetry::{Counter, Event, Recorder, Registry};
 use pool::SimPool;
@@ -295,6 +299,13 @@ pub struct EvalEngine {
     pool: SimPool,
     recorder: Recorder,
     counters: EngineCounters,
+    /// Lane width for batched sweep windows (1 = scalar solves). Clamped
+    /// to `1..=MAX_BATCH_LANES`; every lane is bit-identical to a scalar
+    /// solve, so this is purely a throughput knob.
+    batch_lanes: usize,
+    /// Route miss-path runs through the frozen `ReferenceNodeSim` instead
+    /// of the optimized pooled executor (benchmark baseline arm).
+    reference: bool,
 }
 
 impl EvalEngine {
@@ -315,7 +326,47 @@ impl EvalEngine {
             pool: SimPool::new(),
             recorder,
             counters,
+            batch_lanes: MAX_BATCH_LANES,
+            reference: false,
         }
+    }
+
+    /// Builder form of [`Self::set_batch_lanes`].
+    pub fn with_batch_lanes(mut self, lanes: usize) -> EvalEngine {
+        self.set_batch_lanes(lanes);
+        self
+    }
+
+    /// Set the lane width for batched sweep windows. Clamped to
+    /// `1..=MAX_BATCH_LANES`; 1 selects the scalar per-point path. Every
+    /// lane of a batched window is bit-identical to a scalar solve of the
+    /// same point, so this knob changes throughput, never results.
+    pub fn set_batch_lanes(&mut self, lanes: usize) {
+        self.batch_lanes = lanes.clamp(1, MAX_BATCH_LANES);
+    }
+
+    /// Current lane width for batched sweep windows.
+    pub fn batch_lanes(&self) -> usize {
+        self.batch_lanes
+    }
+
+    /// Route every miss-path run through the frozen `ReferenceNodeSim`
+    /// instead of the optimized pooled executor. This is the benchmark
+    /// baseline arm: reference runs construct a fresh simulator per point
+    /// (counted under `sims_created`) and never touch the pool or the
+    /// batched windows; the memo layers still apply.
+    pub fn set_reference_executor(&mut self, on: bool) {
+        self.reference = on;
+    }
+
+    /// True when miss-path runs use the frozen reference executor.
+    pub fn reference_executor(&self) -> bool {
+        self.reference
+    }
+
+    /// True when sweeps should solve cache misses in lane-wide batches.
+    fn batched(&self) -> bool {
+        self.batch_lanes > 1 && !self.reference
     }
 
     /// The telemetry recorder this engine (and every run driven through
@@ -407,6 +458,9 @@ impl EvalEngine {
         jobs: impl IntoIterator<Item = JobSpec>,
         slowdown: f64,
     ) -> Result<(Vec<JobOutcome>, f64), EvalError> {
+        if self.reference {
+            return self.run_reference(jobs, slowdown);
+        }
         let (mut sim, reused) = self.pool.acquire(&self.tb.node, &self.tb.fw);
         if reused {
             self.counters.sims_reused.inc();
@@ -431,6 +485,121 @@ impl EvalEngine {
             // is cheaper than ever pooling half-advanced state.
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// [`Self::run_pooled`]'s baseline twin: a fresh, frozen
+    /// `ReferenceNodeSim` per run (one `sims_created` each, nothing
+    /// pooled). Semantics are pinned to the optimized executor by the
+    /// mapreduce crate's equivalence property tests.
+    fn run_reference(
+        &self,
+        jobs: impl IntoIterator<Item = JobSpec>,
+        slowdown: f64,
+    ) -> Result<(Vec<JobOutcome>, f64), EvalError> {
+        let mut sim = ReferenceNodeSim::new(self.tb.node.clone(), self.tb.fw.clone());
+        self.counters.sims_created.inc();
+        sim.set_slowdown(slowdown)?;
+        for j in jobs {
+            sim.submit(j)?;
+        }
+        sim.run_to_completion()?;
+        let makespan = sim.now();
+        Ok((sim.take_finished(), makespan))
+    }
+
+    /// Solve one window of cache-missed solo points in a single batched
+    /// rate solve. One pooled simulator per lane (accounted exactly like
+    /// the scalar path), one pooled [`BatchScratch`] per window; on any
+    /// failure the window's simulators are dropped, mirroring
+    /// [`Self::run_pooled`]'s error policy. Returns `(sweep index,
+    /// outcome)` per lane.
+    fn simulate_solo_window(
+        &self,
+        profile: &AppProfile,
+        input_mb: f64,
+        window: &[(usize, TuningConfig)],
+    ) -> Result<Vec<(usize, JobOutcome)>, EvalError> {
+        let mut sims = Vec::with_capacity(window.len());
+        // One template spec per window: the points differ only in their
+        // tuning config, so cloning the template skips re-deriving the
+        // label (a float format) for every lane.
+        let template = JobSpec::from_profile(profile.clone(), input_mb, window[0].1);
+        for &(_, cfg) in window {
+            let (mut sim, reused) = self.pool.acquire(&self.tb.node, &self.tb.fw);
+            if reused {
+                self.counters.sims_reused.inc();
+            } else {
+                self.counters.sims_created.inc();
+            }
+            let mut spec = template.clone();
+            spec.config = cfg;
+            sim.submit(spec)?;
+            sims.push(sim);
+        }
+        let mut scratch = self.pool.acquire_scratch();
+        let run = run_batch_to_completion(&mut sims, &mut scratch);
+        self.pool.release_scratch(scratch);
+        run?;
+        let mut out = Vec::with_capacity(window.len());
+        for (&(i, _), mut sim) in window.iter().zip(sims) {
+            let outcome = sim
+                .take_finished()
+                .pop()
+                .ok_or(SimError::Internal("one job submitted, none finished"))?;
+            self.pool.release(sim);
+            out.push((i, outcome));
+        }
+        Ok(out)
+    }
+
+    /// Solve one window of pair-sweep points in a single batched rate
+    /// solve — the pair twin of [`Self::simulate_solo_window`], with each
+    /// lane carrying one co-located pair.
+    fn simulate_pair_window(
+        &self,
+        a: &AppProfile,
+        input_a_mb: f64,
+        b: &AppProfile,
+        input_b_mb: f64,
+        window: &[PairConfig],
+    ) -> Result<Vec<PairRun>, EvalError> {
+        let mut sims = Vec::with_capacity(window.len());
+        // Template specs per window (see `simulate_solo_window`): lanes
+        // differ only in their tuning configs.
+        let ta = JobSpec::from_profile(a.clone(), input_a_mb, window[0].a);
+        let tb = JobSpec::from_profile(b.clone(), input_b_mb, window[0].b);
+        for &pc in window {
+            let (mut sim, reused) = self.pool.acquire(&self.tb.node, &self.tb.fw);
+            if reused {
+                self.counters.sims_reused.inc();
+            } else {
+                self.counters.sims_created.inc();
+            }
+            let (mut sa, mut sb) = (ta.clone(), tb.clone());
+            sa.config = pc.a;
+            sb.config = pc.b;
+            sim.submit(sa)?;
+            sim.submit(sb)?;
+            sims.push(sim);
+        }
+        let mut scratch = self.pool.acquire_scratch();
+        let run = run_batch_to_completion(&mut sims, &mut scratch);
+        self.pool.release_scratch(scratch);
+        run?;
+        let mut out = Vec::with_capacity(window.len());
+        for (&config, mut sim) in window.iter().zip(sims) {
+            let makespan_s = sim.now();
+            let outs = sim.take_finished();
+            self.pool.release(sim);
+            out.push(PairRun {
+                config,
+                metrics: PairMetrics {
+                    makespan_s,
+                    energy_j: outs.iter().map(|o| o.metrics.energy_j).sum(),
+                },
+            });
+        }
+        Ok(out)
     }
 
     /// Record a fault event applied at simulated time `t_s` to a run
@@ -549,18 +718,68 @@ impl EvalEngine {
 
     /// Sweep the full standalone space (160 points on the 8-core node);
     /// runs are returned in sweep order. Every point is individually
-    /// memoized, so repeated sweeps re-simulate nothing.
+    /// memoized, so repeated sweeps re-simulate nothing; cache misses are
+    /// solved in lane-wide batched windows (see [`Self::set_batch_lanes`])
+    /// spread across rayon workers, each lane bit-identical to the scalar
+    /// per-point path.
     pub fn sweep_solo(
         &self,
         profile: &AppProfile,
         input_mb: f64,
     ) -> Result<Vec<SoloRun>, EvalError> {
         let configs: Vec<TuningConfig> = TuningConfig::space(self.tb.node.cores).collect();
+        if !self.batched() {
+            return configs
+                .into_par_iter()
+                .map(|config| {
+                    self.solo_metrics(profile, input_mb, config)
+                        .map(|metrics| SoloRun { config, metrics })
+                })
+                .collect();
+        }
+        // Batched miss path. Probe the memo per point first — identical
+        // hit/miss accounting and keying to the scalar path — then solve
+        // only the misses, chunked into lane-wide windows.
+        let fp = fingerprint(profile);
+        let key_of = |cfg: TuningConfig| SoloKey {
+            fp,
+            mb: input_mb.to_bits(),
+            cfg,
+            slow: 1.0_f64.to_bits(),
+        };
+        let mut metrics: Vec<Option<JobMetrics>> = vec![None; configs.len()];
+        let mut missing: Vec<(usize, TuningConfig)> = Vec::new();
+        for (i, &config) in configs.iter().enumerate() {
+            if let Some(cached) = self.solo.get(&key_of(config)) {
+                self.hit("solo");
+                metrics[i] = Some(cached.metrics);
+            } else {
+                self.miss("solo");
+                missing.push((i, config));
+            }
+        }
+        if !missing.is_empty() {
+            let t0 = Instant::now();
+            let windows: Vec<Vec<(usize, TuningConfig)>> = missing
+                .chunks(self.batch_lanes)
+                .map(<[_]>::to_vec)
+                .collect();
+            let solved: Vec<Vec<(usize, JobOutcome)>> = windows
+                .into_par_iter()
+                .map(|window| self.simulate_solo_window(profile, input_mb, &window))
+                .collect::<Result<_, EvalError>>()?;
+            self.charge(missing.len() as u64, t0.elapsed().as_nanos() as u64);
+            for (i, out) in solved.into_iter().flatten() {
+                let out = self.solo.insert_or_keep(key_of(configs[i]), Arc::new(out));
+                metrics[i] = Some(out.metrics);
+            }
+        }
         configs
-            .into_par_iter()
-            .map(|config| {
-                self.solo_metrics(profile, input_mb, config)
-                    .map(|metrics| SoloRun { config, metrics })
+            .into_iter()
+            .zip(metrics)
+            .map(|(config, m)| {
+                m.map(|metrics| SoloRun { config, metrics })
+                    .ok_or_else(|| SimError::Internal("batched sweep left a point unsolved").into())
             })
             .collect()
     }
@@ -713,13 +932,29 @@ impl EvalEngine {
         let t0 = Instant::now();
         let configs = PairConfig::space(self.tb.node.cores);
         let n = configs.len() as u64;
-        let runs: Vec<PairRun> = configs
-            .into_par_iter()
-            .map(|config| {
-                self.simulate_pair(sa, sa_mb, sb, sb_mb, config, 1.0)
-                    .map(|metrics| PairRun { config, metrics })
-            })
-            .collect::<Result<_, EvalError>>()?;
+        let runs: Vec<PairRun> = if self.batched() {
+            // Partition the space into lane-wide windows; the shim's map
+            // is order-preserving, so flattening restores sweep order.
+            let windows: Vec<Vec<PairConfig>> = configs
+                .chunks(self.batch_lanes)
+                .map(<[_]>::to_vec)
+                .collect();
+            windows
+                .into_par_iter()
+                .map(|window| self.simulate_pair_window(sa, sa_mb, sb, sb_mb, &window))
+                .collect::<Result<Vec<Vec<PairRun>>, EvalError>>()?
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            configs
+                .into_par_iter()
+                .map(|config| {
+                    self.simulate_pair(sa, sa_mb, sb, sb_mb, config, 1.0)
+                        .map(|metrics| PairRun { config, metrics })
+                })
+                .collect::<Result<_, EvalError>>()?
+        };
         self.charge(n, t0.elapsed().as_nanos() as u64);
         let runs = self.sweeps.insert_or_keep(key, Arc::new(runs));
         Ok(PairSweep {
@@ -1065,6 +1300,96 @@ mod tests {
         assert_eq!(count("fault-fired"), s.faults_injected);
         assert_eq!(count("retry"), s.retries);
         assert_eq!(count("fallback"), s.fallbacks);
+    }
+
+    #[test]
+    fn batched_solo_sweep_is_bit_identical_to_scalar_at_every_lane_width() {
+        let scalar = EvalEngine::atom().with_batch_lanes(1);
+        let p = App::Gp.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let want = scalar.sweep_solo(p, mb).unwrap();
+        for lanes in [2, 3, 8] {
+            let eng = EvalEngine::atom().with_batch_lanes(lanes);
+            assert_eq!(eng.batch_lanes(), lanes);
+            let got = eng.sweep_solo(p, mb).unwrap();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.config, w.config);
+                assert_eq!(
+                    g.metrics.exec_time_s.to_bits(),
+                    w.metrics.exec_time_s.to_bits()
+                );
+                assert_eq!(g.metrics.energy_j.to_bits(), w.metrics.energy_j.to_bits());
+            }
+            // Same memo/telemetry contract as the scalar sweep: one miss
+            // per point, every point charged, all hits on a re-sweep.
+            let s = eng.stats();
+            assert_eq!(s.misses as usize, want.len());
+            assert_eq!(s.runs_simulated as usize, want.len());
+            assert_eq!(s.sims_created + s.sims_reused, s.runs_simulated);
+            assert_eq!(eng.pooled_sims() as u64, s.sims_created);
+            eng.sweep_solo(p, mb).unwrap();
+            let s2 = eng.stats();
+            assert_eq!(s2.runs_simulated, s.runs_simulated);
+            assert_eq!(s2.hits as usize, s.hits as usize + want.len());
+        }
+    }
+
+    #[test]
+    fn batched_pair_sweep_is_bit_identical_to_scalar() {
+        let scalar = EvalEngine::atom().with_batch_lanes(1);
+        let batched = EvalEngine::atom();
+        assert_eq!(batched.batch_lanes(), ecost_mapreduce::MAX_BATCH_LANES);
+        let a = App::Wc.profile();
+        let b = App::St.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let want = scalar.pair_sweep(a, mb, b, mb).unwrap();
+        let got = batched.pair_sweep(a, mb, b, mb).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.runs().iter().zip(want.runs().iter()) {
+            assert_eq!(g.config, w.config);
+            assert_eq!(
+                g.metrics.makespan_s.to_bits(),
+                w.metrics.makespan_s.to_bits()
+            );
+            assert_eq!(g.metrics.energy_j.to_bits(), w.metrics.energy_j.to_bits());
+        }
+        let s = batched.stats();
+        assert_eq!(s.runs_simulated as usize, want.len());
+        assert_eq!(s.sims_created + s.sims_reused, s.runs_simulated);
+        assert_eq!(batched.pooled_sims() as u64, s.sims_created);
+    }
+
+    #[test]
+    fn reference_executor_matches_optimized_results_without_pooling() {
+        let mut reference = EvalEngine::atom();
+        reference.set_reference_executor(true);
+        assert!(reference.reference_executor());
+        let optimized = EvalEngine::atom();
+        let p = App::Wc.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let cfg = TuningConfig::hadoop_default(8);
+        let r = reference.solo_outcome(p, mb, cfg).unwrap();
+        let o = optimized.solo_outcome(p, mb, cfg).unwrap();
+        assert_eq!(
+            r.metrics.exec_time_s.to_bits(),
+            o.metrics.exec_time_s.to_bits()
+        );
+        assert_eq!(r.metrics.energy_j.to_bits(), o.metrics.energy_j.to_bits());
+        // Reference runs construct fresh simulators and never pool them.
+        let s = reference.stats();
+        assert_eq!(s.sims_created, 1);
+        assert_eq!(s.sims_reused, 0);
+        assert_eq!(reference.pooled_sims(), 0);
+    }
+
+    #[test]
+    fn batch_lane_width_is_clamped() {
+        let mut eng = EvalEngine::atom();
+        eng.set_batch_lanes(0);
+        assert_eq!(eng.batch_lanes(), 1);
+        eng.set_batch_lanes(usize::MAX);
+        assert_eq!(eng.batch_lanes(), ecost_mapreduce::MAX_BATCH_LANES);
     }
 
     #[test]

@@ -15,18 +15,38 @@
 //! error paths drop it, trading a rebuild for never caching a simulator in
 //! a half-advanced state.
 
-use ecost_mapreduce::{FrameworkSpec, NodeSim};
+use ecost_mapreduce::{BatchScratch, FrameworkSpec, NodeSim};
 use ecost_sim::NodeSpec;
 use std::sync::Mutex;
 
 pub(crate) struct SimPool {
     free: Mutex<Vec<NodeSim>>,
+    /// Warm [`BatchScratch`]es for the batched sweep windows. Scratches are
+    /// fully re-initialised per solve, so unlike simulators they are safe
+    /// to pool even after a failed window.
+    scratch: Mutex<Vec<BatchScratch>>,
 }
 
 impl SimPool {
     pub(crate) fn new() -> SimPool {
         SimPool {
             free: Mutex::new(Vec::new()),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check out a batch scratch (warm when available).
+    pub(crate) fn acquire_scratch(&self) -> BatchScratch {
+        match self.scratch.lock() {
+            Ok(mut v) => v.pop().unwrap_or_default(),
+            Err(_) => BatchScratch::new(),
+        }
+    }
+
+    /// Shelve a batch scratch, keeping its grown lane buffers warm.
+    pub(crate) fn release_scratch(&self, s: BatchScratch) {
+        if let Ok(mut v) = self.scratch.lock() {
+            v.push(s);
         }
     }
 

@@ -27,7 +27,7 @@ use crate::framework::FrameworkSpec;
 use crate::job::JobSpec;
 use crate::metrics::JobMetrics;
 use crate::stage::Stage;
-use ecost_sim::{AmvaScratch, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError};
+use ecost_sim::{AmvaBatch, AmvaScratch, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError};
 use ecost_telemetry::{Event, Recorder, SpanKey};
 
 /// Opaque handle identifying a submitted job within one `NodeSim`.
@@ -733,27 +733,127 @@ fn solve_into(
     scratch: &mut SolveScratch,
     out: &mut RateSolution,
 ) -> Result<(), SimError> {
-    let n = active.len();
-    // Fault context: node-wide degradation and per-wave stragglers. On a
-    // healthy node these are all exactly 1.0 / the configured slots, so
-    // every expression below reduces bit-identically to the undegraded
-    // model.
-    let mut stragglers = [0.0_f64; MAX_COLOCATED];
-    let mut eff_slots = [0.0_f64; MAX_COLOCATED];
+    let mut prep = SolvePrep::empty();
+    prepare(spec, fw, slowdown, active, &mut prep);
+    let n = prep.n;
+
+    // --- 2–4. Outer fixed point over θ (disk scale) and slow (memory). ---
+    let mut theta: f64 = 1.0;
+    let mut slow: f64 = 1.0;
+    let mut x = [0.0_f64; MAX_COLOCATED];
+    let mut q_io = [0.0_f64; MAX_COLOCATED];
+    let mut nic_util = 0.0_f64;
+    let stations = n + 1; // one private I/O path per job + shared NIC
+    let mut think = [0.0_f64; MAX_COLOCATED];
+    for _outer in 0..200 {
+        build_classes(
+            &prep,
+            nic_bw_mbps,
+            theta,
+            slow,
+            &mut scratch.classes,
+            &mut think,
+        );
+        scratch.amva.solve(&scratch.classes[..n], stations)?;
+        x[..n].copy_from_slice(scratch.amva.throughput());
+        for (j, q) in q_io[..n].iter_mut().enumerate() {
+            *q = scratch.amva.queue(j, j);
+        }
+        nic_util = scratch.amva.station_util()[n];
+
+        let (slow_next, theta_next, resid) = couple(&prep, spec, &x, &q_io, &think, slow, theta);
+        slow = slow_next;
+        theta = theta_next;
+        if resid < 1e-5 {
+            break;
+        }
+    }
+
+    finalize(
+        &prep,
+        spec,
+        power,
+        nic_power_w,
+        active,
+        &x,
+        &q_io,
+        nic_util,
+        slow,
+        out,
+    );
+    Ok(())
+}
+
+/// Loop-invariant inputs of one node's contention fixed point, hoisted to
+/// fixed stack arrays once per solve ([`prepare`]) so the outer iterations
+/// never re-chase the job → stage indirection. Splitting this out of
+/// `solve_into` is what lets [`solve_batch`] keep several nodes' fixed
+/// points in flight at once with per-lane state that is plain `Copy` data.
+#[derive(Clone, Copy)]
+struct SolvePrep {
+    n: usize,
+    slowdown: f64,
+    spill: f64,
+    footprint_mb: f64,
+    /// Fault context: per-wave straggler multipliers and effective slots.
+    /// On a healthy node these are exactly 1.0 / the configured slots, so
+    /// every expression below reduces bit-identically to the undegraded
+    /// model.
+    stragglers: [f64; MAX_COLOCATED],
+    eff_slots: [f64; MAX_COLOCATED],
+    /// Static per-job grant ceiling: job pipeline cap ∧ slot stream rates.
+    static_cap: [f64; MAX_COLOCATED],
+    fluid: [bool; MAX_COLOCATED],
+    think0: [f64; MAX_COLOCATED],
+    stall: [f64; MAX_COLOCATED],
+    io_mb: [f64; MAX_COLOCATED],
+    nic_mb: [f64; MAX_COLOCATED],
+    bw_core: [f64; MAX_COLOCATED],
+}
+
+impl SolvePrep {
+    fn empty() -> SolvePrep {
+        SolvePrep {
+            n: 0,
+            slowdown: 1.0,
+            spill: 1.0,
+            footprint_mb: 0.0,
+            stragglers: [0.0; MAX_COLOCATED],
+            eff_slots: [0.0; MAX_COLOCATED],
+            static_cap: [0.0; MAX_COLOCATED],
+            fluid: [false; MAX_COLOCATED],
+            think0: [0.0; MAX_COLOCATED],
+            stall: [0.0; MAX_COLOCATED],
+            io_mb: [0.0; MAX_COLOCATED],
+            nic_mb: [0.0; MAX_COLOCATED],
+            bw_core: [0.0; MAX_COLOCATED],
+        }
+    }
+}
+
+/// Hoist the loop-invariant part of the contention solve — the pre-loop
+/// prelude of the original `solve_into`, arithmetic verbatim.
+fn prepare(
+    spec: &NodeSpec,
+    fw: &FrameworkSpec,
+    slowdown: f64,
+    active: &[ActiveJob],
+    prep: &mut SolvePrep,
+) {
+    prep.n = active.len();
+    prep.slowdown = slowdown;
     for (j, job) in active.iter().enumerate() {
-        stragglers[j] = job.straggler;
-        eff_slots[j] = f64::from(job.eff_slots());
+        prep.stragglers[j] = job.straggler;
+        prep.eff_slots[j] = f64::from(job.eff_slots());
     }
 
     // --- 1. DRAM pressure: spill inflation for everyone. ---
-    let footprint_mb: f64 = active.iter().map(|job| job.stage().footprint_mb).sum();
-    let spill = fw.spill_inflation(footprint_mb, spec.mem.capacity_mb);
+    prep.footprint_mb = active.iter().map(|job| job.stage().footprint_mb).sum();
+    prep.spill = fw.spill_inflation(prep.footprint_mb, spec.mem.capacity_mb);
 
-    // Static per-job grant ceiling: job pipeline cap ∧ slot stream rates.
-    let mut static_cap = [0.0_f64; MAX_COLOCATED];
     for (j, job) in active.iter().enumerate() {
         let s = job.stage();
-        static_cap[j] = if s.is_fluid() && s.io_mb > 0.0 {
+        prep.static_cap[j] = if s.is_fluid() && s.io_mb > 0.0 {
             fw.job_io_cap(s.extent_mb)
                 .min(s.stream_bound_mbps(spec.disk.stream_rate(s.extent_mb)))
                 / slowdown
@@ -763,98 +863,127 @@ fn solve_into(
     }
 
     // Loop-invariant stage quantities, copied to the stack so the fixed
-    // point below never re-chases the job → stage indirection. The `think`
+    // point never re-chases the job → stage indirection. The `think`
     // expression is still evaluated with exactly the original operations
     // and order (bit-identity, pinned by the executor property tests);
     // hoisting only stops it being *recomputed* in the coupling step.
-    let mut fluid = [false; MAX_COLOCATED];
-    let mut think0 = [0.0_f64; MAX_COLOCATED];
-    let mut stall = [0.0_f64; MAX_COLOCATED];
-    let mut io_mb = [0.0_f64; MAX_COLOCATED];
-    let mut nic_mb = [0.0_f64; MAX_COLOCATED];
-    let mut bw_core = [0.0_f64; MAX_COLOCATED];
     for (j, job) in active.iter().enumerate() {
         let s = job.stage();
-        fluid[j] = s.is_fluid();
-        think0[j] = s.think0_s;
-        stall[j] = s.stall_frac;
-        io_mb[j] = s.io_mb;
-        nic_mb[j] = s.nic_mb;
-        bw_core[j] = s.bw_per_core_mbps;
+        prep.fluid[j] = s.is_fluid();
+        prep.think0[j] = s.think0_s;
+        prep.stall[j] = s.stall_frac;
+        prep.io_mb[j] = s.io_mb;
+        prep.nic_mb[j] = s.nic_mb;
+        prep.bw_core[j] = s.bw_per_core_mbps;
     }
+}
 
-    // --- 2–4. Outer fixed point over θ (disk scale) and slow (memory). ---
-    let mut theta: f64 = 1.0;
-    let mut slow: f64 = 1.0;
-    let mut x = [0.0_f64; MAX_COLOCATED];
-    let mut q_io = [0.0_f64; MAX_COLOCATED];
-    let mut nic_util = 0.0_f64;
-    let stations = n + 1; // one private I/O path per job + shared NIC
-    while scratch.classes.len() < n {
-        scratch.classes.push(ClassDemand {
+/// Rebuild the AMVA classes for the current `(θ, slow)` — one outer-loop
+/// body prefix of the original `solve_into`, arithmetic verbatim.
+///
+/// Per-job think time goes to `think`; for a non-fluid job the entry stays
+/// 0.0, and its coupling term is 0.0 either way (AMVA gives zero-population
+/// classes zero throughput).
+fn build_classes(
+    prep: &SolvePrep,
+    nic_bw_mbps: f64,
+    theta: f64,
+    slow: f64,
+    classes: &mut Vec<ClassDemand>,
+    think: &mut [f64; MAX_COLOCATED],
+) {
+    let n = prep.n;
+    let stations = n + 1;
+    while classes.len() < n {
+        classes.push(ClassDemand {
             population: 0.0,
             think_time_s: 0.0,
             demands_s: Vec::new(),
         });
     }
-    for _outer in 0..200 {
-        // Per-job think time at the current `slow`; for a non-fluid job
-        // the entry stays 0.0, and its coupling term below is 0.0 either
-        // way (AMVA gives zero-population classes zero throughput).
-        let mut think = [0.0_f64; MAX_COLOCATED];
-        for j in 0..n {
-            let c = &mut scratch.classes[j];
-            c.demands_s.clear();
-            c.demands_s.resize(stations, 0.0);
-            if !fluid[j] {
-                c.population = 0.0;
-                c.think_time_s = 0.0;
-                continue;
-            }
-            think[j] = think0[j] * (1.0 - stall[j] + stall[j] * slow) * slowdown * stragglers[j];
-            if io_mb[j] > 0.0 && static_cap[j] > 0.0 {
-                c.demands_s[j] = io_mb[j] * spill / (theta * static_cap[j]).max(1e-9);
-            }
-            if nic_mb[j] > 0.0 && nic_bw_mbps.is_finite() {
-                c.demands_s[n] = nic_mb[j] / nic_bw_mbps;
-            }
-            c.population = eff_slots[j];
-            c.think_time_s = think[j];
+    *think = [0.0_f64; MAX_COLOCATED];
+    for j in 0..n {
+        let c = &mut classes[j];
+        c.demands_s.clear();
+        c.demands_s.resize(stations, 0.0);
+        if !prep.fluid[j] {
+            c.population = 0.0;
+            c.think_time_s = 0.0;
+            continue;
         }
-
-        scratch.amva.solve(&scratch.classes[..n], stations)?;
-        x[..n].copy_from_slice(scratch.amva.throughput());
-        for (j, q) in q_io[..n].iter_mut().enumerate() {
-            *q = scratch.amva.queue(j, j);
+        think[j] = prep.think0[j]
+            * (1.0 - prep.stall[j] + prep.stall[j] * slow)
+            * prep.slowdown
+            * prep.stragglers[j];
+        if prep.io_mb[j] > 0.0 && prep.static_cap[j] > 0.0 {
+            c.demands_s[j] = prep.io_mb[j] * prep.spill / (theta * prep.static_cap[j]).max(1e-9);
         }
-        nic_util = scratch.amva.station_util()[n];
-
-        // Memory-bandwidth coupling.
-        let bw_demand: f64 = (0..n)
-            .map(|j| (x[j] * think[j]).min(eff_slots[j]) * bw_core[j])
-            .sum();
-        let slow_target = (bw_demand / spec.mem_bw_mbps()).max(1.0);
-        let slow_next = slow + 0.5 * (slow_target - slow);
-
-        // Physical-disk coupling.
-        let streams: f64 = q_io[..n].iter().sum::<f64>().max(1.0);
-        let cap_phys = spec.disk.aggregate_bw(streams) / slowdown;
-        let total_io: f64 = (0..n).map(|j| x[j] * io_mb[j] * spill).sum();
-        let theta_target = if total_io > cap_phys {
-            (theta * cap_phys / total_io).clamp(0.01, 1.0)
-        } else {
-            // Relax back toward no throttling.
-            (theta * 1.15).min(1.0)
-        };
-        let theta_next = theta + 0.5 * (theta_target - theta);
-
-        let resid = (slow_next - slow).abs() / slow + (theta_next - theta).abs();
-        slow = slow_next;
-        theta = theta_next;
-        if resid < 1e-5 {
-            break;
+        if prep.nic_mb[j] > 0.0 && nic_bw_mbps.is_finite() {
+            c.demands_s[n] = prep.nic_mb[j] / nic_bw_mbps;
         }
+        c.population = prep.eff_slots[j];
+        c.think_time_s = think[j];
     }
+}
+
+/// One θ/slow coupling step from the AMVA readback — the outer-loop body
+/// suffix of the original `solve_into`, arithmetic verbatim. Returns
+/// `(slow_next, theta_next, resid)`.
+fn couple(
+    prep: &SolvePrep,
+    spec: &NodeSpec,
+    x: &[f64; MAX_COLOCATED],
+    q_io: &[f64; MAX_COLOCATED],
+    think: &[f64; MAX_COLOCATED],
+    slow: f64,
+    theta: f64,
+) -> (f64, f64, f64) {
+    let n = prep.n;
+
+    // Memory-bandwidth coupling.
+    let bw_demand: f64 = (0..n)
+        .map(|j| (x[j] * think[j]).min(prep.eff_slots[j]) * prep.bw_core[j])
+        .sum();
+    let slow_target = (bw_demand / spec.mem_bw_mbps()).max(1.0);
+    let slow_next = slow + 0.5 * (slow_target - slow);
+
+    // Physical-disk coupling.
+    let streams: f64 = q_io[..n].iter().sum::<f64>().max(1.0);
+    let cap_phys = spec.disk.aggregate_bw(streams) / prep.slowdown;
+    let total_io: f64 = (0..n).map(|j| x[j] * prep.io_mb[j] * prep.spill).sum();
+    let theta_target = if total_io > cap_phys {
+        (theta * cap_phys / total_io).clamp(0.01, 1.0)
+    } else {
+        // Relax back toward no throttling.
+        (theta * 1.15).min(1.0)
+    };
+    let theta_next = theta + 0.5 * (theta_target - theta);
+
+    let resid = (slow_next - slow).abs() / slow + (theta_next - theta).abs();
+    (slow_next, theta_next, resid)
+}
+
+/// Derive the final consistent quantities of a converged solve into `out` —
+/// the post-loop tail of the original `solve_into`, arithmetic verbatim.
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    prep: &SolvePrep,
+    spec: &NodeSpec,
+    power: &PowerModel,
+    nic_power_w: f64,
+    active: &[ActiveJob],
+    x: &[f64; MAX_COLOCATED],
+    q_io: &[f64; MAX_COLOCATED],
+    nic_util: f64,
+    slow: f64,
+    out: &mut RateSolution,
+) {
+    let n = prep.n;
+    let slowdown = prep.slowdown;
+    let spill = prep.spill;
+    let stragglers = &prep.stragglers;
+    let eff_slots = &prep.eff_slots;
+    let footprint_mb = prep.footprint_mb;
 
     // --- Final consistent quantities. ---
     for (j, job) in active.iter().enumerate() {
@@ -930,6 +1059,263 @@ fn solve_into(
     out.disk_util = disk_util;
     out.mem_util = mem_util;
     out.nic_util = nic_util;
+}
+
+/// Hard cap on simulators per batched window ([`run_batch_to_completion`]).
+///
+/// Eight lanes is the end-to-end sweet spot: the raw kernel keeps creeping
+/// up to 16 lanes (DESIGN.md §11), but wider windows lose more to
+/// event-loop lockstep and cache footprint than the kernel gains, and
+/// eight keeps the per-round bookkeeping in small fixed stack arrays.
+pub const MAX_BATCH_LANES: usize = 8;
+
+/// Per-lane working state of a batched solve window, reused across rounds.
+struct LaneScratch {
+    prep: SolvePrep,
+    classes: Vec<ClassDemand>,
+    think: [f64; MAX_COLOCATED],
+    x: [f64; MAX_COLOCATED],
+    q_io: [f64; MAX_COLOCATED],
+    nic_util: f64,
+    theta: f64,
+    slow: f64,
+    done: bool,
+}
+
+impl LaneScratch {
+    fn new() -> LaneScratch {
+        LaneScratch {
+            prep: SolvePrep::empty(),
+            classes: Vec::new(),
+            think: [0.0; MAX_COLOCATED],
+            x: [0.0; MAX_COLOCATED],
+            q_io: [0.0; MAX_COLOCATED],
+            nic_util: 0.0,
+            theta: 1.0,
+            slow: 1.0,
+            done: false,
+        }
+    }
+}
+
+/// Reusable scratch for a batched run window ([`run_batch_to_completion`]):
+/// one lane-interleaved [`AmvaBatch`] plus per-lane outer fixed-point state.
+///
+/// Acquire once (e.g. from a pool) and reuse: lane buffers grow on first
+/// use, so a warm scratch allocates nothing per solve. Every solve fully
+/// re-initialises the lanes it uses — no state leaks between windows.
+pub struct BatchScratch {
+    amva: AmvaBatch,
+    lanes: Vec<LaneScratch>,
+}
+
+impl BatchScratch {
+    /// Empty scratch; lane buffers are created on first use.
+    pub fn new() -> BatchScratch {
+        BatchScratch {
+            amva: AmvaBatch::new(),
+            lanes: Vec::new(),
+        }
+    }
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        BatchScratch::new()
+    }
+}
+
+/// Solve the contention model for several independent simulators at once,
+/// advancing their AMVA fixed points in lockstep ([`AmvaBatch`]).
+///
+/// Each lane runs the exact scalar [`solve_into`] sequence — same
+/// [`prepare`], same per-round [`build_classes`], same θ/slow [`couple`]
+/// step and residual test — with only the *interleaving* changed, so each
+/// simulator's rate solution is bit-identical to what its own
+/// `ensure_solution` would have produced. `lane_ids` indexes into `sims`;
+/// each selected simulator gets its back buffer refreshed and flipped.
+fn solve_batch(
+    sims: &mut [NodeSim],
+    lane_ids: &[usize],
+    scratch: &mut BatchScratch,
+) -> Result<(), SimError> {
+    let k = lane_ids.len();
+    if k > MAX_BATCH_LANES {
+        return Err(SimError::Internal(
+            "batched window wider than MAX_BATCH_LANES",
+        ));
+    }
+    while scratch.lanes.len() < k {
+        scratch.lanes.push(LaneScratch::new());
+    }
+    let BatchScratch { amva, lanes } = scratch;
+    for (ls, &i) in lanes.iter_mut().zip(lane_ids) {
+        let sim = &sims[i];
+        prepare(&sim.spec, &sim.fw, sim.slowdown, &sim.active, &mut ls.prep);
+        ls.theta = 1.0;
+        ls.slow = 1.0;
+        ls.x = [0.0; MAX_COLOCATED];
+        ls.q_io = [0.0; MAX_COLOCATED];
+        ls.nic_util = 0.0;
+        ls.done = false;
+    }
+
+    // Outer fixed point, lockstep: every round rebuilds the live lanes'
+    // classes at their own (θ, slow), advances all their AMVA solves
+    // lane-interleaved, then applies each lane's coupling step. A lane
+    // whose residual drops below the scalar threshold is masked out.
+    for _outer in 0..200 {
+        let mut live = 0usize;
+        for (slot, ls) in lanes.iter_mut().take(k).enumerate() {
+            if ls.done {
+                continue;
+            }
+            build_classes(
+                &ls.prep,
+                sims[lane_ids[slot]].nic_bw_mbps,
+                ls.theta,
+                ls.slow,
+                &mut ls.classes,
+                &mut ls.think,
+            );
+            live += 1;
+        }
+        if live == 0 {
+            break;
+        }
+
+        let empty: &[ClassDemand] = &[];
+        let mut probs: [(&[ClassDemand], usize); MAX_BATCH_LANES] = [(empty, 0); MAX_BATCH_LANES];
+        let mut slot_of: [usize; MAX_BATCH_LANES] = [0; MAX_BATCH_LANES];
+        let mut b = 0usize;
+        for (slot, ls) in lanes.iter().take(k).enumerate() {
+            if ls.done {
+                continue;
+            }
+            let n = ls.prep.n;
+            probs[b] = (&ls.classes[..n], n + 1);
+            slot_of[b] = slot;
+            b += 1;
+        }
+        amva.solve(&probs[..b])?;
+
+        for (bi, &slot) in slot_of[..b].iter().enumerate() {
+            let lane = amva.lane(bi);
+            let ls = &mut lanes[slot];
+            let n = ls.prep.n;
+            ls.x[..n].copy_from_slice(lane.throughput());
+            for (j, q) in ls.q_io[..n].iter_mut().enumerate() {
+                *q = lane.queue(j, j);
+            }
+            ls.nic_util = lane.station_util()[n];
+
+            let (slow_next, theta_next, resid) = couple(
+                &ls.prep,
+                &sims[lane_ids[slot]].spec,
+                &ls.x,
+                &ls.q_io,
+                &ls.think,
+                ls.slow,
+                ls.theta,
+            );
+            ls.slow = slow_next;
+            ls.theta = theta_next;
+            if resid < 1e-5 {
+                ls.done = true;
+            }
+        }
+    }
+
+    for (ls, &i) in lanes.iter().zip(lane_ids) {
+        let sim = &mut sims[i];
+        let back = 1 - sim.front;
+        let NodeSim {
+            spec,
+            power,
+            nic_power_w,
+            active,
+            bufs,
+            ..
+        } = sim;
+        finalize(
+            &ls.prep,
+            spec,
+            power,
+            *nic_power_w,
+            active,
+            &ls.x,
+            &ls.q_io,
+            ls.nic_util,
+            ls.slow,
+            &mut bufs[back],
+        );
+        sim.front = back;
+        sim.sol_valid = true;
+    }
+    Ok(())
+}
+
+/// Run every simulator in `sims` to completion, solving their rate models
+/// in lockstep batches ([`AmvaBatch`]) instead of one at a time.
+///
+/// Equivalent to calling [`NodeSim::run_to_completion`] on each simulator
+/// in sequence — same per-simulator event order and budgets, bit-identical
+/// outcomes (each lane's rate solutions match its own scalar solves) — but
+/// the independent AMVA fixed points of simulators that need a re-solve in
+/// the same round advance together, overlapping their dependent divide
+/// chains for instruction-level parallelism.
+///
+/// Fails fast on the first lane error, matching a scalar sweep abandoning
+/// the failing window. At most [`MAX_BATCH_LANES`] simulators per call.
+pub fn run_batch_to_completion(
+    sims: &mut [NodeSim],
+    scratch: &mut BatchScratch,
+) -> Result<(), SimError> {
+    if sims.len() > MAX_BATCH_LANES {
+        return Err(SimError::Internal(
+            "batched window wider than MAX_BATCH_LANES",
+        ));
+    }
+    let mut budget = [0u64; MAX_BATCH_LANES];
+    let mut events = [0u64; MAX_BATCH_LANES];
+    for (b, sim) in budget.iter_mut().zip(sims.iter()) {
+        *b = (64 + 16 * sim.active.iter().map(|j| j.stages.len()).sum::<usize>()) as u64;
+    }
+    loop {
+        // Lanes whose job mix changed since the last solve get re-solved
+        // together, lane-interleaved.
+        let mut need = [0usize; MAX_BATCH_LANES];
+        let mut k = 0usize;
+        for (i, sim) in sims.iter().enumerate() {
+            if !sim.active.is_empty() && !sim.sol_valid {
+                need[k] = i;
+                k += 1;
+            }
+        }
+        if k > 0 {
+            solve_batch(sims, &need[..k], scratch)?;
+        }
+        // One event step per still-active lane; the solutions were just
+        // refreshed, so `step` never falls back to a scalar solve.
+        let mut any = false;
+        for (i, sim) in sims.iter_mut().enumerate() {
+            if sim.active.is_empty() {
+                continue;
+            }
+            any = true;
+            sim.step()?;
+            events[i] += 1;
+            if events[i] >= budget[i] {
+                return Err(SimError::EventLoopRunaway {
+                    events: events[i],
+                    budget: budget[i],
+                });
+            }
+        }
+        if !any {
+            break;
+        }
+    }
     Ok(())
 }
 

@@ -10,8 +10,10 @@ use ecost_apps::catalog::ALL_APPS;
 use ecost_apps::{App, InputSize};
 use ecost_mapreduce::executor::NodeSim;
 use ecost_mapreduce::reference::ReferenceNodeSim;
-use ecost_mapreduce::{BlockSize, FrameworkSpec, JobSpec, TuningConfig};
-use ecost_sim::{Frequency, NodeSpec};
+use ecost_mapreduce::{
+    run_batch_to_completion, BatchScratch, BlockSize, FrameworkSpec, JobSpec, TuningConfig,
+};
+use ecost_sim::{AmvaBatch, AmvaScratch, ClassDemand, Frequency, NodeSpec};
 use proptest::prelude::*;
 
 fn arb_app() -> impl Strategy<Value = App> {
@@ -108,9 +110,9 @@ fn outcome_bits(o: &ecost_mapreduce::JobOutcome) -> OutcomeBits {
     }
 }
 
-/// Drive the *optimized* executor through `plan`. `sim` may be a reused,
-/// reset pool simulator — the whole point is that this must not matter.
-fn run_new(sim: &mut NodeSim, plan: &Plan) -> Result<Fingerprint, ecost_sim::SimError> {
+/// Apply `plan`'s submissions, warm steps and mid-run faults without
+/// finishing the run — shared by the scalar and batched drivers.
+fn setup_new(sim: &mut NodeSim, plan: &Plan) -> Result<(), ecost_sim::SimError> {
     sim.set_slowdown(plan.slowdown)?;
     let mut handles = Vec::new();
     for (app, size, cfg) in &plan.jobs {
@@ -129,12 +131,23 @@ fn run_new(sim: &mut NodeSim, plan: &Plan) -> Result<Fingerprint, ecost_sim::Sim
             let _ = sim.speculate(h, extra);
         }
     }
-    sim.run_to_completion()?;
-    Ok(Fingerprint {
+    Ok(())
+}
+
+fn fingerprint_of(sim: &mut NodeSim) -> Fingerprint {
+    Fingerprint {
         now: sim.now().to_bits(),
         energy: sim.energy_j().to_bits(),
         outcomes: sim.take_finished().iter().map(outcome_bits).collect(),
-    })
+    }
+}
+
+/// Drive the *optimized* executor through `plan`. `sim` may be a reused,
+/// reset pool simulator — the whole point is that this must not matter.
+fn run_new(sim: &mut NodeSim, plan: &Plan) -> Result<Fingerprint, ecost_sim::SimError> {
+    setup_new(sim, plan)?;
+    sim.run_to_completion()?;
+    Ok(fingerprint_of(sim))
 }
 
 /// Drive the frozen reference through the same `plan`.
@@ -206,6 +219,164 @@ proptest! {
             }
             (r, n, p) => {
                 panic!("divergent fallibility: reference={r:?} fresh={n:?} pooled={p:?}");
+            }
+        }
+    }
+}
+
+/// A random (but always valid) multiclass AMVA problem: 1–3 classes over
+/// 1–4 stations. Each class's first demand is forced positive so every
+/// generated problem passes validation regardless of population.
+fn arb_amva_problem() -> impl Strategy<Value = (Vec<ClassDemand>, usize)> {
+    (
+        1usize..=4,
+        1usize..=3,
+        prop::collection::vec(
+            (
+                0.0f64..8.0,
+                0.0f64..5.0,
+                prop::collection::vec(0.0f64..2.0, 4),
+                0.05f64..2.0,
+            ),
+            3,
+        ),
+    )
+        .prop_map(|(stations, nc, raw)| {
+            let classes = raw
+                .into_iter()
+                .take(nc)
+                .map(|(population, think_time_s, mut demands_s, d0)| {
+                    demands_s.truncate(stations);
+                    demands_s[0] = d0;
+                    ClassDemand {
+                        population,
+                        think_time_s,
+                        demands_s,
+                    }
+                })
+                .collect();
+            (classes, stations)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random point sets through `AmvaBatch` at every lane width 1..=8:
+    /// throughputs, queues, per-station figures and iteration counts are
+    /// bit-equal to a scalar `AmvaScratch::solve` of each point alone.
+    #[test]
+    fn amva_batch_matches_scalar_at_every_lane_width(
+        problems in prop::collection::vec(arb_amva_problem(), 1..=8)
+    ) {
+        for width in 1..=8usize {
+            let mut batch = AmvaBatch::new();
+            for window in problems.chunks(width) {
+                let probs: Vec<(&[ClassDemand], usize)> = window
+                    .iter()
+                    .map(|(c, s)| (c.as_slice(), *s))
+                    .collect();
+                let batch_res = batch.solve(&probs);
+                for (i, (classes, stations)) in window.iter().enumerate() {
+                    let mut scalar = AmvaScratch::new();
+                    match scalar.solve(classes, *stations) {
+                        Ok(()) => {
+                            let lane = batch.lane(i);
+                            prop_assert_eq!(
+                                lane.iterations(), scalar.iterations(),
+                                "width {}", width
+                            );
+                            for j in 0..classes.len() {
+                                prop_assert_eq!(
+                                    lane.throughput()[j].to_bits(),
+                                    scalar.throughput()[j].to_bits()
+                                );
+                                for s in 0..*stations {
+                                    prop_assert_eq!(
+                                        lane.queue(j, s).to_bits(),
+                                        scalar.queue(j, s).to_bits()
+                                    );
+                                }
+                            }
+                            for s in 0..*stations {
+                                prop_assert_eq!(
+                                    lane.station_util()[s].to_bits(),
+                                    scalar.station_util()[s].to_bits()
+                                );
+                                prop_assert_eq!(
+                                    lane.station_queue()[s].to_bits(),
+                                    scalar.station_queue()[s].to_bits()
+                                );
+                            }
+                        }
+                        Err(_) => {
+                            // A failing point must fail the whole window
+                            // (fail-fast), exactly as the scalar sweep would.
+                            prop_assert!(batch_res.is_err());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Random windows of co-located plans: `run_batch_to_completion` agrees
+    /// bit-for-bit with running each simulator's scalar event loop alone —
+    /// the contract the batched sweep drivers in EvalEngine rely on.
+    #[test]
+    fn batched_runner_matches_scalar_runner(
+        plans in prop::collection::vec(arb_plan(), 1..=8)
+    ) {
+        let scalar: Vec<Result<Fingerprint, ecost_sim::SimError>> = plans
+            .iter()
+            .map(|plan| {
+                let mut sim = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+                run_new(&mut sim, plan)
+            })
+            .collect();
+
+        let mut sims = Vec::new();
+        let mut setup_failed = false;
+        for plan in &plans {
+            let mut sim = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+            match setup_new(&mut sim, plan) {
+                Ok(()) => sims.push(sim),
+                Err(e) => {
+                    // Setup failed before any batching: the scalar arm must
+                    // have failed identically; nothing batched to compare.
+                    match &scalar[sims.len()] {
+                        Err(se) => prop_assert_eq!(se, &e),
+                        Ok(_) => prop_assert!(
+                            false,
+                            "scalar setup succeeded, batched failed: {:?}", e
+                        ),
+                    }
+                    setup_failed = true;
+                }
+            }
+            if setup_failed {
+                break;
+            }
+        }
+
+        if !setup_failed {
+            let mut scratch = BatchScratch::new();
+            match run_batch_to_completion(&mut sims, &mut scratch) {
+                Ok(()) => {
+                    for (sim, want) in sims.iter_mut().zip(&scalar) {
+                        match want {
+                            Ok(fp) => prop_assert_eq!(fp, &fingerprint_of(sim)),
+                            Err(e) => prop_assert!(
+                                false,
+                                "scalar failed ({:?}) but batched run succeeded", e
+                            ),
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Fail-fast: some lane failed, so some scalar run failed.
+                    prop_assert!(scalar.iter().any(|r| r.is_err()));
+                }
             }
         }
     }

@@ -1,0 +1,105 @@
+//! The batched event loop inherits the zero-allocation contract of
+//! `zero_alloc.rs`: all batch working state lives in [`BatchScratch`]
+//! (lane buffers grown at first use — the "one batch allocation at
+//! pool-acquire time") and fixed stack arrays, so a *warm* batched run —
+//! `run_batch_to_completion` over reset-and-resubmitted simulators —
+//! performs zero heap allocations. Same counting `#[global_allocator]`
+//! technique, and deliberately the only test in this binary so no sibling
+//! test allocates concurrently.
+//!
+//! Submission is *allowed* to allocate (job stages, timeline reservation):
+//! the contract covers the event loop, not setup.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ecost_apps::{App, InputSize};
+use ecost_mapreduce::executor::NodeSim;
+use ecost_mapreduce::{
+    run_batch_to_completion, BatchScratch, FrameworkSpec, JobSpec, TuningConfig,
+};
+use ecost_sim::NodeSpec;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves or grows is an allocation for our purposes.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Distinct job mixes per lane so the batch exercises unequal lane shapes
+/// (different class counts, different event counts, lanes retiring early).
+fn submit_mixes(sims: &mut [NodeSim]) {
+    let mixes: [&[App]; 4] = [
+        &[App::Wc, App::St],
+        &[App::Wc],
+        &[App::St, App::St],
+        &[App::Wc, App::Wc],
+    ];
+    for (sim, apps) in sims.iter_mut().zip(mixes) {
+        for &app in apps {
+            sim.submit(JobSpec::new(
+                app,
+                InputSize::Small,
+                TuningConfig::hadoop_default(4),
+            ))
+            .expect("submit");
+        }
+    }
+}
+
+#[test]
+fn batched_event_loop_is_allocation_free_after_warmup() {
+    let mut sims: Vec<NodeSim> = (0..4)
+        .map(|_| NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default()))
+        .collect();
+    let mut scratch = BatchScratch::new();
+
+    // Warm-up: a full batched run grows every lane's buffers (AMVA lanes,
+    // class vectors, finished capacity) to this mix's high-water mark.
+    submit_mixes(&mut sims);
+    run_batch_to_completion(&mut sims, &mut scratch).expect("warm-up run");
+
+    // Pool-style reuse: reset and resubmit (setup may allocate)…
+    for sim in &mut sims {
+        sim.reset();
+    }
+    submit_mixes(&mut sims);
+
+    // …then the warm batched event loop must not allocate at all.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    run_batch_to_completion(&mut sims, &mut scratch).expect("batched event loop");
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "batched event loop allocated {} times after warm-up",
+        after - before
+    );
+
+    // The loop really ran: every lane retired its jobs with sane outputs.
+    for (sim, want) in sims.iter().zip([2usize, 1, 2, 2]) {
+        assert_eq!(sim.finished().len(), want);
+        assert!(sim.now() > 0.0);
+        assert!(sim.energy_j() > 0.0);
+    }
+}

@@ -150,7 +150,27 @@ impl AmvaScratch {
     /// Solve the network in place. Identical semantics (and bit-identical
     /// results) to [`solve`]; the converged state is read back through the
     /// accessors below.
+    ///
+    /// The fixed point is decomposed into [`Self::begin`] (validate + seed),
+    /// [`Self::iterate`] (one Bard–Schweitzer step) and [`Self::finish`]
+    /// (derived per-station figures) so [`AmvaBatch`] can drive the *exact*
+    /// same arithmetic lockstep across independent lanes.
     pub fn solve(&mut self, classes: &[ClassDemand], stations: usize) -> Result<(), SimError> {
+        self.begin(classes, stations)?;
+        let mut residual = f64::INFINITY;
+        for _ in 0..MAX_ITER {
+            residual = self.iterate(classes);
+            if residual < TOL {
+                break;
+            }
+        }
+        self.convergence_err(residual)?;
+        self.finish(classes);
+        Ok(())
+    }
+
+    /// Validate the problem, size the buffers and seed the fixed point.
+    fn begin(&mut self, classes: &[ClassDemand], stations: usize) -> Result<(), SimError> {
         for c in classes {
             c.validate(stations)?;
         }
@@ -165,7 +185,7 @@ impl AmvaScratch {
         self.r.resize(stations, 0.0);
         self.qtot.clear();
         self.qtot.resize(stations, 0.0);
-        let AmvaScratch { q, x, r, qtot, .. } = self;
+        self.iterations = 0;
 
         // Seed: spread each population across stations + think.
         for (j, c) in classes.iter().enumerate() {
@@ -173,81 +193,92 @@ impl AmvaScratch {
                 continue;
             }
             let share = c.population / (stations as f64 + 1.0);
-            for (qv, d) in q[j * stations..(j + 1) * stations]
+            for (qv, d) in self.q[j * stations..(j + 1) * stations]
                 .iter_mut()
                 .zip(&c.demands_s)
             {
                 *qv = if *d > 0.0 { share } else { 0.0 };
             }
         }
+        Ok(())
+    }
 
-        let mut iterations = 0;
-        let mut residual = f64::INFINITY;
-        // Hot loop: row slices are hoisted out of the station loops so the
-        // indexing below is bounds-checked once per class, not once per
-        // access. Every floating-point operation and its order is unchanged
-        // (the executor's bit-identity property tests pin this).
-        for it in 0..MAX_ITER {
-            iterations = it + 1;
-            // Total queue per station.
-            for v in qtot.iter_mut() {
-                *v = 0.0;
-            }
-            for row in q.chunks_exact(stations.max(1)) {
-                for (qt, v) in qtot.iter_mut().zip(row) {
-                    *qt += v;
-                }
-            }
-            residual = 0.0;
-            for (j, c) in classes.iter().enumerate() {
-                if c.population <= 0.0 {
-                    x[j] = 0.0;
-                    continue;
-                }
-                let n = c.population;
-                let qrow = &mut q[j * stations..(j + 1) * stations];
-                let demands = &c.demands_s[..stations];
-                let mut r_total = 0.0;
-                for v in r.iter_mut() {
-                    *v = 0.0;
-                }
-                for s in 0..stations {
-                    let d = demands[s];
-                    if d <= 0.0 {
-                        continue;
-                    }
-                    // Bard–Schweitzer: a class-j arrival sees the other
-                    // classes' full queues plus (N_j-1)/N_j of its own.
-                    let others = qtot[s] - qrow[s];
-                    let own = if n > 1.0 {
-                        qrow[s] * (n - 1.0) / n
-                    } else {
-                        0.0
-                    };
-                    r[s] = d * (1.0 + others + own);
-                    r_total += r[s];
-                }
-                let xj = n / (c.think_time_s + r_total);
-                x[j] = xj;
-                for s in 0..stations {
-                    let new_q = xj * r[s];
-                    let delta = new_q - qrow[s];
-                    residual = residual.max(delta.abs());
-                    qrow[s] += DAMPING * delta;
-                }
-            }
-            if residual < TOL {
-                break;
+    /// One Bard–Schweitzer iteration; returns the residual (max queue
+    /// delta). Hot loop: row slices are hoisted out of the station loops so
+    /// the indexing below is bounds-checked once per class, not once per
+    /// access. Every floating-point operation and its order is unchanged
+    /// from the pre-split implementation (the executor's bit-identity
+    /// property tests pin this).
+    #[inline]
+    fn iterate(&mut self, classes: &[ClassDemand]) -> f64 {
+        self.iterations += 1;
+        let stations = self.stations;
+        let AmvaScratch { q, x, r, qtot, .. } = self;
+        // Total queue per station.
+        for v in qtot.iter_mut() {
+            *v = 0.0;
+        }
+        for row in q.chunks_exact(stations.max(1)) {
+            for (qt, v) in qtot.iter_mut().zip(row) {
+                *qt += v;
             }
         }
-        self.iterations = iterations;
+        let mut residual = 0.0_f64;
+        for (j, c) in classes.iter().enumerate() {
+            if c.population <= 0.0 {
+                x[j] = 0.0;
+                continue;
+            }
+            let n = c.population;
+            let qrow = &mut q[j * stations..(j + 1) * stations];
+            let demands = &c.demands_s[..stations];
+            let mut r_total = 0.0;
+            for v in r.iter_mut() {
+                *v = 0.0;
+            }
+            for s in 0..stations {
+                let d = demands[s];
+                if d <= 0.0 {
+                    continue;
+                }
+                // Bard–Schweitzer: a class-j arrival sees the other
+                // classes' full queues plus (N_j-1)/N_j of its own.
+                let others = qtot[s] - qrow[s];
+                let own = if n > 1.0 {
+                    qrow[s] * (n - 1.0) / n
+                } else {
+                    0.0
+                };
+                r[s] = d * (1.0 + others + own);
+                r_total += r[s];
+            }
+            let xj = n / (c.think_time_s + r_total);
+            x[j] = xj;
+            for s in 0..stations {
+                let new_q = xj * r[s];
+                let delta = new_q - qrow[s];
+                residual = residual.max(delta.abs());
+                qrow[s] += DAMPING * delta;
+            }
+        }
+        residual
+    }
+
+    /// The scalar loop's post-exit convergence test, verbatim.
+    fn convergence_err(&self, residual: f64) -> Result<(), SimError> {
         if residual >= TOL * 10.0 && residual.is_finite() && residual > 1e-3 {
             return Err(SimError::NoConvergence {
-                iterations,
+                iterations: self.iterations,
                 residual,
             });
         }
+        Ok(())
+    }
 
+    /// Derive the per-station utilisation/queue figures from the converged
+    /// fixed point.
+    fn finish(&mut self, classes: &[ClassDemand]) {
+        let stations = self.stations;
         self.station_util.clear();
         self.station_util.resize(stations, 0.0);
         self.station_queue.clear();
@@ -261,7 +292,6 @@ impl AmvaScratch {
         for u in &mut self.station_util {
             *u = u.clamp(0.0, 1.0);
         }
-        Ok(())
     }
 
     /// Per-class cycle throughput `X_j` from the last solve.
@@ -333,6 +363,414 @@ pub fn solve(classes: &[ClassDemand], stations: usize) -> Result<AmvaSolution, S
     let mut scratch = AmvaScratch::new();
     scratch.solve(classes, stations)?;
     Ok(scratch.to_solution())
+}
+
+/// Lane-interleaved batch of *independent* AMVA solves.
+///
+/// `K` unrelated fixed points advance in lockstep: each global round runs
+/// one Bard–Schweitzer iteration in every still-unconverged lane. A lane's
+/// loop-carried dependency — next iteration's queues feed on this one's —
+/// is what caps the scalar solver (DESIGN.md §11: a dependent divide chain),
+/// but *across* lanes the rounds are independent, so interleaving them lets
+/// out-of-order execution overlap the chains.
+///
+/// Each lane runs the exact scalar [`AmvaScratch::solve`] sequence: same
+/// seed, same per-iteration arithmetic order, same damping, same
+/// convergence test and iteration count. Converged (or failed) lanes are
+/// masked out of later rounds and never re-touched. Every lane is therefore
+/// bit-identical to a scalar solve of the same problem.
+///
+/// Lane buffers grow on first use and are reused afterwards; a warm batch
+/// allocates nothing as long as problem sizes do not grow.
+#[derive(Debug, Default)]
+pub struct AmvaBatch {
+    lanes: Vec<AmvaScratch>,
+    done: Vec<bool>,
+    residual: Vec<f64>,
+    errs: Vec<Option<SimError>>,
+    soa: Soa,
+}
+
+/// Structure-of-arrays state for shape-uniform windows: every per-lane
+/// quantity is stored lane-contiguous (`[... logical index ...][lane]`
+/// with a fixed column stride), so the lane loop — the innermost loop of
+/// every round phase — walks unit-stride memory with no per-lane pointer
+/// chasing. That contiguity is what actually buys the interleaving win:
+/// each lane's loop-carried chain (queues → residence → throughput →
+/// queues, through a divide) stalls a scalar solve, and K adjacent
+/// independent lanes give out-of-order execution real work to overlap
+/// into those stalls.
+///
+/// Converged lanes are *compacted out*: the last live column is swapped
+/// into the retiring column's slot (a handful of moves), so live width
+/// shrinks as lanes finish and dead lanes are never re-touched — which
+/// both preserves bit-identity and keeps late rounds from paying for
+/// drained lanes.
+#[derive(Debug, Default)]
+struct Soa {
+    /// Column stride (the window's initial live width).
+    stride: usize,
+    /// Queue lengths, `[class × station][lane]`.
+    q: Vec<f64>,
+    /// Per-class throughput, `[class][lane]`.
+    x: Vec<f64>,
+    /// Station demands, `[class × station][lane]`.
+    dem: Vec<f64>,
+    /// Population, `[class][lane]`.
+    pop: Vec<f64>,
+    /// Precomputed `population - 1.0` (bit-identical hoist), `[class][lane]`.
+    nm1: Vec<f64>,
+    /// Think time, `[class][lane]`.
+    think: Vec<f64>,
+    /// Total queue per station, `[station][lane]` (per-round scratch).
+    qtot: Vec<f64>,
+    /// Residence times, `[station][lane]` (per-class scratch).
+    r: Vec<f64>,
+    /// Residence-time accumulator, `[lane]` (per-class scratch).
+    rtot: Vec<f64>,
+    /// This round's residual, `[lane]`.
+    res: Vec<f64>,
+    /// Iterations taken so far, `[lane]`.
+    iters: Vec<usize>,
+    /// Which batch lane each live column belongs to, `[lane]`.
+    lane_of: Vec<usize>,
+}
+
+impl Soa {
+    /// Load one column per still-live lane (validation already done by
+    /// `begin`, whose scalar queue seed is copied in verbatim). Returns
+    /// the live width.
+    fn pack(
+        &mut self,
+        problems: &[(&[ClassDemand], usize)],
+        lanes: &[AmvaScratch],
+        done: &[bool],
+        nc: usize,
+        stations: usize,
+    ) -> usize {
+        self.lane_of.clear();
+        for (i, d) in done.iter().enumerate() {
+            if !d {
+                self.lane_of.push(i);
+            }
+        }
+        let kw = self.lane_of.len();
+        self.stride = kw;
+        self.q.clear();
+        self.q.resize(nc * stations * kw, 0.0);
+        self.dem.clear();
+        self.dem.resize(nc * stations * kw, 0.0);
+        self.x.clear();
+        self.x.resize(nc * kw, 0.0);
+        self.pop.clear();
+        self.pop.resize(nc * kw, 0.0);
+        self.nm1.clear();
+        self.nm1.resize(nc * kw, 0.0);
+        self.think.clear();
+        self.think.resize(nc * kw, 0.0);
+        self.qtot.clear();
+        self.qtot.resize(stations * kw, 0.0);
+        self.r.clear();
+        self.r.resize(stations * kw, 0.0);
+        self.rtot.clear();
+        self.rtot.resize(kw, 0.0);
+        self.res.clear();
+        self.res.resize(kw, 0.0);
+        self.iters.clear();
+        self.iters.resize(kw, 0);
+        for (col, &lane) in self.lane_of.iter().enumerate() {
+            let classes = problems[lane].0;
+            for (j, c) in classes.iter().enumerate() {
+                let cb = j * kw;
+                self.pop[cb + col] = c.population;
+                self.nm1[cb + col] = c.population - 1.0;
+                self.think[cb + col] = c.think_time_s;
+                for s in 0..stations {
+                    let idx = (j * stations + s) * kw;
+                    self.dem[idx + col] = c.demands_s[s];
+                    self.q[idx + col] = lanes[lane].q[j * stations + s];
+                }
+            }
+        }
+        kw
+    }
+
+    /// One lockstep Bard–Schweitzer round over the first `kw` columns.
+    /// Each column executes exactly the floating-point sequence of
+    /// [`AmvaScratch::iterate`] — same class order, same station order,
+    /// same accumulation order, `(q·(n-1))/n` association included — so
+    /// results stay bit-identical to scalar solves; only the interleaving
+    /// across lanes differs.
+    fn round(&mut self, kw: usize, nc: usize, stations: usize) {
+        let ks = self.stride;
+        let Soa {
+            q,
+            x,
+            dem,
+            pop,
+            nm1,
+            think,
+            qtot,
+            r,
+            rtot,
+            res,
+            iters,
+            ..
+        } = self;
+        for it in iters[..kw].iter_mut() {
+            *it += 1;
+        }
+        for v in res[..kw].iter_mut() {
+            *v = 0.0;
+        }
+        // Total queue per station, accumulated in class order. The first
+        // class assigns instead of zero-then-add: queues are never -0.0
+        // (seeded non-negative; round-to-nearest sums only produce +0.0),
+        // so `q` and `0.0 + q` are the same bits.
+        for j in 0..nc {
+            for s in 0..stations {
+                let base = (j * stations + s) * ks;
+                let qrow = &q[base..base + kw];
+                let qt = &mut qtot[s * ks..s * ks + kw];
+                if j == 0 {
+                    qt[..kw].copy_from_slice(qrow);
+                } else {
+                    for l in 0..kw {
+                        qt[l] += qrow[l];
+                    }
+                }
+            }
+        }
+        for j in 0..nc {
+            let cb = j * ks;
+            // Class-row slices hoisted once: the station loops below then
+            // index only length-`kw` slices, so bounds checks vanish.
+            let prow = &pop[cb..cb + kw];
+            let nrow = &nm1[cb..cb + kw];
+            let trow = &think[cb..cb + kw];
+            let xrow = &mut x[cb..cb + kw];
+            // Class prologue: zero-population lanes emit x = 0 and sit
+            // the class out (their scratch writes below are never read).
+            for l in 0..kw {
+                if prow[l] <= 0.0 {
+                    xrow[l] = 0.0;
+                } else {
+                    rtot[l] = 0.0;
+                }
+            }
+            // Residence times, lanes innermost. Zero-demand stations get
+            // `r = 0.0` written in-pass — the value the scalar kernel's
+            // up-front zeroing leaves there.
+            for s in 0..stations {
+                let base = (j * stations + s) * ks;
+                let qrow = &q[base..base + kw];
+                let drow = &dem[base..base + kw];
+                let qt = &qtot[s * ks..s * ks + kw];
+                let rrow = &mut r[s * ks..s * ks + kw];
+                for l in 0..kw {
+                    let n = prow[l];
+                    if n <= 0.0 {
+                        continue;
+                    }
+                    let d = drow[l];
+                    if d <= 0.0 {
+                        rrow[l] = 0.0;
+                        continue;
+                    }
+                    let qjs = qrow[l];
+                    let others = qt[l] - qjs;
+                    let own = if n > 1.0 { qjs * nrow[l] / n } else { 0.0 };
+                    let rv = d * (1.0 + others + own);
+                    rrow[l] = rv;
+                    rtot[l] += rv;
+                }
+            }
+            // Little's law on the full cycle: one divide per lane.
+            for l in 0..kw {
+                let n = prow[l];
+                if n > 0.0 {
+                    xrow[l] = n / (trow[l] + rtot[l]);
+                }
+            }
+            // Damped queue update + residual, lanes innermost again.
+            for s in 0..stations {
+                let base = (j * stations + s) * ks;
+                let qrow = &mut q[base..base + kw];
+                let rrow = &r[s * ks..s * ks + kw];
+                for l in 0..kw {
+                    if prow[l] <= 0.0 {
+                        continue;
+                    }
+                    let new_q = xrow[l] * rrow[l];
+                    let delta = new_q - qrow[l];
+                    res[l] = res[l].max(delta.abs());
+                    qrow[l] += DAMPING * delta;
+                }
+            }
+        }
+    }
+
+    /// Retire column `col`: copy its converged state out to its lane's
+    /// scalar scratch, then compact by moving the last live column
+    /// (`kw - 1`) into its slot. The caller shrinks the live width.
+    fn retire(
+        &mut self,
+        col: usize,
+        kw: usize,
+        nc: usize,
+        stations: usize,
+        lanes: &mut [AmvaScratch],
+        residual: &mut [f64],
+    ) {
+        let ks = self.stride;
+        let lane = self.lane_of[col];
+        let sc = &mut lanes[lane];
+        for j in 0..nc {
+            for s in 0..stations {
+                sc.q[j * stations + s] = self.q[(j * stations + s) * ks + col];
+            }
+            sc.x[j] = self.x[j * ks + col];
+        }
+        sc.iterations = self.iters[col];
+        residual[lane] = self.res[col];
+        let last = kw - 1;
+        if col != last {
+            for j in 0..nc {
+                for s in 0..stations {
+                    let idx = (j * stations + s) * ks;
+                    self.q[idx + col] = self.q[idx + last];
+                    self.dem[idx + col] = self.dem[idx + last];
+                }
+                let cb = j * ks;
+                self.x[cb + col] = self.x[cb + last];
+                self.pop[cb + col] = self.pop[cb + last];
+                self.nm1[cb + col] = self.nm1[cb + last];
+                self.think[cb + col] = self.think[cb + last];
+            }
+            self.res[col] = self.res[last];
+            self.iters[col] = self.iters[last];
+            self.lane_of[col] = self.lane_of[last];
+        }
+    }
+}
+
+impl AmvaBatch {
+    /// Empty batch; lanes are created on first [`AmvaBatch::solve`].
+    pub fn new() -> AmvaBatch {
+        AmvaBatch::default()
+    }
+
+    /// Solve `problems[i] = (classes, stations)` in lockstep, one lane per
+    /// problem. Every lane runs to its own natural end — convergence, the
+    /// iteration budget, or a validation failure — and afterwards lane `i`
+    /// is readable through [`AmvaBatch::lane`] exactly as if
+    /// [`AmvaScratch::solve`] had run that problem alone.
+    ///
+    /// If any lane fails, the error of the lowest-indexed failing lane is
+    /// returned (deterministic, independent of convergence order); callers
+    /// abandon the whole window, matching the scalar sweep's fail-fast
+    /// semantics. The remaining lanes still hold valid scalar-identical
+    /// state.
+    pub fn solve(&mut self, problems: &[(&[ClassDemand], usize)]) -> Result<(), SimError> {
+        let k = problems.len();
+        while self.lanes.len() < k {
+            self.lanes.push(AmvaScratch::new());
+        }
+        self.done.clear();
+        self.done.resize(k, false);
+        self.residual.clear();
+        self.residual.resize(k, f64::INFINITY);
+        self.errs.clear();
+        self.errs.resize(k, None);
+
+        for (i, &(classes, stations)) in problems.iter().enumerate() {
+            if let Err(e) = self.lanes[i].begin(classes, stations) {
+                self.done[i] = true;
+                self.errs[i] = Some(e);
+            }
+        }
+
+        // Shape-uniform windows (every lane the same class × station
+        // counts — the sweep drivers' case, where lanes differ only in
+        // demands) run the lane-interleaved SoA kernel; mixed windows fall
+        // back to whole-lane rotation. Both advance every live lane by
+        // exactly one scalar-identical iteration per round.
+        let uniform = k >= 2
+            && problems
+                .windows(2)
+                .all(|w| w[0].0.len() == w[1].0.len() && w[0].1 == w[1].1);
+        if uniform {
+            let nc = problems[0].0.len();
+            let stations = problems[0].1;
+            let mut kw = self
+                .soa
+                .pack(problems, &self.lanes, &self.done, nc, stations);
+            for _round in 0..MAX_ITER {
+                if kw == 0 {
+                    break;
+                }
+                self.soa.round(kw, nc, stations);
+                let mut col = 0;
+                while col < kw {
+                    if self.soa.res[col] < TOL {
+                        self.soa
+                            .retire(col, kw, nc, stations, &mut self.lanes, &mut self.residual);
+                        kw -= 1;
+                    } else {
+                        col += 1;
+                    }
+                }
+            }
+            // Lanes still live after MAX_ITER rounds: copy their state out
+            // with the last round's residual (convergence_err decides).
+            while kw > 0 {
+                self.soa
+                    .retire(0, kw, nc, stations, &mut self.lanes, &mut self.residual);
+                kw -= 1;
+            }
+        } else {
+            for _round in 0..MAX_ITER {
+                let mut live = false;
+                for (i, &(classes, _)) in problems.iter().enumerate() {
+                    if self.done[i] {
+                        continue;
+                    }
+                    let res = self.lanes[i].iterate(classes);
+                    self.residual[i] = res;
+                    if res < TOL {
+                        self.done[i] = true;
+                    } else {
+                        live = true;
+                    }
+                }
+                if !live {
+                    break;
+                }
+            }
+        }
+
+        for (i, &(classes, _)) in problems.iter().enumerate() {
+            if self.errs[i].is_some() {
+                continue;
+            }
+            match self.lanes[i].convergence_err(self.residual[i]) {
+                Ok(()) => self.lanes[i].finish(classes),
+                Err(e) => self.errs[i] = Some(e),
+            }
+        }
+        match self.errs.iter().flatten().next() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Lane `i`'s solver state after [`AmvaBatch::solve`] — read it with
+    /// the scalar accessors ([`AmvaScratch::throughput`],
+    /// [`AmvaScratch::queue`], [`AmvaScratch::station_util`],
+    /// [`AmvaScratch::iterations`], …).
+    pub fn lane(&self, i: usize) -> &AmvaScratch {
+        &self.lanes[i]
+    }
 }
 
 #[cfg(test)]
@@ -547,6 +985,265 @@ mod tests {
                     fresh.station_queue[s].to_bits()
                 );
             }
+        }
+    }
+
+    /// A small family of unrelated problems exercising distinct code paths:
+    /// different station counts, zero-population classes, zero-demand
+    /// stations, and convergence speeds.
+    fn batch_problem_set() -> Vec<Vec<ClassDemand>> {
+        vec![
+            vec![ClassDemand {
+                population: 2.0,
+                think_time_s: 3.0,
+                demands_s: vec![1.0],
+            }],
+            vec![
+                ClassDemand {
+                    population: 4.0,
+                    think_time_s: 0.5,
+                    demands_s: vec![0.8, 0.1],
+                },
+                ClassDemand {
+                    population: 2.0,
+                    think_time_s: 2.0,
+                    demands_s: vec![0.1, 0.9],
+                },
+            ],
+            vec![ClassDemand {
+                population: 8.0,
+                think_time_s: 0.1,
+                demands_s: vec![2.0, 0.0, 0.4],
+            }],
+            vec![
+                ClassDemand {
+                    population: 0.0,
+                    think_time_s: 0.0,
+                    demands_s: vec![0.0, 0.0],
+                },
+                ClassDemand {
+                    population: 3.0,
+                    think_time_s: 1.0,
+                    demands_s: vec![0.5, 0.5],
+                },
+            ],
+            vec![ClassDemand {
+                population: 1.0,
+                think_time_s: 0.0,
+                demands_s: vec![1.5],
+            }],
+            vec![ClassDemand {
+                population: 6.0,
+                think_time_s: 4.0,
+                demands_s: vec![0.2, 0.2, 0.2, 0.2],
+            }],
+            vec![ClassDemand {
+                population: 3.0,
+                think_time_s: 2.0,
+                demands_s: vec![0.0, 0.0],
+            }],
+            vec![ClassDemand {
+                population: 5.0,
+                think_time_s: 0.25,
+                demands_s: vec![1.1, 0.7],
+            }],
+        ]
+    }
+
+    #[test]
+    fn batch_lanes_are_bit_identical_to_scalar_at_every_width() {
+        let problems = batch_problem_set();
+        let mut batch = AmvaBatch::new();
+        for width in 1..=problems.len() {
+            // Reuse one batch across widths: buffer reuse may not leak
+            // state between windows, mirroring the scratch-reuse contract.
+            for window in problems.chunks(width) {
+                let probs: Vec<(&[ClassDemand], usize)> = window
+                    .iter()
+                    .map(|c| (c.as_slice(), c[0].demands_s.len()))
+                    .collect();
+                batch.solve(&probs).unwrap();
+                for (i, classes) in window.iter().enumerate() {
+                    let stations = classes[0].demands_s.len();
+                    let mut scalar = AmvaScratch::new();
+                    scalar.solve(classes, stations).unwrap();
+                    let lane = batch.lane(i);
+                    assert_eq!(lane.iterations(), scalar.iterations(), "width {width}");
+                    for j in 0..classes.len() {
+                        assert_eq!(
+                            lane.throughput()[j].to_bits(),
+                            scalar.throughput()[j].to_bits()
+                        );
+                        for s in 0..stations {
+                            assert_eq!(lane.queue(j, s).to_bits(), scalar.queue(j, s).to_bits());
+                        }
+                    }
+                    for s in 0..stations {
+                        assert_eq!(
+                            lane.station_util()[s].to_bits(),
+                            scalar.station_util()[s].to_bits()
+                        );
+                        assert_eq!(
+                            lane.station_queue()[s].to_bits(),
+                            scalar.station_queue()[s].to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shape-uniform family (2 classes × 3 stations throughout) so the
+    /// batch takes the lane-interleaved kernel: varied populations (zero,
+    /// one, fractional, heavy), zero-demand stations, varied convergence
+    /// speeds.
+    fn uniform_problem_set() -> Vec<Vec<ClassDemand>> {
+        let mk = |pop_a: f64, pop_b: f64, da: [f64; 3], db: [f64; 3], za: f64, zb: f64| {
+            vec![
+                ClassDemand {
+                    population: pop_a,
+                    think_time_s: za,
+                    demands_s: da.to_vec(),
+                },
+                ClassDemand {
+                    population: pop_b,
+                    think_time_s: zb,
+                    demands_s: db.to_vec(),
+                },
+            ]
+        };
+        vec![
+            mk(2.0, 3.0, [1.0, 0.2, 0.0], [0.3, 0.9, 0.1], 3.0, 1.0),
+            mk(8.0, 1.0, [2.0, 0.0, 0.4], [0.1, 0.1, 0.1], 0.1, 5.0),
+            mk(0.0, 3.0, [0.0, 0.0, 0.0], [0.5, 0.5, 0.2], 0.0, 1.0),
+            mk(1.0, 1.0, [1.5, 0.0, 0.0], [0.0, 1.5, 0.0], 0.0, 0.0),
+            mk(6.0, 2.5, [0.2, 0.2, 0.2], [0.4, 0.0, 0.8], 4.0, 0.25),
+            mk(5.0, 4.0, [1.1, 0.7, 0.3], [0.9, 1.3, 0.0], 0.25, 0.5),
+            mk(3.0, 0.0, [0.0, 0.0, 0.9], [0.0, 0.0, 0.0], 2.0, 0.0),
+            mk(4.0, 4.0, [0.8, 0.1, 0.5], [0.1, 0.9, 0.5], 0.5, 2.0),
+        ]
+    }
+
+    #[test]
+    fn interleaved_kernel_is_bit_identical_to_scalar_at_every_width() {
+        let problems = uniform_problem_set();
+        let mut batch = AmvaBatch::new();
+        for width in 1..=problems.len() {
+            for window in problems.chunks(width) {
+                let probs: Vec<(&[ClassDemand], usize)> =
+                    window.iter().map(|c| (c.as_slice(), 3)).collect();
+                batch.solve(&probs).unwrap();
+                for (i, classes) in window.iter().enumerate() {
+                    let mut scalar = AmvaScratch::new();
+                    scalar.solve(classes, 3).unwrap();
+                    let lane = batch.lane(i);
+                    assert_eq!(lane.iterations(), scalar.iterations(), "width {width}");
+                    for j in 0..classes.len() {
+                        assert_eq!(
+                            lane.throughput()[j].to_bits(),
+                            scalar.throughput()[j].to_bits()
+                        );
+                        for s in 0..3 {
+                            assert_eq!(lane.queue(j, s).to_bits(), scalar.queue(j, s).to_bits());
+                        }
+                    }
+                    for s in 0..3 {
+                        assert_eq!(
+                            lane.station_util()[s].to_bits(),
+                            scalar.station_util()[s].to_bits()
+                        );
+                        assert_eq!(
+                            lane.station_queue()[s].to_bits(),
+                            scalar.station_queue()[s].to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reports_lowest_failing_lane_and_keeps_good_lanes() {
+        let good = vec![ClassDemand {
+            population: 2.0,
+            think_time_s: 3.0,
+            demands_s: vec![1.0],
+        }];
+        let bad = vec![ClassDemand {
+            population: -1.0,
+            think_time_s: 1.0,
+            demands_s: vec![1.0],
+        }];
+        let mut batch = AmvaBatch::new();
+        let err = batch
+            .solve(&[(good.as_slice(), 1), (bad.as_slice(), 1)])
+            .unwrap_err();
+        let mut scalar = AmvaScratch::new();
+        let scalar_err = scalar.solve(&bad, 1).unwrap_err();
+        assert_eq!(err, scalar_err);
+        // The good lane still finished with scalar-identical state.
+        scalar.solve(&good, 1).unwrap();
+        assert_eq!(
+            batch.lane(0).throughput()[0].to_bits(),
+            scalar.throughput()[0].to_bits()
+        );
+    }
+
+    #[test]
+    #[ignore = "timing probe, run with --release -- --ignored --nocapture"]
+    fn timing_probe_interleaved_vs_scalar() {
+        // Equal-shape, similar-iteration-count lanes: isolates the
+        // interleaved kernel's ILP from lane drain effects.
+        let mk = |scale: f64| {
+            vec![
+                ClassDemand {
+                    population: 6.0,
+                    think_time_s: 0.3,
+                    demands_s: vec![0.9 * scale, 0.4, 0.2],
+                },
+                ClassDemand {
+                    population: 4.0,
+                    think_time_s: 0.5,
+                    demands_s: vec![0.2, 0.8 * scale, 0.3],
+                },
+            ]
+        };
+        let problems: Vec<Vec<ClassDemand>> = (0..16).map(|i| mk(1.0 + 0.01 * i as f64)).collect();
+        let mut scratch = AmvaScratch::new();
+        let reps = 10_000usize;
+        let t0 = std::time::Instant::now();
+        let mut iters = 0usize;
+        for _ in 0..reps {
+            for p in &problems {
+                scratch.solve(p, 3).unwrap();
+                iters += scratch.iterations();
+            }
+        }
+        let scalar_s = t0.elapsed().as_secs_f64();
+        println!(
+            "scalar: {scalar_s:.3}s ({iters} iters), {:.1} ns/iter",
+            1e9 * scalar_s / iters as f64
+        );
+        let mut batch = AmvaBatch::new();
+        for width in [2usize, 4, 8, 12, 16] {
+            let t0 = std::time::Instant::now();
+            let mut biters = 0usize;
+            for _ in 0..reps {
+                for window in problems.chunks(width) {
+                    let probs: Vec<(&[ClassDemand], usize)> =
+                        window.iter().map(|p| (p.as_slice(), 3)).collect();
+                    batch.solve(&probs).unwrap();
+                    for i in 0..probs.len() {
+                        biters += batch.lane(i).iterations();
+                    }
+                }
+            }
+            let batch_s = t0.elapsed().as_secs_f64();
+            println!(
+                "batch{width}: {batch_s:.3}s ({biters} iters), speedup {:.2}x, {:.1} ns/iter",
+                scalar_s / batch_s,
+                1e9 * batch_s / biters as f64
+            );
         }
     }
 

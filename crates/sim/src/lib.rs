@@ -38,7 +38,7 @@ pub mod power;
 pub mod rng;
 pub mod trace;
 
-pub use amva::{AmvaScratch, AmvaSolution, ClassDemand, SharedStation};
+pub use amva::{AmvaBatch, AmvaScratch, AmvaSolution, ClassDemand, SharedStation};
 pub use cluster::ClusterSpec;
 pub use dvfs::Frequency;
 pub use error::SimError;
