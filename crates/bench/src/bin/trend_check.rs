@@ -1,11 +1,14 @@
 //! Throughput-regression gate over the `BENCH_trend.jsonl` trend store.
 //!
-//! `bench_report` appends one compact row per run (schema
+//! `bench_report` and `scale_out` append one compact row per run (schema
 //! `ecost-bench-trend/1`); this binary compares the newest row against the
-//! most recent *comparable* earlier row — same `mode`, `arms` and
-//! `threads`, so quick CI rows never gate against full workstation rows —
-//! and fails (non-zero exit) when any kernel's `sims_per_s` dropped by
-//! more than the tolerance (`ECOST_TREND_TOL`, default 0.10 = 10%).
+//! *median* of the last (up to) three comparable earlier rows — same
+//! `mode`, `arms` and `threads`, so quick CI rows never gate against full
+//! workstation rows — and fails (non-zero exit) when any kernel's
+//! throughput dropped by more than the tolerance (`ECOST_TREND_TOL`,
+//! default 0.10 = 10%). The median reference makes the gate robust to a
+//! single anomalously fast prior row (a noisy-neighbour lull would
+//! otherwise ratchet the baseline up and flag the next honest run).
 //!
 //! Usage: `trend_check [path]` (default `BENCH_trend.jsonl`). A store
 //! with no comparable prior row passes vacuously: the first row of any
@@ -19,7 +22,7 @@ use ecost_bench::BenchError;
 use std::process::ExitCode;
 
 /// Headline throughput keys a row may carry (absent arms are skipped).
-const METRICS: [&str; 9] = [
+const METRICS: [&str; 10] = [
     "solo_baseline_sims_per_s",
     "solo_optimized_sims_per_s",
     "solo_batched_sims_per_s",
@@ -29,7 +32,26 @@ const METRICS: [&str; 9] = [
     "sched_baseline_sims_per_s",
     "sched_optimized_sims_per_s",
     "sched_batched_sims_per_s",
+    "scale_decisions_per_s",
 ];
+
+/// How many comparable prior rows feed the reference median.
+const WINDOW: usize = 3;
+
+/// Median of a non-empty sample; an even count averages the middle two.
+/// Returns `None` on an empty slice (metric absent from every prior row).
+fn median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    Some(if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    })
+}
 
 /// Extract a string field from a compact single-line JSON row.
 fn field_str<'a>(row: &'a str, key: &str) -> Option<&'a str> {
@@ -81,43 +103,58 @@ fn run() -> Result<(), BenchError> {
     let ctx = context(last).ok_or_else(|| {
         BenchError::Invalid(format!("{path}: newest row lacks mode/arms/threads"))
     })?;
-    let Some(prev) = prior
+    let prevs: Vec<&&str> = prior
         .iter()
         .rev()
-        .find(|r| context(r).as_ref() == Some(&ctx))
-    else {
+        .filter(|r| context(r).as_ref() == Some(&ctx))
+        .take(WINDOW)
+        .collect();
+    if prevs.is_empty() {
         println!(
             "trend_check: no prior row with mode={} arms={} threads={} — seeding, nothing to gate",
             ctx.0, ctx.1, ctx.2
         );
         return Ok(());
-    };
+    }
+    let commits = prevs
+        .iter()
+        .map(|r| field_str(r, "commit").unwrap_or("?"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let mut regressions: Vec<String> = Vec::new();
     let mut compared = 0u32;
     for key in METRICS {
-        let (Some(old), Some(new)) = (field_f64(prev, key), field_f64(last, key)) else {
+        let Some(new) = field_f64(last, key) else {
+            continue;
+        };
+        let mut sample: Vec<f64> = prevs.iter().filter_map(|r| field_f64(r, key)).collect();
+        let Some(old) = median(&mut sample) else {
             continue;
         };
         compared += 1;
         if old > 0.0 && new < old * (1.0 - tol) {
             regressions.push(format!(
-                "{key}: {old:.1} -> {new:.1} ({:+.1}%)",
+                "{key}: median {old:.1} -> {new:.1} ({:+.1}%)",
                 100.0 * (new - old) / old
             ));
         }
     }
     if regressions.is_empty() {
         println!(
-            "trend_check: {compared} metrics within {:.0}% of {} (commit {})",
+            "trend_check: {compared} metrics within {:.0}% of the median of {} prior rows \
+             in {} (commits {})",
             tol * 100.0,
+            prevs.len(),
             path,
-            field_str(prev, "commit").unwrap_or("?")
+            commits
         );
         Ok(())
     } else {
         Err(BenchError::Invalid(format!(
-            "throughput regression vs commit {} (tolerance {:.0}%): {}",
-            field_str(prev, "commit").unwrap_or("?"),
+            "throughput regression vs the median of {} prior rows (commits {}, tolerance \
+             {:.0}%): {}",
+            prevs.len(),
+            commits,
             tol * 100.0,
             regressions.join("; ")
         )))
@@ -126,4 +163,44 @@ fn run() -> Result<(), BenchError> {
 
 fn main() -> ExitCode {
     ecost_bench::run_main("trend_check", run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_sample_is_the_middle_value() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn median_of_even_sample_averages_the_middle_two() {
+        assert_eq!(median(&mut [4.0, 1.0]), Some(2.5));
+        assert_eq!(median(&mut [1.0, 9.0, 3.0, 5.0]), Some(4.0));
+    }
+
+    #[test]
+    fn median_of_empty_sample_is_none() {
+        assert_eq!(median(&mut []), None);
+    }
+
+    #[test]
+    fn one_fast_outlier_does_not_ratchet_the_reference() {
+        // Rows 100, 100, 140: a single lucky run. The median reference is
+        // 100, so a new row at 95 sits within a 10% tolerance — the
+        // newest-row-only policy would have gated 95 against 140.
+        let m = median(&mut [100.0, 140.0, 100.0]).unwrap();
+        assert_eq!(m, 100.0);
+        assert!(95.0 >= m * (1.0 - 0.10));
+    }
+
+    #[test]
+    fn row_fields_parse() {
+        let row = r#"{"schema":"ecost-bench-trend/1","commit":"abc","mode":"quick","arms":"scale","threads":1,"scale_decisions_per_s":51455.3}"#;
+        assert_eq!(field_str(row, "commit"), Some("abc"));
+        assert_eq!(field_f64(row, "scale_decisions_per_s"), Some(51455.3));
+        assert_eq!(context(row), Some(("quick".into(), "scale".into(), 1)));
+    }
 }

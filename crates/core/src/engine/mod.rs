@@ -144,6 +144,10 @@ pub struct EngineStats {
     /// full `NodeSim` construction (spec/framework clones + solver
     /// scratch) that was *not* allocated.
     pub sims_reused: u64,
+    /// Memo entries evicted under a [`CacheBudget`] (always 0 on an
+    /// unbounded engine). Eviction changes hit counts, never values:
+    /// a re-probed evicted key re-simulates to the identical result.
+    pub evictions: u64,
 }
 
 impl EngineStats {
@@ -175,9 +179,45 @@ impl std::fmt::Display for EngineStats {
         )?;
         write!(
             f,
-            ", {} sims created / {} reused from pool",
-            self.sims_created, self.sims_reused
+            ", {} sims created / {} reused from pool, {} evictions",
+            self.sims_created, self.sims_reused, self.evictions
         )
+    }
+}
+
+/// Entry budgets for the engine's three memo tables; `None` fields are
+/// unbounded (the classic memo). Budgets count *entries*, not bytes: a
+/// solo entry is one [`JobOutcome`], a pair-point entry one
+/// [`PairMetrics`], but a sweep entry is a whole configuration sweep
+/// (thousands of points), so sweep budgets deserve the smallest numbers.
+///
+/// Bounding a cache changes hit counts, never values — an evicted key that
+/// gets re-probed is re-simulated to the bit-identical result (pinned by a
+/// property test). Each table splits its budget over 16 shards, so the
+/// effective minimum is 16 entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheBudget {
+    /// Max memoized solo outcomes.
+    pub solo: Option<usize>,
+    /// Max memoized full pair sweeps.
+    pub sweeps: Option<usize>,
+    /// Max memoized single pair-configuration points.
+    pub pair_points: Option<usize>,
+}
+
+impl CacheBudget {
+    /// No bounds anywhere — entries accumulate for the engine's lifetime.
+    pub fn unbounded() -> CacheBudget {
+        CacheBudget::default()
+    }
+
+    /// The same entry budget on all three tables.
+    pub fn entries(n: usize) -> CacheBudget {
+        CacheBudget {
+            solo: Some(n),
+            sweeps: Some(n),
+            pair_points: Some(n),
+        }
     }
 }
 
@@ -270,6 +310,7 @@ struct EngineCounters {
     fallbacks: Counter,
     sims_created: Counter,
     sims_reused: Counter,
+    evictions: Counter,
 }
 
 impl EngineCounters {
@@ -284,6 +325,7 @@ impl EngineCounters {
             fallbacks: reg.counter("engine.fallbacks"),
             sims_created: reg.counter("engine.sims_created"),
             sims_reused: reg.counter("engine.sims_reused"),
+            evictions: reg.counter("engine.cache_evictions"),
         }
     }
 }
@@ -299,6 +341,7 @@ pub struct EvalEngine {
     pool: SimPool,
     recorder: Recorder,
     counters: EngineCounters,
+    budget: CacheBudget,
     /// Lane width for batched sweep windows (1 = scalar solves). Clamped
     /// to `1..=MAX_BATCH_LANES`; every lane is bit-identical to a scalar
     /// solve, so this is purely a throughput knob.
@@ -318,17 +361,43 @@ impl EvalEngine {
     /// Engine reporting into an explicit telemetry recorder.
     pub fn with_recorder(tb: Testbed, recorder: Recorder) -> EvalEngine {
         let counters = EngineCounters::new(recorder.metrics());
+        let ev = &counters.evictions;
         EvalEngine {
             tb,
-            solo: ShardedCache::new(),
-            sweeps: ShardedCache::new(),
-            pair_points: ShardedCache::new(),
+            solo: ShardedCache::new(ev.clone()),
+            sweeps: ShardedCache::new(ev.clone()),
+            pair_points: ShardedCache::new(ev.clone()),
             pool: SimPool::new(),
             recorder,
             counters,
+            budget: CacheBudget::unbounded(),
             batch_lanes: MAX_BATCH_LANES,
             reference: false,
         }
+    }
+
+    /// Builder form of [`Self::set_cache_budget`].
+    pub fn with_cache_budget(mut self, budget: CacheBudget) -> EvalEngine {
+        self.set_cache_budget(budget);
+        self
+    }
+
+    /// Bound the memo tables to `budget` entries each (see [`CacheBudget`]
+    /// for the per-table semantics). Replaces the tables, so any entries
+    /// memoized so far are discarded — set the budget before warming the
+    /// engine. Eviction activity shows up in [`EngineStats::evictions`]
+    /// and the `engine.cache_evictions` telemetry counter.
+    pub fn set_cache_budget(&mut self, budget: CacheBudget) {
+        self.budget = budget;
+        let ev = &self.counters.evictions;
+        self.solo = ShardedCache::with_budget(budget.solo, ev.clone());
+        self.sweeps = ShardedCache::with_budget(budget.sweeps, ev.clone());
+        self.pair_points = ShardedCache::with_budget(budget.pair_points, ev.clone());
+    }
+
+    /// The configured memo budgets (unbounded by default).
+    pub fn cache_budget(&self) -> CacheBudget {
+        self.budget
     }
 
     /// Builder form of [`Self::set_batch_lanes`].
@@ -404,6 +473,7 @@ impl EvalEngine {
             fallbacks: self.counters.fallbacks.get(),
             sims_created: self.counters.sims_created.get(),
             sims_reused: self.counters.sims_reused.get(),
+            evictions: self.counters.evictions.get(),
         }
     }
 
@@ -415,6 +485,18 @@ impl EvalEngine {
     /// Number of memoized solo outcomes.
     pub fn cached_solo_runs(&self) -> usize {
         self.solo.len()
+    }
+
+    /// Number of memoized single pair-configuration points.
+    pub fn cached_pair_points(&self) -> usize {
+        self.pair_points.len()
+    }
+
+    /// Total resident memo entries across all three tables — the scale
+    /// bench's peak-RSS proxy. Under a [`CacheBudget`] this never exceeds
+    /// the sum of the per-table budgets.
+    pub fn cached_entries(&self) -> usize {
+        self.solo.len() + self.sweeps.len() + self.pair_points.len()
     }
 
     /// Simulators currently idle in the pool (diagnostics; equals
@@ -1205,7 +1287,34 @@ mod tests {
         assert_eq!(s.fallbacks, snap.counter("engine.fallbacks"));
         assert_eq!(s.sims_created, snap.counter("engine.sims_created"));
         assert_eq!(s.sims_reused, snap.counter("engine.sims_reused"));
+        assert_eq!(s.evictions, snap.counter("engine.cache_evictions"));
         assert_eq!(s.wall_seconds, snap.counter("engine.wall_ns") as f64 * 1e-9);
+    }
+
+    #[test]
+    fn cache_budget_bounds_entries_and_counts_evictions() {
+        let mut eng = EvalEngine::atom();
+        eng.set_cache_budget(CacheBudget {
+            solo: Some(16),
+            ..CacheBudget::unbounded()
+        });
+        assert_eq!(eng.cache_budget().solo, Some(16));
+        let p = App::Wc.profile();
+        let cfg = TuningConfig::hadoop_default(8);
+        // 64 distinct input sizes through a 16-entry solo budget.
+        for i in 0..64 {
+            eng.solo_outcome(p, 100.0 + f64::from(i), cfg).unwrap();
+            assert!(eng.cached_solo_runs() <= 16, "{}", eng.cached_solo_runs());
+        }
+        let s = eng.stats();
+        assert!(s.evictions > 0, "{s}");
+        assert_eq!(s.evictions, 64 - eng.cached_solo_runs() as u64);
+        // An evicted key re-probes as a miss but re-simulates to the
+        // identical outcome (determinism is the engine's contract).
+        let fresh = EvalEngine::atom();
+        let a = eng.solo_outcome(p, 100.0, cfg).unwrap();
+        let b = fresh.solo_outcome(p, 100.0, cfg).unwrap();
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

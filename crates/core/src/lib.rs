@@ -23,6 +23,10 @@
 //! * [`queue`] — the FIFO wait queue with head reservation and small-job
 //!   leap-forward;
 //! * [`strategies`] — ILAO and COLAO (§4.2);
+//! * [`scheduler`] — the streaming cluster schedulers: the lockstep
+//!   discrete-event driver behind the §8 policies and the event-calendar
+//!   driver for open arrival streams (binary-heap of per-node completion
+//!   events, per-event cost scaling with live jobs);
 //! * [`mapping`] — the §8 cluster mapping policies (SM, MNM1, MNM2, SNM,
 //!   CBM, PTM, ECoST, UB) over a discrete-event cluster of `NodeSim`s;
 //! * [`report`] — plain-text table rendering for the experiment binaries.
@@ -39,16 +43,18 @@ pub mod oracle;
 pub mod pairing;
 pub mod queue;
 pub mod report;
+pub mod scheduler;
 pub mod stp;
 pub mod strategies;
 
 pub use classify::{KnnAppClassifier, RuleClassifier};
 pub use database::ConfigDatabase;
-pub use engine::{EngineStats, EvalEngine, EvalError, RetryPolicy};
+pub use engine::{CacheBudget, EngineStats, EvalEngine, EvalError, RetryPolicy};
 pub use features::{profile_app, AppSignature, Testbed, REFERENCE_CONFIG};
 pub use mapping::{
-    ConfiguredPolicy, EcostContext, FaultReport, FaultSetup, FaultedRun, MappingPolicy,
+    ConfiguredPolicy, EcostContext, FaultReport, FaultSetup, FaultedRun, MappingPolicy, OpenArrival,
 };
 pub use pairing::PairingPolicy;
 pub use queue::WaitQueue;
+pub use scheduler::OPEN_ELIGIBLE_WINDOW;
 pub use stp::{LktStp, MlmStp, Stp};

@@ -36,15 +36,17 @@
 use crate::classify::RuleClassifier;
 use crate::database::ConfigDatabase;
 use crate::engine::{EvalEngine, EvalError, PairRun, RetryPolicy};
-use crate::features::{profile_app, AppSignature};
+use crate::features::profile_app;
 use crate::pairing::PairingPolicy;
-use crate::queue::WaitQueue;
+use crate::scheduler::{
+    collect, run_stream, run_stream_calendar, run_stream_open, Prepared, StreamPolicy,
+    OPEN_ELIGIBLE_WINDOW,
+};
 use crate::stp::Stp;
-use ecost_apps::{AppClass, Workload};
+use ecost_apps::{App, AppClass, Workload};
 use ecost_mapreduce::executor::NodeSim;
 use ecost_mapreduce::{BlockSize, JobSpec, TuningConfig};
-use ecost_sim::{FaultKind, FaultPlan, Frequency};
-use ecost_telemetry::{Event, Gauge};
+use ecost_sim::{FaultPlan, Frequency};
 use std::fmt;
 
 /// One of the §8 mapping policies.
@@ -272,13 +274,6 @@ pub struct EcostContext<'a> {
     pub pairing_mode: crate::pairing::PairingMode,
 }
 
-/// A workload job prepared for cluster scheduling.
-#[derive(Clone)]
-struct Prepared {
-    sig: AppSignature,
-    class: AppClass,
-}
-
 /// Run `workload` on an `n`-node cluster under `policy`.
 ///
 /// All simulation goes through `engine` (which also supplies the testbed);
@@ -341,16 +336,6 @@ pub fn class_default_config(class: AppClass, mappers: u32) -> TuningConfig {
         freq,
         block,
         mappers: mappers.max(1),
-    }
-}
-
-/// Single-letter form of a behaviour class, for telemetry payloads.
-fn class_char(class: AppClass) -> char {
-    match class {
-        AppClass::C => 'C',
-        AppClass::H => 'H',
-        AppClass::I => 'I',
-        AppClass::M => 'M',
     }
 }
 
@@ -499,28 +484,6 @@ fn run_cbm(engine: &EvalEngine, n: usize, workload: &Workload) -> Result<Cluster
     Ok(collect(nodes, n))
 }
 
-/// How a streaming scheduler picks partners and configurations. Implemented
-/// by ECoST (classifier + decision tree + STP) and by the oracle-streamed
-/// upper bound (perfect pairing + perfect tuning).
-trait StreamPolicy {
-    /// Given the job that anchors the node (already running or just taken
-    /// from the head) and the eligible queue candidates, return the position
-    /// *within `candidates`* of the chosen partner and the full pair
-    /// configuration (`.a` for the anchor, `.b` for the partner).
-    /// `now` is the scheduler's simulated clock, used to stamp any
-    /// degradation events the policy records.
-    fn pick(
-        &self,
-        now: f64,
-        anchor: &Prepared,
-        candidates: &[&Prepared],
-        cores: u32,
-    ) -> Result<(usize, ecost_mapreduce::PairConfig), EvalError>;
-
-    /// Configuration for a job running alone (tail of the workload).
-    fn solo_config(&self, now: f64, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError>;
-}
-
 /// ECoST's decisions: partner class by the Fig 4 decision tree, knobs by
 /// STP — degrading to class-default knobs when a predictor cannot answer
 /// (missing lookup entry, non-finite model prediction) instead of aborting
@@ -666,440 +629,6 @@ impl StreamPolicy for OraclePolicy<'_> {
     }
 }
 
-/// Mutable state of one streaming-scheduler run: the nodes, what runs
-/// where, which nodes are still alive, the wait queue and the fault /
-/// degradation counters.
-struct StreamSim<'e> {
-    engine: &'e EvalEngine,
-    cores: u32,
-    retry: RetryPolicy,
-    /// The scheduler's simulated clock, mirrored from the event loop so
-    /// telemetry records carry simulated (never wall) timestamps.
-    now: f64,
-    /// Queue-depth gauge (`scheduler.queue_depth`), sampled at every
-    /// dispatch decision point.
-    queue_depth: Gauge,
-    nodes: Vec<NodeSim>,
-    running: Vec<Vec<(ecost_mapreduce::JobHandle, Prepared, u32)>>,
-    alive: Vec<bool>,
-    queue: WaitQueue<Prepared>,
-    report: FaultReport,
-}
-
-impl StreamSim<'_> {
-    /// Run `op` under the retry policy, folding the retry count and the
-    /// accrued simulated backoff into the fault report.
-    fn with_retry_tracked<T>(
-        &mut self,
-        mut op: impl FnMut() -> Result<T, EvalError>,
-    ) -> Result<T, EvalError> {
-        let before = self.engine.stats().retries;
-        let res = self.engine.with_retry(&self.retry, self.now, &mut op);
-        self.report.retries += self.engine.stats().retries.saturating_sub(before);
-        match res {
-            Ok((value, backoff_s)) => {
-                self.report.retry_backoff_s += backoff_s;
-                Ok(value)
-            }
-            Err(e) => Err(e),
-        }
-    }
-
-    /// Clone the payloads behind `eligible`'s queue indices, so partner
-    /// selection can run without holding a borrow of the queue.
-    fn eligible_payloads(
-        &self,
-        eligible: &[(usize, AppClass)],
-    ) -> Result<Vec<Prepared>, EvalError> {
-        eligible
-            .iter()
-            .map(|(qi, _)| {
-                self.queue
-                    .peek(*qi)
-                    .map(|q| q.payload.clone())
-                    .ok_or(EvalError::Internal {
-                        what: "eligible index out of queue range",
-                    })
-            })
-            .collect()
-    }
-
-    /// Sample the wait-queue depth into the gauge and (when recording)
-    /// the `scheduler.queue_depth` counter track.
-    fn sample_queue_depth(&self) {
-        let depth = self.queue.len() as u64;
-        self.queue_depth.sample(depth);
-        self.engine
-            .recorder()
-            .counter_sample(self.now, "scheduler.queue_depth", depth);
-    }
-
-    /// Record a placement decision for `job` on node `i`.
-    fn emit_place(&self, i: usize, job: &Prepared, mappers: u32) {
-        self.engine
-            .recorder()
-            .emit(self.now, Some(i as u32), None, || Event::JobPlace {
-                app: job.sig.profile.name.to_string(),
-                mappers,
-            });
-    }
-
-    /// Place `job` alone on node `i` at its solo configuration, degrading
-    /// to the untuned default when the policy cannot provide one.
-    fn submit_solo(
-        &mut self,
-        i: usize,
-        policy: &dyn StreamPolicy,
-        job: Prepared,
-    ) -> Result<(), EvalError> {
-        let cores = self.cores;
-        let now = self.now;
-        let solo = match self.with_retry_tracked(|| policy.solo_config(now, &job, cores)) {
-            Ok(cfg) => cfg,
-            Err(e) if e.is_degradable() => {
-                self.engine.note_fallback(now, "config");
-                self.report.config_fallbacks += 1;
-                TuningConfig::hadoop_default(cores)
-            }
-            Err(e) => return Err(e),
-        };
-        let h = self.nodes[i].submit(JobSpec::from_profile(
-            job.sig.profile.clone(),
-            job.sig.input_mb,
-            solo,
-        ))?;
-        self.emit_place(i, &job, solo.mappers);
-        self.running[i].push((h, job, solo.mappers));
-        Ok(())
-    }
-
-    /// Fill node `i` up to two jobs, degrading to solo placement when the
-    /// policy cannot produce a pairing.
-    fn dispatch(&mut self, i: usize, policy: &dyn StreamPolicy) -> Result<(), EvalError> {
-        self.sample_queue_depth();
-        while self.running[i].len() < 2 && !self.queue.is_empty() && self.nodes[i].free_cores() >= 1
-        {
-            if self.running[i].is_empty() {
-                // Empty node: honour FIFO for the first job…
-                let Some(first) = self.queue.take(0) else {
-                    break;
-                };
-                let first = first.payload;
-                let eligible = self.queue.eligible();
-                if eligible.is_empty() {
-                    // Lone tail job: the whole node, solo-tuned.
-                    self.submit_solo(i, policy, first)?;
-                    continue;
-                }
-                let cands_owned = self.eligible_payloads(&eligible)?;
-                let cands: Vec<&Prepared> = cands_owned.iter().collect();
-                let cores = self.cores;
-                let now = self.now;
-                match self.with_retry_tracked(|| policy.pick(now, &first, &cands, cores)) {
-                    Ok((pick, cfg)) => {
-                        let Some(second) = self.queue.take(eligible[pick].0) else {
-                            return Err(EvalError::Internal {
-                                what: "picked partner vanished from the queue",
-                            });
-                        };
-                        let second = second.payload;
-                        let ha = self.nodes[i].submit(JobSpec::from_profile(
-                            first.sig.profile.clone(),
-                            first.sig.input_mb,
-                            cfg.a,
-                        ))?;
-                        let hb = self.nodes[i].submit(JobSpec::from_profile(
-                            second.sig.profile.clone(),
-                            second.sig.input_mb,
-                            cfg.b,
-                        ))?;
-                        self.emit_place(i, &first, cfg.a.mappers);
-                        self.emit_place(i, &second, cfg.b.mappers);
-                        self.running[i].push((ha, first, cfg.a.mappers));
-                        self.running[i].push((hb, second, cfg.b.mappers));
-                    }
-                    Err(e) if e.is_degradable() => {
-                        // No viable partner or pair config: the anchor runs
-                        // solo rather than the whole schedule aborting.
-                        self.engine.note_fallback(now, "pairing");
-                        self.report.solo_fallbacks += 1;
-                        self.submit_solo(i, policy, first)?;
-                    }
-                    Err(e) => return Err(e),
-                }
-            } else {
-                // One job running: pick a partner for it.
-                let eligible = self.queue.eligible();
-                if eligible.is_empty() {
-                    break;
-                }
-                let cands_owned = self.eligible_payloads(&eligible)?;
-                let cands: Vec<&Prepared> = cands_owned.iter().collect();
-                let anchor = self.running[i][0].1.clone();
-                let cores = self.cores;
-                let now = self.now;
-                match self.with_retry_tracked(|| policy.pick(now, &anchor, &cands, cores)) {
-                    Ok((pick, cfg)) => {
-                        let Some(partner) = self.queue.take(eligible[pick].0) else {
-                            return Err(EvalError::Internal {
-                                what: "picked partner vanished from the queue",
-                            });
-                        };
-                        let partner = partner.payload;
-                        let free = self.nodes[i].free_cores();
-                        let mut bcfg = cfg.b;
-                        bcfg.mappers = bcfg.mappers.min(free).max(1);
-                        let h = self.nodes[i].submit(JobSpec::from_profile(
-                            partner.sig.profile.clone(),
-                            partner.sig.input_mb,
-                            bcfg,
-                        ))?;
-                        self.emit_place(i, &partner, bcfg.mappers);
-                        self.running[i].push((h, partner, bcfg.mappers));
-                    }
-                    Err(e) if e.is_degradable() => {
-                        // The running job continues alone; candidates wait
-                        // for a node that can host them.
-                        self.engine.note_fallback(now, "pairing");
-                        self.report.solo_fallbacks += 1;
-                        break;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Apply every fault event due at or before `now`. Crashed nodes stop
-    /// accepting work and their in-flight jobs are re-queued at the head;
-    /// slowdowns compound; stragglers hit the longest-running job and are
-    /// answered with a speculative backup on spare mapper slots.
-    fn apply_due_faults(
-        &mut self,
-        now: f64,
-        next: &mut usize,
-        faults: &FaultPlan,
-    ) -> Result<(), EvalError> {
-        while *next < faults.len() && faults.events()[*next].at_s <= now + 1e-9 {
-            let ev = faults.events()[*next];
-            *next += 1;
-            let i = ev.node;
-            if i >= self.nodes.len() || !self.alive[i] {
-                continue; // fault against a missing or already-dead node
-            }
-            let kind_name = match ev.kind {
-                FaultKind::NodeCrash => "node-crash",
-                FaultKind::NodeSlowdown { .. } => "node-slowdown",
-                FaultKind::Straggler { .. } => "straggler",
-            };
-            self.engine.note_fault(now, kind_name);
-            match ev.kind {
-                FaultKind::NodeCrash => {
-                    self.alive[i] = false;
-                    self.report.crashes += 1;
-                    let displaced = self.nodes[i].crash();
-                    // Reverse order so the first-submitted displaced job
-                    // lands back at the queue head.
-                    for (h, p, _) in self.running[i].drain(..).rev() {
-                        if displaced.contains(&h) {
-                            self.report.requeued_jobs += 1;
-                            self.engine.recorder().emit(now, Some(i as u32), None, || {
-                                Event::Requeue {
-                                    app: p.sig.profile.name.to_string(),
-                                }
-                            });
-                            let est = p.sig.profile_time_s;
-                            let class = p.class;
-                            self.queue.push_front(p, class, est);
-                        }
-                    }
-                }
-                FaultKind::NodeSlowdown { factor } => {
-                    self.report.slowdowns += 1;
-                    let compound = self.nodes[i].slowdown() * factor;
-                    self.nodes[i].set_slowdown(compound)?;
-                }
-                FaultKind::Straggler { multiplier } => {
-                    if let Some(&h) = self.nodes[i].active_handles().first() {
-                        self.report.stragglers += 1;
-                        self.nodes[i].inject_straggler(h, multiplier)?;
-                        let spare = self.nodes[i].free_cores().min(2);
-                        if spare > 0 && self.nodes[i].speculate(h, spare)? {
-                            self.report.speculations += 1;
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Shared streaming driver: two jobs per node, replacements admitted the
-/// moment a slot frees, decisions delegated to `policy`. Fault-free.
-fn run_stream(
-    engine: &EvalEngine,
-    n: usize,
-    prepared: Vec<Prepared>,
-    policy: &dyn StreamPolicy,
-) -> Result<ClusterRun, EvalError> {
-    let setup = FaultSetup {
-        plan: FaultPlan::none(),
-        retry: RetryPolicy::none(),
-    };
-    run_stream_open(engine, n, prepared, None, 2, policy, &setup).map(|(run, _)| run)
-}
-
-/// As [`run_stream`] but with explicit arrival times (open-queue
-/// operation), a configurable head-reservation allowance and an injected
-/// [`FaultSetup`]. `arrivals[i]` is the submission time of `prepared[i]`;
-/// `None` submits everything at t = 0.
-///
-/// With [`FaultPlan::none`] and [`RetryPolicy::none`] the event loop is
-/// bit-identical to the fault-free scheduler: no fault event ever caps a
-/// time step, and the accrued retry backoff added to the makespan is
-/// exactly `0.0`.
-fn run_stream_open(
-    engine: &EvalEngine,
-    n: usize,
-    prepared: Vec<Prepared>,
-    arrivals: Option<&[f64]>,
-    max_head_skips: u32,
-    policy: &dyn StreamPolicy,
-    setup: &FaultSetup,
-) -> Result<(ClusterRun, FaultReport), EvalError> {
-    let tb = engine.testbed();
-    let faults = &setup.plan;
-    // Jobs not yet arrived, soonest first; the stable sort keeps FIFO order
-    // among simultaneous arrivals.
-    let mut pending: std::collections::VecDeque<(f64, Prepared)> = {
-        let times: Vec<f64> = match arrivals {
-            Some(t) => {
-                if t.len() != prepared.len() {
-                    return Err(EvalError::InvalidInput {
-                        what: "need one arrival time per job",
-                    });
-                }
-                t.to_vec()
-            }
-            None => vec![0.0; prepared.len()],
-        };
-        let mut v: Vec<(f64, Prepared)> = times.into_iter().zip(prepared).collect();
-        v.sort_by(|a, b| a.0.total_cmp(&b.0));
-        v.into()
-    };
-
-    setup.plan.record_schedule(engine.recorder());
-    let mut sim = StreamSim {
-        engine,
-        cores: tb.node.cores,
-        retry: setup.retry,
-        now: 0.0,
-        queue_depth: engine.recorder().metrics().gauge("scheduler.queue_depth"),
-        nodes: (0..n)
-            .map(|i| {
-                let mut node = NodeSim::new(tb.node.clone(), tb.fw.clone());
-                node.set_telemetry(engine.recorder().clone(), 0, i as u32);
-                node
-            })
-            .collect(),
-        running: vec![Vec::new(); n],
-        alive: vec![true; n],
-        queue: WaitQueue::new(max_head_skips),
-        report: FaultReport::default(),
-    };
-    let mut next_fault = 0_usize;
-    let mut now = 0.0_f64;
-
-    // Admit everything that has arrived by `now` into the wait queue.
-    let admit = |now: f64,
-                 pending: &mut std::collections::VecDeque<(f64, Prepared)>,
-                 queue: &mut WaitQueue<Prepared>| {
-        while pending.front().is_some_and(|(t, _)| *t <= now + 1e-9) {
-            if let Some((_, p)) = pending.pop_front() {
-                engine
-                    .recorder()
-                    .emit(now, None, None, || Event::JobSubmit {
-                        app: p.sig.profile.name.to_string(),
-                        class: class_char(p.class),
-                    });
-                // "Small job" for the leap-forward rule = short estimated
-                // runtime; the learning-period execution time is the estimate.
-                let est = p.sig.profile_time_s;
-                let class = p.class;
-                queue.push(p, class, est);
-            }
-        }
-    };
-
-    admit(now, &mut pending, &mut sim.queue);
-    sim.apply_due_faults(now, &mut next_fault, faults)?;
-    for i in 0..n {
-        if sim.alive[i] {
-            sim.dispatch(i, policy)?;
-        }
-    }
-    loop {
-        let mut any_active = false;
-        let mut dt = f64::INFINITY;
-        for node in &mut sim.nodes {
-            if let Some(t) = node.time_to_next_event()? {
-                any_active = true;
-                dt = dt.min(t);
-            }
-        }
-        // Next arrival can preempt the next completion; an idle cluster
-        // fast-forwards to it.
-        if let Some((t_arrive, _)) = pending.front() {
-            dt = dt.min((t_arrive - now).max(0.0));
-            any_active = true;
-        }
-        // A pending fault interrupts the step — but cannot keep a finished
-        // cluster alive: faults against an idle cluster are no-ops.
-        if any_active {
-            if let Some(ev) = faults.events().get(next_fault) {
-                dt = dt.min((ev.at_s - now).max(0.0));
-            }
-        }
-        if !any_active {
-            if !sim.queue.is_empty() {
-                return Err(if sim.alive.iter().any(|a| *a) {
-                    EvalError::Internal {
-                        what: "jobs stranded in the scheduler queue",
-                    }
-                } else {
-                    EvalError::Degraded {
-                        what: "all nodes failed with jobs still queued",
-                    }
-                });
-            }
-            break;
-        }
-        debug_assert!(dt.is_finite());
-        for node in &mut sim.nodes {
-            node.advance(dt)?;
-        }
-        now += dt;
-        sim.now = now;
-        admit(now, &mut pending, &mut sim.queue);
-        sim.apply_due_faults(now, &mut next_fault, faults)?;
-        for i in 0..n {
-            let finished: Vec<ecost_mapreduce::JobHandle> =
-                sim.nodes[i].finished().iter().map(|o| o.id).collect();
-            sim.running[i].retain(|(h, _, _)| !finished.contains(h));
-            if sim.alive[i] {
-                sim.dispatch(i, policy)?;
-            }
-        }
-    }
-    // Retries cost simulated seconds: the accrued backoff lengthens the
-    // makespan (exactly 0.0 on the fault-free path).
-    let mut run = collect(sim.nodes, n);
-    run.makespan_s += sim.report.retry_backoff_s;
-    Ok((run, sim.report))
-}
-
 /// Open-queue ECoST: jobs arrive over time (the §5 "new jobs are arriving
 /// to the datacenter" operation), with a configurable head-reservation
 /// allowance. Used by the open-queue extension experiment.
@@ -1202,6 +731,139 @@ pub fn run_untuned_faulted(
         solo: TuningConfig::hadoop_default(cores),
     };
     let (run, report) = run_stream_open(engine, n, prepared, arrivals, 2, &policy, setup)?;
+    Ok(FaultedRun { run, report })
+}
+
+/// One job of an open arrival stream: which catalog application it runs,
+/// how much input it brings, and when it reaches the datacenter. Unlike a
+/// [`Workload`] job, the input size is given directly (trace-driven), not
+/// derived from a scenario's per-node size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenArrival {
+    /// The catalog application the job runs.
+    pub app: App,
+    /// Input size processed by the job, MB.
+    pub input_mb: f64,
+    /// Submission time, simulated seconds.
+    pub at_s: f64,
+}
+
+/// `n ≥ 1` / non-empty / finite-fields validation for open-stream runs.
+fn validate_stream_input(n: usize, stream: &[OpenArrival]) -> Result<(), EvalError> {
+    if n < 1 {
+        return Err(EvalError::InvalidInput {
+            what: "need at least one node",
+        });
+    }
+    if stream.is_empty() {
+        return Err(EvalError::InvalidInput {
+            what: "empty arrival stream",
+        });
+    }
+    if stream
+        .iter()
+        .any(|a| !(a.input_mb.is_finite() && a.input_mb > 0.0))
+    {
+        return Err(EvalError::InvalidInput {
+            what: "arrival input sizes must be finite and positive",
+        });
+    }
+    if stream
+        .iter()
+        .any(|a| !(a.at_s.is_finite() && a.at_s >= 0.0))
+    {
+        return Err(EvalError::InvalidInput {
+            what: "arrival times must be finite and non-negative",
+        });
+    }
+    Ok(())
+}
+
+/// Open-cluster ECoST over an arrival stream, driven by the event-calendar
+/// scheduler ([`crate::scheduler::calendar`]): per-event cost scales with
+/// the jobs that actually changed, not with cluster size or arrival
+/// history, so 100k-arrival traces on hundreds of nodes are tractable.
+/// Partner scans are bounded to the first [`OPEN_ELIGIBLE_WINDOW`] queue
+/// positions. Decision-equivalent to [`run_ecost_faulted`] on the same
+/// stream (asserted by equivalence tests), though not bit-identical — the
+/// per-node float accumulation order differs.
+pub fn run_ecost_open_stream(
+    engine: &EvalEngine,
+    n: usize,
+    stream: &[OpenArrival],
+    max_head_skips: u32,
+    ctx: &EcostContext<'_>,
+    setup: &FaultSetup,
+) -> Result<FaultedRun, EvalError> {
+    validate_stream_input(n, stream)?;
+    let prepared = stream
+        .iter()
+        .map(|a| {
+            let sig = profile_app(engine, a.app.profile(), a.input_mb, ctx.noise, ctx.seed)?;
+            let class = ctx.classifier.classify(&sig.features);
+            Ok(Prepared { sig, class })
+        })
+        .collect::<Result<Vec<_>, EvalError>>()?;
+    let arrivals: Vec<f64> = stream.iter().map(|a| a.at_s).collect();
+    let policy = EcostPolicy::new(engine, ctx);
+    let (run, mut report) = run_stream_calendar(
+        engine,
+        n,
+        prepared,
+        Some(&arrivals),
+        max_head_skips,
+        &policy,
+        setup,
+        OPEN_ELIGIBLE_WINDOW,
+    )?;
+    report.config_fallbacks += policy.config_fallbacks.get();
+    Ok(FaultedRun { run, report })
+}
+
+/// The untuned streaming baseline over an arrival stream (two half-node
+/// jobs per node at Hadoop defaults, FIFO partners), on the same
+/// event-calendar driver as [`run_ecost_open_stream`] — the "EDP vs
+/// untuned" arm of the scale-out bench.
+pub fn run_untuned_open_stream(
+    engine: &EvalEngine,
+    n: usize,
+    stream: &[OpenArrival],
+    setup: &FaultSetup,
+) -> Result<FaultedRun, EvalError> {
+    validate_stream_input(n, stream)?;
+    let cores = engine.testbed().node.cores;
+    let half_cfg = TuningConfig {
+        mappers: (cores / 2).max(1),
+        ..TuningConfig::hadoop_default(cores)
+    };
+    let prepared = stream
+        .iter()
+        .map(|a| {
+            let sig = profile_app(engine, a.app.profile(), a.input_mb, 0.0, 0)?;
+            Ok(Prepared {
+                sig,
+                class: a.app.class(),
+            })
+        })
+        .collect::<Result<Vec<_>, EvalError>>()?;
+    let arrivals: Vec<f64> = stream.iter().map(|a| a.at_s).collect();
+    let policy = FixedPolicy {
+        pair: ecost_mapreduce::PairConfig {
+            a: half_cfg,
+            b: half_cfg,
+        },
+        solo: TuningConfig::hadoop_default(cores),
+    };
+    let (run, report) = run_stream_calendar(
+        engine,
+        n,
+        prepared,
+        Some(&arrivals),
+        2,
+        &policy,
+        setup,
+        OPEN_ELIGIBLE_WINDOW,
+    )?;
     Ok(FaultedRun { run, report })
 }
 
@@ -1437,14 +1099,6 @@ fn drive_cluster(
         }
     }
     Ok(())
-}
-
-fn collect(nodes: Vec<NodeSim>, n: usize) -> ClusterRun {
-    ClusterRun {
-        makespan_s: nodes.iter().map(NodeSim::now).fold(0.0, f64::max),
-        energy_dyn_j: nodes.iter().map(NodeSim::energy_j).sum(),
-        nodes: n,
-    }
 }
 
 #[cfg(test)]

@@ -91,6 +91,15 @@ impl<T> WaitQueue<T> {
     /// with their queue index: the head always, plus any job that may leap
     /// forward. When the head's reservation is binding, only the head.
     pub fn eligible(&self) -> Vec<(usize, AppClass)> {
+        self.eligible_windowed(usize::MAX)
+    }
+
+    /// As [`WaitQueue::eligible`], but scanning only the first `window`
+    /// queue positions (clamped to at least the head). The fairness rules
+    /// are unchanged within the window; jobs beyond it simply wait their
+    /// FIFO turn. Open-cluster schedulers use this to keep a dispatch
+    /// decision O(window) under a deep backlog.
+    pub fn eligible_windowed(&self, window: usize) -> Vec<(usize, AppClass)> {
         let Some(head) = self.items.front() else {
             return Vec::new();
         };
@@ -100,6 +109,7 @@ impl<T> WaitQueue<T> {
         self.items
             .iter()
             .enumerate()
+            .take(window.max(1))
             .filter(|(i, q)| {
                 *i == 0 || q.est_time_s <= head.est_time_s * LEAP_HEADROOM + LEAP_MARGIN_S
             })
@@ -212,6 +222,24 @@ mod tests {
         // The failed take must not burn the head's skip allowance.
         assert_eq!(q.eligible(), vec![(0, C), (1, I)]);
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn windowed_eligibility_bounds_the_scan() {
+        let mut q = WaitQueue::new(2);
+        q.push("head", C, 500.0);
+        q.push("big", M, 800.0);
+        q.push("small-in", I, 100.0);
+        q.push("small-out", I, 50.0);
+        // Full scan sees both leapers; a window of 3 stops before the last.
+        assert_eq!(q.eligible(), vec![(0, C), (2, I), (3, I)]);
+        assert_eq!(q.eligible_windowed(3), vec![(0, C), (2, I)]);
+        // Degenerate windows still yield the head.
+        assert_eq!(q.eligible_windowed(0), vec![(0, C)]);
+        // A binding reservation overrides the window entirely.
+        q.take(2).expect("in range");
+        q.take(2).expect("in range");
+        assert_eq!(q.eligible_windowed(4), vec![(0, C)]);
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Event-calendar streaming driver for open arrival streams.
+//!
+//! The lockstep driver advances *every* node by the global minimum
+//! time-to-next-event, so each event costs O(nodes) and each node's float
+//! accumulators are chopped at every other node's stage boundaries. That
+//! is exactly what the closed-workload goldens pin — and exactly what does
+//! not scale to 100k arrivals on hundreds of nodes.
+//!
+//! This driver keeps a calendar instead:
+//!
+//! * a min-heap of **per-node next internal event** times (stage boundary
+//!   or job completion), with a per-node generation stamp so a rescheduled
+//!   node's stale heap entries are skipped on pop rather than removed;
+//! * the sorted **pending arrivals** list;
+//! * the sorted **fault schedule**.
+//!
+//! Each step pops the earliest time across the three sources and touches
+//! only the nodes involved: due nodes are lazily synced from their own
+//! clock up to the event time (integrating usage/energy over per-node
+//! spans), completions free scheduler slots, and one dispatch pass over
+//! the capacity set places queued work. Idle nodes are never visited, so
+//! per-event cost scales with the nodes that actually changed — O(live
+//! jobs) — not with cluster size or arrival history. Finished-job
+//! outcomes are drained as they are observed, keeping resident state
+//! proportional to live work.
+//!
+//! Results match the lockstep driver decision-for-decision on the same
+//! stream (asserted by equivalence tests) but not bit-for-bit: the float
+//! accumulation order differs, which is why the goldens stay on lockstep.
+
+use super::{collect, sorted_pending, Prepared, StreamPolicy, StreamSim};
+use crate::engine::{EvalEngine, EvalError};
+use crate::mapping::{ClusterRun, FaultReport, FaultSetup};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Tie window for "due at the same instant", matching the lockstep
+/// driver's arrival/fault comparisons.
+const TIE_EPS: f64 = 1e-9;
+
+/// Total-ordered event time for the calendar heap. The driver never
+/// schedules a NaN (times come from finite node clocks plus finite
+/// `time_to_next_event` deltas); `total_cmp` makes the ordering lawful
+/// anyway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stamp(f64);
+
+impl Eq for Stamp {}
+
+impl PartialOrd for Stamp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Stamp {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The calendar: per-node next-event heap plus generation stamps.
+struct Calendar {
+    /// Min-heap of `(event time, node, generation)`.
+    heap: BinaryHeap<Reverse<(Stamp, usize, u64)>>,
+    /// Current generation per node; heap entries with an older stamp are
+    /// stale and skipped on pop.
+    gen: Vec<u64>,
+}
+
+impl Calendar {
+    fn new(n: usize) -> Calendar {
+        Calendar {
+            heap: BinaryHeap::new(),
+            gen: vec![0; n],
+        }
+    }
+
+    /// Earliest still-valid node event, discarding stale entries.
+    fn peek(&mut self) -> Option<(f64, usize)> {
+        while let Some(Reverse((s, i, g))) = self.heap.peek() {
+            if self.gen[*i] == *g {
+                return Some((s.0, *i));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Drop node `i`'s scheduled event (if any) and schedule a fresh one
+    /// at `at`.
+    fn schedule(&mut self, i: usize, at: f64) {
+        self.gen[i] += 1;
+        self.heap.push(Reverse((Stamp(at), i, self.gen[i])));
+    }
+
+    /// Drop node `i`'s scheduled event without a replacement (node went
+    /// idle or crashed).
+    fn clear(&mut self, i: usize) {
+        self.gen[i] += 1;
+    }
+}
+
+/// Advance node `i` from its own clock up to `t`, stepping through every
+/// internal event (stage boundary / completion) on the way so the rate
+/// solution is re-solved exactly where the lockstep driver would re-solve
+/// it. A node with no active jobs just fast-forwards its clock.
+fn sync_node(sim: &mut StreamSim<'_>, i: usize, t: f64) -> Result<(), EvalError> {
+    loop {
+        let dt_target = t - sim.nodes[i].now();
+        if dt_target <= 0.0 {
+            return Ok(());
+        }
+        match sim.nodes[i].time_to_next_event()? {
+            Some(dt_ev) if dt_ev <= dt_target + TIE_EPS => {
+                sim.nodes[i].advance(dt_ev)?;
+            }
+            _ => {
+                sim.nodes[i].advance(dt_target)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Recompute node `i`'s membership in the capacity set (alive, a free
+/// scheduler slot and at least one free core).
+fn update_capacity(sim: &StreamSim<'_>, caps: &mut BTreeSet<usize>, i: usize) {
+    let can = sim.alive[i] && sim.running[i].len() < 2 && sim.nodes[i].free_cores() >= 1;
+    if can {
+        caps.insert(i);
+    } else {
+        caps.remove(&i);
+    }
+}
+
+/// Drain node `i`'s newly finished jobs: free their scheduler slots and
+/// drop the outcomes (the stream drivers never read them, and keeping
+/// them would grow per-node state with arrival history).
+fn reap_finished(sim: &mut StreamSim<'_>, i: usize) -> usize {
+    let done = sim.nodes[i].take_finished();
+    if !done.is_empty() {
+        sim.running[i].retain(|(h, _, _)| !done.iter().any(|o| o.id == *h));
+    }
+    done.len()
+}
+
+/// Refresh node `i`'s calendar entry from its next internal event.
+fn reschedule(sim: &mut StreamSim<'_>, cal: &mut Calendar, i: usize) -> Result<(), EvalError> {
+    match sim.nodes[i].time_to_next_event()? {
+        Some(dt) => cal.schedule(i, sim.nodes[i].now() + dt),
+        None => cal.clear(i),
+    }
+    Ok(())
+}
+
+/// Event-calendar counterpart of [`super::run_stream_open`]: same state
+/// machine, same policies, same fault semantics, but per-event work
+/// proportional to the touched nodes. `eligible_window` bounds the
+/// partner scan (see [`super::OPEN_ELIGIBLE_WINDOW`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_stream_calendar(
+    engine: &EvalEngine,
+    n: usize,
+    prepared: Vec<Prepared>,
+    arrivals: Option<&[f64]>,
+    max_head_skips: u32,
+    policy: &dyn StreamPolicy,
+    setup: &FaultSetup,
+    eligible_window: usize,
+) -> Result<(ClusterRun, FaultReport), EvalError> {
+    let faults = &setup.plan;
+    let mut pending = sorted_pending(prepared, arrivals)?;
+    if let Some((t0, _)) = pending.front() {
+        if !t0.is_finite() || *t0 < 0.0 {
+            return Err(EvalError::InvalidInput {
+                what: "arrival times must be finite and non-negative",
+            });
+        }
+    }
+    if let Some((t_last, _)) = pending.back() {
+        if !t_last.is_finite() {
+            return Err(EvalError::InvalidInput {
+                what: "arrival times must be finite and non-negative",
+            });
+        }
+    }
+
+    setup.plan.record_schedule(engine.recorder());
+    let mut sim = StreamSim::new(
+        engine,
+        n,
+        setup.retry,
+        max_head_skips,
+        Some(eligible_window),
+    );
+    let mut cal = Calendar::new(n);
+    // Nodes able to take work right now, in dispatch (index) order.
+    let mut caps: BTreeSet<usize> = (0..n).collect();
+    // Nodes whose event horizon changed this step and need rescheduling.
+    let mut touched: BTreeSet<usize> = BTreeSet::new();
+    let mut next_fault = 0_usize;
+    let mut t = 0.0_f64;
+
+    // t = 0: admit, fault, dispatch — mirroring the lockstep prologue.
+    sim.admit_due(t, &mut pending);
+    sim.apply_due_faults(t, &mut next_fault, faults)?;
+    for i in 0..n {
+        update_capacity(&sim, &mut caps, i);
+    }
+    for i in caps.clone() {
+        if sim.queue.is_empty() {
+            break;
+        }
+        sim.dispatch(i, policy)?;
+        update_capacity(&sim, &mut caps, i);
+        touched.insert(i);
+    }
+    for i in std::mem::take(&mut touched) {
+        reschedule(&mut sim, &mut cal, i)?;
+    }
+
+    loop {
+        // Earliest event across the three calendars. Faults, like in the
+        // lockstep driver, cannot keep a finished cluster alive: they are
+        // only considered while a node event or an arrival is still due.
+        let t_node = cal.peek();
+        let t_arr = pending.front().map(|(at, _)| *at);
+        let mut t_next = f64::INFINITY;
+        if let Some((at, _)) = t_node {
+            t_next = t_next.min(at);
+        }
+        if let Some(at) = t_arr {
+            t_next = t_next.min(at);
+        }
+        if t_next.is_finite() {
+            if let Some(ev) = faults.events().get(next_fault) {
+                t_next = t_next.min(ev.at_s);
+            }
+        }
+        if !t_next.is_finite() {
+            if !sim.queue.is_empty() {
+                return Err(if sim.alive.iter().any(|a| *a) {
+                    EvalError::Internal {
+                        what: "jobs stranded in the scheduler queue",
+                    }
+                } else {
+                    EvalError::Degraded {
+                        what: "all nodes failed with jobs still queued",
+                    }
+                });
+            }
+            break;
+        }
+        t = t_next.max(t);
+        sim.now = t;
+
+        // 1. Arrivals due at t join the wait queue.
+        let queued_before = sim.queue.len();
+        sim.admit_due(t, &mut pending);
+        let admitted = sim.queue.len() != queued_before;
+
+        // 2. Faults due at t, each applied to a node synced to t.
+        let mut faulted = false;
+        {
+            let evs = faults.events();
+            let mut k = next_fault;
+            while k < evs.len() && evs[k].at_s <= t + TIE_EPS {
+                if evs[k].node < n {
+                    sync_node(&mut sim, evs[k].node, t)?;
+                    touched.insert(evs[k].node);
+                }
+                k += 1;
+                faulted = true;
+            }
+        }
+        if faulted {
+            sim.apply_due_faults(t, &mut next_fault, faults)?;
+        }
+
+        // 3. Node events due at t: sync the node through its internal
+        // events and reap any completions.
+        let mut completed = false;
+        while let Some((at, i)) = cal.peek() {
+            if at > t + TIE_EPS {
+                break;
+            }
+            cal.heap.pop();
+            sync_node(&mut sim, i, t)?;
+            if reap_finished(&mut sim, i) > 0 {
+                completed = true;
+            }
+            touched.insert(i);
+        }
+        for &i in &touched {
+            update_capacity(&sim, &mut caps, i);
+        }
+
+        // 4. One dispatch pass in node-index order over the capacity set,
+        // only when this step could have changed what is dispatchable.
+        if (admitted || faulted || completed) && !sim.queue.is_empty() {
+            for i in caps.clone() {
+                if sim.queue.is_empty() {
+                    break;
+                }
+                sync_node(&mut sim, i, t)?;
+                sim.dispatch(i, policy)?;
+                update_capacity(&sim, &mut caps, i);
+                touched.insert(i);
+            }
+        }
+
+        // 5. Refresh the calendar for every node touched this step.
+        for i in std::mem::take(&mut touched) {
+            reschedule(&mut sim, &mut cal, i)?;
+        }
+    }
+
+    // Fast-forward every node's clock to the final event time so the
+    // makespan (max node clock) matches the lockstep driver; idle
+    // advancement integrates no energy.
+    for i in 0..n {
+        sync_node(&mut sim, i, t)?;
+    }
+    let mut run = collect(sim.nodes, n);
+    run.makespan_s += sim.report.retry_backoff_s;
+    Ok((run, sim.report))
+}

@@ -1,0 +1,108 @@
+//! The cache budget changes *retention*, never *values*.
+//!
+//! A capacity-bounded engine may evict memo entries and re-simulate them
+//! on the next probe — that shows up in the hit/miss/eviction counters,
+//! and nowhere else. Every metric a bounded engine returns must be
+//! bit-identical to what an unbounded engine returns for the same query,
+//! because the simulator itself is deterministic and eviction only decides
+//! *whether* a query recomputes, not *what* it computes.
+
+use ecost_apps::{App, InputSize};
+use ecost_core::engine::EvalEngine;
+use ecost_core::CacheBudget;
+use ecost_mapreduce::{BlockSize, PairConfig, TuningConfig};
+use ecost_sim::Frequency;
+use proptest::prelude::*;
+
+const APPS: [App; 3] = [App::Wc, App::St, App::Fp];
+
+fn cfg_from(f: usize, h: usize, m: u32) -> TuningConfig {
+    TuningConfig {
+        freq: Frequency::ALL[f % Frequency::ALL.len()],
+        block: BlockSize::ALL[h % BlockSize::ALL.len()],
+        mappers: m,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any interleaving of solo queries against a tightly budgeted engine
+    /// (16 entries — guaranteed thrashing across 36 distinct keys) returns
+    /// bit-identical results to an unbounded engine, while the budget
+    /// itself holds.
+    #[test]
+    fn bounded_solo_results_are_bit_identical_to_unbounded(
+        seq in proptest::collection::vec(
+            (0usize..3, 0u8..12, 0usize..4, 0usize..4, 1u32..=8),
+            8..24,
+        ),
+    ) {
+        let unbounded = EvalEngine::atom();
+        let bounded = EvalEngine::atom().with_cache_budget(CacheBudget {
+            solo: Some(16),
+            ..CacheBudget::unbounded()
+        });
+        for (ai, mboff, f, h, m) in seq {
+            let p = APPS[ai].profile();
+            let mb = 100.0 + f64::from(mboff) * 37.5;
+            let cfg = cfg_from(f, h, m);
+            let a = unbounded.solo_metrics(p, mb, cfg).expect("unbounded solo");
+            let b = bounded.solo_metrics(p, mb, cfg).expect("bounded solo");
+            prop_assert_eq!(a.exec_time_s.to_bits(), b.exec_time_s.to_bits());
+            prop_assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+            prop_assert_eq!(a.avg_power_w.to_bits(), b.avg_power_w.to_bits());
+            prop_assert!(bounded.cached_solo_runs() <= 16);
+        }
+        // Retention differs even though values never do.
+        prop_assert_eq!(bounded.stats().evictions >= 1, true);
+    }
+}
+
+/// Pair-point queries through a thrashing pair-point cache: evicted points
+/// recompute to exactly the same metrics, and re-querying the full set a
+/// second time still matches the unbounded engine bit for bit.
+#[test]
+fn bounded_pair_points_are_bit_identical_to_unbounded() {
+    let mb = InputSize::Small.per_node_mb();
+    let unbounded = EvalEngine::atom();
+    let bounded = EvalEngine::atom().with_cache_budget(CacheBudget {
+        pair_points: Some(16),
+        ..CacheBudget::unbounded()
+    });
+
+    let points: Vec<(App, App, PairConfig)> = (0..24)
+        .map(|i| {
+            let a = APPS[i % 3];
+            let b = APPS[(i / 3) % 3];
+            let cfg = PairConfig {
+                a: cfg_from(i, i / 2, 1 + (i as u32 % 4)),
+                b: cfg_from(i + 1, i / 3, 1 + ((i as u32 + 2) % 4)),
+            };
+            (a, b, cfg)
+        })
+        .collect();
+
+    for pass in 0..2 {
+        for (a, b, cfg) in &points {
+            let u = unbounded
+                .pair_metrics(a.profile(), mb, b.profile(), mb, *cfg)
+                .expect("unbounded pair");
+            let v = bounded
+                .pair_metrics(a.profile(), mb, b.profile(), mb, *cfg)
+                .expect("bounded pair");
+            assert_eq!(
+                u.makespan_s.to_bits(),
+                v.makespan_s.to_bits(),
+                "pass {pass}: makespan drifted under eviction"
+            );
+            assert_eq!(u.energy_j.to_bits(), v.energy_j.to_bits());
+            assert!(bounded.cached_pair_points() <= 16);
+        }
+    }
+    let s = bounded.stats();
+    assert!(s.evictions > 0, "24 keys through 16 slots must evict");
+    // The unbounded engine answered pass 2 from memo alone; the bounded
+    // one re-simulated what it evicted. Values stayed identical anyway.
+    assert!(s.runs_simulated > unbounded.stats().runs_simulated);
+}

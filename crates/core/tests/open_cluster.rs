@@ -1,0 +1,259 @@
+//! Equivalence and edge tests for the event-calendar open-cluster driver.
+//!
+//! The calendar driver must make the *same scheduling decisions* as the
+//! lockstep driver on the same stream: same placements, same fault
+//! handling, same degradations — so makespan and energy agree to float
+//! accumulation order (the per-node integration spans differ, so results
+//! are equal to a tight relative tolerance rather than bit-identical;
+//! the closed-workload goldens stay pinned to the lockstep driver).
+
+use ecost_apps::{App, InputSize, Workload};
+use ecost_core::classify::RuleClassifier;
+use ecost_core::database::ConfigDatabase;
+use ecost_core::engine::{EvalEngine, EvalError};
+use ecost_core::mapping::{
+    run_ecost_faulted, run_ecost_open_stream, run_untuned_faulted, run_untuned_open_stream,
+    FaultSetup, FaultedRun, OpenArrival,
+};
+use ecost_core::pairing::PairingPolicy;
+use ecost_core::stp::LktStp;
+use ecost_core::EcostContext;
+use ecost_sim::{FaultKind, FaultPlan};
+
+const SEED: u64 = 7;
+
+struct Fixture {
+    db: ConfigDatabase,
+    classifier: RuleClassifier,
+    lkt: LktStp,
+    pairing: PairingPolicy,
+}
+
+impl Fixture {
+    fn build(eng: &EvalEngine, apps: &[App]) -> Fixture {
+        let db = ConfigDatabase::build_subset(eng, apps, &[InputSize::Small], 0.0, SEED)
+            .expect("db build");
+        let classifier = RuleClassifier::fit(&db.signatures);
+        let lkt = LktStp::from_database(&db);
+        Fixture {
+            db,
+            classifier,
+            lkt,
+            pairing: PairingPolicy::default(),
+        }
+    }
+
+    fn ctx(&self) -> EcostContext<'_> {
+        EcostContext {
+            db: &self.db,
+            stp: &self.lkt,
+            classifier: &self.classifier,
+            pairing: &self.pairing,
+            noise: 0.0,
+            seed: SEED,
+            pairing_mode: ecost_core::pairing::PairingMode::DecisionTree,
+        }
+    }
+}
+
+fn mixed_workload() -> Workload {
+    Workload {
+        name: "open-mix".into(),
+        jobs: vec![
+            (App::Wc, InputSize::Small),
+            (App::St, InputSize::Small),
+            (App::Wc, InputSize::Small),
+            (App::St, InputSize::Small),
+        ],
+    }
+}
+
+/// The stream twin of a closed workload on an `n`-node cluster: the same
+/// per-node input share the lockstep entry points compute internally.
+fn stream_of(w: &Workload, n: usize, arrivals: &[f64]) -> Vec<OpenArrival> {
+    w.jobs
+        .iter()
+        .zip(arrivals)
+        .map(|((app, size), at)| OpenArrival {
+            app: *app,
+            input_mb: size.per_node_mb() * n as f64,
+            at_s: *at,
+        })
+        .collect()
+}
+
+/// Equal to float accumulation order: the two drivers chop each node's
+/// integration into different spans, so demand tight relative agreement,
+/// not bit identity.
+fn assert_close(label: &str, a: f64, b: f64) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= 1e-6 * scale,
+        "{label}: lockstep {a} vs calendar {b}"
+    );
+}
+
+fn assert_equivalent(lockstep: &FaultedRun, calendar: &FaultedRun) {
+    assert_close("makespan", lockstep.run.makespan_s, calendar.run.makespan_s);
+    assert_close(
+        "energy",
+        lockstep.run.energy_dyn_j,
+        calendar.run.energy_dyn_j,
+    );
+    // Decisions must be identical, so every counter matches exactly.
+    assert_eq!(lockstep.report, calendar.report);
+}
+
+#[test]
+fn calendar_matches_lockstep_on_simultaneous_arrivals() {
+    let eng = EvalEngine::atom();
+    let fx = Fixture::build(&eng, &[App::Wc, App::St]);
+    let cx = fx.ctx();
+    let w = mixed_workload();
+    let arrivals = [0.0; 4];
+    let setup = FaultSetup::default();
+
+    let lockstep =
+        run_ecost_faulted(&eng, 2, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep");
+    let calendar = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
+        .expect("calendar");
+    assert_equivalent(&lockstep, &calendar);
+}
+
+#[test]
+fn calendar_matches_lockstep_on_staggered_and_tied_arrivals() {
+    let eng = EvalEngine::atom();
+    let fx = Fixture::build(&eng, &[App::Wc, App::St]);
+    let cx = fx.ctx();
+    let w = mixed_workload();
+    let setup = FaultSetup::default();
+
+    for arrivals in [[0.0, 40.0, 80.0, 120.0], [0.0, 0.0, 100.0, 100.0]] {
+        let lockstep =
+            run_ecost_faulted(&eng, 2, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep");
+        let calendar = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
+            .expect("calendar");
+        assert_equivalent(&lockstep, &calendar);
+    }
+}
+
+#[test]
+fn calendar_matches_lockstep_under_faults() {
+    let eng = EvalEngine::atom();
+    let fx = Fixture::build(&eng, &[App::Wc, App::St]);
+    let cx = fx.ctx();
+    let w = mixed_workload();
+    let arrivals = [0.0, 0.0, 60.0, 90.0];
+    // One of everything: a crash displacing in-flight work, a slowdown,
+    // a straggler — the tie case included (fault at an arrival instant).
+    let setup = FaultSetup {
+        plan: FaultPlan::none()
+            .with_event(10.0, 1, FaultKind::NodeCrash)
+            .with_event(60.0, 0, FaultKind::NodeSlowdown { factor: 1.3 })
+            .with_event(90.0, 0, FaultKind::Straggler { multiplier: 2.0 }),
+        ..FaultSetup::default()
+    };
+
+    let lockstep =
+        run_ecost_faulted(&eng, 2, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep");
+    let calendar = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
+        .expect("calendar");
+    assert!(calendar.report.crashes == 1);
+    assert_equivalent(&lockstep, &calendar);
+}
+
+#[test]
+fn untuned_calendar_matches_untuned_lockstep() {
+    let eng = EvalEngine::atom();
+    let w = mixed_workload();
+    let arrivals = [0.0, 25.0, 50.0, 75.0];
+    let setup = FaultSetup::default();
+
+    let lockstep = run_untuned_faulted(&eng, 2, &w, Some(&arrivals), &setup).expect("lockstep");
+    let calendar =
+        run_untuned_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), &setup).expect("calendar");
+    assert_equivalent(&lockstep, &calendar);
+}
+
+/// A burst of simultaneous arrivals hitting a long-idle cluster: the
+/// calendar must fast-forward cleanly (no event before the burst) and
+/// drain everything after it.
+#[test]
+fn empty_cluster_arrival_burst_drains() {
+    let eng = EvalEngine::atom();
+    let fx = Fixture::build(&eng, &[App::Wc, App::St]);
+    let cx = fx.ctx();
+    let w = mixed_workload();
+    let arrivals = [500.0; 4];
+    let setup = FaultSetup::default();
+
+    let lockstep =
+        run_ecost_faulted(&eng, 2, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep");
+    let calendar = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
+        .expect("calendar");
+    assert!(calendar.run.makespan_s > 500.0);
+    assert_equivalent(&lockstep, &calendar);
+}
+
+/// Every node crashing with jobs still queued is a typed degradation on
+/// the calendar path, exactly as on the lockstep path.
+#[test]
+fn all_crash_is_a_typed_degradation() {
+    let eng = EvalEngine::atom();
+    let fx = Fixture::build(&eng, &[App::Wc, App::St]);
+    let cx = fx.ctx();
+    let w = Workload {
+        name: "overload".into(),
+        jobs: vec![(App::Wc, InputSize::Small); 6],
+    };
+    let arrivals = [0.0; 6];
+    let setup = FaultSetup {
+        plan: FaultPlan::none()
+            .with_event(5.0, 0, FaultKind::NodeCrash)
+            .with_event(6.0, 1, FaultKind::NodeCrash),
+        ..FaultSetup::default()
+    };
+    let err = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
+        .expect_err("must degrade");
+    assert!(matches!(err, EvalError::Degraded { .. }), "{err}");
+}
+
+#[test]
+fn invalid_streams_are_typed_errors() {
+    let eng = EvalEngine::atom();
+    let fx = Fixture::build(&eng, &[App::Wc]);
+    let cx = fx.ctx();
+    let setup = FaultSetup::default();
+    let ok = OpenArrival {
+        app: App::Wc,
+        input_mb: 100.0,
+        at_s: 0.0,
+    };
+
+    let cases: Vec<Vec<OpenArrival>> = vec![
+        Vec::new(),
+        vec![OpenArrival {
+            input_mb: -5.0,
+            ..ok
+        }],
+        vec![OpenArrival {
+            input_mb: f64::NAN,
+            ..ok
+        }],
+        vec![OpenArrival { at_s: -1.0, ..ok }],
+        vec![OpenArrival {
+            at_s: f64::INFINITY,
+            ..ok
+        }],
+    ];
+    for stream in &cases {
+        assert!(matches!(
+            run_ecost_open_stream(&eng, 2, stream, 2, &cx, &setup),
+            Err(EvalError::InvalidInput { .. })
+        ));
+    }
+    assert!(matches!(
+        run_ecost_open_stream(&eng, 0, &[ok], 2, &cx, &setup),
+        Err(EvalError::InvalidInput { .. })
+    ));
+}

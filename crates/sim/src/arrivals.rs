@@ -1,0 +1,311 @@
+//! Seeded synthetic arrival traces for open-cluster experiments.
+//!
+//! Public cluster traces (Alibaba 2018, Google 2019) share three robust
+//! regularities this generator reproduces without shipping gigabytes of
+//! trace data:
+//!
+//! * **phased arrival rates** — load swings diurnally; a trace is a cycle
+//!   of phases, each a Poisson process at its own rate. Within a phase the
+//!   gaps are exponential; phase boundaries redraw the gap at the new
+//!   rate, which is statistically exact for a piecewise-constant Poisson
+//!   process (memorylessness: the residual gap at a boundary is itself
+//!   exponential).
+//! * **a heavy-tailed application mix** — a few application types dominate
+//!   submissions; the rest form a long tail. App picks follow a Zipf
+//!   distribution over the catalog ranks (inverted CDF over the finite
+//!   support, no rejection loop).
+//! * **heavy-tailed input sizes** — most jobs are small, a few are huge.
+//!   Sizes draw from a bounded Pareto via inverse transform, so the tail
+//!   is real but the support stays inside what a node can hold.
+//!
+//! Everything derives from one root seed through [`crate::rng::stream`],
+//! so a trace is reproducible byte-for-byte: the scale-out bench replays
+//! the same trace twice in CI and diffs the reports.
+
+use crate::error::SimError;
+use crate::rng::stream;
+use rand::Rng;
+
+/// One constant-rate segment of the arrival cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalPhase {
+    /// Phase length, simulated seconds.
+    pub duration_s: f64,
+    /// Mean arrival rate during the phase, jobs per second.
+    pub rate_per_s: f64,
+}
+
+/// Specification of a synthetic trace. The phase cycle repeats for as
+/// long as it takes to emit the requested number of arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Root seed; every stream of the generator derives from it.
+    pub seed: u64,
+    /// The arrival-rate cycle (e.g. trough / ramp / peak).
+    pub phases: Vec<ArrivalPhase>,
+    /// Catalog size: app indices are drawn from `0..apps`.
+    pub apps: usize,
+    /// Zipf exponent over app ranks; larger skews harder onto rank 0.
+    pub zipf_exponent: f64,
+    /// Inclusive bounds for job input sizes, MB.
+    pub size_range_mb: (f64, f64),
+    /// Pareto tail index for the size distribution; smaller is
+    /// heavier-tailed. Typical trace fits land in 1.1–2.5.
+    pub size_tail_alpha: f64,
+}
+
+/// One generated arrival: when, which catalog app (by index), how big.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceArrival {
+    /// Arrival time, simulated seconds (non-decreasing across the trace).
+    pub at_s: f64,
+    /// Index into the app catalog, `0..spec.apps`, Zipf-ranked.
+    pub app: usize,
+    /// Input size, MB, within `spec.size_range_mb`.
+    pub size_mb: f64,
+}
+
+impl TraceSpec {
+    /// An Alibaba-flavoured preset over a catalog of `apps` applications:
+    /// a three-phase trough / ramp / peak cycle whose peak rate is set by
+    /// `peak_rate_per_s`, a Zipf-1.1 app mix and bounded-Pareto sizes
+    /// between 64 MB and 2 GB with tail index 1.5.
+    pub fn alibaba_like(seed: u64, apps: usize, peak_rate_per_s: f64) -> TraceSpec {
+        TraceSpec {
+            seed,
+            phases: vec![
+                ArrivalPhase {
+                    duration_s: 1200.0,
+                    rate_per_s: peak_rate_per_s * 0.25,
+                },
+                ArrivalPhase {
+                    duration_s: 600.0,
+                    rate_per_s: peak_rate_per_s * 0.6,
+                },
+                ArrivalPhase {
+                    duration_s: 1200.0,
+                    rate_per_s: peak_rate_per_s,
+                },
+            ],
+            apps,
+            zipf_exponent: 1.1,
+            size_range_mb: (64.0, 2048.0),
+            size_tail_alpha: 1.5,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.apps == 0 {
+            return Err(SimError::InvalidDemand(
+                "trace needs a non-empty app catalog",
+            ));
+        }
+        if self.phases.is_empty() {
+            return Err(SimError::InvalidDemand("trace needs at least one phase"));
+        }
+        for p in &self.phases {
+            if !(p.duration_s.is_finite() && p.duration_s > 0.0) {
+                return Err(SimError::InvalidDemand(
+                    "phase durations must be finite and positive",
+                ));
+            }
+            if !(p.rate_per_s.is_finite() && p.rate_per_s > 0.0) {
+                return Err(SimError::InvalidDemand(
+                    "phase rates must be finite and positive",
+                ));
+            }
+        }
+        if !(self.zipf_exponent.is_finite() && self.zipf_exponent > 0.0) {
+            return Err(SimError::InvalidDemand(
+                "zipf exponent must be finite and positive",
+            ));
+        }
+        let (lo, hi) = self.size_range_mb;
+        if !(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo) {
+            return Err(SimError::InvalidDemand(
+                "size range must be finite with 0 < lo <= hi",
+            ));
+        }
+        if !(self.size_tail_alpha.is_finite() && self.size_tail_alpha > 0.0) {
+            return Err(SimError::InvalidDemand(
+                "size tail index must be finite and positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generate `count` arrivals from `spec`, sorted by time.
+///
+/// Three independent seeded streams (gaps, app picks, sizes) derive from
+/// `spec.seed`, so changing e.g. the size distribution leaves the arrival
+/// times untouched.
+pub fn generate(spec: &TraceSpec, count: usize) -> Result<Vec<TraceArrival>, SimError> {
+    spec.validate()?;
+    let mut gaps = stream(spec.seed, "trace.gaps");
+    let mut picks = stream(spec.seed, "trace.apps");
+    let mut sizes = stream(spec.seed, "trace.sizes");
+
+    // Zipf CDF over the finite catalog: mass(rank r) ∝ (r+1)^-s.
+    let mut zipf_cdf: Vec<f64> = Vec::with_capacity(spec.apps);
+    let mut acc = 0.0;
+    for r in 0..spec.apps {
+        acc += ((r + 1) as f64).powf(-spec.zipf_exponent);
+        zipf_cdf.push(acc);
+    }
+    let zipf_total = acc;
+
+    let (lo, hi) = spec.size_range_mb;
+    let alpha = spec.size_tail_alpha;
+    // Bounded-Pareto inverse CDF precomputation.
+    let tail_ratio = (lo / hi).powf(alpha);
+
+    let cycle_s: f64 = spec.phases.iter().map(|p| p.duration_s).sum();
+    let mut out = Vec::with_capacity(count);
+    let mut t = 0.0_f64;
+    let mut phase = 0_usize;
+    // Absolute end time of the current phase (phases repeat cyclically).
+    let mut phase_end = spec.phases[0].duration_s;
+
+    while out.len() < count {
+        // Exponential gap at the current phase's rate. Redrawing at each
+        // boundary crossing is exact for piecewise-constant Poisson.
+        let u: f64 = gaps.gen_range(f64::EPSILON..1.0);
+        let gap = -u.ln() / spec.phases[phase].rate_per_s;
+        if t + gap >= phase_end {
+            // Crossed into the next phase: fast-forward and redraw there.
+            t = phase_end;
+            phase = (phase + 1) % spec.phases.len();
+            phase_end += spec.phases[phase].duration_s;
+            // Guard against float creep over very long traces.
+            debug_assert!(phase_end - t <= cycle_s + 1.0);
+            continue;
+        }
+        t += gap;
+
+        let zu: f64 = picks.gen_range(0.0..zipf_total);
+        let app = zipf_cdf.partition_point(|&c| c <= zu).min(spec.apps - 1);
+
+        let su: f64 = sizes.gen_range(0.0..1.0);
+        // Inverse CDF of the Pareto truncated to [lo, hi].
+        let size_mb = if hi > lo {
+            lo / (1.0 - su * (1.0 - tail_ratio)).powf(1.0 / alpha)
+        } else {
+            lo
+        };
+
+        out.push(TraceArrival {
+            at_s: t,
+            app,
+            size_mb: size_mb.clamp(lo, hi),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TraceSpec {
+        TraceSpec::alibaba_like(42, 12, 2.0)
+    }
+
+    #[test]
+    fn traces_are_reproducible() {
+        let a = generate(&spec(), 5000).expect("generate");
+        let b = generate(&spec(), 5000).expect("generate");
+        assert_eq!(a, b);
+        let c = generate(&TraceSpec { seed: 43, ..spec() }, 5000).expect("generate");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn times_are_monotone_and_finite() {
+        let tr = generate(&spec(), 5000).expect("generate");
+        assert_eq!(tr.len(), 5000);
+        let mut prev = 0.0;
+        for a in &tr {
+            assert!(a.at_s.is_finite() && a.at_s >= prev);
+            prev = a.at_s;
+        }
+    }
+
+    #[test]
+    fn phase_rates_shape_the_arrival_density() {
+        // Peak phase (rate 2/s) must see far more arrivals per second than
+        // the trough (rate 0.5/s). Count arrivals in the first cycle.
+        let s = spec();
+        let tr = generate(&s, 6000).expect("generate");
+        let trough: usize = tr.iter().filter(|a| a.at_s < 1200.0).count();
+        let peak: usize = tr
+            .iter()
+            .filter(|a| (1800.0..3000.0).contains(&a.at_s))
+            .count();
+        // Same duration, 4× the rate: allow generous statistical slack.
+        assert!(
+            peak as f64 > 2.5 * trough as f64,
+            "peak {peak} trough {trough}"
+        );
+    }
+
+    #[test]
+    fn app_mix_is_zipf_skewed_and_in_range() {
+        let s = spec();
+        let tr = generate(&s, 20_000).expect("generate");
+        let mut counts = vec![0_usize; s.apps];
+        for a in &tr {
+            assert!(a.app < s.apps);
+            counts[a.app] += 1;
+        }
+        // Rank 0 dominates; every rank still shows up in 20k draws.
+        assert!(counts[0] > counts[s.apps - 1] * 3);
+        assert!(counts.iter().all(|&c| c > 0));
+        // Monotone-ish head: rank 0 beats rank 1 beats rank 2.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn sizes_are_bounded_and_heavy_tailed() {
+        let s = spec();
+        let tr = generate(&s, 20_000).expect("generate");
+        let (lo, hi) = s.size_range_mb;
+        for a in &tr {
+            assert!((lo..=hi).contains(&a.size_mb));
+        }
+        // Heavy tail: the median sits well below the midpoint, yet some
+        // jobs land in the top decile of the range.
+        let mut sizes: Vec<f64> = tr.iter().map(|a| a.size_mb).collect();
+        sizes.sort_by(f64::total_cmp);
+        let median = sizes[sizes.len() / 2];
+        assert!(median < (lo + hi) / 4.0, "median {median}");
+        assert!(sizes[sizes.len() - 1] > hi * 0.9);
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors() {
+        let mut s = spec();
+        s.apps = 0;
+        assert!(generate(&s, 10).is_err());
+        let mut s = spec();
+        s.phases.clear();
+        assert!(generate(&s, 10).is_err());
+        let mut s = spec();
+        s.phases[0].rate_per_s = 0.0;
+        assert!(generate(&s, 10).is_err());
+        let mut s = spec();
+        s.size_range_mb = (100.0, 50.0);
+        assert!(generate(&s, 10).is_err());
+        let mut s = spec();
+        s.zipf_exponent = f64::NAN;
+        assert!(generate(&s, 10).is_err());
+    }
+
+    #[test]
+    fn degenerate_size_range_is_constant() {
+        let mut s = spec();
+        s.size_range_mb = (256.0, 256.0);
+        let tr = generate(&s, 100).expect("generate");
+        assert!(tr.iter().all(|a| a.size_mb == 256.0));
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod amva;
+pub mod arrivals;
 pub mod cluster;
 pub mod dvfs;
 pub mod error;
@@ -39,6 +40,7 @@ pub mod rng;
 pub mod trace;
 
 pub use amva::{AmvaBatch, AmvaScratch, AmvaSolution, ClassDemand, SharedStation};
+pub use arrivals::{ArrivalPhase, TraceArrival, TraceSpec};
 pub use cluster::ClusterSpec;
 pub use dvfs::Frequency;
 pub use error::SimError;
