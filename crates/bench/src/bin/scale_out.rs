@@ -34,6 +34,7 @@ use ecost_core::database::ConfigDatabase;
 use ecost_core::engine::{EngineStats, EvalEngine};
 use ecost_core::mapping::{
     run_ecost_open_stream, run_untuned_open_stream, FaultSetup, FaultedRun, OpenArrival,
+    OpenOptions,
 };
 use ecost_core::pairing::{PairingMode, PairingPolicy};
 use ecost_core::stp::LktStp;
@@ -104,6 +105,15 @@ impl ArmOut {
         let _ = writeln!(s, "      \"hits\": {},", self.stats.hits);
         let _ = writeln!(s, "      \"misses\": {},", self.stats.misses);
         let _ = writeln!(s, "      \"evictions\": {}", self.stats.evictions);
+        let _ = writeln!(s, "    }},");
+        let _ = writeln!(s, "    \"engine\": {{");
+        let _ = writeln!(s, "      \"fallbacks\": {},", self.stats.fallbacks);
+        let _ = writeln!(s, "      \"retries\": {},", self.stats.retries);
+        let _ = writeln!(
+            s,
+            "      \"faults_injected\": {}",
+            self.stats.faults_injected
+        );
         let _ = writeln!(s, "    }}");
         s.push_str("  }");
         s
@@ -209,7 +219,8 @@ fn run() -> Result<(), BenchError> {
     );
     let eng_u = EvalEngine::atom().with_cache_budget(budget);
     let t0 = Instant::now();
-    let untuned = run_untuned_open_stream(&eng_u, scale.nodes, &stream, &setup)?;
+    let untuned =
+        run_untuned_open_stream(&eng_u, scale.nodes, &stream, OpenOptions::default(), &setup)?;
     let untuned = ArmOut {
         name: "untuned",
         run: untuned,
@@ -221,7 +232,14 @@ fn run() -> Result<(), BenchError> {
     eprintln!("[scale_out] ecost arm…");
     let eng_e = EvalEngine::atom().with_cache_budget(budget);
     let t0 = Instant::now();
-    let ecost = run_ecost_open_stream(&eng_e, scale.nodes, &stream, 2, &cx, &setup)?;
+    let ecost = run_ecost_open_stream(
+        &eng_e,
+        scale.nodes,
+        &stream,
+        OpenOptions::default(),
+        &cx,
+        &setup,
+    )?;
     let ecost = ArmOut {
         name: "ecost",
         run: ecost,

@@ -10,9 +10,14 @@
 //! single anomalously fast prior row (a noisy-neighbour lull would
 //! otherwise ratchet the baseline up and flag the next honest run).
 //!
-//! Usage: `trend_check [path]` (default `BENCH_trend.jsonl`). A store
-//! with no comparable prior row passes vacuously: the first row of any
-//! (mode, arms, threads) context seeds the trend, it cannot regress.
+//! Usage: `trend_check [path]` (default `BENCH_trend.jsonl`).
+//!
+//! Exit codes: `0` when every compared metric is within tolerance, `2`
+//! ("no data") when there is nothing to gate — the store is missing,
+//! empty, or has no comparable prior row for the newest row's (mode,
+//! arms, threads) context — and `1` on a regression or a malformed
+//! store. Callers that treat a seeding run as acceptable should accept
+//! exit 2 explicitly (CI does: `trend_check || [ $? -eq 2 ]`).
 //!
 //! The rows are written by our own writer with stable key order, so the
 //! "parser" here is a deliberately minimal key scanner, not a general
@@ -22,7 +27,7 @@ use ecost_bench::BenchError;
 use std::process::ExitCode;
 
 /// Headline throughput keys a row may carry (absent arms are skipped).
-const METRICS: [&str; 10] = [
+const METRICS: [&str; 11] = [
     "solo_baseline_sims_per_s",
     "solo_optimized_sims_per_s",
     "solo_batched_sims_per_s",
@@ -33,6 +38,7 @@ const METRICS: [&str; 10] = [
     "sched_optimized_sims_per_s",
     "sched_batched_sims_per_s",
     "scale_decisions_per_s",
+    "service_decisions_per_s",
 ];
 
 /// How many comparable prior rows feed the reference median.
@@ -90,11 +96,24 @@ fn run() -> Result<(), BenchError> {
             .map_err(|_| BenchError::Invalid(format!("ECOST_TREND_TOL={v:?} is not a number")))?,
         Err(_) => 0.10,
     };
-    let text = std::fs::read_to_string(&path)?;
+    check(&path, tol)
+}
+
+/// The gate proper, separated from env/arg parsing for unit testing.
+fn check(path: &str, tol: f64) -> Result<(), BenchError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(BenchError::NoData(format!(
+                "{path}: trend store not found — run a bench first to seed it"
+            )));
+        }
+        Err(e) => return Err(BenchError::Io(e)),
+    };
     let rows: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     let (last, prior) = rows
         .split_last()
-        .ok_or_else(|| BenchError::Invalid(format!("{path}: trend store has no rows")))?;
+        .ok_or_else(|| BenchError::NoData(format!("{path}: trend store has no rows")))?;
     if field_str(last, "schema") != Some("ecost-bench-trend/1") {
         return Err(BenchError::Invalid(format!(
             "{path}: newest row has unknown schema (want ecost-bench-trend/1)"
@@ -110,11 +129,10 @@ fn run() -> Result<(), BenchError> {
         .take(WINDOW)
         .collect();
     if prevs.is_empty() {
-        println!(
-            "trend_check: no prior row with mode={} arms={} threads={} — seeding, nothing to gate",
+        return Err(BenchError::NoData(format!(
+            "{path}: no prior row with mode={} arms={} threads={} — this row seeds the trend",
             ctx.0, ctx.1, ctx.2
-        );
-        return Ok(());
+        )));
     }
     let commits = prevs
         .iter()
@@ -194,6 +212,56 @@ mod tests {
         let m = median(&mut [100.0, 140.0, 100.0]).unwrap();
         assert_eq!(m, 100.0);
         assert!(95.0 >= m * (1.0 - 0.10));
+    }
+
+    fn write_store(name: &str, rows: &[&str]) -> String {
+        let dir = std::env::temp_dir().join("ecost_trend_check_test");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join(name);
+        std::fs::write(&path, rows.join("\n")).expect("write store");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn missing_store_is_no_data() {
+        match check("/nonexistent/ecost/trend.jsonl", 0.10) {
+            Err(BenchError::NoData(msg)) => assert!(msg.contains("not found"), "{msg}"),
+            other => panic!("expected NoData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_store_is_no_data() {
+        let path = write_store("empty.jsonl", &[""]);
+        match check(&path, 0.10) {
+            Err(BenchError::NoData(msg)) => assert!(msg.contains("no rows"), "{msg}"),
+            other => panic!("expected NoData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_comparable_prior_row_is_no_data() {
+        let row_full = r#"{"schema":"ecost-bench-trend/1","commit":"a","mode":"full","arms":"scale","threads":1,"scale_decisions_per_s":100.0}"#;
+        let row_quick = r#"{"schema":"ecost-bench-trend/1","commit":"b","mode":"quick","arms":"scale","threads":1,"scale_decisions_per_s":100.0}"#;
+        let path = write_store("seeding.jsonl", &[row_full, row_quick]);
+        match check(&path, 0.10) {
+            Err(BenchError::NoData(msg)) => assert!(msg.contains("seeds the trend"), "{msg}"),
+            other => panic!("expected NoData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparable_rows_within_tolerance_pass_and_regressions_fail() {
+        let prior = r#"{"schema":"ecost-bench-trend/1","commit":"a","mode":"quick","arms":"scale","threads":1,"scale_decisions_per_s":100.0}"#;
+        let ok = r#"{"schema":"ecost-bench-trend/1","commit":"b","mode":"quick","arms":"scale","threads":1,"scale_decisions_per_s":95.0}"#;
+        let bad = r#"{"schema":"ecost-bench-trend/1","commit":"c","mode":"quick","arms":"scale","threads":1,"scale_decisions_per_s":50.0}"#;
+        let path = write_store("gate_ok.jsonl", &[prior, ok]);
+        assert!(check(&path, 0.10).is_ok());
+        let path = write_store("gate_bad.jsonl", &[prior, bad]);
+        match check(&path, 0.10) {
+            Err(BenchError::Invalid(msg)) => assert!(msg.contains("regression"), "{msg}"),
+            other => panic!("expected Invalid regression, got {other:?}"),
+        }
     }
 
     #[test]

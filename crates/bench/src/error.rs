@@ -22,6 +22,11 @@ pub enum BenchError {
     /// Malformed input: an environment variable, argument, or an
     /// experiment invariant (e.g. an empty sweep) that did not hold.
     Invalid(String),
+    /// The input exists-but-is-empty case: a gate or report had nothing
+    /// to work on (missing trend store, no comparable rows). Mapped by
+    /// [`run_main`] to exit code 2 so callers can distinguish "nothing
+    /// to check" from a real failure.
+    NoData(String),
 }
 
 impl fmt::Display for BenchError {
@@ -31,6 +36,7 @@ impl fmt::Display for BenchError {
             BenchError::Eval(e) => write!(f, "evaluation failed: {e}"),
             BenchError::Sim(e) => write!(f, "simulation failed: {e}"),
             BenchError::Invalid(what) => write!(f, "invalid input: {what}"),
+            BenchError::NoData(what) => write!(f, "no data: {what}"),
         }
     }
 }
@@ -41,7 +47,7 @@ impl std::error::Error for BenchError {
             BenchError::Io(e) => Some(e),
             BenchError::Eval(e) => Some(e),
             BenchError::Sim(e) => Some(e),
-            BenchError::Invalid(_) => None,
+            BenchError::Invalid(_) | BenchError::NoData(_) => None,
         }
     }
 }
@@ -66,9 +72,17 @@ impl From<SimError> for BenchError {
 
 /// Run an experiment body, mapping `Err` to a one-line diagnostic on
 /// stderr and a non-zero exit code. Every `src/bin/*` main delegates here.
+///
+/// Exit codes: `0` success, `2` for [`BenchError::NoData`] ("nothing to
+/// check" — e.g. `trend_check` on a missing trend store or one with no
+/// comparable rows), `1` for every other error.
 pub fn run_main(name: &str, body: impl FnOnce() -> Result<(), BenchError>) -> ExitCode {
     match body() {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e @ BenchError::NoData(_)) => {
+            eprintln!("{name}: {e} (exit 2: nothing to gate, not a failure)");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("{name}: {e}");
             ExitCode::FAILURE

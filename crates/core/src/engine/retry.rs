@@ -38,6 +38,33 @@ impl RetryPolicy {
         };
         self.backoff_s.max(0.0) * mult.powi(attempt.min(64) as i32)
     }
+
+    /// [`Self::backoff_for`] stretched by a seeded jitter: up to `frac`
+    /// of the base backoff, drawn deterministically from `key` (callers
+    /// derive it from a request identity). Requests retrying in lockstep
+    /// would otherwise resynchronise on every geometric step; the jitter
+    /// spreads them while staying fully reproducible. A non-finite or
+    /// non-positive `frac` degrades to the unjittered backoff.
+    pub fn jittered_backoff_for(&self, attempt: u32, frac: f64, key: u64) -> f64 {
+        let base = self.backoff_for(attempt);
+        if !(frac.is_finite() && frac > 0.0) || base == 0.0 {
+            return base;
+        }
+        let mixed = splitmix64(key ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Top 53 bits → uniform in [0, 1).
+        let u = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+        base * (1.0 + frac * u)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash for deriving
+/// per-(request, attempt) jitter without threading an RNG through the
+/// retry path.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for RetryPolicy {
@@ -68,6 +95,27 @@ mod tests {
         let p = RetryPolicy::none();
         assert_eq!(p.max_retries, 0);
         assert_eq!(p.backoff_for(0), 0.0);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy::default();
+        for attempt in 0..4 {
+            let base = p.backoff_for(attempt);
+            let j = p.jittered_backoff_for(attempt, 0.5, 12345);
+            assert_eq!(j, p.jittered_backoff_for(attempt, 0.5, 12345));
+            if attempt == 0 {
+                assert!((base..base * 1.5).contains(&j), "jitter {j} vs base {base}");
+            }
+        }
+        // Different keys spread.
+        assert_ne!(
+            p.jittered_backoff_for(0, 0.5, 1),
+            p.jittered_backoff_for(0, 0.5, 2)
+        );
+        // Degenerate fractions degrade to the plain backoff.
+        assert_eq!(p.jittered_backoff_for(1, 0.0, 7), p.backoff_for(1));
+        assert_eq!(p.jittered_backoff_for(1, f64::NAN, 7), p.backoff_for(1));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod pairing;
 pub mod queue;
 pub mod report;
 pub mod scheduler;
+pub mod service;
 pub mod stp;
 pub mod strategies;
 
@@ -52,9 +53,14 @@ pub use database::ConfigDatabase;
 pub use engine::{CacheBudget, EngineStats, EvalEngine, EvalError, RetryPolicy};
 pub use features::{profile_app, AppSignature, Testbed, REFERENCE_CONFIG};
 pub use mapping::{
-    ConfiguredPolicy, EcostContext, FaultReport, FaultSetup, FaultedRun, MappingPolicy, OpenArrival,
+    ConfiguredPolicy, EcostContext, FaultReport, FaultSetup, FaultedRun, MappingPolicy,
+    OpenArrival, OpenOptions,
 };
 pub use pairing::PairingPolicy;
 pub use queue::WaitQueue;
 pub use scheduler::OPEN_ELIGIBLE_WINDOW;
+pub use service::{
+    BreakerConfig, BreakerState, DecidedConfig, DecisionCosts, DecisionTier, ServiceConfig,
+    ServiceError, ServiceReport, TuningDecision, TuningRequest, TuningService,
+};
 pub use stp::{LktStp, MlmStp, Stp};

@@ -42,6 +42,7 @@ use crate::scheduler::{
     collect, run_stream, run_stream_calendar, run_stream_open, Prepared, StreamPolicy,
     OPEN_ELIGIBLE_WINDOW,
 };
+use crate::service::{ServiceConfig, ServiceCore, ServiceReport};
 use crate::stp::Stp;
 use ecost_apps::{App, AppClass, Workload};
 use ecost_mapreduce::executor::NodeSim;
@@ -748,6 +749,40 @@ pub struct OpenArrival {
     pub at_s: f64,
 }
 
+/// Knobs of the open-stream calendar drivers, previously hardcoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenOptions {
+    /// Head-reservation skips a queued head job tolerates before it
+    /// pins a node (anti-starvation, §5 open-queue extension).
+    pub max_head_skips: u32,
+    /// Partner scans consider at most this many queue positions from
+    /// the front. Smaller windows trade decision quality for speed;
+    /// must be at least 1.
+    pub eligible_window: usize,
+}
+
+impl Default for OpenOptions {
+    /// Two head skips, the historical [`OPEN_ELIGIBLE_WINDOW`] scan
+    /// bound.
+    fn default() -> OpenOptions {
+        OpenOptions {
+            max_head_skips: 2,
+            eligible_window: OPEN_ELIGIBLE_WINDOW,
+        }
+    }
+}
+
+impl OpenOptions {
+    fn validate(&self) -> Result<(), EvalError> {
+        if self.eligible_window < 1 {
+            return Err(EvalError::InvalidInput {
+                what: "eligible_window must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
 /// `n ≥ 1` / non-empty / finite-fields validation for open-stream runs.
 fn validate_stream_input(n: usize, stream: &[OpenArrival]) -> Result<(), EvalError> {
     if n < 1 {
@@ -783,7 +818,7 @@ fn validate_stream_input(n: usize, stream: &[OpenArrival]) -> Result<(), EvalErr
 /// scheduler ([`crate::scheduler::calendar`]): per-event cost scales with
 /// the jobs that actually changed, not with cluster size or arrival
 /// history, so 100k-arrival traces on hundreds of nodes are tractable.
-/// Partner scans are bounded to the first [`OPEN_ELIGIBLE_WINDOW`] queue
+/// Partner scans are bounded to the first `opts.eligible_window` queue
 /// positions. Decision-equivalent to [`run_ecost_faulted`] on the same
 /// stream (asserted by equivalence tests), though not bit-identical — the
 /// per-node float accumulation order differs.
@@ -791,19 +826,13 @@ pub fn run_ecost_open_stream(
     engine: &EvalEngine,
     n: usize,
     stream: &[OpenArrival],
-    max_head_skips: u32,
+    opts: OpenOptions,
     ctx: &EcostContext<'_>,
     setup: &FaultSetup,
 ) -> Result<FaultedRun, EvalError> {
     validate_stream_input(n, stream)?;
-    let prepared = stream
-        .iter()
-        .map(|a| {
-            let sig = profile_app(engine, a.app.profile(), a.input_mb, ctx.noise, ctx.seed)?;
-            let class = ctx.classifier.classify(&sig.features);
-            Ok(Prepared { sig, class })
-        })
-        .collect::<Result<Vec<_>, EvalError>>()?;
+    opts.validate()?;
+    let prepared = prepare_stream(engine, stream, ctx)?;
     let arrivals: Vec<f64> = stream.iter().map(|a| a.at_s).collect();
     let policy = EcostPolicy::new(engine, ctx);
     let (run, mut report) = run_stream_calendar(
@@ -811,13 +840,171 @@ pub fn run_ecost_open_stream(
         n,
         prepared,
         Some(&arrivals),
-        max_head_skips,
+        opts.max_head_skips,
         &policy,
         setup,
-        OPEN_ELIGIBLE_WINDOW,
+        opts.eligible_window,
     )?;
     report.config_fallbacks += policy.config_fallbacks.get();
     Ok(FaultedRun { run, report })
+}
+
+/// Profile + classify every arrival of an open stream.
+fn prepare_stream(
+    engine: &EvalEngine,
+    stream: &[OpenArrival],
+    ctx: &EcostContext<'_>,
+) -> Result<Vec<Prepared>, EvalError> {
+    stream
+        .iter()
+        .map(|a| {
+            let sig = profile_app(engine, a.app.profile(), a.input_mb, ctx.noise, ctx.seed)?;
+            let class = ctx.classifier.classify(&sig.features);
+            Ok(Prepared { sig, class })
+        })
+        .collect()
+}
+
+/// [`run_ecost_open_stream`] with every tuning decision routed through
+/// the service layer ([`crate::service`]): admission control, deadlines,
+/// the degradation tier ladder and the circuit breaker all apply, per
+/// decision, on the simulated clock. Returns the schedule outcome plus
+/// the service's outcome counters.
+///
+/// Decision latency is accounted in
+/// [`ServiceReport::decision_time_s`], *not* folded into the schedule's
+/// makespan — the service models a tuning control plane beside the
+/// cluster, not inside it. With [`ServiceConfig::unlimited`] and a
+/// healthy fault spec every decision is granted a free full sweep and
+/// the run is bit-identical to [`run_ecost_open_stream`] (asserted by
+/// an integration test).
+#[allow(clippy::too_many_arguments)]
+pub fn run_ecost_open_stream_serviced(
+    engine: &EvalEngine,
+    n: usize,
+    stream: &[OpenArrival],
+    opts: OpenOptions,
+    ctx: &EcostContext<'_>,
+    setup: &FaultSetup,
+    svc_cfg: ServiceConfig,
+    svc_faults: ecost_sim::ServiceFaultSpec,
+) -> Result<(FaultedRun, ServiceReport), EvalError> {
+    validate_stream_input(n, stream)?;
+    opts.validate()?;
+    let core = ServiceCore::new(svc_cfg, svc_faults).map_err(|e| match e {
+        crate::service::ServiceError::InvalidConfig { what } => EvalError::InvalidInput { what },
+        _ => EvalError::Internal {
+            what: "service core construction failed",
+        },
+    })?;
+    let prepared = prepare_stream(engine, stream, ctx)?;
+    let arrivals: Vec<f64> = stream.iter().map(|a| a.at_s).collect();
+    let policy = ServicedPolicy {
+        inner: EcostPolicy::new(engine, ctx),
+        core: std::cell::RefCell::new(core),
+        seq: std::cell::Cell::new(0),
+    };
+    let (run, mut report) = run_stream_calendar(
+        engine,
+        n,
+        prepared,
+        Some(&arrivals),
+        opts.max_head_skips,
+        &policy,
+        setup,
+        opts.eligible_window,
+    )?;
+    report.config_fallbacks += policy.inner.config_fallbacks.get();
+    let svc_report = policy.core.into_inner().report().clone();
+    Ok((FaultedRun { run, report }, svc_report))
+}
+
+/// [`EcostPolicy`] behind the service front door: every pick/solo
+/// decision first passes admission → deadline → tier ladder → breaker on
+/// the simulated clock, then the granted tier bounds how much of the
+/// normal decision logic runs. Rejected decisions (shed, deadline blown)
+/// degrade to FIFO partners on class-default knobs — the schedule always
+/// proceeds; the rejection is visible in the [`ServiceReport`].
+struct ServicedPolicy<'a, 'b> {
+    inner: EcostPolicy<'a, 'b>,
+    /// Interior mutability: [`StreamPolicy`] methods take `&self`, and
+    /// the calendar driver is single-threaded.
+    core: std::cell::RefCell<ServiceCore>,
+    seq: std::cell::Cell<u64>,
+}
+
+impl ServicedPolicy<'_, '_> {
+    /// Run one decision through the service core, in calendar order.
+    fn admit(&self, now: f64) -> Result<Option<crate::service::DecisionTier>, EvalError> {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let mut core = self.core.borrow_mut();
+        let deadline = core.deadline_s();
+        match core.admit(seq, now, deadline, None) {
+            Ok(grant) => Ok(Some(grant.tier)),
+            Err(
+                crate::service::ServiceError::Overloaded { .. }
+                | crate::service::ServiceError::DeadlineExceeded { .. },
+            ) => Ok(None),
+            Err(_) => Err(EvalError::Internal {
+                what: "service rejected a streaming decision",
+            }),
+        }
+    }
+
+    fn fallback_pair(
+        &self,
+        now: f64,
+        anchor: &Prepared,
+        candidates: &[&Prepared],
+        cores: u32,
+    ) -> (usize, ecost_mapreduce::PairConfig) {
+        self.inner.note_config_fallback(now);
+        let b_share = (cores / 2).max(1);
+        let a_share = (cores - b_share).max(1);
+        (
+            0,
+            ecost_mapreduce::PairConfig {
+                a: class_default_config(anchor.class, a_share),
+                b: class_default_config(candidates[0].class, b_share),
+            },
+        )
+    }
+}
+
+impl StreamPolicy for ServicedPolicy<'_, '_> {
+    fn pick(
+        &self,
+        now: f64,
+        anchor: &Prepared,
+        candidates: &[&Prepared],
+        cores: u32,
+    ) -> Result<(usize, ecost_mapreduce::PairConfig), EvalError> {
+        use crate::service::DecisionTier;
+        match self.admit(now)? {
+            Some(DecisionTier::FullSweep) => self.inner.pick(now, anchor, candidates, cores),
+            Some(DecisionTier::Windowed) => {
+                // Degraded scan: only the queue head is considered.
+                self.inner.pick(now, anchor, &candidates[..1], cores)
+            }
+            Some(DecisionTier::ClassDefault) | None => {
+                Ok(self.fallback_pair(now, anchor, candidates, cores))
+            }
+        }
+    }
+
+    fn solo_config(&self, now: f64, job: &Prepared, cores: u32) -> Result<TuningConfig, EvalError> {
+        use crate::service::DecisionTier;
+        match self.admit(now)? {
+            Some(DecisionTier::FullSweep) | Some(DecisionTier::Windowed) => {
+                self.inner.solo_config(now, job, cores)
+            }
+            Some(DecisionTier::ClassDefault) | None => {
+                self.inner.note_config_fallback(now);
+                Ok(class_default_config(job.class, cores))
+            }
+        }
+    }
 }
 
 /// The untuned streaming baseline over an arrival stream (two half-node
@@ -828,9 +1015,11 @@ pub fn run_untuned_open_stream(
     engine: &EvalEngine,
     n: usize,
     stream: &[OpenArrival],
+    opts: OpenOptions,
     setup: &FaultSetup,
 ) -> Result<FaultedRun, EvalError> {
     validate_stream_input(n, stream)?;
+    opts.validate()?;
     let cores = engine.testbed().node.cores;
     let half_cfg = TuningConfig {
         mappers: (cores / 2).max(1),
@@ -859,10 +1048,10 @@ pub fn run_untuned_open_stream(
         n,
         prepared,
         Some(&arrivals),
-        2,
+        opts.max_head_skips,
         &policy,
         setup,
-        OPEN_ELIGIBLE_WINDOW,
+        opts.eligible_window,
     )?;
     Ok(FaultedRun { run, report })
 }

@@ -1,0 +1,188 @@
+//! Circuit breaker over the engine-backed decision tiers, on the
+//! simulated clock.
+//!
+//! When consecutive tuning requests fail their evaluation tier (retry
+//! budget exhausted against a transient-failure burst), hammering the
+//! engine with more full sweeps only burns deadline budget. The breaker
+//! *trips* after a configurable failure streak: subsequent requests
+//! short-circuit straight to the class-default fallback tier without
+//! touching the engine. After a cooldown — measured on the simulated
+//! clock, like every duration in this repo — the breaker *half-opens*:
+//! the next request is allowed through as a probe. A successful probe
+//! closes the breaker; a failing one re-trips it and restarts the
+//! cooldown.
+//!
+//! The breaker is driven strictly in request-sequence order by the
+//! service's admission turnstile, so its transitions are a deterministic
+//! function of the request stream — concurrency never changes which
+//! requests see an open breaker.
+
+/// Breaker tuning: when to trip, how long to stay open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive evaluation-tier failures that trip the breaker.
+    /// 0 disables the breaker entirely.
+    pub threshold: u32,
+    /// Simulated seconds the breaker stays open before half-opening.
+    pub cooldown_s: f64,
+}
+
+impl BreakerConfig {
+    /// No breaker: engine tiers are always admitted.
+    pub fn disabled() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 0,
+            cooldown_s: 0.0,
+        }
+    }
+}
+
+impl Default for BreakerConfig {
+    /// Trip after 5 consecutive failures, half-open after 30 simulated
+    /// seconds.
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 5,
+            cooldown_s: 30.0,
+        }
+    }
+}
+
+/// Observable breaker position at a given simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Failures below threshold; engine tiers admitted.
+    Closed,
+    /// Tripped and still cooling down; engine tiers short-circuited.
+    Open,
+    /// Cooldown elapsed; the next request probes the engine tiers.
+    HalfOpen,
+}
+
+/// The breaker state machine. Not synchronised — the owning service
+/// drives it under its admission lock, in request order.
+#[derive(Debug, Clone)]
+pub(crate) struct CircuitBreaker {
+    cfg: BreakerConfig,
+    /// Current failure streak (reset by any success).
+    consecutive: u32,
+    /// Simulated trip instant while open/half-open.
+    opened_at_s: Option<f64>,
+    /// Lifetime trips (re-trips after a failed probe included).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    pub(crate) fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            consecutive: 0,
+            opened_at_s: None,
+            trips: 0,
+        }
+    }
+
+    /// Breaker position for a request arriving at `t_s`.
+    pub(crate) fn state(&self, t_s: f64) -> BreakerState {
+        match self.opened_at_s {
+            None => BreakerState::Closed,
+            Some(at) if t_s - at >= self.cfg.cooldown_s => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// May a request arriving at `t_s` attempt the engine tiers? True
+    /// when closed or half-open (the half-open caller is the probe; its
+    /// outcome must be reported via [`Self::on_success`] /
+    /// [`Self::on_failure`] before the next request is admitted).
+    pub(crate) fn allows_engine(&self, t_s: f64) -> bool {
+        self.cfg.threshold == 0 || self.state(t_s) != BreakerState::Open
+    }
+
+    /// An evaluation tier succeeded: reset the streak, close the breaker.
+    pub(crate) fn on_success(&mut self) {
+        self.consecutive = 0;
+        self.opened_at_s = None;
+    }
+
+    /// An evaluation tier exhausted its retries at `t_s`. Returns true
+    /// when this failure tripped (or re-tripped) the breaker.
+    pub(crate) fn on_failure(&mut self, t_s: f64) -> bool {
+        if self.cfg.threshold == 0 {
+            return false;
+        }
+        self.consecutive = self.consecutive.saturating_add(1);
+        let trip = match self.state(t_s) {
+            // A failing half-open probe re-trips immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive >= self.cfg.threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.opened_at_s = Some(t_s);
+            self.trips += 1;
+        }
+        trip
+    }
+
+    /// Lifetime trip count (including re-trips after failed probes).
+    pub(crate) fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_half_opens_on_the_clock() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            threshold: 2,
+            cooldown_s: 10.0,
+        });
+        assert!(b.allows_engine(0.0));
+        assert!(!b.on_failure(1.0));
+        assert_eq!(b.state(1.0), BreakerState::Closed);
+        assert!(b.on_failure(2.0), "second failure must trip");
+        assert_eq!(b.state(2.0), BreakerState::Open);
+        assert!(!b.allows_engine(5.0));
+        // Cooldown elapsed → half-open probe admitted.
+        assert_eq!(b.state(12.0), BreakerState::HalfOpen);
+        assert!(b.allows_engine(12.0));
+        // Failing probe re-trips and restarts the cooldown.
+        assert!(b.on_failure(12.0));
+        assert!(!b.allows_engine(20.0));
+        assert_eq!(b.trips(), 2);
+        // Successful probe closes.
+        assert!(b.allows_engine(25.0));
+        b.on_success();
+        assert_eq!(b.state(25.0), BreakerState::Closed);
+        assert!(b.allows_engine(25.0));
+    }
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let mut b = CircuitBreaker::new(BreakerConfig::disabled());
+        for t in 0..100 {
+            assert!(!b.on_failure(t as f64));
+            assert!(b.allows_engine(t as f64));
+        }
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            threshold: 3,
+            cooldown_s: 5.0,
+        });
+        b.on_failure(0.0);
+        b.on_failure(1.0);
+        b.on_success();
+        b.on_failure(2.0);
+        b.on_failure(3.0);
+        assert_eq!(b.state(3.0), BreakerState::Closed, "streak was reset");
+        assert!(b.on_failure(4.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Typed failures of the tuning service front door.
+//!
+//! Every way a [`super::TuningService`] request can fail is a variant
+//! here, mirroring the [`EvalError`] house pattern: callers match on the
+//! variant, never on a message string. The service-specific variants
+//! ([`ServiceError::Overloaded`], [`ServiceError::DeadlineExceeded`])
+//! carry the numbers a caller needs to react — back off, resubmit with a
+//! longer budget, or route the job through a static default.
+
+use crate::engine::EvalError;
+use std::fmt;
+
+/// Why a tuning request was not answered with a decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The admission controller shed the request: all service workers
+    /// were busy and the bounded wait queue was full at the request's
+    /// arrival instant. The request was rejected *immediately* — the
+    /// service never blocks a caller forever on a full queue.
+    Overloaded {
+        /// Requests already waiting when this one arrived.
+        queued: usize,
+        /// The configured wait-queue bound.
+        limit: usize,
+    },
+    /// The request could not finish any decision tier — not even the
+    /// class-default fallback — inside its deadline on the simulated
+    /// clock.
+    DeadlineExceeded {
+        /// The request's deadline budget, simulated seconds.
+        deadline_s: f64,
+        /// Simulated seconds the request had already consumed (queue
+        /// wait plus any evaluation attempts) when it was abandoned.
+        spent_s: f64,
+    },
+    /// The request itself was malformed (non-finite times, zero-sized
+    /// inputs, an out-of-order sequence number).
+    InvalidRequest {
+        /// Which invariant failed.
+        what: &'static str,
+    },
+    /// The service configuration was malformed at construction.
+    InvalidConfig {
+        /// Which invariant failed.
+        what: &'static str,
+    },
+    /// The underlying engine evaluation failed in a way the tier ladder
+    /// could not absorb (e.g. an internal simulator error).
+    Eval(EvalError),
+    /// An internal service invariant broke (telemetry wiring).
+    Internal {
+        /// What broke.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { queued, limit } => write!(
+                f,
+                "service overloaded: {queued} requests already waiting (queue bound {limit})"
+            ),
+            ServiceError::DeadlineExceeded {
+                deadline_s,
+                spent_s,
+            } => write!(
+                f,
+                "deadline exceeded: {spent_s:.3}s consumed of a {deadline_s:.3}s budget"
+            ),
+            ServiceError::InvalidRequest { what } => write!(f, "invalid request: {what}"),
+            ServiceError::InvalidConfig { what } => write!(f, "invalid service config: {what}"),
+            ServiceError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ServiceError::Internal { what } => write!(f, "internal service error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for ServiceError {
+    fn from(e: EvalError) -> ServiceError {
+        ServiceError::Eval(e)
+    }
+}

@@ -13,7 +13,7 @@ use ecost_core::database::ConfigDatabase;
 use ecost_core::engine::{EvalEngine, EvalError};
 use ecost_core::mapping::{
     run_ecost_faulted, run_ecost_open_stream, run_untuned_faulted, run_untuned_open_stream,
-    FaultSetup, FaultedRun, OpenArrival,
+    FaultSetup, FaultedRun, OpenArrival, OpenOptions,
 };
 use ecost_core::pairing::PairingPolicy;
 use ecost_core::stp::LktStp;
@@ -115,8 +115,15 @@ fn calendar_matches_lockstep_on_simultaneous_arrivals() {
 
     let lockstep =
         run_ecost_faulted(&eng, 2, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep");
-    let calendar = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
-        .expect("calendar");
+    let calendar = run_ecost_open_stream(
+        &eng,
+        2,
+        &stream_of(&w, 2, &arrivals),
+        OpenOptions::default(),
+        &cx,
+        &setup,
+    )
+    .expect("calendar");
     assert_equivalent(&lockstep, &calendar);
 }
 
@@ -131,8 +138,15 @@ fn calendar_matches_lockstep_on_staggered_and_tied_arrivals() {
     for arrivals in [[0.0, 40.0, 80.0, 120.0], [0.0, 0.0, 100.0, 100.0]] {
         let lockstep =
             run_ecost_faulted(&eng, 2, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep");
-        let calendar = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
-            .expect("calendar");
+        let calendar = run_ecost_open_stream(
+            &eng,
+            2,
+            &stream_of(&w, 2, &arrivals),
+            OpenOptions::default(),
+            &cx,
+            &setup,
+        )
+        .expect("calendar");
         assert_equivalent(&lockstep, &calendar);
     }
 }
@@ -156,8 +170,15 @@ fn calendar_matches_lockstep_under_faults() {
 
     let lockstep =
         run_ecost_faulted(&eng, 2, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep");
-    let calendar = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
-        .expect("calendar");
+    let calendar = run_ecost_open_stream(
+        &eng,
+        2,
+        &stream_of(&w, 2, &arrivals),
+        OpenOptions::default(),
+        &cx,
+        &setup,
+    )
+    .expect("calendar");
     assert!(calendar.report.crashes == 1);
     assert_equivalent(&lockstep, &calendar);
 }
@@ -170,9 +191,53 @@ fn untuned_calendar_matches_untuned_lockstep() {
     let setup = FaultSetup::default();
 
     let lockstep = run_untuned_faulted(&eng, 2, &w, Some(&arrivals), &setup).expect("lockstep");
-    let calendar =
-        run_untuned_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), &setup).expect("calendar");
+    let calendar = run_untuned_open_stream(
+        &eng,
+        2,
+        &stream_of(&w, 2, &arrivals),
+        OpenOptions::default(),
+        &setup,
+    )
+    .expect("calendar");
     assert_equivalent(&lockstep, &calendar);
+}
+
+/// Single-node cluster: every pair co-locates on the one node and the
+/// calendar degenerates to a serial schedule — it must still match the
+/// lockstep driver, on both the tuned and untuned paths.
+#[test]
+fn single_node_cluster_matches_lockstep() {
+    let eng = EvalEngine::atom();
+    let fx = Fixture::build(&eng, &[App::Wc, App::St]);
+    let cx = fx.ctx();
+    let w = mixed_workload();
+    let arrivals = [0.0, 30.0, 60.0, 90.0];
+    let setup = FaultSetup::default();
+
+    let lockstep =
+        run_ecost_faulted(&eng, 1, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep n=1");
+    let calendar = run_ecost_open_stream(
+        &eng,
+        1,
+        &stream_of(&w, 1, &arrivals),
+        OpenOptions::default(),
+        &cx,
+        &setup,
+    )
+    .expect("calendar n=1");
+    assert!(calendar.run.makespan_s.is_finite() && calendar.run.makespan_s > 0.0);
+    assert_equivalent(&lockstep, &calendar);
+
+    let lockstep_u = run_untuned_faulted(&eng, 1, &w, Some(&arrivals), &setup).expect("lockstep");
+    let calendar_u = run_untuned_open_stream(
+        &eng,
+        1,
+        &stream_of(&w, 1, &arrivals),
+        OpenOptions::default(),
+        &setup,
+    )
+    .expect("calendar");
+    assert_equivalent(&lockstep_u, &calendar_u);
 }
 
 /// A burst of simultaneous arrivals hitting a long-idle cluster: the
@@ -189,8 +254,15 @@ fn empty_cluster_arrival_burst_drains() {
 
     let lockstep =
         run_ecost_faulted(&eng, 2, &w, Some(&arrivals), 2, &cx, &setup).expect("lockstep");
-    let calendar = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
-        .expect("calendar");
+    let calendar = run_ecost_open_stream(
+        &eng,
+        2,
+        &stream_of(&w, 2, &arrivals),
+        OpenOptions::default(),
+        &cx,
+        &setup,
+    )
+    .expect("calendar");
     assert!(calendar.run.makespan_s > 500.0);
     assert_equivalent(&lockstep, &calendar);
 }
@@ -213,8 +285,15 @@ fn all_crash_is_a_typed_degradation() {
             .with_event(6.0, 1, FaultKind::NodeCrash),
         ..FaultSetup::default()
     };
-    let err = run_ecost_open_stream(&eng, 2, &stream_of(&w, 2, &arrivals), 2, &cx, &setup)
-        .expect_err("must degrade");
+    let err = run_ecost_open_stream(
+        &eng,
+        2,
+        &stream_of(&w, 2, &arrivals),
+        OpenOptions::default(),
+        &cx,
+        &setup,
+    )
+    .expect_err("must degrade");
     assert!(matches!(err, EvalError::Degraded { .. }), "{err}");
 }
 
@@ -248,12 +327,12 @@ fn invalid_streams_are_typed_errors() {
     ];
     for stream in &cases {
         assert!(matches!(
-            run_ecost_open_stream(&eng, 2, stream, 2, &cx, &setup),
+            run_ecost_open_stream(&eng, 2, stream, OpenOptions::default(), &cx, &setup),
             Err(EvalError::InvalidInput { .. })
         ));
     }
     assert!(matches!(
-        run_ecost_open_stream(&eng, 0, &[ok], 2, &cx, &setup),
+        run_ecost_open_stream(&eng, 0, &[ok], OpenOptions::default(), &cx, &setup),
         Err(EvalError::InvalidInput { .. })
     ));
 }

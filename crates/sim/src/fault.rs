@@ -245,6 +245,99 @@ impl FaultPlan {
     }
 }
 
+/// What the service-level fault machinery injects into one tuning
+/// request: how many consecutive transient evaluation failures it hits
+/// before succeeding, and how much slower than nominal its simulated
+/// evaluation runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestFaults {
+    /// Transient failures before the evaluation succeeds (0 = healthy).
+    pub transient_failures: u32,
+    /// Multiplier on the request's simulated evaluation cost (≥ 1).
+    pub slow_factor: f64,
+}
+
+impl RequestFaults {
+    /// A healthy request: no failures, nominal speed.
+    pub fn none() -> RequestFaults {
+        RequestFaults {
+            transient_failures: 0,
+            slow_factor: 1.0,
+        }
+    }
+}
+
+/// Seeded fault spec for a *tuning service* rather than a cluster: the
+/// service-level twin of [`FaultSpec`]. Where `FaultSpec` rates describe
+/// node crashes and stragglers over a horizon, this one describes what a
+/// tuning request experiences on its way through the evaluation engine —
+/// transient-failure bursts (cured by bounded retry when short enough)
+/// and slow evaluations (which eat the request's deadline budget).
+///
+/// Draws are *per request sequence number*: [`ServiceFaultSpec::draw`]
+/// derives a fresh RNG from `(seed, seq)`, so the faults a request sees
+/// are independent of the order in which concurrent worker threads reach
+/// it — the scenario harness depends on this for byte-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceFaultSpec {
+    /// Probability a request hits a transient-failure burst.
+    pub transient_rate: f64,
+    /// Consecutive failures in a burst (retry cures bursts that fit the
+    /// retry budget; longer bursts fail the evaluation tier).
+    pub transient_burst: u32,
+    /// Probability a request's simulated evaluation runs slow.
+    pub slow_rate: f64,
+    /// Cost multiplier applied to a slow evaluation (≥ 1).
+    pub slow_factor: f64,
+    /// Root seed for the per-request draws.
+    pub seed: u64,
+}
+
+impl ServiceFaultSpec {
+    /// No injected service faults; every request draws healthy.
+    pub fn healthy(seed: u64) -> ServiceFaultSpec {
+        ServiceFaultSpec {
+            transient_rate: 0.0,
+            transient_burst: 0,
+            slow_rate: 0.0,
+            slow_factor: 1.0,
+            seed,
+        }
+    }
+
+    /// The faults request number `seq` experiences. Deterministic in
+    /// `(self, seq)` and independent across sequence numbers: each draw
+    /// folds `seq` into the root seed and opens its own
+    /// [`crate::rng::stream`], so concurrent workers can draw in any
+    /// order. Degenerate rates (NaN, negative) draw healthy; a slow
+    /// factor below 1 is clamped to nominal speed.
+    pub fn draw(&self, seq: u64) -> RequestFaults {
+        if self.transient_rate <= 0.0 && self.slow_rate <= 0.0 {
+            return RequestFaults::none();
+        }
+        let mut z = self.seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let mut rng = rng::stream(z, "service.request");
+        let transient: f64 = rng.gen_range(0.0..1.0);
+        let slow: f64 = rng.gen_range(0.0..1.0);
+        RequestFaults {
+            transient_failures: if self.transient_rate > 0.0 && transient < self.transient_rate {
+                self.transient_burst
+            } else {
+                0
+            },
+            slow_factor: if self.slow_rate > 0.0
+                && slow < self.slow_rate
+                && self.slow_factor.is_finite()
+            {
+                self.slow_factor.max(1.0)
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +399,63 @@ mod tests {
     fn scaled_zero_equals_healthy() {
         let s = FaultSpec::scaled(0.0, 100.0);
         assert_eq!(s, FaultSpec::healthy(100.0));
+    }
+
+    #[test]
+    fn service_draws_are_per_seq_deterministic() {
+        let spec = ServiceFaultSpec {
+            transient_rate: 0.5,
+            transient_burst: 3,
+            slow_rate: 0.5,
+            slow_factor: 4.0,
+            seed: 11,
+        };
+        // Same (spec, seq) → same draw, in any order.
+        for seq in [0_u64, 1, 7, 1000] {
+            assert_eq!(spec.draw(seq), spec.draw(seq));
+        }
+        // The rates actually bite: over many draws both arms appear.
+        let (mut bursts, mut slows) = (0, 0);
+        for seq in 0..200 {
+            let f = spec.draw(seq);
+            if f.transient_failures > 0 {
+                bursts += 1;
+            }
+            if f.slow_factor > 1.0 {
+                slows += 1;
+            }
+            assert!(f.transient_failures == 0 || f.transient_failures == 3);
+            assert!(f.slow_factor == 1.0 || f.slow_factor == 4.0);
+        }
+        assert!((40..160).contains(&bursts), "bursts {bursts}");
+        assert!((40..160).contains(&slows), "slows {slows}");
+        // A different seed draws a different fault pattern.
+        let other = ServiceFaultSpec { seed: 12, ..spec };
+        assert!((0..200).any(|s| other.draw(s) != spec.draw(s)));
+    }
+
+    #[test]
+    fn healthy_service_spec_draws_nothing() {
+        let spec = ServiceFaultSpec::healthy(5);
+        for seq in 0..50 {
+            assert_eq!(spec.draw(seq), RequestFaults::none());
+        }
+    }
+
+    #[test]
+    fn degenerate_service_rates_are_sanitised() {
+        let spec = ServiceFaultSpec {
+            transient_rate: f64::NAN,
+            transient_burst: 2,
+            slow_rate: 2.0,
+            slow_factor: 0.5,
+            seed: 3,
+        };
+        for seq in 0..20 {
+            let f = spec.draw(seq);
+            // NaN rate never fires; slow factor below 1 clamps to nominal.
+            assert_eq!(f.transient_failures, 0);
+            assert_eq!(f.slow_factor, 1.0);
+        }
     }
 }

@@ -44,6 +44,6 @@ pub use arrivals::{ArrivalPhase, TraceArrival, TraceSpec};
 pub use cluster::ClusterSpec;
 pub use dvfs::Frequency;
 pub use error::SimError;
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, RequestFaults, ServiceFaultSpec};
 pub use node::{DiskSpec, MemSpec, NodeSpec};
 pub use power::{EnergyMeter, PowerBreakdown, PowerModel};
