@@ -7,7 +7,10 @@
 //!
 //! * **untuned** — FIFO partners, half-node Hadoop defaults;
 //! * **ecost** — the full pipeline (profile → classify → pair → tune)
-//!   backed by a pre-built configuration database.
+//!   backed by a pre-built configuration database;
+//! * **serviced** (`--serviced`) — the same pipeline behind the tuning
+//!   service front (admission, deadlines, circuit breaker) with a
+//!   healthy fault spec, to measure the service ladder's overhead.
 //!
 //! Both arms run on a *capacity-bounded* engine ([`CacheBudget`]): every
 //! arrival carries its own continuous input size, so an unbounded memo
@@ -33,13 +36,14 @@ use ecost_core::classify::RuleClassifier;
 use ecost_core::database::ConfigDatabase;
 use ecost_core::engine::{EngineStats, EvalEngine};
 use ecost_core::mapping::{
-    run_ecost_open_stream, run_untuned_open_stream, FaultSetup, FaultedRun, OpenArrival,
-    OpenOptions,
+    run_ecost_open_stream, run_ecost_open_stream_serviced, run_untuned_open_stream, FaultSetup,
+    FaultedRun, OpenArrival, OpenOptions,
 };
 use ecost_core::pairing::{PairingMode, PairingPolicy};
 use ecost_core::stp::LktStp;
-use ecost_core::{CacheBudget, EcostContext};
+use ecost_core::{CacheBudget, EcostContext, ServiceConfig, ServiceReport};
 use ecost_sim::arrivals::generate;
+use ecost_sim::ServiceFaultSpec;
 use ecost_sim::TraceSpec;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -86,6 +90,7 @@ struct ArmOut {
     stats: EngineStats,
     entries: usize,
     wall_s: f64,
+    service: Option<ServiceReport>,
 }
 
 impl ArmOut {
@@ -114,6 +119,19 @@ impl ArmOut {
             "      \"faults_injected\": {}",
             self.stats.faults_injected
         );
+        if let Some(svc) = &self.service {
+            let _ = writeln!(s, "    }},");
+            let _ = writeln!(s, "    \"service\": {{");
+            let _ = writeln!(s, "      \"decided\": {},", svc.decided);
+            let _ = writeln!(s, "      \"shed\": {},", svc.shed);
+            let _ = writeln!(s, "      \"deadline_exceeded\": {},", svc.deadline_exceeded);
+            let _ = writeln!(s, "      \"tier_full\": {},", svc.tier_full);
+            let _ = writeln!(s, "      \"tier_windowed\": {},", svc.tier_windowed);
+            let _ = writeln!(s, "      \"tier_fallback\": {},", svc.tier_fallback);
+            let _ = writeln!(s, "      \"breaker_trips\": {},", svc.breaker_trips);
+            let _ = writeln!(s, "      \"queue_peak\": {},", svc.queue_peak);
+            let _ = writeln!(s, "      \"decision_time_s\": {:.6}", svc.decision_time_s);
+        }
         let _ = writeln!(s, "    }}");
         s.push_str("  }");
         s
@@ -168,6 +186,7 @@ fn append_trend_row(quick: bool, decisions_per_s: f64) -> Result<String, BenchEr
 
 fn run() -> Result<(), BenchError> {
     let quick = std::env::var("ECOST_QUICK").is_ok_and(|v| v == "1");
+    let serviced = std::env::args().skip(1).any(|a| a == "--serviced");
     let scale = Scale::new(quick);
 
     eprintln!(
@@ -227,6 +246,7 @@ fn run() -> Result<(), BenchError> {
         stats: eng_u.stats(),
         entries: eng_u.cached_entries(),
         wall_s: t0.elapsed().as_secs_f64(),
+        service: None,
     };
 
     eprintln!("[scale_out] ecost arm…");
@@ -246,10 +266,44 @@ fn run() -> Result<(), BenchError> {
         stats: eng_e.stats(),
         entries: eng_e.cached_entries(),
         wall_s: t0.elapsed().as_secs_f64(),
+        service: None,
+    };
+
+    // Optional third arm (`--serviced`): the same ECoST pipeline behind
+    // the tuning-service front (admission, deadlines, breaker) with a
+    // healthy fault spec — measures the service ladder's overhead on the
+    // same replay.
+    let serviced_arm = if serviced {
+        eprintln!("[scale_out] serviced arm…");
+        let eng_s = EvalEngine::atom().with_cache_budget(budget);
+        let t0 = Instant::now();
+        let (run, svc) = run_ecost_open_stream_serviced(
+            &eng_s,
+            scale.nodes,
+            &stream,
+            OpenOptions::default(),
+            &cx,
+            &setup,
+            ServiceConfig::default(),
+            ServiceFaultSpec::healthy(SEED),
+        )?;
+        Some(ArmOut {
+            name: "serviced",
+            run,
+            stats: eng_s.stats(),
+            entries: eng_s.cached_entries(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            service: Some(svc),
+        })
+    } else {
+        None
     };
 
     check_bounds(&untuned, scale.budget)?;
     check_bounds(&ecost, scale.budget)?;
+    if let Some(arm) = &serviced_arm {
+        check_bounds(arm, scale.budget)?;
+    }
 
     let idle_w = eng_e.idle_w();
     let edp_ratio = untuned.run.run.edp_wall(idle_w) / ecost.run.run.edp_wall(idle_w);
@@ -271,6 +325,9 @@ fn run() -> Result<(), BenchError> {
     let _ = writeln!(out, "  \"cache_budget_per_table\": {},", scale.budget);
     let _ = writeln!(out, "{},", untuned.json(idle_w));
     let _ = writeln!(out, "{},", ecost.json(idle_w));
+    if let Some(arm) = &serviced_arm {
+        let _ = writeln!(out, "{},", arm.json(idle_w));
+    }
     let _ = writeln!(out, "  \"edp_ratio_untuned_over_ecost\": {edp_ratio:.6}");
     out.push_str("}\n");
 
@@ -293,6 +350,20 @@ fn run() -> Result<(), BenchError> {
         ecost.stats.evictions,
         scale.budget
     );
+    if let Some(arm) = &serviced_arm {
+        if let Some(svc) = &arm.service {
+            println!(
+                "scale_out[serviced]: {} decided / {} shed / {} deadline-exceeded, \
+                 queue peak {}, wall {:.2}s (plain ecost wall {:.2}s)",
+                svc.decided,
+                svc.shed,
+                svc.deadline_exceeded,
+                svc.queue_peak,
+                arm.wall_s,
+                ecost.wall_s
+            );
+        }
+    }
     eprintln!("[scale_out] wrote {}", path.display());
 
     let trend_path = append_trend_row(quick, decisions_per_s)?;

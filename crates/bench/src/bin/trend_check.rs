@@ -27,7 +27,7 @@ use ecost_bench::BenchError;
 use std::process::ExitCode;
 
 /// Headline throughput keys a row may carry (absent arms are skipped).
-const METRICS: [&str; 11] = [
+const METRICS: [&str; 12] = [
     "solo_baseline_sims_per_s",
     "solo_optimized_sims_per_s",
     "solo_batched_sims_per_s",
@@ -39,6 +39,7 @@ const METRICS: [&str; 11] = [
     "sched_batched_sims_per_s",
     "scale_decisions_per_s",
     "service_decisions_per_s",
+    "fleet_decisions_per_s",
 ];
 
 /// How many comparable prior rows feed the reference median.

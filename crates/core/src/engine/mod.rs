@@ -160,6 +160,53 @@ impl EngineStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The all-zero snapshot (what a fresh engine reports).
+    pub fn zero() -> EngineStats {
+        EngineStats {
+            hits: 0,
+            misses: 0,
+            runs_simulated: 0,
+            wall_seconds: 0.0,
+            faults_injected: 0,
+            retries: 0,
+            fallbacks: 0,
+            sims_created: 0,
+            sims_reused: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl std::ops::Add for EngineStats {
+    type Output = EngineStats;
+
+    fn add(self, rhs: EngineStats) -> EngineStats {
+        EngineStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            runs_simulated: self.runs_simulated + rhs.runs_simulated,
+            wall_seconds: self.wall_seconds + rhs.wall_seconds,
+            faults_injected: self.faults_injected + rhs.faults_injected,
+            retries: self.retries + rhs.retries,
+            fallbacks: self.fallbacks + rhs.fallbacks,
+            sims_created: self.sims_created + rhs.sims_created,
+            sims_reused: self.sims_reused + rhs.sims_reused,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl std::ops::AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: EngineStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for EngineStats {
+    fn sum<I: Iterator<Item = EngineStats>>(iter: I) -> EngineStats {
+        iter.fold(EngineStats::zero(), |acc, s| acc + s)
+    }
 }
 
 impl std::fmt::Display for EngineStats {
@@ -314,18 +361,31 @@ struct EngineCounters {
 }
 
 impl EngineCounters {
-    fn new(reg: &Registry) -> EngineCounters {
+    /// Counters under a per-engine namespace. The registry interns
+    /// counters by name, so two engines built on the same registry with
+    /// the bare names would *alias* each other's counters and every
+    /// per-engine stat would double-count. A non-empty scope prefixes the
+    /// names (`<scope>.engine.cache_hits`, …), giving each engine its own
+    /// rows while the shared registry still sees them all.
+    fn scoped(reg: &Registry, scope: &str) -> EngineCounters {
+        let name = |leaf: &str| {
+            if scope.is_empty() {
+                format!("engine.{leaf}")
+            } else {
+                format!("{scope}.engine.{leaf}")
+            }
+        };
         EngineCounters {
-            hits: reg.counter("engine.cache_hits"),
-            misses: reg.counter("engine.cache_misses"),
-            runs: reg.counter("engine.runs_simulated"),
-            wall_ns: reg.counter("engine.wall_ns"),
-            faults: reg.counter("engine.faults_injected"),
-            retries: reg.counter("engine.retries"),
-            fallbacks: reg.counter("engine.fallbacks"),
-            sims_created: reg.counter("engine.sims_created"),
-            sims_reused: reg.counter("engine.sims_reused"),
-            evictions: reg.counter("engine.cache_evictions"),
+            hits: reg.counter(&name("cache_hits")),
+            misses: reg.counter(&name("cache_misses")),
+            runs: reg.counter(&name("runs_simulated")),
+            wall_ns: reg.counter(&name("wall_ns")),
+            faults: reg.counter(&name("faults_injected")),
+            retries: reg.counter(&name("retries")),
+            fallbacks: reg.counter(&name("fallbacks")),
+            sims_created: reg.counter(&name("sims_created")),
+            sims_reused: reg.counter(&name("sims_reused")),
+            evictions: reg.counter(&name("cache_evictions")),
         }
     }
 }
@@ -360,7 +420,20 @@ impl EvalEngine {
 
     /// Engine reporting into an explicit telemetry recorder.
     pub fn with_recorder(tb: Testbed, recorder: Recorder) -> EvalEngine {
-        let counters = EngineCounters::new(recorder.metrics());
+        EvalEngine::with_scoped_recorder(tb, recorder, "")
+    }
+
+    /// Engine reporting into `recorder` under a per-engine metric scope.
+    ///
+    /// Multiple engines sharing one registry must use distinct non-empty
+    /// scopes: the registry interns counters by name, so unscoped engines
+    /// on the same registry alias the same `engine.*` rows and each
+    /// engine's [`Self::stats`] reports the *sum* of all traffic instead
+    /// of its own. A scope `s` renames the rows `s.engine.cache_hits`
+    /// etc., keeping per-engine snapshots independent while still landing
+    /// in the shared registry for fleet-wide aggregation.
+    pub fn with_scoped_recorder(tb: Testbed, recorder: Recorder, scope: &str) -> EvalEngine {
+        let counters = EngineCounters::scoped(recorder.metrics(), scope);
         let ev = &counters.evictions;
         EvalEngine {
             tb,
@@ -1127,6 +1200,42 @@ mod tests {
         assert_eq!(s.runs_simulated, 1);
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn scoped_engines_on_a_shared_registry_do_not_alias() {
+        // Two engines on ONE registry: unscoped they would intern the same
+        // `engine.*` counter rows and each stats() snapshot would report
+        // the sum of both engines' traffic. Scopes keep them separate.
+        let rec = Recorder::noop();
+        let e0 = EvalEngine::with_scoped_recorder(Testbed::atom(), rec.clone(), "shard0");
+        let e1 = EvalEngine::with_scoped_recorder(Testbed::atom(), rec.clone(), "shard1");
+        let p = App::Wc.profile();
+        let q = App::St.profile();
+        let mb = InputSize::Small.per_node_mb();
+        let cfg = TuningConfig::hadoop_default(8);
+        // shard0: one miss + one hit; shard1: two distinct misses, no hit.
+        e0.solo_outcome(p, mb, cfg).unwrap();
+        e0.solo_outcome(p, mb, cfg).unwrap();
+        e1.solo_outcome(p, mb, cfg).unwrap();
+        e1.solo_outcome(q, mb, cfg).unwrap();
+        let (s0, s1) = (e0.stats(), e1.stats());
+        assert_eq!((s0.hits, s0.misses, s0.runs_simulated), (1, 1, 1));
+        assert_eq!((s1.hits, s1.misses, s1.runs_simulated), (0, 2, 2));
+        // The shared registry carries both engines' rows under their scopes.
+        let snap = rec.metrics().snapshot();
+        assert_eq!(snap.counter("shard0.engine.cache_hits"), 1);
+        assert_eq!(snap.counter("shard1.engine.cache_misses"), 2);
+        assert_eq!(snap.counter("engine.cache_hits"), 0);
+        // Fleet aggregation: summed stats equal the elementwise totals.
+        let total: EngineStats = [s0, s1].into_iter().sum();
+        assert_eq!(total.hits, 1);
+        assert_eq!(total.misses, 3);
+        assert_eq!(total.runs_simulated, 3);
+        let mut acc = EngineStats::zero();
+        acc += s0;
+        acc += s1;
+        assert_eq!(acc, total);
     }
 
     #[test]

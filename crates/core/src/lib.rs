@@ -27,6 +27,9 @@
 //!   discrete-event driver behind the §8 policies and the event-calendar
 //!   driver for open arrival streams (binary-heap of per-node completion
 //!   events, per-event cost scaling with live jobs);
+//! * [`fleet`] — N independent calendar-scheduler shards (own node sets,
+//!   bounded engines, optional service fronts) behind a deterministic
+//!   arrival router with a virtual-time epoch barrier;
 //! * [`mapping`] — the §8 cluster mapping policies (SM, MNM1, MNM2, SNM,
 //!   CBM, PTM, ECoST, UB) over a discrete-event cluster of `NodeSim`s;
 //! * [`report`] — plain-text table rendering for the experiment binaries.
@@ -38,6 +41,7 @@ pub mod classify;
 pub mod database;
 pub mod engine;
 pub mod features;
+pub mod fleet;
 pub mod mapping;
 pub mod oracle;
 pub mod pairing;
@@ -52,6 +56,7 @@ pub use classify::{KnnAppClassifier, RuleClassifier};
 pub use database::ConfigDatabase;
 pub use engine::{CacheBudget, EngineStats, EvalEngine, EvalError, RetryPolicy};
 pub use features::{profile_app, AppSignature, Testbed, REFERENCE_CONFIG};
+pub use fleet::{run_fleet, FleetConfig, FleetRun, FleetService, RoutePolicy, ShardReport};
 pub use mapping::{
     ConfiguredPolicy, EcostContext, FaultReport, FaultSetup, FaultedRun, MappingPolicy,
     OpenArrival, OpenOptions,

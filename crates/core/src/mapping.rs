@@ -216,6 +216,21 @@ pub struct FaultReport {
     pub retry_backoff_s: f64,
 }
 
+impl std::ops::AddAssign for FaultReport {
+    /// Elementwise sum — how a fleet folds its per-shard reports into one.
+    fn add_assign(&mut self, rhs: FaultReport) {
+        self.crashes += rhs.crashes;
+        self.slowdowns += rhs.slowdowns;
+        self.stragglers += rhs.stragglers;
+        self.speculations += rhs.speculations;
+        self.requeued_jobs += rhs.requeued_jobs;
+        self.solo_fallbacks += rhs.solo_fallbacks;
+        self.config_fallbacks += rhs.config_fallbacks;
+        self.retries += rhs.retries;
+        self.retry_backoff_s += rhs.retry_backoff_s;
+    }
+}
+
 impl fmt::Display for FaultReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -489,7 +504,7 @@ fn run_cbm(engine: &EvalEngine, n: usize, workload: &Workload) -> Result<Cluster
 /// STP — degrading to class-default knobs when a predictor cannot answer
 /// (missing lookup entry, non-finite model prediction) instead of aborting
 /// the whole schedule.
-struct EcostPolicy<'a, 'b> {
+pub(crate) struct EcostPolicy<'a, 'b> {
     engine: &'a EvalEngine,
     ctx: &'a EcostContext<'b>,
     /// Tuning decisions that fell back to class defaults. Interior
@@ -498,12 +513,18 @@ struct EcostPolicy<'a, 'b> {
 }
 
 impl<'a, 'b> EcostPolicy<'a, 'b> {
-    fn new(engine: &'a EvalEngine, ctx: &'a EcostContext<'b>) -> EcostPolicy<'a, 'b> {
+    pub(crate) fn new(engine: &'a EvalEngine, ctx: &'a EcostContext<'b>) -> EcostPolicy<'a, 'b> {
         EcostPolicy {
             engine,
             ctx,
             config_fallbacks: std::cell::Cell::new(0),
         }
+    }
+
+    /// Tuning decisions degraded to class defaults so far; the stream
+    /// entry points fold this into [`FaultReport::config_fallbacks`].
+    pub(crate) fn config_fallbacks(&self) -> u64 {
+        self.config_fallbacks.get()
     }
 
     fn note_config_fallback(&self, now: f64) {
@@ -773,7 +794,7 @@ impl Default for OpenOptions {
 }
 
 impl OpenOptions {
-    fn validate(&self) -> Result<(), EvalError> {
+    pub(crate) fn validate(&self) -> Result<(), EvalError> {
         if self.eligible_window < 1 {
             return Err(EvalError::InvalidInput {
                 what: "eligible_window must be at least 1",
@@ -849,20 +870,27 @@ pub fn run_ecost_open_stream(
     Ok(FaultedRun { run, report })
 }
 
+/// Profile + classify one open-stream arrival. Deterministic in the
+/// arrival alone (the engine memo only changes hit/miss counts, never
+/// values), so shards of a fleet can prepare their arrivals in any
+/// interleaving and still produce identical `Prepared` jobs.
+pub(crate) fn prepare_one(
+    engine: &EvalEngine,
+    a: &OpenArrival,
+    ctx: &EcostContext<'_>,
+) -> Result<Prepared, EvalError> {
+    let sig = profile_app(engine, a.app.profile(), a.input_mb, ctx.noise, ctx.seed)?;
+    let class = ctx.classifier.classify(&sig.features);
+    Ok(Prepared { sig, class })
+}
+
 /// Profile + classify every arrival of an open stream.
 fn prepare_stream(
     engine: &EvalEngine,
     stream: &[OpenArrival],
     ctx: &EcostContext<'_>,
 ) -> Result<Vec<Prepared>, EvalError> {
-    stream
-        .iter()
-        .map(|a| {
-            let sig = profile_app(engine, a.app.profile(), a.input_mb, ctx.noise, ctx.seed)?;
-            let class = ctx.classifier.classify(&sig.features);
-            Ok(Prepared { sig, class })
-        })
-        .collect()
+    stream.iter().map(|a| prepare_one(engine, a, ctx)).collect()
 }
 
 /// [`run_ecost_open_stream`] with every tuning decision routed through
@@ -899,11 +927,7 @@ pub fn run_ecost_open_stream_serviced(
     })?;
     let prepared = prepare_stream(engine, stream, ctx)?;
     let arrivals: Vec<f64> = stream.iter().map(|a| a.at_s).collect();
-    let policy = ServicedPolicy {
-        inner: EcostPolicy::new(engine, ctx),
-        core: std::cell::RefCell::new(core),
-        seq: std::cell::Cell::new(0),
-    };
+    let policy = ServicedPolicy::new(engine, ctx, core);
     let (run, mut report) = run_stream_calendar(
         engine,
         n,
@@ -914,8 +938,8 @@ pub fn run_ecost_open_stream_serviced(
         setup,
         opts.eligible_window,
     )?;
-    report.config_fallbacks += policy.inner.config_fallbacks.get();
-    let svc_report = policy.core.into_inner().report().clone();
+    report.config_fallbacks += policy.config_fallbacks();
+    let svc_report = policy.into_service_report();
     Ok((FaultedRun { run, report }, svc_report))
 }
 
@@ -925,12 +949,36 @@ pub fn run_ecost_open_stream_serviced(
 /// normal decision logic runs. Rejected decisions (shed, deadline blown)
 /// degrade to FIFO partners on class-default knobs — the schedule always
 /// proceeds; the rejection is visible in the [`ServiceReport`].
-struct ServicedPolicy<'a, 'b> {
+pub(crate) struct ServicedPolicy<'a, 'b> {
     inner: EcostPolicy<'a, 'b>,
     /// Interior mutability: [`StreamPolicy`] methods take `&self`, and
     /// the calendar driver is single-threaded.
     core: std::cell::RefCell<ServiceCore>,
     seq: std::cell::Cell<u64>,
+}
+
+impl<'a, 'b> ServicedPolicy<'a, 'b> {
+    pub(crate) fn new(
+        engine: &'a EvalEngine,
+        ctx: &'a EcostContext<'b>,
+        core: ServiceCore,
+    ) -> ServicedPolicy<'a, 'b> {
+        ServicedPolicy {
+            inner: EcostPolicy::new(engine, ctx),
+            core: std::cell::RefCell::new(core),
+            seq: std::cell::Cell::new(0),
+        }
+    }
+
+    /// See [`EcostPolicy::config_fallbacks`].
+    pub(crate) fn config_fallbacks(&self) -> u64 {
+        self.inner.config_fallbacks()
+    }
+
+    /// Consume the policy, yielding the service's outcome counters.
+    pub(crate) fn into_service_report(self) -> ServiceReport {
+        self.core.into_inner().report().clone()
+    }
 }
 
 impl ServicedPolicy<'_, '_> {

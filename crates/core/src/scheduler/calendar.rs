@@ -31,12 +31,14 @@
 use super::{collect, sorted_pending, Prepared, StreamPolicy, StreamSim};
 use crate::engine::{EvalEngine, EvalError};
 use crate::mapping::{ClusterRun, FaultReport, FaultSetup};
+use ecost_sim::FaultPlan;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// Tie window for "due at the same instant", matching the lockstep
-/// driver's arrival/fault comparisons.
-const TIE_EPS: f64 = 1e-9;
+/// driver's arrival/fault comparisons. The fleet's epoch barrier reuses
+/// it for its arrival-drain rule (see [`CalendarShard`]).
+pub(crate) const TIE_EPS: f64 = 1e-9;
 
 /// Total-ordered event time for the calendar heap. The driver never
 /// schedules a NaN (times come from finite node clocks plus finite
@@ -154,10 +156,268 @@ fn reschedule(sim: &mut StreamSim<'_>, cal: &mut Calendar, i: usize) -> Result<(
     Ok(())
 }
 
+/// A resumable event-calendar scheduler over one node set: the state of
+/// [`run_stream_calendar`]'s event loop, factored out so a driver can
+/// interleave *pushing arrivals* and *advancing the clock* instead of
+/// providing the whole trace up front. This is what the fleet layer
+/// shards: each shard owns one `CalendarShard` and advances it epoch by
+/// epoch under a virtual-time barrier.
+///
+/// Contract (what keeps a single shard bit-identical to the monolithic
+/// driver on the same arrival sequence):
+///
+/// * arrivals must be pushed in non-decreasing time order, and every
+///   arrival with `at_s < horizon + TIE_EPS` must be pushed before
+///   `advance(policy, horizon)` — the tie window matters: an event just
+///   inside the horizon admits arrivals up to `TIE_EPS` past itself,
+///   exactly like the monolithic loop;
+/// * `advance` processes every event *strictly before* `horizon` and
+///   stops; an event at exactly the horizon belongs to the next epoch
+///   (by which time that epoch's arrivals are present);
+/// * the t = 0 prologue (admit, fault, dispatch) runs lazily at the first
+///   `advance`, so arrivals pushed before any advance are admitted the
+///   way the monolithic prologue admits them;
+/// * `finish` drains the remaining events (`horizon = ∞`), applies the
+///   stranded-queue check, and fast-forwards idle nodes to the final
+///   event time — deferring that check to `finish` is what lets a shard
+///   sit idle mid-epoch without tripping it.
+pub(crate) struct CalendarShard<'e> {
+    sim: StreamSim<'e>,
+    cal: Calendar,
+    /// Nodes able to take work right now, in dispatch (index) order.
+    caps: BTreeSet<usize>,
+    /// Nodes whose event horizon changed this step and need rescheduling.
+    touched: BTreeSet<usize>,
+    /// Arrivals pushed but not yet admitted, soonest first.
+    pending: VecDeque<(f64, Prepared)>,
+    faults: FaultPlan,
+    next_fault: usize,
+    n: usize,
+    /// Simulated clock: the time of the last processed event.
+    t: f64,
+    /// Whether the t = 0 prologue has run.
+    primed: bool,
+}
+
+impl<'e> CalendarShard<'e> {
+    /// Fresh shard over `n` nodes; `eligible_window` bounds the partner
+    /// scan (see [`super::OPEN_ELIGIBLE_WINDOW`]).
+    pub(crate) fn new(
+        engine: &'e EvalEngine,
+        n: usize,
+        max_head_skips: u32,
+        setup: &FaultSetup,
+        eligible_window: usize,
+    ) -> CalendarShard<'e> {
+        setup.plan.record_schedule(engine.recorder());
+        CalendarShard {
+            sim: StreamSim::new(
+                engine,
+                n,
+                setup.retry,
+                max_head_skips,
+                Some(eligible_window),
+            ),
+            cal: Calendar::new(n),
+            caps: (0..n).collect(),
+            touched: BTreeSet::new(),
+            pending: VecDeque::new(),
+            faults: setup.plan.clone(),
+            next_fault: 0,
+            n,
+            t: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Queue one arrival. Times must be finite, non-negative and
+    /// non-decreasing across pushes (the stream is sorted by submission).
+    pub(crate) fn push_arrival(&mut self, at_s: f64, job: Prepared) -> Result<(), EvalError> {
+        if !at_s.is_finite() || at_s < 0.0 {
+            return Err(EvalError::InvalidInput {
+                what: "arrival times must be finite and non-negative",
+            });
+        }
+        if self.pending.back().is_some_and(|(last, _)| at_s < *last) {
+            return Err(EvalError::InvalidInput {
+                what: "arrivals must be pushed in non-decreasing time order",
+            });
+        }
+        self.pending.push_back((at_s, job));
+        Ok(())
+    }
+
+    /// Jobs this shard is responsible for but has not finished: pushed
+    /// and not yet admitted, waiting in the queue, or running on a node.
+    /// The fleet router's least-outstanding policy reads this.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.pending.len()
+            + self.sim.queue.len()
+            + self.sim.running.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// t = 0: admit, fault, dispatch — mirroring the lockstep prologue.
+    fn prime(&mut self, policy: &dyn StreamPolicy) -> Result<(), EvalError> {
+        self.primed = true;
+        self.sim.admit_due(0.0, &mut self.pending);
+        self.sim
+            .apply_due_faults(0.0, &mut self.next_fault, &self.faults)?;
+        for i in 0..self.n {
+            update_capacity(&self.sim, &mut self.caps, i);
+        }
+        for i in self.caps.clone() {
+            if self.sim.queue.is_empty() {
+                break;
+            }
+            self.sim.dispatch(i, policy)?;
+            update_capacity(&self.sim, &mut self.caps, i);
+            self.touched.insert(i);
+        }
+        for i in std::mem::take(&mut self.touched) {
+            reschedule(&mut self.sim, &mut self.cal, i)?;
+        }
+        Ok(())
+    }
+
+    /// Process every event strictly before `horizon`, then stop with the
+    /// clock parked at the last processed event. `advance(∞)` drains the
+    /// shard completely (modulo the stranded check, which [`Self::finish`]
+    /// owns).
+    pub(crate) fn advance(
+        &mut self,
+        policy: &dyn StreamPolicy,
+        horizon: f64,
+    ) -> Result<(), EvalError> {
+        if !self.primed {
+            self.prime(policy)?;
+        }
+        loop {
+            // Earliest event across the three calendars. Faults, like in
+            // the lockstep driver, cannot keep a finished cluster alive:
+            // they are only considered while a node event or an arrival is
+            // still due.
+            let t_node = self.cal.peek();
+            let t_arr = self.pending.front().map(|(at, _)| *at);
+            let mut t_next = f64::INFINITY;
+            if let Some((at, _)) = t_node {
+                t_next = t_next.min(at);
+            }
+            if let Some(at) = t_arr {
+                t_next = t_next.min(at);
+            }
+            if t_next.is_finite() {
+                if let Some(ev) = self.faults.events().get(self.next_fault) {
+                    t_next = t_next.min(ev.at_s);
+                }
+            }
+            if t_next >= horizon {
+                // Nothing left before the horizon (∞ = shard fully idle).
+                return Ok(());
+            }
+            let t = t_next.max(self.t);
+            self.t = t;
+            self.sim.now = t;
+
+            // 1. Arrivals due at t join the wait queue.
+            let queued_before = self.sim.queue.len();
+            self.sim.admit_due(t, &mut self.pending);
+            let admitted = self.sim.queue.len() != queued_before;
+
+            // 2. Faults due at t, each applied to a node synced to t.
+            let mut faulted = false;
+            {
+                let evs = self.faults.events();
+                let mut k = self.next_fault;
+                while k < evs.len() && evs[k].at_s <= t + TIE_EPS {
+                    if evs[k].node < self.n {
+                        sync_node(&mut self.sim, evs[k].node, t)?;
+                        self.touched.insert(evs[k].node);
+                    }
+                    k += 1;
+                    faulted = true;
+                }
+            }
+            if faulted {
+                self.sim
+                    .apply_due_faults(t, &mut self.next_fault, &self.faults)?;
+            }
+
+            // 3. Node events due at t: sync the node through its internal
+            // events and reap any completions.
+            let mut completed = false;
+            while let Some((at, i)) = self.cal.peek() {
+                if at > t + TIE_EPS {
+                    break;
+                }
+                self.cal.heap.pop();
+                sync_node(&mut self.sim, i, t)?;
+                if reap_finished(&mut self.sim, i) > 0 {
+                    completed = true;
+                }
+                self.touched.insert(i);
+            }
+            for &i in &self.touched {
+                update_capacity(&self.sim, &mut self.caps, i);
+            }
+
+            // 4. One dispatch pass in node-index order over the capacity
+            // set, only when this step could have changed what is
+            // dispatchable.
+            if (admitted || faulted || completed) && !self.sim.queue.is_empty() {
+                for i in self.caps.clone() {
+                    if self.sim.queue.is_empty() {
+                        break;
+                    }
+                    sync_node(&mut self.sim, i, t)?;
+                    self.sim.dispatch(i, policy)?;
+                    update_capacity(&self.sim, &mut self.caps, i);
+                    self.touched.insert(i);
+                }
+            }
+
+            // 5. Refresh the calendar for every node touched this step.
+            for i in std::mem::take(&mut self.touched) {
+                reschedule(&mut self.sim, &mut self.cal, i)?;
+            }
+        }
+    }
+
+    /// Drain every remaining event, apply the stranded-queue check, and
+    /// fold the shard into its outcome.
+    pub(crate) fn finish(
+        mut self,
+        policy: &dyn StreamPolicy,
+    ) -> Result<(ClusterRun, FaultReport), EvalError> {
+        self.advance(policy, f64::INFINITY)?;
+        if !self.sim.queue.is_empty() {
+            return Err(if self.sim.alive.iter().any(|a| *a) {
+                EvalError::Internal {
+                    what: "jobs stranded in the scheduler queue",
+                }
+            } else {
+                EvalError::Degraded {
+                    what: "all nodes failed with jobs still queued",
+                }
+            });
+        }
+        // Fast-forward every node's clock to the final event time so the
+        // makespan (max node clock) matches the lockstep driver; idle
+        // advancement integrates no energy.
+        for i in 0..self.n {
+            sync_node(&mut self.sim, i, self.t)?;
+        }
+        let mut run = collect(self.sim.nodes, self.n);
+        run.makespan_s += self.sim.report.retry_backoff_s;
+        Ok((run, self.sim.report))
+    }
+}
+
 /// Event-calendar counterpart of [`super::run_stream_open`]: same state
 /// machine, same policies, same fault semantics, but per-event work
 /// proportional to the touched nodes. `eligible_window` bounds the
-/// partner scan (see [`super::OPEN_ELIGIBLE_WINDOW`]).
+/// partner scan (see [`super::OPEN_ELIGIBLE_WINDOW`]). One
+/// [`CalendarShard`] fed the whole stream up front and drained in a
+/// single `finish`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_stream_calendar(
     engine: &EvalEngine,
@@ -169,160 +429,10 @@ pub(crate) fn run_stream_calendar(
     setup: &FaultSetup,
     eligible_window: usize,
 ) -> Result<(ClusterRun, FaultReport), EvalError> {
-    let faults = &setup.plan;
-    let mut pending = sorted_pending(prepared, arrivals)?;
-    if let Some((t0, _)) = pending.front() {
-        if !t0.is_finite() || *t0 < 0.0 {
-            return Err(EvalError::InvalidInput {
-                what: "arrival times must be finite and non-negative",
-            });
-        }
+    let pending = sorted_pending(prepared, arrivals)?;
+    let mut shard = CalendarShard::new(engine, n, max_head_skips, setup, eligible_window);
+    for (at, job) in pending {
+        shard.push_arrival(at, job)?;
     }
-    if let Some((t_last, _)) = pending.back() {
-        if !t_last.is_finite() {
-            return Err(EvalError::InvalidInput {
-                what: "arrival times must be finite and non-negative",
-            });
-        }
-    }
-
-    setup.plan.record_schedule(engine.recorder());
-    let mut sim = StreamSim::new(
-        engine,
-        n,
-        setup.retry,
-        max_head_skips,
-        Some(eligible_window),
-    );
-    let mut cal = Calendar::new(n);
-    // Nodes able to take work right now, in dispatch (index) order.
-    let mut caps: BTreeSet<usize> = (0..n).collect();
-    // Nodes whose event horizon changed this step and need rescheduling.
-    let mut touched: BTreeSet<usize> = BTreeSet::new();
-    let mut next_fault = 0_usize;
-    let mut t = 0.0_f64;
-
-    // t = 0: admit, fault, dispatch — mirroring the lockstep prologue.
-    sim.admit_due(t, &mut pending);
-    sim.apply_due_faults(t, &mut next_fault, faults)?;
-    for i in 0..n {
-        update_capacity(&sim, &mut caps, i);
-    }
-    for i in caps.clone() {
-        if sim.queue.is_empty() {
-            break;
-        }
-        sim.dispatch(i, policy)?;
-        update_capacity(&sim, &mut caps, i);
-        touched.insert(i);
-    }
-    for i in std::mem::take(&mut touched) {
-        reschedule(&mut sim, &mut cal, i)?;
-    }
-
-    loop {
-        // Earliest event across the three calendars. Faults, like in the
-        // lockstep driver, cannot keep a finished cluster alive: they are
-        // only considered while a node event or an arrival is still due.
-        let t_node = cal.peek();
-        let t_arr = pending.front().map(|(at, _)| *at);
-        let mut t_next = f64::INFINITY;
-        if let Some((at, _)) = t_node {
-            t_next = t_next.min(at);
-        }
-        if let Some(at) = t_arr {
-            t_next = t_next.min(at);
-        }
-        if t_next.is_finite() {
-            if let Some(ev) = faults.events().get(next_fault) {
-                t_next = t_next.min(ev.at_s);
-            }
-        }
-        if !t_next.is_finite() {
-            if !sim.queue.is_empty() {
-                return Err(if sim.alive.iter().any(|a| *a) {
-                    EvalError::Internal {
-                        what: "jobs stranded in the scheduler queue",
-                    }
-                } else {
-                    EvalError::Degraded {
-                        what: "all nodes failed with jobs still queued",
-                    }
-                });
-            }
-            break;
-        }
-        t = t_next.max(t);
-        sim.now = t;
-
-        // 1. Arrivals due at t join the wait queue.
-        let queued_before = sim.queue.len();
-        sim.admit_due(t, &mut pending);
-        let admitted = sim.queue.len() != queued_before;
-
-        // 2. Faults due at t, each applied to a node synced to t.
-        let mut faulted = false;
-        {
-            let evs = faults.events();
-            let mut k = next_fault;
-            while k < evs.len() && evs[k].at_s <= t + TIE_EPS {
-                if evs[k].node < n {
-                    sync_node(&mut sim, evs[k].node, t)?;
-                    touched.insert(evs[k].node);
-                }
-                k += 1;
-                faulted = true;
-            }
-        }
-        if faulted {
-            sim.apply_due_faults(t, &mut next_fault, faults)?;
-        }
-
-        // 3. Node events due at t: sync the node through its internal
-        // events and reap any completions.
-        let mut completed = false;
-        while let Some((at, i)) = cal.peek() {
-            if at > t + TIE_EPS {
-                break;
-            }
-            cal.heap.pop();
-            sync_node(&mut sim, i, t)?;
-            if reap_finished(&mut sim, i) > 0 {
-                completed = true;
-            }
-            touched.insert(i);
-        }
-        for &i in &touched {
-            update_capacity(&sim, &mut caps, i);
-        }
-
-        // 4. One dispatch pass in node-index order over the capacity set,
-        // only when this step could have changed what is dispatchable.
-        if (admitted || faulted || completed) && !sim.queue.is_empty() {
-            for i in caps.clone() {
-                if sim.queue.is_empty() {
-                    break;
-                }
-                sync_node(&mut sim, i, t)?;
-                sim.dispatch(i, policy)?;
-                update_capacity(&sim, &mut caps, i);
-                touched.insert(i);
-            }
-        }
-
-        // 5. Refresh the calendar for every node touched this step.
-        for i in std::mem::take(&mut touched) {
-            reschedule(&mut sim, &mut cal, i)?;
-        }
-    }
-
-    // Fast-forward every node's clock to the final event time so the
-    // makespan (max node clock) matches the lockstep driver; idle
-    // advancement integrates no energy.
-    for i in 0..n {
-        sync_node(&mut sim, i, t)?;
-    }
-    let mut run = collect(sim.nodes, n);
-    run.makespan_s += sim.report.retry_backoff_s;
-    Ok((run, sim.report))
+    shard.finish(policy)
 }

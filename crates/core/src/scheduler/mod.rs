@@ -31,7 +31,7 @@
 
 pub mod calendar;
 
-pub(crate) use calendar::run_stream_calendar;
+pub(crate) use calendar::{run_stream_calendar, CalendarShard};
 
 use crate::engine::{EvalEngine, EvalError, RetryPolicy};
 use crate::features::AppSignature;

@@ -277,6 +277,27 @@ pub struct ServiceReport {
     pub decision_time_s: f64,
 }
 
+impl ServiceReport {
+    /// Fold another report into this one: counters and latency sum,
+    /// `queue_peak` takes the max (per-shard peaks do not add — the
+    /// shards' queues never share a worker pool).
+    pub fn merge(&mut self, rhs: &ServiceReport) {
+        self.decided += rhs.decided;
+        self.shed += rhs.shed;
+        self.deadline_exceeded += rhs.deadline_exceeded;
+        self.tier_full += rhs.tier_full;
+        self.tier_windowed += rhs.tier_windowed;
+        self.tier_fallback += rhs.tier_fallback;
+        self.retries += rhs.retries;
+        self.tier_failures += rhs.tier_failures;
+        self.breaker_trips += rhs.breaker_trips;
+        self.breaker_short_circuits += rhs.breaker_short_circuits;
+        self.engine_fallbacks += rhs.engine_fallbacks;
+        self.queue_peak = self.queue_peak.max(rhs.queue_peak);
+        self.decision_time_s += rhs.decision_time_s;
+    }
+}
+
 /// What the sequenced admission pass granted a request: its tier and
 /// its simulated timeline, before any real engine work happens.
 #[derive(Debug, Clone, Copy)]

@@ -24,7 +24,12 @@ use crate::features::AppSignature;
 use ecost_mapreduce::{PairConfig, TuningConfig};
 
 /// A self-tuning prediction technique.
-pub trait Stp {
+///
+/// `Send + Sync` is a supertrait so an [`crate::mapping::EcostContext`]
+/// holding `&dyn Stp` can be shared across the fleet's parallel shard
+/// lanes; every technique is fitted up front and read-only at decision
+/// time, so this costs implementations nothing.
+pub trait Stp: Send + Sync {
     /// Technique name as used in the paper's tables ("LkT", "LR", "REPTree",
     /// "MLP").
     fn name(&self) -> String;

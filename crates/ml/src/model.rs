@@ -3,7 +3,10 @@
 use crate::dataset::Dataset;
 
 /// A regression model mapping a feature row to a scalar.
-pub trait Regressor {
+///
+/// `Send + Sync` is a supertrait: fitted models are read-only at
+/// prediction time and are shared by reference across worker threads.
+pub trait Regressor: Send + Sync {
     /// Fit on a dataset. Implementations must be deterministic given the
     /// same data (and, where applicable, the RNG they were constructed with).
     fn fit(&mut self, data: &Dataset);

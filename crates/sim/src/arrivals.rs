@@ -24,6 +24,7 @@
 
 use crate::error::SimError;
 use crate::rng::stream;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// One constant-rate segment of the arrival cycle.
@@ -144,74 +145,136 @@ impl TraceSpec {
     }
 }
 
+/// Pull-based streaming generator over a [`TraceSpec`]: the exact arrival
+/// sequence [`generate`] materializes, produced one arrival per [`next`]
+/// call from O(catalog) resident state. The phase cycle repeats forever,
+/// so the iterator never ends — bound it with [`Iterator::take`] (or pull
+/// chunks with [`TraceStream::next_chunk`]). A million-arrival replay
+/// holds one arrival at a time instead of a gigabyte of trace.
+///
+/// Determinism contract: for any `spec`, any split of pulls into chunks
+/// (sizes 1, 7, 4096, …) yields the byte-identical sequence the eager
+/// path yields — pinned by a property test. `generate` itself is now a
+/// bounded collect over this iterator.
+///
+/// [`next`]: Iterator::next
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    gaps: StdRng,
+    picks: StdRng,
+    sizes: StdRng,
+    phases: Vec<ArrivalPhase>,
+    apps: usize,
+    /// Zipf CDF over the finite catalog: mass(rank r) ∝ (r+1)^-s.
+    zipf_cdf: Vec<f64>,
+    zipf_total: f64,
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+    /// Bounded-Pareto inverse CDF precomputation.
+    tail_ratio: f64,
+    cycle_s: f64,
+    t: f64,
+    phase: usize,
+    /// Absolute end time of the current phase (phases repeat cyclically).
+    phase_end: f64,
+}
+
+impl TraceStream {
+    /// Validate `spec` and position the stream at t = 0.
+    pub fn new(spec: &TraceSpec) -> Result<TraceStream, SimError> {
+        spec.validate()?;
+        let mut zipf_cdf: Vec<f64> = Vec::with_capacity(spec.apps);
+        let mut acc = 0.0;
+        for r in 0..spec.apps {
+            acc += ((r + 1) as f64).powf(-spec.zipf_exponent);
+            zipf_cdf.push(acc);
+        }
+        let (lo, hi) = spec.size_range_mb;
+        let alpha = spec.size_tail_alpha;
+        Ok(TraceStream {
+            gaps: stream(spec.seed, "trace.gaps"),
+            picks: stream(spec.seed, "trace.apps"),
+            sizes: stream(spec.seed, "trace.sizes"),
+            phases: spec.phases.clone(),
+            apps: spec.apps,
+            zipf_cdf,
+            zipf_total: acc,
+            lo,
+            hi,
+            alpha,
+            tail_ratio: (lo / hi).powf(alpha),
+            cycle_s: spec.phases.iter().map(|p| p.duration_s).sum(),
+            t: 0.0,
+            phase: 0,
+            phase_end: spec.phases[0].duration_s,
+        })
+    }
+
+    /// Pull up to `n` arrivals into `buf` (cleared first). Returns the
+    /// number pulled — always `n`, since the cycle never ends, but the
+    /// signature leaves room for finite stream sources. Chunked pulls
+    /// compose: any chunking of the same stream yields the same sequence.
+    pub fn next_chunk(&mut self, buf: &mut Vec<TraceArrival>, n: usize) -> usize {
+        buf.clear();
+        buf.extend(self.by_ref().take(n));
+        buf.len()
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceArrival;
+
+    fn next(&mut self) -> Option<TraceArrival> {
+        loop {
+            // Exponential gap at the current phase's rate. Redrawing at each
+            // boundary crossing is exact for piecewise-constant Poisson. A
+            // silent phase (rate 0) draws an infinite gap, which always
+            // crosses the boundary: the phase is fast-forwarded arrival-free.
+            let u: f64 = self.gaps.gen_range(f64::EPSILON..1.0);
+            let gap = -u.ln() / self.phases[self.phase].rate_per_s;
+            if self.t + gap >= self.phase_end {
+                // Crossed into the next phase: fast-forward and redraw there.
+                self.t = self.phase_end;
+                self.phase = (self.phase + 1) % self.phases.len();
+                self.phase_end += self.phases[self.phase].duration_s;
+                // Guard against float creep over very long traces.
+                debug_assert!(self.phase_end - self.t <= self.cycle_s + 1.0);
+                continue;
+            }
+            self.t += gap;
+
+            let zu: f64 = self.picks.gen_range(0.0..self.zipf_total);
+            let app = self
+                .zipf_cdf
+                .partition_point(|&c| c <= zu)
+                .min(self.apps - 1);
+
+            let su: f64 = self.sizes.gen_range(0.0..1.0);
+            // Inverse CDF of the Pareto truncated to [lo, hi].
+            let size_mb = if self.hi > self.lo {
+                self.lo / (1.0 - su * (1.0 - self.tail_ratio)).powf(1.0 / self.alpha)
+            } else {
+                self.lo
+            };
+
+            return Some(TraceArrival {
+                at_s: self.t,
+                app,
+                size_mb: size_mb.clamp(self.lo, self.hi),
+            });
+        }
+    }
+}
+
 /// Generate `count` arrivals from `spec`, sorted by time.
 ///
 /// Three independent seeded streams (gaps, app picks, sizes) derive from
 /// `spec.seed`, so changing e.g. the size distribution leaves the arrival
-/// times untouched.
+/// times untouched. This is the eager (materialized) form of
+/// [`TraceStream`]; the two produce identical sequences.
 pub fn generate(spec: &TraceSpec, count: usize) -> Result<Vec<TraceArrival>, SimError> {
-    spec.validate()?;
-    let mut gaps = stream(spec.seed, "trace.gaps");
-    let mut picks = stream(spec.seed, "trace.apps");
-    let mut sizes = stream(spec.seed, "trace.sizes");
-
-    // Zipf CDF over the finite catalog: mass(rank r) ∝ (r+1)^-s.
-    let mut zipf_cdf: Vec<f64> = Vec::with_capacity(spec.apps);
-    let mut acc = 0.0;
-    for r in 0..spec.apps {
-        acc += ((r + 1) as f64).powf(-spec.zipf_exponent);
-        zipf_cdf.push(acc);
-    }
-    let zipf_total = acc;
-
-    let (lo, hi) = spec.size_range_mb;
-    let alpha = spec.size_tail_alpha;
-    // Bounded-Pareto inverse CDF precomputation.
-    let tail_ratio = (lo / hi).powf(alpha);
-
-    let cycle_s: f64 = spec.phases.iter().map(|p| p.duration_s).sum();
-    let mut out = Vec::with_capacity(count);
-    let mut t = 0.0_f64;
-    let mut phase = 0_usize;
-    // Absolute end time of the current phase (phases repeat cyclically).
-    let mut phase_end = spec.phases[0].duration_s;
-
-    while out.len() < count {
-        // Exponential gap at the current phase's rate. Redrawing at each
-        // boundary crossing is exact for piecewise-constant Poisson. A
-        // silent phase (rate 0) draws an infinite gap, which always
-        // crosses the boundary: the phase is fast-forwarded arrival-free.
-        let u: f64 = gaps.gen_range(f64::EPSILON..1.0);
-        let gap = -u.ln() / spec.phases[phase].rate_per_s;
-        if t + gap >= phase_end {
-            // Crossed into the next phase: fast-forward and redraw there.
-            t = phase_end;
-            phase = (phase + 1) % spec.phases.len();
-            phase_end += spec.phases[phase].duration_s;
-            // Guard against float creep over very long traces.
-            debug_assert!(phase_end - t <= cycle_s + 1.0);
-            continue;
-        }
-        t += gap;
-
-        let zu: f64 = picks.gen_range(0.0..zipf_total);
-        let app = zipf_cdf.partition_point(|&c| c <= zu).min(spec.apps - 1);
-
-        let su: f64 = sizes.gen_range(0.0..1.0);
-        // Inverse CDF of the Pareto truncated to [lo, hi].
-        let size_mb = if hi > lo {
-            lo / (1.0 - su * (1.0 - tail_ratio)).powf(1.0 / alpha)
-        } else {
-            lo
-        };
-
-        out.push(TraceArrival {
-            at_s: t,
-            app,
-            size_mb: size_mb.clamp(lo, hi),
-        });
-    }
-    Ok(out)
+    Ok(TraceStream::new(spec)?.take(count).collect())
 }
 
 #[cfg(test)]
@@ -291,6 +354,31 @@ mod tests {
         let median = sizes[sizes.len() / 2];
         assert!(median < (lo + hi) / 4.0, "median {median}");
         assert!(sizes[sizes.len() - 1] > hi * 0.9);
+    }
+
+    #[test]
+    fn stream_matches_eager_and_is_resumable() {
+        let s = spec();
+        let eager = generate(&s, 4000).expect("generate");
+        let streamed: Vec<TraceArrival> =
+            TraceStream::new(&s).expect("stream").take(4000).collect();
+        assert_eq!(eager, streamed);
+        // One stream pulled in uneven chunks is the same sequence.
+        let mut st = TraceStream::new(&s).expect("stream");
+        let mut buf = Vec::new();
+        let mut chunked = Vec::new();
+        for n in [1, 999, 3000] {
+            assert_eq!(st.next_chunk(&mut buf, n), n);
+            chunked.extend_from_slice(&buf);
+        }
+        assert_eq!(eager, chunked);
+    }
+
+    #[test]
+    fn stream_construction_validates_the_spec() {
+        let mut s = spec();
+        s.apps = 0;
+        assert!(TraceStream::new(&s).is_err());
     }
 
     #[test]

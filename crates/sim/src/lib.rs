@@ -40,7 +40,7 @@ pub mod rng;
 pub mod trace;
 
 pub use amva::{AmvaBatch, AmvaScratch, AmvaSolution, ClassDemand, SharedStation};
-pub use arrivals::{ArrivalPhase, TraceArrival, TraceSpec};
+pub use arrivals::{ArrivalPhase, TraceArrival, TraceSpec, TraceStream};
 pub use cluster::ClusterSpec;
 pub use dvfs::Frequency;
 pub use error::SimError;

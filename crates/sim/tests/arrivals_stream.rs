@@ -1,0 +1,87 @@
+//! Chunked-vs-eager equivalence of the streaming trace generator.
+//!
+//! The fleet bench replays millions of arrivals by pulling the trace in
+//! chunks instead of materializing it; these properties pin the contract
+//! that chunking is invisible — any chunk size (1, 7, 4096, …), any seed,
+//! any phase mix produces the byte-identical sequence the eager
+//! `generate` path produces.
+
+use ecost_sim::arrivals::{generate, ArrivalPhase, TraceArrival, TraceSpec, TraceStream};
+use proptest::prelude::*;
+
+/// Pull `count` arrivals through `next_chunk` windows of `chunk` each.
+fn pull_chunked(spec: &TraceSpec, count: usize, chunk: usize) -> Vec<TraceArrival> {
+    let mut st = TraceStream::new(spec).expect("valid spec");
+    let mut buf = Vec::new();
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let want = chunk.min(count - out.len());
+        assert_eq!(st.next_chunk(&mut buf, want), want);
+        out.extend_from_slice(&buf);
+    }
+    out
+}
+
+fn arb_spec() -> impl Strategy<Value = TraceSpec> {
+    (
+        0u64..u64::MAX,
+        1usize..6,
+        prop::collection::vec((1.0f64..600.0, 0.0f64..8.0), 1..4),
+        0.5f64..2.5,
+        (32.0f64..256.0, 1.0f64..8.0),
+        1.1f64..2.5,
+    )
+        .prop_map(|(seed, apps, phases, zipf, (lo, hi_mult), alpha)| {
+            let mut phases: Vec<ArrivalPhase> = phases
+                .into_iter()
+                .map(|(duration_s, rate_per_s)| ArrivalPhase {
+                    duration_s,
+                    rate_per_s,
+                })
+                .collect();
+            // The spec requires at least one live phase; silent phases
+            // elsewhere in the cycle stay covered.
+            if !phases.iter().any(|p| p.rate_per_s > 0.0) {
+                phases[0].rate_per_s = 1.0;
+            }
+            TraceSpec {
+                seed,
+                phases,
+                apps,
+                zipf_exponent: zipf,
+                size_range_mb: (lo, lo * hi_mult),
+                size_tail_alpha: alpha,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The issue's named chunk sizes: 1, 7 and 4096 all reproduce the
+    /// eager sequence exactly, for arbitrary valid specs.
+    #[test]
+    fn chunked_pulls_match_eager(spec in arb_spec(), count in 1usize..700) {
+        let eager = generate(&spec, count).expect("eager");
+        for chunk in [1usize, 7, 4096] {
+            let chunked = pull_chunked(&spec, count, chunk);
+            prop_assert_eq!(&eager, &chunked, "chunk size {}", chunk);
+        }
+    }
+
+    /// A single long-lived stream pulled in mixed, ragged chunk sizes is
+    /// still the eager sequence — chunk boundaries carry no state.
+    #[test]
+    fn ragged_chunking_is_invisible(spec in arb_spec(), sizes in prop::collection::vec(1usize..97, 1..12)) {
+        let count: usize = sizes.iter().sum();
+        let eager = generate(&spec, count).expect("eager");
+        let mut st = TraceStream::new(&spec).expect("stream");
+        let mut buf = Vec::new();
+        let mut out = Vec::with_capacity(count);
+        for n in sizes {
+            prop_assert_eq!(st.next_chunk(&mut buf, n), n);
+            out.extend_from_slice(&buf);
+        }
+        prop_assert_eq!(eager, out);
+    }
+}
