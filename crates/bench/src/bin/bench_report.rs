@@ -25,11 +25,20 @@
 //! step (sweeps count stage completions, the closest deterministic proxy
 //! the outcome record keeps).
 //!
+//! The batched arms run the explicit `f64x4` AMVA kernel (auto-detected
+//! backend); alongside them the default run times the same batched
+//! sweeps with the kernel pinned scalar, so the SIMD delta is tracked
+//! (`*_simd_off` keys in the trend row).
+//!
 //! Flags: `--baseline` runs the baseline arms only (for A/B against an
 //! older build); `--no-batch` skips the batched arms (the pre-batching
 //! report shape); `--batch` is the explicit form of the default (all
-//! arms); `--lane-sweep` additionally measures the pair kernel at lane
-//! widths 1/2/4/6/8 (the DESIGN.md §11 scaling curve). `ECOST_QUICK=1`
+//! arms); `--no-simd` pins the scalar AMVA kernel on every batched arm
+//! (rows get `"simd":"off"`, and the simd-off shadow arms are skipped);
+//! `--threads N` sets the worker count for the rayon-sharded arms (the
+//! row's `threads` context field reports it); `--lane-sweep`
+//! additionally measures the pair kernel at lane widths 1/2/4/6/8/12/16
+//! (the DESIGN.md §11 scaling curve); `--quick` (or `ECOST_QUICK=1`)
 //! shrinks every dimension for CI smoke runs.
 //!
 //! Besides `BENCH_sim.json`, every run appends one compact row to the
@@ -103,6 +112,8 @@ struct Arms {
     optimized: bool,
     batched: bool,
     lane_sweep: bool,
+    /// `false` pins the scalar AMVA kernel on every batched arm.
+    simd: bool,
 }
 
 impl Arms {
@@ -113,6 +124,16 @@ impl Arms {
             "no-batch"
         } else {
             "all"
+        }
+    }
+
+    /// The trend row's `simd` context value: batched arms either all ran
+    /// the vector kernel or all had it pinned scalar.
+    fn simd_label(&self) -> &'static str {
+        if self.simd {
+            "on"
+        } else {
+            "off"
         }
     }
 }
@@ -180,8 +201,13 @@ fn solo_optimized(
 /// lane width. Same 160-point space per app as the other arms; events are
 /// not observable through sweep metrics, the caller patches them in from
 /// the baseline arm (bit-identical timelines).
-fn solo_batched(apps: &[App], mb: f64, pool: &mut PoolTotals) -> Result<Arm, BenchError> {
-    let eng = EvalEngine::atom();
+fn solo_batched(
+    apps: &[App],
+    mb: f64,
+    simd: bool,
+    pool: &mut PoolTotals,
+) -> Result<Arm, BenchError> {
+    let eng = EvalEngine::atom().with_simd(simd);
     let t0 = Instant::now();
     for app in apps {
         eng.sweep_solo(app.profile(), mb)?;
@@ -258,9 +284,10 @@ fn pair_batched(
     b: App,
     mb: f64,
     lanes: usize,
+    simd: bool,
     pool: &mut PoolTotals,
 ) -> Result<Arm, BenchError> {
-    let eng = EvalEngine::atom().with_batch_lanes(lanes);
+    let eng = EvalEngine::atom().with_batch_lanes(lanes).with_simd(simd);
     let t0 = Instant::now();
     eng.pair_sweep(a.profile(), mb, b.profile(), mb)?;
     let wall_s = t0.elapsed().as_secs_f64();
@@ -346,13 +373,18 @@ enum SchedArm {
 
 /// One timed pass of the streaming scheduler (wait queue, paired
 /// placement, per-node event loops) under the untuned policy, fault-free.
-fn scheduler_timed(quick: bool, arm: SchedArm, pool: &mut PoolTotals) -> Result<Arm, BenchError> {
+fn scheduler_timed(
+    quick: bool,
+    arm: SchedArm,
+    simd: bool,
+    pool: &mut PoolTotals,
+) -> Result<Arm, BenchError> {
     let (nodes, wl) = scheduler_load(quick);
     let mut eng = EvalEngine::atom();
     match arm {
         SchedArm::Baseline => eng.set_reference_executor(true),
         SchedArm::Optimized => eng.set_batch_lanes(1),
-        SchedArm::Batched => {}
+        SchedArm::Batched => eng.set_simd(simd),
     }
     let t0 = Instant::now();
     run_untuned_faulted(&eng, nodes, &wl, None, &scheduler_setup())?;
@@ -435,10 +467,11 @@ fn append_trend_row(
     let _ = write!(
         row,
         "{{\"schema\":\"ecost-bench-trend/1\",\"commit\":\"{commit}\",\"mode\":\"{}\",\
-         \"arms\":\"{}\",\"threads\":{}",
+         \"arms\":\"{}\",\"threads\":{},\"simd\":\"{}\"",
         if quick { "quick" } else { "full" },
         arms.label(),
-        rayon::current_num_threads()
+        rayon::current_num_threads(),
+        arms.simd_label()
     );
     for (key, arm) in metrics {
         if let Some(a) = arm {
@@ -456,7 +489,19 @@ fn append_trend_row(
 
 #[allow(clippy::too_many_lines)]
 fn run(arms: Arms) -> Result<(), BenchError> {
-    let quick = std::env::var("ECOST_QUICK").is_ok_and(|v| v == "1");
+    let args: Vec<String> = std::env::args().collect();
+    let quick =
+        std::env::var("ECOST_QUICK").is_ok_and(|v| v == "1") || args.iter().any(|a| a == "--quick");
+    // The vendored rayon shim sizes its scope per call from this
+    // variable, so setting it up front covers every parallel arm.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| BenchError::Invalid("--threads needs a positive integer".into()))?;
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    }
     let tb = Testbed::atom();
     let mb = InputSize::Small.per_node_mb();
     let rounds = if quick { 3 } else { 7 };
@@ -475,19 +520,29 @@ fn run(arms: Arms) -> Result<(), BenchError> {
     let mut solo_base: Option<Arm> = None;
     let mut solo_opt: Option<Arm> = None;
     let mut solo_bat: Option<Arm> = None;
+    let mut solo_off: Option<Arm> = None;
     for _ in 0..rounds {
         solo_base = faster(solo_base, solo_baseline(&apps, mb, &solo_cfgs)?);
         if arms.optimized {
             solo_opt = faster(solo_opt, solo_optimized(&apps, mb, &solo_cfgs, &mut pool)?);
         }
         if arms.batched {
-            solo_bat = faster(solo_bat, solo_batched(&apps, mb, &mut pool)?);
+            solo_bat = faster(solo_bat, solo_batched(&apps, mb, arms.simd, &mut pool)?);
+        }
+        // Shadow arm: same batched sweep with the kernel pinned scalar,
+        // so the SIMD delta itself is tracked by trend_check.
+        if arms.batched && arms.simd {
+            solo_off = faster(solo_off, solo_batched(&apps, mb, false, &mut pool)?);
         }
     }
     let solo_base = solo_base.ok_or(BenchError::Invalid("no solo rounds ran".into()))?;
     // Bit-identical arms: the baseline's event count transfers (sweep
     // metrics keep no timelines to count on the batched arm).
     let solo_bat = solo_bat.map(|mut arm| {
+        arm.events = solo_base.events;
+        arm
+    });
+    let solo_off = solo_off.map(|mut arm| {
         arm.events = solo_base.events;
         arm
     });
@@ -504,6 +559,7 @@ fn run(arms: Arms) -> Result<(), BenchError> {
     let mut pair_base: Option<Arm> = None;
     let mut pair_opt: Option<Arm> = None;
     let mut pair_bat: Option<Arm> = None;
+    let mut pair_off: Option<Arm> = None;
     for _ in 0..rounds {
         pair_base = faster(pair_base, pair_baseline(App::Gp, App::St, mb, &pcs)?);
         if arms.optimized {
@@ -515,7 +571,13 @@ fn run(arms: Arms) -> Result<(), BenchError> {
         if arms.batched {
             pair_bat = faster(
                 pair_bat,
-                pair_batched(App::Gp, App::St, mb, MAX_BATCH_LANES, &mut pool)?,
+                pair_batched(App::Gp, App::St, mb, MAX_BATCH_LANES, arms.simd, &mut pool)?,
+            );
+        }
+        if arms.batched && arms.simd {
+            pair_off = faster(
+                pair_off,
+                pair_batched(App::Gp, App::St, mb, MAX_BATCH_LANES, false, &mut pool)?,
             );
         }
     }
@@ -533,16 +595,25 @@ fn run(arms: Arms) -> Result<(), BenchError> {
         }
         arm
     });
+    let pair_off = pair_off.map(|mut arm| {
+        if arm.sims == pair_base.sims {
+            arm.events = pair_base.events;
+        }
+        arm
+    });
 
     // Lane-width scaling curve for the pair kernel (DESIGN.md §11).
     let mut lane_curve: Vec<(usize, Option<Arm>)> = Vec::new();
     if arms.lane_sweep {
-        let widths = [1usize, 2, 4, 6, 8];
+        let widths = [1usize, 2, 4, 6, 8, 12, 16];
         eprintln!("[bench_report] lane sweep: widths {widths:?}, {rounds} rounds…");
         lane_curve = widths.iter().map(|&w| (w, None)).collect();
         for _ in 0..rounds {
             for (w, best) in &mut lane_curve {
-                *best = faster(*best, pair_batched(App::Gp, App::St, mb, *w, &mut pool)?);
+                *best = faster(
+                    *best,
+                    pair_batched(App::Gp, App::St, mb, *w, arms.simd, &mut pool)?,
+                );
             }
         }
     }
@@ -557,18 +628,18 @@ fn run(arms: Arms) -> Result<(), BenchError> {
     for _ in 0..rounds {
         sched_base = faster(
             sched_base,
-            scheduler_timed(quick, SchedArm::Baseline, &mut pool)?,
+            scheduler_timed(quick, SchedArm::Baseline, arms.simd, &mut pool)?,
         );
         if arms.optimized {
             sched_opt = faster(
                 sched_opt,
-                scheduler_timed(quick, SchedArm::Optimized, &mut pool)?,
+                scheduler_timed(quick, SchedArm::Optimized, arms.simd, &mut pool)?,
             );
         }
         if arms.batched {
             sched_bat = faster(
                 sched_bat,
-                scheduler_timed(quick, SchedArm::Batched, &mut pool)?,
+                scheduler_timed(quick, SchedArm::Batched, arms.simd, &mut pool)?,
             );
         }
     }
@@ -597,6 +668,16 @@ fn run(arms: Arms) -> Result<(), BenchError> {
     let _ = writeln!(out, "  \"arms\": \"{}\",", arms.label());
     let _ = writeln!(out, "  \"threads\": {},", rayon::current_num_threads());
     let _ = writeln!(out, "  \"batch_lanes\": {MAX_BATCH_LANES},");
+    let _ = writeln!(out, "  \"simd\": \"{}\",", arms.simd_label());
+    let _ = writeln!(
+        out,
+        "  \"simd_backend\": \"{}\",",
+        if arms.simd {
+            ecost_sim::SimdBackend::detect().name()
+        } else {
+            "scalar"
+        }
+    );
     section(
         &mut out,
         "solo_sweep",
@@ -607,11 +688,13 @@ fn run(arms: Arms) -> Result<(), BenchError> {
         &[
             ("optimized", solo_opt),
             ("batched", solo_bat),
+            ("batched_no_simd", solo_off),
             ("baseline", Some(solo_base)),
         ],
         &[
             ("speedup", wall_speedup(solo_opt, Some(solo_base))),
             ("speedup_batched", rate_ratio(solo_bat, solo_opt)),
+            ("speedup_simd", rate_ratio(solo_bat, solo_off)),
         ],
     );
     section(
@@ -621,11 +704,13 @@ fn run(arms: Arms) -> Result<(), BenchError> {
         &[
             ("optimized", pair_opt),
             ("batched", pair_bat),
+            ("batched_no_simd", pair_off),
             ("baseline", Some(pair_base)),
         ],
         &[
             ("speedup", wall_speedup(pair_opt, Some(pair_base))),
             ("speedup_batched", rate_ratio(pair_bat, pair_opt)),
+            ("speedup_simd", rate_ratio(pair_bat, pair_off)),
         ],
     );
     if !lane_curve.is_empty() {
@@ -685,9 +770,11 @@ fn run(arms: Arms) -> Result<(), BenchError> {
             ("solo_baseline", Some(solo_base)),
             ("solo_optimized", solo_opt),
             ("solo_batched", solo_bat),
+            ("solo_simd_off", solo_off),
             ("pair_baseline", Some(pair_base)),
             ("pair_optimized", pair_opt),
             ("pair_batched", pair_bat),
+            ("pair_simd_off", pair_off),
             ("sched_baseline", Some(sched_base)),
             ("sched_optimized", sched_opt),
             ("sched_batched", sched_bat),
@@ -701,10 +788,12 @@ fn main() -> ExitCode {
     let baseline_only = std::env::args().any(|a| a == "--baseline");
     let no_batch = std::env::args().any(|a| a == "--no-batch");
     let lane_sweep = std::env::args().any(|a| a == "--lane-sweep");
+    let no_simd = std::env::args().any(|a| a == "--no-simd");
     let arms = Arms {
         optimized: !baseline_only,
         batched: !baseline_only && !no_batch,
         lane_sweep: lane_sweep && !baseline_only && !no_batch,
+        simd: !no_simd,
     };
     ecost_bench::run_main("bench_report", || run(arms))
 }

@@ -296,6 +296,19 @@ fn run() -> Result<(), BenchError> {
     let _ = writeln!(out, "  \"arrivals\": {},", scale.arrivals);
     let _ = writeln!(out, "  \"trace_seed\": {SEED},");
     let _ = writeln!(out, "  \"cache_budget_per_table\": {},", scale.budget);
+    // Dispatch visibility (see scale_out): shard engines are built inside
+    // `run_fleet` with default knobs, so the process-level detection and
+    // lane cap are exactly what every shard ran with.
+    let _ = writeln!(
+        out,
+        "  \"batch_lanes\": {},",
+        ecost_mapreduce::MAX_BATCH_LANES
+    );
+    let _ = writeln!(
+        out,
+        "  \"simd_backend\": \"{}\",",
+        ecost_sim::SimdBackend::detect().name()
+    );
     let _ = writeln!(out, "  \"single_shard_identity\": \"ok\",");
     let _ = writeln!(out, "{},", arms[0].json(idle_w));
     let _ = writeln!(out, "{}", arms[1].json(idle_w));

@@ -323,6 +323,14 @@ fn run() -> Result<(), BenchError> {
     let _ = writeln!(out, "  \"arrivals\": {},", scale.arrivals);
     let _ = writeln!(out, "  \"trace_seed\": {SEED},");
     let _ = writeln!(out, "  \"cache_budget_per_table\": {},", scale.budget);
+    // Dispatch visibility: the double-run diff catches a build whose
+    // engines silently changed lane width or vector backend.
+    let _ = writeln!(out, "  \"batch_lanes\": {},", eng_e.batch_lanes());
+    let _ = writeln!(
+        out,
+        "  \"simd_backend\": \"{}\",",
+        eng_e.simd_backend().name()
+    );
     let _ = writeln!(out, "{},", untuned.json(idle_w));
     let _ = writeln!(out, "{},", ecost.json(idle_w));
     if let Some(arm) = &serviced_arm {

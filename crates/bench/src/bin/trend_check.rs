@@ -3,8 +3,11 @@
 //! `bench_report` and `scale_out` append one compact row per run (schema
 //! `ecost-bench-trend/1`); this binary compares the newest row against the
 //! *median* of the last (up to) three comparable earlier rows — same
-//! `mode`, `arms` and `threads`, so quick CI rows never gate against full
-//! workstation rows — and fails (non-zero exit) when any kernel's
+//! `mode`, `arms`, `threads` and `simd` context (a row without a `simd`
+//! field only compares against rows that also lack one, so rows from
+//! before the SIMD kernel never gate its arms), so quick CI rows never
+//! gate against full workstation rows — and fails (non-zero exit) when
+//! any kernel's
 //! throughput dropped by more than the tolerance (`ECOST_TREND_TOL`,
 //! default 0.10 = 10%). The median reference makes the gate robust to a
 //! single anomalously fast prior row (a noisy-neighbour lull would
@@ -14,8 +17,9 @@
 //!
 //! Exit codes: `0` when every compared metric is within tolerance, `2`
 //! ("no data") when there is nothing to gate — the store is missing,
-//! empty, or has no comparable prior row for the newest row's (mode,
-//! arms, threads) context — and `1` on a regression or a malformed
+//! empty, has no comparable prior row for the newest row's (mode, arms,
+//! threads, simd) context, or the comparable priors share no metric key
+//! with the newest row — and `1` on a regression or a malformed
 //! store. Callers that treat a seeding run as acceptable should accept
 //! exit 2 explicitly (CI does: `trend_check || [ $? -eq 2 ]`).
 //!
@@ -27,13 +31,15 @@ use ecost_bench::BenchError;
 use std::process::ExitCode;
 
 /// Headline throughput keys a row may carry (absent arms are skipped).
-const METRICS: [&str; 12] = [
+const METRICS: [&str; 14] = [
     "solo_baseline_sims_per_s",
     "solo_optimized_sims_per_s",
     "solo_batched_sims_per_s",
+    "solo_simd_off_sims_per_s",
     "pair_baseline_sims_per_s",
     "pair_optimized_sims_per_s",
     "pair_batched_sims_per_s",
+    "pair_simd_off_sims_per_s",
     "sched_baseline_sims_per_s",
     "sched_optimized_sims_per_s",
     "sched_batched_sims_per_s",
@@ -78,12 +84,16 @@ fn field_f64(row: &str, key: &str) -> Option<f64> {
 }
 
 /// The comparability context of a row: rows only gate against rows that
-/// measured the same thing on the same parallelism.
-fn context(row: &str) -> Option<(String, String, u64)> {
+/// measured the same thing on the same parallelism with the same kernel.
+/// `simd` is optional — rows predating the SIMD kernel have no such
+/// field, and `None` only matches `None`, so old seed rows never gate
+/// (or get gated by) the SIMD-era arms.
+fn context(row: &str) -> Option<(String, String, u64, Option<String>)> {
     Some((
         field_str(row, "mode")?.to_string(),
         field_str(row, "arms")?.to_string(),
         field_f64(row, "threads")? as u64,
+        field_str(row, "simd").map(str::to_string),
     ))
 }
 
@@ -131,8 +141,12 @@ fn check(path: &str, tol: f64) -> Result<(), BenchError> {
         .collect();
     if prevs.is_empty() {
         return Err(BenchError::NoData(format!(
-            "{path}: no prior row with mode={} arms={} threads={} — this row seeds the trend",
-            ctx.0, ctx.1, ctx.2
+            "{path}: no prior row with mode={} arms={} threads={} simd={} — this row seeds \
+             the trend",
+            ctx.0,
+            ctx.1,
+            ctx.2,
+            ctx.3.as_deref().unwrap_or("<absent>")
         )));
     }
     let commits = prevs
@@ -159,6 +173,12 @@ fn check(path: &str, tol: f64) -> Result<(), BenchError> {
         }
     }
     if regressions.is_empty() {
+        if compared == 0 {
+            return Err(BenchError::NoData(format!(
+                "{path}: comparable prior rows share no metric key with the newest row — \
+                 nothing to gate"
+            )));
+        }
         println!(
             "trend_check: {compared} metrics within {:.0}% of the median of {} prior rows \
              in {} (commits {})",
@@ -270,6 +290,77 @@ mod tests {
         let row = r#"{"schema":"ecost-bench-trend/1","commit":"abc","mode":"quick","arms":"scale","threads":1,"scale_decisions_per_s":51455.3}"#;
         assert_eq!(field_str(row, "commit"), Some("abc"));
         assert_eq!(field_f64(row, "scale_decisions_per_s"), Some(51455.3));
-        assert_eq!(context(row), Some(("quick".into(), "scale".into(), 1)));
+        assert_eq!(
+            context(row),
+            Some(("quick".into(), "scale".into(), 1, None))
+        );
+        let row = r#"{"schema":"ecost-bench-trend/1","commit":"abc","mode":"full","arms":"all","threads":2,"simd":"on","pair_batched_sims_per_s":9.0}"#;
+        assert_eq!(
+            context(row),
+            Some(("full".into(), "all".into(), 2, Some("on".into())))
+        );
+    }
+
+    #[test]
+    fn simd_context_splits_comparability_from_pre_simd_rows() {
+        // A seed row written before the simd field existed must not gate
+        // the first simd-era row, even though mode/arms/threads match and
+        // the metric key is shared (with a large apparent drop).
+        let old = r#"{"schema":"ecost-bench-trend/1","commit":"a","mode":"quick","arms":"all","threads":1,"pair_batched_sims_per_s":100.0}"#;
+        let new = r#"{"schema":"ecost-bench-trend/1","commit":"b","mode":"quick","arms":"all","threads":1,"simd":"on","pair_batched_sims_per_s":50.0}"#;
+        let path = write_store("simd_split.jsonl", &[old, new]);
+        match check(&path, 0.10) {
+            Err(BenchError::NoData(msg)) => assert!(msg.contains("seeds the trend"), "{msg}"),
+            other => panic!("expected NoData, got {other:?}"),
+        }
+        // And the two simd settings never gate each other.
+        let on = r#"{"schema":"ecost-bench-trend/1","commit":"c","mode":"quick","arms":"all","threads":1,"simd":"on","pair_batched_sims_per_s":100.0}"#;
+        let off = r#"{"schema":"ecost-bench-trend/1","commit":"d","mode":"quick","arms":"all","threads":1,"simd":"off","pair_batched_sims_per_s":50.0}"#;
+        let path = write_store("simd_on_off.jsonl", &[on, off]);
+        match check(&path, 0.10) {
+            Err(BenchError::NoData(msg)) => assert!(msg.contains("seeds the trend"), "{msg}"),
+            other => panic!("expected NoData, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthetic_drop_in_a_simd_row_fails_the_gate() {
+        let mk = |commit: &str, rate: f64| {
+            format!(
+                r#"{{"schema":"ecost-bench-trend/1","commit":"{commit}","mode":"full","arms":"all","threads":1,"simd":"on","pair_batched_sims_per_s":{rate:.1},"pair_simd_off_sims_per_s":{:.1}}}"#,
+                rate / 2.0
+            )
+        };
+        let rows = [mk("a", 1000.0), mk("b", 1010.0), mk("c", 990.0)];
+        let held = mk("d", 960.0);
+        let path = write_store("simd_gate_ok.jsonl", &[&rows[0], &rows[1], &rows[2], &held]);
+        assert!(check(&path, 0.10).is_ok());
+        // >10% drop in the simd arm (and its shadow) must fail.
+        let dropped = mk("e", 500.0);
+        let path = write_store(
+            "simd_gate_bad.jsonl",
+            &[&rows[0], &rows[1], &rows[2], &dropped],
+        );
+        match check(&path, 0.10) {
+            Err(BenchError::Invalid(msg)) => {
+                assert!(msg.contains("pair_batched_sims_per_s"), "{msg}");
+                assert!(msg.contains("pair_simd_off_sims_per_s"), "{msg}");
+            }
+            other => panic!("expected Invalid regression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prior_keys_absent_from_the_newest_row_are_no_data() {
+        // Same context, but the newest row carries none of the priors'
+        // metric keys (and vice versa): nothing is comparable, which must
+        // surface as exit-2 "no data", not a silent pass.
+        let old = r#"{"schema":"ecost-bench-trend/1","commit":"a","mode":"quick","arms":"scale","threads":1,"scale_decisions_per_s":100.0}"#;
+        let new = r#"{"schema":"ecost-bench-trend/1","commit":"b","mode":"quick","arms":"scale","threads":1,"fleet_decisions_per_s":100.0}"#;
+        let path = write_store("key_mismatch.jsonl", &[old, new]);
+        match check(&path, 0.10) {
+            Err(BenchError::NoData(msg)) => assert!(msg.contains("no metric key"), "{msg}"),
+            other => panic!("expected NoData, got {other:?}"),
+        }
     }
 }

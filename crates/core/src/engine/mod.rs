@@ -35,7 +35,7 @@ use ecost_mapreduce::{
     run_batch_to_completion, JobMetrics, JobSpec, PairConfig, PairMetrics, TuningConfig,
     MAX_BATCH_LANES,
 };
-use ecost_sim::SimError;
+use ecost_sim::{SimError, SimdBackend};
 use ecost_telemetry::{Counter, Event, Recorder, Registry};
 use pool::SimPool;
 use rayon::prelude::*;
@@ -409,6 +409,9 @@ pub struct EvalEngine {
     /// Route miss-path runs through the frozen `ReferenceNodeSim` instead
     /// of the optimized pooled executor (benchmark baseline arm).
     reference: bool,
+    /// AMVA vector backend for batched sweep windows, detected at
+    /// construction ([`Self::set_simd`] pins the scalar kernel instead).
+    simd: SimdBackend,
 }
 
 impl EvalEngine {
@@ -446,6 +449,7 @@ impl EvalEngine {
             budget: CacheBudget::unbounded(),
             batch_lanes: MAX_BATCH_LANES,
             reference: false,
+            simd: SimdBackend::detect(),
         }
     }
 
@@ -504,6 +508,30 @@ impl EvalEngine {
     /// True when miss-path runs use the frozen reference executor.
     pub fn reference_executor(&self) -> bool {
         self.reference
+    }
+
+    /// Builder form of [`Self::set_simd`].
+    pub fn with_simd(mut self, on: bool) -> EvalEngine {
+        self.set_simd(on);
+        self
+    }
+
+    /// Toggle the explicit `f64x4` AMVA kernel for batched sweep windows.
+    /// `false` pins the always-available scalar lane loop (the bench
+    /// `--no-simd` arm); `true` re-detects the best backend for this CPU.
+    /// Every backend is bit-identical to a scalar solve, so this knob
+    /// changes throughput, never results.
+    pub fn set_simd(&mut self, on: bool) {
+        self.simd = if on {
+            SimdBackend::detect()
+        } else {
+            SimdBackend::Scalar
+        };
+    }
+
+    /// The AMVA vector backend batched sweep windows will use.
+    pub fn simd_backend(&self) -> SimdBackend {
+        self.simd
     }
 
     /// True when sweeps should solve cache misses in lane-wide batches.
@@ -692,6 +720,7 @@ impl EvalEngine {
             sims.push(sim);
         }
         let mut scratch = self.pool.acquire_scratch();
+        scratch.set_simd_backend(self.simd);
         let run = run_batch_to_completion(&mut sims, &mut scratch);
         self.pool.release_scratch(scratch);
         run?;
@@ -738,6 +767,7 @@ impl EvalEngine {
             sims.push(sim);
         }
         let mut scratch = self.pool.acquire_scratch();
+        scratch.set_simd_backend(self.simd);
         let run = run_batch_to_completion(&mut sims, &mut scratch);
         self.pool.release_scratch(scratch);
         run?;

@@ -27,7 +27,9 @@ use crate::framework::FrameworkSpec;
 use crate::job::JobSpec;
 use crate::metrics::JobMetrics;
 use crate::stage::Stage;
-use ecost_sim::{AmvaBatch, AmvaScratch, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError};
+use ecost_sim::{
+    AmvaBatch, AmvaScratch, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError, SimdBackend,
+};
 use ecost_telemetry::{Event, Recorder, SpanKey};
 
 /// Opaque handle identifying a submitted job within one `NodeSim`.
@@ -1063,11 +1065,14 @@ fn finalize(
 
 /// Hard cap on simulators per batched window ([`run_batch_to_completion`]).
 ///
-/// Eight lanes is the end-to-end sweet spot: the raw kernel keeps creeping
-/// up to 16 lanes (DESIGN.md §11), but wider windows lose more to
-/// event-loop lockstep and cache footprint than the kernel gains, and
-/// eight keeps the per-round bookkeeping in small fixed stack arrays.
-pub const MAX_BATCH_LANES: usize = 8;
+/// Sixteen lanes: with the explicit `f64x4` AMVA kernel each vector step
+/// advances four adjacent lanes, so sixteen keeps four full vector chunks
+/// in flight and still has whole chunks left as converged lanes drain —
+/// at eight, half the window is gone after the first chunk retires. The
+/// re-measured lane curve (DESIGN.md §11) has the end-to-end sweet spot
+/// at the full sixteen now that the kernel amortises wider windows; the
+/// per-round bookkeeping below stays in small fixed stack arrays.
+pub const MAX_BATCH_LANES: usize = 16;
 
 /// Per-lane working state of a batched solve window, reused across rounds.
 struct LaneScratch {
@@ -1116,6 +1121,18 @@ impl BatchScratch {
             amva: AmvaBatch::new(),
             lanes: Vec::new(),
         }
+    }
+
+    /// Select the AMVA vector backend for this scratch's batched solves
+    /// (validated against the running CPU). Every backend is bit-identical
+    /// to the scalar path, so this only moves throughput.
+    pub fn set_simd_backend(&mut self, backend: SimdBackend) {
+        self.amva.set_simd_backend(backend);
+    }
+
+    /// The AMVA vector backend the next batched solve will use.
+    pub fn simd_backend(&self) -> SimdBackend {
+        self.amva.simd_backend()
     }
 }
 

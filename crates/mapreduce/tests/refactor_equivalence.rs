@@ -13,7 +13,7 @@ use ecost_mapreduce::reference::ReferenceNodeSim;
 use ecost_mapreduce::{
     run_batch_to_completion, BatchScratch, BlockSize, FrameworkSpec, JobSpec, TuningConfig,
 };
-use ecost_sim::{AmvaBatch, AmvaScratch, ClassDemand, Frequency, NodeSpec};
+use ecost_sim::{AmvaBatch, AmvaScratch, ClassDemand, Frequency, NodeSpec, SimdBackend};
 use proptest::prelude::*;
 
 fn arb_app() -> impl Strategy<Value = App> {
@@ -262,14 +262,16 @@ fn arb_amva_problem() -> impl Strategy<Value = (Vec<ClassDemand>, usize)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Random point sets through `AmvaBatch` at every lane width 1..=8:
+    /// Random point sets through `AmvaBatch` at every lane width 1..=16:
     /// throughputs, queues, per-station figures and iteration counts are
     /// bit-equal to a scalar `AmvaScratch::solve` of each point alone.
+    /// Widths 1..=16 cover full f64x4 vector windows, every scalar-tail
+    /// residue (1, 2, 3 mod 4) and the single-lane degenerate case.
     #[test]
     fn amva_batch_matches_scalar_at_every_lane_width(
-        problems in prop::collection::vec(arb_amva_problem(), 1..=8)
+        problems in prop::collection::vec(arb_amva_problem(), 1..=16)
     ) {
-        for width in 1..=8usize {
+        for width in 1..=16usize {
             let mut batch = AmvaBatch::new();
             for window in problems.chunks(width) {
                 let probs: Vec<(&[ClassDemand], usize)> = window
@@ -325,7 +327,7 @@ proptest! {
     /// the contract the batched sweep drivers in EvalEngine rely on.
     #[test]
     fn batched_runner_matches_scalar_runner(
-        plans in prop::collection::vec(arb_plan(), 1..=8)
+        plans in prop::collection::vec(arb_plan(), 1..=16)
     ) {
         let scalar: Vec<Result<Fingerprint, ecost_sim::SimError>> = plans
             .iter()
@@ -376,6 +378,95 @@ proptest! {
                 Err(_) => {
                     // Fail-fast: some lane failed, so some scalar run failed.
                     prop_assert!(scalar.iter().any(|r| r.is_err()));
+                }
+            }
+        }
+    }
+}
+
+/// A *shape-uniform* batch problem: one (stations, class-count) pair per
+/// case, shared by every lane, so `AmvaBatch` takes the lane-interleaved
+/// SoA kernel — the path the f64x4 backends vectorize — rather than the
+/// mixed-shape whole-lane rotation.
+fn arb_uniform_batch() -> impl Strategy<Value = (Vec<Vec<ClassDemand>>, usize)> {
+    (1usize..=4, 1usize..=3).prop_flat_map(|(stations, nc)| {
+        let lane = prop::collection::vec(
+            (
+                0.0f64..8.0,
+                0.0f64..5.0,
+                prop::collection::vec(0.0f64..2.0, stations),
+                0.05f64..2.0,
+            ),
+            nc,
+        )
+        .prop_map(move |raw| {
+            raw.into_iter()
+                .map(|(population, think_time_s, mut demands_s, d0)| {
+                    demands_s[0] = d0;
+                    ClassDemand {
+                        population,
+                        think_time_s,
+                        demands_s,
+                    }
+                })
+                .collect::<Vec<ClassDemand>>()
+        });
+        (prop::collection::vec(lane, 1..=16), Just(stations))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The detected SIMD backend is bit-identical to the pinned-scalar
+    /// backend on shape-uniform windows of every width 1..=16 — the
+    /// DESIGN.md §11 contract the vector kernel must uphold: same Result,
+    /// same iteration counts, same bits in every throughput, queue and
+    /// per-station figure.
+    #[test]
+    fn simd_backend_is_bit_identical_to_scalar_backend(
+        (lanes, stations) in arb_uniform_batch()
+    ) {
+        let probs: Vec<(&[ClassDemand], usize)> = lanes
+            .iter()
+            .map(|c| (c.as_slice(), stations))
+            .collect();
+
+        let mut vec_batch = AmvaBatch::new();
+        vec_batch.set_simd_backend(SimdBackend::detect());
+        let mut sc_batch = AmvaBatch::new();
+        sc_batch.set_simd_backend(SimdBackend::Scalar);
+
+        let vr = vec_batch.solve(&probs);
+        let sr = sc_batch.solve(&probs);
+        prop_assert_eq!(vr.is_ok(), sr.is_ok(), "Result divergence");
+
+        if vr.is_ok() {
+            for (i, classes) in lanes.iter().enumerate() {
+                let vl = vec_batch.lane(i);
+                let sl = sc_batch.lane(i);
+                prop_assert_eq!(vl.iterations(), sl.iterations(), "lane {}", i);
+                for j in 0..classes.len() {
+                    prop_assert_eq!(
+                        vl.throughput()[j].to_bits(),
+                        sl.throughput()[j].to_bits()
+                    );
+                    for s in 0..stations {
+                        prop_assert_eq!(
+                            vl.queue(j, s).to_bits(),
+                            sl.queue(j, s).to_bits()
+                        );
+                    }
+                }
+                for s in 0..stations {
+                    prop_assert_eq!(
+                        vl.station_util()[s].to_bits(),
+                        sl.station_util()[s].to_bits()
+                    );
+                    prop_assert_eq!(
+                        vl.station_queue()[s].to_bits(),
+                        sl.station_queue()[s].to_bits()
+                    );
                 }
             }
         }

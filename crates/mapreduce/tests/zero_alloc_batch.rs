@@ -7,6 +7,12 @@
 //! technique, and deliberately the only test in this binary so no sibling
 //! test allocates concurrently.
 //!
+//! Covers the SIMD batch path: after one warm-up at the widest window
+//! (`MAX_BATCH_LANES` = 16 lanes), pack/round/compact must stay
+//! allocation-free at *every* width 1..=16 — full vector windows, odd
+//! scalar tails, and the mid-run compaction in between — on both the
+//! detected vector backend and the pinned-scalar kernel.
+//!
 //! Submission is *allowed* to allocate (job stages, timeline reservation):
 //! the contract covers the event loop, not setup.
 
@@ -16,9 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ecost_apps::{App, InputSize};
 use ecost_mapreduce::executor::NodeSim;
 use ecost_mapreduce::{
-    run_batch_to_completion, BatchScratch, FrameworkSpec, JobSpec, TuningConfig,
+    run_batch_to_completion, BatchScratch, FrameworkSpec, JobSpec, TuningConfig, MAX_BATCH_LANES,
 };
-use ecost_sim::NodeSpec;
+use ecost_sim::{NodeSpec, SimdBackend};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
@@ -45,17 +51,21 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static A: CountingAlloc = CountingAlloc;
 
-/// Distinct job mixes per lane so the batch exercises unequal lane shapes
+/// Job mix for lane `i`: distinct shapes cycled across the window
 /// (different class counts, different event counts, lanes retiring early).
-fn submit_mixes(sims: &mut [NodeSim]) {
-    let mixes: [&[App]; 4] = [
+fn mix_for(lane: usize) -> &'static [App] {
+    const MIXES: [&[App]; 4] = [
         &[App::Wc, App::St],
         &[App::Wc],
         &[App::St, App::St],
         &[App::Wc, App::Wc],
     ];
-    for (sim, apps) in sims.iter_mut().zip(mixes) {
-        for &app in apps {
+    MIXES[lane % MIXES.len()]
+}
+
+fn submit_mixes(sims: &mut [NodeSim]) {
+    for (lane, sim) in sims.iter_mut().enumerate() {
+        for &app in mix_for(lane) {
             sim.submit(JobSpec::new(
                 app,
                 InputSize::Small,
@@ -68,38 +78,61 @@ fn submit_mixes(sims: &mut [NodeSim]) {
 
 #[test]
 fn batched_event_loop_is_allocation_free_after_warmup() {
-    let mut sims: Vec<NodeSim> = (0..4)
+    let mut sims: Vec<NodeSim> = (0..MAX_BATCH_LANES)
         .map(|_| NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default()))
         .collect();
     let mut scratch = BatchScratch::new();
 
-    // Warm-up: a full batched run grows every lane's buffers (AMVA lanes,
-    // class vectors, finished capacity) to this mix's high-water mark.
+    // Warm-up: one full-width batched run grows every lane's buffers
+    // (AMVA lanes, SoA columns, class vectors, finished capacity) to the
+    // widest window's high-water mark; narrower windows reuse capacity.
     submit_mixes(&mut sims);
     run_batch_to_completion(&mut sims, &mut scratch).expect("warm-up run");
 
-    // Pool-style reuse: reset and resubmit (setup may allocate)…
-    for sim in &mut sims {
-        sim.reset();
-    }
-    submit_mixes(&mut sims);
+    // The backend swap below must not cold-start lane state: the scalar
+    // kernel shares every SoA buffer with the vector path.
+    for backend in [SimdBackend::detect(), SimdBackend::Scalar] {
+        scratch.set_simd_backend(backend);
+        for width in 1..=MAX_BATCH_LANES {
+            // The counting allocator is global, and the libtest *main*
+            // thread lazily allocates its mpsc parking context the first
+            // time it blocks in `Receiver::recv` waiting on this test —
+            // at a scheduling-dependent moment that can land inside any
+            // of these 32 timed windows. A real batch-path regression
+            // allocates deterministically on every run, so retry once:
+            // only a window that allocates on *both* attempts fails.
+            let mut allocs = u64::MAX;
+            for _attempt in 0..2 {
+                // Pool-style reuse: reset and resubmit (setup may
+                // allocate)…
+                for sim in &mut sims[..width] {
+                    sim.reset();
+                }
+                submit_mixes(&mut sims[..width]);
 
-    // …then the warm batched event loop must not allocate at all.
-    let before = ALLOCS.load(Ordering::SeqCst);
-    run_batch_to_completion(&mut sims, &mut scratch).expect("batched event loop");
-    let after = ALLOCS.load(Ordering::SeqCst);
+                // …then the warm batched event loop must not allocate.
+                let before = ALLOCS.load(Ordering::SeqCst);
+                run_batch_to_completion(&mut sims[..width], &mut scratch)
+                    .expect("batched event loop");
+                allocs = ALLOCS.load(Ordering::SeqCst) - before;
+                if allocs == 0 {
+                    break;
+                }
+            }
 
-    assert_eq!(
-        after - before,
-        0,
-        "batched event loop allocated {} times after warm-up",
-        after - before
-    );
+            assert_eq!(
+                allocs, 0,
+                "batched event loop allocated {allocs} times after \
+                 warm-up on both attempts (backend {backend:?}, \
+                 width {width})",
+            );
 
-    // The loop really ran: every lane retired its jobs with sane outputs.
-    for (sim, want) in sims.iter().zip([2usize, 1, 2, 2]) {
-        assert_eq!(sim.finished().len(), want);
-        assert!(sim.now() > 0.0);
-        assert!(sim.energy_j() > 0.0);
+            // The loop really ran: every lane retired its jobs.
+            for (lane, sim) in sims[..width].iter().enumerate() {
+                assert_eq!(sim.finished().len(), mix_for(lane).len());
+                assert!(sim.now() > 0.0);
+                assert!(sim.energy_j() > 0.0);
+            }
+        }
     }
 }

@@ -31,6 +31,7 @@
 //! since model error is swamped by profile calibration error.
 
 use crate::error::SimError;
+use crate::simd::{self, LaneVec, SimdBackend};
 
 /// Label for a shared processor-sharing station (used for reporting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -382,13 +383,34 @@ pub fn solve(classes: &[ClassDemand], stations: usize) -> Result<AmvaSolution, S
 ///
 /// Lane buffers grow on first use and are reused afterwards; a warm batch
 /// allocates nothing as long as problem sizes do not grow.
-#[derive(Debug, Default)]
+///
+/// On shape-uniform windows the lane loop runs on an explicit `f64x4`
+/// vector backend ([`SimdBackend`], auto-detected; see `crate::simd`):
+/// four adjacent columns advance per vector step, with the odd tail
+/// (live width ≢ 0 mod 4) taking the scalar lane loop. Backends are
+/// bit-identical by construction, so the choice never shows up in
+/// results — only in throughput.
+#[derive(Debug)]
 pub struct AmvaBatch {
     lanes: Vec<AmvaScratch>,
     done: Vec<bool>,
     residual: Vec<f64>,
     errs: Vec<Option<SimError>>,
     soa: Soa,
+    backend: SimdBackend,
+}
+
+impl Default for AmvaBatch {
+    fn default() -> AmvaBatch {
+        AmvaBatch {
+            lanes: Vec::new(),
+            done: Vec::new(),
+            residual: Vec::new(),
+            errs: Vec::new(),
+            soa: Soa::default(),
+            backend: SimdBackend::detect(),
+        }
+    }
 }
 
 /// Structure-of-arrays state for shape-uniform windows: every per-lane
@@ -501,8 +523,57 @@ impl Soa {
     /// same accumulation order, `(q·(n-1))/n` association included — so
     /// results stay bit-identical to scalar solves; only the interleaving
     /// across lanes differs.
-    fn round(&mut self, kw: usize, nc: usize, stations: usize) {
+    ///
+    /// The vector backends peel the widest `f64x4`-aligned prefix of the
+    /// live columns into [`round_chunks_impl`] and run the remaining tail
+    /// columns (`kw mod 4`) through the scalar span. Columns are fully
+    /// independent, so splitting them between kernels cannot change any
+    /// column's bits.
+    fn round(&mut self, kw: usize, nc: usize, stations: usize, backend: SimdBackend) {
+        for it in self.iters[..kw].iter_mut() {
+            *it += 1;
+        }
+        for v in self.res[..kw].iter_mut() {
+            *v = 0.0;
+        }
+        let kw4 = match backend {
+            SimdBackend::Scalar => 0,
+            _ => kw & !3,
+        };
+        if kw4 > 0 {
+            simd::round_chunks(backend, self.span(kw4, nc, stations));
+        }
+        if kw4 < kw {
+            self.round_span(kw4, kw, nc, stations);
+        }
+    }
+
+    /// Borrow the SoA state as a [`RoundSpan`] over the first `kw4` live
+    /// columns for the vector kernel.
+    fn span(&mut self, kw4: usize, nc: usize, stations: usize) -> RoundSpan<'_> {
+        RoundSpan {
+            q: &mut self.q,
+            x: &mut self.x,
+            dem: &self.dem,
+            pop: &self.pop,
+            nm1: &self.nm1,
+            think: &self.think,
+            qtot: &mut self.qtot,
+            r: &mut self.r,
+            res: &mut self.res,
+            ks: self.stride,
+            kw4,
+            nc,
+            stations,
+        }
+    }
+
+    /// The scalar round body over columns `lo..hi` — the original
+    /// lane-innermost loops, also serving as the vector backends' tail
+    /// path (and, via `lo = 0, hi = kw`, as the whole `Scalar` arm).
+    fn round_span(&mut self, lo: usize, hi: usize, nc: usize, stations: usize) {
         let ks = self.stride;
+        let w = hi - lo;
         let Soa {
             q,
             x,
@@ -514,44 +585,40 @@ impl Soa {
             r,
             rtot,
             res,
-            iters,
             ..
         } = self;
-        for it in iters[..kw].iter_mut() {
-            *it += 1;
-        }
-        for v in res[..kw].iter_mut() {
-            *v = 0.0;
-        }
+        let rtot = &mut rtot[lo..hi];
+        let res = &mut res[lo..hi];
         // Total queue per station, accumulated in class order. The first
         // class assigns instead of zero-then-add: queues are never -0.0
         // (seeded non-negative; round-to-nearest sums only produce +0.0),
         // so `q` and `0.0 + q` are the same bits.
         for j in 0..nc {
             for s in 0..stations {
-                let base = (j * stations + s) * ks;
-                let qrow = &q[base..base + kw];
-                let qt = &mut qtot[s * ks..s * ks + kw];
+                let base = (j * stations + s) * ks + lo;
+                let qrow = &q[base..base + w];
+                let qb = s * ks + lo;
+                let qt = &mut qtot[qb..qb + w];
                 if j == 0 {
-                    qt[..kw].copy_from_slice(qrow);
+                    qt[..w].copy_from_slice(qrow);
                 } else {
-                    for l in 0..kw {
+                    for l in 0..w {
                         qt[l] += qrow[l];
                     }
                 }
             }
         }
         for j in 0..nc {
-            let cb = j * ks;
+            let cb = j * ks + lo;
             // Class-row slices hoisted once: the station loops below then
-            // index only length-`kw` slices, so bounds checks vanish.
-            let prow = &pop[cb..cb + kw];
-            let nrow = &nm1[cb..cb + kw];
-            let trow = &think[cb..cb + kw];
-            let xrow = &mut x[cb..cb + kw];
+            // index only length-`w` slices, so bounds checks vanish.
+            let prow = &pop[cb..cb + w];
+            let nrow = &nm1[cb..cb + w];
+            let trow = &think[cb..cb + w];
+            let xrow = &mut x[cb..cb + w];
             // Class prologue: zero-population lanes emit x = 0 and sit
             // the class out (their scratch writes below are never read).
-            for l in 0..kw {
+            for l in 0..w {
                 if prow[l] <= 0.0 {
                     xrow[l] = 0.0;
                 } else {
@@ -562,12 +629,13 @@ impl Soa {
             // `r = 0.0` written in-pass — the value the scalar kernel's
             // up-front zeroing leaves there.
             for s in 0..stations {
-                let base = (j * stations + s) * ks;
-                let qrow = &q[base..base + kw];
-                let drow = &dem[base..base + kw];
-                let qt = &qtot[s * ks..s * ks + kw];
-                let rrow = &mut r[s * ks..s * ks + kw];
-                for l in 0..kw {
+                let base = (j * stations + s) * ks + lo;
+                let qrow = &q[base..base + w];
+                let drow = &dem[base..base + w];
+                let qb = s * ks + lo;
+                let qt = &qtot[qb..qb + w];
+                let rrow = &mut r[qb..qb + w];
+                for l in 0..w {
                     let n = prow[l];
                     if n <= 0.0 {
                         continue;
@@ -586,7 +654,7 @@ impl Soa {
                 }
             }
             // Little's law on the full cycle: one divide per lane.
-            for l in 0..kw {
+            for l in 0..w {
                 let n = prow[l];
                 if n > 0.0 {
                     xrow[l] = n / (trow[l] + rtot[l]);
@@ -594,10 +662,11 @@ impl Soa {
             }
             // Damped queue update + residual, lanes innermost again.
             for s in 0..stations {
-                let base = (j * stations + s) * ks;
-                let qrow = &mut q[base..base + kw];
-                let rrow = &r[s * ks..s * ks + kw];
-                for l in 0..kw {
+                let base = (j * stations + s) * ks + lo;
+                let qrow = &mut q[base..base + w];
+                let qb = s * ks + lo;
+                let rrow = &r[qb..qb + w];
+                for l in 0..w {
                     if prow[l] <= 0.0 {
                         continue;
                     }
@@ -654,10 +723,147 @@ impl Soa {
     }
 }
 
+/// Borrowed view of the SoA state handed to the vector round kernel
+/// ([`round_chunks_impl`]): the first `kw4` live columns (a multiple of
+/// 4) of every lane-contiguous array, plus the window's shape. Exists so
+/// the kernel can live behind a trait-generic function without a
+/// ten-argument signature.
+pub(crate) struct RoundSpan<'a> {
+    /// Queue lengths, `[class × station][lane]`.
+    pub(crate) q: &'a mut [f64],
+    /// Per-class throughput, `[class][lane]`.
+    pub(crate) x: &'a mut [f64],
+    /// Station demands, `[class × station][lane]`.
+    pub(crate) dem: &'a [f64],
+    /// Population, `[class][lane]`.
+    pub(crate) pop: &'a [f64],
+    /// Precomputed `population - 1.0`, `[class][lane]`.
+    pub(crate) nm1: &'a [f64],
+    /// Think time, `[class][lane]`.
+    pub(crate) think: &'a [f64],
+    /// Total queue per station, `[station][lane]` (per-round scratch).
+    pub(crate) qtot: &'a mut [f64],
+    /// Residence times, `[station][lane]` (per-class scratch).
+    pub(crate) r: &'a mut [f64],
+    /// This round's residual, `[lane]`.
+    pub(crate) res: &'a mut [f64],
+    /// Column stride (the window's initial live width).
+    pub(crate) ks: usize,
+    /// Vector-covered live width (`live width & !3`).
+    pub(crate) kw4: usize,
+    /// Classes per lane.
+    pub(crate) nc: usize,
+    /// Shared stations per lane.
+    pub(crate) stations: usize,
+}
+
+/// The vector round body over the first `kw4` columns (`kw4 % 4 == 0`),
+/// four lanes per step, generic over the `f64x4` backend. Per lane this
+/// is exactly the scalar [`Soa::round_span`] floating-point sequence; the
+/// differences are purely structural and bit-neutral:
+///
+/// * The station-total and residence accumulators live in registers
+///   instead of memory — same adds, same order, and f64 registers hold
+///   exactly the stored value (no x87-style extended precision).
+/// * Per-lane branches become masks + blends. Dead lanes (population ≤ 0)
+///   and zero-demand stations blend `rv = 0.0` into residence state; the
+///   running residence total starts at `+0.0` and rv ≥ demand > 0 on
+///   every live add, so it is never `-0.0` and adding a masked lane's
+///   `+0.0` is bit-exact. A masked lane's discarded alternative (e.g. the
+///   `(q·(n-1))/n` divide when `n ≤ 1`) may produce inf/NaN; IEEE 754
+///   arithmetic is non-trapping and the blend throws the value away.
+/// * The residual `f64::max` becomes `select(|Δ| > res, |Δ|, res)` —
+///   bit-identical for the non-NaN, non-negative values the reduction
+///   sees (on ties either pick is the same bits).
+#[inline(always)]
+pub(crate) fn round_chunks_impl<V: LaneVec>(span: RoundSpan<'_>) {
+    let RoundSpan {
+        q,
+        x,
+        dem,
+        pop,
+        nm1,
+        think,
+        qtot,
+        r,
+        res,
+        ks,
+        kw4,
+        nc,
+        stations,
+    } = span;
+    let zero = V::splat(0.0);
+    let one = V::splat(1.0);
+    let damp = V::splat(DAMPING);
+    for l in (0..kw4).step_by(4) {
+        // Total queue per station for these four lanes, accumulated in
+        // class order exactly like the scalar kernel (assign, then add).
+        for s in 0..stations {
+            let mut qt = V::load(q, s * ks + l);
+            for j in 1..nc {
+                qt = qt.add(V::load(q, (j * stations + s) * ks + l));
+            }
+            qt.store(qtot, s * ks + l);
+        }
+        for j in 0..nc {
+            let cb = j * ks + l;
+            let n = V::load(pop, cb);
+            let live = n.gt(zero);
+            let nm1v = V::load(nm1, cb);
+            // Residence times; the per-lane total stays in a register
+            // across the station walk. Dead lanes accumulate +0.0 per
+            // station — bit-neutral (see the doc comment) — and their
+            // r-row scratch writes are never read.
+            let mut rtot = zero;
+            for s in 0..stations {
+                let base = (j * stations + s) * ks + l;
+                let qjs = V::load(q, base);
+                let d = V::load(dem, base);
+                let qt = V::load(qtot, s * ks + l);
+                let others = qt.sub(qjs);
+                // `(q·(n-1))/n`, left-associative like the scalar kernel.
+                let own = V::select(n.gt(one), qjs.mul(nm1v).div(n), zero);
+                let rv = d.mul(one.add(others).add(own));
+                let rv = V::select(live.and(d.gt(zero)), rv, zero);
+                rv.store(r, s * ks + l);
+                rtot = rtot.add(rv);
+            }
+            // Little's law; dead lanes emit x = 0.0 (the scalar
+            // prologue's value).
+            let xv = V::select(live, n.div(V::load(think, cb).add(rtot)), zero);
+            xv.store(x, cb);
+            // Damped queue update + residual max, dead lanes held.
+            let mut resv = V::load(res, l);
+            for s in 0..stations {
+                let base = (j * stations + s) * ks + l;
+                let qv = V::load(q, base);
+                let delta = xv.mul(V::load(r, s * ks + l)).sub(qv);
+                let absd = delta.abs();
+                resv = V::select(live.and(absd.gt(resv)), absd, resv);
+                V::select(live, qv.add(damp.mul(delta)), qv).store(q, base);
+            }
+            resv.store(res, l);
+        }
+    }
+}
+
 impl AmvaBatch {
     /// Empty batch; lanes are created on first [`AmvaBatch::solve`].
     pub fn new() -> AmvaBatch {
         AmvaBatch::default()
+    }
+
+    /// Select the vector backend for the lane-interleaved kernel. The
+    /// request is validated against the running CPU (an unsupported
+    /// backend falls back to the portable lanes); every backend is
+    /// bit-identical, so this is a throughput knob, never a results knob.
+    pub fn set_simd_backend(&mut self, backend: SimdBackend) {
+        self.backend = backend.validated();
+    }
+
+    /// The vector backend the next [`AmvaBatch::solve`] will use.
+    pub fn simd_backend(&self) -> SimdBackend {
+        self.backend
     }
 
     /// Solve `problems[i] = (classes, stations)` in lockstep, one lane per
@@ -709,7 +915,7 @@ impl AmvaBatch {
                 if kw == 0 {
                     break;
                 }
-                self.soa.round(kw, nc, stations);
+                self.soa.round(kw, nc, stations, self.backend);
                 let mut col = 0;
                 while col < kw {
                     if self.soa.res[col] < TOL {
@@ -1121,6 +1327,17 @@ mod tests {
             mk(5.0, 4.0, [1.1, 0.7, 0.3], [0.9, 1.3, 0.0], 0.25, 0.5),
             mk(3.0, 0.0, [0.0, 0.0, 0.9], [0.0, 0.0, 0.0], 2.0, 0.0),
             mk(4.0, 4.0, [0.8, 0.1, 0.5], [0.1, 0.9, 0.5], 0.5, 2.0),
+            // Second half: 16 lanes total, so the width sweep exercises
+            // full four-lane vector windows plus every tail residue
+            // (live count ≡ 1, 2, 3 mod 4) and mid-round compaction.
+            mk(7.0, 2.0, [0.6, 1.4, 0.2], [0.2, 0.3, 1.1], 1.5, 0.75),
+            mk(1.5, 1.5, [0.4, 0.4, 0.4], [0.7, 0.0, 0.7], 0.0, 3.0),
+            mk(9.0, 0.5, [1.8, 0.1, 0.0], [0.0, 0.2, 0.6], 0.2, 0.9),
+            mk(0.5, 6.0, [0.3, 0.0, 0.2], [1.2, 0.8, 0.4], 6.0, 0.1),
+            mk(2.5, 2.5, [0.0, 1.0, 1.0], [1.0, 0.0, 1.0], 1.0, 1.0),
+            mk(12.0, 3.0, [0.9, 0.9, 0.9], [0.3, 0.6, 0.9], 0.4, 2.5),
+            mk(4.5, 0.0, [0.5, 0.7, 0.0], [0.0, 0.0, 0.0], 0.8, 0.0),
+            mk(3.5, 5.5, [1.3, 0.2, 0.8], [0.6, 1.1, 0.2], 2.2, 0.3),
         ]
     }
 
@@ -1156,6 +1373,43 @@ mod tests {
                             lane.station_queue()[s].to_bits(),
                             scalar.station_queue()[s].to_bits()
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_simd_backend_is_bit_identical_to_the_scalar_backend() {
+        let problems = uniform_problem_set();
+        let mut scalar_batch = AmvaBatch::new();
+        scalar_batch.set_simd_backend(SimdBackend::Scalar);
+        assert_eq!(scalar_batch.simd_backend(), SimdBackend::Scalar);
+        // Portable always; Avx2 validates down to Portable off-x86, so
+        // on every machine this covers each backend that can run here.
+        for backend in [SimdBackend::Portable, SimdBackend::Avx2] {
+            let mut batch = AmvaBatch::new();
+            batch.set_simd_backend(backend);
+            for width in 1..=problems.len() {
+                for window in problems.chunks(width) {
+                    let probs: Vec<(&[ClassDemand], usize)> =
+                        window.iter().map(|c| (c.as_slice(), 3)).collect();
+                    batch.solve(&probs).unwrap();
+                    scalar_batch.solve(&probs).unwrap();
+                    for (i, classes) in window.iter().enumerate() {
+                        let (v, s) = (batch.lane(i), scalar_batch.lane(i));
+                        assert_eq!(
+                            v.iterations(),
+                            s.iterations(),
+                            "backend {:?} width {width} lane {i}",
+                            batch.simd_backend()
+                        );
+                        for j in 0..classes.len() {
+                            assert_eq!(v.throughput()[j].to_bits(), s.throughput()[j].to_bits());
+                            for st in 0..3 {
+                                assert_eq!(v.queue(j, st).to_bits(), s.queue(j, st).to_bits());
+                            }
+                        }
                     }
                 }
             }
@@ -1224,26 +1478,30 @@ mod tests {
             "scalar: {scalar_s:.3}s ({iters} iters), {:.1} ns/iter",
             1e9 * scalar_s / iters as f64
         );
-        let mut batch = AmvaBatch::new();
-        for width in [2usize, 4, 8, 12, 16] {
-            let t0 = std::time::Instant::now();
-            let mut biters = 0usize;
-            for _ in 0..reps {
-                for window in problems.chunks(width) {
-                    let probs: Vec<(&[ClassDemand], usize)> =
-                        window.iter().map(|p| (p.as_slice(), 3)).collect();
-                    batch.solve(&probs).unwrap();
-                    for i in 0..probs.len() {
-                        biters += batch.lane(i).iterations();
+        for backend in [SimdBackend::Scalar, SimdBackend::detect()] {
+            let mut batch = AmvaBatch::new();
+            batch.set_simd_backend(backend);
+            for width in [2usize, 4, 8, 12, 16] {
+                let t0 = std::time::Instant::now();
+                let mut biters = 0usize;
+                for _ in 0..reps {
+                    for window in problems.chunks(width) {
+                        let probs: Vec<(&[ClassDemand], usize)> =
+                            window.iter().map(|p| (p.as_slice(), 3)).collect();
+                        batch.solve(&probs).unwrap();
+                        for i in 0..probs.len() {
+                            biters += batch.lane(i).iterations();
+                        }
                     }
                 }
+                let batch_s = t0.elapsed().as_secs_f64();
+                println!(
+                    "batch{width} [{}]: {batch_s:.3}s ({biters} iters), speedup {:.2}x, {:.1} ns/iter",
+                    backend.name(),
+                    scalar_s / batch_s,
+                    1e9 * batch_s / biters as f64
+                );
             }
-            let batch_s = t0.elapsed().as_secs_f64();
-            println!(
-                "batch{width}: {batch_s:.3}s ({biters} iters), speedup {:.2}x, {:.1} ns/iter",
-                scalar_s / batch_s,
-                1e9 * batch_s / biters as f64
-            );
         }
     }
 

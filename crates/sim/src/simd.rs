@@ -1,0 +1,404 @@
+//! Explicit `f64x4` vector backends for the lane-interleaved AMVA kernel.
+//!
+//! [`crate::AmvaBatch`] stores its live solve window lane-contiguous
+//! (structure-of-arrays, see `amva::Soa`), so the innermost loop of every
+//! Bard–Schweitzer round walks four adjacent, *independent* fixed points
+//! per step. This module provides the vector types that loop is generic
+//! over:
+//!
+//! * [`F64x4`] — a portable `[f64; 4]` newtype whose operations are plain
+//!   per-element IEEE adds/muls/divides in the exact scalar operation
+//!   order. Stable Rust, every target; LLVM is free to (and on x86_64
+//!   does) lower the element quadruples to vector instructions.
+//! * `Avx2F64x4` (x86_64 only) — the same operations as AVX2/AVX
+//!   intrinsics behind runtime feature detection, for when the
+//!   autovectorizer must not be trusted with the hot loop.
+//!
+//! **Bit-identity by construction.** The DESIGN.md §11 contract freezes
+//! the scalar kernel's floating-point sequence: results must stay
+//! byte-identical across every execution strategy. Both backends uphold
+//! it the same way the lane-interleaved scalar kernel does — each lane
+//! performs exactly the scalar operation sequence, in order, with only
+//! the interleaving across lanes changed. Three rules make that hold at
+//! the instruction level:
+//!
+//! 1. **No FMA, no reassociation.** A fused `a*b + c` rounds once where
+//!    the scalar kernel rounds twice, so `_mm256_fmadd_pd` (and any
+//!    reassociating reduction) is banned; every multiply and add below is
+//!    a separate, individually-rounded instruction, and rustc never
+//!    contracts `a * b + c` on its own.
+//! 2. **Branches become blends.** The scalar kernel's per-lane `if`s
+//!    (dead class, zero-demand station, `n ≤ 1`) are evaluated as masks
+//!    and resolved with `select` — the not-taken value is computed and
+//!    discarded, which IEEE 754 makes safe (no traps; a masked lane's
+//!    inf/NaN never lands in state).
+//! 3. **Compare-and-blend max.** The residual's `f64::max` is expressed
+//!    as `select(b > a, b, a)`, which is bit-identical to `f64::max` for
+//!    the never-NaN, non-negative values the residual reduction sees.
+//!
+//! The backends are *selected* per [`crate::AmvaBatch`] (see
+//! [`SimdBackend`]); unsupported requests are validated down to
+//! [`SimdBackend::Portable`], so the AVX2 entry point below is only ever
+//! reached on a CPU that runtime detection approved. That containment is
+//! why this module is the only place in the crate allowed to use
+//! `unsafe` (the crate root is `#![deny(unsafe_code)]`).
+#![allow(unsafe_code)]
+
+use crate::amva::{round_chunks_impl, RoundSpan};
+
+/// Which vector backend an [`crate::AmvaBatch`] drives its
+/// lane-interleaved rounds with.
+///
+/// Every backend is bit-identical to every other (and to the scalar
+/// [`crate::AmvaScratch::solve`] path) by construction — see the module
+/// docs — so this is purely a throughput knob. `Scalar` is the
+/// always-available escape hatch (the `--no-simd` benchmark arm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// The original lane-innermost scalar loops, no explicit vectors.
+    Scalar,
+    /// Portable `[f64; 4]` lanes (stable Rust, every target).
+    Portable,
+    /// AVX2 `_mm256d` intrinsics. Only ever selected (or validated) on an
+    /// x86_64 CPU whose runtime feature detection reports AVX2.
+    Avx2,
+}
+
+impl SimdBackend {
+    /// The best backend for the running CPU: AVX2 where detected,
+    /// otherwise the portable lanes. The `ECOST_SIMD` environment
+    /// variable overrides detection for whole-process A/B runs:
+    /// `0`/`off`/`scalar` pin the scalar kernel, `portable` pins the
+    /// portable lanes (unknown values are ignored).
+    pub fn detect() -> SimdBackend {
+        if let Ok(v) = std::env::var("ECOST_SIMD") {
+            match v.as_str() {
+                "0" | "off" | "scalar" => return SimdBackend::Scalar,
+                "portable" => return SimdBackend::Portable,
+                _ => {}
+            }
+        }
+        detect_native()
+    }
+
+    /// Clamp a requested backend to what this machine can actually run:
+    /// `Avx2` downgrades to [`SimdBackend::Portable`] unless runtime
+    /// detection confirms support. [`crate::AmvaBatch`] stores only
+    /// validated backends, which is what makes its dispatch into the
+    /// intrinsics sound.
+    pub fn validated(self) -> SimdBackend {
+        match self {
+            SimdBackend::Avx2 => match detect_native() {
+                SimdBackend::Avx2 => SimdBackend::Avx2,
+                _ => SimdBackend::Portable,
+            },
+            other => other,
+        }
+    }
+
+    /// Stable identifier for reports and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Portable => "portable-f64x4",
+            SimdBackend::Avx2 => "avx2-f64x4",
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_native() -> SimdBackend {
+    if std::is_x86_feature_detected!("avx2") {
+        SimdBackend::Avx2
+    } else {
+        SimdBackend::Portable
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_native() -> SimdBackend {
+    SimdBackend::Portable
+}
+
+/// Four `f64` lanes advancing in lockstep. Comparisons produce all-ones /
+/// all-zero lane masks consumed by [`LaneVec::select`] and combined with
+/// [`LaneVec::and`]; arithmetic is one IEEE-rounded operation per lane
+/// per call (never fused, never reassociated — the bit-identity contract
+/// in the module docs).
+pub(crate) trait LaneVec: Copy {
+    /// All four lanes set to `x`.
+    fn splat(x: f64) -> Self;
+    /// Load lanes from `s[at..at + 4]`.
+    fn load(s: &[f64], at: usize) -> Self;
+    /// Store lanes to `s[at..at + 4]`.
+    fn store(self, s: &mut [f64], at: usize);
+    /// Per-lane `self + o`.
+    fn add(self, o: Self) -> Self;
+    /// Per-lane `self - o`.
+    fn sub(self, o: Self) -> Self;
+    /// Per-lane `self * o`.
+    fn mul(self, o: Self) -> Self;
+    /// Per-lane `self / o`.
+    fn div(self, o: Self) -> Self;
+    /// Per-lane `f64::abs` (sign bit cleared).
+    fn abs(self) -> Self;
+    /// Per-lane mask: all-ones where `self > o` (ordered — false on NaN,
+    /// matching the scalar `>`), all-zero elsewhere.
+    fn gt(self, o: Self) -> Self;
+    /// Per-lane bitwise AND (mask intersection).
+    fn and(self, o: Self) -> Self;
+    /// Per-lane `if mask { if_true } else { if_false }`.
+    fn select(mask: Self, if_true: Self, if_false: Self) -> Self;
+}
+
+/// Portable `f64x4`: plain per-element IEEE operations on a `[f64; 4]`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct F64x4([f64; 4]);
+
+#[inline(always)]
+fn zip(a: [f64; 4], b: [f64; 4], f: impl Fn(f64, f64) -> f64) -> [f64; 4] {
+    [f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])]
+}
+
+impl LaneVec for F64x4 {
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        F64x4([x; 4])
+    }
+
+    #[inline(always)]
+    fn load(s: &[f64], at: usize) -> Self {
+        let s = &s[at..at + 4];
+        F64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    #[inline(always)]
+    fn store(self, s: &mut [f64], at: usize) {
+        s[at..at + 4].copy_from_slice(&self.0);
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        F64x4(zip(self.0, o.0, |a, b| a + b))
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        F64x4(zip(self.0, o.0, |a, b| a - b))
+    }
+
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        F64x4(zip(self.0, o.0, |a, b| a * b))
+    }
+
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        F64x4(zip(self.0, o.0, |a, b| a / b))
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        let a = self.0;
+        F64x4([a[0].abs(), a[1].abs(), a[2].abs(), a[3].abs()])
+    }
+
+    #[inline(always)]
+    fn gt(self, o: Self) -> Self {
+        F64x4(zip(self.0, o.0, |a, b| {
+            if a > b {
+                f64::from_bits(u64::MAX)
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    #[inline(always)]
+    fn and(self, o: Self) -> Self {
+        F64x4(zip(self.0, o.0, |a, b| {
+            f64::from_bits(a.to_bits() & b.to_bits())
+        }))
+    }
+
+    #[inline(always)]
+    fn select(mask: Self, if_true: Self, if_false: Self) -> Self {
+        let pick = |m: f64, t: f64, f: f64| if m.to_bits() != 0 { t } else { f };
+        F64x4([
+            pick(mask.0[0], if_true.0[0], if_false.0[0]),
+            pick(mask.0[1], if_true.0[1], if_false.0[1]),
+            pick(mask.0[2], if_true.0[2], if_false.0[2]),
+            pick(mask.0[3], if_true.0[3], if_false.0[3]),
+        ])
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 lanes. Every intrinsic below is an AVX instruction (the f64x4
+    //! arithmetic set predates AVX2; detection gates on the stricter
+    //! feature anyway). SAFETY argument for the whole module: values of
+    //! [`Avx2F64x4`] only come into existence inside
+    //! [`round_chunks_avx2`], which is compiled with
+    //! `#[target_feature(enable = "avx2")]` and entered only through
+    //! [`super::round_chunks`] after [`super::SimdBackend`] validation —
+    //! i.e. after `is_x86_feature_detected!("avx2")` approved this CPU.
+
+    use super::{LaneVec, RoundSpan};
+    use core::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_and_pd, _mm256_andnot_pd, _mm256_blendv_pd, _mm256_cmp_pd,
+        _mm256_div_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        _mm256_sub_pd, _CMP_GT_OQ,
+    };
+
+    #[derive(Clone, Copy)]
+    pub(crate) struct Avx2F64x4(__m256d);
+
+    impl LaneVec for Avx2F64x4 {
+        #[inline(always)]
+        fn splat(x: f64) -> Self {
+            // SAFETY: AVX is available (module docs).
+            Avx2F64x4(unsafe { _mm256_set1_pd(x) })
+        }
+
+        #[inline(always)]
+        fn load(s: &[f64], at: usize) -> Self {
+            let s = &s[at..at + 4];
+            // SAFETY: the slice above bounds-checks the 32 bytes read;
+            // unaligned load, so `Vec<f64>`'s 8-byte alignment suffices.
+            Avx2F64x4(unsafe { _mm256_loadu_pd(s.as_ptr()) })
+        }
+
+        #[inline(always)]
+        fn store(self, s: &mut [f64], at: usize) {
+            let s = &mut s[at..at + 4];
+            // SAFETY: the slice above bounds-checks the 32 bytes written.
+            unsafe { _mm256_storeu_pd(s.as_mut_ptr(), self.0) }
+        }
+
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            // SAFETY: AVX is available (module docs).
+            Avx2F64x4(unsafe { _mm256_add_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            // SAFETY: AVX is available (module docs).
+            Avx2F64x4(unsafe { _mm256_sub_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            // SAFETY: AVX is available (module docs).
+            Avx2F64x4(unsafe { _mm256_mul_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            // SAFETY: AVX is available (module docs).
+            Avx2F64x4(unsafe { _mm256_div_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn abs(self) -> Self {
+            // SAFETY: AVX is available (module docs). andnot with the
+            // sign-bit mask clears the sign, exactly `f64::abs`.
+            Avx2F64x4(unsafe { _mm256_andnot_pd(_mm256_set1_pd(-0.0), self.0) })
+        }
+
+        #[inline(always)]
+        fn gt(self, o: Self) -> Self {
+            // SAFETY: AVX is available (module docs). Ordered quiet
+            // greater-than: false on NaN, like the scalar `>`.
+            Avx2F64x4(unsafe { _mm256_cmp_pd::<_CMP_GT_OQ>(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn and(self, o: Self) -> Self {
+            // SAFETY: AVX is available (module docs).
+            Avx2F64x4(unsafe { _mm256_and_pd(self.0, o.0) })
+        }
+
+        #[inline(always)]
+        fn select(mask: Self, if_true: Self, if_false: Self) -> Self {
+            // SAFETY: AVX is available (module docs). blendv picks by the
+            // mask's sign bit; our masks are all-ones/all-zero lanes.
+            Avx2F64x4(unsafe { _mm256_blendv_pd(if_false.0, if_true.0, mask.0) })
+        }
+    }
+
+    /// The generic round kernel instantiated on AVX2 lanes, compiled with
+    /// the feature enabled so the `#[inline(always)]` chain folds into
+    /// straight-line vector code.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn round_chunks_avx2(span: RoundSpan<'_>) {
+        super::round_chunks_impl::<Avx2F64x4>(span);
+    }
+}
+
+/// Run the vector round kernel over a span of live columns on the given
+/// backend. `Scalar` never reaches this function (the batch peels zero
+/// vector columns for it); it falls back to the portable lanes here only
+/// as a defensive default.
+pub(crate) fn round_chunks(backend: SimdBackend, span: RoundSpan<'_>) {
+    match backend {
+        SimdBackend::Scalar | SimdBackend::Portable => round_chunks_impl::<F64x4>(span),
+        SimdBackend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: `Avx2` only enters an `AmvaBatch` through
+                // `SimdBackend::validated()` (or `detect()`), i.e. after
+                // `is_x86_feature_detected!("avx2")` confirmed the CPU
+                // runs these instructions.
+                unsafe { avx2::round_chunks_avx2(span) }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                round_chunks_impl::<F64x4>(span)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validated_never_returns_an_unsupported_backend() {
+        // Whatever the machine, a validated Avx2 request is either Avx2
+        // (detection approved) or the portable fallback — never a lie.
+        let v = SimdBackend::Avx2.validated();
+        assert!(v == SimdBackend::Avx2 || v == SimdBackend::Portable);
+        if v == SimdBackend::Avx2 {
+            assert_eq!(SimdBackend::detect().validated(), SimdBackend::detect());
+        }
+        assert_eq!(SimdBackend::Scalar.validated(), SimdBackend::Scalar);
+        assert_eq!(SimdBackend::Portable.validated(), SimdBackend::Portable);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(SimdBackend::Scalar.name(), "scalar");
+        assert_eq!(SimdBackend::Portable.name(), "portable-f64x4");
+        assert_eq!(SimdBackend::Avx2.name(), "avx2-f64x4");
+    }
+
+    #[test]
+    fn portable_masks_blend_like_the_scalar_branches() {
+        let a = F64x4::load(&[1.0, 2.0, 3.0, 4.0], 0);
+        let b = F64x4::load(&[4.0, 2.0, 1.0, f64::NAN], 0);
+        // gt: ordered — NaN compares false, like the scalar `>`.
+        let m = a.gt(b);
+        let picked = F64x4::select(m, F64x4::splat(1.0), F64x4::splat(0.0));
+        let mut out = [0.0; 4];
+        picked.store(&mut out, 0);
+        assert_eq!(out, [0.0, 0.0, 1.0, 0.0]);
+        // and: mask intersection.
+        let both = m.and(F64x4::splat(1.0).gt(F64x4::splat(0.0)));
+        let mut o2 = [9.0; 4];
+        F64x4::select(both, F64x4::splat(1.0), F64x4::splat(0.0)).store(&mut o2, 0);
+        assert_eq!(o2, [0.0, 0.0, 1.0, 0.0]);
+    }
+}

@@ -106,6 +106,18 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it — dependent generation (e.g. a shape drawn first,
+        /// then collections sized to that shape).
+        fn prop_flat_map<T, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            T: Strategy,
+            F: Fn(Self::Value) -> T,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// Always yields a clone of the given value.
@@ -135,6 +147,25 @@ pub mod strategy {
 
         fn new_value(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
         }
     }
 
@@ -392,6 +423,15 @@ mod tests {
         #[test]
         fn prop_map_applies(y in (0u32..4).prop_map(|i| i * 10)) {
             prop_assert!(y % 10 == 0 && y < 40);
+        }
+
+        #[test]
+        fn prop_flat_map_threads_the_first_draw(
+            v in (1usize..=4).prop_flat_map(|len| {
+                prop::collection::vec(0.0f64..1.0, len).prop_map(move |v| (len, v))
+            })
+        ) {
+            prop_assert_eq!(v.0, v.1.len());
         }
     }
 
