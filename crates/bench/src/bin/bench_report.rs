@@ -30,6 +30,18 @@
 //! sweeps with the kernel pinned scalar, so the SIMD delta is tracked
 //! (`*_simd_off` keys in the trend row).
 //!
+//! On top of the frozen *batched* comparator (the pre-resident per-lane
+//! drivers, pinned via [`EvalEngine::set_batch_resident`]), the default
+//! run times two more pair arms: *batch_resident* — the engine default,
+//! with pooled window checkout, resident outer fixed points and bulk memo
+//! traffic — and *warm_start* — the same plus warm-started outer fixed
+//! points (results within tolerance, so it gets its own trend key and
+//! never gates the bit-identical arms). A separate single-threaded
+//! instrumented pass ([`EvalEngine::set_phase_timing`]) reports the
+//! measured phase breakdown (solve / outer / submit+reset / memo /
+//! event-loop) for the legacy and resident drivers in the `phases`
+//! section.
+//!
 //! Flags: `--baseline` runs the baseline arms only (for A/B against an
 //! older build); `--no-batch` skips the batched arms (the pre-batching
 //! report shape); `--batch` is the explicit form of the default (all
@@ -54,7 +66,7 @@
 
 use ecost_apps::{App, InputSize, WorkloadScenario};
 use ecost_bench::BenchError;
-use ecost_core::engine::{EvalEngine, RetryPolicy};
+use ecost_core::engine::{EvalEngine, PhaseBreakdown, RetryPolicy};
 use ecost_core::features::Testbed;
 use ecost_core::mapping::{run_untuned_faulted, FaultSetup};
 use ecost_mapreduce::reference::{run_colocated_reference, run_standalone_reference};
@@ -66,6 +78,11 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Report schema version. Bump when the `BENCH_sim.json` shape changes
+/// (new sections or renamed keys), never for additive arm entries inside
+/// an existing section; the pinned unit test makes bumps deliberate.
+const SCHEMA: &str = "ecost-bench-sim/3";
 
 /// One timed measurement arm.
 #[derive(Debug, Clone, Copy)]
@@ -198,16 +215,19 @@ fn solo_optimized(
 }
 
 /// Batched solo sweep: the engine's lane-interleaved sweep driver at full
-/// lane width. Same 160-point space per app as the other arms; events are
-/// not observable through sweep metrics, the caller patches them in from
-/// the baseline arm (bit-identical timelines).
+/// lane width, pinned to the pre-resident per-lane drivers so the
+/// `solo_batched` trend key keeps measuring the frozen comparator. Same
+/// 160-point space per app as the other arms; events are not observable
+/// through sweep metrics, the caller patches them in from the baseline
+/// arm (bit-identical timelines).
 fn solo_batched(
     apps: &[App],
     mb: f64,
     simd: bool,
     pool: &mut PoolTotals,
 ) -> Result<Arm, BenchError> {
-    let eng = EvalEngine::atom().with_simd(simd);
+    let mut eng = EvalEngine::atom().with_simd(simd);
+    eng.set_batch_resident(false);
     let t0 = Instant::now();
     for app in apps {
         eng.sweep_solo(app.profile(), mb)?;
@@ -274,20 +294,36 @@ fn pair_optimized(
     })
 }
 
+/// Which window-execution path a batched pair arm drives.
+#[derive(Debug, Clone, Copy)]
+enum PairArm {
+    /// The frozen pre-resident per-lane drivers — what the `pair_batched`
+    /// trend key has always measured.
+    Legacy,
+    /// Batch-resident window execution (the engine default).
+    Resident,
+    /// Batch-resident plus warm-started outer fixed points (results
+    /// within tolerance, never compared against the bit-identical arms).
+    WarmStart,
+}
+
 /// Batched pair sweep at lane width `lanes`: the engine's full-space
 /// sweep driver (the batched windows only exist under the sweep, so this
 /// arm always covers the whole space — in quick mode that is more points
 /// than the stride-sampled scalar arms, which is why arms compare on
-/// `sims_per_s`, not wall).
+/// `sims_per_s`, not wall). `arm` selects the window-execution path.
 fn pair_batched(
     a: App,
     b: App,
     mb: f64,
     lanes: usize,
     simd: bool,
+    arm: PairArm,
     pool: &mut PoolTotals,
 ) -> Result<Arm, BenchError> {
-    let eng = EvalEngine::atom().with_batch_lanes(lanes).with_simd(simd);
+    let mut eng = EvalEngine::atom().with_batch_lanes(lanes).with_simd(simd);
+    eng.set_batch_resident(!matches!(arm, PairArm::Legacy));
+    eng.set_warm_start(matches!(arm, PairArm::WarmStart));
     let t0 = Instant::now();
     eng.pair_sweep(a.profile(), mb, b.profile(), mb)?;
     let wall_s = t0.elapsed().as_secs_f64();
@@ -399,6 +435,92 @@ fn scheduler_timed(
     })
 }
 
+/// One instrumented pass over a fresh engine — the full solo sweep plus
+/// the full pair sweep, every point a miss — with phase timing on.
+/// Returns the pass's wall nanoseconds and the drained breakdown. The
+/// caller pins `RAYON_NUM_THREADS=1` so the summed per-thread buckets are
+/// directly comparable to the wall.
+fn phase_pass(simd: bool, resident: bool, mb: f64) -> Result<(u64, PhaseBreakdown), BenchError> {
+    let mut eng = EvalEngine::atom().with_simd(simd);
+    eng.set_batch_resident(resident);
+    eng.set_phase_timing(true);
+    let t0 = Instant::now();
+    eng.sweep_solo(App::Gp.profile(), mb)?;
+    eng.pair_sweep(App::Gp.profile(), mb, App::St.profile(), mb)?;
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    Ok((wall_ns, eng.take_phase_breakdown()))
+}
+
+/// Fraction of a pass's wall spent in simulator checkout/submit/reset and
+/// memo traffic — the overhead the batch-resident path fuses into the
+/// window.
+fn submit_reset_memo_share(wall_ns: u64, p: &PhaseBreakdown) -> f64 {
+    if wall_ns == 0 {
+        return 0.0;
+    }
+    (p.submit_reset_ns + p.memo_ns) as f64 / wall_ns as f64
+}
+
+/// JSON object for one instrumented pass.
+fn phase_json(wall_ns: u64, p: &PhaseBreakdown) -> String {
+    format!(
+        "{{\n      \"wall_s\": {:.4},\n      \"solve_ns\": {},\n      \
+         \"outer_ns\": {},\n      \"submit_reset_ns\": {},\n      \
+         \"memo_ns\": {},\n      \"event_loop_ns\": {},\n      \
+         \"submit_reset_memo_share\": {:.4}\n    }}",
+        wall_ns as f64 * 1e-9,
+        p.solve_ns,
+        p.outer_ns,
+        p.submit_reset_ns,
+        p.memo_ns,
+        p.event_loop_ns,
+        submit_reset_memo_share(wall_ns, p)
+    )
+}
+
+/// Measure the phase breakdown of the legacy and batch-resident drivers
+/// on one thread (restoring the caller's `RAYON_NUM_THREADS`), and emit
+/// the `phases` section. The legacy drivers only instrument the
+/// engine-side buckets (submit/reset and memo) — their kernel keeps no
+/// timestamps — so shares are computed against the pass wall, which both
+/// drivers report the same way.
+fn measure_phases(out: &mut String, simd: bool, mb: f64) -> Result<(), BenchError> {
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let legacy = phase_pass(simd, false, mb);
+    let resident = phase_pass(simd, true, mb);
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let (legacy_wall, legacy_p) = legacy?;
+    let (res_wall, res_p) = resident?;
+    let legacy_share = submit_reset_memo_share(legacy_wall, &legacy_p);
+    let res_share = submit_reset_memo_share(res_wall, &res_p);
+    let reduction = if res_share > 0.0 {
+        legacy_share / res_share
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "  \"phases\": {{");
+    let _ = writeln!(
+        out,
+        "    \"legacy\": {},",
+        phase_json(legacy_wall, &legacy_p)
+    );
+    let _ = writeln!(
+        out,
+        "    \"batch_resident\": {},",
+        phase_json(res_wall, &res_p)
+    );
+    let _ = writeln!(
+        out,
+        "    \"submit_reset_memo_share_reduction\": {reduction:.2}"
+    );
+    let _ = writeln!(out, "  }},");
+    Ok(())
+}
+
 /// Emit one kernel section: scalar extras, then every present arm, then
 /// every present ratio — comma placement handled by joining.
 fn section(
@@ -445,19 +567,49 @@ fn rate_ratio(num: Option<Arm>, den: Option<Arm>) -> Option<f64> {
     }
 }
 
+/// The trend row's commit context: `(commit id, dirty worktree)`.
+///
+/// Precedence: `ECOST_COMMIT`, then `GITHUB_SHA` (both trusted as clean —
+/// CI benches a pristine checkout), then `git rev-parse --short HEAD`
+/// with the dirty flag from `git status --porcelain`, so a local run's
+/// row names the real commit it measured instead of `"uncommitted"`.
+/// Outside a git worktree (or with no git binary) the old
+/// `("uncommitted", dirty)` fallback survives.
+fn commit_context() -> (String, bool) {
+    if let Ok(c) = std::env::var("ECOST_COMMIT").or_else(|_| std::env::var("GITHUB_SHA")) {
+        return (c, false);
+    }
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let head = git(&["rev-parse", "--short", "HEAD"])
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    let Some(head) = head else {
+        return ("uncommitted".into(), true);
+    };
+    // A failed status query reports dirty: over-claiming dirt is safer
+    // than stamping a mutated tree as the commit's performance.
+    let dirty = git(&["status", "--porcelain"]).is_none_or(|s| !s.trim().is_empty());
+    (head, dirty)
+}
+
 /// Append the run's headline throughputs as one compact row to the trend
 /// store (`ECOST_TREND_OUT`, default `BENCH_trend.jsonl`). Schema-
-/// versioned; the commit hash comes from `ECOST_COMMIT` (fallback
-/// `GITHUB_SHA`, then `"uncommitted"`). `trend_check` consumes these rows.
+/// versioned; the commit context comes from [`commit_context`].
+/// `trend_check` consumes these rows.
 fn append_trend_row(
     arms: Arms,
     quick: bool,
     metrics: &[(&str, Option<Arm>)],
 ) -> Result<String, BenchError> {
     let path = std::env::var("ECOST_TREND_OUT").unwrap_or_else(|_| "BENCH_trend.jsonl".into());
-    let commit = std::env::var("ECOST_COMMIT")
-        .or_else(|_| std::env::var("GITHUB_SHA"))
-        .unwrap_or_else(|_| "uncommitted".into());
+    let (commit, dirty) = commit_context();
     if commit.contains('"') || commit.contains('\\') {
         return Err(BenchError::Invalid(format!(
             "commit id {commit:?} is not JSON-string safe"
@@ -466,8 +618,8 @@ fn append_trend_row(
     let mut row = String::new();
     let _ = write!(
         row,
-        "{{\"schema\":\"ecost-bench-trend/1\",\"commit\":\"{commit}\",\"mode\":\"{}\",\
-         \"arms\":\"{}\",\"threads\":{},\"simd\":\"{}\"",
+        "{{\"schema\":\"ecost-bench-trend/1\",\"commit\":\"{commit}\",\"dirty\":{dirty},\
+         \"mode\":\"{}\",\"arms\":\"{}\",\"threads\":{},\"simd\":\"{}\"",
         if quick { "quick" } else { "full" },
         arms.label(),
         rayon::current_num_threads(),
@@ -560,6 +712,8 @@ fn run(arms: Arms) -> Result<(), BenchError> {
     let mut pair_opt: Option<Arm> = None;
     let mut pair_bat: Option<Arm> = None;
     let mut pair_off: Option<Arm> = None;
+    let mut pair_res: Option<Arm> = None;
+    let mut pair_warm: Option<Arm> = None;
     for _ in 0..rounds {
         pair_base = faster(pair_base, pair_baseline(App::Gp, App::St, mb, &pcs)?);
         if arms.optimized {
@@ -571,13 +725,55 @@ fn run(arms: Arms) -> Result<(), BenchError> {
         if arms.batched {
             pair_bat = faster(
                 pair_bat,
-                pair_batched(App::Gp, App::St, mb, MAX_BATCH_LANES, arms.simd, &mut pool)?,
+                pair_batched(
+                    App::Gp,
+                    App::St,
+                    mb,
+                    MAX_BATCH_LANES,
+                    arms.simd,
+                    PairArm::Legacy,
+                    &mut pool,
+                )?,
+            );
+            // Interleaved with the frozen comparator above, so the
+            // resident-vs-batched ratio comes from the same run.
+            pair_res = faster(
+                pair_res,
+                pair_batched(
+                    App::Gp,
+                    App::St,
+                    mb,
+                    MAX_BATCH_LANES,
+                    arms.simd,
+                    PairArm::Resident,
+                    &mut pool,
+                )?,
+            );
+            pair_warm = faster(
+                pair_warm,
+                pair_batched(
+                    App::Gp,
+                    App::St,
+                    mb,
+                    MAX_BATCH_LANES,
+                    arms.simd,
+                    PairArm::WarmStart,
+                    &mut pool,
+                )?,
             );
         }
         if arms.batched && arms.simd {
             pair_off = faster(
                 pair_off,
-                pair_batched(App::Gp, App::St, mb, MAX_BATCH_LANES, false, &mut pool)?,
+                pair_batched(
+                    App::Gp,
+                    App::St,
+                    mb,
+                    MAX_BATCH_LANES,
+                    false,
+                    PairArm::Legacy,
+                    &mut pool,
+                )?,
             );
         }
     }
@@ -601,6 +797,14 @@ fn run(arms: Arms) -> Result<(), BenchError> {
         }
         arm
     });
+    let pair_res = pair_res.map(|mut arm| {
+        if arm.sims == pair_base.sims {
+            arm.events = pair_base.events;
+        }
+        arm
+    });
+    // The warm-start arm's results are within-tolerance, not
+    // bit-identical, so the baseline's event count does not transfer.
 
     // Lane-width scaling curve for the pair kernel (DESIGN.md §11).
     let mut lane_curve: Vec<(usize, Option<Arm>)> = Vec::new();
@@ -612,7 +816,15 @@ fn run(arms: Arms) -> Result<(), BenchError> {
             for (w, best) in &mut lane_curve {
                 *best = faster(
                     *best,
-                    pair_batched(App::Gp, App::St, mb, *w, arms.simd, &mut pool)?,
+                    pair_batched(
+                        App::Gp,
+                        App::St,
+                        mb,
+                        *w,
+                        arms.simd,
+                        PairArm::Resident,
+                        &mut pool,
+                    )?,
                 );
             }
         }
@@ -659,7 +871,7 @@ fn run(arms: Arms) -> Result<(), BenchError> {
 
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"ecost-bench-sim/2\",");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
@@ -704,12 +916,16 @@ fn run(arms: Arms) -> Result<(), BenchError> {
         &[
             ("optimized", pair_opt),
             ("batched", pair_bat),
+            ("batch_resident", pair_res),
+            ("warm_start", pair_warm),
             ("batched_no_simd", pair_off),
             ("baseline", Some(pair_base)),
         ],
         &[
             ("speedup", wall_speedup(pair_opt, Some(pair_base))),
             ("speedup_batched", rate_ratio(pair_bat, pair_opt)),
+            ("speedup_resident", rate_ratio(pair_res, pair_bat)),
+            ("speedup_warm", rate_ratio(pair_warm, pair_res)),
             ("speedup_simd", rate_ratio(pair_bat, pair_off)),
         ],
     );
@@ -746,6 +962,10 @@ fn run(arms: Arms) -> Result<(), BenchError> {
             ("speedup_batched", rate_ratio(sched_bat, sched_opt)),
         ],
     );
+    if arms.batched {
+        eprintln!("[bench_report] phase breakdown: legacy vs batch-resident, 1 thread…");
+        measure_phases(&mut out, arms.simd, mb)?;
+    }
     let _ = writeln!(out, "  \"pool\": {{");
     let _ = writeln!(out, "    \"sims_created\": {},", pool.created);
     let _ = writeln!(out, "    \"sims_reused\": {},", pool.reused);
@@ -774,6 +994,8 @@ fn run(arms: Arms) -> Result<(), BenchError> {
             ("pair_baseline", Some(pair_base)),
             ("pair_optimized", pair_opt),
             ("pair_batched", pair_bat),
+            ("pair_batch_resident", pair_res),
+            ("pair_warm_start", pair_warm),
             ("pair_simd_off", pair_off),
             ("sched_baseline", Some(sched_base)),
             ("sched_optimized", sched_opt),
@@ -796,4 +1018,39 @@ fn main() -> ExitCode {
         simd: !no_simd,
     };
     ecost_bench::run_main("bench_report", || run(arms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_sim_schema_is_pinned() {
+        // Consumers (CI smoke, DESIGN.md §11, external dashboards) key on
+        // this exact string; a shape change must bump it here on purpose,
+        // in the same commit that documents the new shape.
+        assert_eq!(SCHEMA, "ecost-bench-sim/3");
+    }
+
+    #[test]
+    fn commit_context_is_json_safe() {
+        // Whatever source wins (env override, git, fallback), the id must
+        // embed into the hand-rolled JSON row without escaping.
+        let (commit, _dirty) = commit_context();
+        assert!(!commit.is_empty());
+        assert!(!commit.contains('"') && !commit.contains('\\'), "{commit}");
+    }
+
+    #[test]
+    fn submit_reset_memo_share_is_a_fraction_of_wall() {
+        let p = PhaseBreakdown {
+            solve_ns: 600,
+            outer_ns: 100,
+            submit_reset_ns: 200,
+            memo_ns: 100,
+            event_loop_ns: 0,
+        };
+        assert!((submit_reset_memo_share(1000, &p) - 0.3).abs() < 1e-12);
+        assert_eq!(submit_reset_memo_share(0, &p), 0.0);
+    }
 }

@@ -75,6 +75,45 @@ impl SimPool {
         }
     }
 
+    /// Check out `k` simulators under one lock acquisition — the batched
+    /// window's counterpart of [`SimPool::acquire`]. Appends to `out` and
+    /// returns `(reused, built)` so the engine can account pool hits with
+    /// one counter bump per window instead of one per lane.
+    pub(crate) fn acquire_window(
+        &self,
+        spec: &NodeSpec,
+        fw: &FrameworkSpec,
+        k: usize,
+        out: &mut Vec<NodeSim>,
+    ) -> (u64, u64) {
+        let mut reused = 0u64;
+        if let Ok(mut v) = self.free.lock() {
+            let take = k.min(v.len());
+            let at = v.len() - take;
+            out.extend(v.drain(at..));
+            reused = take as u64;
+        }
+        let built = (k as u64).saturating_sub(reused);
+        for _ in 0..built {
+            out.push(NodeSim::new(spec.clone(), fw.clone()));
+        }
+        (reused, built)
+    }
+
+    /// Return a whole window of simulators after a successful run: reset
+    /// each, then shelve them all under one lock acquisition.
+    pub(crate) fn release_window(&self, sims: &mut Vec<NodeSim>) {
+        for sim in sims.iter_mut() {
+            sim.reset();
+        }
+        if let Ok(mut v) = self.free.lock() {
+            v.append(sims);
+        }
+        // Poisoned lock: the drained sims are dropped with the Vec's
+        // contents, same outcome as scalar `release` losing its push.
+        sims.clear();
+    }
+
     /// Simulators currently shelved (diagnostics).
     pub(crate) fn idle(&self) -> usize {
         self.free.lock().map(|v| v.len()).unwrap_or(0)

@@ -59,6 +59,55 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The batch-resident sweep writes misses through the bulk
+    /// `insert_many` path (grouped shard locks, one eviction delta per
+    /// window) instead of per-point `insert_or_keep`. Under a thrashing
+    /// 16-entry budget the CLOCK ring evicts during the bulk insert
+    /// itself; every returned metric must still be bit-identical to an
+    /// unbounded engine, the budget must hold, and the eviction counter
+    /// must conserve entries (`resident + evicted == inserted`, where the
+    /// sweep inserts exactly its misses).
+    #[test]
+    fn bounded_bulk_insert_sweep_is_bit_identical_to_unbounded(seed in 0usize..3) {
+        let p = APPS[seed].profile();
+        let mb = InputSize::Small.per_node_mb();
+        let unbounded = EvalEngine::atom();
+        let bounded = EvalEngine::atom().with_cache_budget(CacheBudget {
+            solo: Some(16),
+            ..CacheBudget::unbounded()
+        });
+        // Both engines run the batch-resident sweep (the engine default):
+        // the bounded one exercises CLOCK eviction × bulk inserts.
+        for pass in 0..2 {
+            let a = unbounded.sweep_solo(p, mb).expect("unbounded sweep");
+            let b = bounded.sweep_solo(p, mb).expect("bounded sweep");
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.config, y.config);
+                prop_assert_eq!(
+                    x.metrics.exec_time_s.to_bits(),
+                    y.metrics.exec_time_s.to_bits(),
+                    "pass {}: exec time drifted under bulk-insert eviction", pass
+                );
+                prop_assert_eq!(x.metrics.energy_j.to_bits(), y.metrics.energy_j.to_bits());
+            }
+            prop_assert!(bounded.cached_solo_runs() <= 16);
+        }
+        let s = bounded.stats();
+        // 160 distinct keys through 16 slots thrash on every pass.
+        prop_assert!(s.evictions > 0);
+        // Entry conservation across the bulk path: every miss inserted
+        // exactly one entry, and each is either still resident or counted
+        // evicted — bulk eviction deltas lose nothing.
+        prop_assert_eq!(bounded.cached_solo_runs() as u64 + s.evictions, s.misses);
+        // The unbounded engine answered pass 2 entirely from memo.
+        prop_assert!(s.misses > unbounded.stats().misses);
+    }
+}
+
 /// Pair-point queries through a thrashing pair-point cache: evicted points
 /// recompute to exactly the same metrics, and re-querying the full set a
 /// second time still matches the unbounded engine bit for bit.

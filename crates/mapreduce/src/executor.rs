@@ -31,6 +31,7 @@ use ecost_sim::{
     AmvaBatch, AmvaScratch, ClassDemand, EnergyMeter, NodeSpec, PowerModel, SimError, SimdBackend,
 };
 use ecost_telemetry::{Event, Recorder, SpanKey};
+use std::time::Instant;
 
 /// Opaque handle identifying a submitted job within one `NodeSim`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -232,6 +233,18 @@ pub struct NodeSim {
     /// `(run, node)` identity stamped on every span this node emits.
     run_id: u32,
     node_id: u32,
+    /// Whether [`NodeSim::set_telemetry`] replaced the construction-time
+    /// no-op recorder. Lets [`NodeSim::reset`] skip rebuilding a recorder
+    /// (an `Arc` + registry allocation) when nothing was ever attached —
+    /// the common case for pooled sweep simulators.
+    telemetry_attached: bool,
+    /// Retired stage vectors, kept warm for the next submit. A pooled
+    /// simulator crunching a sweep allocates its stage lists once and then
+    /// recycles them run after run.
+    spare_stages: Vec<Vec<Stage>>,
+    /// Recycled timeline vectors (harvested by
+    /// [`NodeSim::drain_finished_energy`]), reused by the next submit.
+    spare_timelines: Vec<Vec<(crate::stage::StageKind, f64)>>,
 }
 
 /// Numerical floor treating a stage as complete.
@@ -272,6 +285,13 @@ impl NodeSim {
             recorder: Recorder::noop(),
             run_id: 0,
             node_id: 0,
+            telemetry_attached: false,
+            // Pre-reserve: the recycle pushes in `advance` /
+            // `drain_finished_energy` are capped at `MAX_COLOCATED`, so this
+            // capacity keeps the event loop allocation-free (see
+            // tests/zero_alloc.rs).
+            spare_stages: Vec::with_capacity(MAX_COLOCATED),
+            spare_timelines: Vec::with_capacity(MAX_COLOCATED),
         }
     }
 
@@ -280,6 +300,7 @@ impl NodeSim {
     /// is in place and recording costs nothing.
     pub fn set_telemetry(&mut self, recorder: Recorder, run: u32, node: u32) {
         self.recorder = recorder;
+        self.telemetry_attached = true;
         self.run_id = run;
         self.node_id = node;
     }
@@ -403,6 +424,38 @@ impl NodeSim {
         std::mem::take(&mut self.finished)
     }
 
+    /// Pop the most recently finished job, keeping the finished list's
+    /// capacity with the simulator (unlike [`Self::take_finished`], which
+    /// steals the whole vector and forces the next submit to reallocate).
+    pub fn pop_finished(&mut self) -> Option<JobOutcome> {
+        self.finished.pop()
+    }
+
+    /// Drain the finished jobs, returning their summed attributed dynamic
+    /// energy (in completion order, matching a caller-side sum over
+    /// [`Self::take_finished`] bit for bit).
+    ///
+    /// This is the zero-allocation epilogue for sweeps that only need the
+    /// aggregate: outcome buffers (timelines, the finished list's capacity)
+    /// stay with the simulator and feed the next run's submits.
+    pub fn drain_finished_energy(&mut self) -> f64 {
+        let NodeSim {
+            finished,
+            spare_timelines,
+            ..
+        } = self;
+        let mut energy_j = 0.0;
+        for out in finished.drain(..) {
+            energy_j += out.metrics.energy_j;
+            let mut timeline = out.timeline;
+            if spare_timelines.len() < MAX_COLOCATED {
+                timeline.clear();
+                spare_timelines.push(timeline);
+            }
+        }
+        energy_j
+    }
+
     /// Total idle-subtracted energy integrated so far, joules.
     pub fn energy_j(&self) -> f64 {
         self.meter.energy_j()
@@ -440,12 +493,17 @@ impl NodeSim {
                 cap: MAX_COLOCATED,
             });
         }
-        let stages = spec.stages(&self.fw);
+        // Recycled buffers (warm after the first few runs of a pooled
+        // simulator): the stage list is rebuilt in place, the timeline
+        // arrives cleared from `drain_finished_energy`'s harvest.
+        let mut stages = self.spare_stages.pop().unwrap_or_default();
+        spec.stages_into(&self.fw, &mut stages);
         assert!(!stages.is_empty());
         let id = JobHandle(self.next_id);
         self.next_id += 1;
         let remaining = stages[0].tasks;
-        let timeline = Vec::with_capacity(stages.len());
+        let mut timeline = self.spare_timelines.pop().unwrap_or_default();
+        timeline.reserve(stages.len());
         // Every currently active job (this one included) retires into
         // `finished` at most once: reserving here means the push in
         // `advance` never reallocates mid-run.
@@ -509,6 +567,7 @@ impl NodeSim {
             now,
             run_id,
             node_id,
+            spare_stages,
             ..
         } = self;
         let sol = &bufs[*front];
@@ -560,7 +619,14 @@ impl NodeSim {
         // Retire completed jobs (reverse order keeps indices valid). The
         // outcome push is a pure move into capacity reserved at submit.
         for &j in completed[..ncomp].iter().rev() {
-            let job = active.swap_remove(j);
+            let mut job = active.swap_remove(j);
+            // The stage list never leaves the simulator: recycle it for the
+            // next submit instead of freeing it.
+            let mut stages = std::mem::take(&mut job.stages);
+            if spare_stages.len() < MAX_COLOCATED {
+                stages.clear();
+                spare_stages.push(stages);
+            }
             let exec = *now - job.start_s;
             recorder.span(
                 SpanKey::new(*run_id, *node_id, job.id.0, "job"),
@@ -705,7 +771,10 @@ impl NodeSim {
         self.slowdown = 1.0;
         self.stragglers_injected = 0;
         self.speculative_retries = 0;
-        self.recorder = Recorder::noop();
+        if self.telemetry_attached {
+            self.recorder = Recorder::noop();
+            self.telemetry_attached = false;
+        }
         self.run_id = 0;
         self.node_id = 0;
     }
@@ -928,6 +997,37 @@ fn build_classes(
     }
 }
 
+/// Refresh only the `(θ, slow)`-dependent class entries for the next outer
+/// round — the resident-window counterpart of [`build_classes`]. Class
+/// population, the shared-NIC demand row, and every non-fluid class are
+/// outer-round-invariant, so a lane that already ran [`build_classes`] once
+/// keeps them in place; this rewrites exactly the cells the coupling step
+/// moved — each fluid class's own I/O demand (scales with 1/θ) and think
+/// time (scales with slow) — with the original expressions and operation
+/// order, so every round stays bit-identical to a fresh rebuild.
+fn update_classes(
+    prep: &SolvePrep,
+    theta: f64,
+    slow: f64,
+    classes: &mut [ClassDemand],
+    think: &mut [f64; MAX_COLOCATED],
+) {
+    for j in 0..prep.n {
+        if !prep.fluid[j] {
+            continue;
+        }
+        think[j] = prep.think0[j]
+            * (1.0 - prep.stall[j] + prep.stall[j] * slow)
+            * prep.slowdown
+            * prep.stragglers[j];
+        if prep.io_mb[j] > 0.0 && prep.static_cap[j] > 0.0 {
+            classes[j].demands_s[j] =
+                prep.io_mb[j] * prep.spill / (theta * prep.static_cap[j]).max(1e-9);
+        }
+        classes[j].think_time_s = think[j];
+    }
+}
+
 /// One θ/slow coupling step from the AMVA readback — the outer-loop body
 /// suffix of the original `solve_into`, arithmetic verbatim. Returns
 /// `(slow_next, theta_next, resid)`.
@@ -1075,6 +1175,14 @@ fn finalize(
 pub const MAX_BATCH_LANES: usize = 16;
 
 /// Per-lane working state of a batched solve window, reused across rounds.
+///
+/// The big buffers are never cleared between solves — a lane is "reset" by
+/// the window's generation stamp (`epoch`) moving past it, the same pooled
+/// discipline [`crate::NodeSim`] uses. Everything the next solve reads is
+/// assign-before-read: `prep`/`classes`/`think` are rebuilt by
+/// [`prepare`]/[`build_classes`], and `x`/`q_io`/`nic_util` are overwritten
+/// from the AMVA readback every outer round before [`couple`] or
+/// [`finalize`] can observe them.
 struct LaneScratch {
     prep: SolvePrep,
     classes: Vec<ClassDemand>,
@@ -1085,6 +1193,12 @@ struct LaneScratch {
     theta: f64,
     slow: f64,
     done: bool,
+    /// Generation stamp of the last window that stashed a converged fixed
+    /// point in `warm_theta`/`warm_slow`; warm starts apply only when it
+    /// matches the scratch's current epoch (same window).
+    epoch: u64,
+    warm_theta: f64,
+    warm_slow: f64,
 }
 
 impl LaneScratch {
@@ -1099,7 +1213,36 @@ impl LaneScratch {
             theta: 1.0,
             slow: 1.0,
             done: false,
+            epoch: 0,
+            warm_theta: 1.0,
+            warm_slow: 1.0,
         }
+    }
+}
+
+/// Wall-clock breakdown of batched window execution, accumulated while
+/// phase timing is enabled ([`BatchScratch::set_phase_timing`]) and drained
+/// with [`BatchScratch::take_phases`]. All buckets are nanoseconds; timing
+/// never changes any simulated quantity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchPhases {
+    /// Inside the lane-interleaved AMVA kernel
+    /// ([`ecost_sim::AmvaBatch::solve_window`] / `solve`).
+    pub solve_ns: u64,
+    /// Outer contention fixed-point bookkeeping around the kernel: class
+    /// rebuilds, θ/slow coupling, convergence masking, finalize.
+    pub outer_ns: u64,
+    /// Event-loop bookkeeping between solves: re-solve detection, event
+    /// stepping, budgets, live-lane compaction.
+    pub event_ns: u64,
+}
+
+impl BatchPhases {
+    /// Bucket-wise sum, for aggregating across windows.
+    pub fn absorb(&mut self, other: BatchPhases) {
+        self.solve_ns += other.solve_ns;
+        self.outer_ns += other.outer_ns;
+        self.event_ns += other.event_ns;
     }
 }
 
@@ -1112,6 +1255,15 @@ impl LaneScratch {
 pub struct BatchScratch {
     amva: AmvaBatch,
     lanes: Vec<LaneScratch>,
+    /// Window generation stamp: bumped once per [`run_batch_to_completion`]
+    /// call. Lane state older than the current epoch is dead by definition
+    /// (never cleared), and warm starts only cross solves that share an
+    /// epoch.
+    epoch: u64,
+    resident: bool,
+    warm: bool,
+    timing: bool,
+    phases: BatchPhases,
 }
 
 impl BatchScratch {
@@ -1120,6 +1272,11 @@ impl BatchScratch {
         BatchScratch {
             amva: AmvaBatch::new(),
             lanes: Vec::new(),
+            epoch: 0,
+            resident: true,
+            warm: false,
+            timing: false,
+            phases: BatchPhases::default(),
         }
     }
 
@@ -1133,6 +1290,43 @@ impl BatchScratch {
     /// The AMVA vector backend the next batched solve will use.
     pub fn simd_backend(&self) -> SimdBackend {
         self.amva.simd_backend()
+    }
+
+    /// Toggle the batch-resident window driver (on by default). Off pins
+    /// the pre-resident per-round lockstep path — bit-identical results,
+    /// kept as the frozen benchmark comparator.
+    pub fn set_batch_resident(&mut self, resident: bool) {
+        self.resident = resident;
+    }
+
+    /// Whether the next [`run_batch_to_completion`] uses the resident driver.
+    pub fn batch_resident(&self) -> bool {
+        self.resident
+    }
+
+    /// Toggle warm-started outer fixed points (off by default). When on,
+    /// a re-solve within the same window seeds its (θ, slow) iteration
+    /// from the previous converged fixed point instead of (1, 1) — same
+    /// solution within tolerance (property-tested), fewer outer rounds;
+    /// off is bit-identical to the scalar path.
+    pub fn set_warm_start(&mut self, warm: bool) {
+        self.warm = warm;
+    }
+
+    /// Whether warm-started outer fixed points are enabled.
+    pub fn warm_start(&self) -> bool {
+        self.warm
+    }
+
+    /// Enable wall-clock phase accounting ([`BatchPhases`]). Off by
+    /// default: the hot path takes no timestamps unless asked.
+    pub fn set_phase_timing(&mut self, timing: bool) {
+        self.timing = timing;
+    }
+
+    /// Drain the accumulated phase breakdown, resetting it to zero.
+    pub fn take_phases(&mut self) -> BatchPhases {
+        std::mem::take(&mut self.phases)
     }
 }
 
@@ -1151,7 +1345,11 @@ impl Default for BatchScratch {
 /// simulator's rate solution is bit-identical to what its own
 /// `ensure_solution` would have produced. `lane_ids` indexes into `sims`;
 /// each selected simulator gets its back buffer refreshed and flipped.
-fn solve_batch(
+///
+/// This is the pre-resident per-round driver, kept verbatim as the frozen
+/// benchmark comparator and as the fallback for windows the resident path
+/// cannot hold open (single-lane groups).
+fn solve_batch_lockstep(
     sims: &mut [NodeSim],
     lane_ids: &[usize],
     scratch: &mut BatchScratch,
@@ -1165,7 +1363,7 @@ fn solve_batch(
     while scratch.lanes.len() < k {
         scratch.lanes.push(LaneScratch::new());
     }
-    let BatchScratch { amva, lanes } = scratch;
+    let BatchScratch { amva, lanes, .. } = scratch;
     for (ls, &i) in lanes.iter_mut().zip(lane_ids) {
         let sim = &sims[i];
         prepare(&sim.spec, &sim.fw, sim.slowdown, &sim.active, &mut ls.prep);
@@ -1272,6 +1470,218 @@ fn solve_batch(
     Ok(())
 }
 
+/// One *resident-window* batched solve over a shape-uniform group of lanes
+/// (same co-located job count ⇒ same AMVA class/station shape; caller
+/// guarantees `lane_ids.len() >= 2`).
+///
+/// Same per-lane arithmetic and operation order as
+/// [`solve_batch_lockstep`], with the per-round bookkeeping hoisted out of
+/// the outer fixed point: class validation runs once per window
+/// ([`AmvaBatch::begin_window`]), each subsequent round rewrites only the
+/// (θ, slow)-dependent class cells ([`update_classes`]), and the SoA
+/// window is re-packed without zero-fill — seed included, recomputed
+/// bit-identically from the window-invariant populations and demand signs
+/// ([`AmvaBatch::solve_window`]). Converged lanes are compacted out of the
+/// live list order-preservingly, so the remaining lanes see exactly the
+/// scalar iteration sequence.
+fn solve_group(
+    sims: &mut [NodeSim],
+    lane_ids: &[usize],
+    scratch: &mut BatchScratch,
+) -> Result<(), SimError> {
+    let k = lane_ids.len();
+    while scratch.lanes.len() < k {
+        scratch.lanes.push(LaneScratch::new());
+    }
+    let timing = scratch.timing;
+    let t_all = timing.then(Instant::now);
+    let mut solve_ns = 0u64;
+    let epoch = scratch.epoch;
+    let warm = scratch.warm;
+    let BatchScratch {
+        amva,
+        lanes,
+        phases,
+        ..
+    } = scratch;
+
+    for (ls, &i) in lanes.iter_mut().zip(lane_ids) {
+        let sim = &sims[i];
+        prepare(&sim.spec, &sim.fw, sim.slowdown, &sim.active, &mut ls.prep);
+        if warm && ls.epoch == epoch {
+            ls.theta = ls.warm_theta;
+            ls.slow = ls.warm_slow;
+        } else {
+            ls.theta = 1.0;
+            ls.slow = 1.0;
+        }
+        // `x`/`q_io`/`nic_util` are epoch-reset, not cleared: every outer
+        // round overwrites them from the AMVA readback before `couple` or
+        // `finalize` reads them.
+        ls.done = false;
+        build_classes(
+            &ls.prep,
+            sim.nic_bw_mbps,
+            ls.theta,
+            ls.slow,
+            &mut ls.classes,
+            &mut ls.think,
+        );
+    }
+
+    let empty: &[ClassDemand] = &[];
+    {
+        let mut probs: [(&[ClassDemand], usize); MAX_BATCH_LANES] = [(empty, 0); MAX_BATCH_LANES];
+        for (slot, ls) in lanes.iter().take(k).enumerate() {
+            let n = ls.prep.n;
+            probs[slot] = (&ls.classes[..n], n + 1);
+        }
+        if !amva.begin_window(&probs[..k])? {
+            return Err(SimError::Internal(
+                "shape-uniform group rejected by begin_window",
+            ));
+        }
+    }
+
+    let mut live: [usize; MAX_BATCH_LANES] = [0; MAX_BATCH_LANES];
+    for (slot, l) in live.iter_mut().take(k).enumerate() {
+        *l = slot;
+    }
+    let mut nlive = k;
+    for outer in 0..200 {
+        if nlive == 0 {
+            break;
+        }
+        if outer > 0 {
+            for &slot in &live[..nlive] {
+                let ls = &mut lanes[slot];
+                update_classes(&ls.prep, ls.theta, ls.slow, &mut ls.classes, &mut ls.think);
+            }
+        }
+        let mut probs: [(&[ClassDemand], usize); MAX_BATCH_LANES] = [(empty, 0); MAX_BATCH_LANES];
+        for (slot, ls) in lanes.iter().take(k).enumerate() {
+            let n = ls.prep.n;
+            probs[slot] = (&ls.classes[..n], n + 1);
+        }
+        let t_solve = timing.then(Instant::now);
+        amva.solve_window(&probs[..k], &live[..nlive])?;
+        if let Some(t) = t_solve {
+            solve_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        let mut w = 0usize;
+        for r in 0..nlive {
+            let slot = live[r];
+            let lane = amva.lane(slot);
+            let ls = &mut lanes[slot];
+            let n = ls.prep.n;
+            ls.x[..n].copy_from_slice(lane.throughput());
+            for (j, q) in ls.q_io[..n].iter_mut().enumerate() {
+                *q = lane.queue(j, j);
+            }
+            ls.nic_util = lane.station_util()[n];
+
+            let (slow_next, theta_next, resid) = couple(
+                &ls.prep,
+                &sims[lane_ids[slot]].spec,
+                &ls.x,
+                &ls.q_io,
+                &ls.think,
+                ls.slow,
+                ls.theta,
+            );
+            ls.slow = slow_next;
+            ls.theta = theta_next;
+            if resid >= 1e-5 {
+                live[w] = slot;
+                w += 1;
+            }
+        }
+        nlive = w;
+    }
+
+    for (ls, &i) in lanes.iter_mut().zip(lane_ids) {
+        let sim = &mut sims[i];
+        let back = 1 - sim.front;
+        let NodeSim {
+            spec,
+            power,
+            nic_power_w,
+            active,
+            bufs,
+            ..
+        } = sim;
+        finalize(
+            &ls.prep,
+            spec,
+            power,
+            *nic_power_w,
+            active,
+            &ls.x,
+            &ls.q_io,
+            ls.nic_util,
+            ls.slow,
+            &mut bufs[back],
+        );
+        sim.front = back;
+        sim.sol_valid = true;
+        ls.warm_theta = ls.theta;
+        ls.warm_slow = ls.slow;
+        ls.epoch = epoch;
+    }
+
+    if let Some(t) = t_all {
+        let total = t.elapsed().as_nanos() as u64;
+        phases.solve_ns += solve_ns;
+        phases.outer_ns += total.saturating_sub(solve_ns);
+    }
+    Ok(())
+}
+
+/// Solve several independent simulators' contention models at once with
+/// resident windows: `lane_ids` is stably partitioned into shape-uniform
+/// groups (same co-located job count), each group of two or more holds one
+/// [`AmvaBatch`] window open across its whole outer fixed point
+/// ([`solve_group`]); singleton groups take the per-round
+/// [`solve_batch_lockstep`] path. Per-lane results are bit-identical to the
+/// lockstep driver either way.
+fn solve_batch_resident(
+    sims: &mut [NodeSim],
+    lane_ids: &[usize],
+    scratch: &mut BatchScratch,
+) -> Result<(), SimError> {
+    let k = lane_ids.len();
+    if k > MAX_BATCH_LANES {
+        return Err(SimError::Internal(
+            "batched window wider than MAX_BATCH_LANES",
+        ));
+    }
+    let mut used = [false; MAX_BATCH_LANES];
+    for i in 0..k {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        let n = sims[lane_ids[i]].active.len();
+        let mut group: [usize; MAX_BATCH_LANES] = [0; MAX_BATCH_LANES];
+        group[0] = lane_ids[i];
+        let mut g = 1usize;
+        for j in i + 1..k {
+            if !used[j] && sims[lane_ids[j]].active.len() == n {
+                used[j] = true;
+                group[g] = lane_ids[j];
+                g += 1;
+            }
+        }
+        if g >= 2 {
+            solve_group(sims, &group[..g], scratch)?;
+        } else {
+            solve_batch_lockstep(sims, &group[..g], scratch)?;
+        }
+    }
+    Ok(())
+}
+
 /// Run every simulator in `sims` to completion, solving their rate models
 /// in lockstep batches ([`AmvaBatch`]) instead of one at a time.
 ///
@@ -1293,6 +1703,12 @@ pub fn run_batch_to_completion(
             "batched window wider than MAX_BATCH_LANES",
         ));
     }
+    // New window: invalidate (by generation, not by clearing) all lane
+    // state of previous windows, including warm-start stashes.
+    scratch.epoch = scratch.epoch.wrapping_add(1);
+    if scratch.resident {
+        return run_window_resident(sims, scratch);
+    }
     let mut budget = [0u64; MAX_BATCH_LANES];
     let mut events = [0u64; MAX_BATCH_LANES];
     for (b, sim) in budget.iter_mut().zip(sims.iter()) {
@@ -1310,7 +1726,7 @@ pub fn run_batch_to_completion(
             }
         }
         if k > 0 {
-            solve_batch(sims, &need[..k], scratch)?;
+            solve_batch_lockstep(sims, &need[..k], scratch)?;
         }
         // One event step per still-active lane; the solutions were just
         // refreshed, so `step` never falls back to a scalar solve.
@@ -1331,6 +1747,73 @@ pub fn run_batch_to_completion(
         }
         if !any {
             break;
+        }
+    }
+    Ok(())
+}
+
+/// The batch-resident window driver behind [`run_batch_to_completion`]:
+/// same per-simulator event order and budgets as the legacy loop (each
+/// lane's event sequence is bit-identical), but the event-loop bookkeeping
+/// runs over a compacted live-lane list instead of re-scanning every
+/// simulator per round, and re-solves go through [`solve_batch_resident`]
+/// so shape-uniform lanes keep an AMVA window resident across their outer
+/// fixed points.
+fn run_window_resident(sims: &mut [NodeSim], scratch: &mut BatchScratch) -> Result<(), SimError> {
+    let mut budget = [0u64; MAX_BATCH_LANES];
+    let mut events = [0u64; MAX_BATCH_LANES];
+    for (b, sim) in budget.iter_mut().zip(sims.iter()) {
+        *b = (64 + 16 * sim.active.iter().map(|j| j.stages.len()).sum::<usize>()) as u64;
+    }
+    // Live-lane list, compacted order-preservingly as simulators drain so
+    // the per-simulator step order matches the legacy full-scan loop.
+    let mut live: [usize; MAX_BATCH_LANES] = [0; MAX_BATCH_LANES];
+    let mut nlive = 0usize;
+    for (i, sim) in sims.iter().enumerate() {
+        if !sim.active.is_empty() {
+            live[nlive] = i;
+            nlive += 1;
+        }
+    }
+    while nlive > 0 {
+        let t0 = scratch.timing.then(Instant::now);
+        // Lanes whose job mix changed since the last solve get re-solved
+        // together, lane-interleaved.
+        let mut need = [0usize; MAX_BATCH_LANES];
+        let mut k = 0usize;
+        for &i in &live[..nlive] {
+            if !sims[i].sol_valid {
+                need[k] = i;
+                k += 1;
+            }
+        }
+        if let Some(t) = t0 {
+            scratch.phases.event_ns += t.elapsed().as_nanos() as u64;
+        }
+        if k > 0 {
+            solve_batch_resident(sims, &need[..k], scratch)?;
+        }
+        let t1 = scratch.timing.then(Instant::now);
+        let mut w = 0usize;
+        for r in 0..nlive {
+            let i = live[r];
+            let sim = &mut sims[i];
+            sim.step()?;
+            events[i] += 1;
+            if events[i] >= budget[i] {
+                return Err(SimError::EventLoopRunaway {
+                    events: events[i],
+                    budget: budget[i],
+                });
+            }
+            if !sim.active.is_empty() {
+                live[w] = i;
+                w += 1;
+            }
+        }
+        nlive = w;
+        if let Some(t) = t1 {
+            scratch.phases.event_ns += t.elapsed().as_nanos() as u64;
         }
     }
     Ok(())

@@ -5,13 +5,18 @@ use crate::framework::FrameworkSpec;
 use crate::hdfs;
 use crate::stage::{Stage, StageKind};
 use ecost_apps::{App, AppProfile, InputSize};
+use std::sync::Arc;
 
 /// A runnable MapReduce job: an application, its per-node input share and a
 /// tuning configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
-    /// Application demand profile (owned so synthetic apps work too).
-    pub profile: AppProfile,
+    /// Application demand profile (shared so synthetic apps work too).
+    /// Behind an `Arc` for the same reason as `label`: a batched sweep
+    /// clones one template spec per lane, and the profile is immutable
+    /// once the spec exists, so those clones should bump a refcount
+    /// instead of deep-copying the profile (and its heap-owned name).
+    pub profile: Arc<AppProfile>,
     /// Input size processed *by this node*, MB.
     pub input_mb: f64,
     /// The three knobs.
@@ -19,8 +24,10 @@ pub struct JobSpec {
     /// Fraction of shuffle traffic that crosses the network (0 on a single
     /// node; `(span-1)/span` when the job spans several nodes).
     pub remote_shuffle_frac: f64,
-    /// Label for reports ("wc@10GB" style).
-    pub label: String,
+    /// Label for reports ("wc@10GB" style). Shared, not owned: a batched
+    /// sweep clones one template spec per lane, and a refcount bump beats
+    /// a heap-allocated `String` copy on that path.
+    pub label: Arc<str>,
 }
 
 impl JobSpec {
@@ -32,9 +39,9 @@ impl JobSpec {
     /// Job from an arbitrary profile and an explicit per-node input share.
     pub fn from_profile(profile: AppProfile, input_mb: f64, config: TuningConfig) -> JobSpec {
         assert!(input_mb > 0.0, "input must be positive");
-        let label = format!("{}@{:.0}MB", profile.name, input_mb);
+        let label: Arc<str> = format!("{}@{:.0}MB", profile.name, input_mb).into();
         JobSpec {
-            profile,
+            profile: Arc::new(profile),
             input_mb,
             config,
             remote_shuffle_frac: 0.0,
@@ -51,6 +58,16 @@ impl JobSpec {
 
     /// Unroll into the stage list the executor runs.
     pub fn stages(&self, fw: &FrameworkSpec) -> Vec<Stage> {
+        let mut stages = Vec::with_capacity(3);
+        self.stages_into(fw, &mut stages);
+        stages
+    }
+
+    /// [`Self::stages`] into a caller-provided buffer (cleared first), so a
+    /// pooled simulator can reuse one stage vector run after run instead of
+    /// allocating a fresh one per submit.
+    pub fn stages_into(&self, fw: &FrameworkSpec, stages: &mut Vec<Stage>) {
+        stages.clear();
         let p = &self.profile;
         let cfg = self.config;
         let f_hz = cfg.freq.hz();
@@ -58,7 +75,6 @@ impl JobSpec {
         let m = cfg.mappers;
         let block_mb = cfg.block.mb();
 
-        let mut stages = Vec::with_capacity(3);
         stages.push(Stage::setup(p.job_overhead_s, m, cfg.freq));
 
         // ---- map stage ----
@@ -118,7 +134,6 @@ impl JobSpec {
         }
 
         debug_assert!(stages.iter().all(|s| s.validate().is_ok()));
-        stages
     }
 
     /// Total disk bytes the job will move (map + reduce), MB — used by

@@ -384,6 +384,117 @@ proptest! {
     }
 }
 
+/// Relative tolerance for warm-started outer fixed points. The outer loop
+/// breaks on a residual `< 1e-5` under 0.5 damping, so two runs entering
+/// the basin from different seeds agree on θ and the slow factor to about
+/// that order; downstream metrics (walls, energies) amplify it modestly.
+/// 1e-3 gives two orders of headroom while still catching a warm start
+/// that lands on a *different* fixed point.
+const WARM_START_REL_TOL: f64 = 1e-3;
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= WARM_START_REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The batch-resident driver (lockstep outer rounds over a SoA window,
+    /// epoch-stamped lane state, converged-lane compaction) is bit-identical
+    /// to the frozen pre-resident lockstep driver for any window of up to
+    /// 16 mixed-shape plans — the contract that keeps the `results/`
+    /// goldens byte-stable with the resident path on by default.
+    #[test]
+    fn resident_windows_match_the_lockstep_driver(
+        plans in prop::collection::vec(arb_plan(), 1..=16)
+    ) {
+        let mut lockstep_sims = Vec::new();
+        let mut resident_sims = Vec::new();
+        // A plan whose setup is rejected never reaches a window; skip the
+        // case (both drivers would reject identically at setup time).
+        let mut setup_ok = true;
+        for plan in &plans {
+            let mut a = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+            let mut b = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+            if setup_new(&mut a, plan).is_err() || setup_new(&mut b, plan).is_err() {
+                setup_ok = false;
+                break;
+            }
+            lockstep_sims.push(a);
+            resident_sims.push(b);
+        }
+        if setup_ok {
+            let mut lockstep_scratch = BatchScratch::new();
+            lockstep_scratch.set_batch_resident(false);
+            let mut resident_scratch = BatchScratch::new();
+            resident_scratch.set_batch_resident(true);
+            let lockstep = run_batch_to_completion(&mut lockstep_sims, &mut lockstep_scratch);
+            let resident = run_batch_to_completion(&mut resident_sims, &mut resident_scratch);
+            prop_assert_eq!(lockstep.is_ok(), resident.is_ok());
+            if lockstep.is_ok() {
+                for (a, b) in lockstep_sims.iter_mut().zip(resident_sims.iter_mut()) {
+                    prop_assert_eq!(fingerprint_of(a), fingerprint_of(b));
+                }
+            }
+        }
+    }
+
+    /// Warm-started windows (re-solves seeded from the previous converged
+    /// (θ, slow) instead of (1, 1)) land on the same outer fixed point
+    /// within [`WARM_START_REL_TOL`] for every window width 1..=16 — the
+    /// property that licenses the opt-in `EvalEngine::with_warm_start` arm.
+    #[test]
+    fn warm_started_windows_converge_to_the_same_fixed_point(
+        plans in prop::collection::vec(arb_plan(), 1..=16)
+    ) {
+        let mut cold_sims = Vec::new();
+        let mut warm_sims = Vec::new();
+        let mut setup_ok = true;
+        for plan in &plans {
+            let mut a = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+            let mut b = NodeSim::new(NodeSpec::atom_c2758(), FrameworkSpec::default());
+            if setup_new(&mut a, plan).is_err() || setup_new(&mut b, plan).is_err() {
+                setup_ok = false;
+                break;
+            }
+            cold_sims.push(a);
+            warm_sims.push(b);
+        }
+        if setup_ok {
+            let mut cold_scratch = BatchScratch::new();
+            cold_scratch.set_batch_resident(true);
+            cold_scratch.set_warm_start(false);
+            let mut warm_scratch = BatchScratch::new();
+            warm_scratch.set_batch_resident(true);
+            warm_scratch.set_warm_start(true);
+            let cold = run_batch_to_completion(&mut cold_sims, &mut cold_scratch);
+            let warm = run_batch_to_completion(&mut warm_sims, &mut warm_scratch);
+            prop_assert_eq!(cold.is_ok(), warm.is_ok());
+            if cold.is_ok() {
+                for (a, b) in cold_sims.iter_mut().zip(warm_sims.iter_mut()) {
+                    prop_assert!(rel_close(a.now(), b.now()),
+                        "makespan {} vs {}", a.now(), b.now());
+                    prop_assert!(rel_close(a.energy_j(), b.energy_j()),
+                        "energy {} vs {}", a.energy_j(), b.energy_j());
+                    let (oa, ob) = (a.take_finished(), b.take_finished());
+                    prop_assert_eq!(oa.len(), ob.len());
+                    for (x, y) in oa.iter().zip(&ob) {
+                        prop_assert_eq!(x.id, y.id);
+                        prop_assert!(
+                            rel_close(x.metrics.exec_time_s, y.metrics.exec_time_s),
+                            "exec {} vs {}", x.metrics.exec_time_s, y.metrics.exec_time_s
+                        );
+                        prop_assert!(
+                            rel_close(x.metrics.energy_j, y.metrics.energy_j),
+                            "job energy {} vs {}", x.metrics.energy_j, y.metrics.energy_j
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A *shape-uniform* batch problem: one (stations, class-count) pair per
 /// case, shared by every lane, so `AmvaBatch` takes the lane-interleaved
 /// SoA kernel — the path the f64x4 backends vectorize — rather than the
